@@ -1,0 +1,51 @@
+//! Reference-checker bench (extension): cost of the definition-level
+//! decision procedures — the conflict-graph construction versus the
+//! brute-force search over serialization orders — as a function of word
+//! length. Motivates the paper's point that the classical conflict-graph
+//! approach cannot yield a finite-state specification (it re-runs per
+//! word), while the spec automaton answers membership in O(len).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tm_lang::{
+    is_opaque, is_opaque_brute_force, random_word, transactions, Alphabet, Word,
+};
+use tm_spec::DetSpec;
+
+fn sample_words(len: usize, count: usize) -> Vec<Word> {
+    let mut rng = StdRng::seed_from_u64(42);
+    let alphabet = Alphabet::new(2, 2);
+    let mut out = Vec::new();
+    while out.len() < count {
+        let w = random_word(alphabet, len, |bound| rng.gen_range(0..bound));
+        // Keep the brute force feasible.
+        if transactions(&w).len() <= 6 {
+            out.push(w);
+        }
+    }
+    out
+}
+
+fn bench_checkers(c: &mut Criterion) {
+    let spec = DetSpec::new(tm_lang::SafetyProperty::Opacity, 2, 2);
+    for len in [4usize, 8, 12] {
+        let words = sample_words(len, 50);
+        let mut group = c.benchmark_group(format!("reference/len{len}"));
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::new("conflict-graph", len), &words, |b, ws| {
+            b.iter(|| ws.iter().filter(|w| is_opaque(w)).count())
+        });
+        group.bench_with_input(BenchmarkId::new("brute-force", len), &words, |b, ws| {
+            b.iter(|| ws.iter().filter(|w| is_opaque_brute_force(w)).count())
+        });
+        group.bench_with_input(BenchmarkId::new("det-spec-membership", len), &words, |b, ws| {
+            b.iter(|| ws.iter().filter(|w| spec.accepts_word(w)).count())
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_checkers);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Scaling bench (extension beyond the paper's tables): how specification
+//! and TM state spaces — and the inclusion check — grow with the instance
+//! size `(n, k)`, underlining why the reduction theorem matters.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use tm_algorithms::{most_general_nfa, DstmTm, TwoPhaseTm};
+use tm_automata::check_inclusion;
+use tm_lang::SafetyProperty;
+use tm_spec::{DetSpec, NondetSpec};
+
+const MAX: usize = 20_000_000;
+
+const SIZES: [(usize, usize); 4] = [(2, 1), (2, 2), (3, 1), (2, 3)];
+
+fn bench_spec_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling/spec-construction");
+    group.sample_size(10);
+    for (n, k) in SIZES {
+        group.bench_with_input(
+            BenchmarkId::new("det-op", format!("{n}x{k}")),
+            &(n, k),
+            |b, &(n, k)| {
+                b.iter(|| DetSpec::new(SafetyProperty::Opacity, n, k).to_dfa(MAX))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("nondet-op", format!("{n}x{k}")),
+            &(n, k),
+            |b, &(n, k)| {
+                b.iter(|| NondetSpec::new(SafetyProperty::Opacity, n, k).to_nfa(MAX))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_inclusion_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling/inclusion-dstm-op");
+    group.sample_size(10);
+    for (n, k) in SIZES {
+        let spec = DetSpec::new(SafetyProperty::Opacity, n, k).to_dfa(MAX).0;
+        let tm = most_general_nfa(&DstmTm::new(n, k), MAX).nfa;
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{n}x{k}")),
+            &(n, k),
+            |b, _| b.iter(|| check_inclusion(&tm, &spec)),
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("scaling/inclusion-2pl-ss");
+    group.sample_size(10);
+    for (n, k) in SIZES {
+        let spec = DetSpec::new(SafetyProperty::StrictSerializability, n, k)
+            .to_dfa(MAX)
+            .0;
+        let tm = most_general_nfa(&TwoPhaseTm::new(n, k), MAX).nfa;
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{n}x{k}")),
+            &(n, k),
+            |b, _| b.iter(|| check_inclusion(&tm, &spec)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_spec_construction, bench_inclusion_scaling);
+criterion_main!(benches);

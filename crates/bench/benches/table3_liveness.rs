@@ -1,0 +1,47 @@
+//! **Table 3** bench: time to model check obstruction freedom and
+//! livelock freedom for each TM algorithm (with its contention manager)
+//! on the most general program with two threads and one variable.
+//!
+//! The paper reports 0.1–2 s per row on a 2.66 GHz desktop PC.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use tm_algorithms::{
+    AggressiveCm, DstmTm, PoliteCm, SequentialTm, Tl2Tm, TwoPhaseTm, WithContentionManager,
+};
+use tm_checker::check_liveness;
+use tm_lang::LivenessProperty;
+
+fn bench_liveness(c: &mut Criterion) {
+    for property in [
+        LivenessProperty::ObstructionFreedom,
+        LivenessProperty::LivelockFreedom,
+        LivenessProperty::WaitFreedom,
+    ] {
+        let tag = match property {
+            LivenessProperty::ObstructionFreedom => "of",
+            LivenessProperty::LivelockFreedom => "lf",
+            LivenessProperty::WaitFreedom => "wf",
+        };
+        let mut group = c.benchmark_group(format!("table3/{tag}"));
+        group.sample_size(10);
+        group.bench_function("seq", |b| {
+            b.iter(|| check_liveness(&SequentialTm::new(2, 1), property))
+        });
+        group.bench_function("2PL", |b| {
+            b.iter(|| check_liveness(&TwoPhaseTm::new(2, 1), property))
+        });
+        group.bench_function("dstm+aggressive", |b| {
+            let tm = WithContentionManager::new(DstmTm::new(2, 1), AggressiveCm);
+            b.iter(|| check_liveness(&tm, property))
+        });
+        group.bench_function("TL2+polite", |b| {
+            let tm = WithContentionManager::new(Tl2Tm::new(2, 1), PoliteCm);
+            b.iter(|| check_liveness(&tm, property))
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_liveness);
+criterion_main!(benches);

@@ -1,0 +1,135 @@
+//! Regenerates every table of the paper in one run, printing measured
+//! numbers next to the paper's. Used to fill EXPERIMENTS.md.
+//!
+//! ```bash
+//! cargo run --release -p tm-bench --bin tables
+//! ```
+
+use std::time::Instant;
+
+use tm_automata::{check_equivalence_antichain, check_inclusion, Dfa};
+use tm_bench::{table2_roster, table3_check, table3_names, MAX_STATES};
+use tm_checker::Table;
+use tm_lang::{LivenessProperty, SafetyProperty};
+use tm_spec::{spec_alphabet, DetSpec, NondetSpec};
+
+fn main() {
+    table1();
+    table2();
+    theorem3();
+    table3();
+}
+
+fn table1() {
+    // Table 1 rows are reproduced programmatically (and asserted) in
+    // `examples/table1_runs.rs` / `tests/table1_and_figures.rs`; here we
+    // only point at them to keep this binary focused on measurements.
+    println!("Table 1: see `cargo run --release --example table1_runs`\n");
+}
+
+fn table2() {
+    for property in SafetyProperty::all() {
+        let spec_start = Instant::now();
+        let (spec, _) = DetSpec::new(property, 2, 2).to_dfa(MAX_STATES);
+        let spec_time = spec_start.elapsed();
+        let mut table = Table::new(
+            format!(
+                "Table 2 — L(A) ⊆ L(Σᵈ_{}) (spec: {} states, built in {:.2?})",
+                property.short_name(),
+                spec.num_states(),
+                spec_time
+            ),
+            ["TM", "states", "paper", "verdict", "time", "counterexample"],
+        );
+        for (name, nfa, paper_states) in table2_roster() {
+            let start = Instant::now();
+            let result = check_inclusion(&nfa, &spec);
+            let elapsed = start.elapsed();
+            let (verdict, cx) = match result.counterexample() {
+                None => ("Y".to_owned(), String::new()),
+                Some(w) => (
+                    "N".to_owned(),
+                    w.iter().map(|s| s.to_string()).collect::<Vec<_>>().join(" "),
+                ),
+            };
+            table.push_row([
+                name,
+                nfa.num_states().to_string(),
+                paper_states.to_string(),
+                verdict,
+                format!("{elapsed:.2?}"),
+                cx,
+            ]);
+        }
+        println!("{table}");
+    }
+}
+
+fn theorem3() {
+    let mut table = Table::new(
+        "Theorem 3 — L(Σ) = L(Σᵈ) via antichains (2 threads, 2 variables)",
+        [
+            "property",
+            "nondet states",
+            "paper",
+            "det states",
+            "paper",
+            "minimized",
+            "equivalent",
+            "time",
+        ],
+    );
+    for property in SafetyProperty::all() {
+        let nondet = NondetSpec::new(property, 2, 2).to_nfa(MAX_STATES);
+        let (det, _) = DetSpec::new(property, 2, 2).to_dfa(MAX_STATES);
+        let minimized = Dfa::determinize(&nondet.nfa, spec_alphabet(2, 2)).minimize();
+        let start = Instant::now();
+        let verdict = check_equivalence_antichain(&nondet.nfa, &det.to_nfa());
+        let elapsed = start.elapsed();
+        let (paper_nd, paper_d) = match property {
+            SafetyProperty::StrictSerializability => ("12345", "3520"),
+            SafetyProperty::Opacity => ("9202", "2272"),
+        };
+        table.push_row([
+            property.short_name().to_owned(),
+            nondet.num_states().to_string(),
+            paper_nd.to_owned(),
+            det.num_states().to_string(),
+            paper_d.to_owned(),
+            minimized.num_states().to_string(),
+            verdict.holds().to_string(),
+            format!("{elapsed:.2?}"),
+        ]);
+    }
+    println!("{table}");
+}
+
+fn table3() {
+    let mut table = Table::new(
+        "Table 3 — liveness model checking (2 threads, 1 variable)",
+        ["TM algorithm", "OF", "LF", "WF", "loop (OF or LF counterexample)"],
+    );
+    for name in table3_names() {
+        let of = table3_check(name, LivenessProperty::ObstructionFreedom);
+        let lf = table3_check(name, LivenessProperty::LivelockFreedom);
+        let wf = table3_check(name, LivenessProperty::WaitFreedom);
+        let lasso = of
+            .counterexample()
+            .or(lf.counterexample())
+            .map(|l| l.cycle_notation())
+            .unwrap_or_default();
+        table.push_row([
+            name.to_owned(),
+            yn(of.holds()),
+            yn(lf.holds()),
+            yn(wf.holds()),
+            lasso,
+        ]);
+    }
+    println!("{table}");
+    println!("paper: seq N/N, 2PL N/N, dstm+aggressive Y/N, TL2+polite N/N; WF all N");
+}
+
+fn yn(b: bool) -> String {
+    if b { "Y".to_owned() } else { "N".to_owned() }
+}

@@ -1,0 +1,92 @@
+//! # tm-bench — the experiment suite
+//!
+//! Shared definitions of the paper's experiment roster, used by the
+//! Criterion benches (`benches/`) and the `tables` binary that regenerates
+//! every table of the paper in one run:
+//!
+//! ```bash
+//! cargo run --release -p tm-bench --bin tables
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use tm_algorithms::{
+    most_general_nfa, AggressiveCm, DstmTm, PoliteCm, SequentialTm, Tl2Tm, TmAlgorithm,
+    TwoPhaseTm, ValidationStyle, WithContentionManager,
+};
+use tm_automata::Nfa;
+use tm_lang::Statement;
+
+/// State-space bound used throughout the experiment suite.
+pub const MAX_STATES: usize = 20_000_000;
+
+/// The safety-experiment roster of Table 2: TM name, word-level automaton,
+/// and the paper's reported state count.
+pub fn table2_roster() -> Vec<(String, Nfa<Statement>, usize)> {
+    let modified = WithContentionManager::new(
+        Tl2Tm::with_validation(2, 2, ValidationStyle::RValidateThenChkLock),
+        PoliteCm,
+    );
+    vec![
+        named(&SequentialTm::new(2, 2), 3),
+        named(&TwoPhaseTm::new(2, 2), 99),
+        named(&DstmTm::new(2, 2), 1846),
+        named(&Tl2Tm::new(2, 2), 21568),
+        named(&modified, 17520),
+    ]
+}
+
+fn named<A: TmAlgorithm>(tm: &A, paper_states: usize) -> (String, Nfa<Statement>, usize) {
+    (tm.name(), most_general_nfa(tm, MAX_STATES).nfa, paper_states)
+}
+
+/// The liveness-experiment roster of Table 3 as boxed check thunks
+/// (TM construction is cheap; the checks run per property).
+pub fn table3_names() -> [&'static str; 4] {
+    ["seq", "2PL", "dstm+aggressive", "TL2+polite"]
+}
+
+/// Runs a liveness check for one of the [`table3_names`] rows.
+///
+/// # Panics
+///
+/// Panics if `name` is not one of the roster names.
+pub fn table3_check(
+    name: &str,
+    property: tm_lang::LivenessProperty,
+) -> tm_checker::LivenessVerdict {
+    match name {
+        "seq" => tm_checker::check_liveness(&SequentialTm::new(2, 1), property),
+        "2PL" => tm_checker::check_liveness(&TwoPhaseTm::new(2, 1), property),
+        "dstm+aggressive" => tm_checker::check_liveness(
+            &WithContentionManager::new(DstmTm::new(2, 1), AggressiveCm),
+            property,
+        ),
+        "TL2+polite" => tm_checker::check_liveness(
+            &WithContentionManager::new(Tl2Tm::new(2, 1), PoliteCm),
+            property,
+        ),
+        other => panic!("unknown Table 3 row: {other}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roster_matches_paper_rows() {
+        let roster = table2_roster();
+        assert_eq!(roster.len(), 5);
+        assert_eq!(roster[0].0, "sequential");
+        assert_eq!(roster[0].1.num_states(), 3);
+        assert_eq!(roster[4].0, "modified-TL2+polite");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown Table 3 row")]
+    fn unknown_row_panics() {
+        let _ = table3_check("nope", tm_lang::LivenessProperty::ObstructionFreedom);
+    }
+}

@@ -1,0 +1,62 @@
+//! # tm-checker — model checking transactional memories
+//!
+//! The verification core of the *tm-modelcheck* workspace, reproducing
+//! *"Model Checking Transactional Memories"* (Guerraoui, Henzinger,
+//! Singh; PLDI 2008 / extended version):
+//!
+//! * **Safety** ([`check_safety`], [`SafetyChecker`]): strict
+//!   serializability and opacity, decided as language inclusion of the TM
+//!   algorithm (applied to the most general program) in the deterministic
+//!   specification automaton, with shortest counterexample words.
+//! * **Liveness** ([`check_liveness`]): obstruction freedom, livelock
+//!   freedom and wait freedom, decided by loop (lasso) search in the
+//!   run-level transition system of a TM × contention-manager product.
+//! * **Structural properties** ([`check_structural`]): bounded-exhaustive
+//!   tests of the projection/symmetry/commutativity properties P1–P4 that
+//!   the reduction theorems require.
+//! * **Reduction methodology** ([`verify_with_reduction`]): the paper's
+//!   end-to-end argument — check at the (2,2) bound, establish the
+//!   structural properties, conclude for all instance sizes.
+//! * **Reports** ([`safety_table`], [`liveness_table`]): the paper's
+//!   Tables 2 and 3 regenerated from verdicts.
+//!
+//! # Examples
+//!
+//! Verify the paper's headline results in a few lines:
+//!
+//! ```
+//! use tm_checker::{check_liveness, check_safety};
+//! use tm_lang::{LivenessProperty, SafetyProperty};
+//! use tm_algorithms::{DstmTm, AggressiveCm, WithContentionManager};
+//!
+//! // Theorem 4: DSTM ensures opacity.
+//! assert!(check_safety(&DstmTm::new(2, 2), SafetyProperty::Opacity).holds());
+//!
+//! // Theorem 6: DSTM + aggressive is obstruction free.
+//! let managed = WithContentionManager::new(DstmTm::new(2, 1), AggressiveCm);
+//! assert!(check_liveness(&managed, LivenessProperty::ObstructionFreedom).holds());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod liveness;
+mod reduction;
+mod report;
+mod safety;
+mod structural;
+
+pub use liveness::{
+    check_liveness, LivenessOutcome, LivenessVerdict, RunLasso,
+    DEFAULT_MAX_STATES as LIVENESS_MAX_STATES,
+};
+pub use reduction::{verify_with_reduction, ReductionEvidence};
+pub use report::{liveness_table, safety_table, Table};
+pub use safety::{
+    check_safety, SafetyChecker, SafetyOutcome, SafetyVerdict, SpecAutomaton,
+    DEFAULT_MAX_STATES,
+};
+pub use structural::{
+    check_all_structural, check_structural, StructuralProperty, StructuralReport,
+    StructuralViolation,
+};

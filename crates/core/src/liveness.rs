@@ -1,0 +1,335 @@
+//! Liveness verification of TM algorithms (§6): loop search in the
+//! run-level transition system of the TM (with its contention manager)
+//! applied to the most general program.
+//!
+//! The paper reduces each property to the absence of a certain *loop* in
+//! the transition system (its reduction theorem, Theorem 5, bounds the
+//! instance at two threads and one variable):
+//!
+//! * **obstruction freedom** fails iff some loop contains only statements
+//!   of one thread, at least one abort, and no commit;
+//! * **livelock freedom** fails iff some loop contains no commit and every
+//!   thread with a statement in it has an abort in it;
+//! * **wait freedom** fails iff some loop gives a thread infinitely many
+//!   (word-level) statements but no commit.
+//!
+//! All loops here are loops of the run-level graph — they may contain
+//! extended commands (cf. the loop `a1, (r,1)1, (o,1)1, a2, (o,1)2` of the
+//! paper's Table 3).
+
+use std::time::{Duration, Instant};
+
+use tm_algorithms::{most_general_run_graph, RunLabel, TmAlgorithm};
+use tm_automata::{
+    closed_walk_through, strongly_connected_components, LabeledGraph, Sccs,
+};
+use tm_lang::{Lasso, LivenessProperty, ThreadId, Word};
+
+/// Default bound on reachable TM states for liveness exploration.
+pub const DEFAULT_MAX_STATES: usize = 10_000_000;
+
+/// A liveness counterexample: an ultimately periodic run `prefix · loopω`.
+#[derive(Clone, Debug)]
+pub struct RunLasso {
+    /// Run-level steps leading from the initial state to the loop.
+    pub prefix: Vec<RunLabel>,
+    /// The repeated loop (non-empty).
+    pub cycle: Vec<RunLabel>,
+}
+
+impl RunLasso {
+    /// The word-level lasso (projecting away internal steps).
+    ///
+    /// Returns `None` if the loop emits no statements at all (a purely
+    /// internal divergence, which cannot happen for the TMs in this
+    /// workspace).
+    pub fn to_word_lasso(&self) -> Option<Lasso> {
+        let cycle: Word = self.cycle.iter().filter_map(|l| l.statement()).collect();
+        if cycle.is_empty() {
+            return None;
+        }
+        let prefix: Word = self.prefix.iter().filter_map(|l| l.statement()).collect();
+        Some(Lasso::new(prefix, cycle))
+    }
+
+    /// The loop in the paper's Table 3 notation.
+    pub fn cycle_notation(&self) -> String {
+        self.cycle
+            .iter()
+            .map(|l| l.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+}
+
+/// Outcome of a liveness check.
+#[derive(Clone, Debug)]
+pub enum LivenessOutcome {
+    /// No offending loop exists: the TM (with its manager) ensures the
+    /// property for this instance size (and by Theorem 5 in general, for
+    /// structurally well-behaved TMs).
+    Verified,
+    /// An offending reachable loop.
+    Violation(RunLasso),
+}
+
+/// Result of [`check_liveness`].
+#[derive(Clone, Debug)]
+pub struct LivenessVerdict {
+    /// TM algorithm (with manager) name.
+    pub tm_name: String,
+    /// The property checked.
+    pub property: LivenessProperty,
+    /// Reachable states of the run-level transition system.
+    pub tm_states: usize,
+    /// Wall-clock time for the whole check.
+    pub total_time: Duration,
+    /// The verdict.
+    pub outcome: LivenessOutcome,
+}
+
+impl LivenessVerdict {
+    /// `true` if the property was verified.
+    pub fn holds(&self) -> bool {
+        matches!(self.outcome, LivenessOutcome::Verified)
+    }
+
+    /// The counterexample lasso, if any.
+    pub fn counterexample(&self) -> Option<&RunLasso> {
+        match &self.outcome {
+            LivenessOutcome::Violation(l) => Some(l),
+            LivenessOutcome::Verified => None,
+        }
+    }
+}
+
+/// Checks a liveness property of a TM algorithm (× contention manager) on
+/// the most general program of its instance size.
+///
+/// # Panics
+///
+/// Panics if the TM's reachable state space exceeds
+/// [`DEFAULT_MAX_STATES`].
+///
+/// # Examples
+///
+/// ```
+/// use tm_checker::check_liveness;
+/// use tm_lang::LivenessProperty;
+/// use tm_algorithms::{AggressiveCm, DstmTm, WithContentionManager};
+///
+/// // Paper Table 3: DSTM + aggressive is obstruction free ...
+/// let tm = WithContentionManager::new(DstmTm::new(2, 1), AggressiveCm);
+/// assert!(check_liveness(&tm, LivenessProperty::ObstructionFreedom).holds());
+/// // ... but not livelock free.
+/// assert!(!check_liveness(&tm, LivenessProperty::LivelockFreedom).holds());
+/// ```
+pub fn check_liveness<A: TmAlgorithm>(tm: &A, property: LivenessProperty) -> LivenessVerdict {
+    let start = Instant::now();
+    let (graph, states) = most_general_run_graph(tm, DEFAULT_MAX_STATES);
+    let outcome = match property {
+        LivenessProperty::ObstructionFreedom => check_obstruction(tm, &graph),
+        LivenessProperty::LivelockFreedom => check_livelock(tm, &graph),
+        LivenessProperty::WaitFreedom => check_wait(tm, &graph),
+    };
+    LivenessVerdict {
+        tm_name: tm.name(),
+        property,
+        tm_states: states.len(),
+        total_time: start.elapsed(),
+        outcome,
+    }
+}
+
+/// Finds a loop in `filtered` containing one edge of each required kind
+/// (given by `required_abort_of`), and wraps it into a lasso with a
+/// shortest prefix from the initial state through the *full* graph.
+fn build_lasso(
+    full: &LabeledGraph<RunLabel>,
+    filtered: &LabeledGraph<RunLabel>,
+    sccs: &Sccs,
+    required: Vec<(usize, RunLabel, usize)>,
+) -> Option<RunLasso> {
+    let walk = closed_walk_through(filtered, &required)?;
+    let entry = walk.first()?.0;
+    let prefix_edges = full.shortest_path_to(0, |s| s == entry)?;
+    let _ = sccs;
+    Some(RunLasso {
+        prefix: prefix_edges.into_iter().map(|(_, l, _)| l).collect(),
+        cycle: walk.into_iter().map(|(_, l, _)| l).collect(),
+    })
+}
+
+/// Obstruction freedom: for each thread `t`, search the subgraph of
+/// `t`-only, non-commit edges for an SCC containing an abort edge of `t`.
+fn check_obstruction<A: TmAlgorithm>(
+    tm: &A,
+    graph: &LabeledGraph<RunLabel>,
+) -> LivenessOutcome {
+    for t in tm.thread_ids() {
+        let filtered = graph.filtered(|_, l, _| l.thread == t && !l.is_commit());
+        let sccs = strongly_connected_components(&filtered);
+        if let Some(edge) = find_cyclic_edge(&filtered, &sccs, |l| l.is_abort()) {
+            if let Some(lasso) = build_lasso(graph, &filtered, &sccs, vec![edge]) {
+                return LivenessOutcome::Violation(lasso);
+            }
+        }
+    }
+    LivenessOutcome::Verified
+}
+
+/// Livelock freedom: for each non-empty subset `T'` of threads, search the
+/// subgraph of `T'`-edges without commits for an SCC containing an abort
+/// edge of every thread in `T'`.
+fn check_livelock<A: TmAlgorithm>(tm: &A, graph: &LabeledGraph<RunLabel>) -> LivenessOutcome {
+    let n = tm.threads();
+    for subset in 1u32..(1 << n) {
+        let in_subset = |t: ThreadId| subset & (1 << t.index()) != 0;
+        let filtered = graph.filtered(|_, l, _| in_subset(l.thread) && !l.is_commit());
+        let sccs = strongly_connected_components(&filtered);
+        // Group cyclic abort edges per component, then look for a
+        // component covering every thread of the subset.
+        'component: for comp in 0..sccs.count() {
+            let mut required = Vec::new();
+            for t in tm.thread_ids().into_iter().filter(|&t| in_subset(t)) {
+                match find_cyclic_edge_in(&filtered, &sccs, comp, |l| {
+                    l.is_abort() && l.thread == t
+                }) {
+                    Some(edge) => required.push(edge),
+                    None => continue 'component,
+                }
+            }
+            if let Some(lasso) = build_lasso(graph, &filtered, &sccs, required) {
+                return LivenessOutcome::Violation(lasso);
+            }
+        }
+    }
+    LivenessOutcome::Verified
+}
+
+/// Wait freedom: for each thread `t`, search the subgraph without
+/// `(commit, t)` completions for an SCC containing a word-level statement
+/// of `t`.
+fn check_wait<A: TmAlgorithm>(tm: &A, graph: &LabeledGraph<RunLabel>) -> LivenessOutcome {
+    for t in tm.thread_ids() {
+        let filtered = graph.filtered(|_, l, _| !(l.thread == t && l.is_commit()));
+        let sccs = strongly_connected_components(&filtered);
+        if let Some(edge) = find_cyclic_edge(&filtered, &sccs, |l| {
+            l.thread == t && l.statement().is_some()
+        }) {
+            if let Some(lasso) = build_lasso(graph, &filtered, &sccs, vec![edge]) {
+                return LivenessOutcome::Violation(lasso);
+            }
+        }
+    }
+    LivenessOutcome::Verified
+}
+
+/// An edge matching `want` whose endpoints share an SCC (i.e. an edge on
+/// some cycle), if any.
+fn find_cyclic_edge<F: Fn(&RunLabel) -> bool>(
+    g: &LabeledGraph<RunLabel>,
+    sccs: &Sccs,
+    want: F,
+) -> Option<(usize, RunLabel, usize)> {
+    g.edges()
+        .find(|(from, l, to)| want(l) && sccs.same_component(*from, *to))
+        .map(|(from, l, to)| (from, *l, to))
+}
+
+/// Like [`find_cyclic_edge`], restricted to one component.
+fn find_cyclic_edge_in<F: Fn(&RunLabel) -> bool>(
+    g: &LabeledGraph<RunLabel>,
+    sccs: &Sccs,
+    component: usize,
+    want: F,
+) -> Option<(usize, RunLabel, usize)> {
+    g.edges()
+        .find(|(from, l, to)| {
+            want(l)
+                && sccs.component_of(*from) == component
+                && sccs.component_of(*to) == component
+        })
+        .map(|(from, l, to)| (from, *l, to))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_algorithms::{
+        AggressiveCm, DstmTm, PoliteCm, SequentialTm, Tl2Tm, TwoPhaseTm,
+        WithContentionManager,
+    };
+
+    #[test]
+    fn sequential_tm_is_not_obstruction_free() {
+        let verdict =
+            check_liveness(&SequentialTm::new(2, 1), LivenessProperty::ObstructionFreedom);
+        let lasso = verdict.counterexample().expect("Table 3: N");
+        // The paper's loop is `a1` (a single abort).
+        let word = lasso.to_word_lasso().expect("emits statements");
+        assert!(!word.is_obstruction_free());
+        assert!(word.cycle().iter().all(|s| s.kind.is_abort()));
+    }
+
+    #[test]
+    fn two_phase_fails_both_properties() {
+        let tm = TwoPhaseTm::new(2, 1);
+        for p in [
+            LivenessProperty::ObstructionFreedom,
+            LivenessProperty::LivelockFreedom,
+        ] {
+            let verdict = check_liveness(&tm, p);
+            assert!(!verdict.holds(), "{p:?}");
+            let lasso = verdict.counterexample().unwrap();
+            let word = lasso.to_word_lasso().unwrap();
+            assert!(!p.holds(&word), "{p:?}: {word}");
+        }
+    }
+
+    #[test]
+    fn dstm_aggressive_is_of_but_not_lf() {
+        let tm = WithContentionManager::new(DstmTm::new(2, 1), AggressiveCm);
+        assert!(check_liveness(&tm, LivenessProperty::ObstructionFreedom).holds());
+        let lf = check_liveness(&tm, LivenessProperty::LivelockFreedom);
+        let lasso = lf.counterexample().expect("Table 3: N");
+        let word = lasso.to_word_lasso().unwrap();
+        assert!(!word.is_livelock_free());
+        // Both threads abort infinitely (ownership ping-pong).
+        assert!(word.is_obstruction_free());
+    }
+
+    #[test]
+    fn tl2_polite_is_not_obstruction_free() {
+        let tm = WithContentionManager::new(Tl2Tm::new(2, 1), PoliteCm);
+        let verdict = check_liveness(&tm, LivenessProperty::ObstructionFreedom);
+        let lasso = verdict.counterexample().expect("Table 3: N");
+        let word = lasso.to_word_lasso().unwrap();
+        assert!(!word.is_obstruction_free());
+    }
+
+    #[test]
+    fn nothing_is_wait_free() {
+        // Every TM lets a thread read forever without committing.
+        for verdict in [
+            check_liveness(&SequentialTm::new(2, 1), LivenessProperty::WaitFreedom),
+            check_liveness(
+                &WithContentionManager::new(DstmTm::new(2, 1), AggressiveCm),
+                LivenessProperty::WaitFreedom,
+            ),
+        ] {
+            assert!(!verdict.holds());
+        }
+    }
+
+    #[test]
+    fn counterexample_prefix_starts_at_initial_state() {
+        let verdict =
+            check_liveness(&TwoPhaseTm::new(2, 1), LivenessProperty::ObstructionFreedom);
+        let lasso = verdict.counterexample().unwrap();
+        // Prefix must be a real run: non-empty here, since the violating
+        // loop needs the other thread to hold a lock first.
+        assert!(!lasso.prefix.is_empty());
+        assert!(!lasso.cycle.is_empty());
+    }
+}

@@ -1,0 +1,130 @@
+//! Orchestration of the paper's verification methodology (§4, §6): apply
+//! the reduction theorem by combining the finite check at the reduction
+//! bound with structural-property evidence and optional larger-instance
+//! spot checks.
+//!
+//! The theorems:
+//!
+//! * **Theorem 1** — if a TM satisfies P1–P4 and ensures (2,2) strict
+//!   serializability (resp. opacity), it ensures the property for every
+//!   number of threads and variables.
+//! * **Theorem 5** — if a TM satisfies P5–P6 and ensures (2,1)
+//!   obstruction freedom, it ensures obstruction freedom generally.
+//!
+//! The structural properties are established here as bounded-exhaustive
+//! *evidence* (violations are proofs of failure; absence up to the bound
+//! is not a proof of satisfaction — the paper establishes them by manual
+//! inspection of each algorithm).
+
+use tm_algorithms::TmAlgorithm;
+use tm_lang::SafetyProperty;
+
+use crate::safety::{SafetyChecker, SafetyVerdict};
+use crate::structural::{check_all_structural, StructuralReport};
+
+/// Evidence assembled by [`verify_with_reduction`].
+#[derive(Clone, Debug)]
+pub struct ReductionEvidence {
+    /// The safety verdict at the reduction bound (2, 2).
+    pub base_verdict: SafetyVerdict,
+    /// Structural-property reports (P1–P4 flavors) at (2, 2).
+    pub structural: Vec<StructuralReport>,
+    /// Additional inclusion checks at larger instance sizes.
+    pub spot_checks: Vec<SafetyVerdict>,
+}
+
+impl ReductionEvidence {
+    /// `true` if the base check passed, no structural violation was
+    /// found, and all spot checks passed — the methodology's conclusion
+    /// that the TM ensures the property for **all** `(n, k)`.
+    pub fn concludes(&self) -> bool {
+        self.base_verdict.holds()
+            && self.structural.iter().all(StructuralReport::holds)
+            && self.spot_checks.iter().all(SafetyVerdict::holds)
+    }
+}
+
+/// Applies the reduction methodology to a family of TM instances.
+///
+/// `make(n, k)` must build the same TM algorithm for `n` threads and `k`
+/// variables. The property is checked at the reduction bound (2, 2);
+/// structural properties are tested on words up to `structural_depth`
+/// statements; and the inclusion is additionally verified at each size in
+/// `spot_sizes` (empirical confirmation that the reduction did not hide
+/// anything — the theorem itself makes these redundant for well-behaved
+/// TMs).
+///
+/// # Panics
+///
+/// Panics if any instance exceeds the checker's state bounds.
+///
+/// # Examples
+///
+/// ```no_run
+/// use tm_checker::verify_with_reduction;
+/// use tm_lang::SafetyProperty;
+/// use tm_algorithms::DstmTm;
+///
+/// let evidence = verify_with_reduction(
+///     DstmTm::new,
+///     SafetyProperty::Opacity,
+///     4,
+///     &[(2, 1), (3, 1)],
+/// );
+/// assert!(evidence.concludes());
+/// ```
+pub fn verify_with_reduction<A, F>(
+    make: F,
+    property: SafetyProperty,
+    structural_depth: usize,
+    spot_sizes: &[(usize, usize)],
+) -> ReductionEvidence
+where
+    A: TmAlgorithm,
+    F: Fn(usize, usize) -> A,
+{
+    let base_tm = make(2, 2);
+    let base_verdict = SafetyChecker::new(property, 2, 2).check(&base_tm);
+    let structural = check_all_structural(&base_tm, structural_depth);
+    let spot_checks = spot_sizes
+        .iter()
+        .map(|&(n, k)| {
+            let tm = make(n, k);
+            SafetyChecker::new(property, n, k).check(&tm)
+        })
+        .collect();
+    ReductionEvidence {
+        base_verdict,
+        structural,
+        spot_checks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_algorithms::{SequentialTm, TwoPhaseTm};
+
+    #[test]
+    fn sequential_reduction_concludes() {
+        let evidence = verify_with_reduction(
+            SequentialTm::new,
+            SafetyProperty::Opacity,
+            4,
+            &[(2, 1), (3, 1), (3, 2)],
+        );
+        assert!(evidence.concludes());
+        assert_eq!(evidence.spot_checks.len(), 3);
+    }
+
+    #[test]
+    fn two_phase_reduction_concludes_with_spot_checks() {
+        let evidence = verify_with_reduction(
+            TwoPhaseTm::new,
+            SafetyProperty::StrictSerializability,
+            4,
+            &[(2, 1), (2, 3), (3, 2)],
+        );
+        assert!(evidence.concludes());
+    }
+}

@@ -1,0 +1,162 @@
+//! Plain-text report tables in the style of the paper's Tables 2 and 3.
+
+use std::fmt;
+
+use crate::liveness::LivenessVerdict;
+use crate::safety::SafetyVerdict;
+
+/// A simple aligned text table.
+///
+/// # Examples
+///
+/// ```
+/// use tm_checker::Table;
+/// let mut t = Table::new("demo", ["tm", "verdict"]);
+/// t.push_row(["seq", "Y"]);
+/// assert!(t.to_string().contains("seq"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new<T, I, S>(title: T, headers: I) -> Self
+    where
+        T: Into<String>,
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Table {
+            title: title.into(),
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn push_row<I, S>(&mut self, row: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.chars().count());
+            }
+        }
+        writeln!(f, "== {} ==", self.title)?;
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, (cell, width)) in cells.iter().zip(&widths).enumerate() {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{cell:width$}")?;
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a set of safety verdicts as the paper's Table 2 ("Y, time" or
+/// "N, counterexample, time").
+pub fn safety_table(title: &str, verdicts: &[SafetyVerdict]) -> Table {
+    let mut table = Table::new(
+        title,
+        ["TM", "Size", "property", "verdict", "time", "counterexample"],
+    );
+    for v in verdicts {
+        let (verdict, cx) = match v.counterexample() {
+            None => ("Y".to_owned(), String::new()),
+            Some(w) => ("N".to_owned(), w.to_string()),
+        };
+        table.push_row([
+            v.tm_name.clone(),
+            v.tm_states.to_string(),
+            v.property.short_name().to_owned(),
+            verdict,
+            format!("{:.2?}", v.check_time),
+            cx,
+        ]);
+    }
+    table
+}
+
+/// Formats a set of liveness verdicts as the paper's Table 3 (loop parts
+/// of the counterexample lassos shown).
+pub fn liveness_table(title: &str, verdicts: &[LivenessVerdict]) -> Table {
+    let mut table = Table::new(
+        title,
+        ["TM algorithm", "property", "verdict", "time", "loop"],
+    );
+    for v in verdicts {
+        let (verdict, lasso) = match v.counterexample() {
+            None => ("Y".to_owned(), String::new()),
+            Some(l) => ("N".to_owned(), l.cycle_notation()),
+        };
+        table.push_row([
+            v.tm_name.clone(),
+            v.property.to_string(),
+            verdict,
+            format!("{:.2?}", v.total_time),
+            lasso,
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment_and_contents() {
+        let mut t = Table::new("x", ["a", "bbbb"]);
+        t.push_row(["yyyy", "z"]);
+        let text = t.to_string();
+        assert!(text.contains("== x =="));
+        assert!(text.contains("yyyy"));
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn width_mismatch_panics() {
+        let mut t = Table::new("x", ["a"]);
+        t.push_row(["1", "2"]);
+    }
+}

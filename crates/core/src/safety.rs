@@ -1,0 +1,305 @@
+//! Safety verification of TM algorithms (§5.4): language inclusion of the
+//! TM applied to the most general program in the deterministic
+//! specification of the property.
+//!
+//! By the reduction theorem (§4, Theorem 1), verifying a structurally
+//! well-behaved TM for two threads and two variables verifies it for all
+//! programs; and since `L(A_cm) ⊆ L(A)` for every contention manager,
+//! verifying the bare TM covers every managed variant.
+
+use std::time::{Duration, Instant};
+
+use tm_algorithms::{most_general_nfa, TmAlgorithm};
+use tm_automata::{check_inclusion, Dfa, InclusionResult};
+use tm_lang::{SafetyProperty, Statement, Word};
+use tm_spec::{canonical_dfa, DetSpec};
+
+/// Which deterministic specification automaton to check against.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum SpecAutomaton {
+    /// The hand-built deterministic specification of paper Algorithm 6
+    /// (validated against the nondeterministic one; state counts match
+    /// the paper).
+    #[default]
+    PaperDeterministic,
+    /// The determinized + minimized nondeterministic specification —
+    /// language-equal by construction, smaller, independent of the
+    /// Algorithm 6 transcription.
+    Canonical,
+}
+
+/// Outcome of a safety check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SafetyOutcome {
+    /// `L(A) ⊆ L(Σᵈ_π)` — the TM ensures the property (for this instance
+    /// size; by Theorem 1 for all sizes if the TM is structurally
+    /// well-behaved).
+    Verified,
+    /// A word produced by the TM that violates the property. The word has
+    /// been re-checked against the definition-level oracle.
+    Violation(Word),
+}
+
+/// Result of [`check_safety`], with the statistics reported in the
+/// paper's Table 2.
+#[derive(Clone, Debug)]
+pub struct SafetyVerdict {
+    /// TM algorithm name.
+    pub tm_name: String,
+    /// The property checked.
+    pub property: SafetyProperty,
+    /// Reachable states of the TM transition system (Table 2 "Size").
+    pub tm_states: usize,
+    /// States of the deterministic specification automaton.
+    pub spec_states: usize,
+    /// Product states explored by the inclusion check.
+    pub product_states: usize,
+    /// Wall-clock time of the inclusion check (excluding automaton
+    /// construction).
+    pub check_time: Duration,
+    /// Wall-clock time of the whole pipeline.
+    pub total_time: Duration,
+    /// The verdict.
+    pub outcome: SafetyOutcome,
+}
+
+impl SafetyVerdict {
+    /// `true` if the property was verified.
+    pub fn holds(&self) -> bool {
+        matches!(self.outcome, SafetyOutcome::Verified)
+    }
+
+    /// The counterexample word, if any.
+    pub fn counterexample(&self) -> Option<&Word> {
+        match &self.outcome {
+            SafetyOutcome::Violation(w) => Some(w),
+            SafetyOutcome::Verified => None,
+        }
+    }
+}
+
+/// A reusable safety checker: the deterministic specification automaton
+/// for one property and instance size, so that several TMs can be checked
+/// without rebuilding it.
+///
+/// # Examples
+///
+/// ```
+/// use tm_checker::SafetyChecker;
+/// use tm_lang::SafetyProperty;
+/// use tm_algorithms::{SequentialTm, TwoPhaseTm};
+///
+/// let checker = SafetyChecker::new(SafetyProperty::Opacity, 2, 2);
+/// assert!(checker.check(&SequentialTm::new(2, 2)).holds());
+/// assert!(checker.check(&TwoPhaseTm::new(2, 2)).holds());
+/// ```
+#[derive(Clone, Debug)]
+pub struct SafetyChecker {
+    property: SafetyProperty,
+    threads: usize,
+    vars: usize,
+    spec: Dfa<Statement>,
+    build_time: Duration,
+}
+
+/// Default bound on reachable TM / specification states.
+pub const DEFAULT_MAX_STATES: usize = 10_000_000;
+
+impl SafetyChecker {
+    /// Builds the checker with the paper's deterministic specification.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the instance exceeds 4 threads or the specification
+    /// exceeds [`DEFAULT_MAX_STATES`] states.
+    pub fn new(property: SafetyProperty, threads: usize, vars: usize) -> Self {
+        Self::with_spec(property, threads, vars, SpecAutomaton::PaperDeterministic)
+    }
+
+    /// Builds the checker with an explicit specification flavor.
+    ///
+    /// # Panics
+    ///
+    /// As for [`SafetyChecker::new`].
+    pub fn with_spec(
+        property: SafetyProperty,
+        threads: usize,
+        vars: usize,
+        flavor: SpecAutomaton,
+    ) -> Self {
+        let start = Instant::now();
+        let spec = match flavor {
+            SpecAutomaton::PaperDeterministic => {
+                DetSpec::new(property, threads, vars)
+                    .to_dfa(DEFAULT_MAX_STATES)
+                    .0
+            }
+            SpecAutomaton::Canonical => {
+                canonical_dfa(property, threads, vars, DEFAULT_MAX_STATES)
+            }
+        };
+        SafetyChecker {
+            property,
+            threads,
+            vars,
+            spec,
+            build_time: start.elapsed(),
+        }
+    }
+
+    /// The property this checker decides.
+    pub fn property(&self) -> SafetyProperty {
+        self.property
+    }
+
+    /// Number of threads of the checked instance.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Number of variables of the checked instance.
+    pub fn vars(&self) -> usize {
+        self.vars
+    }
+
+    /// The specification automaton.
+    pub fn spec(&self) -> &Dfa<Statement> {
+        &self.spec
+    }
+
+    /// Time spent constructing the specification automaton.
+    pub fn build_time(&self) -> Duration {
+        self.build_time
+    }
+
+    /// Checks `L(A) ⊆ L(Σᵈ_π)` for the TM applied to the most general
+    /// program of this instance size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tm`'s instance size disagrees with the checker's, or
+    /// the TM's reachable state space exceeds [`DEFAULT_MAX_STATES`].
+    pub fn check<A: TmAlgorithm>(&self, tm: &A) -> SafetyVerdict {
+        assert_eq!(tm.threads(), self.threads, "thread count mismatch");
+        assert_eq!(tm.vars(), self.vars, "variable count mismatch");
+        let total = Instant::now();
+        let explored = most_general_nfa(tm, DEFAULT_MAX_STATES);
+        let check_start = Instant::now();
+        let result = check_inclusion(&explored.nfa, &self.spec);
+        let check_time = check_start.elapsed();
+        let (outcome, product_states) = match result {
+            InclusionResult::Included { product_states } => {
+                (SafetyOutcome::Verified, product_states)
+            }
+            InclusionResult::Counterexample {
+                word,
+                product_states,
+            } => {
+                let word: Word = word.into_iter().collect();
+                debug_assert!(
+                    !self.property.holds(&word),
+                    "counterexample not confirmed by the reference checker: {word}"
+                );
+                (SafetyOutcome::Violation(word), product_states)
+            }
+        };
+        SafetyVerdict {
+            tm_name: tm.name(),
+            property: self.property,
+            tm_states: explored.num_states(),
+            spec_states: self.spec.num_states(),
+            product_states,
+            check_time,
+            total_time: total.elapsed(),
+            outcome,
+        }
+    }
+}
+
+/// One-shot convenience wrapper: builds the specification for the TM's own
+/// instance size and checks it.
+///
+/// # Panics
+///
+/// As for [`SafetyChecker::check`].
+///
+/// # Examples
+///
+/// ```
+/// use tm_checker::check_safety;
+/// use tm_lang::SafetyProperty;
+/// use tm_algorithms::{Tl2Tm, ValidationStyle};
+///
+/// // The paper's modified TL2 (split validation, unsafe order) is not
+/// // strictly serializable:
+/// let modified = Tl2Tm::with_validation(2, 2, ValidationStyle::RValidateThenChkLock);
+/// let verdict = check_safety(&modified, SafetyProperty::StrictSerializability);
+/// assert!(!verdict.holds());
+/// ```
+pub fn check_safety<A: TmAlgorithm>(tm: &A, property: SafetyProperty) -> SafetyVerdict {
+    SafetyChecker::new(property, tm.threads(), tm.vars()).check(tm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_algorithms::{
+        DstmTm, PoliteCm, SequentialTm, Tl2Tm, TwoPhaseTm, ValidationStyle,
+        WithContentionManager,
+    };
+    use tm_lang::is_strictly_serializable;
+
+    #[test]
+    fn sequential_tm_is_opaque() {
+        let verdict = check_safety(&SequentialTm::new(2, 2), SafetyProperty::Opacity);
+        assert!(verdict.holds());
+        assert_eq!(verdict.tm_states, 3);
+    }
+
+    #[test]
+    fn two_phase_is_opaque() {
+        let checker = SafetyChecker::new(SafetyProperty::Opacity, 2, 2);
+        let verdict = checker.check(&TwoPhaseTm::new(2, 2));
+        assert!(verdict.holds(), "{:?}", verdict.counterexample());
+    }
+
+    #[test]
+    fn dstm_is_strictly_serializable_and_opaque() {
+        for p in SafetyProperty::all() {
+            let verdict = check_safety(&DstmTm::new(2, 2), p);
+            assert!(verdict.holds(), "{p:?}: {:?}", verdict.counterexample());
+        }
+    }
+
+    #[test]
+    fn modified_tl2_with_polite_has_counterexample() {
+        let tm = WithContentionManager::new(
+            Tl2Tm::with_validation(2, 2, ValidationStyle::RValidateThenChkLock),
+            PoliteCm,
+        );
+        let verdict = check_safety(&tm, SafetyProperty::StrictSerializability);
+        let word = verdict.counterexample().expect("must be unsafe");
+        assert!(!is_strictly_serializable(word));
+        // The paper's w1 has length 6; BFS returns a shortest violation.
+        assert!(word.len() <= 6, "counterexample too long: {word}");
+    }
+
+    #[test]
+    fn canonical_spec_gives_same_verdicts() {
+        for flavor in [SpecAutomaton::PaperDeterministic, SpecAutomaton::Canonical] {
+            let checker =
+                SafetyChecker::with_spec(SafetyProperty::Opacity, 2, 2, flavor);
+            assert!(checker.check(&TwoPhaseTm::new(2, 2)).holds());
+            let modified =
+                Tl2Tm::with_validation(2, 2, ValidationStyle::RValidateThenChkLock);
+            assert!(!checker.check(&modified).holds());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "thread count mismatch")]
+    fn size_mismatch_is_rejected() {
+        let checker = SafetyChecker::new(SafetyProperty::Opacity, 2, 2);
+        let _ = checker.check(&SequentialTm::new(3, 2));
+    }
+}

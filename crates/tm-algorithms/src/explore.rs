@@ -1,0 +1,230 @@
+//! Applying a TM algorithm to the *most general program* (§3.2): from
+//! every state, every thread may issue every enabled command, and the TM
+//! answers by any of its transitions.
+//!
+//! Two views of the resulting transition system are produced:
+//!
+//! * the **word-level** NFA over statements `Ŝ` — internal (`⊥`-response)
+//!   steps become ε-moves, completions emit `(c, t)`, aborts emit
+//!   `(abort, t)`; its language is `L(A)`, the input to the safety checks;
+//! * the **run-level** graph, in which every atomic step (including
+//!   internal ones) is an edge labelled with thread, command, and action —
+//!   the input to the liveness loop search of §6.
+
+use tm_lang::{Command, Statement, ThreadId};
+
+use tm_automata::{explore, Explored, LabeledGraph, TransitionSystem};
+
+use crate::algorithm::{Action, TmAlgorithm, TmState};
+
+/// Word-level view: labels are statements, internal steps are ε.
+struct WordLevel<'a, A>(&'a A);
+
+impl<A: TmAlgorithm> TransitionSystem for WordLevel<'_, A> {
+    type State = A::State;
+    type Label = Statement;
+
+    fn initial(&self) -> A::State {
+        self.0.initial_state()
+    }
+
+    fn successors(&self, state: &A::State, out: &mut Vec<(Option<Statement>, A::State)>) {
+        for t in self.0.thread_ids() {
+            for c in self.0.enabled_commands(state, t) {
+                for step in self.0.steps(state, c, t) {
+                    out.push((step.action.statement(c, t), step.next));
+                }
+            }
+        }
+    }
+}
+
+/// Explores `L(A)` for the most general program as an NFA over statements.
+///
+/// The returned [`Explored`] keeps the TM states behind the automaton ids,
+/// and its `nfa.num_states()` is the "Size" column of the paper's Table 2.
+///
+/// # Panics
+///
+/// Panics if the reachable state space exceeds `max_states`.
+///
+/// # Examples
+///
+/// ```
+/// use tm_algorithms::{most_general_nfa, SequentialTm};
+///
+/// let explored = most_general_nfa(&SequentialTm::new(2, 2), 100);
+/// assert_eq!(explored.num_states(), 3); // paper Table 2, row "seq"
+/// assert!(explored.nfa.accepts(&"(r,1)1 c1".parse::<tm_lang::Word>()
+///     .unwrap().statements().to_vec()));
+/// ```
+pub fn most_general_nfa<A: TmAlgorithm>(
+    tm: &A,
+    max_states: usize,
+) -> Explored<A::State, Statement> {
+    explore(&WordLevel(tm), max_states)
+}
+
+/// An edge of the run-level transition graph: one atomic TM step.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct RunLabel {
+    /// The scheduled thread.
+    pub thread: ThreadId,
+    /// The command being executed.
+    pub command: Command,
+    /// The atomic action taken.
+    pub action: Action,
+}
+
+impl RunLabel {
+    /// `true` if this step aborts a transaction (response 0).
+    pub fn is_abort(self) -> bool {
+        self.action.is_abort()
+    }
+
+    /// `true` if this step completes a commit command (a commit
+    /// statement).
+    pub fn is_commit(self) -> bool {
+        matches!(self.action, Action::Complete(_)) && self.command == Command::Commit
+    }
+
+    /// The word-level statement emitted by this step, if any.
+    pub fn statement(self) -> Option<Statement> {
+        self.action.statement(self.command, self.thread)
+    }
+}
+
+impl std::fmt::Display for RunLabel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.action {
+            Action::Abort => write!(f, "a{}", self.thread.number()),
+            Action::Internal(d) | Action::Complete(d) => {
+                write!(f, "{}{}", d, self.thread.number())
+            }
+        }
+    }
+}
+
+/// Run-level view: every step is a labelled edge.
+struct RunLevel<'a, A>(&'a A);
+
+impl<A: TmAlgorithm> TransitionSystem for RunLevel<'_, A> {
+    type State = A::State;
+    type Label = RunLabel;
+
+    fn initial(&self) -> A::State {
+        self.0.initial_state()
+    }
+
+    fn successors(&self, state: &A::State, out: &mut Vec<(Option<RunLabel>, A::State)>) {
+        for t in self.0.thread_ids() {
+            for c in self.0.enabled_commands(state, t) {
+                for step in self.0.steps(state, c, t) {
+                    let label = RunLabel {
+                        thread: t,
+                        command: c,
+                        action: step.action,
+                    };
+                    out.push((Some(label), step.next));
+                }
+            }
+        }
+    }
+}
+
+/// The run-level transition graph of the TM on the most general program,
+/// plus the interned TM states.
+///
+/// # Panics
+///
+/// Panics if the reachable state space exceeds `max_states`.
+pub fn most_general_run_graph<A: TmAlgorithm>(
+    tm: &A,
+    max_states: usize,
+) -> (LabeledGraph<RunLabel>, Vec<A::State>) {
+    let explored = explore(&RunLevel(tm), max_states);
+    let mut graph = LabeledGraph::new(explored.num_states());
+    for from in 0..explored.num_states() {
+        for (label, to) in explored.nfa.transitions_from(from) {
+            let label = label.expect("run-level edges are always labelled");
+            graph.add_edge(from, label, *to);
+        }
+    }
+    (graph, explored.states)
+}
+
+/// Checks that an exploration never produced a state whose pending command
+/// disagrees with its outgoing transitions — a structural sanity check of
+/// the formalism's γ-rules, used in tests.
+pub fn check_pending_invariant<A: TmAlgorithm>(tm: &A, states: &[A::State]) -> bool {
+    states.iter().all(|q| {
+        tm.thread_ids().iter().all(|&t| {
+            match q.pending(t) {
+                // A pending command restricts the thread to that command.
+                Some(c) => tm.enabled_commands(q, t) == vec![c],
+                None => tm.enabled_commands(q, t).len() == Command::all(tm.vars()).count(),
+            }
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sequential::SequentialTm;
+    use crate::two_phase::TwoPhaseTm;
+    use tm_lang::Word;
+
+    fn word(s: &str) -> Vec<Statement> {
+        s.parse::<Word>().unwrap().statements().to_vec()
+    }
+
+    #[test]
+    fn sequential_language_contains_table1_words() {
+        let explored = most_general_nfa(&SequentialTm::new(2, 2), 100);
+        assert!(explored.nfa.accepts(&word("(r,1)1 (w,2)1 c1 (w,1)2 c2")));
+        assert!(explored.nfa.accepts(&word("(r,1)1 (w,2)1 a2 c1 (w,1)2 c2")));
+        // Interleaving two open transactions is impossible:
+        assert!(!explored.nfa.accepts(&word("(r,1)1 (w,1)2")));
+    }
+
+    #[test]
+    fn two_phase_language_contains_table1_words() {
+        let explored = most_general_nfa(&TwoPhaseTm::new(2, 2), 10_000);
+        assert!(explored.nfa.accepts(&word("(r,1)1 (w,2)1 c1")));
+        assert!(explored.nfa.accepts(&word("a2 (r,1)1 (w,2)1 c1")));
+        // A read of a write-locked variable cannot succeed:
+        assert!(!explored.nfa.accepts(&word("(w,1)1 (r,1)2")));
+        // ... but both threads can read-share:
+        assert!(explored.nfa.accepts(&word("(r,1)1 (r,1)2 c1 c2")));
+    }
+
+    #[test]
+    fn run_graph_and_nfa_have_same_state_count() {
+        let tm = TwoPhaseTm::new(2, 2);
+        let explored = most_general_nfa(&tm, 10_000);
+        let (graph, states) = most_general_run_graph(&tm, 10_000);
+        assert_eq!(explored.num_states(), states.len());
+        assert!(graph.num_edges() >= explored.nfa.num_transitions());
+    }
+
+    #[test]
+    fn pending_invariant_holds_for_all_tms() {
+        let tm = TwoPhaseTm::new(2, 2);
+        let (_, states) = most_general_run_graph(&tm, 10_000);
+        assert!(check_pending_invariant(&tm, &states));
+    }
+
+    #[test]
+    fn run_label_display() {
+        use crate::algorithm::ExtCommand;
+        use tm_lang::VarId;
+        let label = RunLabel {
+            thread: ThreadId::new(0),
+            command: Command::Read(VarId::new(0)),
+            action: Action::Internal(ExtCommand::RLock(VarId::new(0))),
+        };
+        assert_eq!(label.to_string(), "(rl,1)1");
+        assert!(!label.is_commit());
+    }
+}

@@ -1,0 +1,232 @@
+//! On-the-fly exploration of implicitly defined transition systems.
+//!
+//! TM algorithms and TM specifications are defined by transition *rules*
+//! over structured states (tuples of status functions and variable sets).
+//! [`explore`] interns the reachable states of such a system into an
+//! explicit [`Nfa`], remembering the original state for each id so that
+//! counterexamples and liveness loops can be reported in source terms.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use crate::nfa::{Nfa, StateId};
+
+/// An implicitly defined labelled transition system.
+///
+/// `Label = None` in a successor is an internal (ε) step: in TM-algorithm
+/// terms, an extended command answered with the `⊥` response.
+pub trait TransitionSystem {
+    /// Structured state type.
+    type State: Clone + Eq + Hash;
+    /// Transition label type.
+    type Label: Clone;
+
+    /// The initial state.
+    fn initial(&self) -> Self::State;
+
+    /// Appends all transitions enabled in `state` to `out` as
+    /// `(label, successor)` pairs.
+    fn successors(&self, state: &Self::State, out: &mut Vec<(Option<Self::Label>, Self::State)>);
+}
+
+/// The result of [`explore`]: an explicit automaton plus the interning
+/// table mapping state ids back to the structured states.
+#[derive(Clone, Debug)]
+pub struct Explored<S, L> {
+    /// The reachable portion of the system as an NFA (all states
+    /// accepting).
+    pub nfa: Nfa<L>,
+    /// `states[id]` is the structured state interned as `id`.
+    pub states: Vec<S>,
+}
+
+impl<S, L> Explored<S, L> {
+    /// Number of reachable states.
+    pub fn num_states(&self) -> usize {
+        self.states.len()
+    }
+
+    /// The structured state behind `id`.
+    pub fn state(&self, id: StateId) -> &S {
+        &self.states[id]
+    }
+}
+
+/// Explores the reachable state space of `ts` breadth-first, up to
+/// `max_states` states.
+///
+/// # Panics
+///
+/// Panics if the reachable state space exceeds `max_states` — the
+/// caller's declaration that the instance was expected to be finite and
+/// small (cf. the paper's reduction to two threads and two variables).
+pub fn explore<T: TransitionSystem>(ts: &T, max_states: usize) -> Explored<T::State, T::Label> {
+    let mut nfa = Nfa::new();
+    let mut ids: HashMap<T::State, StateId> = HashMap::new();
+    let mut states: Vec<T::State> = Vec::new();
+
+    let init = ts.initial();
+    let id0 = nfa.add_state();
+    nfa.set_initial(id0);
+    ids.insert(init.clone(), id0);
+    states.push(init);
+
+    let mut head = 0;
+    let mut buf: Vec<(Option<T::Label>, T::State)> = Vec::new();
+    while head < states.len() {
+        let state = states[head].clone();
+        buf.clear();
+        ts.successors(&state, &mut buf);
+        for (label, succ) in buf.drain(..) {
+            let to = match ids.get(&succ) {
+                Some(&id) => id,
+                None => {
+                    assert!(
+                        states.len() < max_states,
+                        "state space exceeded {max_states} states"
+                    );
+                    let id = nfa.add_state();
+                    ids.insert(succ.clone(), id);
+                    states.push(succ);
+                    id
+                }
+            };
+            nfa.add_transition(head, label, to);
+        }
+        head += 1;
+    }
+    Explored { nfa, states }
+}
+
+/// An implicitly defined *deterministic* transition system: at most one
+/// successor per (state, letter), no internal steps.
+pub trait DeterministicTransitionSystem {
+    /// Structured state type.
+    type State: Clone + Eq + Hash;
+    /// Transition label type.
+    type Label: Clone + Eq + Hash;
+
+    /// The initial state.
+    fn initial(&self) -> Self::State;
+
+    /// The successor of `state` under `letter`, or `None` if the letter is
+    /// rejected in `state`.
+    fn step(&self, state: &Self::State, letter: &Self::Label) -> Option<Self::State>;
+}
+
+/// Explores a deterministic system over `alphabet` into a [`Dfa`],
+/// breadth-first, up to `max_states` states.
+///
+/// # Panics
+///
+/// Panics if the reachable state space exceeds `max_states`.
+pub fn explore_deterministic<T: DeterministicTransitionSystem>(
+    ts: &T,
+    alphabet: Vec<T::Label>,
+    max_states: usize,
+) -> (crate::dfa::Dfa<T::Label>, Vec<T::State>) {
+    let mut dfa = crate::dfa::Dfa::new(alphabet);
+    let mut ids: HashMap<T::State, StateId> = HashMap::new();
+    let mut states: Vec<T::State> = Vec::new();
+
+    let init = ts.initial();
+    let q0 = dfa.add_state();
+    dfa.set_initial(q0);
+    ids.insert(init.clone(), q0);
+    states.push(init);
+
+    let mut head = 0;
+    while head < states.len() {
+        let state = states[head].clone();
+        for li in 0..dfa.alphabet().len() {
+            let letter = dfa.alphabet()[li].clone();
+            let Some(succ) = ts.step(&state, &letter) else {
+                continue;
+            };
+            let to = match ids.get(&succ) {
+                Some(&id) => id,
+                None => {
+                    assert!(
+                        states.len() < max_states,
+                        "state space exceeded {max_states} states"
+                    );
+                    let id = dfa.add_state();
+                    ids.insert(succ.clone(), id);
+                    states.push(succ);
+                    id
+                }
+            };
+            dfa.set_transition(head, &letter, to);
+        }
+        head += 1;
+    }
+    (dfa, states)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Counter modulo `n`, incremented by 'i' with an ε-reset to 0.
+    struct ModCounter {
+        n: u32,
+    }
+
+    impl TransitionSystem for ModCounter {
+        type State = u32;
+        type Label = char;
+
+        fn initial(&self) -> u32 {
+            0
+        }
+
+        fn successors(&self, state: &u32, out: &mut Vec<(Option<char>, u32)>) {
+            out.push((Some('i'), (state + 1) % self.n));
+            if *state != 0 {
+                out.push((None, 0));
+            }
+        }
+    }
+
+    #[test]
+    fn explores_all_residues() {
+        let explored = explore(&ModCounter { n: 5 }, 100);
+        assert_eq!(explored.num_states(), 5);
+        assert_eq!(explored.nfa.num_epsilon_transitions(), 4);
+        assert_eq!(*explored.state(0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeded")]
+    fn state_bound_enforced() {
+        let _ = explore(&ModCounter { n: 100 }, 10);
+    }
+
+    struct Parity;
+
+    impl DeterministicTransitionSystem for Parity {
+        type State = bool;
+        type Label = char;
+
+        fn initial(&self) -> bool {
+            false
+        }
+
+        fn step(&self, state: &bool, letter: &char) -> Option<bool> {
+            match letter {
+                'f' => Some(!state),
+                'z' if !state => Some(*state), // 'z' only allowed when even
+                _ => None,
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_exploration() {
+        let (dfa, states) = explore_deterministic(&Parity, vec!['f', 'z'], 10);
+        assert_eq!(dfa.num_states(), 2);
+        assert_eq!(states.len(), 2);
+        assert!(dfa.accepts(&['f', 'f', 'z']));
+        assert!(!dfa.accepts(&['f', 'z']));
+    }
+}

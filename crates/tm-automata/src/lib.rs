@@ -1,0 +1,67 @@
+//! # tm-automata — finite automata and graph algorithms
+//!
+//! The automata-theoretic substrate of the *tm-modelcheck* workspace
+//! (reproduction of *"Model Checking Transactional Memories"*, Guerraoui,
+//! Henzinger, Singh). All languages in this domain are prefix-closed run
+//! languages, so every automaton here has **all states accepting** and a
+//! possibly partial transition structure.
+//!
+//! Provided machinery:
+//!
+//! * [`Nfa`] with ε-moves and [`Dfa`] with subset-construction
+//!   [`Dfa::determinize`] and Moore [`Dfa::minimize`];
+//! * on-the-fly state-space exploration of rule-defined systems
+//!   ([`TransitionSystem`] / [`explore`],
+//!   [`DeterministicTransitionSystem`] / [`explore_deterministic`]);
+//! * linear-time inclusion against a deterministic specification
+//!   ([`check_inclusion`]) with shortest counterexamples;
+//! * antichain-based inclusion and equivalence between nondeterministic
+//!   automata ([`check_inclusion_antichain`],
+//!   [`check_equivalence_antichain`]) in the style of De Wulf et al.;
+//! * labelled graphs, iterative Tarjan SCCs, and constrained closed-walk
+//!   construction for liveness lassos ([`LabeledGraph`],
+//!   [`strongly_connected_components`], [`closed_walk_through`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use tm_automata::{check_inclusion, Dfa, Nfa};
+//!
+//! // Implementation: emits `a` or `b`; specification allows only `a`.
+//! let mut imp = Nfa::new();
+//! let s = imp.add_state();
+//! imp.set_initial(s);
+//! imp.add_transition(s, Some('a'), s);
+//! imp.add_transition(s, Some('b'), s);
+//!
+//! let mut spec = Dfa::new(vec!['a', 'b']);
+//! let q = spec.add_state();
+//! spec.set_initial(q);
+//! spec.set_transition(q, &'a', q);
+//!
+//! let verdict = check_inclusion(&imp, &spec);
+//! assert_eq!(verdict.counterexample(), Some(&['b'][..]));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod antichain;
+mod bitset;
+mod dfa;
+mod explore;
+mod graph;
+mod inclusion;
+mod nfa;
+
+pub use antichain::{check_equivalence_antichain, check_inclusion_antichain, EquivalenceResult};
+pub use bitset::{BitSet, Iter as BitSetIter};
+pub use dfa::Dfa;
+pub use explore::{
+    explore, explore_deterministic, DeterministicTransitionSystem, Explored, TransitionSystem,
+};
+pub use graph::{
+    closed_walk_through, strongly_connected_components, LabeledGraph, Sccs,
+};
+pub use inclusion::{check_inclusion, InclusionResult};
+pub use nfa::{Nfa, StateId};

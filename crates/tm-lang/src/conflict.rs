@@ -1,0 +1,273 @@
+//! Conflicts between statements and strict equivalence of words (§2).
+//!
+//! The paper adopts *deferred-update* semantics: the writes of a
+//! transaction become globally visible at its commit. Consequently two
+//! statements of different transactions conflict iff
+//!
+//! 1. one is a *global read* of a variable `v` and the other is the commit
+//!    of a transaction that writes `v`, or
+//! 2. both are commits of transactions that write a common variable.
+
+use crate::ids::ThreadId;
+use crate::statement::StatementKind;
+use crate::transaction::{transaction_of, transactions, Transaction};
+use crate::word::Word;
+
+/// Precomputed per-word context used by conflict queries: the transactions
+/// of the word and the owner transaction of every statement.
+#[derive(Clone, Debug)]
+pub struct WordContext<'w> {
+    word: &'w Word,
+    txns: Vec<Transaction>,
+    owner: Vec<usize>,
+}
+
+impl<'w> WordContext<'w> {
+    /// Analyzes `word` (splits it into transactions).
+    pub fn new(word: &'w Word) -> Self {
+        let txns = transactions(word);
+        let owner = transaction_of(word, &txns);
+        WordContext { word, txns, owner }
+    }
+
+    /// The underlying word.
+    pub fn word(&self) -> &'w Word {
+        self.word
+    }
+
+    /// The transactions of the word, ordered by first statement.
+    pub fn transactions(&self) -> &[Transaction] {
+        &self.txns
+    }
+
+    /// Index (into [`Self::transactions`]) of the transaction owning the
+    /// statement at word index `i`.
+    pub fn owner(&self, i: usize) -> usize {
+        self.owner[i]
+    }
+
+    /// Whether the statements at word indices `i` and `j` *conflict*
+    /// (symmetric; `false` when they belong to the same transaction).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tm_lang::{Word, WordContext};
+    /// let w: Word = "(r,1)1 (w,1)2 c2 c1".parse()?;
+    /// let ctx = WordContext::new(&w);
+    /// // t1's global read of v1 conflicts with t2's commit (t2 writes v1).
+    /// assert!(ctx.conflicting(0, 2));
+    /// assert!(!ctx.conflicting(0, 3)); // same transaction as index 0
+    /// # Ok::<(), tm_lang::ParseStatementError>(())
+    /// ```
+    pub fn conflicting(&self, i: usize, j: usize) -> bool {
+        if self.owner[i] == self.owner[j] {
+            return false;
+        }
+        self.read_vs_commit(i, j) || self.read_vs_commit(j, i) || self.commit_vs_commit(i, j)
+    }
+
+    /// Case (i): statement `i` is a global read of `v` and statement `j` is
+    /// the commit of a transaction writing `v`.
+    fn read_vs_commit(&self, i: usize, j: usize) -> bool {
+        let StatementKind::Read(v) = self.word[i].kind else {
+            return false;
+        };
+        if self.word[j].kind != StatementKind::Commit {
+            return false;
+        }
+        let x = &self.txns[self.owner[i]];
+        let y = &self.txns[self.owner[j]];
+        x.is_global_read(self.word, i) && y.writes(self.word).contains(v)
+    }
+
+    /// Case (ii): both statements are commits of transactions writing a
+    /// common variable.
+    fn commit_vs_commit(&self, i: usize, j: usize) -> bool {
+        if self.word[i].kind != StatementKind::Commit || self.word[j].kind != StatementKind::Commit
+        {
+            return false;
+        }
+        let x = &self.txns[self.owner[i]];
+        let y = &self.txns[self.owner[j]];
+        !x.writes(self.word).is_disjoint(y.writes(self.word))
+    }
+
+    /// All conflicting index pairs `(i, j)` with `i < j`.
+    pub fn conflict_pairs(&self) -> Vec<(usize, usize)> {
+        let n = self.word.len();
+        let mut out = Vec::new();
+        for i in 0..n {
+            for j in i + 1..n {
+                if self.conflicting(i, j) {
+                    out.push((i, j));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Whether `a` and `b` are *strictly equivalent* (§2): same thread
+/// projections, conflicting statements of `a` keep their order in `b`, and
+/// the precedence of committing/aborting transactions is not inverted.
+///
+/// # Examples
+///
+/// ```
+/// use tm_lang::strictly_equivalent;
+/// let interleaved = "(r,1)1 (w,1)2 c1 c2".parse()?;
+/// let sequential = "(r,1)1 c1 (w,1)2 c2".parse()?;
+/// assert!(strictly_equivalent(&interleaved, &sequential));
+/// # Ok::<(), tm_lang::ParseStatementError>(())
+/// ```
+pub fn strictly_equivalent(a: &Word, b: &Word) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    // (i) Equal thread projections, and the statement correspondence they
+    // induce: the m-th statement of thread t in `a` maps to the m-th
+    // statement of t in `b`.
+    let mut pos_b = vec![usize::MAX; a.len()];
+    for t in 0..16 {
+        let t = ThreadId::new(t);
+        let ia: Vec<usize> = (0..a.len()).filter(|&i| a[i].thread == t).collect();
+        let ib: Vec<usize> = (0..b.len()).filter(|&i| b[i].thread == t).collect();
+        if ia.len() != ib.len() {
+            return false;
+        }
+        for (&i, &j) in ia.iter().zip(&ib) {
+            if a[i].kind != b[j].kind {
+                return false;
+            }
+            pos_b[i] = j;
+        }
+    }
+    // (ii) Conflict order preserved.
+    let ctx = WordContext::new(a);
+    for (i, j) in ctx.conflict_pairs() {
+        if pos_b[i] >= pos_b[j] {
+            return false;
+        }
+    }
+    // (iii) Precedence of committing/aborting transactions preserved: the
+    // m-th transaction of thread t in `a` corresponds to the m-th
+    // transaction of t in `b` (equal thread projections guarantee the
+    // counts match; both lists are ordered by first statement, so zipping
+    // per thread gives the correspondence).
+    let txns_a = ctx.transactions();
+    let txns_b = transactions(b);
+    let mut txn_map = vec![usize::MAX; txns_a.len()];
+    for t in (0..16).map(ThreadId::new) {
+        let ia: Vec<usize> = (0..txns_a.len()).filter(|&i| txns_a[i].thread() == t).collect();
+        let ib: Vec<usize> = (0..txns_b.len()).filter(|&i| txns_b[i].thread() == t).collect();
+        if ia.len() != ib.len() {
+            return false;
+        }
+        for (&i, &j) in ia.iter().zip(&ib) {
+            txn_map[i] = j;
+        }
+    }
+    for (xi, x) in txns_a.iter().enumerate() {
+        if x.is_unfinished() {
+            continue;
+        }
+        for (yi, y) in txns_a.iter().enumerate() {
+            if xi == yi || !x.precedes(y) {
+                continue;
+            }
+            if txns_b[txn_map[yi]].precedes(&txns_b[txn_map[xi]]) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(s: &str) -> Word {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn read_commit_conflict_requires_writer() {
+        let word = w("(r,1)1 (r,2)2 c2 c1");
+        let ctx = WordContext::new(&word);
+        // t2 writes nothing, so its commit does not conflict with t1's read.
+        assert!(!ctx.conflicting(0, 2));
+    }
+
+    #[test]
+    fn commit_commit_conflict_on_shared_write() {
+        let word = w("(w,1)1 (w,1)2 c1 c2");
+        let ctx = WordContext::new(&word);
+        assert!(ctx.conflicting(2, 3));
+        assert_eq!(ctx.conflict_pairs(), vec![(2, 3)]);
+    }
+
+    #[test]
+    fn no_conflict_on_distinct_vars() {
+        let word = w("(w,1)1 (w,2)2 c1 c2");
+        let ctx = WordContext::new(&word);
+        assert!(ctx.conflict_pairs().is_empty());
+    }
+
+    #[test]
+    fn local_read_does_not_conflict() {
+        // t1 writes v1 before reading it: the read is not global.
+        let word = w("(w,1)1 (r,1)1 (w,1)2 c2 c1");
+        let ctx = WordContext::new(&word);
+        assert!(!ctx.conflicting(1, 3));
+        // ... but the commits conflict (both write v1).
+        assert!(ctx.conflicting(3, 4));
+    }
+
+    #[test]
+    fn aborting_reader_conflicts_with_committing_writer() {
+        let word = w("(r,1)1 (w,1)2 c2 a1");
+        let ctx = WordContext::new(&word);
+        assert!(ctx.conflicting(0, 2));
+    }
+
+    #[test]
+    fn strictly_equivalent_identity() {
+        let word = w("(r,1)1 (w,1)2 c1 c2");
+        assert!(strictly_equivalent(&word, &word));
+    }
+
+    #[test]
+    fn strictly_equivalent_rejects_conflict_reorder() {
+        // The read of v1 happens before t2's commit; a reordering that puts
+        // the commit first is not strictly equivalent.
+        let a = w("(r,1)1 (w,1)2 c2 c1");
+        let b = w("(w,1)2 c2 (r,1)1 c1");
+        assert!(!strictly_equivalent(&a, &b));
+    }
+
+    #[test]
+    fn strictly_equivalent_rejects_precedence_inversion() {
+        // t1's transaction finishes before t2's starts in `a`.
+        let a = w("(r,1)1 c1 (r,2)2 c2");
+        let b = w("(r,2)2 c2 (r,1)1 c1");
+        assert!(!strictly_equivalent(&a, &b));
+    }
+
+    #[test]
+    fn strictly_equivalent_allows_unfinished_reorder() {
+        // t1's transaction is unfinished, so its precedence imposes nothing.
+        let a = w("(r,2)1 (r,1)2 c2");
+        let b = w("(r,1)2 c2 (r,2)1");
+        assert!(strictly_equivalent(&a, &b));
+    }
+
+    #[test]
+    fn strictly_equivalent_requires_same_projections() {
+        let a = w("(r,1)1 c1");
+        let b = w("(r,2)1 c1");
+        assert!(!strictly_equivalent(&a, &b));
+        assert!(!strictly_equivalent(&a, &w("(r,1)1")));
+    }
+}

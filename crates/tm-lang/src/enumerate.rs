@@ -1,0 +1,191 @@
+//! Enumeration and sampling of words, for bounded-exhaustive and
+//! property-based testing.
+
+use crate::statement::{Alphabet, Statement};
+use crate::word::Word;
+
+/// Iterator over **all** words of length at most `max_len` over an
+/// alphabet, in length-lexicographic order (shortest first).
+///
+/// The count grows as `|Ŝ|^len`; with two threads and two variables
+/// (`|Ŝ| = 12`) lengths up to 5–6 are practical in tests.
+///
+/// # Examples
+///
+/// ```
+/// use tm_lang::{words_up_to, Alphabet};
+/// let n = words_up_to(Alphabet::new(1, 1), 2).count();
+/// // |Ŝ| = 4 (read, write, commit, abort): 1 + 4 + 16 words.
+/// assert_eq!(n, 21);
+/// ```
+pub fn words_up_to(alphabet: Alphabet, max_len: usize) -> WordsUpTo {
+    WordsUpTo {
+        letters: alphabet.statements().collect(),
+        max_len,
+        stack: Vec::new(),
+        current: Word::new(),
+        emitted_current: false,
+        done: false,
+    }
+}
+
+/// Iterator produced by [`words_up_to`].
+#[derive(Clone, Debug)]
+pub struct WordsUpTo {
+    letters: Vec<Statement>,
+    max_len: usize,
+    stack: Vec<usize>,
+    current: Word,
+    emitted_current: bool,
+    done: bool,
+}
+
+impl Iterator for WordsUpTo {
+    type Item = Word;
+
+    fn next(&mut self) -> Option<Word> {
+        if self.done {
+            return None;
+        }
+        if !self.emitted_current {
+            self.emitted_current = true;
+            return Some(self.current.clone()); // the empty word
+        }
+        // Depth-first pre-order successor: descend if the word can grow,
+        // otherwise advance the last letter, backtracking past exhausted
+        // positions.
+        if self.current.len() < self.max_len {
+            self.stack.push(0);
+            self.current.push(self.letters[0]);
+            return Some(self.current.clone());
+        }
+        loop {
+            let Some(top) = self.stack.pop() else {
+                self.done = true;
+                return None;
+            };
+            self.current.pop();
+            if top + 1 < self.letters.len() {
+                self.stack.push(top + 1);
+                self.current.push(self.letters[top + 1]);
+                return Some(self.current.clone());
+            }
+        }
+    }
+}
+
+/// Depth-first enumeration of words with **pruning**: `visit` is called for
+/// every word reachable by extending the empty word one statement at a
+/// time; returning `false` stops the descent below that word.
+///
+/// This is the workhorse of the spec-vs-oracle cross-validation: safety
+/// languages are prefix-closed, so subtrees below a rejected word can be
+/// skipped.
+///
+/// # Examples
+///
+/// ```
+/// use tm_lang::{visit_words, Alphabet};
+/// let mut count = 0usize;
+/// // Visit all words up to length 3 in which thread t1 never aborts.
+/// visit_words(Alphabet::new(2, 1), 3, &mut |w| {
+///     let ok = !w.iter().any(|s| s.kind.is_abort() && s.thread.index() == 0);
+///     if ok { count += 1; }
+///     ok
+/// });
+/// assert!(count > 0);
+/// ```
+pub fn visit_words<F: FnMut(&Word) -> bool>(alphabet: Alphabet, max_len: usize, visit: &mut F) {
+    let letters: Vec<Statement> = alphabet.statements().collect();
+    let mut word = Word::new();
+    descend(&letters, max_len, &mut word, visit);
+}
+
+fn descend<F: FnMut(&Word) -> bool>(
+    letters: &[Statement],
+    max_len: usize,
+    word: &mut Word,
+    visit: &mut F,
+) {
+    if word.len() >= max_len {
+        return;
+    }
+    for &s in letters {
+        word.push(s);
+        if visit(word) {
+            descend(letters, max_len, word, visit);
+        }
+        word.pop();
+    }
+}
+
+/// Generates a pseudo-random word of exactly `len` statements, using the
+/// caller-supplied uniform sampler `pick(bound) -> index in 0..bound`.
+///
+/// Accepting a closure keeps `tm-lang` independent of any particular RNG;
+/// tests pass `rand` or `proptest` samplers.
+pub fn random_word<F: FnMut(usize) -> usize>(
+    alphabet: Alphabet,
+    len: usize,
+    mut pick: F,
+) -> Word {
+    let letters: Vec<Statement> = alphabet.statements().collect();
+    (0..len).map(|_| letters[pick(letters.len())]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_match_closed_form() {
+        // |Ŝ| = (2 vars * 2 + 2) * 2 threads = 12 for (2,2).
+        let sigma = Alphabet::new(2, 2);
+        assert_eq!(words_up_to(sigma, 0).count(), 1);
+        assert_eq!(words_up_to(sigma, 1).count(), 13);
+        assert_eq!(words_up_to(sigma, 2).count(), 1 + 12 + 144);
+    }
+
+    #[test]
+    fn enumeration_has_no_duplicates() {
+        let sigma = Alphabet::new(1, 2);
+        let all: Vec<Word> = words_up_to(sigma, 2).collect();
+        let mut dedup = all.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(all.len(), dedup.len());
+    }
+
+    #[test]
+    fn visit_counts_match_enumeration() {
+        let sigma = Alphabet::new(2, 1);
+        let mut visited = 0usize;
+        visit_words(sigma, 2, &mut |_| {
+            visited += 1;
+            true
+        });
+        // words_up_to additionally yields the empty word.
+        assert_eq!(visited + 1, words_up_to(sigma, 2).count());
+    }
+
+    #[test]
+    fn visit_prunes_subtrees() {
+        let sigma = Alphabet::new(1, 1);
+        let mut visited = Vec::new();
+        visit_words(sigma, 2, &mut |w| {
+            visited.push(w.clone());
+            false // never descend
+        });
+        assert_eq!(visited.len(), 4); // exactly the length-1 words
+    }
+
+    #[test]
+    fn random_word_has_requested_length() {
+        let mut state = 7usize;
+        let w = random_word(Alphabet::new(2, 2), 9, |bound| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            state % bound
+        });
+        assert_eq!(w.len(), 9);
+    }
+}

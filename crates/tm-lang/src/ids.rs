@@ -1,0 +1,401 @@
+//! Identifiers for threads and variables, and compact sets thereof.
+//!
+//! The paper fixes a set `V = {1, …, k}` of variables and a set
+//! `T = {1, …, n}` of threads. Both are represented here as 0-based
+//! indices wrapped in newtypes ([`VarId`], [`ThreadId`]); display output is
+//! 1-based to match the paper's notation (`v1`, `t2`).
+
+use std::fmt;
+use std::hash::Hash;
+use std::marker::PhantomData;
+
+/// Common interface of the small integer identifiers used throughout the
+/// workspace ([`ThreadId`] and [`VarId`]).
+///
+/// This trait is sealed: it is not meant to be implemented outside
+/// `tm-lang`.
+pub trait Id: Copy + Eq + Ord + Hash + fmt::Debug + private::Sealed {
+    /// Maximum number of distinct ids (bounded so that [`IdSet`] fits in a
+    /// single machine word).
+    const MAX: usize = 16;
+
+    /// Creates an id from a 0-based index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= Self::MAX`.
+    fn from_index(index: usize) -> Self;
+
+    /// The 0-based index of this id.
+    fn index(self) -> usize;
+}
+
+mod private {
+    pub trait Sealed {}
+    impl Sealed for super::ThreadId {}
+    impl Sealed for super::VarId {}
+}
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(u8);
+
+        impl $name {
+            /// Creates an id from a 0-based index.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `index >= 16`.
+            pub fn new(index: usize) -> Self {
+                assert!(
+                    index < <Self as Id>::MAX,
+                    concat!(stringify!($name), " index {} out of range"),
+                    index
+                );
+                $name(index as u8)
+            }
+
+            /// The 0-based index of this id.
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// The 1-based number used in the paper's notation.
+            pub fn number(self) -> usize {
+                self.0 as usize + 1
+            }
+        }
+
+        impl Id for $name {
+            fn from_index(index: usize) -> Self {
+                Self::new(index)
+            }
+            fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.number())
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::Display::fmt(self, f)
+            }
+        }
+    };
+}
+
+id_type! {
+    /// A thread identifier (`t ∈ T`).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tm_lang::ThreadId;
+    /// let t = ThreadId::new(0);
+    /// assert_eq!(t.number(), 1);
+    /// assert_eq!(t.to_string(), "t1");
+    /// ```
+    ThreadId, "t"
+}
+
+id_type! {
+    /// A shared-variable identifier (`v ∈ V`).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tm_lang::VarId;
+    /// let v = VarId::new(1);
+    /// assert_eq!(v.to_string(), "v2");
+    /// ```
+    VarId, "v"
+}
+
+/// A compact set of identifiers, stored as a 16-bit bitmask.
+///
+/// The TM algorithms and specifications of the paper keep per-thread sets of
+/// variables (read sets, write sets, lock sets, …) and sets of threads
+/// (predecessor sets). Since the reduction theorems bound the interesting
+/// instances at two threads and two variables — and even the scaling
+/// experiments stay tiny — a one-word bitset keeps automaton states `Copy`,
+/// hashable, and cheap to compare.
+///
+/// # Examples
+///
+/// ```
+/// use tm_lang::{VarId, VarSet};
+/// let mut s = VarSet::new();
+/// s.insert(VarId::new(0));
+/// s.insert(VarId::new(1));
+/// assert_eq!(s.len(), 2);
+/// assert!(s.contains(VarId::new(1)));
+/// assert!(!s.remove(VarId::new(2)));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct IdSet<T> {
+    bits: u16,
+    _marker: PhantomData<T>,
+}
+
+/// A set of [`VarId`]s.
+pub type VarSet = IdSet<VarId>;
+/// A set of [`ThreadId`]s.
+pub type ThreadSet = IdSet<ThreadId>;
+
+impl<T: Id> IdSet<T> {
+    /// Creates an empty set.
+    pub const fn new() -> Self {
+        IdSet {
+            bits: 0,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Creates a set containing a single element.
+    pub fn singleton(item: T) -> Self {
+        let mut s = Self::new();
+        s.insert(item);
+        s
+    }
+
+    /// Creates the full set `{0, …, len - 1}`.
+    pub fn full(len: usize) -> Self {
+        assert!(len <= T::MAX);
+        IdSet {
+            bits: if len == 16 { u16::MAX } else { (1u16 << len) - 1 },
+            _marker: PhantomData,
+        }
+    }
+
+    /// Inserts an element; returns `true` if it was newly added.
+    pub fn insert(&mut self, item: T) -> bool {
+        let mask = 1u16 << item.index();
+        let added = self.bits & mask == 0;
+        self.bits |= mask;
+        added
+    }
+
+    /// Removes an element; returns `true` if it was present.
+    pub fn remove(&mut self, item: T) -> bool {
+        let mask = 1u16 << item.index();
+        let present = self.bits & mask != 0;
+        self.bits &= !mask;
+        present
+    }
+
+    /// Tests membership.
+    pub fn contains(self, item: T) -> bool {
+        self.bits & (1u16 << item.index()) != 0
+    }
+
+    /// Number of elements in the set.
+    pub fn len(self) -> usize {
+        self.bits.count_ones() as usize
+    }
+
+    /// `true` if the set has no elements.
+    pub fn is_empty(self) -> bool {
+        self.bits == 0
+    }
+
+    /// Removes all elements.
+    pub fn clear(&mut self) {
+        self.bits = 0;
+    }
+
+    /// Set union.
+    pub fn union(self, other: Self) -> Self {
+        IdSet {
+            bits: self.bits | other.bits,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Set intersection.
+    pub fn intersection(self, other: Self) -> Self {
+        IdSet {
+            bits: self.bits & other.bits,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Set difference (`self \ other`).
+    pub fn difference(self, other: Self) -> Self {
+        IdSet {
+            bits: self.bits & !other.bits,
+            _marker: PhantomData,
+        }
+    }
+
+    /// `true` if the two sets share no element.
+    pub fn is_disjoint(self, other: Self) -> bool {
+        self.bits & other.bits == 0
+    }
+
+    /// `true` if every element of `self` is in `other`.
+    pub fn is_subset(self, other: Self) -> bool {
+        self.bits & !other.bits == 0
+    }
+
+    /// In-place union.
+    pub fn extend_with(&mut self, other: Self) {
+        self.bits |= other.bits;
+    }
+
+    /// Iterates over the elements in increasing index order.
+    pub fn iter(self) -> Iter<T> {
+        Iter {
+            bits: self.bits,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<T: Id> Default for IdSet<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Id> FromIterator<T> for IdSet<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut s = Self::new();
+        for item in iter {
+            s.insert(item);
+        }
+        s
+    }
+}
+
+impl<T: Id> Extend<T> for IdSet<T> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        for item in iter {
+            self.insert(item);
+        }
+    }
+}
+
+impl<T: Id> IntoIterator for IdSet<T> {
+    type Item = T;
+    type IntoIter = Iter<T>;
+    fn into_iter(self) -> Iter<T> {
+        self.iter()
+    }
+}
+
+/// Iterator over the elements of an [`IdSet`], produced by [`IdSet::iter`].
+#[derive(Clone, Debug)]
+pub struct Iter<T> {
+    bits: u16,
+    _marker: PhantomData<T>,
+}
+
+impl<T: Id> Iterator for Iter<T> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        if self.bits == 0 {
+            return None;
+        }
+        let idx = self.bits.trailing_zeros() as usize;
+        self.bits &= self.bits - 1;
+        Some(T::from_index(idx))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.bits.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl<T: Id> ExactSizeIterator for Iter<T> {}
+
+impl<T: Id + fmt::Display> fmt::Display for IdSet<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, item) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{item}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl<T: Id + fmt::Display> fmt::Debug for IdSet<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_display_one_based() {
+        assert_eq!(ThreadId::new(0).to_string(), "t1");
+        assert_eq!(ThreadId::new(3).to_string(), "t4");
+        assert_eq!(VarId::new(1).to_string(), "v2");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn id_out_of_range_panics() {
+        let _ = ThreadId::new(16);
+    }
+
+    #[test]
+    fn set_insert_remove_contains() {
+        let mut s = VarSet::new();
+        assert!(s.is_empty());
+        assert!(s.insert(VarId::new(3)));
+        assert!(!s.insert(VarId::new(3)));
+        assert!(s.contains(VarId::new(3)));
+        assert_eq!(s.len(), 1);
+        assert!(s.remove(VarId::new(3)));
+        assert!(!s.remove(VarId::new(3)));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a: VarSet = [0, 1, 2].into_iter().map(VarId::new).collect();
+        let b: VarSet = [1, 3].into_iter().map(VarId::new).collect();
+        assert_eq!(a.union(b).len(), 4);
+        assert_eq!(a.intersection(b), VarSet::singleton(VarId::new(1)));
+        assert_eq!(a.difference(b).len(), 2);
+        assert!(!a.is_disjoint(b));
+        assert!(a.intersection(b).is_subset(a));
+        assert!(VarSet::new().is_subset(b));
+    }
+
+    #[test]
+    fn set_full_and_iter_order() {
+        let s = ThreadSet::full(3);
+        let v: Vec<usize> = s.iter().map(|t| t.index()).collect();
+        assert_eq!(v, vec![0, 1, 2]);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn set_display() {
+        let s: VarSet = [0, 2].into_iter().map(VarId::new).collect();
+        assert_eq!(s.to_string(), "{v1,v3}");
+        assert_eq!(VarSet::new().to_string(), "{}");
+    }
+
+    #[test]
+    fn set_full_sixteen() {
+        let s = VarSet::full(16);
+        assert_eq!(s.len(), 16);
+    }
+}

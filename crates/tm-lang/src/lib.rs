@@ -1,0 +1,61 @@
+//! # tm-lang — the language of transactional histories
+//!
+//! Foundation crate of the *tm-modelcheck* workspace, a reproduction of
+//! *"Model Checking Transactional Memories"* (Guerraoui, Henzinger, Singh;
+//! PLDI 2008 / extended version). It defines the vocabulary of §2 of the
+//! paper:
+//!
+//! * [`ThreadId`], [`VarId`] and compact [`IdSet`]s;
+//! * [`Command`]s (`C`), [`StatementKind`]s (`Ĉ`), [`Statement`]s (`Ŝ`) and
+//!   the finite [`Alphabet`] for `(n, k)` instances;
+//! * [`Word`]s with thread/variable projections and `com(w)`;
+//! * transactions ([`transactions`], [`Transaction`]) and conflicts under
+//!   deferred-update semantics ([`WordContext`]);
+//! * the safety properties ([`SafetyProperty`]) with two independent
+//!   *reference* decision procedures each — conflict-graph based
+//!   ([`is_strictly_serializable`], [`is_opaque`]) and brute-force
+//!   ([`is_strictly_serializable_brute_force`], [`is_opaque_brute_force`]);
+//! * the liveness properties ([`LivenessProperty`]) on [`Lasso`] words;
+//! * bounded-exhaustive and random word generation ([`words_up_to`],
+//!   [`visit_words`], [`random_word`]).
+//!
+//! # Examples
+//!
+//! Decide the paper's Table 2 counterexample:
+//!
+//! ```
+//! use tm_lang::{is_opaque, is_strictly_serializable, Word};
+//!
+//! let w1: Word = "(w,2)1 (w,1)2 (r,2)2 (r,1)1 c2 c1".parse()?;
+//! assert!(!is_strictly_serializable(&w1));
+//! assert!(!is_opaque(&w1));
+//! # Ok::<(), tm_lang::ParseStatementError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod conflict;
+mod enumerate;
+mod ids;
+mod liveness;
+mod safety;
+mod statement;
+mod transaction;
+mod word;
+
+pub use conflict::{strictly_equivalent, WordContext};
+pub use enumerate::{random_word, visit_words, words_up_to, WordsUpTo};
+pub use ids::{Id, IdSet, Iter as IdSetIter, ThreadId, ThreadSet, VarId, VarSet};
+pub use liveness::{Lasso, LivenessProperty};
+pub use safety::{
+    is_opaque, is_opaque_brute_force, is_strictly_serializable,
+    is_strictly_serializable_brute_force, opacity_witness, serialization_witness,
+    SafetyProperty, SerializationGraph, BRUTE_FORCE_LIMIT,
+};
+pub use statement::{Alphabet, Command, ParseStatementError, Statement, StatementKind};
+pub use transaction::{
+    is_sequential, transaction_of, transaction_projection, transactions, Transaction,
+    TransactionKind,
+};
+pub use word::Word;

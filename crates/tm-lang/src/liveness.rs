@@ -1,0 +1,259 @@
+//! Liveness properties on infinite words, represented as lassos (§2, §6).
+//!
+//! An infinite word produced by a finite-state TM algorithm is ultimately
+//! periodic — a *lasso* `u · vω`. The paper's liveness properties only
+//! depend on which statements occur infinitely often, i.e. on the cycle
+//! part `v`:
+//!
+//! * **obstruction freedom**: for every thread `t`, infinitely many aborts
+//!   of `t` imply infinitely many commits of `t` or infinitely many
+//!   statements of some other thread (a Streett condition);
+//! * **livelock freedom**: infinitely many commits, or some thread has
+//!   infinitely many statements but finitely many aborts;
+//! * **wait freedom**: every thread with infinitely many statements
+//!   commits infinitely often (the paper leaves wait freedom informal —
+//!   "every transaction eventually commits" — this is the standard
+//!   per-thread-progress reading; it implies livelock freedom).
+
+use std::fmt;
+
+use crate::ids::ThreadId;
+use crate::word::Word;
+
+/// An ultimately periodic infinite word `prefix · cycleω`.
+///
+/// # Examples
+///
+/// ```
+/// use tm_lang::{Lasso, LivenessProperty};
+/// // Thread 2 acquires a lock and stalls; thread 1 aborts forever.
+/// let lasso = Lasso::new("(w,1)2".parse()?, "a1".parse()?);
+/// assert!(!lasso.is_obstruction_free());
+/// assert!(!lasso.is_livelock_free());
+/// assert!(!LivenessProperty::WaitFreedom.holds(&lasso));
+/// # Ok::<(), tm_lang::ParseStatementError>(())
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Lasso {
+    prefix: Word,
+    cycle: Word,
+}
+
+impl Lasso {
+    /// Creates a lasso `prefix · cycleω`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycle` is empty (the word would be finite).
+    pub fn new(prefix: Word, cycle: Word) -> Self {
+        assert!(!cycle.is_empty(), "lasso cycle must be non-empty");
+        Lasso { prefix, cycle }
+    }
+
+    /// The finite prefix `u`.
+    pub fn prefix(&self) -> &Word {
+        &self.prefix
+    }
+
+    /// The repeated part `v`.
+    pub fn cycle(&self) -> &Word {
+        &self.cycle
+    }
+
+    /// Unrolls the lasso into a finite word `u · v^repeats`.
+    pub fn unroll(&self, repeats: usize) -> Word {
+        let mut out = self.prefix.clone();
+        for _ in 0..repeats {
+            out.extend(self.cycle.iter().copied());
+        }
+        out
+    }
+
+    fn cycle_has_statement_of(&self, t: ThreadId) -> bool {
+        self.cycle.iter().any(|s| s.thread == t)
+    }
+
+    fn cycle_has_abort_of(&self, t: ThreadId) -> bool {
+        self.cycle.iter().any(|s| s.thread == t && s.kind.is_abort())
+    }
+
+    fn cycle_has_commit_of(&self, t: ThreadId) -> bool {
+        self.cycle
+            .iter()
+            .any(|s| s.thread == t && s.kind.is_commit())
+    }
+
+    /// Obstruction freedom: `⋀_t (□◇(abort,t) → □◇((commit,t) ∨ ⋁_{u≠t} (c,u)))`.
+    pub fn is_obstruction_free(&self) -> bool {
+        self.cycle.iter().all(|s| {
+            let t = s.thread;
+            !self.cycle_has_abort_of(t)
+                || self.cycle_has_commit_of(t)
+                || self.cycle.iter().any(|o| o.thread != t)
+        })
+    }
+
+    /// Livelock freedom: `□◇commit ∨ ⋁_t (□◇(c,t) ∧ ◇□¬(abort,t))`.
+    pub fn is_livelock_free(&self) -> bool {
+        self.cycle.iter().any(|s| s.kind.is_commit())
+            || (0..16).map(ThreadId::new).any(|t| {
+                self.cycle_has_statement_of(t) && !self.cycle_has_abort_of(t)
+            })
+    }
+
+    /// Wait freedom: every thread that takes infinitely many steps commits
+    /// infinitely often.
+    pub fn is_wait_free(&self) -> bool {
+        (0..16).map(ThreadId::new).all(|t| {
+            !self.cycle_has_statement_of(t) || self.cycle_has_commit_of(t)
+        })
+    }
+}
+
+impl fmt::Display for Lasso {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} · ({})ω", self.prefix, self.cycle)
+    }
+}
+
+/// The liveness properties considered by the paper.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum LivenessProperty {
+    /// A transaction running in isolation eventually commits.
+    ObstructionFreedom,
+    /// Some transaction eventually commits.
+    LivelockFreedom,
+    /// Every transaction eventually commits.
+    WaitFreedom,
+}
+
+impl LivenessProperty {
+    /// Decides the property on a lasso.
+    pub fn holds(self, lasso: &Lasso) -> bool {
+        match self {
+            LivenessProperty::ObstructionFreedom => lasso.is_obstruction_free(),
+            LivenessProperty::LivelockFreedom => lasso.is_livelock_free(),
+            LivenessProperty::WaitFreedom => lasso.is_wait_free(),
+        }
+    }
+
+    /// All three properties, weakest first.
+    pub fn all() -> [LivenessProperty; 3] {
+        [
+            LivenessProperty::ObstructionFreedom,
+            LivenessProperty::LivelockFreedom,
+            LivenessProperty::WaitFreedom,
+        ]
+    }
+}
+
+impl fmt::Display for LivenessProperty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LivenessProperty::ObstructionFreedom => write!(f, "obstruction freedom"),
+            LivenessProperty::LivelockFreedom => write!(f, "livelock freedom"),
+            LivenessProperty::WaitFreedom => write!(f, "wait freedom"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lasso(prefix: &str, cycle: &str) -> Lasso {
+        Lasso::new(prefix.parse().unwrap(), cycle.parse().unwrap())
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_cycle_rejected() {
+        let _ = Lasso::new(Word::new(), Word::new());
+    }
+
+    #[test]
+    fn solo_abort_loop_violates_everything() {
+        let l = lasso("(w,1)2", "a1");
+        assert!(!l.is_obstruction_free());
+        assert!(!l.is_livelock_free());
+        assert!(!l.is_wait_free());
+    }
+
+    #[test]
+    fn commit_loop_satisfies_everything() {
+        let l = lasso("", "(r,1)1 c1");
+        assert!(l.is_obstruction_free());
+        assert!(l.is_livelock_free());
+        assert!(l.is_wait_free());
+    }
+
+    #[test]
+    fn mutual_abort_loop_is_of_but_not_lf() {
+        // Paper Table 3, DSTM: the two threads keep aborting each other —
+        // each sees interference (statements of the other thread), so
+        // obstruction freedom holds, but no one ever commits.
+        let l = lasso("", "a1 (r,1)1 a2 (w,1)2");
+        assert!(l.is_obstruction_free());
+        assert!(!l.is_livelock_free());
+        assert!(!l.is_wait_free());
+    }
+
+    #[test]
+    fn one_winner_is_livelock_free_but_not_wait_free() {
+        // t1 commits forever while t2 aborts forever.
+        let l = lasso("", "(w,1)1 c1 (w,1)2 a2");
+        assert!(l.is_obstruction_free());
+        assert!(l.is_livelock_free());
+        assert!(!l.is_wait_free());
+    }
+
+    #[test]
+    fn steps_without_aborts_are_livelock_free_by_second_disjunct() {
+        // t1 keeps reading, never aborts, never commits. Nobody commits,
+        // but t1 has infinitely many statements and finitely many aborts.
+        let l = lasso("", "(r,1)1");
+        assert!(l.is_livelock_free());
+        assert!(!l.is_wait_free());
+    }
+
+    #[test]
+    fn wait_freedom_implies_livelock_freedom() {
+        for (p, c) in [("", "c1"), ("", "(r,1)1 c1 (w,1)2 c2"), ("a1", "c2")] {
+            let l = lasso(p, c);
+            if l.is_wait_free() {
+                assert!(l.is_livelock_free(), "{l}");
+            }
+        }
+    }
+
+    #[test]
+    fn unroll_and_accessors() {
+        let l = lasso("a1", "c2");
+        assert_eq!(l.unroll(2).to_string(), "a1 c2 c2");
+        assert_eq!(l.prefix().len(), 1);
+        assert_eq!(l.cycle().len(), 1);
+        assert_eq!(l.to_string(), "a1 · (c2)ω");
+    }
+
+    #[test]
+    fn aborting_thread_with_interference_is_obstruction_free() {
+        // t1 aborts forever, but t2 keeps taking steps: the Streett pair
+        // for t1 is satisfied by the interference disjunct.
+        let l = lasso("", "a1 (r,1)2");
+        assert!(LivenessProperty::ObstructionFreedom.holds(&l));
+        // t2 steps forever without aborting → livelock free.
+        assert!(LivenessProperty::LivelockFreedom.holds(&l));
+    }
+
+    #[test]
+    fn property_enum() {
+        let l = lasso("", "a1");
+        assert!(!LivenessProperty::ObstructionFreedom.holds(&l));
+        assert!(!LivenessProperty::LivelockFreedom.holds(&l));
+        assert_eq!(
+            LivenessProperty::ObstructionFreedom.to_string(),
+            "obstruction freedom"
+        );
+        assert_eq!(LivenessProperty::all().len(), 3);
+    }
+}

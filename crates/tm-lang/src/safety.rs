@@ -1,0 +1,413 @@
+//! Reference checkers for the safety properties π_ss (strict
+//! serializability) and π_op (opacity).
+//!
+//! These are *definition-level* decision procedures, used as the oracle
+//! against which the finite-state TM specifications of `tm-spec` are
+//! validated:
+//!
+//! * the **conflict-graph** checkers build the precedence/conflict digraph
+//!   over transactions (the classical construction of Papadimitriou [22],
+//!   extended to aborting and unfinished transactions for opacity, cf. §5)
+//!   and test acyclicity;
+//! * the **brute-force** checkers literally search for a sequential witness
+//!   word among all transaction interleavings, using
+//!   [`strictly_equivalent`] — exponential, but an independent oracle for
+//!   the graph construction on small words.
+
+use crate::conflict::{strictly_equivalent, WordContext};
+use crate::transaction::Transaction;
+use crate::word::Word;
+
+/// The two safety properties considered by the paper.
+///
+/// # Examples
+///
+/// ```
+/// use tm_lang::SafetyProperty;
+/// let w = "(r,1)1 (w,1)2 c2 a1".parse()?;
+/// // The aborted read saw a consistent value, and com(w) is trivially
+/// // serializable:
+/// assert!(SafetyProperty::StrictSerializability.holds(&w));
+/// assert!(SafetyProperty::Opacity.holds(&w));
+/// # Ok::<(), tm_lang::ParseStatementError>(())
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum SafetyProperty {
+    /// π_ss: committed transactions appear to execute at indivisible points
+    /// in time, preserving real-time order.
+    StrictSerializability,
+    /// π_op: in addition, aborting (and live) transactions only ever
+    /// observe consistent state.
+    Opacity,
+}
+
+impl SafetyProperty {
+    /// Decides the property for `w` using the conflict-graph construction.
+    pub fn holds(self, w: &Word) -> bool {
+        match self {
+            SafetyProperty::StrictSerializability => is_strictly_serializable(w),
+            SafetyProperty::Opacity => is_opaque(w),
+        }
+    }
+
+    /// Short lowercase name (`"ss"` / `"op"`), as used in reports.
+    pub fn short_name(self) -> &'static str {
+        match self {
+            SafetyProperty::StrictSerializability => "ss",
+            SafetyProperty::Opacity => "op",
+        }
+    }
+
+    /// Both properties, strongest last.
+    pub fn all() -> [SafetyProperty; 2] {
+        [
+            SafetyProperty::StrictSerializability,
+            SafetyProperty::Opacity,
+        ]
+    }
+}
+
+impl std::fmt::Display for SafetyProperty {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SafetyProperty::StrictSerializability => write!(f, "strict serializability"),
+            SafetyProperty::Opacity => write!(f, "opacity"),
+        }
+    }
+}
+
+/// The serialization digraph over the transactions of a word: an edge
+/// `x → y` means `x` must precede `y` in every strictly equivalent
+/// sequential word.
+#[derive(Clone, Debug)]
+pub struct SerializationGraph {
+    /// adjacency\[x\]\[y\] = true iff edge x → y.
+    adjacency: Vec<Vec<bool>>,
+}
+
+impl SerializationGraph {
+    /// Builds the graph for the word itself (opacity view: all
+    /// transactions are nodes; precedence constraints come from committing
+    /// and aborting transactions).
+    pub fn of_word(w: &Word) -> Self {
+        let ctx = WordContext::new(w);
+        Self::build(&ctx)
+    }
+
+    fn build(ctx: &WordContext<'_>) -> Self {
+        let txns = ctx.transactions();
+        let n = txns.len();
+        let mut adjacency = vec![vec![false; n]; n];
+        // Conflict-order edges: a conflicting pair (i, j) with i < j forces
+        // owner(i) before owner(j).
+        for (i, j) in ctx.conflict_pairs() {
+            adjacency[ctx.owner(i)][ctx.owner(j)] = true;
+        }
+        // Precedence edges: a committing or aborting transaction that
+        // finishes before another starts must stay before it.
+        for (xi, x) in txns.iter().enumerate() {
+            if x.is_unfinished() {
+                continue;
+            }
+            for (yi, y) in txns.iter().enumerate() {
+                if xi != yi && x.precedes(y) {
+                    adjacency[xi][yi] = true;
+                }
+            }
+        }
+        SerializationGraph { adjacency }
+    }
+
+    /// Number of nodes (transactions).
+    pub fn len(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// `true` if the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.adjacency.is_empty()
+    }
+
+    /// Whether there is an edge `x → y`.
+    pub fn has_edge(&self, x: usize, y: usize) -> bool {
+        self.adjacency[x][y]
+    }
+
+    /// A topological order of the transactions, or `None` if the graph has
+    /// a cycle.
+    pub fn topological_order(&self) -> Option<Vec<usize>> {
+        let n = self.len();
+        let mut indegree = vec![0usize; n];
+        for row in &self.adjacency {
+            for (count, &edge) in indegree.iter_mut().zip(row) {
+                if edge {
+                    *count += 1;
+                }
+            }
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&x| indegree[x] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(x) = queue.pop() {
+            order.push(x);
+            for (y, &edge) in self.adjacency[x].iter().enumerate() {
+                if edge {
+                    indegree[y] -= 1;
+                    if indegree[y] == 0 {
+                        queue.push(y);
+                    }
+                }
+            }
+        }
+        (order.len() == n).then_some(order)
+    }
+
+    /// `true` iff the graph is acyclic (equivalently: a sequential witness
+    /// exists).
+    pub fn is_acyclic(&self) -> bool {
+        self.topological_order().is_some()
+    }
+}
+
+/// Decides strict serializability of `w` via the conflict graph of
+/// `com(w)`.
+///
+/// # Examples
+///
+/// ```
+/// use tm_lang::is_strictly_serializable;
+/// // Paper Fig. 1(a): three overlapping transactions with a conflict
+/// // cycle x → y → z → x; all commit, so the word is not SS.
+/// let w = "(w,1)2 (r,1)1 (r,2)3 c2 (w,2)1 (r,1)3 c1 c3".parse()?;
+/// assert!(!is_strictly_serializable(&w));
+/// # Ok::<(), tm_lang::ParseStatementError>(())
+/// ```
+pub fn is_strictly_serializable(w: &Word) -> bool {
+    SerializationGraph::of_word(&w.com()).is_acyclic()
+}
+
+/// Decides opacity of `w` via the conflict graph of `w` itself (aborting
+/// and unfinished transactions included).
+///
+/// # Examples
+///
+/// ```
+/// use tm_lang::{is_opaque, is_strictly_serializable};
+/// // Paper Fig. 2(a): the *unfinished* transaction z of t3 reads an
+/// // inconsistent snapshot; w is strictly serializable but not opaque.
+/// let w = "(w,1)2 (r,1)1 (r,2)3 c2 (w,2)1 (r,1)3 c1".parse()?;
+/// assert!(is_strictly_serializable(&w));
+/// assert!(!is_opaque(&w));
+/// # Ok::<(), tm_lang::ParseStatementError>(())
+/// ```
+pub fn is_opaque(w: &Word) -> bool {
+    SerializationGraph::of_word(w).is_acyclic()
+}
+
+/// A sequential word strictly equivalent to `com(w)` (a *serialization
+/// witness*), or `None` if `w` is not strictly serializable.
+pub fn serialization_witness(w: &Word) -> Option<Word> {
+    let u = w.com();
+    let order = SerializationGraph::of_word(&u).topological_order()?;
+    Some(blocks_in_order(&u, &order))
+}
+
+/// A sequential word strictly equivalent to `w` itself (including aborting
+/// and unfinished transactions), or `None` if `w` is not opaque.
+pub fn opacity_witness(w: &Word) -> Option<Word> {
+    let order = SerializationGraph::of_word(w).topological_order()?;
+    Some(blocks_in_order(w, &order))
+}
+
+fn blocks_in_order(w: &Word, order: &[usize]) -> Word {
+    let ctx = WordContext::new(w);
+    let txns = ctx.transactions();
+    let mut out = Word::new();
+    for &x in order {
+        for &i in txns[x].indices() {
+            out.push(w[i]);
+        }
+    }
+    out
+}
+
+/// Maximum number of transactions the brute-force checkers accept before
+/// the factorial search is considered unreasonable.
+pub const BRUTE_FORCE_LIMIT: usize = 8;
+
+/// Decides strict serializability by exhaustively searching for a
+/// sequential witness among all orderings of the committed transactions —
+/// directly implementing the definition of π_ss.
+///
+/// # Panics
+///
+/// Panics if `com(w)` has more than [`BRUTE_FORCE_LIMIT`] transactions.
+pub fn is_strictly_serializable_brute_force(w: &Word) -> bool {
+    let u = w.com();
+    exists_equivalent_sequential(&u)
+}
+
+/// Decides opacity by exhaustively searching for a sequential witness among
+/// all orderings of *all* transactions — directly implementing the
+/// definition of π_op.
+///
+/// # Panics
+///
+/// Panics if `w` has more than [`BRUTE_FORCE_LIMIT`] transactions.
+pub fn is_opaque_brute_force(w: &Word) -> bool {
+    exists_equivalent_sequential(w)
+}
+
+fn exists_equivalent_sequential(w: &Word) -> bool {
+    let ctx = WordContext::new(w);
+    let txns = ctx.transactions();
+    assert!(
+        txns.len() <= BRUTE_FORCE_LIMIT,
+        "brute-force search over {} transactions is unreasonable",
+        txns.len()
+    );
+    let mut order: Vec<usize> = Vec::with_capacity(txns.len());
+    let mut used = vec![false; txns.len()];
+    search(w, txns, &mut order, &mut used)
+}
+
+fn search(w: &Word, txns: &[Transaction], order: &mut Vec<usize>, used: &mut [bool]) -> bool {
+    if order.len() == txns.len() {
+        let candidate = blocks_in_order(w, order);
+        return strictly_equivalent(w, &candidate);
+    }
+    for x in 0..txns.len() {
+        if used[x] {
+            continue;
+        }
+        used[x] = true;
+        order.push(x);
+        if search(w, txns, order, used) {
+            return true;
+        }
+        order.pop();
+        used[x] = false;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(s: &str) -> Word {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn empty_word_is_safe() {
+        assert!(is_strictly_serializable(&Word::new()));
+        assert!(is_opaque(&Word::new()));
+    }
+
+    #[test]
+    fn sequential_word_is_opaque() {
+        let word = w("(r,1)1 (w,2)1 c1 (r,2)2 c2");
+        assert!(is_opaque(&word));
+        assert!(is_strictly_serializable(&word));
+    }
+
+    #[test]
+    fn paper_fig1a_not_ss() {
+        // x = t1: r(v1), w(v2), c ; y = t2: w(v1), c ; z = t3: r(v2), r(v1), c
+        let word = w("(w,1)2 (r,1)1 (r,2)3 c2 (w,2)1 (r,1)3 c1 c3");
+        assert!(!is_strictly_serializable(&word));
+        // Dropping z's commit makes it serializable.
+        let word2 = w("(w,1)2 (r,1)1 (r,2)3 c2 (w,2)1 (r,1)3 c1");
+        assert!(is_strictly_serializable(&word2));
+    }
+
+    #[test]
+    fn paper_fig1b_not_ss() {
+        let word = w("(w,1)2 (r,2)2 (r,3)3 (r,1)1 c2 (w,2)3 (w,3)1 c1 c3");
+        assert!(!is_strictly_serializable(&word));
+    }
+
+    #[test]
+    fn paper_fig2a_ss_but_not_opaque() {
+        let word = w("(w,1)2 (r,1)1 (r,2)3 c2 (w,2)1 (r,1)3 c1");
+        assert!(is_strictly_serializable(&word));
+        assert!(!is_opaque(&word));
+    }
+
+    #[test]
+    fn paper_fig2b_aborted_read_blocks_commit() {
+        // z = t3 reads v2 and aborts; x = t1 then commits a write of v2.
+        let word = w("(w,1)2 (r,1)1 c2 (r,2)3 a3 (w,2)1 c1");
+        assert!(!is_opaque(&word));
+        // Strict serializability ignores the aborted reader.
+        assert!(is_strictly_serializable(&word));
+    }
+
+    #[test]
+    fn witness_is_sequential_and_equivalent() {
+        let word = w("(r,1)1 (w,1)2 c1 c2");
+        let witness = serialization_witness(&word).expect("word is SS");
+        assert!(crate::transaction::is_sequential(&witness));
+        assert!(strictly_equivalent(&word.com(), &witness));
+    }
+
+    #[test]
+    fn opacity_witness_contains_all_transactions() {
+        let word = w("(r,1)1 (w,1)2 a2 c1");
+        let witness = opacity_witness(&word).expect("word is opaque");
+        assert_eq!(witness.len(), word.len());
+        assert!(crate::transaction::is_sequential(&witness));
+    }
+
+    #[test]
+    fn brute_force_agrees_on_paper_examples() {
+        for (text, ss, op) in [
+            ("(w,1)2 (r,1)1 (r,2)3 c2 (w,2)1 (r,1)3 c1 c3", false, false),
+            ("(w,1)2 (r,1)1 (r,2)3 c2 (w,2)1 (r,1)3 c1", true, false),
+            ("(w,1)2 (r,1)1 c2 (r,2)3 a3 (w,2)1 c1", true, false),
+            ("(r,1)1 (w,1)2 c1 c2", true, true),
+            ("(w,2)1 (w,1)2 (r,2)2 (r,1)1 c2 c1", false, false),
+        ] {
+            let word = w(text);
+            assert_eq!(is_strictly_serializable(&word), ss, "ss of {text}");
+            assert_eq!(is_opaque(&word), op, "op of {text}");
+            assert_eq!(
+                is_strictly_serializable_brute_force(&word),
+                ss,
+                "bf ss of {text}"
+            );
+            assert_eq!(is_opaque_brute_force(&word), op, "bf op of {text}");
+        }
+    }
+
+    #[test]
+    fn opacity_implies_ss_on_examples() {
+        for text in [
+            "(r,1)1 (w,1)2 c1 c2",
+            "(w,1)1 a1 (r,1)2 c2",
+            "(r,1)1 (r,1)2 c1 c2",
+        ] {
+            let word = w(text);
+            if is_opaque(&word) {
+                assert!(is_strictly_serializable(&word), "{text}");
+            }
+        }
+    }
+
+    #[test]
+    fn unfinished_overlap_is_flexible() {
+        // Two unfinished transactions with a read-write overlap: opaque,
+        // because neither has committed.
+        let word = w("(r,1)1 (w,1)2");
+        assert!(is_opaque(&word));
+    }
+
+    #[test]
+    fn property_enum_dispatch() {
+        let word = w("(w,1)2 (r,1)1 (r,2)3 c2 (w,2)1 (r,1)3 c1");
+        assert!(SafetyProperty::StrictSerializability.holds(&word));
+        assert!(!SafetyProperty::Opacity.holds(&word));
+        assert_eq!(SafetyProperty::Opacity.short_name(), "op");
+        assert_eq!(SafetyProperty::Opacity.to_string(), "opacity");
+    }
+}

@@ -1,0 +1,388 @@
+//! Commands, statements, and the statement alphabet.
+//!
+//! Following §2 of the paper: `C = {commit} ∪ ({read, write} × V)` is the
+//! set of *commands* issued by a program, `Ĉ = C ∪ {abort}` extends it with
+//! the abort event produced by the TM, and `Ŝ = Ĉ × T` is the set of
+//! *statements* — the letters from which words (transaction histories) are
+//! built.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::ids::{ThreadId, VarId};
+
+/// A program command (`c ∈ C`): read a variable, write a variable, or
+/// commit the current transaction.
+///
+/// # Examples
+///
+/// ```
+/// use tm_lang::{Command, VarId};
+/// let c = Command::Read(VarId::new(0));
+/// assert_eq!(c.variable(), Some(VarId::new(0)));
+/// assert_eq!(Command::Commit.variable(), None);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Command {
+    /// Read a shared variable.
+    Read(VarId),
+    /// Write a shared variable.
+    Write(VarId),
+    /// Commit the current transaction.
+    Commit,
+}
+
+impl Command {
+    /// The variable accessed by this command, if any.
+    pub fn variable(self) -> Option<VarId> {
+        match self {
+            Command::Read(v) | Command::Write(v) => Some(v),
+            Command::Commit => None,
+        }
+    }
+
+    /// Enumerates all commands over `num_vars` variables, in a fixed order
+    /// (reads, then writes, then commit).
+    pub fn all(num_vars: usize) -> impl Iterator<Item = Command> {
+        let reads = (0..num_vars).map(|v| Command::Read(VarId::new(v)));
+        let writes = (0..num_vars).map(|v| Command::Write(VarId::new(v)));
+        reads.chain(writes).chain(std::iter::once(Command::Commit))
+    }
+}
+
+impl fmt::Display for Command {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Command::Read(v) => write!(f, "(r,{})", v.number()),
+            Command::Write(v) => write!(f, "(w,{})", v.number()),
+            Command::Commit => write!(f, "c"),
+        }
+    }
+}
+
+/// The observable event of a statement (`ĉ ∈ Ĉ = C ∪ {abort}`).
+///
+/// # Examples
+///
+/// ```
+/// use tm_lang::{Command, StatementKind, VarId};
+/// let k = StatementKind::from(Command::Write(VarId::new(1)));
+/// assert_eq!(k, StatementKind::Write(VarId::new(1)));
+/// assert!(StatementKind::Abort.as_command().is_none());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum StatementKind {
+    /// A (completed) read of a shared variable.
+    Read(VarId),
+    /// A (completed) write of a shared variable.
+    Write(VarId),
+    /// A transaction commit.
+    Commit,
+    /// A transaction abort.
+    Abort,
+}
+
+impl StatementKind {
+    /// The variable accessed, if any.
+    pub fn variable(self) -> Option<VarId> {
+        match self {
+            StatementKind::Read(v) | StatementKind::Write(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// `true` for [`StatementKind::Commit`].
+    pub fn is_commit(self) -> bool {
+        matches!(self, StatementKind::Commit)
+    }
+
+    /// `true` for [`StatementKind::Abort`].
+    pub fn is_abort(self) -> bool {
+        matches!(self, StatementKind::Abort)
+    }
+
+    /// `true` for commit or abort — the statements that finish a
+    /// transaction.
+    pub fn is_finishing(self) -> bool {
+        self.is_commit() || self.is_abort()
+    }
+
+    /// The corresponding command, or `None` for [`StatementKind::Abort`].
+    pub fn as_command(self) -> Option<Command> {
+        match self {
+            StatementKind::Read(v) => Some(Command::Read(v)),
+            StatementKind::Write(v) => Some(Command::Write(v)),
+            StatementKind::Commit => Some(Command::Commit),
+            StatementKind::Abort => None,
+        }
+    }
+
+    /// Enumerates all statement kinds over `num_vars` variables.
+    pub fn all(num_vars: usize) -> impl Iterator<Item = StatementKind> {
+        Command::all(num_vars)
+            .map(StatementKind::from)
+            .chain(std::iter::once(StatementKind::Abort))
+    }
+}
+
+impl From<Command> for StatementKind {
+    fn from(c: Command) -> Self {
+        match c {
+            Command::Read(v) => StatementKind::Read(v),
+            Command::Write(v) => StatementKind::Write(v),
+            Command::Commit => StatementKind::Commit,
+        }
+    }
+}
+
+impl fmt::Display for StatementKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatementKind::Read(v) => write!(f, "(r,{})", v.number()),
+            StatementKind::Write(v) => write!(f, "(w,{})", v.number()),
+            StatementKind::Commit => write!(f, "c"),
+            StatementKind::Abort => write!(f, "a"),
+        }
+    }
+}
+
+/// A statement (`s ∈ Ŝ = Ĉ × T`): an observable event attributed to a
+/// thread.
+///
+/// The display syntax matches the paper's Table 1 notation: `(r,1)2` is a
+/// read of variable `v1` by thread `t2`; `c1` and `a2` are a commit by `t1`
+/// and an abort by `t2`.
+///
+/// # Examples
+///
+/// ```
+/// use tm_lang::{Statement, StatementKind, ThreadId, VarId};
+/// let s = Statement::new(StatementKind::Read(VarId::new(0)), ThreadId::new(1));
+/// assert_eq!(s.to_string(), "(r,1)2");
+/// assert_eq!("(r,1)2".parse::<Statement>().unwrap(), s);
+/// assert_eq!("c1".parse::<Statement>().unwrap().kind, StatementKind::Commit);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Statement {
+    /// The observable event.
+    pub kind: StatementKind,
+    /// The thread that performed it.
+    pub thread: ThreadId,
+}
+
+impl Statement {
+    /// Creates a statement.
+    pub fn new(kind: StatementKind, thread: ThreadId) -> Self {
+        Statement { kind, thread }
+    }
+
+    /// Convenience constructor for a read statement.
+    pub fn read(var: usize, thread: usize) -> Self {
+        Statement::new(StatementKind::Read(VarId::new(var)), ThreadId::new(thread))
+    }
+
+    /// Convenience constructor for a write statement.
+    pub fn write(var: usize, thread: usize) -> Self {
+        Statement::new(StatementKind::Write(VarId::new(var)), ThreadId::new(thread))
+    }
+
+    /// Convenience constructor for a commit statement.
+    pub fn commit(thread: usize) -> Self {
+        Statement::new(StatementKind::Commit, ThreadId::new(thread))
+    }
+
+    /// Convenience constructor for an abort statement.
+    pub fn abort(thread: usize) -> Self {
+        Statement::new(StatementKind::Abort, ThreadId::new(thread))
+    }
+}
+
+impl fmt::Display for Statement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.kind, self.thread.number())
+    }
+}
+
+/// Error returned when parsing a [`Statement`] or
+/// [`Word`](crate::Word) fails.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseStatementError {
+    token: String,
+}
+
+impl ParseStatementError {
+    pub(crate) fn new(token: &str) -> Self {
+        ParseStatementError {
+            token: token.to_owned(),
+        }
+    }
+}
+
+impl fmt::Display for ParseStatementError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid statement syntax: `{}`", self.token)
+    }
+}
+
+impl std::error::Error for ParseStatementError {}
+
+impl FromStr for Statement {
+    type Err = ParseStatementError;
+
+    /// Parses the paper's notation: `(r,1)2`, `(w,2)1`, `c1`, `a2`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || ParseStatementError::new(s);
+        let s = s.trim();
+        if let Some(rest) = s.strip_prefix('(') {
+            let (inner, thread) = rest.split_once(')').ok_or_else(err)?;
+            let (op, var) = inner.split_once(',').ok_or_else(err)?;
+            let var: usize = var.trim().parse().map_err(|_| err())?;
+            if var == 0 || var > 16 {
+                return Err(err());
+            }
+            let var = VarId::new(var - 1);
+            let thread = parse_thread(thread).ok_or_else(err)?;
+            let kind = match op.trim() {
+                "r" => StatementKind::Read(var),
+                "w" => StatementKind::Write(var),
+                _ => return Err(err()),
+            };
+            Ok(Statement::new(kind, thread))
+        } else if let Some(t) = s.strip_prefix('c') {
+            Ok(Statement::new(
+                StatementKind::Commit,
+                parse_thread(t).ok_or_else(err)?,
+            ))
+        } else if let Some(t) = s.strip_prefix('a') {
+            Ok(Statement::new(
+                StatementKind::Abort,
+                parse_thread(t).ok_or_else(err)?,
+            ))
+        } else {
+            Err(err())
+        }
+    }
+}
+
+fn parse_thread(s: &str) -> Option<ThreadId> {
+    let n: usize = s.trim().parse().ok()?;
+    if n == 0 || n > 16 {
+        return None;
+    }
+    Some(ThreadId::new(n - 1))
+}
+
+/// The finite statement alphabet for `n` threads and `k` variables.
+///
+/// # Examples
+///
+/// ```
+/// use tm_lang::Alphabet;
+/// let sigma = Alphabet::new(2, 2);
+/// // |Ĉ| = 2 reads + 2 writes + commit + abort = 6; times 2 threads:
+/// assert_eq!(sigma.statements().count(), 12);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Alphabet {
+    threads: usize,
+    vars: usize,
+}
+
+impl Alphabet {
+    /// Creates the alphabet for `threads` threads and `vars` variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero or exceeds 16.
+    pub fn new(threads: usize, vars: usize) -> Self {
+        assert!((1..=16).contains(&threads), "thread count out of range");
+        assert!((1..=16).contains(&vars), "variable count out of range");
+        Alphabet { threads, vars }
+    }
+
+    /// Number of threads `n`.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Number of variables `k`.
+    pub fn vars(&self) -> usize {
+        self.vars
+    }
+
+    /// Iterates over all thread ids.
+    pub fn thread_ids(&self) -> impl Iterator<Item = ThreadId> {
+        (0..self.threads).map(ThreadId::new)
+    }
+
+    /// Iterates over all variable ids.
+    pub fn var_ids(&self) -> impl Iterator<Item = VarId> {
+        (0..self.vars).map(VarId::new)
+    }
+
+    /// Iterates over all commands `C`.
+    pub fn commands(&self) -> impl Iterator<Item = Command> {
+        Command::all(self.vars)
+    }
+
+    /// Iterates over all statements `Ŝ`, grouped by thread.
+    pub fn statements(&self) -> impl Iterator<Item = Statement> + '_ {
+        self.thread_ids().flat_map(move |t| {
+            StatementKind::all(self.vars).map(move |k| Statement::new(k, t))
+        })
+    }
+}
+
+impl fmt::Display for Alphabet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({} threads, {} vars)", self.threads, self.vars)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_round_trips() {
+        for text in ["(r,1)1", "(w,2)1", "c2", "a1", "(r,2)3"] {
+            let s: Statement = text.parse().unwrap();
+            assert_eq!(s.to_string(), text);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for text in ["", "x1", "(q,1)1", "(r,0)1", "(r,1)0", "c", "(r,1", "(r)1"] {
+            assert!(text.parse::<Statement>().is_err(), "accepted {text:?}");
+        }
+    }
+
+    #[test]
+    fn command_enumeration() {
+        let cmds: Vec<Command> = Command::all(2).collect();
+        assert_eq!(cmds.len(), 5);
+        assert_eq!(cmds[4], Command::Commit);
+    }
+
+    #[test]
+    fn statement_kind_enumeration_ends_with_abort() {
+        let kinds: Vec<StatementKind> = StatementKind::all(2).collect();
+        assert_eq!(kinds.len(), 6);
+        assert!(kinds[5].is_abort());
+    }
+
+    #[test]
+    fn alphabet_sizes() {
+        let sigma = Alphabet::new(3, 2);
+        assert_eq!(sigma.statements().count(), 18);
+        assert_eq!(sigma.commands().count(), 5);
+    }
+
+    #[test]
+    fn finishing_kinds() {
+        assert!(StatementKind::Commit.is_finishing());
+        assert!(StatementKind::Abort.is_finishing());
+        assert!(!StatementKind::Read(VarId::new(0)).is_finishing());
+    }
+}

@@ -1,0 +1,317 @@
+//! Transactions: maximal command sequences of a thread (§2).
+//!
+//! Given a word `w` and a thread `t`, the thread projection `w|t` splits
+//! into *transactions*: consecutive subsequences that start at an
+//! initiating statement and run up to (and including) the next finishing
+//! statement (commit or abort), or to the end of the projection.
+
+use crate::ids::{ThreadId, VarSet};
+use crate::statement::StatementKind;
+use crate::word::Word;
+
+/// How a transaction ends within the observed word.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum TransactionKind {
+    /// Ends with a commit statement.
+    Committing,
+    /// Ends with an abort statement.
+    Aborting,
+    /// Has no finishing statement in the word (still live at the end).
+    Unfinished,
+}
+
+/// A transaction of a thread in a word: the indices (into the word) of its
+/// statements, in order.
+///
+/// # Examples
+///
+/// ```
+/// use tm_lang::{transactions, TransactionKind, Word};
+/// let w: Word = "(r,1)1 (w,1)2 a2 (w,2)1 c1".parse()?;
+/// let txns = transactions(&w);
+/// assert_eq!(txns.len(), 2);
+/// assert_eq!(txns[0].kind(), TransactionKind::Committing); // t1: r,w,c
+/// assert_eq!(txns[1].kind(), TransactionKind::Aborting);   // t2: w,a
+/// # Ok::<(), tm_lang::ParseStatementError>(())
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Transaction {
+    thread: ThreadId,
+    indices: Vec<usize>,
+    kind: TransactionKind,
+}
+
+impl Transaction {
+    /// The thread executing this transaction.
+    pub fn thread(&self) -> ThreadId {
+        self.thread
+    }
+
+    /// The indices of the transaction's statements within the word.
+    pub fn indices(&self) -> &[usize] {
+        &self.indices
+    }
+
+    /// How the transaction ends.
+    pub fn kind(&self) -> TransactionKind {
+        self.kind
+    }
+
+    /// `true` if the transaction commits.
+    pub fn is_committing(&self) -> bool {
+        self.kind == TransactionKind::Committing
+    }
+
+    /// `true` if the transaction aborts.
+    pub fn is_aborting(&self) -> bool {
+        self.kind == TransactionKind::Aborting
+    }
+
+    /// `true` if the transaction has no finishing statement.
+    pub fn is_unfinished(&self) -> bool {
+        self.kind == TransactionKind::Unfinished
+    }
+
+    /// Index (into the word) of the first statement.
+    pub fn first_index(&self) -> usize {
+        self.indices[0]
+    }
+
+    /// Index (into the word) of the last statement.
+    pub fn last_index(&self) -> usize {
+        *self.indices.last().expect("transactions are non-empty")
+    }
+
+    /// `x.precedes(y)` is the paper's `x <w y`: the last statement of `x`
+    /// occurs before the first statement of `y`.
+    pub fn precedes(&self, other: &Transaction) -> bool {
+        self.last_index() < other.first_index()
+    }
+
+    /// Iterates over the transaction's statement kinds in order.
+    pub fn kinds<'w>(&'w self, w: &'w Word) -> impl Iterator<Item = StatementKind> + 'w {
+        self.indices.iter().map(move |&i| w[i].kind)
+    }
+
+    /// The set of variables this transaction writes to.
+    pub fn writes(&self, w: &Word) -> VarSet {
+        self.kinds(w)
+            .filter_map(|k| match k {
+                StatementKind::Write(v) => Some(v),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The set of variables this transaction *globally reads*: variables
+    /// `v` with a read of `v` not preceded by a write of `v` within the
+    /// same transaction (§2).
+    pub fn global_reads(&self, w: &Word) -> VarSet {
+        let mut written = VarSet::new();
+        let mut reads = VarSet::new();
+        for k in self.kinds(w) {
+            match k {
+                StatementKind::Write(v) => {
+                    written.insert(v);
+                }
+                StatementKind::Read(v) if !written.contains(v) => {
+                    reads.insert(v);
+                }
+                _ => {}
+            }
+        }
+        reads
+    }
+
+    /// `true` if the statement at word index `i` (which must belong to this
+    /// transaction) is a *global read*: a read of a variable with no prior
+    /// write to it in this transaction.
+    pub fn is_global_read(&self, w: &Word, i: usize) -> bool {
+        let StatementKind::Read(v) = w[i].kind else {
+            return false;
+        };
+        for &j in &self.indices {
+            if j >= i {
+                break;
+            }
+            if w[j].kind == StatementKind::Write(v) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Splits a word into its transactions, across all threads, ordered by
+/// first statement index.
+///
+/// Every statement of the word belongs to exactly one transaction.
+pub fn transactions(w: &Word) -> Vec<Transaction> {
+    let mut open: Vec<Option<Transaction>> = vec![None; 16];
+    let mut done: Vec<Transaction> = Vec::new();
+    for (i, s) in w.iter().enumerate() {
+        let slot = &mut open[s.thread.index()];
+        let txn = slot.get_or_insert_with(|| Transaction {
+            thread: s.thread,
+            indices: Vec::new(),
+            kind: TransactionKind::Unfinished,
+        });
+        txn.indices.push(i);
+        if s.kind.is_finishing() {
+            let mut finished = slot.take().expect("slot was just filled");
+            finished.kind = if s.kind.is_commit() {
+                TransactionKind::Committing
+            } else {
+                TransactionKind::Aborting
+            };
+            done.push(finished);
+        }
+    }
+    done.extend(open.into_iter().flatten());
+    done.sort_by_key(|t| t.first_index());
+    done
+}
+
+/// Maps every statement index of `w` to the index (within
+/// [`transactions`]`(w)`) of the transaction containing it.
+pub fn transaction_of(w: &Word, txns: &[Transaction]) -> Vec<usize> {
+    let mut owner = vec![usize::MAX; w.len()];
+    for (x, txn) in txns.iter().enumerate() {
+        for &i in txn.indices() {
+            owner[i] = x;
+        }
+    }
+    debug_assert!(owner.iter().all(|&x| x != usize::MAX));
+    owner
+}
+
+/// `true` if the word is *sequential*: every pair of transactions is
+/// ordered by `<w` (no two transactions overlap).
+///
+/// # Examples
+///
+/// ```
+/// use tm_lang::{is_sequential, Word};
+/// let seq: Word = "(r,1)1 c1 (w,1)2 c2".parse()?;
+/// let ovl: Word = "(r,1)1 (w,1)2 c1 c2".parse()?;
+/// assert!(is_sequential(&seq));
+/// assert!(!is_sequential(&ovl));
+/// # Ok::<(), tm_lang::ParseStatementError>(())
+/// ```
+pub fn is_sequential(w: &Word) -> bool {
+    let txns = transactions(w);
+    for (i, x) in txns.iter().enumerate() {
+        for y in &txns[i + 1..] {
+            if !(x.precedes(y) || y.precedes(x)) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// The *transaction projection* of `w` on a subset of its transactions
+/// (§4, P1): the subsequence containing every statement of the selected
+/// transactions.
+///
+/// `selected` holds indices into [`transactions`]`(w)`.
+pub fn transaction_projection(w: &Word, txns: &[Transaction], selected: &[usize]) -> Word {
+    let mut keep = vec![false; w.len()];
+    for &x in selected {
+        for &i in txns[x].indices() {
+            keep[i] = true;
+        }
+    }
+    w.iter()
+        .enumerate()
+        .filter_map(|(i, &s)| keep[i].then_some(s))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::VarId;
+
+    fn w(s: &str) -> Word {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn splits_interleaved_word() {
+        let word = w("(r,1)1 (w,1)2 (w,2)1 c2 c1");
+        let txns = transactions(&word);
+        assert_eq!(txns.len(), 2);
+        assert_eq!(txns[0].thread(), ThreadId::new(0));
+        assert_eq!(txns[0].indices(), &[0, 2, 4]);
+        assert_eq!(txns[1].indices(), &[1, 3]);
+    }
+
+    #[test]
+    fn several_transactions_per_thread() {
+        let word = w("(r,1)1 c1 (w,1)1 a1 (r,2)1");
+        let txns = transactions(&word);
+        assert_eq!(txns.len(), 3);
+        assert!(txns[0].is_committing());
+        assert!(txns[1].is_aborting());
+        assert!(txns[2].is_unfinished());
+    }
+
+    #[test]
+    fn lone_commit_is_a_transaction() {
+        let word = w("c1 a2");
+        let txns = transactions(&word);
+        assert_eq!(txns.len(), 2);
+        assert!(txns[0].is_committing());
+        assert!(txns[1].is_aborting());
+    }
+
+    #[test]
+    fn precedence() {
+        let word = w("(r,1)1 c1 (w,1)2 c2");
+        let txns = transactions(&word);
+        assert!(txns[0].precedes(&txns[1]));
+        assert!(!txns[1].precedes(&txns[0]));
+    }
+
+    #[test]
+    fn global_reads_exclude_read_after_own_write() {
+        // t1 writes v1 then reads v1: not a global read of v1.
+        let word = w("(w,1)1 (r,1)1 (r,2)1 c1");
+        let txns = transactions(&word);
+        assert_eq!(txns[0].global_reads(&word), VarSet::singleton(VarId::new(1)));
+        assert!(!txns[0].is_global_read(&word, 1));
+        assert!(txns[0].is_global_read(&word, 2));
+    }
+
+    #[test]
+    fn writes_collects_all_written_vars() {
+        let word = w("(w,1)1 (w,2)1 c1");
+        let txns = transactions(&word);
+        assert_eq!(txns[0].writes(&word).len(), 2);
+    }
+
+    #[test]
+    fn transaction_of_total() {
+        let word = w("(r,1)1 (w,1)2 c2 c1");
+        let txns = transactions(&word);
+        let owner = transaction_of(&word, &txns);
+        assert_eq!(owner, vec![0, 1, 1, 0]);
+    }
+
+    #[test]
+    fn projection_keeps_selected_only() {
+        let word = w("(r,1)1 (w,1)2 a2 c1");
+        let txns = transactions(&word);
+        let committing: Vec<usize> = (0..txns.len()).filter(|&x| txns[x].is_committing()).collect();
+        let proj = transaction_projection(&word, &txns, &committing);
+        assert_eq!(proj.to_string(), "(r,1)1 c1");
+    }
+
+    #[test]
+    fn sequential_detection() {
+        assert!(is_sequential(&w("")));
+        assert!(is_sequential(&w("(r,1)1 (w,1)1 c1 (r,1)2")));
+        assert!(!is_sequential(&w("(r,1)1 (w,1)2 c1 c2")));
+    }
+}

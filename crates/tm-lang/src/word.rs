@@ -1,0 +1,295 @@
+//! Finite words over the statement alphabet, and their projections.
+
+use std::fmt;
+use std::ops::Index;
+use std::str::FromStr;
+
+use crate::ids::{ThreadId, VarSet};
+use crate::statement::{ParseStatementError, Statement};
+use crate::transaction::transactions;
+
+/// A finite word `w ∈ Ŝ*`: a sequence of statements, i.e. a transaction
+/// history as observed at the TM interface.
+///
+/// # Examples
+///
+/// ```
+/// use tm_lang::Word;
+/// let w: Word = "(w,1)2 (r,1)1 c2 (w,2)1 c1".parse()?;
+/// assert_eq!(w.len(), 5);
+/// assert_eq!(w.to_string(), "(w,1)2 (r,1)1 c2 (w,2)1 c1");
+/// # Ok::<(), tm_lang::ParseStatementError>(())
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Word(Vec<Statement>);
+
+impl Word {
+    /// Creates the empty word.
+    pub fn new() -> Self {
+        Word(Vec::new())
+    }
+
+    /// Number of statements in the word.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// `true` if the word contains no statement.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Appends a statement.
+    pub fn push(&mut self, s: Statement) {
+        self.0.push(s);
+    }
+
+    /// Removes and returns the last statement.
+    pub fn pop(&mut self) -> Option<Statement> {
+        self.0.pop()
+    }
+
+    /// The statements as a slice.
+    pub fn statements(&self) -> &[Statement] {
+        &self.0
+    }
+
+    /// Iterates over the statements.
+    pub fn iter(&self) -> std::slice::Iter<'_, Statement> {
+        self.0.iter()
+    }
+
+    /// The statement at `index`, or `None` if out of bounds.
+    pub fn get(&self, index: usize) -> Option<Statement> {
+        self.0.get(index).copied()
+    }
+
+    /// The prefix of length `len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > self.len()`.
+    pub fn prefix(&self, len: usize) -> Word {
+        Word(self.0[..len].to_vec())
+    }
+
+    /// Concatenates two words.
+    pub fn concat(&self, other: &Word) -> Word {
+        let mut out = self.clone();
+        out.0.extend_from_slice(&other.0);
+        out
+    }
+
+    /// The *thread projection* `w|t`: the subsequence of statements issued
+    /// by thread `t` (§2).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tm_lang::{ThreadId, Word};
+    /// let w: Word = "(w,1)2 (r,1)1 c2 c1".parse()?;
+    /// assert_eq!(w.thread_projection(ThreadId::new(0)).to_string(), "(r,1)1 c1");
+    /// # Ok::<(), tm_lang::ParseStatementError>(())
+    /// ```
+    pub fn thread_projection(&self, t: ThreadId) -> Word {
+        self.0.iter().copied().filter(|s| s.thread == t).collect()
+    }
+
+    /// The *variable projection* of `w` on a variable set `V'` (§4, P3):
+    /// keeps all commit and abort statements, and the reads/writes of
+    /// variables in `V'`.
+    pub fn variable_projection(&self, vars: VarSet) -> Word {
+        self.0
+            .iter()
+            .copied()
+            .filter(|s| match s.kind.variable() {
+                Some(v) => vars.contains(v),
+                None => true,
+            })
+            .collect()
+    }
+
+    /// `com(w)`: the subsequence consisting of every statement that belongs
+    /// to a *committing* transaction (§2).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tm_lang::Word;
+    /// let w: Word = "(r,1)1 (w,1)2 a2 c1".parse()?;
+    /// assert_eq!(w.com().to_string(), "(r,1)1 c1");
+    /// # Ok::<(), tm_lang::ParseStatementError>(())
+    /// ```
+    pub fn com(&self) -> Word {
+        let txns = transactions(self);
+        let mut keep = vec![false; self.len()];
+        for txn in txns.iter().filter(|x| x.is_committing()) {
+            for &i in txn.indices() {
+                keep[i] = true;
+            }
+        }
+        self.0
+            .iter()
+            .copied()
+            .zip(keep)
+            .filter_map(|(s, k)| k.then_some(s))
+            .collect()
+    }
+
+    /// The set of threads that have at least one statement in the word.
+    pub fn active_threads(&self) -> crate::ids::ThreadSet {
+        self.0.iter().map(|s| s.thread).collect()
+    }
+
+    /// The set of variables accessed in the word.
+    pub fn accessed_vars(&self) -> VarSet {
+        self.0.iter().filter_map(|s| s.kind.variable()).collect()
+    }
+}
+
+impl Index<usize> for Word {
+    type Output = Statement;
+    fn index(&self, index: usize) -> &Statement {
+        &self.0[index]
+    }
+}
+
+impl From<Vec<Statement>> for Word {
+    fn from(v: Vec<Statement>) -> Self {
+        Word(v)
+    }
+}
+
+impl From<Word> for Vec<Statement> {
+    fn from(w: Word) -> Self {
+        w.0
+    }
+}
+
+impl FromIterator<Statement> for Word {
+    fn from_iter<I: IntoIterator<Item = Statement>>(iter: I) -> Self {
+        Word(iter.into_iter().collect())
+    }
+}
+
+impl Extend<Statement> for Word {
+    fn extend<I: IntoIterator<Item = Statement>>(&mut self, iter: I) {
+        self.0.extend(iter);
+    }
+}
+
+impl<'a> IntoIterator for &'a Word {
+    type Item = &'a Statement;
+    type IntoIter = std::slice::Iter<'a, Statement>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter()
+    }
+}
+
+impl IntoIterator for Word {
+    type Item = Statement;
+    type IntoIter = std::vec::IntoIter<Statement>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.into_iter()
+    }
+}
+
+impl fmt::Display for Word {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return write!(f, "ε");
+        }
+        for (i, s) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{s}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Word {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "\"{self}\"")
+    }
+}
+
+impl FromStr for Word {
+    type Err = ParseStatementError;
+
+    /// Parses a whitespace- or semicolon-separated sequence of statements
+    /// in the paper's notation, e.g. `"(w,2)1 (w,1)2 (r,2)2 (r,1)1 c2 c1"`.
+    /// (Commas cannot separate statements — they appear inside them.)
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        s.split_whitespace()
+            .flat_map(|chunk| chunk.split(';'))
+            .filter(|tok| !tok.is_empty() && *tok != "ε")
+            .map(str::parse)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::VarId;
+
+    fn w(s: &str) -> Word {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        let text = "(w,2)1 (w,1)2 (r,2)2 (r,1)1 c2 c1";
+        assert_eq!(w(text).to_string(), text);
+    }
+
+    #[test]
+    fn empty_word_displays_epsilon() {
+        assert_eq!(Word::new().to_string(), "ε");
+        assert_eq!(w(""), Word::new());
+    }
+
+    #[test]
+    fn thread_projection_keeps_order() {
+        let word = w("(r,1)1 (w,2)2 (w,1)1 c2 c1");
+        assert_eq!(
+            word.thread_projection(ThreadId::new(0)).to_string(),
+            "(r,1)1 (w,1)1 c1"
+        );
+        assert_eq!(
+            word.thread_projection(ThreadId::new(2)),
+            Word::new()
+        );
+    }
+
+    #[test]
+    fn variable_projection_keeps_finishing_statements() {
+        let word = w("(r,1)1 (w,2)1 a2 c1");
+        let only_v1 = word.variable_projection(VarSet::singleton(VarId::new(0)));
+        assert_eq!(only_v1.to_string(), "(r,1)1 a2 c1");
+    }
+
+    #[test]
+    fn com_drops_aborting_and_unfinished() {
+        // t2's transaction aborts; t3's is unfinished; t1's commits.
+        let word = w("(r,1)1 (w,1)2 (r,2)3 a2 c1");
+        assert_eq!(word.com().to_string(), "(r,1)1 c1");
+    }
+
+    #[test]
+    fn com_keeps_multiple_transactions_per_thread() {
+        let word = w("(r,1)1 c1 (w,2)1 a1 (r,2)1 c1");
+        assert_eq!(word.com().to_string(), "(r,1)1 c1 (r,2)1 c1");
+    }
+
+    #[test]
+    fn accessors() {
+        let word = w("(r,1)1 (w,2)2");
+        assert_eq!(word.active_threads().len(), 2);
+        assert_eq!(word.accessed_vars().len(), 2);
+        assert_eq!(word[1], Statement::write(1, 1));
+        assert_eq!(word.prefix(1).to_string(), "(r,1)1");
+    }
+}

@@ -1,0 +1,92 @@
+//! Canonical deterministic specification automata, derived from the
+//! nondeterministic specifications by subset construction and
+//! minimization.
+//!
+//! The canonical automaton is language-equal to Σ_π *by construction*, so
+//! it serves two roles:
+//!
+//! * an independently constructed witness for Theorem 3 (`L(Σ) = L(Σᵈ)`),
+//!   cross-checked against the hand-built Algorithm-6 automaton
+//!   ([`crate::DetSpec`]) with the antichain equivalence check;
+//! * the minimal-size reference point for the state-count comparisons in
+//!   EXPERIMENTS.md.
+
+use tm_lang::{Alphabet, SafetyProperty, Statement};
+
+use tm_automata::Dfa;
+
+use crate::nondet::NondetSpec;
+
+/// The statement alphabet `Ŝ` for `threads` threads and `vars` variables,
+/// in canonical order.
+pub fn spec_alphabet(threads: usize, vars: usize) -> Vec<Statement> {
+    Alphabet::new(threads, vars).statements().collect()
+}
+
+/// Builds the canonical (determinized and minimized) specification DFA for
+/// a property and instance size.
+///
+/// # Panics
+///
+/// Panics if the nondeterministic specification exceeds `max_states`
+/// reachable states.
+///
+/// # Examples
+///
+/// ```
+/// use tm_lang::SafetyProperty;
+/// use tm_spec::canonical_dfa;
+///
+/// let dfa = canonical_dfa(SafetyProperty::Opacity, 2, 1, 1_000_000);
+/// let w: tm_lang::Word = "(r,1)1 (w,1)2 c2 c1".parse()?;
+/// assert!(dfa.accepts(w.statements()));
+/// # Ok::<(), tm_lang::ParseStatementError>(())
+/// ```
+pub fn canonical_dfa(
+    property: SafetyProperty,
+    threads: usize,
+    vars: usize,
+    max_states: usize,
+) -> Dfa<Statement> {
+    let spec = NondetSpec::new(property, threads, vars);
+    let explored = spec.to_nfa(max_states);
+    let dfa = Dfa::determinize(&explored.nfa, spec_alphabet(threads, vars));
+    dfa.minimize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_lang::Word;
+
+    #[test]
+    fn canonical_agrees_with_nondet_on_samples() {
+        let spec = NondetSpec::new(SafetyProperty::StrictSerializability, 2, 1);
+        let nfa = spec.to_nfa(1_000_000).nfa;
+        let dfa = canonical_dfa(SafetyProperty::StrictSerializability, 2, 1, 1_000_000);
+        for text in [
+            "",
+            "(r,1)1 (w,1)2 c2 c1",
+            "(r,1)1 (w,1)2 c2 a1",
+            "(w,1)1 (w,1)2 c1 c2",
+            "(r,1)1 (r,1)2 c1 c2",
+        ] {
+            let w: Word = text.parse().unwrap();
+            assert_eq!(
+                nfa.accepts(w.statements()),
+                dfa.accepts(w.statements()),
+                "{text}"
+            );
+        }
+    }
+
+    #[test]
+    fn minimization_shrinks_the_subset_automaton() {
+        let spec = NondetSpec::new(SafetyProperty::Opacity, 2, 1);
+        let nfa = spec.to_nfa(1_000_000).nfa;
+        let subset = Dfa::determinize(&nfa, spec_alphabet(2, 1));
+        let minimal = subset.minimize();
+        assert!(minimal.num_states() <= subset.num_states());
+        assert!(minimal.num_states() > 1);
+    }
+}

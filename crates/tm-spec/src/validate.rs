@@ -1,0 +1,98 @@
+//! Cross-validation of specification automata against the
+//! definition-level reference checkers of `tm-lang`.
+//!
+//! Both the specification languages and the safety properties are
+//! prefix-closed, so a bounded-exhaustive depth-first co-traversal that
+//! descends only below words on which automaton and oracle *agree
+//! positively* finds the shortest disagreement if any exists up to the
+//! depth bound.
+
+use tm_lang::{Alphabet, SafetyProperty, Statement, Word};
+
+use tm_automata::{BitSet, Nfa};
+
+/// The first word (in DFS order, shortest-prefix first) of length at most
+/// `max_len` on which `nfa`'s verdict differs from the reference checker
+/// for `property` — or `None` if they agree everywhere up to the bound.
+///
+/// `nfa` must be an automaton over statements of `alphabet` with all
+/// states accepting (a TM specification).
+///
+/// # Examples
+///
+/// ```
+/// use tm_lang::{Alphabet, SafetyProperty};
+/// use tm_spec::{cross_validate, NondetSpec};
+///
+/// let spec = NondetSpec::new(SafetyProperty::Opacity, 2, 1);
+/// let nfa = spec.to_nfa(1_000_000).nfa;
+/// assert_eq!(cross_validate(&nfa, SafetyProperty::Opacity, Alphabet::new(2, 1), 4), None);
+/// ```
+pub fn cross_validate(
+    nfa: &Nfa<Statement>,
+    property: SafetyProperty,
+    alphabet: Alphabet,
+    max_len: usize,
+) -> Option<Word> {
+    let letters: Vec<Statement> = alphabet.statements().collect();
+    let mut word = Word::new();
+    let root = nfa.initial_closure();
+    descend(nfa, property, &letters, max_len, &mut word, &root)
+}
+
+fn descend(
+    nfa: &Nfa<Statement>,
+    property: SafetyProperty,
+    letters: &[Statement],
+    max_len: usize,
+    word: &mut Word,
+    frontier: &BitSet,
+) -> Option<Word> {
+    if word.len() >= max_len {
+        return None;
+    }
+    for &s in letters {
+        word.push(s);
+        let next = nfa.post(frontier, &s);
+        let spec_accepts = !next.is_empty();
+        let oracle_accepts = property.holds(word);
+        if spec_accepts != oracle_accepts {
+            let found = word.clone();
+            word.pop();
+            return Some(found);
+        }
+        if spec_accepts {
+            if let Some(found) = descend(nfa, property, letters, max_len, word, &next) {
+                word.pop();
+                return Some(found);
+            }
+        }
+        word.pop();
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_automata::Nfa;
+
+    #[test]
+    fn broken_spec_is_caught() {
+        // An automaton accepting everything is wrong about opacity.
+        let mut everything: Nfa<Statement> = Nfa::new();
+        let q = everything.add_state();
+        everything.set_initial(q);
+        for s in Alphabet::new(2, 1).statements() {
+            everything.add_transition(q, Some(s), q);
+        }
+        let mismatch = cross_validate(
+            &everything,
+            SafetyProperty::Opacity,
+            Alphabet::new(2, 1),
+            6,
+        );
+        let word = mismatch.expect("the always-accepting spec must disagree somewhere");
+        assert!(!tm_lang::is_opaque(&word));
+    }
+}

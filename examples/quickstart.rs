@@ -1,0 +1,78 @@
+//! Quickstart: verify a transactional memory in a few lines.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use tm_modelcheck::algorithms::{
+    AggressiveCm, DstmTm, PoliteCm, Tl2Tm, ValidationStyle, WithContentionManager,
+};
+use tm_modelcheck::checker::{check_liveness, check_safety};
+use tm_modelcheck::lang::{LivenessProperty, SafetyProperty};
+
+fn main() {
+    // --- Safety -----------------------------------------------------------
+    // Is DSTM opaque? One call: build DSTM for the most general program
+    // with two threads and two variables (sufficient by the paper's
+    // reduction theorem), build the deterministic opacity specification,
+    // and check language inclusion.
+    let verdict = check_safety(&DstmTm::new(2, 2), SafetyProperty::Opacity);
+    println!(
+        "DSTM opacity: {} ({} TM states, {} spec states, checked in {:.2?})",
+        if verdict.holds() { "VERIFIED" } else { "VIOLATED" },
+        verdict.tm_states,
+        verdict.spec_states,
+        verdict.check_time,
+    );
+
+    // A broken TM yields a counterexample word. The paper's "modified
+    // TL2" splits commit-time validation into two non-atomic steps in the
+    // unsafe order:
+    let modified = Tl2Tm::with_validation(2, 2, ValidationStyle::RValidateThenChkLock);
+    let verdict = check_safety(&modified, SafetyProperty::StrictSerializability);
+    println!(
+        "modified TL2 strict serializability: {} — counterexample: {}",
+        if verdict.holds() { "VERIFIED" } else { "VIOLATED" },
+        verdict
+            .counterexample()
+            .map(|w| w.to_string())
+            .unwrap_or_default(),
+    );
+
+    // --- Liveness ---------------------------------------------------------
+    // Liveness depends on the contention manager: DSTM with the aggressive
+    // manager never self-aborts, so a transaction running alone commits.
+    let dstm_aggr = WithContentionManager::new(DstmTm::new(2, 1), AggressiveCm);
+    let of = check_liveness(&dstm_aggr, LivenessProperty::ObstructionFreedom);
+    println!("DSTM+aggressive obstruction freedom: {}", yn(of.holds()));
+
+    // ... but two aggressive writers can abort each other forever:
+    let lf = check_liveness(&dstm_aggr, LivenessProperty::LivelockFreedom);
+    println!(
+        "DSTM+aggressive livelock freedom: {} — loop: {}",
+        yn(lf.holds()),
+        lf.counterexample()
+            .map(|l| l.cycle_notation())
+            .unwrap_or_default(),
+    );
+
+    // TL2 with the polite manager aborts at every conflict; a blocked
+    // thread can then starve even in isolation:
+    let tl2_pol = WithContentionManager::new(Tl2Tm::new(2, 1), PoliteCm);
+    let of = check_liveness(&tl2_pol, LivenessProperty::ObstructionFreedom);
+    println!(
+        "TL2+polite obstruction freedom: {} — loop: {}",
+        yn(of.holds()),
+        of.counterexample()
+            .map(|l| l.cycle_notation())
+            .unwrap_or_default(),
+    );
+}
+
+fn yn(b: bool) -> &'static str {
+    if b {
+        "VERIFIED"
+    } else {
+        "VIOLATED"
+    }
+}

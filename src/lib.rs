@@ -1,0 +1,6 @@
+//! Facade crate re-exporting the whole tm-modelcheck workspace API.
+pub use tm_algorithms as algorithms;
+pub use tm_automata as automata;
+pub use tm_checker as checker;
+pub use tm_lang as lang;
+pub use tm_spec as spec;
