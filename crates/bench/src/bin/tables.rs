@@ -5,9 +5,12 @@
 //! cargo run --release -p tm-bench --bin tables
 //! ```
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use tm_automata::{check_equivalence_antichain, check_inclusion, Dfa};
+use tm_automata::{
+    check_equivalence_antichain, check_inclusion, check_inclusion_compiled,
+    check_inclusion_reference, Dfa,
+};
 use tm_bench::{table2_roster, table3_check, table3_names, MAX_STATES};
 use tm_checker::Table;
 use tm_lang::{LivenessProperty, SafetyProperty};
@@ -18,6 +21,7 @@ fn main() {
     table2();
     theorem3();
     table3();
+    bench_inclusion_baseline();
 }
 
 fn table1() {
@@ -132,4 +136,79 @@ fn table3() {
 
 fn yn(b: bool) -> String {
     if b { "Y".to_owned() } else { "N".to_owned() }
+}
+
+/// Best-of-`runs` wall-clock time of `f`.
+fn best_of<T>(runs: usize, mut f: impl FnMut() -> T) -> Duration {
+    (0..runs)
+        .map(|_| {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            start.elapsed()
+        })
+        .min()
+        .expect("runs > 0")
+}
+
+/// Times the seed (label-hashing) inclusion check against the index-based
+/// one on every Table 2 TM/property pair and records the measurements as
+/// `BENCH_inclusion.json` in the working directory — the committed
+/// baseline for the interned-alphabet refactor.
+fn bench_inclusion_baseline() {
+    let mut cases = Vec::new();
+    let mut table = Table::new(
+        "Inclusion A/B — seed (label-hashing) vs compiled (letter ids), best of 3",
+        ["TM", "property", "seed", "compiled", "precompiled", "speedup"],
+    );
+    // The roster depends only on the instance size, not the property.
+    let roster = table2_roster();
+    for property in SafetyProperty::all() {
+        let (spec, _) = DetSpec::new(property, 2, 2).to_dfa(MAX_STATES);
+        let compiled = spec.compile();
+        for (name, nfa, _) in &roster {
+            // One untimed run (the cheap precompiled path) to record the
+            // explored product size; the timed runs recompute it anyway.
+            let product_states = check_inclusion_compiled(nfa, &compiled).product_states();
+            let seed = best_of(3, || check_inclusion_reference(nfa, &spec));
+            let fast = best_of(3, || check_inclusion(nfa, &spec));
+            let precompiled = best_of(3, || check_inclusion_compiled(nfa, &compiled));
+            let speedup = seed.as_secs_f64() / fast.as_secs_f64();
+            table.push_row([
+                name.clone(),
+                property.short_name().to_owned(),
+                format!("{seed:.2?}"),
+                format!("{fast:.2?}"),
+                format!("{precompiled:.2?}"),
+                format!("{speedup:.2}x"),
+            ]);
+            cases.push(format!(
+                concat!(
+                    "    {{\"tm\": \"{}\", \"property\": \"{}\", ",
+                    "\"tm_states\": {}, \"spec_states\": {}, \"product_states\": {}, ",
+                    "\"seed_ns\": {}, \"compiled_ns\": {}, \"precompiled_ns\": {}, ",
+                    "\"speedup\": {:.3}}}"
+                ),
+                name,
+                property.short_name(),
+                nfa.num_states(),
+                spec.num_states(),
+                product_states,
+                seed.as_nanos(),
+                fast.as_nanos(),
+                precompiled.as_nanos(),
+                speedup,
+            ));
+        }
+    }
+    println!("{table}");
+    let json = format!(
+        "{{\n  \"benchmark\": \"inclusion-seed-vs-compiled\",\n  \
+         \"instance\": {{\"threads\": 2, \"vars\": 2}},\n  \
+         \"unit\": \"best-of-3 wall clock\",\n  \"cases\": [\n{}\n  ]\n}}\n",
+        cases.join(",\n")
+    );
+    match std::fs::write("BENCH_inclusion.json", &json) {
+        Ok(()) => println!("wrote BENCH_inclusion.json ({} cases)", cases.len()),
+        Err(e) => eprintln!("could not write BENCH_inclusion.json: {e}"),
+    }
 }

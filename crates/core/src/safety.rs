@@ -10,7 +10,7 @@
 use std::time::{Duration, Instant};
 
 use tm_algorithms::{most_general_nfa, TmAlgorithm};
-use tm_automata::{check_inclusion, Dfa, InclusionResult};
+use tm_automata::{check_inclusion_compiled, CompiledDfa, Dfa, InclusionResult};
 use tm_lang::{SafetyProperty, Statement, Word};
 use tm_spec::{canonical_dfa, DetSpec};
 
@@ -99,6 +99,9 @@ pub struct SafetyChecker {
     threads: usize,
     vars: usize,
     spec: Dfa<Statement>,
+    /// The dense-table form the inclusion inner loop runs on, compiled
+    /// once here and reused across every checked TM.
+    compiled: CompiledDfa<Statement>,
     build_time: Duration,
 }
 
@@ -138,11 +141,13 @@ impl SafetyChecker {
                 canonical_dfa(property, threads, vars, DEFAULT_MAX_STATES)
             }
         };
+        let compiled = spec.compile();
         SafetyChecker {
             property,
             threads,
             vars,
             spec,
+            compiled,
             build_time: start.elapsed(),
         }
     }
@@ -167,6 +172,12 @@ impl SafetyChecker {
         &self.spec
     }
 
+    /// The compiled (dense-table) specification the inclusion check runs
+    /// on.
+    pub fn compiled_spec(&self) -> &CompiledDfa<Statement> {
+        &self.compiled
+    }
+
     /// Time spent constructing the specification automaton.
     pub fn build_time(&self) -> Duration {
         self.build_time
@@ -185,7 +196,7 @@ impl SafetyChecker {
         let total = Instant::now();
         let explored = most_general_nfa(tm, DEFAULT_MAX_STATES);
         let check_start = Instant::now();
-        let result = check_inclusion(&explored.nfa, &self.spec);
+        let result = check_inclusion_compiled(&explored.nfa, &self.compiled);
         let check_time = check_start.elapsed();
         let (outcome, product_states) = match result {
             InclusionResult::Included { product_states } => {

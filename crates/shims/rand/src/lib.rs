@@ -1,0 +1,86 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The container build must work without registry access, so this crate
+//! implements exactly the API subset the workspace uses: a seedable
+//! pseudo-random generator (`rngs::StdRng`) and `Rng::gen_range` over
+//! `usize` ranges. The generator is splitmix64 — statistically fine for
+//! test-input sampling, *not* cryptographic.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+/// Types constructible from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Random-value sources.
+pub trait Rng {
+    /// The next raw 64 bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform sample from `range` (half-open).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range(&mut self, range: Range<usize>) -> usize {
+        let span = range
+            .end
+            .checked_sub(range.start)
+            .filter(|&s| s > 0)
+            .expect("gen_range: empty range");
+        // Modulo bias is negligible for the small spans used in tests.
+        range.start + (self.next_u64() % span as u64) as usize
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    /// A splitmix64 generator, stand-in for rand's `StdRng`.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl super::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl super::Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            let x = a.gen_range(0..7);
+            assert_eq!(x, b.gen_range(0..7));
+            assert!(x < 7);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let _ = StdRng::seed_from_u64(1).gen_range(3..3);
+    }
+}

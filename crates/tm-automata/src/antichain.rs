@@ -10,12 +10,23 @@
 //! since `post` is monotone in `S`, a pair is subsumed by any stored pair
 //! with the same `a` and a *smaller* set, so only ⊆-minimal sets are kept
 //! per `A`-state — the antichain.
+//!
+//! Both automata are compiled over one shared interned alphabet
+//! ([`crate::CompiledNfa`]), so the frontier loop works purely on
+//! `(u32 state, u32 letter)` integers: `post` is a per-letter CSR slice
+//! walk, subsumption runs on raw bitset words ([`BitSet::words`]), and
+//! labels are materialized only for counterexample reconstruction. The
+//! pre-compilation original is kept as
+//! [`check_inclusion_antichain_reference`] for A/B benchmarks and
+//! differential tests.
 
 use std::collections::HashMap;
 use std::hash::Hash;
 
+use crate::alphabet::{Alphabet, LetterId};
 use crate::bitset::BitSet;
-use crate::inclusion::InclusionResult;
+use crate::compiled::{CompiledNfa, EPSILON};
+use crate::inclusion::{counterexample, InclusionResult};
 use crate::nfa::{Nfa, StateId};
 
 /// Checks `L(a) ⊆ L(b)` with the antichain algorithm.
@@ -44,20 +55,96 @@ pub fn check_inclusion_antichain<L: Clone + Eq + Hash>(
     a: &Nfa<L>,
     b: &Nfa<L>,
 ) -> InclusionResult<L> {
+    // One shared alphabet: `a`-letters first, then `b`-only letters.
+    // Letters of `a` that `b` lacks get ids with empty CSR rows in `cb`,
+    // so `post` naturally returns the empty set — a violation, exactly as
+    // in the uncompiled checker.
+    let mut alphabet = Alphabet::new();
+    let ca = CompiledNfa::compile(a, &mut alphabet);
+    let cb = CompiledNfa::compile(b, &mut alphabet);
+
+    let mut queue: Vec<(u32, BitSet)> = Vec::new();
+    // (parent queue index, letter id); u32::MAX parent marks a root.
+    let mut parent: Vec<(u32, LetterId)> = Vec::new();
+    // Antichain of ⊆-minimal B-sets seen, indexed by A-state.
+    let mut antichain: Vec<Vec<BitSet>> = vec![Vec::new(); ca.num_states()];
+
+    let b0 = cb.initial_closure();
+    for &qa in ca.initial_states() {
+        if try_insert(&mut antichain[qa as usize], &b0) {
+            queue.push((qa, b0.clone()));
+            parent.push((u32::MAX, EPSILON));
+        }
+    }
+
+    let mut head = 0usize;
+    while head < queue.len() {
+        let qa = queue[head].0;
+        let (letters, targets) = ca.edges_from(qa);
+        for (&letter, &target) in letters.iter().zip(targets) {
+            let next_set = if letter == EPSILON {
+                queue[head].1.clone()
+            } else {
+                let post = cb.post(&queue[head].1, letter);
+                if post.is_empty() {
+                    return counterexample(&alphabet, &parent, head, letter, queue.len());
+                }
+                post
+            };
+            if try_insert(&mut antichain[target as usize], &next_set) {
+                queue.push((target, next_set));
+                parent.push((head as u32, letter));
+            }
+        }
+        head += 1;
+    }
+    InclusionResult::Included {
+        product_states: queue.len(),
+    }
+}
+
+/// Inserts `set` into the antichain entry unless it is subsumed (some
+/// stored set is a subset of it); removes stored supersets. Returns
+/// `true` if inserted. Subset tests run on the raw bitset words — all
+/// sets here share the B-automaton's capacity.
+fn try_insert(entry: &mut Vec<BitSet>, set: &BitSet) -> bool {
+    let words = set.words();
+    if entry
+        .iter()
+        .any(|stored| subset_words(stored.words(), words))
+    {
+        return false;
+    }
+    entry.retain(|stored| !subset_words(words, stored.words()));
+    entry.push(set.clone());
+    true
+}
+
+/// `true` if the set with words `a` is a subset of the set with words `b`
+/// (equal lengths assumed).
+#[inline]
+fn subset_words(a: &[u64], b: &[u64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).all(|(&x, &y)| x & !y == 0)
+}
+
+/// The pre-compilation (seed) implementation of
+/// [`check_inclusion_antichain`]: per-letter full-edge `Nfa::post`
+/// scans, label clones on every discovered edge, `HashMap`-keyed
+/// antichain. Kept verbatim as the baseline for benches and differential
+/// tests; not used by any checker.
+pub fn check_inclusion_antichain_reference<L: Clone + Eq + Hash>(
+    a: &Nfa<L>,
+    b: &Nfa<L>,
+) -> InclusionResult<L> {
     let mut queue: Vec<(StateId, BitSet)> = Vec::new();
     let mut parent: Vec<Option<(usize, Option<L>)>> = Vec::new();
     // Antichain of ⊆-minimal B-sets seen per A-state.
     let mut antichain: HashMap<StateId, Vec<BitSet>> = HashMap::new();
 
     let b0 = b.initial_closure();
-    if b0.is_empty() && !a.initial_states().is_empty() {
-        // B rejects even the empty word's continuation; any A move loses.
-        // (Cannot happen for well-formed specs, but handle it: the empty
-        // word itself is accepted by both — all states accepting — so we
-        // continue and fail on the first A letter below.)
-    }
     for &qa in a.initial_states() {
-        if try_insert(&mut antichain, qa, &b0) {
+        if try_insert_map(&mut antichain, qa, &b0) {
             queue.push((qa, b0.clone()));
             parent.push(None);
         }
@@ -89,7 +176,7 @@ pub fn check_inclusion_antichain<L: Clone + Eq + Hash>(
                     post
                 }
             };
-            if try_insert(&mut antichain, *target, &next_set) {
+            if try_insert_map(&mut antichain, *target, &next_set) {
                 queue.push((*target, next_set));
                 parent.push(Some((head, label.clone())));
             }
@@ -101,10 +188,12 @@ pub fn check_inclusion_antichain<L: Clone + Eq + Hash>(
     }
 }
 
-/// Inserts `set` into the antichain at `state` unless it is subsumed
-/// (some stored set is a subset of it); removes stored supersets.
-/// Returns `true` if inserted.
-fn try_insert(antichain: &mut HashMap<StateId, Vec<BitSet>>, state: StateId, set: &BitSet) -> bool {
+/// [`try_insert`] over the reference implementation's map-keyed antichain.
+fn try_insert_map(
+    antichain: &mut HashMap<StateId, Vec<BitSet>>,
+    state: StateId,
+    set: &BitSet,
+) -> bool {
     let entry = antichain.entry(state).or_default();
     if entry.iter().any(|stored| stored.is_subset(set)) {
         return false;
@@ -238,17 +327,37 @@ mod tests {
 
     #[test]
     fn antichain_subsumption_prunes() {
-        let mut chain: HashMap<StateId, Vec<BitSet>> = HashMap::new();
+        let mut entry: Vec<BitSet> = Vec::new();
         let mut big = BitSet::new(4);
         big.insert(0);
         big.insert(1);
         let mut small = BitSet::new(4);
         small.insert(0);
-        assert!(try_insert(&mut chain, 0, &big));
+        assert!(try_insert(&mut entry, &big));
         // Smaller set replaces the bigger one.
-        assert!(try_insert(&mut chain, 0, &small));
-        assert_eq!(chain[&0].len(), 1);
+        assert!(try_insert(&mut entry, &small));
+        assert_eq!(entry.len(), 1);
         // Superset now subsumed.
-        assert!(!try_insert(&mut chain, 0, &big));
+        assert!(!try_insert(&mut entry, &big));
+    }
+
+    /// The compiled antichain check agrees with the seed reference on
+    /// verdicts and counterexample words.
+    #[test]
+    fn compiled_antichain_matches_reference() {
+        let ab = letters(&['a', 'b']);
+        let a = letters(&['a']);
+        let mut eps = Nfa::new();
+        let q0 = eps.add_state();
+        let q1 = eps.add_state();
+        eps.set_initial(q0);
+        eps.add_transition(q0, None, q1);
+        eps.add_transition(q1, Some('a'), q1);
+        eps.add_transition(q1, Some('c'), q0);
+        for (left, right) in [(&ab, &a), (&a, &ab), (&eps, &ab), (&ab, &eps), (&eps, &a)] {
+            let fast = check_inclusion_antichain(left, right);
+            let slow = check_inclusion_antichain_reference(left, right);
+            assert_eq!(fast, slow);
+        }
     }
 }

@@ -54,14 +54,23 @@ impl BitSet {
     }
 
     /// Removes `index`; returns `true` if it was present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= capacity` — the same contract (and message) as
+    /// [`BitSet::insert`]. (Previously this panicked only when the word
+    /// index overflowed, with a raw slice-indexing message.)
     pub fn remove(&mut self, index: usize) -> bool {
+        assert!(index < self.capacity, "bitset index out of range");
         let (w, b) = (index / 64, index % 64);
         let present = self.words[w] & (1 << b) != 0;
         self.words[w] &= !(1 << b);
         present
     }
 
-    /// Tests membership.
+    /// Tests membership. Unlike the mutators, this is a total query:
+    /// indices at or beyond the capacity are simply not members (`false`),
+    /// so callers may probe with ids from a larger space.
     pub fn contains(&self, index: usize) -> bool {
         let (w, b) = (index / 64, index % 64);
         self.words.get(w).is_some_and(|word| word & (1 << b) != 0)
@@ -101,6 +110,14 @@ impl BitSet {
         for (a, &b) in self.words.iter_mut().zip(&other.words) {
             *a |= b;
         }
+    }
+
+    /// The backing words, least-significant index first — the fast path
+    /// for bulk bitwise work such as antichain subsumption, where subset
+    /// tests run directly on `u64`s without the per-call capacity
+    /// assertion of [`BitSet::is_subset`].
+    pub fn words(&self) -> &[u64] {
+        &self.words
     }
 
     /// Iterates over the elements in increasing order.
@@ -230,6 +247,31 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn out_of_range_insert_panics() {
         BitSet::new(8).insert(8);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_remove_panics_like_insert() {
+        // `remove` shares `insert`'s contract; before, it only panicked
+        // on word-index overflow with a slice-indexing message.
+        BitSet::new(8).remove(8);
+    }
+
+    #[test]
+    fn contains_is_total() {
+        let mut s = BitSet::new(8);
+        s.insert(3);
+        assert!(!s.contains(8));
+        assert!(!s.contains(1_000_000));
+    }
+
+    #[test]
+    fn words_expose_backing_storage() {
+        let mut s = BitSet::new(130);
+        s.insert(0);
+        s.insert(64);
+        s.insert(129);
+        assert_eq!(s.words(), &[1, 1, 2]);
     }
 
     #[test]

@@ -5,10 +5,12 @@
 //! transition function may be partial: a missing transition rejects the
 //! word (the languages are prefix-closed).
 
-use std::collections::HashMap;
 use std::hash::Hash;
 
+use crate::alphabet::Alphabet;
 use crate::bitset::BitSet;
+use crate::compiled::{CompiledDfa, CompiledNfa, NO_STATE};
+use crate::fxhash::FxHashMap;
 use crate::nfa::{Nfa, StateId};
 
 /// A deterministic automaton with all states accepting and a (possibly
@@ -29,7 +31,7 @@ use crate::nfa::{Nfa, StateId};
 #[derive(Clone, Debug)]
 pub struct Dfa<L> {
     alphabet: Vec<L>,
-    index: HashMap<L, usize>,
+    index: FxHashMap<L, usize>,
     initial: StateId,
     /// `next[state][letter] = Some(target)`.
     next: Vec<Vec<Option<StateId>>>,
@@ -42,7 +44,7 @@ impl<L: Clone + Eq + Hash> Dfa<L> {
     ///
     /// Panics if the alphabet contains duplicate letters.
     pub fn new(alphabet: Vec<L>) -> Self {
-        let index: HashMap<L, usize> = alphabet
+        let index: FxHashMap<L, usize> = alphabet
             .iter()
             .cloned()
             .enumerate()
@@ -113,6 +115,36 @@ impl<L: Clone + Eq + Hash> Dfa<L> {
         self.next[state][letter_index]
     }
 
+    /// Defines `from --letter--> to` by letter index, skipping the label
+    /// hash of [`Dfa::set_transition`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `letter_index` is out of range.
+    pub fn set_transition_by_index(&mut self, from: StateId, letter_index: usize, to: StateId) {
+        assert!(letter_index < self.alphabet.len(), "letter index out of range");
+        self.next[from][letter_index] = Some(to);
+    }
+
+    /// Compiles to the dense-table form used by the inclusion inner
+    /// loops; letter ids equal this automaton's letter indices.
+    pub fn compile(&self) -> CompiledDfa<L> {
+        let alphabet = Alphabet::from_letters(&self.alphabet);
+        let mut next = Vec::with_capacity(self.num_states() * self.alphabet.len());
+        for row in &self.next {
+            next.extend(
+                row.iter()
+                    .map(|t| t.map_or(NO_STATE, |s| s as u32)),
+            );
+        }
+        CompiledDfa::new(
+            alphabet,
+            u32::try_from(self.num_states()).expect("more than u32::MAX states"),
+            self.initial as u32,
+            next,
+        )
+    }
+
     /// Whether the automaton accepts `word`.
     pub fn accepts(&self, word: &[L]) -> bool {
         let mut q = self.initial;
@@ -161,20 +193,24 @@ impl<L: Clone + Eq + Hash> Dfa<L> {
     /// ```
     pub fn determinize(nfa: &Nfa<L>, alphabet: Vec<L>) -> Dfa<L> {
         let mut dfa = Dfa::new(alphabet);
-        let start = nfa.initial_closure();
-        let mut ids: HashMap<BitSet, StateId> = HashMap::new();
+        // Compile the NFA over the target alphabet so each `post` is a
+        // per-letter CSR slice walk instead of a full-edge scan; NFA
+        // labels outside the alphabet get ids ≥ the alphabet length and
+        // are simply never queried.
+        let mut interner = Alphabet::from_letters(&dfa.alphabet);
+        let num_letters = interner.len() as u32;
+        let compiled = CompiledNfa::compile(nfa, &mut interner);
+        let start = compiled.initial_closure();
+        let mut ids: FxHashMap<BitSet, StateId> = FxHashMap::default();
         let q0 = dfa.add_state();
         dfa.set_initial(q0);
         ids.insert(start.clone(), q0);
         let mut queue = vec![start];
         let mut head = 0;
         while head < queue.len() {
-            let subset = queue[head].clone();
-            let from = ids[&subset];
-            head += 1;
-            for li in 0..dfa.alphabet.len() {
-                let letter = dfa.alphabet[li].clone();
-                let target = nfa.post(&subset, &letter);
+            let from = ids[&queue[head]];
+            for li in 0..num_letters {
+                let target = compiled.post(&queue[head], li);
                 if target.is_empty() {
                     continue;
                 }
@@ -187,8 +223,9 @@ impl<L: Clone + Eq + Hash> Dfa<L> {
                         id
                     }
                 };
-                dfa.next[from][li] = Some(to);
+                dfa.next[from][li as usize] = Some(to);
             }
+            head += 1;
         }
         dfa
     }
@@ -213,7 +250,7 @@ impl<L: Clone + Eq + Hash> Dfa<L> {
         loop {
             // Signature: for each state, the blocks of its successors
             // (sink for missing transitions).
-            let mut sig_ids: HashMap<Vec<usize>, usize> = HashMap::new();
+            let mut sig_ids: FxHashMap<Vec<usize>, usize> = FxHashMap::default();
             let mut new_block = vec![0usize; n];
             for (i, &q) in states.iter().enumerate() {
                 let mut sig = Vec::with_capacity(self.alphabet.len() + 1);

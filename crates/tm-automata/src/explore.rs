@@ -6,9 +6,9 @@
 //! explicit [`Nfa`], remembering the original state for each id so that
 //! counterexamples and liveness loops can be reported in source terms.
 
-use std::collections::HashMap;
 use std::hash::Hash;
 
+use crate::fxhash::FxHashMap;
 use crate::nfa::{Nfa, StateId};
 
 /// An implicitly defined labelled transition system.
@@ -62,7 +62,7 @@ impl<S, L> Explored<S, L> {
 /// small (cf. the paper's reduction to two threads and two variables).
 pub fn explore<T: TransitionSystem>(ts: &T, max_states: usize) -> Explored<T::State, T::Label> {
     let mut nfa = Nfa::new();
-    let mut ids: HashMap<T::State, StateId> = HashMap::new();
+    let mut ids: FxHashMap<T::State, StateId> = FxHashMap::default();
     let mut states: Vec<T::State> = Vec::new();
 
     let init = ts.initial();
@@ -74,9 +74,10 @@ pub fn explore<T: TransitionSystem>(ts: &T, max_states: usize) -> Explored<T::St
     let mut head = 0;
     let mut buf: Vec<(Option<T::Label>, T::State)> = Vec::new();
     while head < states.len() {
-        let state = states[head].clone();
         buf.clear();
-        ts.successors(&state, &mut buf);
+        // Borrow the frontier state in place: the successor buffer is
+        // filled before `states` grows, so no per-visit clone is needed.
+        ts.successors(&states[head], &mut buf);
         for (label, succ) in buf.drain(..) {
             let to = match ids.get(&succ) {
                 Some(&id) => id,
@@ -126,7 +127,7 @@ pub fn explore_deterministic<T: DeterministicTransitionSystem>(
     max_states: usize,
 ) -> (crate::dfa::Dfa<T::Label>, Vec<T::State>) {
     let mut dfa = crate::dfa::Dfa::new(alphabet);
-    let mut ids: HashMap<T::State, StateId> = HashMap::new();
+    let mut ids: FxHashMap<T::State, StateId> = FxHashMap::default();
     let mut states: Vec<T::State> = Vec::new();
 
     let init = ts.initial();
@@ -135,12 +136,13 @@ pub fn explore_deterministic<T: DeterministicTransitionSystem>(
     ids.insert(init.clone(), q0);
     states.push(init);
 
+    // One up-front copy of the alphabet instead of a letter clone (plus a
+    // label hash in `set_transition`) per explored edge.
+    let letters: Vec<T::Label> = dfa.alphabet().to_vec();
     let mut head = 0;
     while head < states.len() {
-        let state = states[head].clone();
-        for li in 0..dfa.alphabet().len() {
-            let letter = dfa.alphabet()[li].clone();
-            let Some(succ) = ts.step(&state, &letter) else {
+        for (li, letter) in letters.iter().enumerate() {
+            let Some(succ) = ts.step(&states[head], letter) else {
                 continue;
             };
             let to = match ids.get(&succ) {
@@ -156,7 +158,7 @@ pub fn explore_deterministic<T: DeterministicTransitionSystem>(
                     id
                 }
             };
-            dfa.set_transition(head, &letter, to);
+            dfa.set_transition_by_index(head, li, to);
         }
         head += 1;
     }

@@ -1,0 +1,122 @@
+//! A small in-repo implementation of the FxHash algorithm (the
+//! rustc-hash / Firefox hasher): a non-cryptographic, multiply-rotate
+//! hash that is dramatically faster than SipHash for the short keys this
+//! workspace hashes in hot loops — state ids, state-id pairs, statements,
+//! and bitset words.
+//!
+//! The default `std::collections::HashMap` hasher (SipHash 1-3) is
+//! DoS-resistant but costs ~1ns/byte with a long setup; model-checking
+//! inner loops hash millions of tiny keys and never face adversarial
+//! input, so the trade is clear-cut. This is the "FxHash-style hasher
+//! (small in-repo implementation)" referenced by the perf plan — no
+//! external dependency.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant from the Firefox hash (a.k.a. `K` in
+/// rustc-hash): close to 2^64 / φ, spreads bits well under wrapping
+/// multiplication.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The FxHash state: one `u64` folded with rotate-xor-multiply.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(tail) | (rest.len() as u64) << 56);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// [`std::hash::BuildHasher`] for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash + ?Sized>(value: &T) -> u64 {
+        FxBuildHasher::default().hash_one(value)
+    }
+
+    #[test]
+    fn deterministic_and_discriminating() {
+        assert_eq!(hash_of(&(3usize, 7usize)), hash_of(&(3usize, 7usize)));
+        assert_ne!(hash_of(&(3usize, 7usize)), hash_of(&(7usize, 3usize)));
+        assert_ne!(hash_of(&1u64), hash_of(&2u64));
+    }
+
+    #[test]
+    fn byte_tails_differ_by_length() {
+        // A trailing zero byte must not collide with its absence.
+        assert_ne!(hash_of(&[1u8, 0][..]), hash_of(&[1u8][..]));
+        assert_ne!(hash_of(&"ab"), hash_of(&"ab\0"));
+    }
+
+    #[test]
+    fn works_as_map_hasher() {
+        let mut map: FxHashMap<(usize, usize), usize> = FxHashMap::default();
+        for i in 0..1000 {
+            map.insert((i, i * 2), i);
+        }
+        assert_eq!(map.len(), 1000);
+        assert_eq!(map[&(41, 82)], 41);
+    }
+}

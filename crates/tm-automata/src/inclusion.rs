@@ -2,10 +2,22 @@
 //! against a **deterministic** specification — the paper's core safety
 //! check (§5.4): "Since the TM specification is deterministic, language
 //! inclusion can be checked in time linear in the size of the systems."
+//!
+//! The check is *index-based* end to end: the implementation NFA is
+//! compiled over the specification's interned alphabet
+//! ([`crate::CompiledNfa`] / [`crate::CompiledDfa`]), the product BFS
+//! runs purely on `(u32 state, u32 letter)` integers — no label clones
+//! and no label hashing inside the loop — and labels are materialized
+//! only when a counterexample word is reconstructed. The pre-compilation
+//! original is kept as [`check_inclusion_reference`] for A/B benchmarks
+//! and differential tests.
 
 use std::hash::Hash;
 
+use crate::alphabet::LetterId;
+use crate::compiled::{CompiledDfa, CompiledNfa, EPSILON, NO_STATE};
 use crate::dfa::Dfa;
+use crate::fxhash::FxHashSet;
 use crate::nfa::{Nfa, StateId};
 
 /// Outcome of an inclusion check.
@@ -53,7 +65,12 @@ impl<L> InclusionResult<L> {
 ///
 /// Both automata have all states accepting, so inclusion fails exactly
 /// when some reachable implementation transition has no counterpart in the
-/// specification; BFS order makes the returned counterexample shortest.
+/// specification; BFS order makes the returned counterexample shortest
+/// (and identical to [`check_inclusion_reference`]'s).
+///
+/// Compiles the specification on the spot; when the same specification is
+/// checked against several implementations, compile it once with
+/// [`Dfa::compile`] and use [`check_inclusion_compiled`].
 ///
 /// # Examples
 ///
@@ -72,6 +89,161 @@ impl<L> InclusionResult<L> {
 /// assert_eq!(result.counterexample(), Some(&['b'][..]));
 /// ```
 pub fn check_inclusion<L: Clone + Eq + Hash>(nfa: &Nfa<L>, dfa: &Dfa<L>) -> InclusionResult<L> {
+    check_inclusion_compiled(nfa, &dfa.compile())
+}
+
+/// [`check_inclusion`] against a pre-compiled specification — the form
+/// the safety checker uses, amortizing the specification compilation
+/// over many implementations.
+pub fn check_inclusion_compiled<L: Clone + Eq + Hash>(
+    nfa: &Nfa<L>,
+    spec: &CompiledDfa<L>,
+) -> InclusionResult<L> {
+    // Intern the implementation's labels on top of the specification
+    // alphabet: ids below `spec_letters` are specification letters (and
+    // equal its letter indices); ids at or above it can never be matched
+    // by the specification and are immediate violations when reached.
+    let mut alphabet = spec.alphabet().clone();
+    let imp = CompiledNfa::compile(nfa, &mut alphabet);
+
+    // The BFS only ever *dedups* product pairs, so the visited structure
+    // is a set, not a map. When the full product fits a bitmap, even the
+    // hash goes away: one test-and-set per discovered edge.
+    let product_bits = imp.num_states() as u64 * spec.num_states() as u64;
+    if product_bits <= DENSE_VISITED_LIMIT {
+        let visited = DenseVisited {
+            set: crate::bitset::BitSet::new(product_bits as usize),
+            spec_states: spec.num_states() as u64,
+        };
+        product_bfs(&imp, spec, &alphabet, visited)
+    } else {
+        product_bfs(&imp, spec, &alphabet, HashedVisited(FxHashSet::default()))
+    }
+}
+
+/// Largest dense product bitmap the checker will allocate: 2^27 bits =
+/// 16 MiB. Above it (e.g. TL2-sized TMs against (2,3)+ specifications)
+/// the visited set falls back to hashing packed pairs.
+const DENSE_VISITED_LIMIT: u64 = 1 << 27;
+
+/// Dedup structure for product pairs; monomorphized into the BFS.
+trait ProductVisited {
+    /// `true` exactly on the first visit of `(qi, qs)`.
+    fn first_visit(&mut self, qi: u32, qs: u32) -> bool;
+}
+
+struct DenseVisited {
+    set: crate::bitset::BitSet,
+    spec_states: u64,
+}
+
+impl ProductVisited for DenseVisited {
+    #[inline]
+    fn first_visit(&mut self, qi: u32, qs: u32) -> bool {
+        self.set
+            .insert((qi as u64 * self.spec_states + qs as u64) as usize)
+    }
+}
+
+struct HashedVisited(FxHashSet<u64>);
+
+impl ProductVisited for HashedVisited {
+    #[inline]
+    fn first_visit(&mut self, qi: u32, qs: u32) -> bool {
+        self.0.insert((qi as u64) << 32 | qs as u64)
+    }
+}
+
+/// The index-based product BFS: every step is integer arithmetic on
+/// `(u32 state, u32 letter)` — no label clones, no label hashing.
+fn product_bfs<L: Clone, V: ProductVisited>(
+    imp: &CompiledNfa,
+    spec: &CompiledDfa<L>,
+    alphabet: &crate::alphabet::Alphabet<L>,
+    mut visited: V,
+) -> InclusionResult<L> {
+    const ROOT: u32 = u32::MAX;
+    let spec_letters = spec.alphabet().len() as u32;
+    let mut pairs: Vec<(u32, u32)> = Vec::new();
+    // (predecessor index, letter id) per pair, for counterexamples.
+    let mut parent: Vec<(u32, LetterId)> = Vec::new();
+
+    let spec0 = spec.initial_state();
+    for &qi in imp.initial_states() {
+        if visited.first_visit(qi, spec0) {
+            pairs.push((qi, spec0));
+            parent.push((ROOT, EPSILON));
+        }
+    }
+
+    let mut head = 0usize;
+    while head < pairs.len() {
+        let (qi, qs) = pairs[head];
+        let (letters, targets) = imp.edges_from(qi);
+        for (&letter, &target) in letters.iter().zip(targets) {
+            let qs2 = if letter == EPSILON {
+                qs // internal step: spec stays put
+            } else if letter < spec_letters {
+                match spec.step_raw(qs, letter) {
+                    NO_STATE => {
+                        return counterexample(alphabet, &parent, head, letter, pairs.len())
+                    }
+                    next => next,
+                }
+            } else {
+                // Implementation letter outside the spec alphabet.
+                return counterexample(alphabet, &parent, head, letter, pairs.len());
+            };
+            if visited.first_visit(target, qs2) {
+                pairs.push((target, qs2));
+                parent.push((head as u32, letter));
+            }
+        }
+        head += 1;
+    }
+    InclusionResult::Included {
+        product_states: pairs.len(),
+    }
+}
+
+/// Reconstructs the violating word along parent pointers; the only place
+/// letter ids are materialized back into labels. Shared with the
+/// antichain checker, whose queue uses the same parent encoding.
+pub(crate) fn counterexample<L: Clone>(
+    alphabet: &crate::alphabet::Alphabet<L>,
+    parent: &[(u32, LetterId)],
+    mut at: usize,
+    last_letter: LetterId,
+    product_states: usize,
+) -> InclusionResult<L> {
+    let mut word = vec![alphabet.letter(last_letter).clone()];
+    loop {
+        let (prev, letter) = parent[at];
+        if prev == u32::MAX {
+            break;
+        }
+        if letter != EPSILON {
+            word.push(alphabet.letter(letter).clone());
+        }
+        at = prev as usize;
+    }
+    word.reverse();
+    InclusionResult::Counterexample {
+        word,
+        product_states,
+    }
+}
+
+/// The pre-compilation (seed) implementation of [`check_inclusion`]:
+/// label hashing in `Dfa::step`, label clones on every discovered edge,
+/// SipHash product-pair interning.
+///
+/// Kept verbatim as the baseline for the `compiled-vs-seed` criterion
+/// bench and the differential property tests; not used by any checker.
+pub fn check_inclusion_reference<L: Clone + Eq + Hash>(
+    nfa: &Nfa<L>,
+    dfa: &Dfa<L>,
+) -> InclusionResult<L> {
     // Product pair (implementation state, spec state), interned.
     let mut ids: std::collections::HashMap<(StateId, StateId), usize> =
         std::collections::HashMap::new();
@@ -82,7 +254,8 @@ pub fn check_inclusion<L: Clone + Eq + Hash>(nfa: &Nfa<L>, dfa: &Dfa<L>) -> Incl
 
     let spec0 = dfa.initial_state();
     for &q in nfa.initial_states() {
-        if ids.insert((q, spec0), pairs.len()).is_none() {
+        if let std::collections::hash_map::Entry::Vacant(e) = ids.entry((q, spec0)) {
+            e.insert(pairs.len());
             pairs.push((q, spec0));
             parent.push(None);
         }
@@ -198,5 +371,52 @@ mod tests {
     fn letter_outside_spec_alphabet_is_violation() {
         let result = check_inclusion(&letter_nfa(&['z']), &letter_dfa(&['a']));
         assert_eq!(result.counterexample(), Some(&['z'][..]));
+    }
+
+    /// Random-ish structured cases: the compiled check and the seed
+    /// reference must agree exactly (verdict, counterexample word, and
+    /// product-state count).
+    #[test]
+    fn compiled_check_matches_reference() {
+        let cases: Vec<(Nfa<char>, Dfa<char>)> = vec![
+            (letter_nfa(&['a', 'b']), letter_dfa(&['a'])),
+            (letter_nfa(&['a']), letter_dfa(&['a', 'b'])),
+            (letter_nfa(&['z']), letter_dfa(&['a'])),
+            (
+                {
+                    let mut imp = Nfa::new();
+                    let s0 = imp.add_state();
+                    let s1 = imp.add_state();
+                    imp.set_initial(s0);
+                    imp.add_transition(s0, None, s1);
+                    imp.add_transition(s1, Some('a'), s0);
+                    imp.add_transition(s0, Some('b'), s1);
+                    imp.add_transition(s1, Some('c'), s1);
+                    imp
+                },
+                {
+                    let mut spec = Dfa::new(vec!['a', 'b']);
+                    let q0 = spec.add_state();
+                    let q1 = spec.add_state();
+                    spec.set_initial(q0);
+                    spec.set_transition(q0, &'a', q1);
+                    spec.set_transition(q1, &'b', q0);
+                    spec
+                },
+            ),
+        ];
+        for (nfa, dfa) in &cases {
+            let fast = check_inclusion(nfa, dfa);
+            let slow = check_inclusion_reference(nfa, dfa);
+            assert_eq!(fast, slow);
+        }
+    }
+
+    #[test]
+    fn precompiled_spec_reusable_across_checks() {
+        let spec = letter_dfa(&['a', 'b']).compile();
+        assert!(check_inclusion_compiled(&letter_nfa(&['a']), &spec).holds());
+        let bad = check_inclusion_compiled(&letter_nfa(&['a', 'z']), &spec);
+        assert_eq!(bad.counterexample(), Some(&['z'][..]));
     }
 }

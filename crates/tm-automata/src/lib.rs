@@ -10,17 +10,27 @@
 //!
 //! * [`Nfa`] with ε-moves and [`Dfa`] with subset-construction
 //!   [`Dfa::determinize`] and Moore [`Dfa::minimize`];
+//! * an interned-alphabet compiled core: [`Alphabet`] maps labels to
+//!   dense `u32` [`LetterId`]s, [`CompiledNfa`] stores transitions in
+//!   CSR form grouped by letter (ε segregated), [`CompiledDfa`] is one
+//!   dense `u32` table — see `README.md` for when to use which;
 //! * on-the-fly state-space exploration of rule-defined systems
 //!   ([`TransitionSystem`] / [`explore`],
 //!   [`DeterministicTransitionSystem`] / [`explore_deterministic`]);
 //! * linear-time inclusion against a deterministic specification
-//!   ([`check_inclusion`]) with shortest counterexamples;
+//!   ([`check_inclusion`], [`check_inclusion_compiled`]) with shortest
+//!   counterexamples, running purely on `(u32 state, u32 letter)`
+//!   integers (the pre-compilation originals survive as
+//!   [`check_inclusion_reference`] /
+//!   [`check_inclusion_antichain_reference`] for A/B benches);
 //! * antichain-based inclusion and equivalence between nondeterministic
 //!   automata ([`check_inclusion_antichain`],
 //!   [`check_equivalence_antichain`]) in the style of De Wulf et al.;
 //! * labelled graphs, iterative Tarjan SCCs, and constrained closed-walk
 //!   construction for liveness lassos ([`LabeledGraph`],
-//!   [`strongly_connected_components`], [`closed_walk_through`]).
+//!   [`strongly_connected_components`], [`closed_walk_through`]);
+//! * the [`FxHasher`] used by every hot-path hash map in the workspace
+//!   ([`FxHashMap`], [`FxHashSet`]).
 //!
 //! # Examples
 //!
@@ -46,22 +56,33 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod alphabet;
 mod antichain;
 mod bitset;
+mod compiled;
 mod dfa;
 mod explore;
+mod fxhash;
 mod graph;
 mod inclusion;
 mod nfa;
 
-pub use antichain::{check_equivalence_antichain, check_inclusion_antichain, EquivalenceResult};
+pub use alphabet::{Alphabet, LetterId};
+pub use antichain::{
+    check_equivalence_antichain, check_inclusion_antichain,
+    check_inclusion_antichain_reference, EquivalenceResult,
+};
 pub use bitset::{BitSet, Iter as BitSetIter};
+pub use compiled::{CompiledDfa, CompiledNfa, EPSILON, NO_STATE};
 pub use dfa::Dfa;
 pub use explore::{
     explore, explore_deterministic, DeterministicTransitionSystem, Explored, TransitionSystem,
 };
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use graph::{
     closed_walk_through, strongly_connected_components, LabeledGraph, Sccs,
 };
-pub use inclusion::{check_inclusion, InclusionResult};
+pub use inclusion::{
+    check_inclusion, check_inclusion_compiled, check_inclusion_reference, InclusionResult,
+};
 pub use nfa::{Nfa, StateId};

@@ -7,10 +7,12 @@
 //! failure = the implementation moves while the specification's state set
 //! becomes empty).
 
-use std::collections::HashMap;
+use std::collections::HashSet;
 use std::hash::Hash;
 
+use crate::alphabet::Alphabet;
 use crate::bitset::BitSet;
+use crate::compiled::CompiledNfa;
 
 /// State index within an automaton.
 pub type StateId = usize;
@@ -157,17 +159,43 @@ impl<L: Eq> Nfa<L> {
     where
         L: Clone + Hash,
     {
-        let mut seen = HashMap::new();
+        let mut seen = HashSet::new();
         let mut out = Vec::new();
         for (l, _) in self.transitions.iter().flatten() {
             if let Some(l) = l {
-                if !seen.contains_key(l) {
-                    seen.insert(l.clone(), ());
+                if seen.insert(l.clone()) {
                     out.push(l.clone());
                 }
             }
         }
         out
+    }
+
+    /// The distinct (non-ε) labels as a shared [`Alphabet`], ids in
+    /// first-seen order. Interning the labels of several automata into
+    /// **one** alphabet (this one, extended via [`Alphabet::intern`] or
+    /// [`CompiledNfa::compile`]) is how spec and TM automata agree on
+    /// letter ids.
+    pub fn labels_interned(&self) -> Alphabet<L>
+    where
+        L: Clone + Hash,
+    {
+        let mut alphabet = Alphabet::new();
+        for (l, _) in self.transitions.iter().flatten() {
+            if let Some(l) = l {
+                alphabet.intern(l);
+            }
+        }
+        alphabet
+    }
+
+    /// Compiles this automaton over `alphabet` (interning any new
+    /// labels); see [`CompiledNfa`].
+    pub fn compile(&self, alphabet: &mut Alphabet<L>) -> CompiledNfa
+    where
+        L: Clone + Hash,
+    {
+        CompiledNfa::compile(self, alphabet)
     }
 }
 
@@ -212,6 +240,15 @@ mod tests {
         assert_eq!(nfa.num_transitions(), 3);
         assert_eq!(nfa.num_epsilon_transitions(), 1);
         assert_eq!(nfa.labels(), vec!['a', 'b']);
+    }
+
+    #[test]
+    fn labels_interned_matches_labels_order() {
+        let nfa = sample();
+        let alphabet = nfa.labels_interned();
+        assert_eq!(alphabet.letters(), &nfa.labels()[..]);
+        assert_eq!(alphabet.get(&'a'), Some(0));
+        assert_eq!(alphabet.get(&'b'), Some(1));
     }
 
     #[test]

@@ -50,6 +50,8 @@ pub fn canonical_dfa(
 ) -> Dfa<Statement> {
     let spec = NondetSpec::new(property, threads, vars);
     let explored = spec.to_nfa(max_states);
+    // `determinize` compiles the NFA internally (interned letter ids,
+    // CSR post), so the subset construction runs on integers throughout.
     let dfa = Dfa::determinize(&explored.nfa, spec_alphabet(threads, vars));
     dfa.minimize()
 }

@@ -4,6 +4,10 @@
 
 use proptest::prelude::*;
 
+use tm_modelcheck::automata::{
+    check_inclusion, check_inclusion_antichain, check_inclusion_antichain_reference,
+    check_inclusion_reference, Alphabet as LetterAlphabet, BitSet, Dfa, LetterId, Nfa,
+};
 use tm_modelcheck::lang::{
     is_opaque, is_opaque_brute_force, is_strictly_serializable,
     is_strictly_serializable_brute_force, is_sequential, opacity_witness,
@@ -125,6 +129,131 @@ proptest! {
             }
         }
         prop_assert!(is_opaque(&closed));
+    }
+}
+
+const NFA_ALPHABET: [char; 3] = ['a', 'b', 'c'];
+
+/// A random NFA over {a, b, c} with ≤ 6 states, ≤ 14 transitions (25% ε),
+/// state 0 initial — the automaton shape also used in
+/// `tests/automata_laws.rs`.
+fn arb_nfa() -> impl Strategy<Value = Nfa<char>> {
+    (
+        1usize..=6,
+        proptest::collection::vec((0usize..6, 0usize..4, 0usize..6), 0..14),
+    )
+        .prop_map(|(states, edges)| {
+            let mut nfa = Nfa::new();
+            for _ in 0..states {
+                nfa.add_state();
+            }
+            nfa.set_initial(0);
+            for (from, label, to) in edges {
+                let (from, to) = (from % states, to % states);
+                let label = if label == 3 {
+                    None
+                } else {
+                    Some(NFA_ALPHABET[label])
+                };
+                nfa.add_transition(from, label, to);
+            }
+            nfa
+        })
+}
+
+proptest! {
+    /// The compiled CSR representation accepts exactly the words the
+    /// uncompiled automaton accepts (letters outside the compiled
+    /// alphabet reject, as do letters missing from the automaton).
+    #[test]
+    fn compiled_nfa_agrees_on_accepts(
+        (nfa, word) in (arb_nfa(), proptest::collection::vec(0usize..3, 0..6))
+    ) {
+        let mut alphabet = LetterAlphabet::new();
+        let compiled = nfa.compile(&mut alphabet);
+        let chars: Vec<char> = word.iter().map(|&i| NFA_ALPHABET[i]).collect();
+        // Letters the automaton never uses are not interned: give them an
+        // id beyond the compiled alphabet, which the compiled automaton
+        // rejects just like the uncompiled one rejects the raw letter.
+        let ids: Vec<LetterId> = chars
+            .iter()
+            .map(|l| alphabet.get(l).unwrap_or(u32::MAX - 1))
+            .collect();
+        prop_assert_eq!(compiled.accepts(&ids), nfa.accepts(&chars), "{:?}", chars);
+    }
+
+    /// `CompiledNfa::post` (per-letter CSR slice walk) computes the same
+    /// successor sets as the full-edge-scan `Nfa::post`, from the initial
+    /// closure and from its iterated posts.
+    #[test]
+    fn compiled_nfa_agrees_on_post(nfa in arb_nfa()) {
+        let mut alphabet = LetterAlphabet::new();
+        let compiled = nfa.compile(&mut alphabet);
+        prop_assert_eq!(
+            nfa.initial_closure().iter().collect::<Vec<_>>(),
+            compiled.initial_closure().iter().collect::<Vec<_>>()
+        );
+        let mut frontiers = vec![nfa.initial_closure()];
+        for _ in 0..2 {
+            let mut next = Vec::new();
+            for frontier in &frontiers {
+                for letter in NFA_ALPHABET {
+                    let reference = nfa.post(frontier, &letter);
+                    let fast = match alphabet.get(&letter) {
+                        Some(id) => compiled.post(frontier, id),
+                        None => BitSet::new(compiled.num_states()),
+                    };
+                    prop_assert_eq!(
+                        reference.iter().collect::<Vec<_>>(),
+                        fast.iter().collect::<Vec<_>>(),
+                        "letter {}", letter
+                    );
+                    next.push(reference);
+                }
+            }
+            frontiers = next;
+        }
+    }
+
+    /// The index-based inclusion checks return results identical to the
+    /// seed (label-hashing) implementations — verdict, counterexample
+    /// word, and product-state count.
+    #[test]
+    fn inclusion_checks_agree_with_seed((left, right) in (arb_nfa(), arb_nfa())) {
+        let dfa = Dfa::determinize(&right, NFA_ALPHABET.to_vec());
+        prop_assert_eq!(
+            check_inclusion(&left, &dfa),
+            check_inclusion_reference(&left, &dfa)
+        );
+        prop_assert_eq!(
+            check_inclusion_antichain(&left, &right),
+            check_inclusion_antichain_reference(&left, &right)
+        );
+    }
+}
+
+/// The index-based `check_inclusion` reproduces the seed implementation
+/// bit-for-bit — verdict, shortest counterexample word, and explored
+/// product size — on every Table 2 TM/property pair.
+#[test]
+fn table2_inclusion_matches_seed_implementation() {
+    // The roster depends only on the instance size, not the property.
+    let roster = tm_bench::table2_roster();
+    for property in SafetyProperty::all() {
+        let (spec, _) = DetSpec::new(property, 2, 2).to_dfa(20_000_000);
+        let compiled = spec.compile();
+        for (name, nfa, _) in &roster {
+            let fast = check_inclusion(nfa, &spec);
+            let seed = check_inclusion_reference(nfa, &spec);
+            assert_eq!(fast, seed, "{property} / {name}");
+            let precompiled =
+                tm_modelcheck::automata::check_inclusion_compiled(nfa, &compiled);
+            assert_eq!(precompiled, seed, "{property} / {name} (precompiled)");
+            if let Some(word) = seed.counterexample() {
+                let word: Word = word.iter().copied().collect();
+                assert!(!property.holds(&word), "{property} / {name}: {word}");
+            }
+        }
     }
 }
 
