@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/automata_laws-770b1dec90c0a6ac.d: tests/automata_laws.rs
+
+/root/repo/target/debug/deps/libautomata_laws-770b1dec90c0a6ac.rmeta: tests/automata_laws.rs
+
+tests/automata_laws.rs:

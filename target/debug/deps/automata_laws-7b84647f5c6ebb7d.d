@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/automata_laws-7b84647f5c6ebb7d.d: tests/automata_laws.rs
+
+/root/repo/target/debug/deps/automata_laws-7b84647f5c6ebb7d: tests/automata_laws.rs
+
+tests/automata_laws.rs:

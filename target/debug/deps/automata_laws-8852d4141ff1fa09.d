@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/automata_laws-8852d4141ff1fa09.d: tests/automata_laws.rs Cargo.toml
+
+/root/repo/target/debug/deps/libautomata_laws-8852d4141ff1fa09.rmeta: tests/automata_laws.rs Cargo.toml
+
+tests/automata_laws.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-0b8fe05086e0af47.d: crates/shims/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-0b8fe05086e0af47.rmeta: crates/shims/criterion/src/lib.rs
+
+crates/shims/criterion/src/lib.rs:

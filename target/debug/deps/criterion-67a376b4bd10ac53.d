@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-67a376b4bd10ac53.d: crates/shims/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-67a376b4bd10ac53.rmeta: crates/shims/criterion/src/lib.rs
+
+crates/shims/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_results-2e93eff63d14eddd.d: tests/paper_results.rs
+
+/root/repo/target/debug/deps/paper_results-2e93eff63d14eddd: tests/paper_results.rs
+
+tests/paper_results.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_results-810e2a787eeac152.d: tests/paper_results.rs
+
+/root/repo/target/debug/deps/libpaper_results-810e2a787eeac152.rmeta: tests/paper_results.rs
+
+tests/paper_results.rs:

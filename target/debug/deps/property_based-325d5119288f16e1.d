@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/property_based-325d5119288f16e1.d: tests/property_based.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperty_based-325d5119288f16e1.rmeta: tests/property_based.rs Cargo.toml
+
+tests/property_based.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property_based-54d66dbd1550c489.d: tests/property_based.rs
+
+/root/repo/target/debug/deps/libproperty_based-54d66dbd1550c489.rmeta: tests/property_based.rs
+
+tests/property_based.rs:

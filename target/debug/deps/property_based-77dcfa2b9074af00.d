@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property_based-77dcfa2b9074af00.d: tests/property_based.rs
+
+/root/repo/target/debug/deps/property_based-77dcfa2b9074af00: tests/property_based.rs
+
+tests/property_based.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-59592a3ad1b6688e.d: crates/shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-59592a3ad1b6688e.rmeta: crates/shims/proptest/src/lib.rs
+
+crates/shims/proptest/src/lib.rs:

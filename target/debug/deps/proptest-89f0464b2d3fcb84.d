@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-89f0464b2d3fcb84.d: crates/shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-89f0464b2d3fcb84.rlib: crates/shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-89f0464b2d3fcb84.rmeta: crates/shims/proptest/src/lib.rs
+
+crates/shims/proptest/src/lib.rs:

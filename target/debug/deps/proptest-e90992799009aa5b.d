@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-e90992799009aa5b.d: crates/shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-e90992799009aa5b: crates/shims/proptest/src/lib.rs
+
+crates/shims/proptest/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest-f18de039848c9266.d: crates/shims/proptest/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest-f18de039848c9266.rmeta: crates/shims/proptest/src/lib.rs Cargo.toml
+
+crates/shims/proptest/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-f26f9e003fa30974.d: crates/shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-f26f9e003fa30974.rmeta: crates/shims/proptest/src/lib.rs
+
+crates/shims/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-3fb4198048561555.d: crates/shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-3fb4198048561555.rmeta: crates/shims/rand/src/lib.rs
+
+crates/shims/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-4270c52fbf25141e.d: crates/shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-4270c52fbf25141e: crates/shims/rand/src/lib.rs
+
+crates/shims/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-e05c5a0a1816a588.d: crates/shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-e05c5a0a1816a588.rlib: crates/shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-e05c5a0a1816a588.rmeta: crates/shims/rand/src/lib.rs
+
+crates/shims/rand/src/lib.rs:

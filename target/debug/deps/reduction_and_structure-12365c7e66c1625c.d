@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reduction_and_structure-12365c7e66c1625c.d: tests/reduction_and_structure.rs
+
+/root/repo/target/debug/deps/reduction_and_structure-12365c7e66c1625c: tests/reduction_and_structure.rs
+
+tests/reduction_and_structure.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reduction_and_structure-97e44d484f7e7adb.d: tests/reduction_and_structure.rs
+
+/root/repo/target/debug/deps/libreduction_and_structure-97e44d484f7e7adb.rmeta: tests/reduction_and_structure.rs
+
+tests/reduction_and_structure.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/reduction_and_structure-a2c5571f5e473786.d: tests/reduction_and_structure.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreduction_and_structure-a2c5571f5e473786.rmeta: tests/reduction_and_structure.rs Cargo.toml
+
+tests/reduction_and_structure.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reference_checkers-a863717c646e8522.d: crates/bench/benches/reference_checkers.rs
+
+/root/repo/target/debug/deps/libreference_checkers-a863717c646e8522.rmeta: crates/bench/benches/reference_checkers.rs
+
+crates/bench/benches/reference_checkers.rs:

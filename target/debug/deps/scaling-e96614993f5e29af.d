@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scaling-e96614993f5e29af.d: crates/bench/benches/scaling.rs
+
+/root/repo/target/debug/deps/libscaling-e96614993f5e29af.rmeta: crates/bench/benches/scaling.rs
+
+crates/bench/benches/scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/spec_correctness-9fe71e902ff7d38c.d: tests/spec_correctness.rs
+
+/root/repo/target/debug/deps/spec_correctness-9fe71e902ff7d38c: tests/spec_correctness.rs
+
+tests/spec_correctness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/spec_correctness-c06459e0b0dce1c6.d: tests/spec_correctness.rs
+
+/root/repo/target/debug/deps/libspec_correctness-c06459e0b0dce1c6.rmeta: tests/spec_correctness.rs
+
+tests/spec_correctness.rs:

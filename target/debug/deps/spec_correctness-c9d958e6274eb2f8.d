@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/spec_correctness-c9d958e6274eb2f8.d: tests/spec_correctness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspec_correctness-c9d958e6274eb2f8.rmeta: tests/spec_correctness.rs Cargo.toml
+
+tests/spec_correctness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_and_figures-2fc47fbfc7f6d801.d: tests/table1_and_figures.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_and_figures-2fc47fbfc7f6d801.rmeta: tests/table1_and_figures.rs Cargo.toml
+
+tests/table1_and_figures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_and_figures-a2fd0ceac2852175.d: tests/table1_and_figures.rs
+
+/root/repo/target/debug/deps/libtable1_and_figures-a2fd0ceac2852175.rmeta: tests/table1_and_figures.rs
+
+tests/table1_and_figures.rs:

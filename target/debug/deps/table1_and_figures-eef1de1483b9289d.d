@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_and_figures-eef1de1483b9289d.d: tests/table1_and_figures.rs
+
+/root/repo/target/debug/deps/table1_and_figures-eef1de1483b9289d: tests/table1_and_figures.rs
+
+tests/table1_and_figures.rs:

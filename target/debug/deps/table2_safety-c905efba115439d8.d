@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_safety-c905efba115439d8.d: crates/bench/benches/table2_safety.rs
+
+/root/repo/target/debug/deps/libtable2_safety-c905efba115439d8.rmeta: crates/bench/benches/table2_safety.rs
+
+crates/bench/benches/table2_safety.rs:

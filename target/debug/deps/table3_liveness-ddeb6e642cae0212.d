@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_liveness-ddeb6e642cae0212.d: crates/bench/benches/table3_liveness.rs
+
+/root/repo/target/debug/deps/libtable3_liveness-ddeb6e642cae0212.rmeta: crates/bench/benches/table3_liveness.rs
+
+crates/bench/benches/table3_liveness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tables-0f4b559ca2d59973.d: crates/bench/src/bin/tables.rs
+
+/root/repo/target/debug/deps/libtables-0f4b559ca2d59973.rmeta: crates/bench/src/bin/tables.rs
+
+crates/bench/src/bin/tables.rs:

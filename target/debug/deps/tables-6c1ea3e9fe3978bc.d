@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tables-6c1ea3e9fe3978bc.d: crates/bench/src/bin/tables.rs
+
+/root/repo/target/debug/deps/tables-6c1ea3e9fe3978bc: crates/bench/src/bin/tables.rs
+
+crates/bench/src/bin/tables.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tables-b9e43bbe5579fab1.d: crates/bench/src/bin/tables.rs
+
+/root/repo/target/debug/deps/libtables-b9e43bbe5579fab1.rmeta: crates/bench/src/bin/tables.rs
+
+crates/bench/src/bin/tables.rs:

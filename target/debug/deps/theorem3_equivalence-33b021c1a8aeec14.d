@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/theorem3_equivalence-33b021c1a8aeec14.d: crates/bench/benches/theorem3_equivalence.rs
+
+/root/repo/target/debug/deps/libtheorem3_equivalence-33b021c1a8aeec14.rmeta: crates/bench/benches/theorem3_equivalence.rs
+
+crates/bench/benches/theorem3_equivalence.rs:

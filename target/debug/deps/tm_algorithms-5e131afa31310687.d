@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/tm_algorithms-5e131afa31310687.d: crates/tm-algorithms/src/lib.rs crates/tm-algorithms/src/algorithm.rs crates/tm-algorithms/src/contention.rs crates/tm-algorithms/src/dstm.rs crates/tm-algorithms/src/explore.rs crates/tm-algorithms/src/runner.rs crates/tm-algorithms/src/sequential.rs crates/tm-algorithms/src/tl2.rs crates/tm-algorithms/src/two_phase.rs
+
+/root/repo/target/debug/deps/libtm_algorithms-5e131afa31310687.rlib: crates/tm-algorithms/src/lib.rs crates/tm-algorithms/src/algorithm.rs crates/tm-algorithms/src/contention.rs crates/tm-algorithms/src/dstm.rs crates/tm-algorithms/src/explore.rs crates/tm-algorithms/src/runner.rs crates/tm-algorithms/src/sequential.rs crates/tm-algorithms/src/tl2.rs crates/tm-algorithms/src/two_phase.rs
+
+/root/repo/target/debug/deps/libtm_algorithms-5e131afa31310687.rmeta: crates/tm-algorithms/src/lib.rs crates/tm-algorithms/src/algorithm.rs crates/tm-algorithms/src/contention.rs crates/tm-algorithms/src/dstm.rs crates/tm-algorithms/src/explore.rs crates/tm-algorithms/src/runner.rs crates/tm-algorithms/src/sequential.rs crates/tm-algorithms/src/tl2.rs crates/tm-algorithms/src/two_phase.rs
+
+crates/tm-algorithms/src/lib.rs:
+crates/tm-algorithms/src/algorithm.rs:
+crates/tm-algorithms/src/contention.rs:
+crates/tm-algorithms/src/dstm.rs:
+crates/tm-algorithms/src/explore.rs:
+crates/tm-algorithms/src/runner.rs:
+crates/tm-algorithms/src/sequential.rs:
+crates/tm-algorithms/src/tl2.rs:
+crates/tm-algorithms/src/two_phase.rs:

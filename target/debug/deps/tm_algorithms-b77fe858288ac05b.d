@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/tm_algorithms-b77fe858288ac05b.d: crates/tm-algorithms/src/lib.rs crates/tm-algorithms/src/algorithm.rs crates/tm-algorithms/src/contention.rs crates/tm-algorithms/src/dstm.rs crates/tm-algorithms/src/explore.rs crates/tm-algorithms/src/runner.rs crates/tm-algorithms/src/sequential.rs crates/tm-algorithms/src/tl2.rs crates/tm-algorithms/src/two_phase.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtm_algorithms-b77fe858288ac05b.rmeta: crates/tm-algorithms/src/lib.rs crates/tm-algorithms/src/algorithm.rs crates/tm-algorithms/src/contention.rs crates/tm-algorithms/src/dstm.rs crates/tm-algorithms/src/explore.rs crates/tm-algorithms/src/runner.rs crates/tm-algorithms/src/sequential.rs crates/tm-algorithms/src/tl2.rs crates/tm-algorithms/src/two_phase.rs Cargo.toml
+
+crates/tm-algorithms/src/lib.rs:
+crates/tm-algorithms/src/algorithm.rs:
+crates/tm-algorithms/src/contention.rs:
+crates/tm-algorithms/src/dstm.rs:
+crates/tm-algorithms/src/explore.rs:
+crates/tm-algorithms/src/runner.rs:
+crates/tm-algorithms/src/sequential.rs:
+crates/tm-algorithms/src/tl2.rs:
+crates/tm-algorithms/src/two_phase.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

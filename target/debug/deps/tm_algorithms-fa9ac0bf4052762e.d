@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/tm_algorithms-fa9ac0bf4052762e.d: crates/tm-algorithms/src/lib.rs crates/tm-algorithms/src/algorithm.rs crates/tm-algorithms/src/contention.rs crates/tm-algorithms/src/dstm.rs crates/tm-algorithms/src/explore.rs crates/tm-algorithms/src/runner.rs crates/tm-algorithms/src/sequential.rs crates/tm-algorithms/src/tl2.rs crates/tm-algorithms/src/two_phase.rs
+
+/root/repo/target/debug/deps/libtm_algorithms-fa9ac0bf4052762e.rmeta: crates/tm-algorithms/src/lib.rs crates/tm-algorithms/src/algorithm.rs crates/tm-algorithms/src/contention.rs crates/tm-algorithms/src/dstm.rs crates/tm-algorithms/src/explore.rs crates/tm-algorithms/src/runner.rs crates/tm-algorithms/src/sequential.rs crates/tm-algorithms/src/tl2.rs crates/tm-algorithms/src/two_phase.rs
+
+crates/tm-algorithms/src/lib.rs:
+crates/tm-algorithms/src/algorithm.rs:
+crates/tm-algorithms/src/contention.rs:
+crates/tm-algorithms/src/dstm.rs:
+crates/tm-algorithms/src/explore.rs:
+crates/tm-algorithms/src/runner.rs:
+crates/tm-algorithms/src/sequential.rs:
+crates/tm-algorithms/src/tl2.rs:
+crates/tm-algorithms/src/two_phase.rs:

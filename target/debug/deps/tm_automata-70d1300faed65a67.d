@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/tm_automata-70d1300faed65a67.d: crates/tm-automata/src/lib.rs crates/tm-automata/src/alphabet.rs crates/tm-automata/src/antichain.rs crates/tm-automata/src/bitset.rs crates/tm-automata/src/compiled.rs crates/tm-automata/src/dfa.rs crates/tm-automata/src/explore.rs crates/tm-automata/src/fxhash.rs crates/tm-automata/src/graph.rs crates/tm-automata/src/inclusion.rs crates/tm-automata/src/nfa.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtm_automata-70d1300faed65a67.rmeta: crates/tm-automata/src/lib.rs crates/tm-automata/src/alphabet.rs crates/tm-automata/src/antichain.rs crates/tm-automata/src/bitset.rs crates/tm-automata/src/compiled.rs crates/tm-automata/src/dfa.rs crates/tm-automata/src/explore.rs crates/tm-automata/src/fxhash.rs crates/tm-automata/src/graph.rs crates/tm-automata/src/inclusion.rs crates/tm-automata/src/nfa.rs Cargo.toml
+
+crates/tm-automata/src/lib.rs:
+crates/tm-automata/src/alphabet.rs:
+crates/tm-automata/src/antichain.rs:
+crates/tm-automata/src/bitset.rs:
+crates/tm-automata/src/compiled.rs:
+crates/tm-automata/src/dfa.rs:
+crates/tm-automata/src/explore.rs:
+crates/tm-automata/src/fxhash.rs:
+crates/tm-automata/src/graph.rs:
+crates/tm-automata/src/inclusion.rs:
+crates/tm-automata/src/nfa.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/tm_automata-ac9f3899eeda91be.d: crates/tm-automata/src/lib.rs crates/tm-automata/src/alphabet.rs crates/tm-automata/src/antichain.rs crates/tm-automata/src/bitset.rs crates/tm-automata/src/compiled.rs crates/tm-automata/src/dfa.rs crates/tm-automata/src/explore.rs crates/tm-automata/src/fxhash.rs crates/tm-automata/src/graph.rs crates/tm-automata/src/inclusion.rs crates/tm-automata/src/nfa.rs
+
+/root/repo/target/debug/deps/libtm_automata-ac9f3899eeda91be.rlib: crates/tm-automata/src/lib.rs crates/tm-automata/src/alphabet.rs crates/tm-automata/src/antichain.rs crates/tm-automata/src/bitset.rs crates/tm-automata/src/compiled.rs crates/tm-automata/src/dfa.rs crates/tm-automata/src/explore.rs crates/tm-automata/src/fxhash.rs crates/tm-automata/src/graph.rs crates/tm-automata/src/inclusion.rs crates/tm-automata/src/nfa.rs
+
+/root/repo/target/debug/deps/libtm_automata-ac9f3899eeda91be.rmeta: crates/tm-automata/src/lib.rs crates/tm-automata/src/alphabet.rs crates/tm-automata/src/antichain.rs crates/tm-automata/src/bitset.rs crates/tm-automata/src/compiled.rs crates/tm-automata/src/dfa.rs crates/tm-automata/src/explore.rs crates/tm-automata/src/fxhash.rs crates/tm-automata/src/graph.rs crates/tm-automata/src/inclusion.rs crates/tm-automata/src/nfa.rs
+
+crates/tm-automata/src/lib.rs:
+crates/tm-automata/src/alphabet.rs:
+crates/tm-automata/src/antichain.rs:
+crates/tm-automata/src/bitset.rs:
+crates/tm-automata/src/compiled.rs:
+crates/tm-automata/src/dfa.rs:
+crates/tm-automata/src/explore.rs:
+crates/tm-automata/src/fxhash.rs:
+crates/tm-automata/src/graph.rs:
+crates/tm-automata/src/inclusion.rs:
+crates/tm-automata/src/nfa.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/tm_automata-e35ef57b934003c2.d: crates/tm-automata/src/lib.rs crates/tm-automata/src/alphabet.rs crates/tm-automata/src/antichain.rs crates/tm-automata/src/bitset.rs crates/tm-automata/src/compiled.rs crates/tm-automata/src/dfa.rs crates/tm-automata/src/explore.rs crates/tm-automata/src/fxhash.rs crates/tm-automata/src/graph.rs crates/tm-automata/src/inclusion.rs crates/tm-automata/src/nfa.rs
+
+/root/repo/target/debug/deps/tm_automata-e35ef57b934003c2: crates/tm-automata/src/lib.rs crates/tm-automata/src/alphabet.rs crates/tm-automata/src/antichain.rs crates/tm-automata/src/bitset.rs crates/tm-automata/src/compiled.rs crates/tm-automata/src/dfa.rs crates/tm-automata/src/explore.rs crates/tm-automata/src/fxhash.rs crates/tm-automata/src/graph.rs crates/tm-automata/src/inclusion.rs crates/tm-automata/src/nfa.rs
+
+crates/tm-automata/src/lib.rs:
+crates/tm-automata/src/alphabet.rs:
+crates/tm-automata/src/antichain.rs:
+crates/tm-automata/src/bitset.rs:
+crates/tm-automata/src/compiled.rs:
+crates/tm-automata/src/dfa.rs:
+crates/tm-automata/src/explore.rs:
+crates/tm-automata/src/fxhash.rs:
+crates/tm-automata/src/graph.rs:
+crates/tm-automata/src/inclusion.rs:
+crates/tm-automata/src/nfa.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tm_bench-35a4848001ae8f89.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libtm_bench-35a4848001ae8f89.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tm_bench-73a8f058f0da0c77.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/tm_bench-73a8f058f0da0c77: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/tm_bench-a61e8da4e083bbf5.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libtm_bench-a61e8da4e083bbf5.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libtm_bench-a61e8da4e083bbf5.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tm_bench-f65546d18b97465e.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libtm_bench-f65546d18b97465e.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

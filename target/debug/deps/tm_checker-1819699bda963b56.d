@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/tm_checker-1819699bda963b56.d: crates/core/src/lib.rs crates/core/src/liveness.rs crates/core/src/reduction.rs crates/core/src/report.rs crates/core/src/safety.rs crates/core/src/structural.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtm_checker-1819699bda963b56.rmeta: crates/core/src/lib.rs crates/core/src/liveness.rs crates/core/src/reduction.rs crates/core/src/report.rs crates/core/src/safety.rs crates/core/src/structural.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/liveness.rs:
+crates/core/src/reduction.rs:
+crates/core/src/report.rs:
+crates/core/src/safety.rs:
+crates/core/src/structural.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/tm_checker-192d521e7dab1265.d: crates/core/src/lib.rs crates/core/src/liveness.rs crates/core/src/reduction.rs crates/core/src/report.rs crates/core/src/safety.rs crates/core/src/structural.rs
+
+/root/repo/target/debug/deps/libtm_checker-192d521e7dab1265.rmeta: crates/core/src/lib.rs crates/core/src/liveness.rs crates/core/src/reduction.rs crates/core/src/report.rs crates/core/src/safety.rs crates/core/src/structural.rs
+
+crates/core/src/lib.rs:
+crates/core/src/liveness.rs:
+crates/core/src/reduction.rs:
+crates/core/src/report.rs:
+crates/core/src/safety.rs:
+crates/core/src/structural.rs:

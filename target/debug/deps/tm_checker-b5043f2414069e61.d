@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/tm_checker-b5043f2414069e61.d: crates/core/src/lib.rs crates/core/src/liveness.rs crates/core/src/reduction.rs crates/core/src/report.rs crates/core/src/safety.rs crates/core/src/structural.rs
+
+/root/repo/target/debug/deps/libtm_checker-b5043f2414069e61.rlib: crates/core/src/lib.rs crates/core/src/liveness.rs crates/core/src/reduction.rs crates/core/src/report.rs crates/core/src/safety.rs crates/core/src/structural.rs
+
+/root/repo/target/debug/deps/libtm_checker-b5043f2414069e61.rmeta: crates/core/src/lib.rs crates/core/src/liveness.rs crates/core/src/reduction.rs crates/core/src/report.rs crates/core/src/safety.rs crates/core/src/structural.rs
+
+crates/core/src/lib.rs:
+crates/core/src/liveness.rs:
+crates/core/src/reduction.rs:
+crates/core/src/report.rs:
+crates/core/src/safety.rs:
+crates/core/src/structural.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/tm_lang-36b19678b5f74e60.d: crates/tm-lang/src/lib.rs crates/tm-lang/src/conflict.rs crates/tm-lang/src/enumerate.rs crates/tm-lang/src/ids.rs crates/tm-lang/src/liveness.rs crates/tm-lang/src/safety.rs crates/tm-lang/src/statement.rs crates/tm-lang/src/transaction.rs crates/tm-lang/src/word.rs
+
+/root/repo/target/debug/deps/libtm_lang-36b19678b5f74e60.rmeta: crates/tm-lang/src/lib.rs crates/tm-lang/src/conflict.rs crates/tm-lang/src/enumerate.rs crates/tm-lang/src/ids.rs crates/tm-lang/src/liveness.rs crates/tm-lang/src/safety.rs crates/tm-lang/src/statement.rs crates/tm-lang/src/transaction.rs crates/tm-lang/src/word.rs
+
+crates/tm-lang/src/lib.rs:
+crates/tm-lang/src/conflict.rs:
+crates/tm-lang/src/enumerate.rs:
+crates/tm-lang/src/ids.rs:
+crates/tm-lang/src/liveness.rs:
+crates/tm-lang/src/safety.rs:
+crates/tm-lang/src/statement.rs:
+crates/tm-lang/src/transaction.rs:
+crates/tm-lang/src/word.rs:

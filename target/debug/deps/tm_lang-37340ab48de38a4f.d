@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/tm_lang-37340ab48de38a4f.d: crates/tm-lang/src/lib.rs crates/tm-lang/src/conflict.rs crates/tm-lang/src/enumerate.rs crates/tm-lang/src/ids.rs crates/tm-lang/src/liveness.rs crates/tm-lang/src/safety.rs crates/tm-lang/src/statement.rs crates/tm-lang/src/transaction.rs crates/tm-lang/src/word.rs
+
+/root/repo/target/debug/deps/libtm_lang-37340ab48de38a4f.rmeta: crates/tm-lang/src/lib.rs crates/tm-lang/src/conflict.rs crates/tm-lang/src/enumerate.rs crates/tm-lang/src/ids.rs crates/tm-lang/src/liveness.rs crates/tm-lang/src/safety.rs crates/tm-lang/src/statement.rs crates/tm-lang/src/transaction.rs crates/tm-lang/src/word.rs
+
+crates/tm-lang/src/lib.rs:
+crates/tm-lang/src/conflict.rs:
+crates/tm-lang/src/enumerate.rs:
+crates/tm-lang/src/ids.rs:
+crates/tm-lang/src/liveness.rs:
+crates/tm-lang/src/safety.rs:
+crates/tm-lang/src/statement.rs:
+crates/tm-lang/src/transaction.rs:
+crates/tm-lang/src/word.rs:

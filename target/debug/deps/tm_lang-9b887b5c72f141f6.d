@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/tm_lang-9b887b5c72f141f6.d: crates/tm-lang/src/lib.rs crates/tm-lang/src/conflict.rs crates/tm-lang/src/enumerate.rs crates/tm-lang/src/ids.rs crates/tm-lang/src/liveness.rs crates/tm-lang/src/safety.rs crates/tm-lang/src/statement.rs crates/tm-lang/src/transaction.rs crates/tm-lang/src/word.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtm_lang-9b887b5c72f141f6.rmeta: crates/tm-lang/src/lib.rs crates/tm-lang/src/conflict.rs crates/tm-lang/src/enumerate.rs crates/tm-lang/src/ids.rs crates/tm-lang/src/liveness.rs crates/tm-lang/src/safety.rs crates/tm-lang/src/statement.rs crates/tm-lang/src/transaction.rs crates/tm-lang/src/word.rs Cargo.toml
+
+crates/tm-lang/src/lib.rs:
+crates/tm-lang/src/conflict.rs:
+crates/tm-lang/src/enumerate.rs:
+crates/tm-lang/src/ids.rs:
+crates/tm-lang/src/liveness.rs:
+crates/tm-lang/src/safety.rs:
+crates/tm-lang/src/statement.rs:
+crates/tm-lang/src/transaction.rs:
+crates/tm-lang/src/word.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

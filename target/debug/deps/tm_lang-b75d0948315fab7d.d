@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/tm_lang-b75d0948315fab7d.d: crates/tm-lang/src/lib.rs crates/tm-lang/src/conflict.rs crates/tm-lang/src/enumerate.rs crates/tm-lang/src/ids.rs crates/tm-lang/src/liveness.rs crates/tm-lang/src/safety.rs crates/tm-lang/src/statement.rs crates/tm-lang/src/transaction.rs crates/tm-lang/src/word.rs
+
+/root/repo/target/debug/deps/libtm_lang-b75d0948315fab7d.rlib: crates/tm-lang/src/lib.rs crates/tm-lang/src/conflict.rs crates/tm-lang/src/enumerate.rs crates/tm-lang/src/ids.rs crates/tm-lang/src/liveness.rs crates/tm-lang/src/safety.rs crates/tm-lang/src/statement.rs crates/tm-lang/src/transaction.rs crates/tm-lang/src/word.rs
+
+/root/repo/target/debug/deps/libtm_lang-b75d0948315fab7d.rmeta: crates/tm-lang/src/lib.rs crates/tm-lang/src/conflict.rs crates/tm-lang/src/enumerate.rs crates/tm-lang/src/ids.rs crates/tm-lang/src/liveness.rs crates/tm-lang/src/safety.rs crates/tm-lang/src/statement.rs crates/tm-lang/src/transaction.rs crates/tm-lang/src/word.rs
+
+crates/tm-lang/src/lib.rs:
+crates/tm-lang/src/conflict.rs:
+crates/tm-lang/src/enumerate.rs:
+crates/tm-lang/src/ids.rs:
+crates/tm-lang/src/liveness.rs:
+crates/tm-lang/src/safety.rs:
+crates/tm-lang/src/statement.rs:
+crates/tm-lang/src/transaction.rs:
+crates/tm-lang/src/word.rs:

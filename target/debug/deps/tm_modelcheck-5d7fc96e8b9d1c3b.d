@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tm_modelcheck-5d7fc96e8b9d1c3b.d: src/lib.rs
+
+/root/repo/target/debug/deps/tm_modelcheck-5d7fc96e8b9d1c3b: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tm_modelcheck-c3b68648459ca2f1.d: src/lib.rs
+
+/root/repo/target/debug/deps/libtm_modelcheck-c3b68648459ca2f1.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tm_modelcheck-d4631212637f9f63.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtm_modelcheck-d4631212637f9f63.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/tm_modelcheck-dee9b32377a7bd31.d: src/lib.rs
+
+/root/repo/target/debug/deps/libtm_modelcheck-dee9b32377a7bd31.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libtm_modelcheck-dee9b32377a7bd31.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tm_modelcheck-e8a2dad2bd016872.d: src/lib.rs
+
+/root/repo/target/debug/deps/libtm_modelcheck-e8a2dad2bd016872.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tm_modelcheck-ef20c1b55e6ee7b5.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtm_modelcheck-ef20c1b55e6ee7b5.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

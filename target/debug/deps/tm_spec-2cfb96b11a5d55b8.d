@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/tm_spec-2cfb96b11a5d55b8.d: crates/tm-spec/src/lib.rs crates/tm-spec/src/canonical.rs crates/tm-spec/src/det.rs crates/tm-spec/src/nondet.rs crates/tm-spec/src/state.rs crates/tm-spec/src/validate.rs
+
+/root/repo/target/debug/deps/tm_spec-2cfb96b11a5d55b8: crates/tm-spec/src/lib.rs crates/tm-spec/src/canonical.rs crates/tm-spec/src/det.rs crates/tm-spec/src/nondet.rs crates/tm-spec/src/state.rs crates/tm-spec/src/validate.rs
+
+crates/tm-spec/src/lib.rs:
+crates/tm-spec/src/canonical.rs:
+crates/tm-spec/src/det.rs:
+crates/tm-spec/src/nondet.rs:
+crates/tm-spec/src/state.rs:
+crates/tm-spec/src/validate.rs:

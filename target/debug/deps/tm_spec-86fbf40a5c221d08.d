@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/tm_spec-86fbf40a5c221d08.d: crates/tm-spec/src/lib.rs crates/tm-spec/src/canonical.rs crates/tm-spec/src/det.rs crates/tm-spec/src/nondet.rs crates/tm-spec/src/state.rs crates/tm-spec/src/validate.rs
+
+/root/repo/target/debug/deps/libtm_spec-86fbf40a5c221d08.rmeta: crates/tm-spec/src/lib.rs crates/tm-spec/src/canonical.rs crates/tm-spec/src/det.rs crates/tm-spec/src/nondet.rs crates/tm-spec/src/state.rs crates/tm-spec/src/validate.rs
+
+crates/tm-spec/src/lib.rs:
+crates/tm-spec/src/canonical.rs:
+crates/tm-spec/src/det.rs:
+crates/tm-spec/src/nondet.rs:
+crates/tm-spec/src/state.rs:
+crates/tm-spec/src/validate.rs:

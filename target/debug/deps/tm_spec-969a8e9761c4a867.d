@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/tm_spec-969a8e9761c4a867.d: crates/tm-spec/src/lib.rs crates/tm-spec/src/canonical.rs crates/tm-spec/src/det.rs crates/tm-spec/src/nondet.rs crates/tm-spec/src/state.rs crates/tm-spec/src/validate.rs
+
+/root/repo/target/debug/deps/libtm_spec-969a8e9761c4a867.rlib: crates/tm-spec/src/lib.rs crates/tm-spec/src/canonical.rs crates/tm-spec/src/det.rs crates/tm-spec/src/nondet.rs crates/tm-spec/src/state.rs crates/tm-spec/src/validate.rs
+
+/root/repo/target/debug/deps/libtm_spec-969a8e9761c4a867.rmeta: crates/tm-spec/src/lib.rs crates/tm-spec/src/canonical.rs crates/tm-spec/src/det.rs crates/tm-spec/src/nondet.rs crates/tm-spec/src/state.rs crates/tm-spec/src/validate.rs
+
+crates/tm-spec/src/lib.rs:
+crates/tm-spec/src/canonical.rs:
+crates/tm-spec/src/det.rs:
+crates/tm-spec/src/nondet.rs:
+crates/tm-spec/src/state.rs:
+crates/tm-spec/src/validate.rs:

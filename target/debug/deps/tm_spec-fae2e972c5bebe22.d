@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/tm_spec-fae2e972c5bebe22.d: crates/tm-spec/src/lib.rs crates/tm-spec/src/canonical.rs crates/tm-spec/src/det.rs crates/tm-spec/src/nondet.rs crates/tm-spec/src/state.rs crates/tm-spec/src/validate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtm_spec-fae2e972c5bebe22.rmeta: crates/tm-spec/src/lib.rs crates/tm-spec/src/canonical.rs crates/tm-spec/src/det.rs crates/tm-spec/src/nondet.rs crates/tm-spec/src/state.rs crates/tm-spec/src/validate.rs Cargo.toml
+
+crates/tm-spec/src/lib.rs:
+crates/tm-spec/src/canonical.rs:
+crates/tm-spec/src/det.rs:
+crates/tm-spec/src/nondet.rs:
+crates/tm-spec/src/state.rs:
+crates/tm-spec/src/validate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/custom_tm-1101bcc0d7181c6c.d: examples/custom_tm.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcustom_tm-1101bcc0d7181c6c.rmeta: examples/custom_tm.rs Cargo.toml
+
+examples/custom_tm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_tm-275a844dda3dad77.d: examples/custom_tm.rs
+
+/root/repo/target/debug/examples/custom_tm-275a844dda3dad77: examples/custom_tm.rs
+
+examples/custom_tm.rs:

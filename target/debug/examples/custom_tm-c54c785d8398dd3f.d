@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_tm-c54c785d8398dd3f.d: examples/custom_tm.rs
+
+/root/repo/target/debug/examples/libcustom_tm-c54c785d8398dd3f.rmeta: examples/custom_tm.rs
+
+examples/custom_tm.rs:

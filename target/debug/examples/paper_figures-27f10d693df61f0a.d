@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/paper_figures-27f10d693df61f0a.d: examples/paper_figures.rs
+
+/root/repo/target/debug/examples/paper_figures-27f10d693df61f0a: examples/paper_figures.rs
+
+examples/paper_figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/paper_figures-c1f74ae95eb000cf.d: examples/paper_figures.rs
+
+/root/repo/target/debug/examples/libpaper_figures-c1f74ae95eb000cf.rmeta: examples/paper_figures.rs
+
+examples/paper_figures.rs:

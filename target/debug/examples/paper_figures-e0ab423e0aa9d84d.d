@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/paper_figures-e0ab423e0aa9d84d.d: examples/paper_figures.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpaper_figures-e0ab423e0aa9d84d.rmeta: examples/paper_figures.rs Cargo.toml
+
+examples/paper_figures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-1d2b0871662956ba.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-1d2b0871662956ba: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-4e5f19c906f1974f.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-4e5f19c906f1974f.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

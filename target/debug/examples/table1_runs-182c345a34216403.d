@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/table1_runs-182c345a34216403.d: examples/table1_runs.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtable1_runs-182c345a34216403.rmeta: examples/table1_runs.rs Cargo.toml
+
+examples/table1_runs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/table1_runs-66f87d5c2b23f94b.d: examples/table1_runs.rs
+
+/root/repo/target/debug/examples/libtable1_runs-66f87d5c2b23f94b.rmeta: examples/table1_runs.rs
+
+examples/table1_runs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/table1_runs-93b842d8379c4bba.d: examples/table1_runs.rs
+
+/root/repo/target/debug/examples/table1_runs-93b842d8379c4bba: examples/table1_runs.rs
+
+examples/table1_runs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/timing_check-637b919885fe0f99.d: crates/bench/examples/timing_check.rs
+
+/root/repo/target/debug/examples/libtiming_check-637b919885fe0f99.rmeta: crates/bench/examples/timing_check.rs
+
+crates/bench/examples/timing_check.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/timing_check-be3211de01a3d22b.d: crates/bench/examples/timing_check.rs
+
+/root/repo/target/debug/examples/timing_check-be3211de01a3d22b: crates/bench/examples/timing_check.rs
+
+crates/bench/examples/timing_check.rs:

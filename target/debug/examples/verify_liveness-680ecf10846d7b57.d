@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/verify_liveness-680ecf10846d7b57.d: examples/verify_liveness.rs
+
+/root/repo/target/debug/examples/libverify_liveness-680ecf10846d7b57.rmeta: examples/verify_liveness.rs
+
+examples/verify_liveness.rs:

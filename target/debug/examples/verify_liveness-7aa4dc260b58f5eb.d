@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/verify_liveness-7aa4dc260b58f5eb.d: examples/verify_liveness.rs
+
+/root/repo/target/debug/examples/verify_liveness-7aa4dc260b58f5eb: examples/verify_liveness.rs
+
+examples/verify_liveness.rs:

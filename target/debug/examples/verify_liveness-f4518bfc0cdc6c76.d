@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/verify_liveness-f4518bfc0cdc6c76.d: examples/verify_liveness.rs Cargo.toml
+
+/root/repo/target/debug/examples/libverify_liveness-f4518bfc0cdc6c76.rmeta: examples/verify_liveness.rs Cargo.toml
+
+examples/verify_liveness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/verify_safety-5be6a1c6b7a3393f.d: examples/verify_safety.rs
+
+/root/repo/target/debug/examples/libverify_safety-5be6a1c6b7a3393f.rmeta: examples/verify_safety.rs
+
+examples/verify_safety.rs:

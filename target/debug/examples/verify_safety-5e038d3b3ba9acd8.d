@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/verify_safety-5e038d3b3ba9acd8.d: examples/verify_safety.rs
+
+/root/repo/target/debug/examples/verify_safety-5e038d3b3ba9acd8: examples/verify_safety.rs
+
+examples/verify_safety.rs:

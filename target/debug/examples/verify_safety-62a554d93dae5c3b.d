@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/verify_safety-62a554d93dae5c3b.d: examples/verify_safety.rs Cargo.toml
+
+/root/repo/target/debug/examples/libverify_safety-62a554d93dae5c3b.rmeta: examples/verify_safety.rs Cargo.toml
+
+examples/verify_safety.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

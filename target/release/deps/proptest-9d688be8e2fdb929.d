@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-9d688be8e2fdb929.d: crates/shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-9d688be8e2fdb929.rlib: crates/shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-9d688be8e2fdb929.rmeta: crates/shims/proptest/src/lib.rs
+
+crates/shims/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-ca31887bc9810682.d: crates/shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-ca31887bc9810682.rlib: crates/shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-ca31887bc9810682.rmeta: crates/shims/rand/src/lib.rs
+
+crates/shims/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/reference_checkers-574d55b5b1577a17.d: crates/bench/benches/reference_checkers.rs
+
+/root/repo/target/release/deps/reference_checkers-574d55b5b1577a17: crates/bench/benches/reference_checkers.rs
+
+crates/bench/benches/reference_checkers.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scaling-6df7904a8d1c049f.d: crates/bench/benches/scaling.rs
+
+/root/repo/target/release/deps/scaling-6df7904a8d1c049f: crates/bench/benches/scaling.rs
+
+crates/bench/benches/scaling.rs:

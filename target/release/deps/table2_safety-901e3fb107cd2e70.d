@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_safety-901e3fb107cd2e70.d: crates/bench/benches/table2_safety.rs
+
+/root/repo/target/release/deps/table2_safety-901e3fb107cd2e70: crates/bench/benches/table2_safety.rs
+
+crates/bench/benches/table2_safety.rs:

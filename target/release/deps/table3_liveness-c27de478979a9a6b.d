@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3_liveness-c27de478979a9a6b.d: crates/bench/benches/table3_liveness.rs
+
+/root/repo/target/release/deps/table3_liveness-c27de478979a9a6b: crates/bench/benches/table3_liveness.rs
+
+crates/bench/benches/table3_liveness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tables-b53920f8e3eafebd.d: crates/bench/src/bin/tables.rs
+
+/root/repo/target/release/deps/tables-b53920f8e3eafebd: crates/bench/src/bin/tables.rs
+
+crates/bench/src/bin/tables.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tables-e4896e852a403a11.d: crates/bench/src/bin/tables.rs
+
+/root/repo/target/release/deps/tables-e4896e852a403a11: crates/bench/src/bin/tables.rs
+
+crates/bench/src/bin/tables.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/theorem3_equivalence-831c25b3ec7e3419.d: crates/bench/benches/theorem3_equivalence.rs
+
+/root/repo/target/release/deps/theorem3_equivalence-831c25b3ec7e3419: crates/bench/benches/theorem3_equivalence.rs
+
+crates/bench/benches/theorem3_equivalence.rs:

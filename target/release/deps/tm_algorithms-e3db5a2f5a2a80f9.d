@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/tm_algorithms-e3db5a2f5a2a80f9.d: crates/tm-algorithms/src/lib.rs crates/tm-algorithms/src/algorithm.rs crates/tm-algorithms/src/contention.rs crates/tm-algorithms/src/dstm.rs crates/tm-algorithms/src/explore.rs crates/tm-algorithms/src/runner.rs crates/tm-algorithms/src/sequential.rs crates/tm-algorithms/src/tl2.rs crates/tm-algorithms/src/two_phase.rs
+
+/root/repo/target/release/deps/libtm_algorithms-e3db5a2f5a2a80f9.rlib: crates/tm-algorithms/src/lib.rs crates/tm-algorithms/src/algorithm.rs crates/tm-algorithms/src/contention.rs crates/tm-algorithms/src/dstm.rs crates/tm-algorithms/src/explore.rs crates/tm-algorithms/src/runner.rs crates/tm-algorithms/src/sequential.rs crates/tm-algorithms/src/tl2.rs crates/tm-algorithms/src/two_phase.rs
+
+/root/repo/target/release/deps/libtm_algorithms-e3db5a2f5a2a80f9.rmeta: crates/tm-algorithms/src/lib.rs crates/tm-algorithms/src/algorithm.rs crates/tm-algorithms/src/contention.rs crates/tm-algorithms/src/dstm.rs crates/tm-algorithms/src/explore.rs crates/tm-algorithms/src/runner.rs crates/tm-algorithms/src/sequential.rs crates/tm-algorithms/src/tl2.rs crates/tm-algorithms/src/two_phase.rs
+
+crates/tm-algorithms/src/lib.rs:
+crates/tm-algorithms/src/algorithm.rs:
+crates/tm-algorithms/src/contention.rs:
+crates/tm-algorithms/src/dstm.rs:
+crates/tm-algorithms/src/explore.rs:
+crates/tm-algorithms/src/runner.rs:
+crates/tm-algorithms/src/sequential.rs:
+crates/tm-algorithms/src/tl2.rs:
+crates/tm-algorithms/src/two_phase.rs:

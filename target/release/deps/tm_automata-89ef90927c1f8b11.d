@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/tm_automata-89ef90927c1f8b11.d: crates/tm-automata/src/lib.rs crates/tm-automata/src/alphabet.rs crates/tm-automata/src/antichain.rs crates/tm-automata/src/bitset.rs crates/tm-automata/src/compiled.rs crates/tm-automata/src/dfa.rs crates/tm-automata/src/explore.rs crates/tm-automata/src/fxhash.rs crates/tm-automata/src/graph.rs crates/tm-automata/src/inclusion.rs crates/tm-automata/src/nfa.rs
+
+/root/repo/target/release/deps/libtm_automata-89ef90927c1f8b11.rlib: crates/tm-automata/src/lib.rs crates/tm-automata/src/alphabet.rs crates/tm-automata/src/antichain.rs crates/tm-automata/src/bitset.rs crates/tm-automata/src/compiled.rs crates/tm-automata/src/dfa.rs crates/tm-automata/src/explore.rs crates/tm-automata/src/fxhash.rs crates/tm-automata/src/graph.rs crates/tm-automata/src/inclusion.rs crates/tm-automata/src/nfa.rs
+
+/root/repo/target/release/deps/libtm_automata-89ef90927c1f8b11.rmeta: crates/tm-automata/src/lib.rs crates/tm-automata/src/alphabet.rs crates/tm-automata/src/antichain.rs crates/tm-automata/src/bitset.rs crates/tm-automata/src/compiled.rs crates/tm-automata/src/dfa.rs crates/tm-automata/src/explore.rs crates/tm-automata/src/fxhash.rs crates/tm-automata/src/graph.rs crates/tm-automata/src/inclusion.rs crates/tm-automata/src/nfa.rs
+
+crates/tm-automata/src/lib.rs:
+crates/tm-automata/src/alphabet.rs:
+crates/tm-automata/src/antichain.rs:
+crates/tm-automata/src/bitset.rs:
+crates/tm-automata/src/compiled.rs:
+crates/tm-automata/src/dfa.rs:
+crates/tm-automata/src/explore.rs:
+crates/tm-automata/src/fxhash.rs:
+crates/tm-automata/src/graph.rs:
+crates/tm-automata/src/inclusion.rs:
+crates/tm-automata/src/nfa.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/tm_bench-6187be69b9ab8a73.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libtm_bench-6187be69b9ab8a73.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libtm_bench-6187be69b9ab8a73.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

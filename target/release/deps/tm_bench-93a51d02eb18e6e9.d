@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tm_bench-93a51d02eb18e6e9.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/tm_bench-93a51d02eb18e6e9: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/tm_checker-efc4e7a345d311ba.d: crates/core/src/lib.rs crates/core/src/liveness.rs crates/core/src/reduction.rs crates/core/src/report.rs crates/core/src/safety.rs crates/core/src/structural.rs
+
+/root/repo/target/release/deps/libtm_checker-efc4e7a345d311ba.rlib: crates/core/src/lib.rs crates/core/src/liveness.rs crates/core/src/reduction.rs crates/core/src/report.rs crates/core/src/safety.rs crates/core/src/structural.rs
+
+/root/repo/target/release/deps/libtm_checker-efc4e7a345d311ba.rmeta: crates/core/src/lib.rs crates/core/src/liveness.rs crates/core/src/reduction.rs crates/core/src/report.rs crates/core/src/safety.rs crates/core/src/structural.rs
+
+crates/core/src/lib.rs:
+crates/core/src/liveness.rs:
+crates/core/src/reduction.rs:
+crates/core/src/report.rs:
+crates/core/src/safety.rs:
+crates/core/src/structural.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/tm_lang-3865ec233a977f6b.d: crates/tm-lang/src/lib.rs crates/tm-lang/src/conflict.rs crates/tm-lang/src/enumerate.rs crates/tm-lang/src/ids.rs crates/tm-lang/src/liveness.rs crates/tm-lang/src/safety.rs crates/tm-lang/src/statement.rs crates/tm-lang/src/transaction.rs crates/tm-lang/src/word.rs
+
+/root/repo/target/release/deps/libtm_lang-3865ec233a977f6b.rlib: crates/tm-lang/src/lib.rs crates/tm-lang/src/conflict.rs crates/tm-lang/src/enumerate.rs crates/tm-lang/src/ids.rs crates/tm-lang/src/liveness.rs crates/tm-lang/src/safety.rs crates/tm-lang/src/statement.rs crates/tm-lang/src/transaction.rs crates/tm-lang/src/word.rs
+
+/root/repo/target/release/deps/libtm_lang-3865ec233a977f6b.rmeta: crates/tm-lang/src/lib.rs crates/tm-lang/src/conflict.rs crates/tm-lang/src/enumerate.rs crates/tm-lang/src/ids.rs crates/tm-lang/src/liveness.rs crates/tm-lang/src/safety.rs crates/tm-lang/src/statement.rs crates/tm-lang/src/transaction.rs crates/tm-lang/src/word.rs
+
+crates/tm-lang/src/lib.rs:
+crates/tm-lang/src/conflict.rs:
+crates/tm-lang/src/enumerate.rs:
+crates/tm-lang/src/ids.rs:
+crates/tm-lang/src/liveness.rs:
+crates/tm-lang/src/safety.rs:
+crates/tm-lang/src/statement.rs:
+crates/tm-lang/src/transaction.rs:
+crates/tm-lang/src/word.rs:

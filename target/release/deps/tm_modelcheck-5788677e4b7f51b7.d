@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tm_modelcheck-5788677e4b7f51b7.d: src/lib.rs
+
+/root/repo/target/release/deps/tm_modelcheck-5788677e4b7f51b7: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/tm_modelcheck-bce46ec206623d3b.d: src/lib.rs
+
+/root/repo/target/release/deps/libtm_modelcheck-bce46ec206623d3b.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libtm_modelcheck-bce46ec206623d3b.rmeta: src/lib.rs
+
+src/lib.rs:

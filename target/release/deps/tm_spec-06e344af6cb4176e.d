@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/tm_spec-06e344af6cb4176e.d: crates/tm-spec/src/lib.rs crates/tm-spec/src/canonical.rs crates/tm-spec/src/det.rs crates/tm-spec/src/nondet.rs crates/tm-spec/src/state.rs crates/tm-spec/src/validate.rs
+
+/root/repo/target/release/deps/libtm_spec-06e344af6cb4176e.rlib: crates/tm-spec/src/lib.rs crates/tm-spec/src/canonical.rs crates/tm-spec/src/det.rs crates/tm-spec/src/nondet.rs crates/tm-spec/src/state.rs crates/tm-spec/src/validate.rs
+
+/root/repo/target/release/deps/libtm_spec-06e344af6cb4176e.rmeta: crates/tm-spec/src/lib.rs crates/tm-spec/src/canonical.rs crates/tm-spec/src/det.rs crates/tm-spec/src/nondet.rs crates/tm-spec/src/state.rs crates/tm-spec/src/validate.rs
+
+crates/tm-spec/src/lib.rs:
+crates/tm-spec/src/canonical.rs:
+crates/tm-spec/src/det.rs:
+crates/tm-spec/src/nondet.rs:
+crates/tm-spec/src/state.rs:
+crates/tm-spec/src/validate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/custom_tm-44063ca9cd05904a.d: examples/custom_tm.rs
+
+/root/repo/target/release/examples/custom_tm-44063ca9cd05904a: examples/custom_tm.rs
+
+examples/custom_tm.rs:

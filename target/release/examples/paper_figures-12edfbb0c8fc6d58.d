@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/paper_figures-12edfbb0c8fc6d58.d: examples/paper_figures.rs
+
+/root/repo/target/release/examples/paper_figures-12edfbb0c8fc6d58: examples/paper_figures.rs
+
+examples/paper_figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-9daeb1fbd9148e2e.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-9daeb1fbd9148e2e: examples/quickstart.rs
+
+examples/quickstart.rs:
