@@ -15,14 +15,25 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use tm_algorithms::{most_general_nfa, DstmTm, TwoPhaseTm};
-use tm_automata::{check_inclusion, check_inclusion_compiled, check_inclusion_reference};
+use tm_algorithms::{most_general_nfa, DstmTm, MostGeneralSource, TwoPhaseTm};
+use tm_automata::{
+    check_inclusion, check_inclusion_compiled, check_inclusion_otf_lazy,
+    check_inclusion_otf_threads, check_inclusion_reference, modelcheck_threads, Alphabet,
+    DtsSpecSource,
+};
 use tm_lang::SafetyProperty;
-use tm_spec::{DetSpec, NondetSpec};
+use tm_spec::{spec_alphabet, DetSpec, NondetSpec};
 
 const MAX: usize = 20_000_000;
 
 const SIZES: [(usize, usize); 5] = [(2, 1), (2, 2), (3, 1), (2, 3), (3, 2)];
+
+/// Instance sizes of the on-the-fly group. At (3, 3) and (4, 2) only the
+/// fully lazy engine runs — eagerly determinizing those specifications
+/// does not terminate in reasonable time — so those rows bench
+/// `otf-lazy` alone (the `otf-lazy/3x3` / `otf-lazy/4x2` filters are
+/// what CI's release smoke runs behind a timeout).
+const OTF_SIZES: [(usize, usize); 4] = [(2, 2), (3, 2), (3, 3), (4, 2)];
 
 fn bench_compiled_vs_seed(c: &mut Criterion) {
     let mut group = c.benchmark_group("scaling/compiled-vs-seed");
@@ -106,10 +117,54 @@ fn bench_inclusion_scaling(c: &mut Criterion) {
     group.finish();
 }
 
+/// The on-the-fly product engine on the TM steppers themselves: no NFA is
+/// built, the TM is stepped lazily — against the compiled spec,
+/// sequentially (`otf-seq`) and on the thread pool (`otf-par`,
+/// `TM_MODELCHECK_THREADS` or all cores up to 8), and with the spec side
+/// lazy too (`otf-lazy`). This is the group that scales past (3, 2).
+fn bench_otf_product(c: &mut Criterion) {
+    let threads = modelcheck_threads().max(2);
+    let mut group = c.benchmark_group("scaling/otf-product");
+    group.sample_size(10);
+    for (n, k) in OTF_SIZES {
+        let tag = format!("{n}x{k}");
+        let lazy_selected = group.is_selected(&format!("otf-lazy/{tag}"));
+        let eager_feasible = matches!((n, k), (2, 2) | (3, 2));
+        let eager_selected = eager_feasible
+            && ["otf-seq", "otf-par"]
+                .iter()
+                .any(|kind| group.is_selected(&format!("{kind}/{tag}")));
+        if !lazy_selected && !eager_selected {
+            continue;
+        }
+        let det = DetSpec::new(SafetyProperty::StrictSerializability, n, k);
+        let letters = spec_alphabet(n, k);
+        let tm = TwoPhaseTm::new(n, k);
+        let source = MostGeneralSource::new(&tm, Alphabet::from_letters(&letters));
+        if lazy_selected {
+            let spec = DtsSpecSource::new(&det, letters.clone());
+            group.bench_with_input(BenchmarkId::new("otf-lazy", &tag), &(n, k), |b, _| {
+                b.iter(|| check_inclusion_otf_lazy(&source, &spec))
+            });
+        }
+        if eager_selected {
+            let spec = det.to_dfa(MAX).0.compile();
+            group.bench_with_input(BenchmarkId::new("otf-seq", &tag), &(n, k), |b, _| {
+                b.iter(|| check_inclusion_otf_threads(&source, &spec, 1))
+            });
+            group.bench_with_input(BenchmarkId::new("otf-par", &tag), &(n, k), |b, _| {
+                b.iter(|| check_inclusion_otf_threads(&source, &spec, threads))
+            });
+        }
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_compiled_vs_seed,
     bench_spec_construction,
-    bench_inclusion_scaling
+    bench_inclusion_scaling,
+    bench_otf_product
 );
 criterion_main!(benches);

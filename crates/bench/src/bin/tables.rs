@@ -7,9 +7,11 @@
 
 use std::time::{Duration, Instant};
 
+use tm_algorithms::{DstmTm, MostGeneralSource, TmAlgorithm, TwoPhaseTm};
 use tm_automata::{
     check_equivalence_antichain, check_inclusion, check_inclusion_compiled,
-    check_inclusion_reference, Dfa,
+    check_inclusion_otf_lazy, check_inclusion_otf_stats, check_inclusion_reference, Alphabet,
+    Dfa, DtsSpecSource,
 };
 use tm_bench::{table2_roster, table3_check, table3_names, MAX_STATES};
 use tm_checker::Table;
@@ -21,7 +23,9 @@ fn main() {
     table2();
     theorem3();
     table3();
-    bench_inclusion_baseline();
+    let baseline = bench_inclusion_baseline();
+    let scaling = bench_otf_scaling();
+    write_bench_json(&baseline, &scaling);
 }
 
 fn table1() {
@@ -151,10 +155,10 @@ fn best_of<T>(runs: usize, mut f: impl FnMut() -> T) -> Duration {
 }
 
 /// Times the seed (label-hashing) inclusion check against the index-based
-/// one on every Table 2 TM/property pair and records the measurements as
-/// `BENCH_inclusion.json` in the working directory — the committed
-/// baseline for the interned-alphabet refactor.
-fn bench_inclusion_baseline() {
+/// one on every Table 2 TM/property pair; the measurements become the
+/// `cases` section of `BENCH_inclusion.json` — the committed baseline for
+/// the interned-alphabet refactor.
+fn bench_inclusion_baseline() -> Vec<String> {
     let mut cases = Vec::new();
     let mut table = Table::new(
         "Inclusion A/B — seed (label-hashing) vs compiled (letter ids), best of 3",
@@ -201,14 +205,188 @@ fn bench_inclusion_baseline() {
         }
     }
     println!("{table}");
+    cases
+}
+
+/// Preferred thread count of the parallel-engine measurements; clamped
+/// to the host's parallelism by [`par_threads`] so the recorded numbers
+/// never measure oversubscription.
+const PAR_THREADS: usize = 4;
+
+/// The thread count actually measured: `None` on hosts without real
+/// parallelism (a 4-threads-on-1-cpu "speedup" would only document
+/// scheduler thrash; regenerate on a multi-core host to record one).
+fn par_threads() -> Option<usize> {
+    let cpus = host_cpus();
+    (cpus >= 2).then(|| PAR_THREADS.min(cpus))
+}
+
+/// Scaling rows for the on-the-fly product engine: 2PL (and DSTM where
+/// the product stays tractable) against π_ss at (2,2) → (4,2). The
+/// (3,3)/(4,2) rows only exist on the fully lazy engine — eagerly
+/// determinizing those specifications does not terminate in reasonable
+/// time — which is exactly the point of on-the-fly exploration.
+fn bench_otf_scaling() -> Vec<String> {
+    let mut rows = Vec::new();
+    let mut table = Table::new(
+        format!(
+            "Scaling — on-the-fly product engine, π_ss (host: {} cpus; par = {})",
+            host_cpus(),
+            par_threads().map_or("skipped (single-cpu host)".to_owned(), |t| {
+                format!("{t} threads")
+            })
+        ),
+        [
+            "TM", "(n,k)", "product", "TM states", "lazy", "seq", "par", "speedup",
+        ],
+    );
+    // (n, k, eager spec buildable, heavy → single timed run)
+    for (n, k, eager, heavy) in [
+        (2usize, 2usize, true, false),
+        (3, 2, true, true),
+        (3, 3, false, true),
+        (4, 2, false, true),
+    ] {
+        let det = DetSpec::new(SafetyProperty::StrictSerializability, n, k);
+        let letters = spec_alphabet(n, k);
+        let alphabet = Alphabet::from_letters(&letters);
+        let compiled = eager.then(|| det.to_dfa(MAX_STATES).0.compile());
+        let runs = if heavy { 1 } else { 3 };
+
+        let mut measure = |tm: &dyn ErasedTm, name: &str| {
+            let lazy_spec = DtsSpecSource::new(&det, letters.clone());
+            let (lazy, product, impl_states) = tm.time_lazy(&alphabet, &lazy_spec, runs);
+            let seq = compiled
+                .as_ref()
+                .map(|spec| tm.time_compiled(&alphabet, spec, 1, runs).0);
+            let par = match (compiled.as_ref(), par_threads()) {
+                (Some(spec), Some(threads)) => {
+                    Some(tm.time_compiled(&alphabet, spec, threads, runs).0)
+                }
+                _ => None,
+            };
+            let speedup = match (seq, par) {
+                (Some(s), Some(p)) => format!("{:.2}x", s.as_secs_f64() / p.as_secs_f64()),
+                _ => String::new(),
+            };
+            table.push_row([
+                name.to_owned(),
+                format!("({n},{k})"),
+                product.to_string(),
+                impl_states.to_string(),
+                format!("{lazy:.2?}"),
+                seq.map_or(String::new(), |d| format!("{d:.2?}")),
+                par.map_or(String::new(), |d| format!("{d:.2?}")),
+                speedup,
+            ]);
+            rows.push(format!(
+                concat!(
+                    "    {{\"tm\": \"{}\", \"property\": \"ss\", ",
+                    "\"threads\": {}, \"vars\": {}, ",
+                    "\"product_states\": {}, \"impl_states\": {}, ",
+                    "\"lazy_ns\": {}, \"seq_ns\": {}, \"par_ns\": {}, ",
+                    "\"par_threads\": {}}}"
+                ),
+                name,
+                n,
+                k,
+                product,
+                impl_states,
+                lazy.as_nanos(),
+                seq.map_or("null".to_owned(), |d| d.as_nanos().to_string()),
+                par.map_or("null".to_owned(), |d| d.as_nanos().to_string()),
+                par_threads().map_or("null".to_owned(), |t| t.to_string()),
+            ));
+        };
+
+        measure(&TwoPhaseTm::new(n, k), "2PL");
+        if (n, k) == (2, 2) || (n, k) == (3, 2) {
+            measure(&DstmTm::new(n, k), "dstm");
+        }
+    }
+    println!("{table}");
+    rows
+}
+
+/// Object-safe timing shim over concrete TM types.
+trait ErasedTm {
+    /// Best-of-`runs` lazy (both sides on the fly) check; returns the
+    /// wall time plus product/impl state counts.
+    fn time_lazy(
+        &self,
+        alphabet: &Alphabet<tm_lang::Statement>,
+        spec: &DtsSpecSource<'_, DetSpec>,
+        runs: usize,
+    ) -> (Duration, usize, usize);
+
+    /// Best-of-`runs` check against a compiled specification with the
+    /// given thread count.
+    fn time_compiled(
+        &self,
+        alphabet: &Alphabet<tm_lang::Statement>,
+        spec: &tm_automata::CompiledDfa<tm_lang::Statement>,
+        threads: usize,
+        runs: usize,
+    ) -> (Duration, usize, usize);
+}
+
+impl<A> ErasedTm for A
+where
+    A: TmAlgorithm + Sync,
+    A::State: Send + Sync,
+{
+    fn time_lazy(
+        &self,
+        alphabet: &Alphabet<tm_lang::Statement>,
+        spec: &DtsSpecSource<'_, DetSpec>,
+        runs: usize,
+    ) -> (Duration, usize, usize) {
+        let source = MostGeneralSource::new(self, alphabet.clone());
+        let mut counts = (0, 0);
+        let best = best_of(runs.max(1), || {
+            let (result, stats) = check_inclusion_otf_lazy(&source, spec);
+            counts = (result.product_states(), stats.impl_states);
+        });
+        (best, counts.0, counts.1)
+    }
+
+    fn time_compiled(
+        &self,
+        alphabet: &Alphabet<tm_lang::Statement>,
+        spec: &tm_automata::CompiledDfa<tm_lang::Statement>,
+        threads: usize,
+        runs: usize,
+    ) -> (Duration, usize, usize) {
+        let source = MostGeneralSource::new(self, alphabet.clone());
+        let mut counts = (0, 0);
+        let best = best_of(runs.max(1), || {
+            let (result, stats) = check_inclusion_otf_stats(&source, spec, threads);
+            counts = (result.product_states(), stats.impl_states);
+        });
+        (best, counts.0, counts.1)
+    }
+}
+
+fn host_cpus() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Writes `BENCH_inclusion.json`: the (2,2) seed-vs-compiled baseline
+/// plus the on-the-fly scaling rows.
+fn write_bench_json(cases: &[String], scaling: &[String]) {
     let json = format!(
         "{{\n  \"benchmark\": \"inclusion-seed-vs-compiled\",\n  \
          \"instance\": {{\"threads\": 2, \"vars\": 2}},\n  \
-         \"unit\": \"best-of-3 wall clock\",\n  \"cases\": [\n{}\n  ]\n}}\n",
-        cases.join(",\n")
+         \"unit\": \"best-of-3 wall clock\",\n  \"cases\": [\n{}\n  ],\n  \
+         \"scaling_unit\": \"best wall clock; lazy = both sides on the fly, \
+         seq/par = compiled spec, par_threads threads\",\n  \
+         \"host_cpus\": {},\n  \"scaling\": [\n{}\n  ]\n}}\n",
+        cases.join(",\n"),
+        host_cpus(),
+        scaling.join(",\n")
     );
     match std::fs::write("BENCH_inclusion.json", &json) {
-        Ok(()) => println!("wrote BENCH_inclusion.json ({} cases)", cases.len()),
+        Ok(()) => println!("wrote BENCH_inclusion.json"),
         Err(e) => eprintln!("could not write BENCH_inclusion.json: {e}"),
     }
 }

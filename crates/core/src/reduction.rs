@@ -80,7 +80,8 @@ pub fn verify_with_reduction<A, F>(
     spot_sizes: &[(usize, usize)],
 ) -> ReductionEvidence
 where
-    A: TmAlgorithm,
+    A: TmAlgorithm + Sync,
+    A::State: Send + Sync,
     F: Fn(usize, usize) -> A,
 {
     let base_tm = make(2, 2);

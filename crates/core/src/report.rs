@@ -103,9 +103,16 @@ pub fn safety_table(title: &str, verdicts: &[SafetyVerdict]) -> Table {
             None => ("Y".to_owned(), String::new()),
             Some(w) => ("N".to_owned(), w.to_string()),
         };
+        // On a violation the on-the-fly check stops early, so the state
+        // count is a lower bound, not the paper's full "Size" figure.
+        let size = if v.holds() {
+            v.tm_states.to_string()
+        } else {
+            format!(">={}", v.tm_states)
+        };
         table.push_row([
             v.tm_name.clone(),
-            v.tm_states.to_string(),
+            size,
             v.property.short_name().to_owned(),
             verdict,
             format!("{:.2?}", v.check_time),

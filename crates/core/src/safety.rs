@@ -6,11 +6,20 @@
 //! well-behaved TM for two threads and two variables verifies it for all
 //! programs; and since `L(A_cm) ⊆ L(A)` for every contention manager,
 //! verifying the bare TM covers every managed variant.
+//!
+//! The inclusion itself runs through the **on-the-fly product engine**
+//! ([`tm_automata::check_inclusion_otf`]): the TM transition system is
+//! never materialized into an NFA — its states are stepped lazily as the
+//! product BFS reaches them — and the frontier is sharded across the
+//! `TM_MODELCHECK_THREADS` thread pool (see
+//! [`tm_automata::modelcheck_threads`]).
 
 use std::time::{Duration, Instant};
 
-use tm_algorithms::{most_general_nfa, TmAlgorithm};
-use tm_automata::{check_inclusion_compiled, CompiledDfa, Dfa, InclusionResult};
+use tm_algorithms::{MostGeneralSource, TmAlgorithm};
+use tm_automata::{
+    check_inclusion_otf_bounded, modelcheck_threads, CompiledDfa, Dfa, InclusionResult,
+};
 use tm_lang::{SafetyProperty, Statement, Word};
 use tm_spec::{canonical_dfa, DetSpec};
 
@@ -48,7 +57,9 @@ pub struct SafetyVerdict {
     pub tm_name: String,
     /// The property checked.
     pub property: SafetyProperty,
-    /// Reachable states of the TM transition system (Table 2 "Size").
+    /// TM states discovered by the on-the-fly check: the full reachable
+    /// state count (Table 2 "Size") when the property holds, the explored
+    /// portion when a violation cut the search short.
     pub tm_states: usize,
     /// States of the deterministic specification automaton.
     pub spec_states: usize,
@@ -184,19 +195,34 @@ impl SafetyChecker {
     }
 
     /// Checks `L(A) ⊆ L(Σᵈ_π)` for the TM applied to the most general
-    /// program of this instance size.
+    /// program of this instance size, exploring the product **on the
+    /// fly**: the TM transition system is stepped lazily by
+    /// [`check_inclusion_otf_stats`] — no intermediate NFA is built — and
+    /// the frontier is sharded across [`modelcheck_threads`] threads
+    /// (`TM_MODELCHECK_THREADS=1` forces the deterministic sequential
+    /// engine; verdicts and counterexample words are identical either
+    /// way).
     ///
     /// # Panics
     ///
     /// Panics if `tm`'s instance size disagrees with the checker's, or
     /// the TM's reachable state space exceeds [`DEFAULT_MAX_STATES`].
-    pub fn check<A: TmAlgorithm>(&self, tm: &A) -> SafetyVerdict {
+    pub fn check<A>(&self, tm: &A) -> SafetyVerdict
+    where
+        A: TmAlgorithm + Sync,
+        A::State: Send + Sync,
+    {
         assert_eq!(tm.threads(), self.threads, "thread count mismatch");
         assert_eq!(tm.vars(), self.vars, "variable count mismatch");
         let total = Instant::now();
-        let explored = most_general_nfa(tm, DEFAULT_MAX_STATES);
+        let source = MostGeneralSource::new(tm, self.compiled.alphabet().clone());
         let check_start = Instant::now();
-        let result = check_inclusion_compiled(&explored.nfa, &self.compiled);
+        let (result, stats) = check_inclusion_otf_bounded(
+            &source,
+            &self.compiled,
+            modelcheck_threads(),
+            DEFAULT_MAX_STATES,
+        );
         let check_time = check_start.elapsed();
         let (outcome, product_states) = match result {
             InclusionResult::Included { product_states } => {
@@ -217,7 +243,7 @@ impl SafetyChecker {
         SafetyVerdict {
             tm_name: tm.name(),
             property: self.property,
-            tm_states: explored.num_states(),
+            tm_states: stats.impl_states,
             spec_states: self.spec.num_states(),
             product_states,
             check_time,
@@ -247,7 +273,11 @@ impl SafetyChecker {
 /// let verdict = check_safety(&modified, SafetyProperty::StrictSerializability);
 /// assert!(!verdict.holds());
 /// ```
-pub fn check_safety<A: TmAlgorithm>(tm: &A, property: SafetyProperty) -> SafetyVerdict {
+pub fn check_safety<A>(tm: &A, property: SafetyProperty) -> SafetyVerdict
+where
+    A: TmAlgorithm + Sync,
+    A::State: Send + Sync,
+{
     SafetyChecker::new(property, tm.threads(), tm.vars()).check(tm)
 }
 

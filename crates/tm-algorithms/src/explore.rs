@@ -13,7 +13,9 @@
 
 use tm_lang::{Command, Statement, ThreadId};
 
-use tm_automata::{explore, Explored, LabeledGraph, TransitionSystem};
+use tm_automata::{
+    explore, Explored, LabeledGraph, LetterId, SuccessorSource, TransitionSystem, EPSILON,
+};
 
 use crate::algorithm::{Action, TmAlgorithm, TmState};
 
@@ -63,6 +65,88 @@ pub fn most_general_nfa<A: TmAlgorithm>(
     max_states: usize,
 ) -> Explored<A::State, Statement> {
     explore(&WordLevel(tm), max_states)
+}
+
+/// The most general program of a TM algorithm as a lazy
+/// [`SuccessorSource`]: the word-level transition system of
+/// [`most_general_nfa`], but stepped on demand by the on-the-fly product
+/// engine ([`tm_automata::check_inclusion_otf`]) instead of being
+/// materialized into an [`tm_automata::Nfa`] up front.
+///
+/// The source is built over the *specification's* interned alphabet
+/// (extended with every statement of the instance, so letter lookups in
+/// the successor hot path never miss): statements the specification knows
+/// keep its letter ids, statements outside its alphabet get extension ids
+/// that the engine reports as immediate violations.
+///
+/// # Examples
+///
+/// ```
+/// use tm_algorithms::{MostGeneralSource, SequentialTm};
+/// use tm_automata::{check_inclusion_otf_threads, Alphabet};
+///
+/// // A toy "specification alphabet" containing only commits: every
+/// // read/write completion is then a violation.
+/// let tm = SequentialTm::new(2, 2);
+/// let alphabet = Alphabet::from_letters(&"c1".parse::<tm_lang::Word>()
+///     .unwrap().statements().to_vec());
+/// let source = MostGeneralSource::new(&tm, alphabet.clone());
+/// assert_eq!(source.alphabet().len(), 12); // extended to all of Ŝ
+/// ```
+pub struct MostGeneralSource<'a, A> {
+    tm: &'a A,
+    alphabet: tm_automata::Alphabet<Statement>,
+}
+
+impl<'a, A: TmAlgorithm> MostGeneralSource<'a, A> {
+    /// Builds the source over (an extension of) the given interned
+    /// alphabet — pass a clone of the specification's alphabet
+    /// (`spec.alphabet().clone()`) so letter ids agree with the
+    /// specification's.
+    pub fn new(tm: &'a A, mut alphabet: tm_automata::Alphabet<Statement>) -> Self {
+        for statement in tm_lang::Alphabet::new(tm.threads(), tm.vars()).statements() {
+            alphabet.intern(&statement);
+        }
+        MostGeneralSource { tm, alphabet }
+    }
+
+    /// The extended alphabet the source emits letter ids over.
+    pub fn alphabet(&self) -> &tm_automata::Alphabet<Statement> {
+        &self.alphabet
+    }
+}
+
+impl<A: TmAlgorithm + Sync> SuccessorSource for MostGeneralSource<'_, A>
+where
+    A::State: Send + Sync,
+{
+    type State = A::State;
+    type Label = Statement;
+
+    fn initial_states(&self, out: &mut Vec<A::State>) {
+        out.push(self.tm.initial_state());
+    }
+
+    fn successors(&self, state: &A::State, out: &mut Vec<(LetterId, A::State)>) {
+        for t in self.tm.thread_ids() {
+            for c in self.tm.enabled_commands(state, t) {
+                for step in self.tm.steps(state, c, t) {
+                    let letter = match step.action.statement(c, t) {
+                        None => EPSILON,
+                        Some(s) => self
+                            .alphabet
+                            .get(&s)
+                            .expect("all instance statements are interned"),
+                    };
+                    out.push((letter, step.next));
+                }
+            }
+        }
+    }
+
+    fn letter(&self, id: LetterId) -> Statement {
+        *self.alphabet.letter(id)
+    }
 }
 
 /// An edge of the run-level transition graph: one atomic TM step.

@@ -274,6 +274,93 @@ mod tests {
         assert_eq!(s.words(), &[1, 1, 2]);
     }
 
+    /// The `words()` prefix contract the antichain subsumption relies on:
+    /// same-capacity sets expose word arrays of identical length
+    /// (`capacity.div_ceil(64)`), so `zip`-based subset tests compare
+    /// every word and never silently truncate.
+    #[test]
+    fn words_length_is_capacity_words() {
+        for capacity in [0usize, 1, 63, 64, 65, 128, 130, 200] {
+            let s = BitSet::new(capacity);
+            assert_eq!(s.words().len(), capacity.div_ceil(64), "cap {capacity}");
+            let t = BitSet::new(capacity);
+            assert_eq!(s.words().len(), t.words().len(), "cap {capacity}");
+        }
+    }
+
+    /// Bits at or beyond the capacity are never set — mutators reject
+    /// out-of-range indices — so raw word-level subset tests (`a & !b`)
+    /// are exact: no stale high bits can leak into the comparison.
+    #[test]
+    fn words_padding_bits_stay_zero() {
+        let mut s = BitSet::new(70);
+        for i in 0..70 {
+            s.insert(i);
+        }
+        for i in (0..70).step_by(3) {
+            s.remove(i);
+        }
+        for i in 0..70 {
+            s.insert(i);
+        }
+        // All 70 bits set, bits 70..128 zero.
+        assert_eq!(s.words(), &[u64::MAX, (1 << 6) - 1]);
+        assert_eq!(s.len(), 70);
+    }
+
+    /// Word-level subsumption (the antichain's `subset_words`) agrees
+    /// with `is_subset` on same-capacity sets — including across word
+    /// boundaries.
+    #[test]
+    fn word_level_subset_matches_is_subset() {
+        let subset_words =
+            |a: &[u64], b: &[u64]| a.iter().zip(b).all(|(&x, &y)| x & !y == 0);
+        let build = |indices: &[usize]| {
+            let mut s = BitSet::new(150);
+            for &i in indices {
+                s.insert(i);
+            }
+            s
+        };
+        let sets = [
+            build(&[]),
+            build(&[0]),
+            build(&[63, 64]),
+            build(&[5, 64, 149]),
+            build(&[5, 63, 64, 100, 149]),
+            build(&[149]),
+        ];
+        for a in &sets {
+            for b in &sets {
+                assert_eq!(
+                    subset_words(a.words(), b.words()),
+                    a.is_subset(b),
+                    "{a:?} vs {b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_indices_round_trip() {
+        let mut s = BitSet::new(65);
+        assert!(s.insert(64));
+        assert!(s.contains(64));
+        assert!(s.remove(64));
+        assert!(!s.contains(64));
+        assert!(!s.remove(64));
+        // One past the boundary: total query, panicking mutators.
+        assert!(!s.contains(65));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_remove_far_beyond_words_panics() {
+        // Far past the word array, not just past the capacity: the range
+        // check fires before any slice access.
+        BitSet::new(8).remove(1_000_000);
+    }
+
     #[test]
     fn debug_format() {
         let mut s = BitSet::new(8);

@@ -30,8 +30,11 @@ use crate::nfa::{Nfa, StateId};
 /// ```
 #[derive(Clone, Debug)]
 pub struct Dfa<L> {
-    alphabet: Vec<L>,
-    index: FxHashMap<L, usize>,
+    /// The interned alphabet, built once at construction: letter ids are
+    /// the letter indices, and consumers that need an [`Alphabet`] over
+    /// the same ids ([`Dfa::compile`], the inclusion checkers) clone this
+    /// one instead of re-interning every letter.
+    alphabet: Alphabet<L>,
     initial: StateId,
     /// `next[state][letter] = Some(target)`.
     next: Vec<Vec<Option<StateId>>>,
@@ -44,16 +47,14 @@ impl<L: Clone + Eq + Hash> Dfa<L> {
     ///
     /// Panics if the alphabet contains duplicate letters.
     pub fn new(alphabet: Vec<L>) -> Self {
-        let index: FxHashMap<L, usize> = alphabet
-            .iter()
-            .cloned()
-            .enumerate()
-            .map(|(i, l)| (l, i))
-            .collect();
-        assert_eq!(index.len(), alphabet.len(), "duplicate letters in alphabet");
+        let interned = Alphabet::from_letters(&alphabet);
+        assert_eq!(
+            interned.len(),
+            alphabet.len(),
+            "duplicate letters in alphabet"
+        );
         Dfa {
-            alphabet,
-            index,
+            alphabet: interned,
             initial: 0,
             next: Vec::new(),
         }
@@ -61,6 +62,13 @@ impl<L: Clone + Eq + Hash> Dfa<L> {
 
     /// The alphabet.
     pub fn alphabet(&self) -> &[L] {
+        self.alphabet.letters()
+    }
+
+    /// The alphabet in interned form (ids are the letter indices) —
+    /// prebuilt at construction, so checkers clone it instead of
+    /// re-hashing every letter per call.
+    pub fn alphabet_interned(&self) -> &Alphabet<L> {
         &self.alphabet
     }
 
@@ -99,20 +107,28 @@ impl<L: Clone + Eq + Hash> Dfa<L> {
     ///
     /// Panics if `letter` is not in the alphabet.
     pub fn set_transition(&mut self, from: StateId, letter: &L, to: StateId) {
-        let li = self.index[letter];
+        let li = self.alphabet.get(letter).expect("letter not in alphabet") as usize;
         self.next[from][li] = Some(to);
     }
 
     /// The successor of `state` under `letter`, or `None` (reject) if
     /// undefined. Letters outside the alphabet also return `None`.
     pub fn step(&self, state: StateId, letter: &L) -> Option<StateId> {
-        let li = *self.index.get(letter)?;
+        let li = self.alphabet.get(letter)? as usize;
         self.next[state][li]
     }
 
     /// Successor by letter index (see [`Dfa::alphabet`] for the order).
     pub fn step_by_index(&self, state: StateId, letter_index: usize) -> Option<StateId> {
         self.next[state][letter_index]
+    }
+
+    /// Raw successor by letter index with the [`NO_STATE`] sentinel: the
+    /// table-free stepping used by `check_inclusion`'s light path, which
+    /// avoids building the dense [`CompiledDfa`] table when the
+    /// implementation is small.
+    pub(crate) fn step_id(&self, state: u32, letter: u32) -> u32 {
+        self.next[state as usize][letter as usize].map_or(NO_STATE, |s| s as u32)
     }
 
     /// Defines `from --letter--> to` by letter index, skipping the label
@@ -127,9 +143,11 @@ impl<L: Clone + Eq + Hash> Dfa<L> {
     }
 
     /// Compiles to the dense-table form used by the inclusion inner
-    /// loops; letter ids equal this automaton's letter indices.
+    /// loops; letter ids equal this automaton's letter indices. The
+    /// interned alphabet is cloned from the prebuilt one, not re-interned
+    /// letter by letter.
     pub fn compile(&self) -> CompiledDfa<L> {
-        let alphabet = Alphabet::from_letters(&self.alphabet);
+        let alphabet = self.alphabet.clone();
         let mut next = Vec::with_capacity(self.num_states() * self.alphabet.len());
         for row in &self.next {
             next.extend(
@@ -167,7 +185,7 @@ impl<L: Clone + Eq + Hash> Dfa<L> {
         for (q, row) in self.next.iter().enumerate() {
             for (li, target) in row.iter().enumerate() {
                 if let Some(t) = target {
-                    nfa.add_transition(q, Some(self.alphabet[li].clone()), *t);
+                    nfa.add_transition(q, Some(self.alphabet.letter(li as u32).clone()), *t);
                 }
             }
         }
@@ -197,7 +215,7 @@ impl<L: Clone + Eq + Hash> Dfa<L> {
         // per-letter CSR slice walk instead of a full-edge scan; NFA
         // labels outside the alphabet get ids ≥ the alphabet length and
         // are simply never queried.
-        let mut interner = Alphabet::from_letters(&dfa.alphabet);
+        let mut interner = dfa.alphabet.clone();
         let num_letters = interner.len() as u32;
         let compiled = CompiledNfa::compile(nfa, &mut interner);
         let start = compiled.initial_closure();
@@ -274,7 +292,11 @@ impl<L: Clone + Eq + Hash> Dfa<L> {
             num_blocks = new_num;
         }
         // Build the quotient automaton.
-        let mut out = Dfa::new(self.alphabet.clone());
+        let mut out = Dfa {
+            alphabet: self.alphabet.clone(),
+            initial: 0,
+            next: Vec::new(),
+        };
         for _ in 0..num_blocks {
             out.add_state();
         }

@@ -68,9 +68,12 @@ impl<L> InclusionResult<L> {
 /// specification; BFS order makes the returned counterexample shortest
 /// (and identical to [`check_inclusion_reference`]'s).
 ///
-/// Compiles the specification on the spot; when the same specification is
-/// checked against several implementations, compile it once with
-/// [`Dfa::compile`] and use [`check_inclusion_compiled`].
+/// Compiles the specification on the spot — unless the implementation is
+/// so small that building the dense spec table would dominate, in which
+/// case the BFS steps the `Dfa`'s rows directly (same interned ids,
+/// identical results). When the same specification is checked against
+/// several implementations, compile it once with [`Dfa::compile`] and
+/// use [`check_inclusion_compiled`].
 ///
 /// # Examples
 ///
@@ -89,7 +92,21 @@ impl<L> InclusionResult<L> {
 /// assert_eq!(result.counterexample(), Some(&['b'][..]));
 /// ```
 pub fn check_inclusion<L: Clone + Eq + Hash>(nfa: &Nfa<L>, dfa: &Dfa<L>) -> InclusionResult<L> {
-    check_inclusion_compiled(nfa, &dfa.compile())
+    // Compiling the specification costs O(spec states × letters) per call
+    // (dense-table fill). For implementations far smaller than that — the
+    // sequential TM's 3 states against a 3520-state specification — the
+    // table build dominates the whole check, so a *light path* steps the
+    // specification's row vectors directly: same interned letter ids
+    // (cloned from the Dfa's prebuilt alphabet, no re-interning), same
+    // BFS, identical results; only the per-step load differs.
+    let table_cells = dfa.num_states() * dfa.alphabet().len();
+    if table_cells > 32 * (nfa.num_transitions() + nfa.num_states() + 1) {
+        let mut alphabet = dfa.alphabet_interned().clone();
+        let imp = CompiledNfa::compile(nfa, &mut alphabet);
+        run_product_bfs(&imp, &DfaRows(dfa), &alphabet)
+    } else {
+        check_inclusion_compiled(nfa, &dfa.compile())
+    }
 }
 
 /// [`check_inclusion`] against a pre-compiled specification — the form
@@ -105,7 +122,16 @@ pub fn check_inclusion_compiled<L: Clone + Eq + Hash>(
     // by the specification and are immediate violations when reached.
     let mut alphabet = spec.alphabet().clone();
     let imp = CompiledNfa::compile(nfa, &mut alphabet);
+    run_product_bfs(&imp, spec, &alphabet)
+}
 
+/// Runs the product BFS with the visited representation suited to the
+/// product size.
+fn run_product_bfs<L: Clone, D: SpecStep>(
+    imp: &CompiledNfa,
+    spec: &D,
+    alphabet: &crate::alphabet::Alphabet<L>,
+) -> InclusionResult<L> {
     // The BFS only ever *dedups* product pairs, so the visited structure
     // is a set, not a map. When the full product fits a bitmap, even the
     // hash goes away: one test-and-set per discovered edge.
@@ -115,9 +141,72 @@ pub fn check_inclusion_compiled<L: Clone + Eq + Hash>(
             set: crate::bitset::BitSet::new(product_bits as usize),
             spec_states: spec.num_states() as u64,
         };
-        product_bfs(&imp, spec, &alphabet, visited)
+        product_bfs(imp, spec, alphabet, visited)
     } else {
-        product_bfs(&imp, spec, &alphabet, HashedVisited(FxHashSet::default()))
+        product_bfs(imp, spec, alphabet, HashedVisited(FxHashSet::default()))
+    }
+}
+
+/// Deterministic-specification stepping, abstracted over the storage:
+/// the dense [`CompiledDfa`] table or the [`Dfa`]'s row vectors
+/// ([`DfaRows`], the light path). Monomorphized into the BFS.
+trait SpecStep {
+    /// Number of specification states.
+    fn num_states(&self) -> usize;
+    /// Number of specification letters.
+    fn num_letters(&self) -> u32;
+    /// The initial state.
+    fn initial(&self) -> u32;
+    /// Raw successor: [`NO_STATE`] when missing. `letter` is below
+    /// [`SpecStep::num_letters`].
+    fn step_raw(&self, state: u32, letter: LetterId) -> u32;
+}
+
+impl<L> SpecStep for CompiledDfa<L> {
+    #[inline]
+    fn num_states(&self) -> usize {
+        CompiledDfa::num_states(self)
+    }
+
+    #[inline]
+    fn num_letters(&self) -> u32 {
+        self.alphabet().len() as u32
+    }
+
+    #[inline]
+    fn initial(&self) -> u32 {
+        self.initial_state()
+    }
+
+    #[inline]
+    fn step_raw(&self, state: u32, letter: LetterId) -> u32 {
+        CompiledDfa::step_raw(self, state, letter)
+    }
+}
+
+/// The table-free specification view behind [`check_inclusion`]'s light
+/// path.
+struct DfaRows<'a, L>(&'a Dfa<L>);
+
+impl<L: Clone + Eq + Hash> SpecStep for DfaRows<'_, L> {
+    #[inline]
+    fn num_states(&self) -> usize {
+        self.0.num_states()
+    }
+
+    #[inline]
+    fn num_letters(&self) -> u32 {
+        self.0.alphabet().len() as u32
+    }
+
+    #[inline]
+    fn initial(&self) -> u32 {
+        self.0.initial_state() as u32
+    }
+
+    #[inline]
+    fn step_raw(&self, state: u32, letter: LetterId) -> u32 {
+        self.0.step_id(state, letter)
     }
 }
 
@@ -156,19 +245,19 @@ impl ProductVisited for HashedVisited {
 
 /// The index-based product BFS: every step is integer arithmetic on
 /// `(u32 state, u32 letter)` — no label clones, no label hashing.
-fn product_bfs<L: Clone, V: ProductVisited>(
+fn product_bfs<L: Clone, D: SpecStep, V: ProductVisited>(
     imp: &CompiledNfa,
-    spec: &CompiledDfa<L>,
+    spec: &D,
     alphabet: &crate::alphabet::Alphabet<L>,
     mut visited: V,
 ) -> InclusionResult<L> {
     const ROOT: u32 = u32::MAX;
-    let spec_letters = spec.alphabet().len() as u32;
+    let spec_letters = spec.num_letters();
     let mut pairs: Vec<(u32, u32)> = Vec::new();
     // (predecessor index, letter id) per pair, for counterexamples.
     let mut parent: Vec<(u32, LetterId)> = Vec::new();
 
-    let spec0 = spec.initial_state();
+    let spec0 = spec.initial();
     for &qi in imp.initial_states() {
         if visited.first_visit(qi, spec0) {
             pairs.push((qi, spec0));

@@ -23,6 +23,11 @@
 //!   integers (the pre-compilation originals survive as
 //!   [`check_inclusion_reference`] /
 //!   [`check_inclusion_antichain_reference`] for A/B benches);
+//! * **on-the-fly product exploration** ([`check_inclusion_otf`],
+//!   [`SuccessorSource`]): the implementation side is stepped lazily —
+//!   never materialized — with an optional deterministic parallel
+//!   level-synchronous BFS (`TM_MODELCHECK_THREADS`); see `README.md`
+//!   for the engine hierarchy and which entry point to call;
 //! * antichain-based inclusion and equivalence between nondeterministic
 //!   automata ([`check_inclusion_antichain`],
 //!   [`check_equivalence_antichain`]) in the style of De Wulf et al.;
@@ -66,6 +71,7 @@ mod fxhash;
 mod graph;
 mod inclusion;
 mod nfa;
+mod product;
 
 pub use alphabet::{Alphabet, LetterId};
 pub use antichain::{
@@ -86,3 +92,8 @@ pub use inclusion::{
     check_inclusion, check_inclusion_compiled, check_inclusion_reference, InclusionResult,
 };
 pub use nfa::{Nfa, StateId};
+pub use product::{
+    check_inclusion_otf, check_inclusion_otf_bounded, check_inclusion_otf_lazy,
+    check_inclusion_otf_stats, check_inclusion_otf_threads, modelcheck_threads, DtsSpecSource,
+    NfaSource, OtfStats, SpecSource, SuccessorSource,
+};

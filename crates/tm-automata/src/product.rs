@@ -1,0 +1,1112 @@
+//! On-the-fly product exploration for inclusion checking.
+//!
+//! [`check_inclusion_compiled`](crate::check_inclusion_compiled) needs the
+//! implementation automaton materialized up front (an [`crate::Nfa`]
+//! compiled to CSR). For TM algorithms that is wasteful twice over: the
+//! most-general-program NFA of TL2 at (2, 2) already has ~19k states and
+//! every label is cloned into it, and the exploration pass and the product
+//! BFS each hash the full state space once. The engine in this module
+//! fuses the two passes: it explores `(implementation state, spec state)`
+//! pairs **lazily**, pulling implementation successors from a
+//! [`SuccessorSource`] — implemented by [`CompiledNfa`] (via
+//! [`NfaSource`]) and directly by the TM steppers in `tm-algorithms` — so
+//! the implementation transition system is only ever evaluated on the
+//! product-reachable states and no `Nfa` is ever built.
+//!
+//! Two execution strategies sit behind one API:
+//!
+//! * **Sequential** (`threads <= 1`): a single FIFO product BFS with the
+//!   exact discovery order of `check_inclusion_compiled` — identical
+//!   verdicts, identical shortest counterexample words, identical
+//!   `product_states`.
+//! * **Parallel** (`threads > 1`): a level-synchronous BFS. Each frontier
+//!   is sharded across a scoped thread pool; workers expand their chunks
+//!   into per-`(chunk, stripe)` successor buffers against a read-only
+//!   striped visited table (keyed by [`crate::FxHasher`] over packed
+//!   `(impl, spec)` ids), and a dedup merge between levels — stripes
+//!   processed in parallel, candidates consumed in discovery-tag order —
+//!   builds the next frontier. Because every candidate carries its
+//!   `(parent index, edge index)` tag and merges resolve ties by minimal
+//!   tag, the explored set, the verdict, **and the counterexample word**
+//!   are independent of the thread count (the word matches the sequential
+//!   engine's; only `product_states` of a violating run may differ, since
+//!   the parallel engine finishes the violating level instead of stopping
+//!   mid-edge-list).
+//!
+//! Successor rows are cached per implementation state on first touch
+//! (letters and targets interned to `u32`), so each implementation state
+//! is stepped exactly once no matter how many product pairs visit it —
+//! the product inner loop is pure integer arithmetic after that.
+//!
+//! The thread count comes from the `TM_MODELCHECK_THREADS` environment
+//! variable (see [`modelcheck_threads`]); `TM_MODELCHECK_THREADS=1` is
+//! the deterministic sequential fallback.
+
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::alphabet::{Alphabet, LetterId};
+use crate::compiled::{CompiledDfa, CompiledNfa, EPSILON, NO_STATE};
+use crate::fxhash::{FxHashMap, FxHashSet};
+use crate::inclusion::InclusionResult;
+
+/// A lazily explorable implementation transition system: the input side
+/// of [`check_inclusion_otf`].
+///
+/// Letters are ids over the *specification's* interned alphabet (plus
+/// any extension for implementation-only letters): ids below the
+/// specification alphabet length are specification letters, ids at or
+/// beyond it can never be matched and are immediate violations, and
+/// [`EPSILON`] marks internal steps. [`SuccessorSource::letter`] must
+/// resolve every id the source emits (used only to materialize
+/// counterexample words).
+pub trait SuccessorSource: Sync {
+    /// Implementation state type.
+    type State: Clone + Eq + Hash + Send + Sync;
+    /// Label type of counterexample words.
+    type Label: Clone;
+
+    /// Appends the initial states, in order.
+    fn initial_states(&self, out: &mut Vec<Self::State>);
+
+    /// Appends all transitions enabled in `state` as `(letter, successor)`
+    /// pairs, in a fixed order ([`EPSILON`] for internal steps). The order
+    /// defines BFS discovery order and hence counterexample identity.
+    fn successors(&self, state: &Self::State, out: &mut Vec<(LetterId, Self::State)>);
+
+    /// The label behind a letter id emitted by this source.
+    fn letter(&self, id: LetterId) -> Self::Label;
+}
+
+/// [`SuccessorSource`] view of a [`CompiledNfa`] and the alphabet it was
+/// compiled against: the bridge that lets already-materialized automata
+/// run through the on-the-fly engine (used by the conformance tests and
+/// as the reference adapter).
+///
+/// # Examples
+///
+/// ```
+/// use tm_automata::{check_inclusion_otf_threads, Dfa, Nfa, NfaSource};
+/// let mut imp = Nfa::new();
+/// let s = imp.add_state();
+/// imp.set_initial(s);
+/// imp.add_transition(s, Some('a'), s);
+/// imp.add_transition(s, Some('b'), s);
+/// let mut spec = Dfa::new(vec!['a', 'b']);
+/// let q = spec.add_state();
+/// spec.set_initial(q);
+/// spec.set_transition(q, &'a', q);
+/// let compiled = spec.compile();
+/// let mut alphabet = compiled.alphabet().clone();
+/// let imp = imp.compile(&mut alphabet);
+/// let source = NfaSource::new(&imp, &alphabet);
+/// let result = check_inclusion_otf_threads(&source, &compiled, 1);
+/// assert_eq!(result.counterexample(), Some(&['b'][..]));
+/// ```
+pub struct NfaSource<'a, L> {
+    nfa: &'a CompiledNfa,
+    alphabet: &'a Alphabet<L>,
+}
+
+impl<'a, L> NfaSource<'a, L> {
+    /// Wraps a compiled automaton and the alphabet its letter ids refer
+    /// to. For inclusion checking against a [`CompiledDfa`], compile the
+    /// automaton against a clone of the specification's alphabet so the
+    /// ids agree (see the type-level example).
+    pub fn new(nfa: &'a CompiledNfa, alphabet: &'a Alphabet<L>) -> Self {
+        NfaSource { nfa, alphabet }
+    }
+}
+
+impl<L: Clone + Sync> SuccessorSource for NfaSource<'_, L> {
+    type State = u32;
+    type Label = L;
+
+    fn initial_states(&self, out: &mut Vec<u32>) {
+        out.extend_from_slice(self.nfa.initial_states());
+    }
+
+    fn successors(&self, state: &u32, out: &mut Vec<(LetterId, u32)>) {
+        let (letters, targets) = self.nfa.edges_from(*state);
+        out.extend(letters.iter().copied().zip(targets.iter().copied()));
+    }
+
+    fn letter(&self, id: LetterId) -> L {
+        self.alphabet.letter(id).clone()
+    }
+}
+
+/// A lazily explorable *deterministic specification*: the spec-side
+/// counterpart of [`SuccessorSource`], for instances whose specification
+/// is too large to determinize eagerly (the (3,3)/(4,2) scaling cases,
+/// where `DetSpec::to_dfa` — not the TM — is the wall).
+///
+/// Letter ids index the specification's alphabet in a fixed order that
+/// the implementation source must agree on (build both from the same
+/// letter list).
+pub trait SpecSource {
+    /// Structured specification state.
+    type State: Clone + Eq + Hash;
+
+    /// Number of specification letters; implementation letters at or
+    /// beyond this are immediate violations.
+    fn num_letters(&self) -> u32;
+
+    /// The initial state.
+    fn initial_state(&self) -> Self::State;
+
+    /// The successor of `state` under `letter` (`letter <
+    /// num_letters()`), or `None` (reject).
+    fn step(&self, state: &Self::State, letter: LetterId) -> Option<Self::State>;
+}
+
+/// [`SpecSource`] over any [`crate::DeterministicTransitionSystem`] plus
+/// an ordered letter list (letter ids are indices into it) — the adapter
+/// that lets `tm_spec::DetSpec` run the specification side of the
+/// product on the fly.
+pub struct DtsSpecSource<'a, T: crate::DeterministicTransitionSystem> {
+    system: &'a T,
+    letters: Vec<T::Label>,
+}
+
+impl<'a, T: crate::DeterministicTransitionSystem> DtsSpecSource<'a, T> {
+    /// Wraps `system` over `letters`; implementation sources must emit
+    /// letter ids over the same list (in the same order).
+    pub fn new(system: &'a T, letters: Vec<T::Label>) -> Self {
+        DtsSpecSource { system, letters }
+    }
+
+    /// The letter list, in id order.
+    pub fn letters(&self) -> &[T::Label] {
+        &self.letters
+    }
+}
+
+impl<T: crate::DeterministicTransitionSystem> SpecSource for DtsSpecSource<'_, T> {
+    type State = T::State;
+
+    fn num_letters(&self) -> u32 {
+        self.letters.len() as u32
+    }
+
+    fn initial_state(&self) -> T::State {
+        self.system.initial()
+    }
+
+    fn step(&self, state: &T::State, letter: LetterId) -> Option<T::State> {
+        self.system.step(state, &self.letters[letter as usize])
+    }
+}
+
+/// Checks `L(source) ⊆ L(spec)` with **both** sides explored on the fly:
+/// implementation states stepped lazily as in [`check_inclusion_otf`],
+/// and specification states interned and row-cached lazily from a
+/// [`SpecSource`] — only the spec states the product actually reaches
+/// are ever computed.
+///
+/// Sequential only (the deterministic engine): verdicts, counterexample
+/// words and `product_states` are identical to
+/// [`check_inclusion_otf_threads`]`(source, &eager_spec, 1)` whenever
+/// the eager spec is buildable at all.
+pub fn check_inclusion_otf_lazy<S: SuccessorSource, D: SpecSource>(
+    source: &S,
+    spec: &D,
+) -> (InclusionResult<S::Label>, OtfStats) {
+    sequential_bounded(source, LazySpec::new(spec), usize::MAX)
+}
+
+/// Statistics of an on-the-fly run, beyond the [`InclusionResult`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OtfStats {
+    /// Distinct implementation states discovered. When inclusion holds
+    /// this is the full reachable implementation state count (the paper's
+    /// Table 2 "Size" column); on a violation it counts only the states
+    /// explored before the check stopped.
+    pub impl_states: usize,
+    /// Number of BFS levels completed (edge depth of the exploration).
+    pub levels: usize,
+}
+
+/// The thread count used by [`check_inclusion_otf`]: the
+/// `TM_MODELCHECK_THREADS` environment variable if set to a positive
+/// integer, otherwise the machine's available parallelism capped at 8.
+pub fn modelcheck_threads() -> usize {
+    match std::env::var("TM_MODELCHECK_THREADS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => default_threads(),
+        },
+        Err(_) => default_threads(),
+    }
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get().min(8))
+}
+
+/// Checks `L(source) ⊆ L(spec)` on the fly, with the thread count of
+/// [`modelcheck_threads`]. See the module docs for the guarantees of the
+/// sequential and parallel engines.
+pub fn check_inclusion_otf<S: SuccessorSource, M: Sync>(
+    source: &S,
+    spec: &CompiledDfa<M>,
+) -> InclusionResult<S::Label> {
+    check_inclusion_otf_threads(source, spec, modelcheck_threads())
+}
+
+/// [`check_inclusion_otf`] with an explicit thread count (`1` selects the
+/// sequential engine).
+pub fn check_inclusion_otf_threads<S: SuccessorSource, M: Sync>(
+    source: &S,
+    spec: &CompiledDfa<M>,
+    threads: usize,
+) -> InclusionResult<S::Label> {
+    check_inclusion_otf_stats(source, spec, threads).0
+}
+
+/// [`check_inclusion_otf_threads`] returning run statistics alongside the
+/// result — the entry point `SafetyChecker` uses to report the TM state
+/// count without a separate exploration pass.
+pub fn check_inclusion_otf_stats<S: SuccessorSource, M: Sync>(
+    source: &S,
+    spec: &CompiledDfa<M>,
+    threads: usize,
+) -> (InclusionResult<S::Label>, OtfStats) {
+    check_inclusion_otf_bounded(source, spec, threads, usize::MAX)
+}
+
+/// [`check_inclusion_otf_stats`] with a cap on discovered implementation
+/// states — the blowup guard for rule-defined sources whose reachable
+/// state space might be unexpectedly unbounded (what `SafetyChecker`
+/// passes its `DEFAULT_MAX_STATES` through).
+///
+/// # Panics
+///
+/// Panics if the source reaches more than `max_impl_states` distinct
+/// implementation states.
+pub fn check_inclusion_otf_bounded<S: SuccessorSource, M: Sync>(
+    source: &S,
+    spec: &CompiledDfa<M>,
+    threads: usize,
+    max_impl_states: usize,
+) -> (InclusionResult<S::Label>, OtfStats) {
+    if threads <= 1 {
+        sequential_bounded(source, CompiledSpec(spec), max_impl_states)
+    } else {
+        parallel(source, spec, threads, max_impl_states)
+    }
+}
+
+/// Sequential-engine view of the specification side: the dense compiled
+/// table, or a lazily interned [`SpecSource`]. (The parallel engine
+/// steps the spec concurrently and therefore requires the compiled
+/// form.)
+trait SpecAccess {
+    /// Number of specification letters.
+    fn num_letters(&self) -> u32;
+    /// The (interned) initial state.
+    fn initial(&mut self) -> u32;
+    /// Raw successor with the [`NO_STATE`] sentinel; `letter` is below
+    /// [`SpecAccess::num_letters`].
+    fn step(&mut self, state: u32, letter: LetterId) -> u32;
+}
+
+struct CompiledSpec<'a, M>(&'a CompiledDfa<M>);
+
+impl<M> SpecAccess for CompiledSpec<'_, M> {
+    #[inline]
+    fn num_letters(&self) -> u32 {
+        self.0.alphabet().len() as u32
+    }
+
+    #[inline]
+    fn initial(&mut self) -> u32 {
+        self.0.initial_state()
+    }
+
+    #[inline]
+    fn step(&mut self, state: u32, letter: LetterId) -> u32 {
+        self.0.step_raw(state, letter)
+    }
+}
+
+/// Lazy interning view over a [`SpecSource`]: spec states become dense
+/// `u32` ids on first touch, and each touched state's full letter row is
+/// computed once and cached, so repeated product visits are table
+/// lookups.
+struct LazySpec<'a, D: SpecSource> {
+    source: &'a D,
+    ids: FxHashMap<D::State, u32>,
+    states: Vec<D::State>,
+    rows: Vec<Option<Box<[u32]>>>,
+}
+
+impl<'a, D: SpecSource> LazySpec<'a, D> {
+    fn new(source: &'a D) -> Self {
+        LazySpec {
+            source,
+            ids: FxHashMap::default(),
+            states: Vec::new(),
+            rows: Vec::new(),
+        }
+    }
+
+    fn intern(&mut self, state: D::State) -> u32 {
+        if let Some(&id) = self.ids.get(&state) {
+            return id;
+        }
+        let id = u32::try_from(self.states.len()).expect("more than u32::MAX spec states");
+        self.ids.insert(state.clone(), id);
+        self.states.push(state);
+        self.rows.push(None);
+        id
+    }
+}
+
+impl<D: SpecSource> SpecAccess for LazySpec<'_, D> {
+    fn num_letters(&self) -> u32 {
+        self.source.num_letters()
+    }
+
+    fn initial(&mut self) -> u32 {
+        let init = self.source.initial_state();
+        self.intern(init)
+    }
+
+    fn step(&mut self, state: u32, letter: LetterId) -> u32 {
+        if self.rows[state as usize].is_none() {
+            let row: Vec<Option<D::State>> = (0..self.source.num_letters())
+                .map(|l| self.source.step(&self.states[state as usize], l))
+                .collect();
+            let row: Box<[u32]> = row
+                .into_iter()
+                .map(|succ| succ.map_or(NO_STATE, |s| self.intern(s)))
+                .collect();
+            self.rows[state as usize] = Some(row);
+        }
+        self.rows[state as usize].as_deref().expect("row cached")[letter as usize]
+    }
+}
+
+/// Root marker in parent arrays.
+const ROOT: u32 = u32::MAX;
+
+/// Packs a product pair into the visited-set key.
+#[inline]
+fn pack(qi: u32, qs: u32) -> u64 {
+    (qi as u64) << 32 | qs as u64
+}
+
+/// A cached successor row: `(letter, target id)` per edge, in source
+/// order.
+type Row = Box<[(LetterId, u32)]>;
+
+/// Lazy implementation-side explorer: interns structured states to dense
+/// `u32` ids and caches each state's successor row on first touch, so the
+/// source is stepped exactly once per reachable state.
+struct Explorer<'a, S: SuccessorSource> {
+    source: &'a S,
+    ids: FxHashMap<S::State, u32>,
+    states: Vec<S::State>,
+    rows: Vec<Option<Row>>,
+    /// Cap on distinct implementation states (the caller's declaration
+    /// that the source was expected to be finite and bounded).
+    max_states: usize,
+}
+
+impl<'a, S: SuccessorSource> Explorer<'a, S> {
+    fn new(source: &'a S, max_states: usize) -> Self {
+        Explorer {
+            source,
+            ids: FxHashMap::default(),
+            states: Vec::new(),
+            rows: Vec::new(),
+            max_states,
+        }
+    }
+
+    fn intern(&mut self, state: S::State) -> u32 {
+        if let Some(&id) = self.ids.get(&state) {
+            return id;
+        }
+        assert!(
+            self.states.len() < self.max_states,
+            "implementation state space exceeded {} states",
+            self.max_states
+        );
+        let id = u32::try_from(self.states.len()).expect("more than u32::MAX states");
+        self.ids.insert(state.clone(), id);
+        self.states.push(state);
+        self.rows.push(None);
+        id
+    }
+
+    /// Interns an already-generated successor list as the row of `qi`.
+    fn store_row(&mut self, qi: u32, generated: Vec<(LetterId, S::State)>) {
+        let row: Row = generated
+            .into_iter()
+            .map(|(letter, succ)| (letter, self.intern(succ)))
+            .collect();
+        self.rows[qi as usize] = Some(row);
+    }
+
+    /// Generates and caches the successor row of `qi` on first touch.
+    fn ensure_row(&mut self, qi: u32) {
+        if self.rows[qi as usize].is_some() {
+            return;
+        }
+        let mut generated = Vec::new();
+        self.source
+            .successors(&self.states[qi as usize], &mut generated);
+        self.store_row(qi, generated);
+    }
+}
+
+/// The sequential engine: the exact FIFO product BFS of
+/// `check_inclusion_compiled`, with the implementation side pulled
+/// lazily. Identical discovery order, hence identical verdict, word, and
+/// `product_states`.
+fn sequential_bounded<S: SuccessorSource, P: SpecAccess>(
+    source: &S,
+    mut spec: P,
+    max_impl_states: usize,
+) -> (InclusionResult<S::Label>, OtfStats) {
+    let spec_letters = spec.num_letters();
+    let mut ex = Explorer::new(source, max_impl_states);
+    let mut visited: FxHashSet<u64> = FxHashSet::default();
+    let mut queue: Vec<(u32, u32)> = Vec::new();
+    let mut parent: Vec<(u32, LetterId)> = Vec::new();
+
+    let spec0 = spec.initial();
+    let mut inits = Vec::new();
+    source.initial_states(&mut inits);
+    for state in inits {
+        let qi = ex.intern(state);
+        if visited.insert(pack(qi, spec0)) {
+            queue.push((qi, spec0));
+            parent.push((ROOT, EPSILON));
+        }
+    }
+
+    let mut head = 0usize;
+    let mut depth_mark = queue.len();
+    let mut levels = 0usize;
+    while head < queue.len() {
+        if head == depth_mark {
+            levels += 1;
+            depth_mark = queue.len();
+        }
+        let (qi, qs) = queue[head];
+        ex.ensure_row(qi);
+        let row = ex.rows[qi as usize].as_deref().expect("row ensured above");
+        for &(letter, target) in row {
+            let qs2 = if letter == EPSILON {
+                qs
+            } else if letter < spec_letters {
+                match spec.step(qs, letter) {
+                    NO_STATE => {
+                        return sequential_violation(
+                            source,
+                            &parent,
+                            head,
+                            letter,
+                            queue.len(),
+                            ex.states.len(),
+                            levels,
+                        )
+                    }
+                    next => next,
+                }
+            } else {
+                return sequential_violation(
+                    source,
+                    &parent,
+                    head,
+                    letter,
+                    queue.len(),
+                    ex.states.len(),
+                    levels,
+                );
+            };
+            if visited.insert(pack(target, qs2)) {
+                queue.push((target, qs2));
+                parent.push((head as u32, letter));
+            }
+        }
+        head += 1;
+    }
+    (
+        InclusionResult::Included {
+            product_states: queue.len(),
+        },
+        OtfStats {
+            impl_states: ex.states.len(),
+            levels,
+        },
+    )
+}
+
+/// Builds the violating return of the sequential engine.
+fn sequential_violation<S: SuccessorSource>(
+    source: &S,
+    parent: &[(u32, LetterId)],
+    head: usize,
+    letter: LetterId,
+    product_states: usize,
+    impl_states: usize,
+    levels: usize,
+) -> (InclusionResult<S::Label>, OtfStats) {
+    let word = reconstruct_queue(source, parent, head, letter);
+    (
+        InclusionResult::Counterexample {
+            word,
+            product_states,
+        },
+        OtfStats {
+            impl_states,
+            levels,
+        },
+    )
+}
+
+/// Reconstructs a violating word along queue parent pointers (sequential
+/// engine).
+fn reconstruct_queue<S: SuccessorSource>(
+    source: &S,
+    parent: &[(u32, LetterId)],
+    mut at: usize,
+    last_letter: LetterId,
+) -> Vec<S::Label> {
+    let mut word = vec![source.letter(last_letter)];
+    loop {
+        let (prev, letter) = parent[at];
+        if prev == ROOT {
+            break;
+        }
+        if letter != EPSILON {
+            word.push(source.letter(letter));
+        }
+        at = prev as usize;
+    }
+    word.reverse();
+    word
+}
+
+/// Number of stripes of the parallel visited table. A power of two well
+/// above any sane thread count, so merge workers rarely share a cache
+/// line and the stripe of a pair is a mask away from its hash.
+const STRIPES: usize = 64;
+
+/// Frontiers and per-level work lists smaller than this are processed
+/// inline: three thread scopes per BFS level cost more than they save on
+/// narrow levels.
+const PAR_THRESHOLD: usize = 256;
+
+/// A successor candidate produced by the generation phase: the discovery
+/// tag `(parent frontier index << 32) | edge index` orders candidates
+/// exactly as the sequential FIFO BFS would discover them.
+#[derive(Clone, Copy)]
+struct Candidate {
+    tag: u64,
+    target: u32,
+    spec: u32,
+    letter: LetterId,
+}
+
+/// Per-chunk output of the generation phase.
+#[derive(Default)]
+struct ChunkOut {
+    /// Candidates bucketed by visited-table stripe, in tag order.
+    stripes: Vec<Vec<Candidate>>,
+    /// The minimal-tag violation seen in this chunk, if any.
+    violation: Option<(u64, LetterId)>,
+}
+
+#[inline]
+fn stripe_of(key: u64) -> usize {
+    // Take the *high* bits of the hash: the stripe sets are themselves
+    // FxHash tables probing on the low bits of this same hash, so a
+    // low-bit stripe index would make every key within a stripe collide
+    // on its probe-start bucket. FxHash's final multiply mixes the high
+    // bits best anyway.
+    use std::hash::Hasher;
+    let mut hasher = crate::fxhash::FxHasher::default();
+    hasher.write_u64(key);
+    (hasher.finish() >> (64 - STRIPES.trailing_zeros())) as usize
+}
+
+/// The parallel engine: deterministic level-synchronous BFS (see module
+/// docs). Results are independent of `threads`.
+fn parallel<S: SuccessorSource, M: Sync>(
+    source: &S,
+    spec: &CompiledDfa<M>,
+    threads: usize,
+    max_impl_states: usize,
+) -> (InclusionResult<S::Label>, OtfStats) {
+    let spec_letters = spec.alphabet().len() as u32;
+    let mut ex = Explorer::new(source, max_impl_states);
+    let mut visited: Vec<FxHashSet<u64>> = (0..STRIPES).map(|_| FxHashSet::default()).collect();
+
+    // Level 0: distinct initial pairs in order.
+    let spec0 = spec.initial_state();
+    let mut inits = Vec::new();
+    source.initial_states(&mut inits);
+    let mut frontier: Vec<(u32, u32)> = Vec::new();
+    for state in inits {
+        let qi = ex.intern(state);
+        let key = pack(qi, spec0);
+        if visited[stripe_of(key)].insert(key) {
+            frontier.push((qi, spec0));
+        }
+    }
+    // Parent arrays per level, for counterexample reconstruction.
+    let mut parents: Vec<Vec<(u32, LetterId)>> = vec![vec![(ROOT, EPSILON); frontier.len()]];
+    let mut total = frontier.len();
+    let mut levels = 0usize;
+
+    while !frontier.is_empty() {
+        // Phase 1: generate successor rows for first-touched states, in
+        // frontier order (sharded; interned sequentially for determinism).
+        ensure_rows(&mut ex, &frontier, threads);
+
+        // Phase 2: expand the frontier into per-(chunk, stripe) candidate
+        // buffers against the read-only visited table. Pure integers.
+        let mut chunk_outs = expand_frontier(&ex, spec, spec_letters, &visited, &frontier, threads);
+
+        // A violation anywhere in this level beats all deeper ones; the
+        // minimal tag reproduces the sequential engine's word.
+        let violation = chunk_outs
+            .iter()
+            .filter_map(|c| c.violation)
+            .min_by_key(|&(tag, _)| tag);
+        if let Some((tag, letter)) = violation {
+            let word = reconstruct_levels(source, &parents, (tag >> 32) as u32, letter);
+            return (
+                InclusionResult::Counterexample {
+                    word,
+                    product_states: total,
+                },
+                OtfStats {
+                    impl_states: ex.states.len(),
+                    levels,
+                },
+            );
+        }
+
+        // Phase 3: dedup merge, stripe-parallel, candidates consumed in
+        // tag order (chunk ranges are ascending, buffers are in-order).
+        let nodes = merge_level(&mut visited, &mut chunk_outs, threads);
+
+        frontier.clear();
+        let mut level_parents = Vec::with_capacity(nodes.len());
+        for node in &nodes {
+            frontier.push((node.target, node.spec));
+            level_parents.push(((node.tag >> 32) as u32, node.letter));
+        }
+        parents.push(level_parents);
+        total += nodes.len();
+        if !frontier.is_empty() {
+            // Matches the sequential engine's count: a final expansion
+            // that discovers nothing is not a new level.
+            levels += 1;
+        }
+    }
+
+    (
+        InclusionResult::Included {
+            product_states: total,
+        },
+        OtfStats {
+            impl_states: ex.states.len(),
+            levels,
+        },
+    )
+}
+
+/// Generates (in parallel) and interns (sequentially, in frontier order)
+/// the successor rows of every frontier state missing one.
+fn ensure_rows<S: SuccessorSource>(ex: &mut Explorer<'_, S>, frontier: &[(u32, u32)], threads: usize) {
+    let mut missing: Vec<u32> = Vec::new();
+    let mut queued = FxHashSet::default();
+    for &(qi, _) in frontier {
+        if ex.rows[qi as usize].is_none() && queued.insert(qi) {
+            missing.push(qi);
+        }
+    }
+    if missing.is_empty() {
+        return;
+    }
+    let mut generated: Vec<Vec<(LetterId, S::State)>> = vec![Vec::new(); missing.len()];
+    if missing.len() < PAR_THRESHOLD || threads <= 1 {
+        for (slot, &qi) in generated.iter_mut().zip(&missing) {
+            ex.source.successors(&ex.states[qi as usize], slot);
+        }
+    } else {
+        let chunk = missing.len().div_ceil(threads);
+        let source = ex.source;
+        let states = &ex.states;
+        std::thread::scope(|scope| {
+            for (slots, ids) in generated.chunks_mut(chunk).zip(missing.chunks(chunk)) {
+                scope.spawn(move || {
+                    for (slot, &qi) in slots.iter_mut().zip(ids) {
+                        source.successors(&states[qi as usize], slot);
+                    }
+                });
+            }
+        });
+    }
+    for (qi, row) in missing.into_iter().zip(generated) {
+        ex.store_row(qi, row);
+    }
+}
+
+/// Expands the frontier into per-chunk candidate buffers (chunks are
+/// contiguous ascending frontier ranges, so candidate tags come out
+/// ordered per chunk).
+fn expand_frontier<S: SuccessorSource, M: Sync>(
+    ex: &Explorer<'_, S>,
+    spec: &CompiledDfa<M>,
+    spec_letters: u32,
+    visited: &[FxHashSet<u64>],
+    frontier: &[(u32, u32)],
+    threads: usize,
+) -> Vec<ChunkOut> {
+    let chunk = frontier.len().div_ceil(threads).max(1);
+    let starts: Vec<usize> = (0..frontier.len()).step_by(chunk).collect();
+    let mut outs: Vec<ChunkOut> = (0..starts.len()).map(|_| ChunkOut::default()).collect();
+    // Cross-worker early exit: the minimal violation tag seen so far.
+    // Nodes whose tags can only exceed it cannot improve the result.
+    let min_violation = AtomicU64::new(u64::MAX);
+
+    let expand_chunk = |out: &mut ChunkOut, start: usize| {
+        out.stripes = (0..STRIPES).map(|_| Vec::new()).collect();
+        let end = (start + chunk).min(frontier.len());
+        for (offset, &(qi, qs)) in frontier[start..end].iter().enumerate() {
+            let index = (start + offset) as u64;
+            if min_violation.load(Ordering::Relaxed) < index << 32 {
+                break; // a shallower violation already wins
+            }
+            let row = ex.rows[qi as usize].as_deref().expect("rows ensured");
+            for (edge, &(letter, target)) in row.iter().enumerate() {
+                let tag = index << 32 | edge as u64;
+                let qs2 = if letter == EPSILON {
+                    qs
+                } else if letter < spec_letters {
+                    match spec.step_raw(qs, letter) {
+                        NO_STATE => {
+                            record_violation(out, &min_violation, tag, letter);
+                            break;
+                        }
+                        next => next,
+                    }
+                } else {
+                    record_violation(out, &min_violation, tag, letter);
+                    break;
+                };
+                let key = pack(target, qs2);
+                let stripe = stripe_of(key);
+                if !visited[stripe].contains(&key) {
+                    out.stripes[stripe].push(Candidate {
+                        tag,
+                        target,
+                        spec: qs2,
+                        letter,
+                    });
+                }
+            }
+            if out.violation.is_some() {
+                break; // later nodes of this chunk only have larger tags
+            }
+        }
+    };
+
+    if frontier.len() < PAR_THRESHOLD || threads <= 1 {
+        for (out, &start) in outs.iter_mut().zip(&starts) {
+            expand_chunk(out, start);
+        }
+    } else {
+        let expand_chunk = &expand_chunk;
+        std::thread::scope(|scope| {
+            for (out, &start) in outs.iter_mut().zip(&starts) {
+                scope.spawn(move || expand_chunk(out, start));
+            }
+        });
+    }
+    outs
+}
+
+fn record_violation(out: &mut ChunkOut, min_violation: &AtomicU64, tag: u64, letter: LetterId) {
+    if out.violation.is_none() {
+        out.violation = Some((tag, letter));
+        min_violation.fetch_min(tag, Ordering::Relaxed);
+    }
+}
+
+/// Dedup merge between levels: inserts candidates into the striped
+/// visited table (stripes processed in parallel, candidates in tag order,
+/// first occurrence wins) and returns the accepted nodes sorted by tag —
+/// the next frontier in sequential discovery order.
+fn merge_level(
+    visited: &mut [FxHashSet<u64>],
+    chunk_outs: &mut [ChunkOut],
+    threads: usize,
+) -> Vec<Candidate> {
+    // Regroup buffers by stripe (pointer moves only).
+    let mut by_stripe: Vec<Vec<Vec<Candidate>>> = (0..STRIPES).map(|_| Vec::new()).collect();
+    for out in chunk_outs.iter_mut() {
+        for (stripe, buf) in out.stripes.drain(..).enumerate() {
+            if !buf.is_empty() {
+                by_stripe[stripe].push(buf);
+            }
+        }
+    }
+    let candidates: usize = by_stripe
+        .iter()
+        .flat_map(|bufs| bufs.iter().map(Vec::len))
+        .sum();
+    let mut accepted: Vec<Vec<Candidate>> = (0..STRIPES).map(|_| Vec::new()).collect();
+    let merge_stripe = |set: &mut FxHashSet<u64>, bufs: &mut Vec<Vec<Candidate>>, out: &mut Vec<Candidate>| {
+        for buf in bufs.drain(..) {
+            for cand in buf {
+                if set.insert(pack(cand.target, cand.spec)) {
+                    out.push(cand);
+                }
+            }
+        }
+    };
+    if candidates < PAR_THRESHOLD || threads <= 1 {
+        for ((set, bufs), out) in visited.iter_mut().zip(&mut by_stripe).zip(&mut accepted) {
+            merge_stripe(set, bufs, out);
+        }
+    } else {
+        let per = STRIPES.div_ceil(threads);
+        std::thread::scope(|scope| {
+            for ((sets, bufs), outs) in visited
+                .chunks_mut(per)
+                .zip(by_stripe.chunks_mut(per))
+                .zip(accepted.chunks_mut(per))
+            {
+                scope.spawn(move || {
+                    for ((set, buf), out) in sets.iter_mut().zip(bufs).zip(outs) {
+                        merge_stripe(set, buf, out);
+                    }
+                });
+            }
+        });
+    }
+    let mut nodes: Vec<Candidate> = accepted.into_iter().flatten().collect();
+    nodes.sort_unstable_by_key(|c| c.tag);
+    nodes
+}
+
+/// Reconstructs a violating word along per-level parent arrays (parallel
+/// engine). `at` indexes the current frontier (the last entry of
+/// `parents`).
+fn reconstruct_levels<S: SuccessorSource>(
+    source: &S,
+    parents: &[Vec<(u32, LetterId)>],
+    at: u32,
+    last_letter: LetterId,
+) -> Vec<S::Label> {
+    let mut word = vec![source.letter(last_letter)];
+    let mut level = parents.len() - 1;
+    let mut index = at as usize;
+    loop {
+        let (prev, letter) = parents[level][index];
+        if prev == ROOT {
+            break;
+        }
+        if letter != EPSILON {
+            word.push(source.letter(letter));
+        }
+        index = prev as usize;
+        level -= 1;
+    }
+    word.reverse();
+    word
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dfa::Dfa;
+    use crate::inclusion::check_inclusion_compiled;
+    use crate::nfa::Nfa;
+
+    fn compile_pair(nfa: &Nfa<char>, spec: &CompiledDfa<char>) -> (CompiledNfa, Alphabet<char>) {
+        let mut alphabet = spec.alphabet().clone();
+        let imp = CompiledNfa::compile(nfa, &mut alphabet);
+        (imp, alphabet)
+    }
+
+    fn letter_nfa(letters: &[char]) -> Nfa<char> {
+        let mut nfa = Nfa::new();
+        let s = nfa.add_state();
+        nfa.set_initial(s);
+        for &l in letters {
+            nfa.add_transition(s, Some(l), s);
+        }
+        nfa
+    }
+
+    fn letter_dfa(letters: &[char]) -> Dfa<char> {
+        let mut dfa = Dfa::new(letters.to_vec());
+        let q = dfa.add_state();
+        dfa.set_initial(q);
+        for l in letters {
+            dfa.set_transition(q, l, q);
+        }
+        dfa
+    }
+
+    /// A chain with branching and ε-moves, long enough to have several
+    /// BFS levels.
+    fn chain_nfa(n: usize) -> Nfa<char> {
+        let mut nfa = Nfa::new();
+        let states: Vec<_> = (0..n).map(|_| nfa.add_state()).collect();
+        nfa.set_initial(states[0]);
+        for i in 0..n - 1 {
+            nfa.add_transition(states[i], Some('a'), states[i + 1]);
+            if i % 3 == 0 {
+                nfa.add_transition(states[i], None, states[(i + 2).min(n - 1)]);
+            }
+            if i % 4 == 1 {
+                nfa.add_transition(states[i], Some('b'), states[i]);
+            }
+        }
+        nfa.add_transition(states[n - 1], Some('c'), states[n - 1]);
+        nfa
+    }
+
+    #[test]
+    fn otf_matches_compiled_on_examples() {
+        let cases: Vec<(Nfa<char>, Dfa<char>)> = vec![
+            (letter_nfa(&['a']), letter_dfa(&['a', 'b'])),
+            (letter_nfa(&['a', 'b']), letter_dfa(&['a'])),
+            (letter_nfa(&['z']), letter_dfa(&['a'])),
+            (chain_nfa(12), letter_dfa(&['a', 'b'])),
+            (chain_nfa(12), letter_dfa(&['a', 'b', 'c'])),
+        ];
+        for (nfa, dfa) in &cases {
+            let spec = dfa.compile();
+            let expected = check_inclusion_compiled(nfa, &spec);
+            let (imp, alphabet) = compile_pair(nfa, &spec);
+            let source = NfaSource::new(&imp, &alphabet);
+            for threads in [1, 2, 5] {
+                let got = check_inclusion_otf_threads(&source, &spec, threads);
+                assert_eq!(got.holds(), expected.holds(), "threads={threads}");
+                assert_eq!(
+                    got.counterexample(),
+                    expected.counterexample(),
+                    "threads={threads}"
+                );
+                if expected.holds() {
+                    assert_eq!(got.product_states(), expected.product_states());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_otf_has_exact_parity() {
+        let nfa = chain_nfa(9);
+        let spec = letter_dfa(&['a', 'b']).compile();
+        let expected = check_inclusion_compiled(&nfa, &spec);
+        let (imp, alphabet) = compile_pair(&nfa, &spec);
+        let source = NfaSource::new(&imp, &alphabet);
+        let got = check_inclusion_otf_threads(&source, &spec, 1);
+        assert_eq!(got, expected); // verdict, word, and product_states
+    }
+
+    #[test]
+    fn stats_report_impl_states() {
+        let nfa = chain_nfa(10);
+        let spec = letter_dfa(&['a', 'b', 'c']).compile();
+        let (imp, alphabet) = compile_pair(&nfa, &spec);
+        let source = NfaSource::new(&imp, &alphabet);
+        let (_, sequential_stats) = check_inclusion_otf_stats(&source, &spec, 1);
+        assert_eq!(sequential_stats.impl_states, nfa.num_states());
+        assert!(sequential_stats.levels > 0);
+        for threads in [2, 3] {
+            let (result, stats) = check_inclusion_otf_stats(&source, &spec, threads);
+            assert!(result.holds());
+            // Stats — including the level count — are engine-independent.
+            assert_eq!(stats, sequential_stats, "threads={threads}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeded 4 states")]
+    fn bounded_engine_rejects_state_blowup() {
+        let nfa = chain_nfa(10);
+        let spec = letter_dfa(&['a', 'b', 'c']).compile();
+        let (imp, alphabet) = compile_pair(&nfa, &spec);
+        let source = NfaSource::new(&imp, &alphabet);
+        let _ = check_inclusion_otf_bounded(&source, &spec, 1, 4);
+    }
+
+    #[test]
+    fn parallel_counterexample_is_thread_count_independent() {
+        // Violation deep in the chain: 'c' is missing from the spec.
+        let nfa = chain_nfa(14);
+        let spec = letter_dfa(&['a', 'b']).compile();
+        let (imp, alphabet) = compile_pair(&nfa, &spec);
+        let source = NfaSource::new(&imp, &alphabet);
+        let words: Vec<_> = [1usize, 2, 3, 8]
+            .iter()
+            .map(|&t| {
+                check_inclusion_otf_threads(&source, &spec, t)
+                    .counterexample()
+                    .expect("must violate")
+                    .to_vec()
+            })
+            .collect();
+        for w in &words[1..] {
+            assert_eq!(w, &words[0]);
+        }
+    }
+
+    #[test]
+    fn lazy_spec_matches_compiled_spec() {
+        // Parity system: 'f' flips, 'z' only when even — as a lazy
+        // SpecSource vs its eagerly explored compiled DFA.
+        struct Parity;
+        impl crate::DeterministicTransitionSystem for Parity {
+            type State = bool;
+            type Label = char;
+            fn initial(&self) -> bool {
+                false
+            }
+            fn step(&self, state: &bool, letter: &char) -> Option<bool> {
+                match letter {
+                    'f' => Some(!state),
+                    'z' if !state => Some(*state),
+                    _ => None,
+                }
+            }
+        }
+        let (dfa, _) = crate::explore_deterministic(&Parity, vec!['f', 'z'], 10);
+        let spec = dfa.compile();
+        for nfa in [
+            letter_nfa(&['f']),
+            letter_nfa(&['f', 'z']),
+            letter_nfa(&['z']),
+            chain_nfa(7),
+        ] {
+            let (imp, alphabet) = compile_pair(&nfa, &spec);
+            let source = NfaSource::new(&imp, &alphabet);
+            let eager = check_inclusion_otf_stats(&source, &spec, 1);
+            let lazy_spec = DtsSpecSource::new(&Parity, vec!['f', 'z']);
+            let lazy = check_inclusion_otf_lazy(&source, &lazy_spec);
+            assert_eq!(lazy.0, eager.0);
+            assert_eq!(lazy.1, eager.1);
+        }
+    }
+
+    #[test]
+    fn env_thread_count_parses() {
+        // Only exercises the default path (the variable is not set by
+        // the test harness); the CI matrix covers explicit values.
+        assert!(modelcheck_threads() >= 1);
+    }
+}

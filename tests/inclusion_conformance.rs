@@ -1,0 +1,325 @@
+//! Differential conformance harness for the inclusion-check engine
+//! hierarchy: the seed reference (`check_inclusion_reference`), the
+//! compiled index-based checker (`check_inclusion_compiled`), and the
+//! on-the-fly product engine (`check_inclusion_otf`) — sequential and
+//! parallel — must agree on every Table 2 (TM, property) pair, on the TM
+//! steppers directly, and on randomized NFA/DFA pairs.
+//!
+//! Counterexamples additionally *replay*: the word is accepted by the
+//! implementation automaton and rejected by the specification DFA
+//! (`CompiledDfa::accepts`).
+
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use proptest::prelude::*;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+use tm_modelcheck::algorithms::{
+    DstmTm, MostGeneralSource, PoliteCm, SequentialTm, Tl2Tm, TwoPhaseTm, ValidationStyle,
+    WithContentionManager,
+};
+use tm_modelcheck::automata::{
+    check_inclusion, check_inclusion_compiled, check_inclusion_otf_stats,
+    check_inclusion_otf_threads, check_inclusion_reference, CompiledDfa, CompiledNfa, Dfa,
+    InclusionResult, LetterId, Nfa, NfaSource,
+};
+use tm_modelcheck::lang::SafetyProperty;
+use tm_modelcheck::spec::DetSpec;
+
+const MAX_STATES: usize = 20_000_000;
+
+/// Letter ids of `word` over `spec`'s alphabet, mapping unknown letters
+/// to an id the specification rejects.
+fn spec_ids<L: Clone + Eq + Hash>(spec: &CompiledDfa<L>, word: &[L]) -> Vec<LetterId> {
+    word.iter()
+        .map(|l| {
+            spec.alphabet()
+                .get(l)
+                .unwrap_or(spec.alphabet().len() as LetterId)
+        })
+        .collect()
+}
+
+/// Asserts that a counterexample of `L(imp) ⊆ L(spec)` replays: accepted
+/// by the implementation, rejected by the specification.
+fn assert_replays<L: Clone + Eq + Hash + std::fmt::Debug>(
+    imp: &CompiledNfa,
+    imp_alphabet: &tm_modelcheck::automata::Alphabet<L>,
+    spec: &CompiledDfa<L>,
+    word: &[L],
+    context: &str,
+) {
+    let imp_ids: Vec<LetterId> = word
+        .iter()
+        .map(|l| {
+            imp_alphabet
+                .get(l)
+                .unwrap_or_else(|| panic!("{context}: counterexample letter {l:?} not interned"))
+        })
+        .collect();
+    assert!(
+        imp.accepts(&imp_ids),
+        "{context}: counterexample not accepted by the implementation: {word:?}"
+    );
+    assert!(
+        !spec.accepts(&spec_ids(spec, word)),
+        "{context}: counterexample accepted by the specification: {word:?}"
+    );
+}
+
+/// Runs every engine on one (implementation NFA, compiled spec) pair and
+/// cross-checks them; returns the reference result.
+fn conform<L: Clone + Eq + Hash + Sync + std::fmt::Debug>(
+    nfa: &Nfa<L>,
+    dfa: &Dfa<L>,
+    spec: &CompiledDfa<L>,
+    context: &str,
+) -> InclusionResult<L> {
+    let reference = check_inclusion_reference(nfa, dfa);
+    let light = check_inclusion(nfa, dfa);
+    assert_eq!(light, reference, "{context}: check_inclusion");
+    let compiled = check_inclusion_compiled(nfa, spec);
+    assert_eq!(compiled, reference, "{context}: compiled");
+
+    let mut alphabet = spec.alphabet().clone();
+    let imp = CompiledNfa::compile(nfa, &mut alphabet);
+    let source = NfaSource::new(&imp, &alphabet);
+    let otf_seq = check_inclusion_otf_threads(&source, spec, 1);
+    assert_eq!(otf_seq, reference, "{context}: otf sequential");
+    for threads in [2, 4] {
+        let otf_par = check_inclusion_otf_threads(&source, spec, threads);
+        assert_eq!(
+            otf_par.holds(),
+            reference.holds(),
+            "{context}: otf x{threads} verdict"
+        );
+        // The parallel engine is deterministic and reproduces the
+        // sequential word; only `product_states` of a violating run may
+        // differ (it finishes the violating level).
+        assert_eq!(
+            otf_par.counterexample(),
+            reference.counterexample(),
+            "{context}: otf x{threads} word"
+        );
+        if reference.holds() {
+            assert_eq!(
+                otf_par.product_states(),
+                reference.product_states(),
+                "{context}: otf x{threads} product states"
+            );
+        }
+    }
+    if let Some(word) = reference.counterexample() {
+        assert_replays(&imp, &alphabet, spec, word, context);
+    }
+    reference
+}
+
+/// All Table 2 (TM, property) pairs: every engine agrees — same verdict,
+/// same shortest counterexample, and same `product_states` in the
+/// sequential engines — and every counterexample replays.
+#[test]
+fn table2_all_engines_agree() {
+    let roster = tm_bench::table2_roster();
+    for property in SafetyProperty::all() {
+        let (dfa, _) = DetSpec::new(property, 2, 2).to_dfa(MAX_STATES);
+        let spec = dfa.compile();
+        for (name, nfa, _) in &roster {
+            let context = format!("{} / {name}", property.short_name());
+            let result = conform(nfa, &dfa, &spec, &context);
+            if let Some(word) = result.counterexample() {
+                let word: tm_modelcheck::lang::Word = word.iter().copied().collect();
+                assert!(!property.holds(&word), "{context}: oracle accepts {word}");
+            }
+        }
+    }
+}
+
+/// The on-the-fly engine fed by the TM steppers directly (no NFA ever
+/// built) agrees with the materialize-then-check pipeline on every Table
+/// 2 TM — verdict, word, sequential product count, and the implementation
+/// state count discovered on the fly.
+#[test]
+fn tm_steppers_match_materialized_pipeline() {
+    fn check_stepper<A>(tm: &A, name: &str)
+    where
+        A: tm_modelcheck::algorithms::TmAlgorithm + Sync,
+        A::State: Send + Sync,
+    {
+        for property in SafetyProperty::all() {
+            let (dfa, _) = DetSpec::new(property, 2, 2).to_dfa(MAX_STATES);
+            let spec = dfa.compile();
+            let explored = tm_modelcheck::algorithms::most_general_nfa(tm, MAX_STATES);
+            let expected = check_inclusion_compiled(&explored.nfa, &spec);
+            let source = MostGeneralSource::new(tm, spec.alphabet().clone());
+            let context = format!("{} / {name} (stepper)", property.short_name());
+            let (otf_seq, stats) = check_inclusion_otf_stats(&source, &spec, 1);
+            assert_eq!(otf_seq, expected, "{context}");
+            if expected.holds() {
+                assert_eq!(
+                    stats.impl_states,
+                    explored.num_states(),
+                    "{context}: impl state count"
+                );
+            }
+            let otf_par = check_inclusion_otf_threads(&source, &spec, 4);
+            assert_eq!(otf_par.holds(), expected.holds(), "{context}: x4 verdict");
+            assert_eq!(
+                otf_par.counterexample(),
+                expected.counterexample(),
+                "{context}: x4 word"
+            );
+            if let Some(word) = expected.counterexample() {
+                let mut alphabet = spec.alphabet().clone();
+                let imp = CompiledNfa::compile(&explored.nfa, &mut alphabet);
+                assert_replays(&imp, &alphabet, &spec, word, &context);
+            }
+        }
+    }
+
+    check_stepper(&SequentialTm::new(2, 2), "sequential");
+    check_stepper(&TwoPhaseTm::new(2, 2), "2PL");
+    check_stepper(&DstmTm::new(2, 2), "dstm");
+    check_stepper(&Tl2Tm::new(2, 2), "TL2");
+    check_stepper(
+        &WithContentionManager::new(
+            Tl2Tm::with_validation(2, 2, ValidationStyle::RValidateThenChkLock),
+            PoliteCm,
+        ),
+        "modified-TL2+polite",
+    );
+}
+
+const NFA_ALPHABET: [char; 4] = ['a', 'b', 'c', 'd'];
+
+/// A random NFA over a bounded alphabet with bounded states/transitions
+/// (25% ε), state 0 initial.
+fn arb_nfa() -> impl Strategy<Value = Nfa<char>> {
+    (
+        1usize..=7,
+        proptest::collection::vec((0usize..7, 0usize..5, 0usize..7), 0..18),
+    )
+        .prop_map(|(states, edges)| build_nfa(states, &edges))
+}
+
+fn build_nfa(states: usize, edges: &[(usize, usize, usize)]) -> Nfa<char> {
+    let mut nfa = Nfa::new();
+    for _ in 0..states {
+        nfa.add_state();
+    }
+    nfa.set_initial(0);
+    for &(from, label, to) in edges {
+        let (from, to) = (from % states, to % states);
+        let label = if label == NFA_ALPHABET.len() {
+            None
+        } else {
+            Some(NFA_ALPHABET[label])
+        };
+        nfa.add_transition(from, label, to);
+    }
+    nfa
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Fuzz: on random NFA/DFA pairs, the on-the-fly engine (sequential
+    /// and parallel) is equivalent to the compiled checker, so the
+    /// parallel path is exercised on adversarial shapes, not just the
+    /// Table 2 examples.
+    #[test]
+    fn otf_equals_compiled_on_random_pairs((left, right) in (arb_nfa(), arb_nfa())) {
+        let dfa = Dfa::determinize(&right, NFA_ALPHABET.to_vec());
+        let spec = dfa.compile();
+        conform(&left, &dfa, &spec, "proptest pair");
+    }
+}
+
+/// The same differential property driven by explicit `rand`-shim seeds —
+/// a reproducible sweep wider than the proptest default stream.
+#[test]
+fn otf_equals_compiled_on_seeded_pairs() {
+    for seed in 0..48u64 {
+        let mut rng = StdRng::seed_from_u64(0xd1ff_0000 + seed);
+        let random_nfa = |rng: &mut StdRng| {
+            let states = 1 + rng.gen_range(0..7);
+            let edges: Vec<(usize, usize, usize)> = (0..rng.gen_range(0..20))
+                .map(|_| {
+                    (
+                        rng.gen_range(0..states),
+                        rng.gen_range(0..NFA_ALPHABET.len() + 1),
+                        rng.gen_range(0..states),
+                    )
+                })
+                .collect();
+            build_nfa(states, &edges)
+        };
+        let left = random_nfa(&mut rng);
+        let right = random_nfa(&mut rng);
+        let dfa = Dfa::determinize(&right, NFA_ALPHABET.to_vec());
+        let spec = dfa.compile();
+        conform(&left, &dfa, &spec, &format!("seed {seed}"));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Regression: `check_inclusion` on a sequential-TM-shaped instance (a
+// tiny implementation against a large specification) must not re-hash
+// specification letters per call — the (2,2) small-instance regression
+// where compiling the spec table dominated the whole check.
+
+static LABEL_HASHES: AtomicUsize = AtomicUsize::new(0);
+
+/// A label whose `Hash` impl counts invocations.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+struct Counted(u32);
+
+impl Hash for Counted {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        LABEL_HASHES.fetch_add(1, Ordering::Relaxed);
+        self.0.hash(state);
+    }
+}
+
+#[test]
+fn small_instance_check_does_no_per_call_letter_rehash() {
+    // Spec: 40 states over 12 letters (the sequential TM shape: spec
+    // table cells vastly outnumber implementation edges).
+    let letters: Vec<Counted> = (0..12).map(Counted).collect();
+    let mut spec = Dfa::new(letters.clone());
+    for _ in 0..40 {
+        spec.add_state();
+    }
+    spec.set_initial(0);
+    for q in 0..40usize {
+        for l in 0..12u32 {
+            spec.set_transition(q, &Counted(l), (q + l as usize) % 40);
+        }
+    }
+    // Implementation: 3 states, 5 edges.
+    let mut imp: Nfa<Counted> = Nfa::new();
+    for _ in 0..3 {
+        imp.add_state();
+    }
+    imp.set_initial(0);
+    imp.add_transition(0, Some(Counted(0)), 1);
+    imp.add_transition(0, None, 2);
+    imp.add_transition(1, Some(Counted(1)), 2);
+    imp.add_transition(2, Some(Counted(2)), 0);
+    imp.add_transition(2, Some(Counted(0)), 2);
+
+    let warm = check_inclusion(&imp, &spec);
+    let before = LABEL_HASHES.load(Ordering::Relaxed);
+    let again = check_inclusion(&imp, &spec);
+    let per_call = LABEL_HASHES.load(Ordering::Relaxed) - before;
+    assert_eq!(again, warm);
+    // Interning the implementation's own edge labels is the only hashing
+    // allowed: one lookup per labelled edge, nothing proportional to the
+    // specification alphabet (12 letters) or its table.
+    assert!(
+        per_call <= imp.num_transitions(),
+        "check_inclusion re-hashed letters: {per_call} hashes for {} edges",
+        imp.num_transitions()
+    );
+}
