@@ -9,7 +9,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use tm_algorithms::{
     AggressiveCm, DstmTm, PoliteCm, SequentialTm, Tl2Tm, TwoPhaseTm, WithContentionManager,
 };
-use tm_checker::check_liveness;
+use tm_checker::{check_liveness, check_liveness_reference, check_liveness_threads};
 use tm_lang::LivenessProperty;
 
 fn bench_liveness(c: &mut Criterion) {
@@ -43,5 +43,28 @@ fn bench_liveness(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_liveness);
+/// A/B: the compiled engine (masked CSR passes, pool size 1 for a fair
+/// single-threaded comparison) against the seed reference (cloned
+/// filtered subgraphs) on the heaviest Table 3 rows.
+fn bench_engine_vs_reference(c: &mut Criterion) {
+    let two_phase = TwoPhaseTm::new(2, 1);
+    let tl2 = WithContentionManager::new(Tl2Tm::new(2, 1), PoliteCm);
+    let mut group = c.benchmark_group("table3/engine-vs-reference");
+    group.sample_size(10);
+    group.bench_function("engine/2PL/lf", |b| {
+        b.iter(|| check_liveness_threads(&two_phase, LivenessProperty::LivelockFreedom, 1))
+    });
+    group.bench_function("reference/2PL/lf", |b| {
+        b.iter(|| check_liveness_reference(&two_phase, LivenessProperty::LivelockFreedom))
+    });
+    group.bench_function("engine/TL2+polite/lf", |b| {
+        b.iter(|| check_liveness_threads(&tl2, LivenessProperty::LivelockFreedom, 1))
+    });
+    group.bench_function("reference/TL2+polite/lf", |b| {
+        b.iter(|| check_liveness_reference(&tl2, LivenessProperty::LivelockFreedom))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_liveness, bench_engine_vs_reference);
 criterion_main!(benches);

@@ -13,19 +13,29 @@ use tm_automata::{
     check_inclusion_otf_lazy, check_inclusion_otf_stats, check_inclusion_reference, Alphabet,
     Dfa, DtsSpecSource,
 };
-use tm_bench::{table2_roster, table3_check, table3_names, MAX_STATES};
+use tm_bench::{
+    liveness_property_tag, liveness_roster, table2_roster, table3_check, table3_names, MAX_STATES,
+};
 use tm_checker::Table;
 use tm_lang::{LivenessProperty, SafetyProperty};
 use tm_spec::{spec_alphabet, DetSpec, NondetSpec};
 
 fn main() {
-    table1();
-    table2();
-    theorem3();
-    table3();
-    let baseline = bench_inclusion_baseline();
-    let scaling = bench_otf_scaling();
-    write_bench_json(&baseline, &scaling);
+    // `TM_BENCH_LIVENESS_ONLY=1` regenerates only the liveness sections
+    // (and `BENCH_liveness.json`) — the safety tables and inclusion
+    // benches dominate a full run.
+    if std::env::var("TM_BENCH_LIVENESS_ONLY").as_deref() != Ok("1") {
+        table1();
+        table2();
+        theorem3();
+        table3();
+        let baseline = bench_inclusion_baseline();
+        let scaling = bench_otf_scaling();
+        write_bench_json(&baseline, &scaling);
+    }
+    let (liveness_baseline, liveness_speedup) = bench_liveness_baseline();
+    let liveness_scaling = bench_liveness_scaling();
+    write_liveness_json(&liveness_baseline, liveness_speedup, &liveness_scaling);
 }
 
 fn table1() {
@@ -369,6 +379,130 @@ where
 
 fn host_cpus() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Times the compiled liveness engine against the seed reference checker
+/// on the full TM × contention-manager roster at the paper's (2, 1)
+/// liveness instance; the rows become the `cases` section of
+/// `BENCH_liveness.json` (the acceptance record that the engine is
+/// measurably faster than the reference).
+fn bench_liveness_baseline() -> (Vec<String>, f64) {
+    let mut cases = Vec::new();
+    let mut table = Table::new(
+        "Liveness A/B — seed (cloned subgraphs) vs engine (masked CSR), (2,1), best of 3",
+        ["TM", "property", "verdict", "states", "reference", "engine", "speedup"],
+    );
+    let (mut total_reference, mut total_engine) = (Duration::ZERO, Duration::ZERO);
+    for case in liveness_roster(2, 1) {
+        for property in LivenessProperty::all() {
+            let mut verdict = None;
+            let engine = best_of(3, || {
+                verdict = Some(case.check(property, 1));
+            });
+            let reference = best_of(3, || case.check_reference(property));
+            let verdict = verdict.expect("measured at least once");
+            total_reference += reference;
+            total_engine += engine;
+            let speedup = reference.as_secs_f64() / engine.as_secs_f64();
+            table.push_row([
+                case.name.clone(),
+                liveness_property_tag(property).to_owned(),
+                yn(verdict.holds()),
+                verdict.tm_states.to_string(),
+                format!("{reference:.2?}"),
+                format!("{engine:.2?}"),
+                format!("{speedup:.2}x"),
+            ]);
+            cases.push(format!(
+                concat!(
+                    "    {{\"tm\": \"{}\", \"property\": \"{}\", ",
+                    "\"tm_states\": {}, \"holds\": {}, ",
+                    "\"reference_ns\": {}, \"engine_ns\": {}, \"speedup\": {:.3}}}"
+                ),
+                case.name,
+                liveness_property_tag(property),
+                verdict.tm_states,
+                verdict.holds(),
+                reference.as_nanos(),
+                engine.as_nanos(),
+                speedup,
+            ));
+        }
+    }
+    println!("{table}");
+    let overall = total_reference.as_secs_f64() / total_engine.as_secs_f64();
+    println!("overall (2,1) engine speedup: {overall:.2}x\n");
+    (cases, overall)
+}
+
+/// Scaling rows for the liveness engine: the full TM × manager roster at
+/// (3, 1), (2, 2) and (3, 2) — instances the cloned-subgraph reference
+/// was never run at. Engine only, single timed run, worker pool of
+/// [`tm_automata::modelcheck_threads`].
+fn bench_liveness_scaling() -> Vec<String> {
+    let pool = tm_automata::modelcheck_threads();
+    let mut rows = Vec::new();
+    let mut table = Table::new(
+        format!("Liveness scaling — compiled engine, pool = {pool} threads"),
+        ["TM", "(n,k)", "property", "verdict", "states", "time"],
+    );
+    for (n, k) in [(3usize, 1usize), (2, 2), (3, 2)] {
+        for case in liveness_roster(n, k) {
+            for property in LivenessProperty::all() {
+                let start = Instant::now();
+                let verdict = case.check(property, pool);
+                let elapsed = start.elapsed();
+                table.push_row([
+                    case.name.clone(),
+                    format!("({n},{k})"),
+                    liveness_property_tag(property).to_owned(),
+                    yn(verdict.holds()),
+                    verdict.tm_states.to_string(),
+                    format!("{elapsed:.2?}"),
+                ]);
+                rows.push(format!(
+                    concat!(
+                        "    {{\"tm\": \"{}\", \"threads\": {}, \"vars\": {}, ",
+                        "\"property\": \"{}\", \"tm_states\": {}, \"holds\": {}, ",
+                        "\"engine_ns\": {}, \"pool_threads\": {}}}"
+                    ),
+                    case.name,
+                    n,
+                    k,
+                    liveness_property_tag(property),
+                    verdict.tm_states,
+                    verdict.holds(),
+                    elapsed.as_nanos(),
+                    pool,
+                ));
+            }
+        }
+    }
+    println!("{table}");
+    rows
+}
+
+/// Writes `BENCH_liveness.json`: the (2,1) engine-vs-reference baseline
+/// (with the aggregate speedup over the full roster) plus the liveness
+/// scaling rows.
+fn write_liveness_json(cases: &[String], overall_speedup: f64, scaling: &[String]) {
+    let json = format!(
+        "{{\n  \"benchmark\": \"liveness-engine-vs-reference\",\n  \
+         \"instance\": {{\"threads\": 2, \"vars\": 1}},\n  \
+         \"unit\": \"best-of-3 wall clock; engine = masked-CSR passes at pool size 1, \
+         reference = cloned filtered subgraphs\",\n  \
+         \"host_cpus\": {},\n  \"overall_speedup\": {:.3},\n  \"cases\": [\n{}\n  ],\n  \
+         \"scaling_unit\": \"single-run wall clock, engine only, pool_threads workers\",\n  \
+         \"scaling\": [\n{}\n  ]\n}}\n",
+        host_cpus(),
+        overall_speedup,
+        cases.join(",\n"),
+        scaling.join(",\n")
+    );
+    match std::fs::write("BENCH_liveness.json", &json) {
+        Ok(()) => println!("wrote BENCH_liveness.json"),
+        Err(e) => eprintln!("could not write BENCH_liveness.json: {e}"),
+    }
 }
 
 /// Writes `BENCH_inclusion.json`: the (2,2) seed-vs-compiled baseline

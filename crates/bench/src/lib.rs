@@ -16,7 +16,8 @@ use tm_algorithms::{
     TwoPhaseTm, ValidationStyle, WithContentionManager,
 };
 use tm_automata::Nfa;
-use tm_lang::Statement;
+use tm_checker::LivenessVerdict;
+use tm_lang::{LivenessProperty, Statement};
 
 /// State-space bound used throughout the experiment suite.
 pub const MAX_STATES: usize = 20_000_000;
@@ -71,6 +72,83 @@ pub fn table3_check(
     }
 }
 
+/// One TM × contention-manager liveness case of [`liveness_roster`]: the
+/// concrete TM type erased behind check thunks so heterogeneous rosters
+/// fit in one list.
+pub struct LivenessCase {
+    /// Display name (`tm.name()`, e.g. `"dstm+aggressive"`).
+    pub name: String,
+    tm: Box<dyn ErasedLiveness>,
+}
+
+impl LivenessCase {
+    fn new<A: TmAlgorithm + 'static>(tm: A) -> Self {
+        LivenessCase {
+            name: tm.name(),
+            tm: Box::new(tm),
+        }
+    }
+
+    /// Runs the compiled liveness engine ([`tm_checker::check_liveness_threads`])
+    /// with an explicit worker-pool size.
+    pub fn check(&self, property: LivenessProperty, threads: usize) -> LivenessVerdict {
+        self.tm.check(property, threads)
+    }
+
+    /// Runs the seed reference checker
+    /// ([`tm_checker::check_liveness_reference`]).
+    pub fn check_reference(&self, property: LivenessProperty) -> LivenessVerdict {
+        self.tm.check_reference(property)
+    }
+}
+
+/// Object-safe shim over concrete TM types (the [`TmAlgorithm`] trait has
+/// an associated state type and cannot be boxed directly).
+trait ErasedLiveness {
+    fn check(&self, property: LivenessProperty, threads: usize) -> LivenessVerdict;
+    fn check_reference(&self, property: LivenessProperty) -> LivenessVerdict;
+}
+
+impl<A: TmAlgorithm> ErasedLiveness for A {
+    fn check(&self, property: LivenessProperty, threads: usize) -> LivenessVerdict {
+        tm_checker::check_liveness_threads(self, property, threads)
+    }
+
+    fn check_reference(&self, property: LivenessProperty) -> LivenessVerdict {
+        tm_checker::check_liveness_reference(self, property)
+    }
+}
+
+/// Short tag of a liveness property (`"of"` / `"lf"` / `"wf"`) for table
+/// and JSON rows.
+pub fn liveness_property_tag(property: LivenessProperty) -> &'static str {
+    match property {
+        LivenessProperty::ObstructionFreedom => "of",
+        LivenessProperty::LivelockFreedom => "lf",
+        LivenessProperty::WaitFreedom => "wf",
+    }
+}
+
+/// The liveness roster at instance size `(n, k)`: every TM of the paper
+/// crossed with every contention manager (bare, aggressive, polite) — the
+/// paper's Table 3 rows are the subset
+/// `{seq, 2PL, dstm+aggressive, TL2+polite}` at `(2, 1)`.
+pub fn liveness_roster(n: usize, k: usize) -> Vec<LivenessCase> {
+    let mut roster = Vec::new();
+    macro_rules! push_combos {
+        ($tm:expr) => {
+            roster.push(LivenessCase::new($tm));
+            roster.push(LivenessCase::new(WithContentionManager::new($tm, AggressiveCm)));
+            roster.push(LivenessCase::new(WithContentionManager::new($tm, PoliteCm)));
+        };
+    }
+    push_combos!(SequentialTm::new(n, k));
+    push_combos!(TwoPhaseTm::new(n, k));
+    push_combos!(DstmTm::new(n, k));
+    push_combos!(Tl2Tm::new(n, k));
+    roster
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -88,5 +166,15 @@ mod tests {
     #[should_panic(expected = "unknown Table 3 row")]
     fn unknown_row_panics() {
         let _ = table3_check("nope", tm_lang::LivenessProperty::ObstructionFreedom);
+    }
+
+    #[test]
+    fn liveness_roster_is_the_full_tm_times_cm_product() {
+        let roster = liveness_roster(2, 1);
+        assert_eq!(roster.len(), 12);
+        let names: Vec<&str> = roster.iter().map(|c| c.name.as_str()).collect();
+        for expected in ["sequential", "dstm+aggressive", "TL2+polite", "2PL+aggressive"] {
+            assert!(names.contains(&expected), "missing {expected}: {names:?}");
+        }
     }
 }

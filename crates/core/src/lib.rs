@@ -47,8 +47,8 @@ mod safety;
 mod structural;
 
 pub use liveness::{
-    check_liveness, LivenessOutcome, LivenessVerdict, RunLasso,
-    DEFAULT_MAX_STATES as LIVENESS_MAX_STATES,
+    check_liveness, check_liveness_reference, check_liveness_threads, LivenessOutcome,
+    LivenessVerdict, RunLasso, DEFAULT_MAX_STATES as LIVENESS_MAX_STATES,
 };
 pub use reduction::{verify_with_reduction, ReductionEvidence};
 pub use report::{liveness_table, safety_table, Table};

@@ -16,12 +16,30 @@
 //! All loops here are loops of the run-level graph — they may contain
 //! extended commands (cf. the loop `a1, (r,1)1, (o,1)1, a2, (o,1)2` of the
 //! paper's Table 3).
+//!
+//! Two implementations are provided:
+//!
+//! * [`check_liveness`] — the **compiled engine**
+//!   ([`tm_automata::CompiledRunGraph`]): the run graph is compiled to CSR
+//!   while it is explored (never materialized as an edge list), every
+//!   property pass is a mask-filtered Tarjan over that one graph sharing
+//!   one scratch arena, and the independent per-thread / per-subset
+//!   passes fan out over the `TM_MODELCHECK_THREADS` worker pool with
+//!   first-in-order violation selection — verdicts **and lassos** are
+//!   identical at every thread count;
+//! * [`check_liveness_reference`] — the seed path (filtered-subgraph
+//!   clones plus per-clone Tarjan), kept as the differential baseline.
+//!   Both return the same verdicts and the same lassos.
 
 use std::time::{Duration, Instant};
 
-use tm_algorithms::{most_general_run_graph, RunLabel, TmAlgorithm};
+use tm_algorithms::{
+    most_general_run_graph, MostGeneralRunSource, RunLabel, TmAlgorithm,
+};
 use tm_automata::{
-    closed_walk_through, strongly_connected_components, LabeledGraph, Sccs,
+    closed_walk_through, modelcheck_threads, strongly_connected_components, CompiledRunGraph,
+    EdgeFilter, LabeledGraph, LoopQuery, LoopSelection, Sccs, MASK_ABORT, MASK_ALL_THREADS,
+    MASK_COMMIT, MASK_EMITS,
 };
 use tm_lang::{Lasso, LivenessProperty, ThreadId, Word};
 
@@ -29,7 +47,7 @@ use tm_lang::{Lasso, LivenessProperty, ThreadId, Word};
 pub const DEFAULT_MAX_STATES: usize = 10_000_000;
 
 /// A liveness counterexample: an ultimately periodic run `prefix · loopω`.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RunLasso {
     /// Run-level steps leading from the initial state to the loop.
     pub prefix: Vec<RunLabel>,
@@ -104,7 +122,11 @@ impl LivenessVerdict {
 }
 
 /// Checks a liveness property of a TM algorithm (× contention manager) on
-/// the most general program of its instance size.
+/// the most general program of its instance size, on the compiled
+/// liveness engine with the worker-pool size of
+/// [`tm_automata::modelcheck_threads`] (the `TM_MODELCHECK_THREADS`
+/// environment variable). Verdicts and lassos are identical at every
+/// thread count, and identical to [`check_liveness_reference`]'s.
 ///
 /// # Panics
 ///
@@ -125,6 +147,97 @@ impl LivenessVerdict {
 /// assert!(!check_liveness(&tm, LivenessProperty::LivelockFreedom).holds());
 /// ```
 pub fn check_liveness<A: TmAlgorithm>(tm: &A, property: LivenessProperty) -> LivenessVerdict {
+    check_liveness_threads(tm, property, modelcheck_threads())
+}
+
+/// [`check_liveness`] with an explicit worker-pool size (`1` runs the
+/// passes sequentially; results are independent of `threads`).
+pub fn check_liveness_threads<A: TmAlgorithm>(
+    tm: &A,
+    property: LivenessProperty,
+    threads: usize,
+) -> LivenessVerdict {
+    let start = Instant::now();
+    let source = MostGeneralRunSource::new(tm);
+    let (graph, states) = CompiledRunGraph::build(&source, DEFAULT_MAX_STATES);
+    let queries = property_queries(tm.threads(), property);
+    let outcome = match graph.find_first_loop(&queries, threads) {
+        Some((_, lasso)) => LivenessOutcome::Violation(RunLasso {
+            prefix: lasso.prefix,
+            cycle: lasso.cycle,
+        }),
+        None => LivenessOutcome::Verified,
+    };
+    LivenessVerdict {
+        tm_name: tm.name(),
+        property,
+        tm_states: states.len(),
+        total_time: start.elapsed(),
+        outcome,
+    }
+}
+
+/// The engine queries of a property for an `n`-thread instance, in the
+/// order the seed checker searches them (so first-in-order violation
+/// selection reproduces the reference lasso):
+///
+/// * obstruction freedom — per thread `t`: the subgraph of `t`-only,
+///   non-commit edges must have no loop through an abort;
+/// * livelock freedom — per non-empty thread subset `T'` (in subset-mask
+///   order): the subgraph of `T'`-edges without commits must have no SCC
+///   containing an abort of *every* thread of `T'`;
+/// * wait freedom — per thread `t`: the subgraph without `(commit, t)`
+///   edges must have no loop through a statement-emitting edge of `t`.
+fn property_queries(n: usize, property: LivenessProperty) -> Vec<LoopQuery> {
+    match property {
+        LivenessProperty::ObstructionFreedom => (0..n)
+            .map(|t| LoopQuery {
+                filter: EdgeFilter {
+                    keep_any: 1 << t,
+                    forbid_all: MASK_COMMIT,
+                },
+                required: vec![MASK_ABORT],
+                selection: LoopSelection::FirstEdge,
+            })
+            .collect(),
+        LivenessProperty::LivelockFreedom => (1u16..(1 << n))
+            .map(|subset| LoopQuery {
+                filter: EdgeFilter {
+                    keep_any: subset,
+                    forbid_all: MASK_COMMIT,
+                },
+                required: (0..n)
+                    .filter(|t| subset & (1 << t) != 0)
+                    .map(|t| MASK_ABORT | 1 << t)
+                    .collect(),
+                selection: LoopSelection::FirstComponent,
+            })
+            .collect(),
+        LivenessProperty::WaitFreedom => (0..n)
+            .map(|t| LoopQuery {
+                filter: EdgeFilter {
+                    keep_any: MASK_ALL_THREADS,
+                    forbid_all: MASK_COMMIT | 1 << t,
+                },
+                required: vec![MASK_EMITS | 1 << t],
+                selection: LoopSelection::FirstEdge,
+            })
+            .collect(),
+    }
+}
+
+/// The seed (pre-engine) implementation of [`check_liveness`]: explores
+/// the run graph into a boxed labelled edge list, then **clones** a
+/// filtered subgraph and reruns Tarjan for every per-thread / per-subset
+/// pass — `2^n` graph copies for the livelock check alone, plus `O(E)`
+/// edge scans per required-edge query ([`find_cyclic_edge`]). Kept
+/// verbatim (minus a dead parameter) as the differential baseline for
+/// `tests/liveness_conformance.rs` and the A/B benches; not used by any
+/// checker.
+pub fn check_liveness_reference<A: TmAlgorithm>(
+    tm: &A,
+    property: LivenessProperty,
+) -> LivenessVerdict {
     let start = Instant::now();
     let (graph, states) = most_general_run_graph(tm, DEFAULT_MAX_STATES);
     let outcome = match property {
@@ -141,19 +254,17 @@ pub fn check_liveness<A: TmAlgorithm>(tm: &A, property: LivenessProperty) -> Liv
     }
 }
 
-/// Finds a loop in `filtered` containing one edge of each required kind
-/// (given by `required_abort_of`), and wraps it into a lasso with a
-/// shortest prefix from the initial state through the *full* graph.
+/// Finds a loop in `filtered` containing one edge of each required kind,
+/// and wraps it into a lasso with a shortest prefix from the initial
+/// state through the *full* graph.
 fn build_lasso(
     full: &LabeledGraph<RunLabel>,
     filtered: &LabeledGraph<RunLabel>,
-    sccs: &Sccs,
     required: Vec<(usize, RunLabel, usize)>,
 ) -> Option<RunLasso> {
     let walk = closed_walk_through(filtered, &required)?;
     let entry = walk.first()?.0;
     let prefix_edges = full.shortest_path_to(0, |s| s == entry)?;
-    let _ = sccs;
     Some(RunLasso {
         prefix: prefix_edges.into_iter().map(|(_, l, _)| l).collect(),
         cycle: walk.into_iter().map(|(_, l, _)| l).collect(),
@@ -170,7 +281,7 @@ fn check_obstruction<A: TmAlgorithm>(
         let filtered = graph.filtered(|_, l, _| l.thread == t && !l.is_commit());
         let sccs = strongly_connected_components(&filtered);
         if let Some(edge) = find_cyclic_edge(&filtered, &sccs, |l| l.is_abort()) {
-            if let Some(lasso) = build_lasso(graph, &filtered, &sccs, vec![edge]) {
+            if let Some(lasso) = build_lasso(graph, &filtered, vec![edge]) {
                 return LivenessOutcome::Violation(lasso);
             }
         }
@@ -199,7 +310,7 @@ fn check_livelock<A: TmAlgorithm>(tm: &A, graph: &LabeledGraph<RunLabel>) -> Liv
                     None => continue 'component,
                 }
             }
-            if let Some(lasso) = build_lasso(graph, &filtered, &sccs, required) {
+            if let Some(lasso) = build_lasso(graph, &filtered, required) {
                 return LivenessOutcome::Violation(lasso);
             }
         }
@@ -217,7 +328,7 @@ fn check_wait<A: TmAlgorithm>(tm: &A, graph: &LabeledGraph<RunLabel>) -> Livenes
         if let Some(edge) = find_cyclic_edge(&filtered, &sccs, |l| {
             l.thread == t && l.statement().is_some()
         }) {
-            if let Some(lasso) = build_lasso(graph, &filtered, &sccs, vec![edge]) {
+            if let Some(lasso) = build_lasso(graph, &filtered, vec![edge]) {
                 return LivenessOutcome::Violation(lasso);
             }
         }
@@ -226,7 +337,9 @@ fn check_wait<A: TmAlgorithm>(tm: &A, graph: &LabeledGraph<RunLabel>) -> Livenes
 }
 
 /// An edge matching `want` whose endpoints share an SCC (i.e. an edge on
-/// some cycle), if any.
+/// some cycle), if any. A full `O(E)` scan per query — acceptable only in
+/// the reference path; the engine's [`LoopQuery`] passes precompute
+/// per-edge class masks and answer every requirement in one scan.
 fn find_cyclic_edge<F: Fn(&RunLabel) -> bool>(
     g: &LabeledGraph<RunLabel>,
     sccs: &Sccs,
@@ -237,7 +350,8 @@ fn find_cyclic_edge<F: Fn(&RunLabel) -> bool>(
         .map(|(from, l, to)| (from, *l, to))
 }
 
-/// Like [`find_cyclic_edge`], restricted to one component.
+/// Like [`find_cyclic_edge`], restricted to one component (and sharing
+/// its reference-path-only `O(E)`-per-query cost).
 fn find_cyclic_edge_in<F: Fn(&RunLabel) -> bool>(
     g: &LabeledGraph<RunLabel>,
     sccs: &Sccs,
@@ -331,5 +445,23 @@ mod tests {
         // loop needs the other thread to hold a lock first.
         assert!(!lasso.prefix.is_empty());
         assert!(!lasso.cycle.is_empty());
+    }
+
+    #[test]
+    fn engine_agrees_with_reference_on_a_sample() {
+        // The full differential matrix lives in
+        // `tests/liveness_conformance.rs`; this is the in-crate smoke.
+        let tm = WithContentionManager::new(DstmTm::new(2, 1), AggressiveCm);
+        for property in LivenessProperty::all() {
+            let engine = check_liveness_threads(&tm, property, 1);
+            let reference = check_liveness_reference(&tm, property);
+            assert_eq!(engine.holds(), reference.holds(), "{property:?}");
+            assert_eq!(engine.tm_states, reference.tm_states, "{property:?}");
+            assert_eq!(
+                engine.counterexample(),
+                reference.counterexample(),
+                "{property:?}"
+            );
+        }
     }
 }

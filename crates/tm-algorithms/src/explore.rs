@@ -216,6 +216,68 @@ impl<A: TmAlgorithm> TransitionSystem for RunLevel<'_, A> {
     }
 }
 
+/// The most general program of a TM algorithm at the **run level** as a
+/// lazy [`tm_automata::RunGraphSource`]: the same transition system as
+/// [`most_general_run_graph`], but stepped on demand by the compiled
+/// liveness engine ([`tm_automata::CompiledRunGraph::build`]) so the
+/// labelled edge list is never materialized. Successor order matches
+/// [`most_general_run_graph`]'s exactly, which is what makes the engine's
+/// state numbering — and hence its lassos — identical to the reference
+/// checker's.
+///
+/// # Examples
+///
+/// ```
+/// use tm_algorithms::{MostGeneralRunSource, SequentialTm};
+/// use tm_automata::CompiledRunGraph;
+///
+/// let tm = SequentialTm::new(2, 1);
+/// let (graph, states) = CompiledRunGraph::build(&MostGeneralRunSource::new(&tm), 1_000);
+/// assert_eq!(graph.num_states(), states.len());
+/// assert!(graph.num_edges() > 0);
+/// ```
+pub struct MostGeneralRunSource<'a, A>(&'a A);
+
+impl<'a, A: TmAlgorithm> MostGeneralRunSource<'a, A> {
+    /// Wraps a TM algorithm (× contention manager) instance.
+    pub fn new(tm: &'a A) -> Self {
+        MostGeneralRunSource(tm)
+    }
+}
+
+impl<A: TmAlgorithm> tm_automata::RunGraphSource for MostGeneralRunSource<'_, A> {
+    type State = A::State;
+    type Label = RunLabel;
+
+    fn initial_state(&self) -> A::State {
+        self.0.initial_state()
+    }
+
+    fn successors(&self, state: &A::State, out: &mut Vec<(RunLabel, A::State)>) {
+        for t in self.0.thread_ids() {
+            for c in self.0.enabled_commands(state, t) {
+                for step in self.0.steps(state, c, t) {
+                    let label = RunLabel {
+                        thread: t,
+                        command: c,
+                        action: step.action,
+                    };
+                    out.push((label, step.next));
+                }
+            }
+        }
+    }
+
+    fn classify(&self, label: &RunLabel) -> tm_automata::LabelClass {
+        tm_automata::LabelClass {
+            thread: label.thread.index(),
+            is_commit: label.is_commit(),
+            is_abort: label.is_abort(),
+            emits_statement: label.statement().is_some(),
+        }
+    }
+}
+
 /// The run-level transition graph of the TM on the most general program,
 /// plus the interned TM states.
 ///
@@ -290,6 +352,22 @@ mod tests {
         let (graph, states) = most_general_run_graph(&tm, 10_000);
         assert_eq!(explored.num_states(), states.len());
         assert!(graph.num_edges() >= explored.nfa.num_transitions());
+    }
+
+    #[test]
+    fn run_source_matches_materialized_run_graph() {
+        // The compiled engine's state numbering AND edge enumeration must
+        // be identical to the seed path's — lasso parity depends on it.
+        let tm = TwoPhaseTm::new(2, 2);
+        let (graph, states) = most_general_run_graph(&tm, 10_000);
+        let (compiled, compiled_states) =
+            tm_automata::CompiledRunGraph::build(&MostGeneralRunSource::new(&tm), 10_000);
+        assert_eq!(states, compiled_states);
+        let seed_edges: Vec<(usize, RunLabel, usize)> =
+            graph.edges().map(|(f, l, t)| (f, *l, t)).collect();
+        let engine_edges: Vec<(usize, RunLabel, usize)> =
+            compiled.edges().map(|(f, l, t)| (f, *l, t)).collect();
+        assert_eq!(seed_edges, engine_edges);
     }
 
     #[test]

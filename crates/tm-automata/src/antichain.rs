@@ -14,8 +14,11 @@
 //! Both automata are compiled over one shared interned alphabet
 //! ([`crate::CompiledNfa`]), so the frontier loop works purely on
 //! `(u32 state, u32 letter)` integers: `post` is a per-letter CSR slice
-//! walk, subsumption runs on raw bitset words ([`BitSet::words`]), and
-//! labels are materialized only for counterexample reconstruction. The
+//! walk, subsumption runs on raw bitset words ([`BitSet::words`]) with
+//! the stored sets bucketed by popcount — a subset is never larger than
+//! its superset, so `try_insert` scans only the buckets a subset relation
+//! is arithmetically possible in — and labels are materialized only for
+//! counterexample reconstruction. The
 //! pre-compilation original is kept as
 //! [`check_inclusion_antichain_reference`] for A/B benchmarks and
 //! differential tests.
@@ -67,11 +70,11 @@ pub fn check_inclusion_antichain<L: Clone + Eq + Hash>(
     // (parent queue index, letter id); u32::MAX parent marks a root.
     let mut parent: Vec<(u32, LetterId)> = Vec::new();
     // Antichain of ⊆-minimal B-sets seen, indexed by A-state.
-    let mut antichain: Vec<Vec<BitSet>> = vec![Vec::new(); ca.num_states()];
+    let mut antichain: Vec<Antichain> = (0..ca.num_states()).map(|_| Antichain::new()).collect();
 
     let b0 = cb.initial_closure();
     for &qa in ca.initial_states() {
-        if try_insert(&mut antichain[qa as usize], &b0) {
+        if antichain[qa as usize].try_insert(&b0) {
             queue.push((qa, b0.clone()));
             parent.push((u32::MAX, EPSILON));
         }
@@ -91,7 +94,7 @@ pub fn check_inclusion_antichain<L: Clone + Eq + Hash>(
                 }
                 post
             };
-            if try_insert(&mut antichain[target as usize], &next_set) {
+            if antichain[target as usize].try_insert(&next_set) {
                 queue.push((target, next_set));
                 parent.push((head as u32, letter));
             }
@@ -103,21 +106,88 @@ pub fn check_inclusion_antichain<L: Clone + Eq + Hash>(
     }
 }
 
-/// Inserts `set` into the antichain entry unless it is subsumed (some
-/// stored set is a subset of it); removes stored supersets. Returns
-/// `true` if inserted. Subset tests run on the raw bitset words — all
-/// sets here share the B-automaton's capacity.
-fn try_insert(entry: &mut Vec<BitSet>, set: &BitSet) -> bool {
-    let words = set.words();
-    if entry
-        .iter()
-        .any(|stored| subset_words(stored.words(), words))
-    {
-        return false;
+/// The ⊆-minimal state sets stored for one `A`-state, bucketed by
+/// popcount: a stored set can only subsume a candidate if it has **at
+/// most** as many elements, and can only be a superset of it with
+/// **strictly more** (equal-popcount supersets are equal sets, caught by
+/// the subsumption scan first). `try_insert` therefore scans only the
+/// buckets a subset relation is arithmetically possible in, and each
+/// word-level test short-circuits at the first failing `u64` of the
+/// [`BitSet::words`] prefix.
+struct Antichain {
+    /// `buckets[p]` holds the stored sets of popcount `p` (tail buckets
+    /// lazily grown).
+    buckets: Vec<Vec<BitSet>>,
+    /// Word-level subset tests performed — the regression-test handle
+    /// proving the bucketing actually skips work. Compiled out of
+    /// non-test builds (the increments fold into a dead local and
+    /// vanish).
+    #[cfg(test)]
+    comparisons: usize,
+}
+
+impl Antichain {
+    fn new() -> Self {
+        Antichain {
+            buckets: Vec::new(),
+            #[cfg(test)]
+            comparisons: 0,
+        }
     }
-    entry.retain(|stored| !subset_words(words, stored.words()));
-    entry.push(set.clone());
-    true
+
+    /// Accumulates `try_insert`'s locally counted subset tests (no-op
+    /// outside tests).
+    #[allow(unused_variables)]
+    fn note_comparisons(&mut self, count: usize) {
+        #[cfg(test)]
+        {
+            self.comparisons += count;
+        }
+    }
+
+    /// Inserts `set` unless it is subsumed (some stored set is a subset
+    /// of it); removes stored strict supersets. Returns `true` if
+    /// inserted.
+    fn try_insert(&mut self, set: &BitSet) -> bool {
+        let words = set.words();
+        let popcount = set.len();
+        let mut comparisons = 0usize;
+        // Subsumption: only sets with popcount <= |set| can be subsets.
+        for bucket in self.buckets.iter().take(popcount + 1) {
+            for stored in bucket {
+                comparisons += 1;
+                if subset_words(stored.words(), words) {
+                    self.note_comparisons(comparisons);
+                    return false;
+                }
+            }
+        }
+        // Removal: only strictly larger sets can be strict supersets.
+        for bucket in self.buckets.iter_mut().skip(popcount + 1) {
+            bucket.retain(|stored| {
+                comparisons += 1;
+                !subset_words(words, stored.words())
+            });
+        }
+        self.note_comparisons(comparisons);
+        if self.buckets.len() <= popcount {
+            self.buckets.resize_with(popcount + 1, Vec::new);
+        }
+        self.buckets[popcount].push(set.clone());
+        true
+    }
+
+    /// Word-level subset tests performed so far.
+    #[cfg(test)]
+    fn comparisons(&self) -> usize {
+        self.comparisons
+    }
+
+    /// Number of stored sets.
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        self.buckets.iter().map(Vec::len).sum()
+    }
 }
 
 /// `true` if the set with words `a` is a subset of the set with words `b`
@@ -327,18 +397,91 @@ mod tests {
 
     #[test]
     fn antichain_subsumption_prunes() {
-        let mut entry: Vec<BitSet> = Vec::new();
+        let mut entry = Antichain::new();
         let mut big = BitSet::new(4);
         big.insert(0);
         big.insert(1);
         let mut small = BitSet::new(4);
         small.insert(0);
-        assert!(try_insert(&mut entry, &big));
+        assert!(entry.try_insert(&big));
         // Smaller set replaces the bigger one.
-        assert!(try_insert(&mut entry, &small));
+        assert!(entry.try_insert(&small));
         assert_eq!(entry.len(), 1);
         // Superset now subsumed.
-        assert!(!try_insert(&mut entry, &big));
+        assert!(!entry.try_insert(&big));
+    }
+
+    /// Builds a `capacity`-bit set holding `indices`.
+    fn bits(capacity: usize, indices: &[usize]) -> BitSet {
+        let mut s = BitSet::new(capacity);
+        for &i in indices {
+            s.insert(i);
+        }
+        s
+    }
+
+    /// Popcount bucketing regression: `try_insert` performs subset tests
+    /// only against buckets a subset relation is arithmetically possible
+    /// in, so small candidates skip the subsumption scan entirely and
+    /// equal-size candidates skip the superset-removal scan.
+    #[test]
+    fn popcount_buckets_bound_comparison_counts() {
+        let mut entry = Antichain::new();
+        // Eight pairwise-incomparable popcount-4 sets.
+        for i in 0..8 {
+            assert!(entry.try_insert(&bits(64, &[4 * i, 4 * i + 1, 4 * i + 2, 4 * i + 3])));
+        }
+        assert_eq!(entry.len(), 8);
+        // Same-popcount inserts compare only within their own bucket:
+        // 0 + 1 + … + 7 subsumption tests, no removal tests (no strictly
+        // larger bucket exists).
+        assert_eq!(entry.comparisons(), (0..8).sum::<usize>());
+
+        // A popcount-2 candidate: the subsumption scan sees only the
+        // (empty) buckets 0..=2 — zero tests — and the removal scan tests
+        // exactly the 8 stored popcount-4 sets.
+        let before = entry.comparisons();
+        assert!(entry.try_insert(&bits(64, &[0, 1])));
+        assert_eq!(entry.comparisons() - before, 8);
+        // It knocked out its stored superset {0, 1, 2, 3}.
+        assert_eq!(entry.len(), 8);
+
+        // A popcount-8 candidate that is a superset of a stored set:
+        // rejected by the subsumption scan without ever reaching the
+        // removal scan (at most the 9 smaller-or-equal stored sets).
+        let before = entry.comparisons();
+        assert!(!entry.try_insert(&bits(64, &[4, 5, 6, 7, 8, 9, 10, 11])));
+        assert!(entry.comparisons() - before <= 9);
+    }
+
+    /// The bucketed antichain stores exactly the ⊆-minimal sets the seed
+    /// map-based implementation stores, for an interleaved workload.
+    #[test]
+    fn bucketed_antichain_matches_reference_storage() {
+        let sets: Vec<BitSet> = vec![
+            bits(32, &[0, 1, 2]),
+            bits(32, &[0, 1]),
+            bits(32, &[3]),
+            bits(32, &[0, 1, 2, 3]),
+            bits(32, &[2]),
+            bits(32, &[0, 1]),
+            bits(32, &[4, 5]),
+            bits(32, &[2, 6]),
+        ];
+        let mut bucketed = Antichain::new();
+        let mut reference: HashMap<StateId, Vec<BitSet>> = HashMap::new();
+        for set in &sets {
+            assert_eq!(
+                bucketed.try_insert(set),
+                try_insert_map(&mut reference, 0, set),
+                "{set:?}"
+            );
+        }
+        let mut stored: Vec<BitSet> = bucketed.buckets.iter().flatten().cloned().collect();
+        let mut expected = reference.remove(&0).unwrap_or_default();
+        stored.sort();
+        expected.sort();
+        assert_eq!(stored, expected);
     }
 
     /// The compiled antichain check agrees with the seed reference on

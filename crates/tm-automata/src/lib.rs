@@ -34,6 +34,11 @@
 //! * labelled graphs, iterative Tarjan SCCs, and constrained closed-walk
 //!   construction for liveness lassos ([`LabeledGraph`],
 //!   [`strongly_connected_components`], [`closed_walk_through`]);
+//! * the **compiled liveness engine** ([`CompiledRunGraph`],
+//!   [`RunGraphSource`], `livecheck.rs`): run graphs built on the fly
+//!   into CSR with per-edge class bitmasks, mask-filtered Tarjan in a
+//!   reusable [`LiveScratch`] arena, and deterministic parallel fan-out
+//!   of independent loop queries ([`CompiledRunGraph::find_first_loop`]);
 //! * the [`FxHasher`] used by every hot-path hash map in the workspace
 //!   ([`FxHashMap`], [`FxHashSet`]).
 //!
@@ -70,6 +75,7 @@ mod explore;
 mod fxhash;
 mod graph;
 mod inclusion;
+mod livecheck;
 mod nfa;
 mod product;
 
@@ -90,6 +96,11 @@ pub use graph::{
 };
 pub use inclusion::{
     check_inclusion, check_inclusion_compiled, check_inclusion_reference, InclusionResult,
+};
+pub use livecheck::{
+    CompiledLasso, CompiledRunGraph, EdgeFilter, EdgeMask, LabelClass, LiveScratch, LoopQuery,
+    LoopSelection, RunGraphSource, MASK_ABORT, MASK_ALL_THREADS, MASK_COMMIT, MASK_EMITS,
+    MAX_MASK_THREADS,
 };
 pub use nfa::{Nfa, StateId};
 pub use product::{

@@ -1,0 +1,999 @@
+//! Compiled liveness engine: CSR run graphs, mask-filtered SCC search,
+//! and deterministic parallel fan-out of independent loop queries.
+//!
+//! The paper reduces each liveness property (§6, Theorem 5) to the absence
+//! of a certain *loop* in the run-level transition system of the TM
+//! applied to the most general program. The seed checker materializes that
+//! system as a boxed labelled edge list ([`crate::LabeledGraph`]) and, for
+//! every thread subset, **clones** a filtered subgraph and reruns Tarjan
+//! on it — `2^n` copies of the graph for the livelock check alone.
+//!
+//! This module is the liveness counterpart of the on-the-fly product
+//! engine in `product.rs`:
+//!
+//! * [`CompiledRunGraph`] explores a [`RunGraphSource`] breadth-first and
+//!   compiles it **directly** into CSR adjacency — `row_start` /
+//!   `edge_target` / `edge_label` arrays — with labels interned to dense
+//!   ids and a precomputed per-edge [`EdgeMask`] recording the label's
+//!   class bits (thread, commit, abort, emits-statement). The labelled
+//!   edge list of the seed path is never built.
+//! * [`CompiledRunGraph::sccs_masked`] runs an iterative Tarjan that takes
+//!   an [`EdgeFilter`] (two mask words) instead of a cloned subgraph; all
+//!   scratch state lives in a reusable [`LiveScratch`] arena, so the
+//!   `2^n` livelock subsets and the per-thread obstruction / wait passes
+//!   share one graph and one allocation.
+//! * [`CompiledRunGraph::find_loop`] answers one [`LoopQuery`] — find a
+//!   reachable loop containing, for each required mask, an edge matching
+//!   it — and extracts the violating lasso (shortest prefix from the
+//!   initial state plus a closed walk through the required edges) straight
+//!   from the CSR. Edge enumeration order equals the seed path's
+//!   (state-major, insertion order per state), so verdicts **and lassos**
+//!   are identical to the reference checker's.
+//! * [`CompiledRunGraph::find_first_loop`] fans independent queries out
+//!   over a thread pool and deterministically selects the violation of the
+//!   smallest query index — verdicts and lasso words are identical at
+//!   every thread count.
+
+use std::hash::Hash;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::fxhash::FxHashMap;
+
+/// Maximum thread count (of the checked TM instance, not the worker pool)
+/// representable in an [`EdgeMask`]: thread ids occupy the low bits,
+/// one-hot.
+pub const MAX_MASK_THREADS: usize = 8;
+
+/// Per-edge class bits: one-hot thread id in the low
+/// [`MAX_MASK_THREADS`] bits, then the commit / abort / emits-statement
+/// flags.
+pub type EdgeMask = u16;
+
+/// [`EdgeMask`] bit: the edge completes a commit command.
+pub const MASK_COMMIT: EdgeMask = 1 << MAX_MASK_THREADS;
+/// [`EdgeMask`] bit: the edge aborts a transaction.
+pub const MASK_ABORT: EdgeMask = 1 << (MAX_MASK_THREADS + 1);
+/// [`EdgeMask`] bit: the edge emits a word-level statement (completions
+/// and aborts do; internal `⊥`-response steps do not).
+pub const MASK_EMITS: EdgeMask = 1 << (MAX_MASK_THREADS + 2);
+/// [`EdgeMask`] bits covering every representable thread.
+pub const MASK_ALL_THREADS: EdgeMask = (1 << MAX_MASK_THREADS) - 1;
+
+/// The classification of a run-graph label, provided once per distinct
+/// label by [`RunGraphSource::classify`] and folded into the per-edge
+/// [`EdgeMask`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct LabelClass {
+    /// 0-based id of the thread taking the step.
+    pub thread: usize,
+    /// `true` if the step completes a commit command.
+    pub is_commit: bool,
+    /// `true` if the step aborts a transaction.
+    pub is_abort: bool,
+    /// `true` if the step emits a word-level statement.
+    pub emits_statement: bool,
+}
+
+impl LabelClass {
+    /// Packs the class into an [`EdgeMask`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `thread >= MAX_MASK_THREADS`.
+    pub fn mask(self) -> EdgeMask {
+        assert!(
+            self.thread < MAX_MASK_THREADS,
+            "thread id {} exceeds the {MAX_MASK_THREADS}-thread mask capacity",
+            self.thread
+        );
+        let mut mask = 1 << self.thread;
+        if self.is_commit {
+            mask |= MASK_COMMIT;
+        }
+        if self.is_abort {
+            mask |= MASK_ABORT;
+        }
+        if self.emits_statement {
+            mask |= MASK_EMITS;
+        }
+        mask
+    }
+}
+
+/// A lazily explorable run-level transition system: the input of
+/// [`CompiledRunGraph::build`]. Implemented by the TM steppers
+/// (`tm_algorithms::MostGeneralRunSource`) so the run graph is compiled
+/// while it is discovered, without an intermediate edge list.
+pub trait RunGraphSource {
+    /// Structured state type.
+    type State: Clone + Eq + Hash;
+    /// Edge label type (interned by the builder).
+    type Label: Clone + Eq + Hash;
+
+    /// The initial state.
+    fn initial_state(&self) -> Self::State;
+
+    /// Appends all steps enabled in `state` as `(label, successor)` pairs,
+    /// in a fixed order. The order defines state numbering and edge
+    /// enumeration order, and hence lasso identity.
+    fn successors(&self, state: &Self::State, out: &mut Vec<(Self::Label, Self::State)>);
+
+    /// Classifies a label; called once per distinct label at interning
+    /// time.
+    fn classify(&self, label: &Self::Label) -> LabelClass;
+}
+
+/// An edge predicate over [`EdgeMask`]s: the compiled form of the seed
+/// path's `filtered(|_, l, _| ...)` closures. An edge with mask `m` is
+/// kept iff
+///
+/// * `m & keep_any != 0` (some required bit present — e.g. "the thread is
+///   in the subset"), and
+/// * `forbid_all == 0` or `m & forbid_all != forbid_all` (not all
+///   forbidden bits present — e.g. "not a commit", or "not a commit *of
+///   this thread*" when the forbid mask pairs a thread bit with
+///   [`MASK_COMMIT`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct EdgeFilter {
+    /// Keep only edges sharing a bit with this mask.
+    pub keep_any: EdgeMask,
+    /// Drop edges containing **all** bits of this mask (`0` forbids
+    /// nothing).
+    pub forbid_all: EdgeMask,
+}
+
+impl EdgeFilter {
+    /// `true` if an edge with mask `mask` survives the filter.
+    #[inline]
+    pub fn keeps(self, mask: EdgeMask) -> bool {
+        mask & self.keep_any != 0
+            && (self.forbid_all == 0 || mask & self.forbid_all != self.forbid_all)
+    }
+}
+
+/// How [`CompiledRunGraph::find_loop`] picks the loop to report among the
+/// candidates, mirroring the seed checker's two search shapes so lassos
+/// come out identical.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LoopSelection {
+    /// Single requirement: the first matching cyclic edge in edge
+    /// enumeration order, whatever SCC it lies in (the seed's
+    /// `find_cyclic_edge`).
+    FirstEdge,
+    /// Multiple requirements: the first SCC in component-index order whose
+    /// cyclic edges cover every required mask, each requirement resolved
+    /// to its first matching edge (the seed's per-component livelock
+    /// loop).
+    FirstComponent,
+}
+
+/// One liveness pass: search the [`EdgeFilter`]-induced subgraph for a
+/// loop containing, for each entry of `required`, an edge whose mask has
+/// all of that entry's bits.
+#[derive(Clone, Debug)]
+pub struct LoopQuery {
+    /// The subgraph to search.
+    pub filter: EdgeFilter,
+    /// Edge-class requirements; each must be witnessed by a kept cyclic
+    /// edge (`mask & required == required`) on one common loop.
+    pub required: Vec<EdgeMask>,
+    /// Candidate-selection mode (determines lasso identity, not the
+    /// verdict).
+    pub selection: LoopSelection,
+}
+
+/// A liveness counterexample in compiled form: label sequences of the
+/// shortest prefix from the initial state and of the closed walk.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CompiledLasso<L> {
+    /// Labels of the run from the initial state to the loop entry.
+    pub prefix: Vec<L>,
+    /// Labels of the loop (non-empty).
+    pub cycle: Vec<L>,
+}
+
+const UNVISITED: u32 = u32::MAX;
+
+/// Reusable scratch arena for [`CompiledRunGraph::sccs_masked`],
+/// [`CompiledRunGraph::find_loop`] and the BFS walks of lasso extraction:
+/// one allocation shared by every mask-filtered pass over one graph.
+#[derive(Default, Debug)]
+pub struct LiveScratch {
+    // Tarjan state.
+    index: Vec<u32>,
+    low: Vec<u32>,
+    on_stack: Vec<bool>,
+    stack: Vec<u32>,
+    work: Vec<(u32, u32)>,
+    component: Vec<u32>,
+    count: u32,
+    // Per-(component, requirement) first-edge table of the
+    // `FirstComponent` search.
+    first_match: Vec<u32>,
+    // Generation-stamped BFS state (no O(n) clear between walks).
+    bfs_seen: Vec<u32>,
+    bfs_pred: Vec<(u32, u32)>,
+    bfs_queue: Vec<u32>,
+    bfs_generation: u32,
+}
+
+impl LiveScratch {
+    /// The SCC index of `state` under the most recent
+    /// [`CompiledRunGraph::sccs_masked`] run.
+    pub fn component_of(&self, state: usize) -> usize {
+        self.component[state] as usize
+    }
+
+    /// Number of SCCs of the most recent run.
+    pub fn num_components(&self) -> usize {
+        self.count as usize
+    }
+}
+
+/// A run-level transition graph compiled to CSR with interned labels and
+/// per-edge class masks — the liveness counterpart of
+/// [`crate::CompiledNfa`]. Built on the fly from a [`RunGraphSource`];
+/// state 0 is the initial state, states and per-state edges are numbered
+/// in discovery order (identical to the seed exploration's, so component
+/// indices, loop choices, and lassos match the reference checker).
+#[derive(Clone, Debug)]
+pub struct CompiledRunGraph<L> {
+    labels: Vec<L>,
+    /// CSR row boundaries: edges of state `v` are
+    /// `row_start[v]..row_start[v + 1]`.
+    row_start: Vec<u32>,
+    edge_from: Vec<u32>,
+    edge_target: Vec<u32>,
+    edge_label: Vec<u32>,
+    edge_mask: Vec<EdgeMask>,
+}
+
+impl<L: Clone + Eq + Hash> CompiledRunGraph<L> {
+    /// Explores `source` breadth-first and compiles the reachable run
+    /// graph, returning it with the interning table of structured states
+    /// (`states[id]` is the state behind graph node `id`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reachable state space exceeds `max_states`.
+    pub fn build<S: RunGraphSource<Label = L>>(
+        source: &S,
+        max_states: usize,
+    ) -> (Self, Vec<S::State>) {
+        let mut label_ids: FxHashMap<L, u32> = FxHashMap::default();
+        let mut labels: Vec<L> = Vec::new();
+        let mut label_masks: Vec<EdgeMask> = Vec::new();
+
+        let mut state_ids: FxHashMap<S::State, u32> = FxHashMap::default();
+        let mut states: Vec<S::State> = Vec::new();
+        let init = source.initial_state();
+        state_ids.insert(init.clone(), 0);
+        states.push(init);
+
+        let mut row_start: Vec<u32> = vec![0];
+        let mut edge_from: Vec<u32> = Vec::new();
+        let mut edge_target: Vec<u32> = Vec::new();
+        let mut edge_label: Vec<u32> = Vec::new();
+        let mut edge_mask: Vec<EdgeMask> = Vec::new();
+
+        // States are expanded in id (FIFO) order, so CSR rows are emitted
+        // sequentially and the edge arrays need no sorting pass.
+        let mut buf: Vec<(L, S::State)> = Vec::new();
+        let mut head = 0usize;
+        while head < states.len() {
+            buf.clear();
+            source.successors(&states[head], &mut buf);
+            for (label, succ) in buf.drain(..) {
+                let lid = match label_ids.get(&label) {
+                    Some(&id) => id,
+                    None => {
+                        let id = u32::try_from(labels.len()).expect("more than u32::MAX labels");
+                        let mask = source.classify(&label).mask();
+                        label_ids.insert(label.clone(), id);
+                        labels.push(label);
+                        label_masks.push(mask);
+                        id
+                    }
+                };
+                let to = match state_ids.get(&succ) {
+                    Some(&id) => id,
+                    None => {
+                        assert!(
+                            states.len() < max_states,
+                            "run-graph state space exceeded {max_states} states"
+                        );
+                        let id =
+                            u32::try_from(states.len()).expect("more than u32::MAX run states");
+                        state_ids.insert(succ.clone(), id);
+                        states.push(succ);
+                        id
+                    }
+                };
+                edge_from.push(head as u32);
+                edge_target.push(to);
+                edge_label.push(lid);
+                edge_mask.push(label_masks[lid as usize]);
+            }
+            row_start.push(u32::try_from(edge_target.len()).expect("more than u32::MAX edges"));
+            head += 1;
+        }
+        // Rows exist for exactly the discovered states.
+        debug_assert_eq!(row_start.len(), states.len() + 1);
+        (
+            CompiledRunGraph {
+                labels,
+                row_start,
+                edge_from,
+                edge_target,
+                edge_label,
+                edge_mask,
+            },
+            states,
+        )
+    }
+}
+
+impl<L> CompiledRunGraph<L> {
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.row_start.len() - 1
+    }
+
+    /// Total number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.edge_target.len()
+    }
+
+    /// Number of distinct (interned) labels.
+    pub fn num_labels(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Iterates over all edges as `(from, &label, to)`, in the engine's
+    /// canonical enumeration order (state-major, discovery order per
+    /// state) — the order loop candidates are selected in.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, &L, usize)> + '_ {
+        (0..self.num_edges()).map(move |e| {
+            (
+                self.edge_from[e] as usize,
+                &self.labels[self.edge_label[e] as usize],
+                self.edge_target[e] as usize,
+            )
+        })
+    }
+
+    /// The class mask of edge `e` (edges numbered as in
+    /// [`CompiledRunGraph::edges`]).
+    pub fn edge_mask(&self, e: usize) -> EdgeMask {
+        self.edge_mask[e]
+    }
+
+    /// Computes the SCCs of the subgraph induced by `filter` with an
+    /// iterative Tarjan over the CSR, storing the result in `scratch`
+    /// (query it via [`LiveScratch::component_of`] /
+    /// [`LiveScratch::num_components`]). No subgraph is materialized and
+    /// no allocation happens once the arena has grown to the graph's
+    /// size.
+    ///
+    /// Component indices are identical to running the reference
+    /// [`crate::strongly_connected_components`] on the materialized
+    /// filtered subgraph: roots are tried in state order and edges are
+    /// visited in enumeration order, skipping filtered ones.
+    pub fn sccs_masked(&self, filter: EdgeFilter, scratch: &mut LiveScratch) {
+        let n = self.num_states();
+        scratch.index.clear();
+        scratch.index.resize(n, UNVISITED);
+        scratch.low.clear();
+        scratch.low.resize(n, 0);
+        scratch.on_stack.clear();
+        scratch.on_stack.resize(n, false);
+        scratch.stack.clear();
+        scratch.work.clear();
+        scratch.component.clear();
+        scratch.component.resize(n, UNVISITED);
+        scratch.count = 0;
+
+        let mut next_index = 0u32;
+        for root in 0..n as u32 {
+            if scratch.index[root as usize] != UNVISITED {
+                continue;
+            }
+            scratch.work.push((root, self.row_start[root as usize]));
+            while let Some(&mut (v, ref mut cursor)) = scratch.work.last_mut() {
+                let vi = v as usize;
+                if scratch.index[vi] == UNVISITED {
+                    scratch.index[vi] = next_index;
+                    scratch.low[vi] = next_index;
+                    next_index += 1;
+                    scratch.stack.push(v);
+                    scratch.on_stack[vi] = true;
+                }
+                // Advance the cursor to the next kept edge of v.
+                let row_end = self.row_start[vi + 1];
+                let mut next_edge = None;
+                while *cursor < row_end {
+                    let e = *cursor as usize;
+                    *cursor += 1;
+                    if filter.keeps(self.edge_mask[e]) {
+                        next_edge = Some(e);
+                        break;
+                    }
+                }
+                match next_edge {
+                    Some(e) => {
+                        let w = self.edge_target[e] as usize;
+                        if scratch.index[w] == UNVISITED {
+                            scratch.work.push((w as u32, self.row_start[w]));
+                        } else if scratch.on_stack[w] {
+                            scratch.low[vi] = scratch.low[vi].min(scratch.index[w]);
+                        }
+                    }
+                    None => {
+                        // All children done: close v.
+                        if scratch.low[vi] == scratch.index[vi] {
+                            loop {
+                                let w = scratch.stack.pop().expect("tarjan stack underflow");
+                                scratch.on_stack[w as usize] = false;
+                                scratch.component[w as usize] = scratch.count;
+                                if w == v {
+                                    break;
+                                }
+                            }
+                            scratch.count += 1;
+                        }
+                        let (v, _) = scratch.work.pop().expect("frame exists");
+                        if let Some(&mut (u, _)) = scratch.work.last_mut() {
+                            let (ui, vi) = (u as usize, v as usize);
+                            scratch.low[ui] = scratch.low[ui].min(scratch.low[vi]);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl<L: Clone> CompiledRunGraph<L> {
+    /// Answers one [`LoopQuery`]: SCC-decomposes the filtered subgraph,
+    /// finds a loop witnessing every required mask, and extracts its
+    /// lasso (shortest prefix through the **full** graph, closed walk
+    /// through the filtered SCC). Returns `None` if no such loop exists.
+    pub fn find_loop(&self, query: &LoopQuery, scratch: &mut LiveScratch) -> Option<CompiledLasso<L>> {
+        self.sccs_masked(query.filter, scratch);
+        match query.selection {
+            LoopSelection::FirstEdge => {
+                let req = *query.required.first()?;
+                let e = (0..self.num_edges()).find(|&e| {
+                    let mask = self.edge_mask[e];
+                    query.filter.keeps(mask)
+                        && mask & req == req
+                        && scratch.component[self.edge_from[e] as usize]
+                            == scratch.component[self.edge_target[e] as usize]
+                })?;
+                self.build_lasso(query.filter, scratch, &[e as u32])
+            }
+            LoopSelection::FirstComponent => {
+                let r = query.required.len();
+                if r == 0 {
+                    return None;
+                }
+                let count = scratch.count as usize;
+                let mut first_match = std::mem::take(&mut scratch.first_match);
+                first_match.clear();
+                first_match.resize(count * r, UNVISITED);
+                for e in 0..self.num_edges() {
+                    let mask = self.edge_mask[e];
+                    if !query.filter.keeps(mask) {
+                        continue;
+                    }
+                    let comp = scratch.component[self.edge_from[e] as usize];
+                    if comp != scratch.component[self.edge_target[e] as usize] {
+                        continue;
+                    }
+                    for (j, &req) in query.required.iter().enumerate() {
+                        let slot = &mut first_match[comp as usize * r + j];
+                        if *slot == UNVISITED && mask & req == req {
+                            *slot = e as u32;
+                        }
+                    }
+                }
+                let mut result = None;
+                for comp in 0..count {
+                    let slots = &first_match[comp * r..(comp + 1) * r];
+                    if slots.contains(&UNVISITED) {
+                        continue;
+                    }
+                    let required: Vec<u32> = slots.to_vec();
+                    if let Some(lasso) = self.build_lasso(query.filter, scratch, &required) {
+                        result = Some(lasso);
+                        break;
+                    }
+                }
+                scratch.first_match = first_match;
+                result
+            }
+        }
+    }
+
+    /// Runs independent queries and returns the violation of the smallest
+    /// query index, with its index. `threads > 1` fans the queries out
+    /// over a scoped worker pool (each worker with its own
+    /// [`LiveScratch`]); because each query is deterministic and the
+    /// minimal index wins, the result is identical at every thread count.
+    pub fn find_first_loop(
+        &self,
+        queries: &[LoopQuery],
+        threads: usize,
+    ) -> Option<(usize, CompiledLasso<L>)>
+    where
+        L: Send + Sync,
+    {
+        let threads = threads.max(1).min(queries.len().max(1));
+        if threads <= 1 {
+            let mut scratch = LiveScratch::default();
+            return queries
+                .iter()
+                .enumerate()
+                .find_map(|(i, q)| self.find_loop(q, &mut scratch).map(|l| (i, l)));
+        }
+        // Strided assignment: worker w owns queries w, w + threads, …, in
+        // increasing order, and stops once a smaller-index violation is
+        // known — its own later indices can no longer win.
+        let min_index = AtomicUsize::new(usize::MAX);
+        let mut found: Vec<(usize, CompiledLasso<L>)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|w| {
+                    let min_index = &min_index;
+                    scope.spawn(move || {
+                        let mut scratch = LiveScratch::default();
+                        let mut i = w;
+                        while i < queries.len() {
+                            if min_index.load(Ordering::Relaxed) < i {
+                                return None;
+                            }
+                            if let Some(lasso) = self.find_loop(&queries[i], &mut scratch) {
+                                min_index.fetch_min(i, Ordering::Relaxed);
+                                return Some((i, lasso));
+                            }
+                            i += threads;
+                        }
+                        None
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .filter_map(|h| h.join().expect("liveness worker panicked"))
+                .collect()
+        });
+        found.sort_by_key(|(i, _)| *i);
+        found.into_iter().next()
+    }
+
+    /// Wraps the `required` edges (indices into the edge arrays, all
+    /// within one SCC of the filtered subgraph) into a lasso: a closed
+    /// walk starting and ending at the source of the first required edge,
+    /// visiting every required edge, prefixed by a shortest path from
+    /// state 0 through the full (unfiltered) graph.
+    fn build_lasso(
+        &self,
+        filter: EdgeFilter,
+        scratch: &mut LiveScratch,
+        required: &[u32],
+    ) -> Option<CompiledLasso<L>> {
+        let (&first, rest) = required.split_first()?;
+        let comp = scratch.component[self.edge_from[first as usize] as usize];
+        // All endpoints must share the SCC (guaranteed by the callers;
+        // kept as the same guard the reference walk has).
+        for &e in required {
+            if scratch.component[self.edge_from[e as usize] as usize] != comp
+                || scratch.component[self.edge_target[e as usize] as usize] != comp
+            {
+                return None;
+            }
+        }
+        let mut walk: Vec<u32> = vec![first];
+        let mut at = self.edge_target[first as usize];
+        for &e in rest {
+            let entry = self.edge_from[e as usize];
+            self.bfs_path(at, entry, Some((filter, comp)), scratch, &mut walk)?;
+            walk.push(e);
+            at = self.edge_target[e as usize];
+        }
+        let home = self.edge_from[first as usize];
+        self.bfs_path(at, home, Some((filter, comp)), scratch, &mut walk)?;
+
+        let mut prefix: Vec<u32> = Vec::new();
+        self.bfs_path(0, home, None, scratch, &mut prefix)?;
+        Some(CompiledLasso {
+            prefix: prefix
+                .into_iter()
+                .map(|e| self.labels[self.edge_label[e as usize] as usize].clone())
+                .collect(),
+            cycle: walk
+                .into_iter()
+                .map(|e| self.labels[self.edge_label[e as usize] as usize].clone())
+                .collect(),
+        })
+    }
+
+    /// Appends a shortest path (edge indices) from `from` to `target` to
+    /// `out`. With `restrict = Some((filter, comp))` the path uses only
+    /// kept edges whose endpoints lie in SCC `comp` of the current
+    /// `scratch` decomposition; with `None` the full graph. BFS visits
+    /// edges in enumeration order, so ties break exactly as in the
+    /// reference [`crate::LabeledGraph::shortest_path_to`].
+    fn bfs_path(
+        &self,
+        from: u32,
+        target: u32,
+        restrict: Option<(EdgeFilter, u32)>,
+        scratch: &mut LiveScratch,
+        out: &mut Vec<u32>,
+    ) -> Option<()> {
+        if from == target {
+            return Some(());
+        }
+        let n = self.num_states();
+        scratch.bfs_seen.resize(n, 0);
+        scratch.bfs_pred.resize(n, (0, 0));
+        scratch.bfs_generation += 1;
+        let generation = scratch.bfs_generation;
+        scratch.bfs_queue.clear();
+        scratch.bfs_queue.push(from);
+        scratch.bfs_seen[from as usize] = generation;
+        let mut head = 0usize;
+        while head < scratch.bfs_queue.len() {
+            let q = scratch.bfs_queue[head];
+            head += 1;
+            let qi = q as usize;
+            for e in self.row_start[qi]..self.row_start[qi + 1] {
+                let ei = e as usize;
+                if let Some((filter, comp)) = restrict {
+                    if !filter.keeps(self.edge_mask[ei])
+                        || scratch.component[self.edge_target[ei] as usize] != comp
+                    {
+                        continue;
+                    }
+                }
+                let to = self.edge_target[ei];
+                if scratch.bfs_seen[to as usize] == generation {
+                    continue;
+                }
+                scratch.bfs_seen[to as usize] = generation;
+                scratch.bfs_pred[to as usize] = (q, e);
+                if to == target {
+                    let start = out.len();
+                    let mut at = to;
+                    while at != from {
+                        let (p, edge) = scratch.bfs_pred[at as usize];
+                        out.push(edge);
+                        at = p;
+                    }
+                    out[start..].reverse();
+                    return Some(());
+                }
+                scratch.bfs_queue.push(to);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{strongly_connected_components, LabeledGraph};
+
+    /// A label carrying its own class, for hand-built test graphs.
+    #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+    struct TestLabel {
+        id: u8,
+        thread: u8,
+        commit: bool,
+        abort: bool,
+    }
+
+    /// Explicit adjacency as a [`RunGraphSource`]: states `0..n`, edges in
+    /// list order per state.
+    struct VecSource {
+        succ: Vec<Vec<(TestLabel, u32)>>,
+    }
+
+    impl RunGraphSource for VecSource {
+        type State = u32;
+        type Label = TestLabel;
+
+        fn initial_state(&self) -> u32 {
+            0
+        }
+
+        fn successors(&self, state: &u32, out: &mut Vec<(TestLabel, u32)>) {
+            out.extend(self.succ[*state as usize].iter().copied());
+        }
+
+        fn classify(&self, label: &TestLabel) -> LabelClass {
+            LabelClass {
+                thread: label.thread as usize,
+                is_commit: label.commit,
+                is_abort: label.abort,
+                emits_statement: label.commit || label.abort,
+            }
+        }
+    }
+
+    fn lbl(id: u8, thread: u8) -> TestLabel {
+        TestLabel {
+            id,
+            thread,
+            commit: false,
+            abort: false,
+        }
+    }
+
+    fn abort(id: u8, thread: u8) -> TestLabel {
+        TestLabel {
+            id,
+            thread,
+            commit: false,
+            abort: true,
+        }
+    }
+
+    fn commit(id: u8, thread: u8) -> TestLabel {
+        TestLabel {
+            id,
+            thread,
+            commit: true,
+            abort: false,
+        }
+    }
+
+    const KEEP_ALL: EdgeFilter = EdgeFilter {
+        keep_any: MASK_ALL_THREADS,
+        forbid_all: 0,
+    };
+
+    #[test]
+    fn build_compiles_reachable_subgraph_in_bfs_order() {
+        // 0 -> 1 -> 2 -> 0 ring plus an unreachable state 3 in the
+        // adjacency (never discovered).
+        let source = VecSource {
+            succ: vec![
+                vec![(lbl(0, 0), 1)],
+                vec![(lbl(1, 1), 2)],
+                vec![(lbl(2, 0), 0)],
+                vec![(lbl(3, 0), 0)],
+            ],
+        };
+        let (graph, states) = CompiledRunGraph::build(&source, 100);
+        assert_eq!(graph.num_states(), 3);
+        assert_eq!(states, vec![0, 1, 2]);
+        assert_eq!(graph.num_edges(), 3);
+        assert_eq!(graph.num_labels(), 3);
+        let edges: Vec<(usize, u8, usize)> =
+            graph.edges().map(|(f, l, t)| (f, l.id, t)).collect();
+        assert_eq!(edges, vec![(0, 0, 1), (1, 1, 2), (2, 2, 0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeded 2 states")]
+    fn build_enforces_state_bound() {
+        let source = VecSource {
+            succ: vec![
+                vec![(lbl(0, 0), 1)],
+                vec![(lbl(1, 0), 2)],
+                vec![(lbl(2, 0), 0)],
+            ],
+        };
+        let _ = CompiledRunGraph::build(&source, 2);
+    }
+
+    #[test]
+    fn masked_sccs_match_cloned_subgraph_reference() {
+        // Two 2-cycles (threads 0 and 1) joined by a thread-0 bridge.
+        let source = VecSource {
+            succ: vec![
+                vec![(lbl(0, 0), 1)],
+                vec![(lbl(1, 0), 0), (lbl(2, 0), 2)],
+                vec![(lbl(3, 1), 3)],
+                vec![(lbl(4, 1), 2)],
+            ],
+        };
+        let (graph, _) = CompiledRunGraph::build(&source, 100);
+        let mut scratch = LiveScratch::default();
+        for filter in [
+            KEEP_ALL,
+            EdgeFilter { keep_any: 1 << 0, forbid_all: 0 },
+            EdgeFilter { keep_any: 1 << 1, forbid_all: 0 },
+        ] {
+            graph.sccs_masked(filter, &mut scratch);
+            // Reference: materialize, filter, Tarjan.
+            let mut labeled = LabeledGraph::new(graph.num_states());
+            for (from, l, to) in graph.edges() {
+                labeled.add_edge(from, *l, to);
+            }
+            let source_ref = &source;
+            let filtered = labeled.filtered(|_, l, _| {
+                filter.keeps(source_ref.classify(l).mask())
+            });
+            let reference = strongly_connected_components(&filtered);
+            assert_eq!(scratch.num_components(), reference.count(), "{filter:?}");
+            for v in 0..graph.num_states() {
+                assert_eq!(
+                    scratch.component_of(v),
+                    reference.component_of(v),
+                    "state {v} under {filter:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn find_loop_first_edge_reports_lasso_with_prefix() {
+        // 0 --t0--> 1, loop 1 <-> 2 with an abort of thread 0 inside.
+        let source = VecSource {
+            succ: vec![
+                vec![(lbl(0, 0), 1)],
+                vec![(abort(1, 0), 2)],
+                vec![(lbl(2, 0), 1)],
+            ],
+        };
+        let (graph, _) = CompiledRunGraph::build(&source, 100);
+        let query = LoopQuery {
+            filter: EdgeFilter {
+                keep_any: 1 << 0,
+                forbid_all: MASK_COMMIT,
+            },
+            required: vec![MASK_ABORT],
+            selection: LoopSelection::FirstEdge,
+        };
+        let mut scratch = LiveScratch::default();
+        let lasso = graph.find_loop(&query, &mut scratch).expect("loop exists");
+        assert_eq!(
+            lasso.prefix.iter().map(|l| l.id).collect::<Vec<_>>(),
+            vec![0]
+        );
+        assert_eq!(
+            lasso.cycle.iter().map(|l| l.id).collect::<Vec<_>>(),
+            vec![1, 2]
+        );
+    }
+
+    #[test]
+    fn commit_filter_suppresses_loop() {
+        // The only loop contains a commit: filtered out, no violation.
+        let source = VecSource {
+            succ: vec![
+                vec![(lbl(0, 0), 1)],
+                vec![(commit(1, 0), 0), (abort(2, 0), 0)],
+            ],
+        };
+        let (graph, _) = CompiledRunGraph::build(&source, 100);
+        let mut scratch = LiveScratch::default();
+        // With commits forbidden the abort loop remains.
+        let with_aborts = LoopQuery {
+            filter: EdgeFilter {
+                keep_any: MASK_ALL_THREADS,
+                forbid_all: MASK_COMMIT,
+            },
+            required: vec![MASK_ABORT],
+            selection: LoopSelection::FirstEdge,
+        };
+        assert!(graph.find_loop(&with_aborts, &mut scratch).is_some());
+        // Forbidding aborts too leaves no qualifying loop.
+        let nothing = LoopQuery {
+            filter: EdgeFilter {
+                keep_any: MASK_ALL_THREADS,
+                forbid_all: MASK_COMMIT,
+            },
+            required: vec![MASK_ABORT | MASK_COMMIT],
+            selection: LoopSelection::FirstEdge,
+        };
+        assert!(graph.find_loop(&nothing, &mut scratch).is_none());
+    }
+
+    #[test]
+    fn first_component_requires_all_masks_in_one_scc() {
+        // Two disjoint loops: thread 0 aborts in one, thread 1 in the
+        // other. Together they can never witness a livelock of {0, 1}.
+        let source = VecSource {
+            succ: vec![
+                vec![(abort(0, 0), 0), (lbl(1, 0), 1)],
+                vec![(abort(2, 1), 1)],
+            ],
+        };
+        let (graph, _) = CompiledRunGraph::build(&source, 100);
+        let mut scratch = LiveScratch::default();
+        let both = LoopQuery {
+            filter: EdgeFilter {
+                keep_any: 0b11,
+                forbid_all: MASK_COMMIT,
+            },
+            required: vec![MASK_ABORT | 1 << 0, MASK_ABORT | 1 << 1],
+            selection: LoopSelection::FirstComponent,
+        };
+        assert!(graph.find_loop(&both, &mut scratch).is_none());
+        // Each singleton requirement is satisfiable on its own.
+        for t in 0..2u16 {
+            let single = LoopQuery {
+                filter: EdgeFilter {
+                    keep_any: 1 << t,
+                    forbid_all: MASK_COMMIT,
+                },
+                required: vec![MASK_ABORT | 1 << t],
+                selection: LoopSelection::FirstComponent,
+            };
+            assert!(
+                graph.find_loop(&single, &mut scratch).is_some(),
+                "thread {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn find_first_loop_is_thread_count_independent() {
+        // Loops for threads 1 and 2 exist; queries ordered so index 1 is
+        // the first violation whatever the pool size.
+        let source = VecSource {
+            succ: vec![
+                vec![(lbl(0, 0), 1)],
+                vec![(abort(1, 1), 2)],
+                vec![(lbl(2, 1), 1), (abort(3, 2), 1)],
+            ],
+        };
+        let (graph, _) = CompiledRunGraph::build(&source, 100);
+        let query_for = |t: u16| LoopQuery {
+            filter: EdgeFilter {
+                keep_any: 1 << t,
+                forbid_all: MASK_COMMIT,
+            },
+            required: vec![MASK_ABORT],
+            selection: LoopSelection::FirstEdge,
+        };
+        let queries: Vec<LoopQuery> = (0..4).map(query_for).collect();
+        let expected = graph.find_first_loop(&queries, 1).expect("violation");
+        assert_eq!(expected.0, 1);
+        for threads in [2, 3, 8] {
+            let got = graph.find_first_loop(&queries, threads).expect("violation");
+            assert_eq!(got.0, expected.0, "threads={threads}");
+            assert_eq!(got.1, expected.1, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn label_class_mask_bits() {
+        let class = LabelClass {
+            thread: 3,
+            is_commit: true,
+            is_abort: false,
+            emits_statement: true,
+        };
+        let mask = class.mask();
+        assert_eq!(mask, (1 << 3) | MASK_COMMIT | MASK_EMITS);
+        assert!(EdgeFilter { keep_any: 1 << 3, forbid_all: 0 }.keeps(mask));
+        assert!(!EdgeFilter {
+            keep_any: 1 << 3,
+            forbid_all: MASK_COMMIT
+        }
+        .keeps(mask));
+        // A forbid mask pairing a *different* thread with commit keeps it.
+        assert!(EdgeFilter {
+            keep_any: MASK_ALL_THREADS,
+            forbid_all: (1 << 2) | MASK_COMMIT
+        }
+        .keeps(mask));
+    }
+
+    #[test]
+    #[should_panic(expected = "mask capacity")]
+    fn oversized_thread_id_rejected() {
+        let _ = LabelClass {
+            thread: MAX_MASK_THREADS,
+            is_commit: false,
+            is_abort: false,
+            emits_statement: false,
+        }
+        .mask();
+    }
+}

@@ -1,0 +1,228 @@
+//! Differential conformance harness for the liveness checker pair: the
+//! compiled engine (`check_liveness` / `check_liveness_threads`, masked
+//! CSR passes over one run graph) must agree with the seed reference
+//! (`check_liveness_reference`, cloned filtered subgraphs) on **every**
+//! Table 3 TM × contention-manager × property combination — verdict,
+//! run-level lasso, word-level lasso projection, and Table 3 cycle
+//! notation — and must be identical at every worker-pool size.
+//!
+//! A seeded random-graph fuzz additionally pins the engine's mask-filtered
+//! Tarjan to the reference cloned-subgraph SCC decomposition on
+//! adversarial shapes, component indices included.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+use tm_bench::liveness_roster;
+use tm_modelcheck::automata::{
+    strongly_connected_components, CompiledRunGraph, EdgeFilter, LabelClass, LabeledGraph,
+    LiveScratch, LoopQuery, LoopSelection, RunGraphSource, MASK_ABORT, MASK_ALL_THREADS,
+    MASK_COMMIT,
+};
+use tm_modelcheck::checker::LivenessVerdict;
+use tm_modelcheck::lang::LivenessProperty;
+
+/// Asserts engine ≡ reference on one verdict pair: outcome, state count,
+/// run-level lasso, word projection, and Table 3 notation.
+fn assert_conforms(engine: &LivenessVerdict, reference: &LivenessVerdict, context: &str) {
+    assert_eq!(engine.holds(), reference.holds(), "{context}: verdict");
+    assert_eq!(
+        engine.tm_states, reference.tm_states,
+        "{context}: run-graph state count"
+    );
+    match (engine.counterexample(), reference.counterexample()) {
+        (None, None) => {}
+        (Some(e), Some(r)) => {
+            assert_eq!(e, r, "{context}: run-level lasso");
+            assert_eq!(
+                e.to_word_lasso(),
+                r.to_word_lasso(),
+                "{context}: word-level projection"
+            );
+            assert_eq!(
+                e.cycle_notation(),
+                r.cycle_notation(),
+                "{context}: Table 3 notation"
+            );
+        }
+        (e, r) => panic!("{context}: engine {e:?} vs reference {r:?}"),
+    }
+}
+
+/// All Table 3 TM × manager × property combinations at (2, 1): the engine
+/// agrees with the seed reference at pool sizes 1 and 4, and every
+/// violation is confirmed by the word-level property oracle.
+#[test]
+fn table3_engine_matches_reference_at_every_pool_size() {
+    for case in liveness_roster(2, 1) {
+        for property in LivenessProperty::all() {
+            let reference = case.check_reference(property);
+            if let Some(lasso) = reference.counterexample() {
+                let word = lasso.to_word_lasso().expect("TM loops emit statements");
+                assert!(
+                    !property.holds(&word),
+                    "{} / {property}: oracle accepts {word}",
+                    case.name
+                );
+            }
+            for threads in [1usize, 4] {
+                let engine = case.check(property, threads);
+                let context = format!("{} / {property} (pool {threads})", case.name);
+                assert_conforms(&engine, &reference, &context);
+            }
+        }
+    }
+}
+
+/// The (3, 1) instance exercises the 7-subset livelock fan-out and
+/// 3-thread masks; the reference still copes at this size, so pin the
+/// engine to it here too.
+#[test]
+fn three_thread_instance_matches_reference() {
+    for case in liveness_roster(3, 1) {
+        for property in LivenessProperty::all() {
+            let reference = case.check_reference(property);
+            for threads in [1usize, 4] {
+                let engine = case.check(property, threads);
+                let context = format!("{} (3,1) / {property} (pool {threads})", case.name);
+                assert_conforms(&engine, &reference, &context);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Mask-filtered Tarjan fuzz: random graphs, random filters — the masked
+// decomposition must equal the reference (clone the filtered subgraph,
+// run the original Tarjan) exactly, component indices included.
+
+/// A random-graph label carrying its own class bits.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+struct FuzzLabel {
+    id: u16,
+    thread: u8,
+    commit: bool,
+    abort: bool,
+}
+
+/// Explicit adjacency as a [`RunGraphSource`] (state 0 initial; only the
+/// part reachable from it is compiled, mirroring real run graphs).
+struct FuzzSource {
+    succ: Vec<Vec<(FuzzLabel, u32)>>,
+}
+
+impl RunGraphSource for FuzzSource {
+    type State = u32;
+    type Label = FuzzLabel;
+
+    fn initial_state(&self) -> u32 {
+        0
+    }
+
+    fn successors(&self, state: &u32, out: &mut Vec<(FuzzLabel, u32)>) {
+        out.extend(self.succ[*state as usize].iter().copied());
+    }
+
+    fn classify(&self, label: &FuzzLabel) -> LabelClass {
+        LabelClass {
+            thread: label.thread as usize,
+            is_commit: label.commit,
+            is_abort: label.abort,
+            emits_statement: label.commit || label.abort,
+        }
+    }
+}
+
+fn random_source(rng: &mut StdRng) -> FuzzSource {
+    let states = 1 + rng.gen_range(0..12);
+    let mut succ: Vec<Vec<(FuzzLabel, u32)>> = (0..states).map(|_| Vec::new()).collect();
+    let edges = rng.gen_range(0..40);
+    for id in 0..edges {
+        let from = rng.gen_range(0..states);
+        let to = rng.gen_range(0..states) as u32;
+        let label = FuzzLabel {
+            id: id as u16,
+            thread: rng.gen_range(0..3) as u8,
+            commit: rng.gen_range(0..4) == 0,
+            abort: rng.gen_range(0..4) == 0,
+        };
+        succ[from].push((label, to));
+    }
+    FuzzSource { succ }
+}
+
+#[test]
+fn masked_tarjan_matches_cloned_subgraph_reference_on_random_graphs() {
+    let filters = [
+        EdgeFilter { keep_any: MASK_ALL_THREADS, forbid_all: 0 },
+        EdgeFilter { keep_any: MASK_ALL_THREADS, forbid_all: MASK_COMMIT },
+        EdgeFilter { keep_any: 0b001, forbid_all: MASK_COMMIT },
+        EdgeFilter { keep_any: 0b011, forbid_all: MASK_COMMIT },
+        EdgeFilter { keep_any: 0b110, forbid_all: MASK_ABORT },
+        EdgeFilter { keep_any: MASK_ALL_THREADS, forbid_all: MASK_COMMIT | 0b010 },
+    ];
+    let mut scratch = LiveScratch::default();
+    for seed in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(0x5cc0_0000 + seed);
+        let source = random_source(&mut rng);
+        let (graph, _) = CompiledRunGraph::build(&source, 10_000);
+        // Materialize the engine's reachable subgraph once, then compare
+        // decompositions per filter.
+        let mut labeled: LabeledGraph<FuzzLabel> = LabeledGraph::new(graph.num_states());
+        for (from, label, to) in graph.edges() {
+            labeled.add_edge(from, *label, to);
+        }
+        for filter in filters {
+            graph.sccs_masked(filter, &mut scratch);
+            let filtered =
+                labeled.filtered(|_, l, _| filter.keeps(source.classify(l).mask()));
+            let reference = strongly_connected_components(&filtered);
+            assert_eq!(
+                scratch.num_components(),
+                reference.count(),
+                "seed {seed}, {filter:?}: component count"
+            );
+            for v in 0..graph.num_states() {
+                assert_eq!(
+                    scratch.component_of(v),
+                    reference.component_of(v),
+                    "seed {seed}, {filter:?}: state {v}"
+                );
+            }
+        }
+    }
+}
+
+/// The fan-out must pick the same (first-in-order) violation at every
+/// pool size, on random graphs with randomized query lists — beyond the
+/// structured queries `check_liveness` generates.
+#[test]
+fn random_query_fanout_is_pool_size_independent() {
+    for seed in 0..24u64 {
+        let mut rng = StdRng::seed_from_u64(0xfa40_0000 + seed);
+        let source = random_source(&mut rng);
+        let (graph, _) = CompiledRunGraph::build(&source, 10_000);
+        let queries: Vec<LoopQuery> = (0..6)
+            .map(|_| {
+                let t = rng.gen_range(0..3);
+                let selection = if rng.gen_range(0..2) == 0 {
+                    LoopSelection::FirstEdge
+                } else {
+                    LoopSelection::FirstComponent
+                };
+                LoopQuery {
+                    filter: EdgeFilter {
+                        keep_any: 1 << t,
+                        forbid_all: MASK_COMMIT,
+                    },
+                    required: vec![MASK_ABORT | (1 << t)],
+                    selection,
+                }
+            })
+            .collect();
+        let expected = graph.find_first_loop(&queries, 1);
+        for threads in [2usize, 3, 8] {
+            let got = graph.find_first_loop(&queries, threads);
+            assert_eq!(got, expected, "seed {seed}, pool {threads}");
+        }
+    }
+}
