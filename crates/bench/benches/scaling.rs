@@ -15,11 +15,11 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use tm_algorithms::{most_general_nfa, DstmTm, MostGeneralSource, TwoPhaseTm};
+use tm_algorithms::{most_general_nfa, DstmTm, MostGeneralSource, Tl2Tm, TwoPhaseTm};
 use tm_automata::{
-    check_inclusion, check_inclusion_compiled, check_inclusion_otf_lazy,
-    check_inclusion_otf_threads, check_inclusion_reference, modelcheck_threads, Alphabet,
-    DtsSpecSource,
+    check_inclusion, check_inclusion_compiled, check_inclusion_otf_executor,
+    check_inclusion_otf_lazy, check_inclusion_otf_threads, check_inclusion_reference,
+    modelcheck_threads, Alphabet, DtsSpecSource, Executor, WorkerPool,
 };
 use tm_lang::SafetyProperty;
 use tm_spec::{spec_alphabet, DetSpec, NondetSpec};
@@ -160,11 +160,56 @@ fn bench_otf_product(c: &mut Criterion) {
     group.finish();
 }
 
+/// Pool-vs-scoped A/B: the parallel product engine doing identical work,
+/// once spawning fresh scoped threads for every BFS-level region (the
+/// pre-session behavior) and once dispatching to a persistent
+/// [`WorkerPool`] (what a `tm_checker::Verifier` session does). TL2 at
+/// (2, 2) is the largest Table 2 product — frontiers wide enough to
+/// cross the engine's parallel threshold, hundreds of level regions —
+/// so the difference is pure dispatch overhead.
+fn bench_pool_vs_scoped(c: &mut Criterion) {
+    let threads = modelcheck_threads().max(2);
+    let mut group = c.benchmark_group("scaling/pool-vs-scoped");
+    group.sample_size(10);
+    let tag = "2x2";
+    if !["scoped", "pool"]
+        .iter()
+        .any(|kind| group.is_selected(&format!("{kind}/{tag}")))
+    {
+        group.finish();
+        return;
+    }
+    let spec = DetSpec::new(SafetyProperty::StrictSerializability, 2, 2)
+        .to_dfa(MAX)
+        .0
+        .compile();
+    let tm = Tl2Tm::new(2, 2);
+    let source = MostGeneralSource::new(&tm, spec.alphabet().clone());
+    group.bench_with_input(BenchmarkId::new("scoped", tag), &(), |b, ()| {
+        b.iter(|| {
+            check_inclusion_otf_executor(
+                &source,
+                &spec,
+                &Executor::Scoped { threads },
+                usize::MAX,
+            )
+        })
+    });
+    let pool = WorkerPool::new(threads);
+    group.bench_with_input(BenchmarkId::new("pool", tag), &(), |b, ()| {
+        b.iter(|| {
+            check_inclusion_otf_executor(&source, &spec, &Executor::Pool(&pool), usize::MAX)
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_compiled_vs_seed,
     bench_spec_construction,
     bench_inclusion_scaling,
-    bench_otf_product
+    bench_otf_product,
+    bench_pool_vs_scoped
 );
 criterion_main!(benches);

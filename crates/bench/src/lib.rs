@@ -16,8 +16,8 @@ use tm_algorithms::{
     TwoPhaseTm, ValidationStyle, WithContentionManager,
 };
 use tm_automata::Nfa;
-use tm_checker::LivenessVerdict;
-use tm_lang::{LivenessProperty, Statement};
+use tm_checker::{LivenessVerdict, Verdict, Verifier};
+use tm_lang::{LivenessProperty, SafetyProperty, Statement};
 
 /// State-space bound used throughout the experiment suite.
 pub const MAX_STATES: usize = 20_000_000;
@@ -48,7 +48,9 @@ pub fn table3_names() -> [&'static str; 4] {
     ["seq", "2PL", "dstm+aggressive", "TL2+polite"]
 }
 
-/// Runs a liveness check for one of the [`table3_names`] rows.
+/// Runs a liveness check for one of the [`table3_names`] rows (one-shot:
+/// each call builds the TM's run graph anew; the `tables` bin goes
+/// through [`table3_check_session`] instead).
 ///
 /// # Panics
 ///
@@ -70,6 +72,38 @@ pub fn table3_check(
         ),
         other => panic!("unknown Table 3 row: {other}"),
     }
+}
+
+/// [`table3_check`] through a [`Verifier`] session at (2, 1): the TM's
+/// compiled run graph is built by the session's first query for it and
+/// answers the other properties from cache. Verdicts and lassos are
+/// bit-identical to [`table3_check`]'s.
+///
+/// # Panics
+///
+/// Panics if `name` is not one of the roster names or the session's
+/// instance size is not (2, 1).
+pub fn table3_check_session(
+    verifier: &mut Verifier,
+    name: &str,
+    property: LivenessProperty,
+) -> LivenessVerdict {
+    let verdict = match name {
+        "seq" => verifier.check_liveness(&SequentialTm::new(2, 1), property),
+        "2PL" => verifier.check_liveness(&TwoPhaseTm::new(2, 1), property),
+        "dstm+aggressive" => verifier.check_liveness(
+            &WithContentionManager::new(DstmTm::new(2, 1), AggressiveCm),
+            property,
+        ),
+        "TL2+polite" => verifier.check_liveness(
+            &WithContentionManager::new(Tl2Tm::new(2, 1), PoliteCm),
+            property,
+        ),
+        other => panic!("unknown Table 3 row: {other}"),
+    };
+    verdict
+        .into_liveness()
+        .expect("liveness query returns a liveness verdict")
 }
 
 /// One TM × contention-manager liveness case of [`liveness_roster`]: the
@@ -95,6 +129,17 @@ impl LivenessCase {
         self.tm.check(property, threads)
     }
 
+    /// Runs the query through a [`Verifier`] session: the first query for
+    /// this TM compiles its run graph into the session cache, later ones
+    /// answer from it (`verdict.stats` records which happened).
+    pub fn check_session(
+        &self,
+        verifier: &mut Verifier,
+        property: LivenessProperty,
+    ) -> Verdict {
+        self.tm.check_session(verifier, property)
+    }
+
     /// Runs the seed reference checker
     /// ([`tm_checker::check_liveness_reference`]).
     pub fn check_reference(&self, property: LivenessProperty) -> LivenessVerdict {
@@ -106,6 +151,7 @@ impl LivenessCase {
 /// an associated state type and cannot be boxed directly).
 trait ErasedLiveness {
     fn check(&self, property: LivenessProperty, threads: usize) -> LivenessVerdict;
+    fn check_session(&self, verifier: &mut Verifier, property: LivenessProperty) -> Verdict;
     fn check_reference(&self, property: LivenessProperty) -> LivenessVerdict;
 }
 
@@ -114,9 +160,76 @@ impl<A: TmAlgorithm> ErasedLiveness for A {
         tm_checker::check_liveness_threads(self, property, threads)
     }
 
+    fn check_session(&self, verifier: &mut Verifier, property: LivenessProperty) -> Verdict {
+        verifier.check_liveness(self, property)
+    }
+
     fn check_reference(&self, property: LivenessProperty) -> LivenessVerdict {
         tm_checker::check_liveness_reference(self, property)
     }
+}
+
+/// One TM safety case of [`table2_cases`]: the concrete TM type erased
+/// behind a session-check thunk (the safety analogue of
+/// [`LivenessCase`]).
+pub struct SafetyCase {
+    /// Display name (`tm.name()`).
+    pub name: String,
+    /// The paper's reported Table 2 state count for this TM.
+    pub paper_states: usize,
+    tm: Box<dyn ErasedSafety>,
+}
+
+impl SafetyCase {
+    fn new<A>(tm: A, paper_states: usize) -> Self
+    where
+        A: TmAlgorithm + Sync + 'static,
+        A::State: Send + Sync,
+    {
+        SafetyCase {
+            name: tm.name(),
+            paper_states,
+            tm: Box::new(tm),
+        }
+    }
+
+    /// Runs the safety query through a [`Verifier`] session (the
+    /// specification artifact is shared across every case of the same
+    /// property).
+    pub fn check_session(&self, verifier: &mut Verifier, property: SafetyProperty) -> Verdict {
+        self.tm.check_session(verifier, property)
+    }
+}
+
+/// Object-safe shim for [`SafetyCase`].
+trait ErasedSafety {
+    fn check_session(&self, verifier: &mut Verifier, property: SafetyProperty) -> Verdict;
+}
+
+impl<A> ErasedSafety for A
+where
+    A: TmAlgorithm + Sync,
+    A::State: Send + Sync,
+{
+    fn check_session(&self, verifier: &mut Verifier, property: SafetyProperty) -> Verdict {
+        verifier.check_safety(self, property)
+    }
+}
+
+/// The Table 2 TMs as session-checkable cases, in the same order (and
+/// with the same paper state counts) as [`table2_roster`].
+pub fn table2_cases() -> Vec<SafetyCase> {
+    let modified = WithContentionManager::new(
+        Tl2Tm::with_validation(2, 2, ValidationStyle::RValidateThenChkLock),
+        PoliteCm,
+    );
+    vec![
+        SafetyCase::new(SequentialTm::new(2, 2), 3),
+        SafetyCase::new(TwoPhaseTm::new(2, 2), 99),
+        SafetyCase::new(DstmTm::new(2, 2), 1846),
+        SafetyCase::new(Tl2Tm::new(2, 2), 21568),
+        SafetyCase::new(modified, 17520),
+    ]
 }
 
 /// Short tag of a liveness property (`"of"` / `"lf"` / `"wf"`) for table
@@ -166,6 +279,30 @@ mod tests {
     #[should_panic(expected = "unknown Table 3 row")]
     fn unknown_row_panics() {
         let _ = table3_check("nope", tm_lang::LivenessProperty::ObstructionFreedom);
+    }
+
+    #[test]
+    fn table2_cases_align_with_the_materialized_roster() {
+        let cases = table2_cases();
+        let roster = table2_roster();
+        assert_eq!(cases.len(), roster.len());
+        for (case, (name, _, paper)) in cases.iter().zip(&roster) {
+            assert_eq!(&case.name, name);
+            assert_eq!(case.paper_states, *paper);
+        }
+    }
+
+    #[test]
+    fn session_check_matches_one_shot_on_a_sample() {
+        let mut verifier = Verifier::new(2, 1);
+        let roster = liveness_roster(2, 1);
+        let case = &roster[0];
+        for property in LivenessProperty::all() {
+            let session = case.check_session(&mut verifier, property);
+            let one_shot = case.check(property, 1);
+            assert_eq!(session.holds(), one_shot.holds(), "{property}");
+        }
+        assert_eq!(verifier.run_graph_builds(), 1);
     }
 
     #[test]

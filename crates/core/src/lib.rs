@@ -4,19 +4,29 @@
 //! *"Model Checking Transactional Memories"* (Guerraoui, Henzinger,
 //! Singh; PLDI 2008 / extended version):
 //!
-//! * **Safety** ([`check_safety`], [`SafetyChecker`]): strict
-//!   serializability and opacity, decided as language inclusion of the TM
-//!   algorithm (applied to the most general program) in the deterministic
-//!   specification automaton, with shortest counterexample words.
-//! * **Liveness** ([`check_liveness`]): obstruction freedom, livelock
-//!   freedom and wait freedom, decided by loop (lasso) search in the
-//!   run-level transition system of a TM × contention-manager product.
+//! * **The session API** ([`Verifier`]): the crate's entry point — one
+//!   session per instance size owns a persistent worker pool and
+//!   build-once artifact caches (interned specifications, compiled run
+//!   graphs) and answers every query below through them, returning a
+//!   uniform [`Verdict`] with [`QueryStats`].
+//! * **Safety** ([`Verifier::check_safety`]; one-shot wrapper
+//!   [`check_safety`], reusable eager primitive [`SafetyChecker`]):
+//!   strict serializability and opacity, decided as language inclusion of
+//!   the TM algorithm (applied to the most general program) in the
+//!   deterministic specification automaton, with shortest counterexample
+//!   words.
+//! * **Liveness** ([`Verifier::check_liveness`]; one-shot wrapper
+//!   [`check_liveness`]): obstruction freedom, livelock freedom and wait
+//!   freedom, decided by loop (lasso) search in the run-level transition
+//!   system of a TM × contention-manager product — one compiled run graph
+//!   per TM answers all three properties.
 //! * **Structural properties** ([`check_structural`]): bounded-exhaustive
 //!   tests of the projection/symmetry/commutativity properties P1–P4 that
 //!   the reduction theorems require.
-//! * **Reduction methodology** ([`verify_with_reduction`]): the paper's
-//!   end-to-end argument — check at the (2,2) bound, establish the
-//!   structural properties, conclude for all instance sizes.
+//! * **Reduction methodology** ([`Verifier::verify_with_reduction`];
+//!   one-shot wrapper [`verify_with_reduction`]): the paper's end-to-end
+//!   argument — check at the (2,2) bound, establish the structural
+//!   properties, conclude for all instance sizes.
 //! * **Reports** ([`safety_table`], [`liveness_table`]): the paper's
 //!   Tables 2 and 3 regenerated from verdicts.
 //!
@@ -36,6 +46,20 @@
 //! let managed = WithContentionManager::new(DstmTm::new(2, 1), AggressiveCm);
 //! assert!(check_liveness(&managed, LivenessProperty::ObstructionFreedom).holds());
 //! ```
+//!
+//! Or run a session and amortize the artifacts across queries:
+//!
+//! ```
+//! use tm_checker::Verifier;
+//! use tm_lang::{LivenessProperty, SafetyProperty};
+//! use tm_algorithms::{DstmTm, SequentialTm};
+//!
+//! let mut verifier = Verifier::new(2, 2);
+//! // The opacity specification is interned once, shared by both checks:
+//! assert!(verifier.check_safety(&SequentialTm::new(2, 2), SafetyProperty::Opacity).holds());
+//! let verdict = verifier.check_safety(&DstmTm::new(2, 2), SafetyProperty::Opacity);
+//! assert!(verdict.holds() && verdict.stats.artifact_cached);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -44,6 +68,7 @@ mod liveness;
 mod reduction;
 mod report;
 mod safety;
+mod session;
 mod structural;
 
 pub use liveness::{
@@ -51,11 +76,12 @@ pub use liveness::{
     LivenessVerdict, RunLasso, DEFAULT_MAX_STATES as LIVENESS_MAX_STATES,
 };
 pub use reduction::{verify_with_reduction, ReductionEvidence};
-pub use report::{liveness_table, safety_table, Table};
+pub use report::{liveness_table, safety_table, QueryStats, Table, Verdict, VerdictOutcome};
 pub use safety::{
     check_safety, SafetyChecker, SafetyOutcome, SafetyVerdict, SpecAutomaton,
     DEFAULT_MAX_STATES,
 };
+pub use session::{SpecMode, Verifier};
 pub use structural::{
     check_all_structural, check_structural, StructuralProperty, StructuralReport,
     StructuralViolation,

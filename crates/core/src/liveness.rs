@@ -33,15 +33,15 @@
 
 use std::time::{Duration, Instant};
 
-use tm_algorithms::{
-    most_general_run_graph, MostGeneralRunSource, RunLabel, TmAlgorithm,
-};
+use tm_algorithms::{most_general_run_graph, RunLabel, TmAlgorithm};
 use tm_automata::{
-    closed_walk_through, modelcheck_threads, strongly_connected_components, CompiledRunGraph,
-    EdgeFilter, LabeledGraph, LoopQuery, LoopSelection, Sccs, MASK_ABORT, MASK_ALL_THREADS,
-    MASK_COMMIT, MASK_EMITS,
+    closed_walk_through, modelcheck_threads, strongly_connected_components, EdgeFilter,
+    LabeledGraph, LoopQuery, LoopSelection, Sccs, MASK_ABORT, MASK_ALL_THREADS, MASK_COMMIT,
+    MASK_EMITS,
 };
 use tm_lang::{Lasso, LivenessProperty, ThreadId, Word};
+
+use crate::session::Verifier;
 
 /// Default bound on reachable TM states for liveness exploration.
 pub const DEFAULT_MAX_STATES: usize = 10_000_000;
@@ -128,6 +128,12 @@ impl LivenessVerdict {
 /// environment variable). Verdicts and lassos are identical at every
 /// thread count, and identical to [`check_liveness_reference`]'s.
 ///
+/// **Migration note:** this is a thin wrapper over a throwaway
+/// [`Verifier`] session — each call compiles the TM's run graph anew. A
+/// caller asking several properties of one TM (the Table 3 shape) should
+/// create a [`Verifier`] and call [`Verifier::check_liveness`], which
+/// builds the graph once and answers all three properties from it.
+///
 /// # Panics
 ///
 /// Panics if the TM's reachable state space exceeds
@@ -152,34 +158,27 @@ pub fn check_liveness<A: TmAlgorithm>(tm: &A, property: LivenessProperty) -> Liv
 
 /// [`check_liveness`] with an explicit worker-pool size (`1` runs the
 /// passes sequentially; results are independent of `threads`).
+///
+/// **Migration note:** prefer
+/// [`Verifier::pool_size`] + [`Verifier::check_liveness`] — the session
+/// keeps both the pool and the compiled run graph alive across queries.
 pub fn check_liveness_threads<A: TmAlgorithm>(
     tm: &A,
     property: LivenessProperty,
     threads: usize,
 ) -> LivenessVerdict {
-    let start = Instant::now();
-    let source = MostGeneralRunSource::new(tm);
-    let (graph, states) = CompiledRunGraph::build(&source, DEFAULT_MAX_STATES);
-    let queries = property_queries(tm.threads(), property);
-    let outcome = match graph.find_first_loop(&queries, threads) {
-        Some((_, lasso)) => LivenessOutcome::Violation(RunLasso {
-            prefix: lasso.prefix,
-            cycle: lasso.cycle,
-        }),
-        None => LivenessOutcome::Verified,
-    };
-    LivenessVerdict {
-        tm_name: tm.name(),
-        property,
-        tm_states: states.len(),
-        total_time: start.elapsed(),
-        outcome,
-    }
+    Verifier::new(tm.threads(), tm.vars())
+        .pool_size(threads)
+        .max_states(DEFAULT_MAX_STATES)
+        .check_liveness(tm, property)
+        .into_liveness()
+        .expect("liveness query returns a liveness verdict")
 }
 
 /// The engine queries of a property for an `n`-thread instance, in the
 /// order the seed checker searches them (so first-in-order violation
-/// selection reproduces the reference lasso):
+/// selection reproduces the reference lasso). Shared with the
+/// [`Verifier`] session, which runs them over its cached run graphs:
 ///
 /// * obstruction freedom — per thread `t`: the subgraph of `t`-only,
 ///   non-commit edges must have no loop through an abort;
@@ -188,7 +187,7 @@ pub fn check_liveness_threads<A: TmAlgorithm>(
 ///   containing an abort of *every* thread of `T'`;
 /// * wait freedom — per thread `t`: the subgraph without `(commit, t)`
 ///   edges must have no loop through a statement-emitting edge of `t`.
-fn property_queries(n: usize, property: LivenessProperty) -> Vec<LoopQuery> {
+pub(crate) fn property_queries(n: usize, property: LivenessProperty) -> Vec<LoopQuery> {
     match property {
         LivenessProperty::ObstructionFreedom => (0..n)
             .map(|t| LoopQuery {
@@ -230,7 +229,7 @@ fn property_queries(n: usize, property: LivenessProperty) -> Vec<LoopQuery> {
 /// the run graph into a boxed labelled edge list, then **clones** a
 /// filtered subgraph and reruns Tarjan for every per-thread / per-subset
 /// pass — `2^n` graph copies for the livelock check alone, plus `O(E)`
-/// edge scans per required-edge query ([`find_cyclic_edge`]). Kept
+/// edge scans per required-edge query (`find_cyclic_edge`). Kept
 /// verbatim (minus a dead parameter) as the differential baseline for
 /// `tests/liveness_conformance.rs` and the A/B benches; not used by any
 /// checker.

@@ -19,8 +19,8 @@
 use tm_algorithms::TmAlgorithm;
 use tm_lang::SafetyProperty;
 
-use crate::safety::{SafetyChecker, SafetyVerdict};
-use crate::structural::{check_all_structural, StructuralReport};
+use crate::safety::SafetyVerdict;
+use crate::structural::StructuralReport;
 
 /// Evidence assembled by [`verify_with_reduction`].
 #[derive(Clone, Debug)]
@@ -54,6 +54,14 @@ impl ReductionEvidence {
 /// anything — the theorem itself makes these redundant for well-behaved
 /// TMs).
 ///
+/// **Migration note:** this is a thin wrapper over a throwaway
+/// [`crate::Verifier`] session at the (2, 2) reduction bound. Callers
+/// running several reductions (or mixing them with other queries) should
+/// hold a [`crate::Verifier`] and call
+/// [`crate::Verifier::verify_with_reduction`], which shares the
+/// specification artifacts — including those of the spot-check sizes —
+/// across runs.
+///
 /// # Panics
 ///
 /// Panics if any instance exceeds the checker's state bounds.
@@ -84,21 +92,10 @@ where
     A::State: Send + Sync,
     F: Fn(usize, usize) -> A,
 {
-    let base_tm = make(2, 2);
-    let base_verdict = SafetyChecker::new(property, 2, 2).check(&base_tm);
-    let structural = check_all_structural(&base_tm, structural_depth);
-    let spot_checks = spot_sizes
-        .iter()
-        .map(|&(n, k)| {
-            let tm = make(n, k);
-            SafetyChecker::new(property, n, k).check(&tm)
-        })
-        .collect();
-    ReductionEvidence {
-        base_verdict,
-        structural,
-        spot_checks,
-    }
+    crate::Verifier::new(2, 2)
+        .verify_with_reduction(make, property, structural_depth, spot_sizes)
+        .into_reduction()
+        .expect("reduction query returns reduction evidence")
 }
 
 #[cfg(test)]

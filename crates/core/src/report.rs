@@ -1,9 +1,131 @@
-//! Plain-text report tables in the style of the paper's Tables 2 and 3.
+//! Plain-text report tables in the style of the paper's Tables 2 and 3,
+//! and the uniform [`Verdict`] every [`crate::Verifier`] session query
+//! returns.
 
 use std::fmt;
+use std::time::Duration;
 
 use crate::liveness::LivenessVerdict;
+use crate::reduction::ReductionEvidence;
 use crate::safety::SafetyVerdict;
+
+/// Uniform run statistics attached to every session query ([`Verdict`]),
+/// separating what the one-shot verdict types blend together: artifact
+/// construction (specification / run graph) versus the search itself,
+/// and the worker-pool width the search ran at.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct QueryStats {
+    /// States explored by the search: product states for a safety query,
+    /// run-graph states for a liveness query, base-instance product
+    /// states for a reduction query.
+    pub states_explored: usize,
+    /// Time spent building the artifacts this query needed (zero when the
+    /// session answered from its cache).
+    pub build_time: Duration,
+    /// Time spent searching (inclusion BFS or loop queries).
+    pub search_time: Duration,
+    /// Worker-pool width the search ran at (1 = the deterministic
+    /// sequential engine; results are identical at every width).
+    pub pool_size: usize,
+    /// `true` if every artifact the query needed was already cached by an
+    /// earlier query of the same session.
+    pub artifact_cached: bool,
+}
+
+/// The outcome payload of a [`Verdict`]: the query-specific verdict types
+/// survive unchanged underneath the uniform session envelope.
+#[derive(Clone, Debug)]
+pub enum VerdictOutcome {
+    /// A safety (inclusion) query.
+    Safety(SafetyVerdict),
+    /// A liveness (loop-search) query.
+    Liveness(LivenessVerdict),
+    /// A full reduction-methodology run.
+    Reduction(ReductionEvidence),
+}
+
+/// The uniform result of every [`crate::Verifier`] query: the
+/// query-specific outcome plus [`QueryStats`].
+///
+/// # Examples
+///
+/// ```
+/// use tm_checker::Verifier;
+/// use tm_lang::SafetyProperty;
+/// use tm_algorithms::DstmTm;
+///
+/// let mut verifier = Verifier::new(2, 2);
+/// let verdict = verifier.check_safety(&DstmTm::new(2, 2), SafetyProperty::Opacity);
+/// assert!(verdict.holds());
+/// assert!(!verdict.stats.artifact_cached); // first query builds the spec
+/// ```
+#[derive(Clone, Debug)]
+pub struct Verdict {
+    /// What the query decided.
+    pub outcome: VerdictOutcome,
+    /// How the session answered it.
+    pub stats: QueryStats,
+}
+
+impl Verdict {
+    /// `true` if the queried property was verified (for a reduction
+    /// query: the methodology concluded).
+    pub fn holds(&self) -> bool {
+        match &self.outcome {
+            VerdictOutcome::Safety(v) => v.holds(),
+            VerdictOutcome::Liveness(v) => v.holds(),
+            VerdictOutcome::Reduction(e) => e.concludes(),
+        }
+    }
+
+    /// The safety verdict, if this was a safety query.
+    pub fn as_safety(&self) -> Option<&SafetyVerdict> {
+        match &self.outcome {
+            VerdictOutcome::Safety(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The liveness verdict, if this was a liveness query.
+    pub fn as_liveness(&self) -> Option<&LivenessVerdict> {
+        match &self.outcome {
+            VerdictOutcome::Liveness(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The reduction evidence, if this was a reduction query.
+    pub fn as_reduction(&self) -> Option<&ReductionEvidence> {
+        match &self.outcome {
+            VerdictOutcome::Reduction(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// Unwraps a safety query's verdict.
+    pub fn into_safety(self) -> Option<SafetyVerdict> {
+        match self.outcome {
+            VerdictOutcome::Safety(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Unwraps a liveness query's verdict.
+    pub fn into_liveness(self) -> Option<LivenessVerdict> {
+        match self.outcome {
+            VerdictOutcome::Liveness(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Unwraps a reduction query's evidence.
+    pub fn into_reduction(self) -> Option<ReductionEvidence> {
+        match self.outcome {
+            VerdictOutcome::Reduction(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 /// A simple aligned text table.
 ///

@@ -61,7 +61,12 @@ pub struct SafetyVerdict {
     /// state count (Table 2 "Size") when the property holds, the explored
     /// portion when a violation cut the search short.
     pub tm_states: usize,
-    /// States of the deterministic specification automaton.
+    /// States of the deterministic specification automaton: the full
+    /// automaton size when it was determinized eagerly
+    /// ([`SafetyChecker`], [`crate::SpecMode::Eager`]), or the
+    /// specification states the product actually touched under lazy
+    /// stepping (the [`check_safety`] / [`crate::SpecMode::Lazy`]
+    /// default).
     pub spec_states: usize,
     /// Product states explored by the inclusion check.
     pub product_states: usize,
@@ -92,6 +97,14 @@ impl SafetyVerdict {
 /// A reusable safety checker: the deterministic specification automaton
 /// for one property and instance size, so that several TMs can be checked
 /// without rebuilding it.
+///
+/// **Migration note:** [`crate::Verifier`] subsumes this type — one
+/// session caches the artifacts of *every* property and answers liveness
+/// and reduction queries too, from a persistent worker pool.
+/// `SafetyChecker` remains as the explicit eager-specification primitive
+/// (it also backs [`crate::SpecMode::Eager`]-style checking against the
+/// [`SpecAutomaton::Canonical`] flavor, which the session does not
+/// cache).
 ///
 /// # Examples
 ///
@@ -197,7 +210,8 @@ impl SafetyChecker {
     /// Checks `L(A) ⊆ L(Σᵈ_π)` for the TM applied to the most general
     /// program of this instance size, exploring the product **on the
     /// fly**: the TM transition system is stepped lazily by
-    /// [`check_inclusion_otf_stats`] — no intermediate NFA is built — and
+    /// [`tm_automata::check_inclusion_otf_stats`] — no intermediate NFA
+    /// is built — and
     /// the frontier is sharded across [`modelcheck_threads`] threads
     /// (`TM_MODELCHECK_THREADS=1` forces the deterministic sequential
     /// engine; verdicts and counterexample words are identical either
@@ -253,8 +267,17 @@ impl SafetyChecker {
     }
 }
 
-/// One-shot convenience wrapper: builds the specification for the TM's own
-/// instance size and checks it.
+/// One-shot convenience wrapper: checks the property through a throwaway
+/// default [`crate::Verifier`] session (lazy specification stepping, so
+/// `spec_states` reports the specification states the product touched —
+/// the full automaton is never determinized).
+///
+/// **Migration note:** a caller checking several TMs or several
+/// properties at one instance size should create a [`crate::Verifier`]
+/// and call [`crate::Verifier::check_safety`] — the session shares the
+/// interned specification artifacts across all of its queries (and pass
+/// [`crate::SpecMode::Eager`] to reproduce this wrapper's pre-session
+/// behavior of determinizing the specification up front).
 ///
 /// # Panics
 ///
@@ -278,7 +301,10 @@ where
     A: TmAlgorithm + Sync,
     A::State: Send + Sync,
 {
-    SafetyChecker::new(property, tm.threads(), tm.vars()).check(tm)
+    crate::Verifier::new(tm.threads(), tm.vars())
+        .check_safety(tm, property)
+        .into_safety()
+        .expect("safety query returns a safety verdict")
 }
 
 #[cfg(test)]

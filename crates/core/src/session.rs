@@ -1,0 +1,640 @@
+//! The [`Verifier`] session: one entry point for every query of the
+//! paper's method, with build-once compiled artifacts and a persistent
+//! worker pool.
+//!
+//! The paper answers *many* queries per TM — two safety properties
+//! (Table 2), three liveness properties per TM × contention-manager pair
+//! (Table 3), plus the reduction methodology — and the session API is
+//! shaped around that: a [`Verifier`] is created once per instance size
+//! `(n, k)` and amortizes across all subsequent queries
+//!
+//! * the **specification artifacts** (the lazily interned
+//!   [`tm_automata::SpecCache`] rows, or the eagerly determinized
+//!   [`tm_automata::CompiledDfa`] under [`SpecMode::Eager`]), shared by
+//!   every TM checked against the same property;
+//! * the **compiled run graph** ([`tm_automata::CompiledRunGraph`]) of
+//!   each TM, built on the first liveness query and answering all three
+//!   properties (the `tables` bin used to build it three times per TM);
+//! * the **worker pool** ([`tm_automata::WorkerPool`]), spawned once and
+//!   reused by every parallel region of every query, replacing the
+//!   per-BFS-level and per-property scoped-thread spawns.
+//!
+//! Every query returns a uniform [`Verdict`] carrying [`QueryStats`]
+//! (states explored, build vs. search time, pool size, cache hit).
+//! Determinism is unchanged: verdicts, counterexample words, and lassos
+//! are bit-identical to the one-shot entry points at every pool size and
+//! in both spec modes (pinned by `tests/inclusion_conformance.rs` and
+//! `tests/liveness_conformance.rs`).
+//!
+//! The pre-session free functions ([`crate::check_safety`],
+//! [`crate::check_liveness`], [`crate::verify_with_reduction`]) survive
+//! as thin wrappers over a throwaway default session.
+
+use std::time::{Duration, Instant};
+
+use tm_algorithms::{MostGeneralRunSource, MostGeneralSource, RunLabel, TmAlgorithm};
+use tm_automata::{
+    check_inclusion_otf_cached, check_inclusion_otf_executor, modelcheck_threads, Alphabet,
+    CompiledDfa, CompiledRunGraph, DtsSpecSource, Executor, FxHashMap, InclusionResult,
+    SpecCache, WorkerPool,
+};
+use tm_lang::{LivenessProperty, SafetyProperty, Statement, Word};
+use tm_spec::{spec_alphabet, DetSpec};
+
+use crate::liveness::{property_queries, LivenessOutcome, LivenessVerdict, RunLasso};
+use crate::reduction::ReductionEvidence;
+use crate::report::{QueryStats, Verdict, VerdictOutcome};
+use crate::safety::{SafetyOutcome, SafetyVerdict};
+use crate::structural::check_all_structural;
+
+/// How a session evaluates the deterministic specification.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum SpecMode {
+    /// Step the specification rules on the fly ([`tm_automata::SpecCache`]
+    /// over [`tm_spec::DetSpec`]): only specification states the TM
+    /// actually reaches are ever computed, and the interned rows persist
+    /// across the session. The default — it is the only mode that scales
+    /// past (3, 2), where eager determinization dominates every check.
+    /// The product BFS runs on the deterministic sequential engine.
+    #[default]
+    Lazy,
+    /// Determinize the specification up front into a dense
+    /// [`tm_automata::CompiledDfa`] (the pre-session `SafetyChecker`
+    /// behavior). Enables the parallel product BFS on the session pool
+    /// and reports the full specification state count; explicit opt-in
+    /// for instance sizes where determinization is affordable.
+    Eager,
+}
+
+/// An eagerly determinized, compiled specification (one per property and
+/// instance size).
+struct EagerSpec {
+    compiled: CompiledDfa<Statement>,
+    build_time: Duration,
+}
+
+/// A lazily stepped specification with its persistent interned rows (one
+/// per property and instance size).
+struct LazySpec {
+    cache: SpecCache<DtsSpecSource<DetSpec>>,
+    build_time: Duration,
+}
+
+/// The compiled run graph of one TM (keyed by `tm.name()`), answering
+/// every liveness property of the session.
+struct RunGraphArtifact {
+    graph: CompiledRunGraph<RunLabel>,
+    states: usize,
+    build_time: Duration,
+}
+
+/// A verification session for one instance size `(n, k)`: the single
+/// entry point of the crate, owning the persistent worker pool and the
+/// per-property / per-TM artifact caches (see the module docs).
+///
+/// Construction is cheap and lazy: the pool spawns on the first parallel
+/// query, artifacts build on first use. Builder-style setters configure
+/// the session before (or between) queries.
+///
+/// # Examples
+///
+/// Answer Table 3's three properties from one compiled run graph:
+///
+/// ```
+/// use tm_checker::Verifier;
+/// use tm_lang::LivenessProperty;
+/// use tm_algorithms::{AggressiveCm, DstmTm, WithContentionManager};
+///
+/// let mut verifier = Verifier::new(2, 1).pool_size(2);
+/// let tm = WithContentionManager::new(DstmTm::new(2, 1), AggressiveCm);
+/// assert!(verifier.check_liveness(&tm, LivenessProperty::ObstructionFreedom).holds());
+/// assert!(!verifier.check_liveness(&tm, LivenessProperty::LivelockFreedom).holds());
+/// assert!(!verifier.check_liveness(&tm, LivenessProperty::WaitFreedom).holds());
+/// // The graph was built once and reused by the second and third query.
+/// assert_eq!(verifier.run_graph_builds(), 1);
+/// ```
+pub struct Verifier {
+    threads: usize,
+    vars: usize,
+    pool_size: usize,
+    spec_mode: SpecMode,
+    max_states: usize,
+    pool: Option<WorkerPool>,
+    eager_specs: FxHashMap<(SafetyProperty, usize, usize), EagerSpec>,
+    lazy_specs: FxHashMap<(SafetyProperty, usize, usize), LazySpec>,
+    run_graphs: FxHashMap<String, RunGraphArtifact>,
+    run_graph_builds: usize,
+    spec_builds: usize,
+}
+
+impl std::fmt::Debug for Verifier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Verifier")
+            .field("threads", &self.threads)
+            .field("vars", &self.vars)
+            .field("pool_size", &self.pool_size)
+            .field("spec_mode", &self.spec_mode)
+            .field("max_states", &self.max_states)
+            .field("run_graph_builds", &self.run_graph_builds)
+            .field("spec_builds", &self.spec_builds)
+            .finish()
+    }
+}
+
+use crate::safety::DEFAULT_MAX_STATES;
+
+impl Verifier {
+    /// Creates a session for instance size `(threads, vars)` with the
+    /// defaults: pool size from [`tm_automata::modelcheck_threads`]
+    /// (the `TM_MODELCHECK_THREADS` environment variable),
+    /// [`SpecMode::Lazy`], and a [`crate::DEFAULT_MAX_STATES`] bound.
+    pub fn new(threads: usize, vars: usize) -> Self {
+        Verifier {
+            threads,
+            vars,
+            pool_size: modelcheck_threads(),
+            spec_mode: SpecMode::default(),
+            max_states: DEFAULT_MAX_STATES,
+            pool: None,
+            eager_specs: FxHashMap::default(),
+            lazy_specs: FxHashMap::default(),
+            run_graphs: FxHashMap::default(),
+            run_graph_builds: 0,
+            spec_builds: 0,
+        }
+    }
+
+    /// Sets the worker-pool size (clamped to at least 1; 1 selects the
+    /// deterministic sequential engines). Results are identical at every
+    /// size. An already-spawned pool of a different size is replaced on
+    /// the next parallel query.
+    pub fn pool_size(mut self, size: usize) -> Self {
+        let size = size.max(1);
+        if size != self.pool_size {
+            self.pool_size = size;
+            self.pool = None;
+        }
+        self
+    }
+
+    /// Sets how specifications are evaluated (see [`SpecMode`]).
+    pub fn spec_mode(mut self, mode: SpecMode) -> Self {
+        self.spec_mode = mode;
+        self
+    }
+
+    /// Sets the bound on reachable state spaces.
+    pub fn max_states(mut self, max_states: usize) -> Self {
+        self.max_states = max_states;
+        self
+    }
+
+    /// Number of threads of the session's instance size.
+    pub fn instance_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Number of variables of the session's instance size.
+    pub fn instance_vars(&self) -> usize {
+        self.vars
+    }
+
+    /// The configured worker-pool size.
+    pub fn configured_pool_size(&self) -> usize {
+        self.pool_size
+    }
+
+    /// How many run graphs this session has compiled so far — one per
+    /// distinct TM with at least one liveness query, never more (the
+    /// build-once counter the `tables` bin asserts on).
+    pub fn run_graph_builds(&self) -> usize {
+        self.run_graph_builds
+    }
+
+    /// How many specification artifacts this session has built so far —
+    /// at most one per (property, instance size) queried.
+    pub fn spec_builds(&self) -> usize {
+        self.spec_builds
+    }
+
+    /// The recorded build time of `tm_name`'s cached run graph, if this
+    /// session has compiled one — however early in the session that
+    /// happened (what the bench suite reports as the amortized
+    /// per-TM build cost).
+    pub fn run_graph_build_time(&self, tm_name: &str) -> Option<Duration> {
+        self.run_graphs.get(tm_name).map(|artifact| artifact.build_time)
+    }
+
+    /// Spawns the pool if a parallel query needs it.
+    fn ensure_pool(&mut self) {
+        if self.pool_size > 1 && self.pool.is_none() {
+            self.pool = Some(WorkerPool::new(self.pool_size));
+        }
+    }
+
+    /// Checks a safety property of `tm` on the most general program,
+    /// reusing the session's specification artifacts (and, under
+    /// [`SpecMode::Eager`], its worker pool).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tm`'s instance size disagrees with the session's, or a
+    /// state space exceeds the session's bound.
+    pub fn check_safety<A>(&mut self, tm: &A, property: SafetyProperty) -> Verdict
+    where
+        A: TmAlgorithm + Sync,
+        A::State: Send + Sync,
+    {
+        assert_eq!(tm.threads(), self.threads, "thread count mismatch");
+        assert_eq!(tm.vars(), self.vars, "variable count mismatch");
+        self.safety_query(tm, property)
+    }
+
+    /// The safety pipeline, parameterized over the TM's own size so the
+    /// reduction methodology can run spot checks at non-session sizes
+    /// against the same artifact caches.
+    fn safety_query<A>(&mut self, tm: &A, property: SafetyProperty) -> Verdict
+    where
+        A: TmAlgorithm + Sync,
+        A::State: Send + Sync,
+    {
+        let total = Instant::now();
+        let (n, k) = (tm.threads(), tm.vars());
+        let key = (property, n, k);
+        let max_states = self.max_states;
+        match self.spec_mode {
+            SpecMode::Lazy => {
+                let cached = self.lazy_specs.contains_key(&key);
+                if !cached {
+                    let build = Instant::now();
+                    let spec = DetSpec::new(property, n, k);
+                    let source = DtsSpecSource::new(spec, spec_alphabet(n, k));
+                    self.lazy_specs.insert(
+                        key,
+                        LazySpec {
+                            cache: SpecCache::new(source),
+                            build_time: build.elapsed(),
+                        },
+                    );
+                    self.spec_builds += 1;
+                }
+                let artifact = self.lazy_specs.get_mut(&key).expect("just ensured");
+                let source = MostGeneralSource::new(
+                    tm,
+                    Alphabet::from_letters(artifact.cache.source().letters()),
+                );
+                let search = Instant::now();
+                let (result, stats) =
+                    check_inclusion_otf_cached(&source, &mut artifact.cache, max_states);
+                let search_time = search.elapsed();
+                let verdict = assemble_safety(
+                    tm.name(),
+                    property,
+                    result,
+                    stats.impl_states,
+                    artifact.cache.touched(),
+                    search_time,
+                    total.elapsed(),
+                );
+                let states_explored = verdict.product_states;
+                Verdict {
+                    outcome: VerdictOutcome::Safety(verdict),
+                    stats: QueryStats {
+                        states_explored,
+                        build_time: if cached { Duration::ZERO } else { artifact.build_time },
+                        search_time,
+                        pool_size: 1, // the lazy spec path is sequential
+                        artifact_cached: cached,
+                    },
+                }
+            }
+            SpecMode::Eager => {
+                let cached = self.eager_specs.contains_key(&key);
+                if !cached {
+                    let build = Instant::now();
+                    let compiled = DetSpec::new(property, n, k).to_dfa(max_states).0.compile();
+                    self.eager_specs.insert(
+                        key,
+                        EagerSpec {
+                            compiled,
+                            build_time: build.elapsed(),
+                        },
+                    );
+                    self.spec_builds += 1;
+                }
+                self.ensure_pool();
+                let artifact = &self.eager_specs[&key];
+                let executor = match self.pool.as_ref() {
+                    Some(pool) => Executor::Pool(pool),
+                    None => Executor::Sequential,
+                };
+                let source = MostGeneralSource::new(tm, artifact.compiled.alphabet().clone());
+                let search = Instant::now();
+                let (result, stats) =
+                    check_inclusion_otf_executor(&source, &artifact.compiled, &executor, max_states);
+                let search_time = search.elapsed();
+                let pool_size = executor.threads();
+                let verdict = assemble_safety(
+                    tm.name(),
+                    property,
+                    result,
+                    stats.impl_states,
+                    artifact.compiled.num_states(),
+                    search_time,
+                    total.elapsed(),
+                );
+                let states_explored = verdict.product_states;
+                Verdict {
+                    outcome: VerdictOutcome::Safety(verdict),
+                    stats: QueryStats {
+                        states_explored,
+                        build_time: if cached { Duration::ZERO } else { artifact.build_time },
+                        search_time,
+                        pool_size,
+                        artifact_cached: cached,
+                    },
+                }
+            }
+        }
+    }
+
+    /// Checks a liveness property of `tm` (× its contention manager) on
+    /// the most general program. The compiled run graph is built on the
+    /// first query for this TM and cached; subsequent properties are pure
+    /// loop searches over it, fanned out on the session pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tm`'s instance size disagrees with the session's, or
+    /// its run-graph state space exceeds the session's bound.
+    pub fn check_liveness<A: TmAlgorithm>(
+        &mut self,
+        tm: &A,
+        property: LivenessProperty,
+    ) -> Verdict {
+        assert_eq!(tm.threads(), self.threads, "thread count mismatch");
+        assert_eq!(tm.vars(), self.vars, "variable count mismatch");
+        let total = Instant::now();
+        let key = tm.name();
+        let cached = self.run_graphs.contains_key(&key);
+        if !cached {
+            let build = Instant::now();
+            let source = MostGeneralRunSource::new(tm);
+            let (graph, states) = CompiledRunGraph::build(&source, self.max_states);
+            self.run_graphs.insert(
+                key.clone(),
+                RunGraphArtifact {
+                    graph,
+                    states: states.len(),
+                    build_time: build.elapsed(),
+                },
+            );
+            self.run_graph_builds += 1;
+        }
+        self.ensure_pool();
+        let queries = property_queries(self.threads, property);
+        let artifact = &self.run_graphs[&key];
+        let executor = match self.pool.as_ref() {
+            Some(pool) => Executor::Pool(pool),
+            None => Executor::Sequential,
+        };
+        let search = Instant::now();
+        let outcome = match artifact.graph.find_first_loop_exec(&queries, &executor) {
+            Some((_, lasso)) => LivenessOutcome::Violation(RunLasso {
+                prefix: lasso.prefix,
+                cycle: lasso.cycle,
+            }),
+            None => LivenessOutcome::Verified,
+        };
+        let search_time = search.elapsed();
+        let verdict = LivenessVerdict {
+            tm_name: key,
+            property,
+            tm_states: artifact.states,
+            total_time: total.elapsed(),
+            outcome,
+        };
+        Verdict {
+            outcome: VerdictOutcome::Liveness(verdict),
+            stats: QueryStats {
+                states_explored: artifact.states,
+                build_time: if cached { Duration::ZERO } else { artifact.build_time },
+                search_time,
+                pool_size: executor.threads(),
+                artifact_cached: cached,
+            },
+        }
+    }
+
+    /// Applies the paper's reduction methodology (§4) through the
+    /// session: the safety check at the session's instance size (the
+    /// reduction bound), bounded-exhaustive structural evidence, and spot
+    /// checks at the given larger sizes — all through the session's
+    /// artifact caches, so repeated reduction runs (or runs sharing
+    /// properties with earlier queries) rebuild nothing.
+    ///
+    /// `make(n, k)` must build the same TM algorithm at size `(n, k)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any instance exceeds the session's state bound.
+    pub fn verify_with_reduction<A, F>(
+        &mut self,
+        make: F,
+        property: SafetyProperty,
+        structural_depth: usize,
+        spot_sizes: &[(usize, usize)],
+    ) -> Verdict
+    where
+        A: TmAlgorithm + Sync,
+        A::State: Send + Sync,
+        F: Fn(usize, usize) -> A,
+    {
+        let total = Instant::now();
+        let base_tm = make(self.threads, self.vars);
+        let base = self.safety_query(&base_tm, property);
+        let mut build_time = base.stats.build_time;
+        let mut search_time = base.stats.search_time;
+        let states_explored = base.stats.states_explored;
+        let pool_size = base.stats.pool_size;
+        let mut all_cached = base.stats.artifact_cached;
+        let base_verdict = base.into_safety().expect("safety query");
+        let structural = check_all_structural(&base_tm, structural_depth);
+        let structural_time = total
+            .elapsed()
+            .saturating_sub(build_time)
+            .saturating_sub(search_time);
+        let spot_checks = spot_sizes
+            .iter()
+            .map(|&(n, k)| {
+                let tm = make(n, k);
+                let spot = self.safety_query(&tm, property);
+                build_time += spot.stats.build_time;
+                search_time += spot.stats.search_time;
+                all_cached &= spot.stats.artifact_cached;
+                spot.into_safety().expect("safety query")
+            })
+            .collect();
+        let evidence = ReductionEvidence {
+            base_verdict,
+            structural,
+            spot_checks,
+        };
+        Verdict {
+            outcome: VerdictOutcome::Reduction(evidence),
+            stats: QueryStats {
+                states_explored,
+                build_time,
+                // Structural evidence is part of the methodology's search.
+                search_time: search_time + structural_time,
+                pool_size,
+                artifact_cached: all_cached,
+            },
+        }
+    }
+}
+
+/// Builds a [`SafetyVerdict`] from an inclusion result, re-checking any
+/// counterexample against the definition-level oracle (debug builds).
+fn assemble_safety(
+    tm_name: String,
+    property: SafetyProperty,
+    result: InclusionResult<Statement>,
+    tm_states: usize,
+    spec_states: usize,
+    check_time: Duration,
+    total_time: Duration,
+) -> SafetyVerdict {
+    let (outcome, product_states) = match result {
+        InclusionResult::Included { product_states } => (SafetyOutcome::Verified, product_states),
+        InclusionResult::Counterexample {
+            word,
+            product_states,
+        } => {
+            let word: Word = word.into_iter().collect();
+            debug_assert!(
+                !property.holds(&word),
+                "counterexample not confirmed by the reference checker: {word}"
+            );
+            (SafetyOutcome::Violation(word), product_states)
+        }
+    };
+    SafetyVerdict {
+        tm_name,
+        property,
+        tm_states,
+        spec_states,
+        product_states,
+        check_time,
+        total_time,
+        outcome,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_algorithms::{
+        AggressiveCm, DstmTm, PoliteCm, SequentialTm, Tl2Tm, TwoPhaseTm, ValidationStyle,
+        WithContentionManager,
+    };
+    use tm_lang::is_strictly_serializable;
+
+    #[test]
+    fn safety_artifacts_are_shared_across_tms() {
+        let mut verifier = Verifier::new(2, 2);
+        assert!(verifier
+            .check_safety(&SequentialTm::new(2, 2), SafetyProperty::Opacity)
+            .holds());
+        assert_eq!(verifier.spec_builds(), 1);
+        let second = verifier.check_safety(&TwoPhaseTm::new(2, 2), SafetyProperty::Opacity);
+        assert!(second.holds());
+        assert!(second.stats.artifact_cached);
+        assert_eq!(second.stats.build_time, Duration::ZERO);
+        assert_eq!(verifier.spec_builds(), 1);
+        // A different property is a different artifact.
+        let other = verifier
+            .check_safety(&SequentialTm::new(2, 2), SafetyProperty::StrictSerializability);
+        assert!(!other.stats.artifact_cached);
+        assert_eq!(verifier.spec_builds(), 2);
+    }
+
+    #[test]
+    fn lazy_and_eager_modes_agree_on_verdict_and_word() {
+        let tm = WithContentionManager::new(
+            Tl2Tm::with_validation(2, 2, ValidationStyle::RValidateThenChkLock),
+            PoliteCm,
+        );
+        let lazy = Verifier::new(2, 2)
+            .spec_mode(SpecMode::Lazy)
+            .check_safety(&tm, SafetyProperty::StrictSerializability)
+            .into_safety()
+            .unwrap();
+        let eager = Verifier::new(2, 2)
+            .spec_mode(SpecMode::Eager)
+            .pool_size(1)
+            .check_safety(&tm, SafetyProperty::StrictSerializability)
+            .into_safety()
+            .unwrap();
+        assert!(!lazy.holds() && !eager.holds());
+        assert_eq!(lazy.counterexample(), eager.counterexample());
+        let word = lazy.counterexample().unwrap();
+        assert!(!is_strictly_serializable(word));
+    }
+
+    #[test]
+    fn liveness_graph_is_built_once_per_tm() {
+        let mut verifier = Verifier::new(2, 1).pool_size(4);
+        let tm = WithContentionManager::new(DstmTm::new(2, 1), AggressiveCm);
+        let first = verifier.check_liveness(&tm, LivenessProperty::ObstructionFreedom);
+        assert!(first.holds());
+        assert!(!first.stats.artifact_cached);
+        for property in [LivenessProperty::LivelockFreedom, LivenessProperty::WaitFreedom] {
+            let verdict = verifier.check_liveness(&tm, property);
+            assert!(!verdict.holds());
+            assert!(verdict.stats.artifact_cached);
+            assert_eq!(verdict.stats.build_time, Duration::ZERO);
+            assert_eq!(verdict.stats.pool_size, 4);
+        }
+        assert_eq!(verifier.run_graph_builds(), 1);
+        // A different TM builds its own graph.
+        let other = TwoPhaseTm::new(2, 1);
+        assert!(!verifier
+            .check_liveness(&other, LivenessProperty::ObstructionFreedom)
+            .holds());
+        assert_eq!(verifier.run_graph_builds(), 2);
+    }
+
+    #[test]
+    fn session_reduction_concludes_and_reuses_spec() {
+        let mut verifier = Verifier::new(2, 2);
+        let verdict = verifier.verify_with_reduction(
+            SequentialTm::new,
+            SafetyProperty::Opacity,
+            4,
+            &[(2, 1), (3, 1)],
+        );
+        assert!(verdict.holds());
+        let evidence = verdict.as_reduction().unwrap();
+        assert_eq!(evidence.spot_checks.len(), 2);
+        // Base (2,2) + spots (2,1), (3,1): three spec artifacts.
+        assert_eq!(verifier.spec_builds(), 3);
+        // A second run over the same family answers from cache.
+        let again = verifier.verify_with_reduction(
+            SequentialTm::new,
+            SafetyProperty::Opacity,
+            4,
+            &[(2, 1), (3, 1)],
+        );
+        assert!(again.holds());
+        assert!(again.stats.artifact_cached);
+        assert_eq!(verifier.spec_builds(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "thread count mismatch")]
+    fn size_mismatch_is_rejected() {
+        let mut verifier = Verifier::new(2, 2);
+        let _ = verifier.check_safety(&SequentialTm::new(3, 2), SafetyProperty::Opacity);
+    }
+}

@@ -159,7 +159,7 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Whether a benchmark registered in this group as `id` would
-    /// survive the command-line filters — the same check [`run`] applies.
+    /// survive the command-line filters — the same check `run` applies.
     /// Benches whose *setup* is expensive query this before constructing
     /// inputs, so the skip logic cannot diverge from the harness's.
     ///

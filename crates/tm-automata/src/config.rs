@@ -1,0 +1,94 @@
+//! Workspace-wide model-checking configuration.
+//!
+//! The single home of the `TM_MODELCHECK_THREADS` parsing that the product
+//! engine, the liveness engine, the `tm-checker` session API, and the
+//! bench suite all share (it used to be re-derived at each call site).
+
+/// Cap applied to the machine's available parallelism when
+/// `TM_MODELCHECK_THREADS` is unset: model-checking frontiers rarely
+/// profit from more workers than this, and CI machines over-report.
+pub const DEFAULT_THREAD_CAP: usize = 8;
+
+/// Parses a `TM_MODELCHECK_THREADS`-style value: a positive decimal
+/// integer, surrounding whitespace tolerated. Returns `None` for
+/// anything else (`0`, empty, signs, hex, garbage) — callers fall back
+/// to [`default_threads`] rather than guessing what a malformed value
+/// meant.
+///
+/// # Examples
+///
+/// ```
+/// use tm_automata::parse_thread_count;
+/// assert_eq!(parse_thread_count(" 4 "), Some(4));
+/// assert_eq!(parse_thread_count("0"), None);
+/// assert_eq!(parse_thread_count("four"), None);
+/// ```
+pub fn parse_thread_count(raw: &str) -> Option<usize> {
+    match raw.trim().parse::<usize>() {
+        Ok(n) if n >= 1 => Some(n),
+        _ => None,
+    }
+}
+
+/// The worker-pool size used when the environment does not specify one:
+/// the machine's available parallelism, capped at
+/// [`DEFAULT_THREAD_CAP`].
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get().min(DEFAULT_THREAD_CAP))
+}
+
+/// The worker-pool size selected by the `TM_MODELCHECK_THREADS`
+/// environment variable if set to a positive integer, otherwise
+/// [`default_threads`]. `TM_MODELCHECK_THREADS=1` selects the
+/// deterministic sequential engines everywhere; results are identical at
+/// every value (the engines' determinism contract).
+pub fn modelcheck_threads() -> usize {
+    match std::env::var("TM_MODELCHECK_THREADS") {
+        Ok(v) => parse_thread_count(&v).unwrap_or_else(default_threads),
+        Err(_) => default_threads(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn positive_values_parse() {
+        assert_eq!(parse_thread_count("1"), Some(1));
+        assert_eq!(parse_thread_count("8"), Some(8));
+        assert_eq!(parse_thread_count("  16\n"), Some(16));
+    }
+
+    #[test]
+    fn zero_is_rejected() {
+        // `0` must not select an empty pool; callers fall back to the
+        // machine default instead.
+        assert_eq!(parse_thread_count("0"), None);
+        assert_eq!(parse_thread_count(" 0 "), None);
+    }
+
+    #[test]
+    fn malformed_values_are_rejected() {
+        for raw in ["", " ", "four", "-2", "0x4", "2.0", "1e3", "4 threads"] {
+            assert_eq!(parse_thread_count(raw), None, "{raw:?}");
+        }
+        // `usize::from_str` tolerates an explicit plus sign; keep the
+        // historical acceptance rather than special-casing it away.
+        assert_eq!(parse_thread_count("+3"), Some(3));
+    }
+
+    #[test]
+    fn default_is_positive_and_capped() {
+        let n = default_threads();
+        assert!(n >= 1);
+        assert!(n <= DEFAULT_THREAD_CAP);
+    }
+
+    #[test]
+    fn env_fallback_is_sane() {
+        // Whatever the harness sets (CI pins 1 and 4), the result is a
+        // usable pool size.
+        assert!(modelcheck_threads() >= 1);
+    }
+}

@@ -115,7 +115,23 @@ pub trait DeterministicTransitionSystem {
     fn step(&self, state: &Self::State, letter: &Self::Label) -> Option<Self::State>;
 }
 
-/// Explores a deterministic system over `alphabet` into a [`Dfa`],
+/// Blanket reference implementation, so adapters that own their system
+/// (such as [`crate::DtsSpecSource`]) can be built over a borrowed one.
+impl<T: DeterministicTransitionSystem + ?Sized> DeterministicTransitionSystem for &T {
+    type State = T::State;
+    type Label = T::Label;
+
+    fn initial(&self) -> Self::State {
+        (**self).initial()
+    }
+
+    fn step(&self, state: &Self::State, letter: &Self::Label) -> Option<Self::State> {
+        (**self).step(state, letter)
+    }
+}
+
+/// Explores a deterministic system over `alphabet` into a
+/// [`Dfa`](crate::Dfa),
 /// breadth-first, up to `max_states` states.
 ///
 /// # Panics

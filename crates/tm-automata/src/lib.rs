@@ -39,6 +39,13 @@
 //!   into CSR with per-edge class bitmasks, mask-filtered Tarjan in a
 //!   reusable [`LiveScratch`] arena, and deterministic parallel fan-out
 //!   of independent loop queries ([`CompiledRunGraph::find_first_loop`]);
+//! * the **persistent worker pool** ([`WorkerPool`]) and the
+//!   [`Executor`] abstraction every parallel engine region runs on —
+//!   sequential, fresh scoped threads, or the pool — plus the
+//!   `TM_MODELCHECK_THREADS` configuration helpers
+//!   ([`modelcheck_threads`], [`parse_thread_count`]); the
+//!   `tm_checker::Verifier` session keeps one pool alive across all of
+//!   its queries;
 //! * the [`FxHasher`] used by every hot-path hash map in the workspace
 //!   ([`FxHashMap`], [`FxHashSet`]).
 //!
@@ -63,13 +70,16 @@
 //! assert_eq!(verdict.counterexample(), Some(&['b'][..]));
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` (not `forbid`) so the one lifetime-erasure transmute of the
+// persistent worker pool can be allowed locally; see `pool.rs`.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod alphabet;
 mod antichain;
 mod bitset;
 mod compiled;
+mod config;
 mod dfa;
 mod explore;
 mod fxhash;
@@ -77,9 +87,13 @@ mod graph;
 mod inclusion;
 mod livecheck;
 mod nfa;
+mod pool;
 mod product;
 
 pub use alphabet::{Alphabet, LetterId};
+pub use config::{
+    default_threads, modelcheck_threads, parse_thread_count, DEFAULT_THREAD_CAP,
+};
 pub use antichain::{
     check_equivalence_antichain, check_inclusion_antichain,
     check_inclusion_antichain_reference, EquivalenceResult,
@@ -103,8 +117,10 @@ pub use livecheck::{
     MAX_MASK_THREADS,
 };
 pub use nfa::{Nfa, StateId};
+pub use pool::{Executor, TaskScope, WorkerPool};
 pub use product::{
-    check_inclusion_otf, check_inclusion_otf_bounded, check_inclusion_otf_lazy,
-    check_inclusion_otf_stats, check_inclusion_otf_threads, modelcheck_threads, DtsSpecSource,
-    NfaSource, OtfStats, SpecSource, SuccessorSource,
+    check_inclusion_otf, check_inclusion_otf_bounded, check_inclusion_otf_cached,
+    check_inclusion_otf_executor, check_inclusion_otf_lazy, check_inclusion_otf_stats,
+    check_inclusion_otf_threads, DtsSpecSource, NfaSource, OtfStats, SpecCache, SpecSource,
+    SuccessorSource,
 };

@@ -38,6 +38,7 @@ use std::hash::Hash;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use crate::fxhash::FxHashMap;
+use crate::pool::Executor;
 
 /// Maximum thread count (of the checked TM instance, not the worker pool)
 /// representable in an [`EdgeMask`]: thread ids occupy the low bits,
@@ -517,9 +518,13 @@ impl<L: Clone> CompiledRunGraph<L> {
 
     /// Runs independent queries and returns the violation of the smallest
     /// query index, with its index. `threads > 1` fans the queries out
-    /// over a scoped worker pool (each worker with its own
+    /// over freshly spawned scoped threads (each with its own
     /// [`LiveScratch`]); because each query is deterministic and the
     /// minimal index wins, the result is identical at every thread count.
+    ///
+    /// Session users pass their persistent pool through
+    /// [`CompiledRunGraph::find_first_loop_exec`] instead of spawning
+    /// here.
     pub fn find_first_loop(
         &self,
         queries: &[LoopQuery],
@@ -528,46 +533,55 @@ impl<L: Clone> CompiledRunGraph<L> {
     where
         L: Send + Sync,
     {
-        let threads = threads.max(1).min(queries.len().max(1));
-        if threads <= 1 {
+        self.find_first_loop_exec(queries, &Executor::for_threads(threads))
+    }
+
+    /// [`CompiledRunGraph::find_first_loop`] on an explicit [`Executor`]:
+    /// the liveness fan-out of the `tm_checker::Verifier` session, whose
+    /// persistent worker pool replaces the per-property scoped-thread
+    /// spawns. Results are identical under every executor and width.
+    pub fn find_first_loop_exec(
+        &self,
+        queries: &[LoopQuery],
+        executor: &Executor<'_>,
+    ) -> Option<(usize, CompiledLasso<L>)>
+    where
+        L: Send + Sync,
+    {
+        let width = executor.threads().max(1).min(queries.len().max(1));
+        if width <= 1 {
             let mut scratch = LiveScratch::default();
             return queries
                 .iter()
                 .enumerate()
                 .find_map(|(i, q)| self.find_loop(q, &mut scratch).map(|l| (i, l)));
         }
-        // Strided assignment: worker w owns queries w, w + threads, …, in
+        // Strided assignment: worker w owns queries w, w + width, …, in
         // increasing order, and stops once a smaller-index violation is
         // known — its own later indices can no longer win.
         let min_index = AtomicUsize::new(usize::MAX);
-        let mut found: Vec<(usize, CompiledLasso<L>)> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads)
-                .map(|w| {
-                    let min_index = &min_index;
-                    scope.spawn(move || {
-                        let mut scratch = LiveScratch::default();
-                        let mut i = w;
-                        while i < queries.len() {
-                            if min_index.load(Ordering::Relaxed) < i {
-                                return None;
-                            }
-                            if let Some(lasso) = self.find_loop(&queries[i], &mut scratch) {
-                                min_index.fetch_min(i, Ordering::Relaxed);
-                                return Some((i, lasso));
-                            }
-                            i += threads;
+        let mut found: Vec<Option<(usize, CompiledLasso<L>)>> = (0..width).map(|_| None).collect();
+        executor.scope(|scope| {
+            for (w, slot) in found.iter_mut().enumerate() {
+                let min_index = &min_index;
+                scope.spawn(move || {
+                    let mut scratch = LiveScratch::default();
+                    let mut i = w;
+                    while i < queries.len() {
+                        if min_index.load(Ordering::Relaxed) < i {
+                            return;
                         }
-                        None
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .filter_map(|h| h.join().expect("liveness worker panicked"))
-                .collect()
+                        if let Some(lasso) = self.find_loop(&queries[i], &mut scratch) {
+                            min_index.fetch_min(i, Ordering::Relaxed);
+                            *slot = Some((i, lasso));
+                            return;
+                        }
+                        i += width;
+                    }
+                });
+            }
         });
-        found.sort_by_key(|(i, _)| *i);
-        found.into_iter().next()
+        found.into_iter().flatten().min_by_key(|&(i, _)| i)
     }
 
     /// Wraps the `required` edges (indices into the edge arrays, all
@@ -958,6 +972,15 @@ mod tests {
             let got = graph.find_first_loop(&queries, threads).expect("violation");
             assert_eq!(got.0, expected.0, "threads={threads}");
             assert_eq!(got.1, expected.1, "threads={threads}");
+        }
+        // The persistent pool picks the same violation as the scoped and
+        // sequential paths, at every pool size.
+        for size in [1usize, 2, 5] {
+            let pool = crate::WorkerPool::new(size);
+            let got = graph
+                .find_first_loop_exec(&queries, &Executor::Pool(&pool))
+                .expect("violation");
+            assert_eq!(got, expected, "pool size {size}");
         }
     }
 

@@ -20,17 +20,19 @@
 //!   verdicts, identical shortest counterexample words, identical
 //!   `product_states`.
 //! * **Parallel** (`threads > 1`): a level-synchronous BFS. Each frontier
-//!   is sharded across a scoped thread pool; workers expand their chunks
-//!   into per-`(chunk, stripe)` successor buffers against a read-only
-//!   striped visited table (keyed by [`crate::FxHasher`] over packed
-//!   `(impl, spec)` ids), and a dedup merge between levels — stripes
-//!   processed in parallel, candidates consumed in discovery-tag order —
-//!   builds the next frontier. Because every candidate carries its
-//!   `(parent index, edge index)` tag and merges resolve ties by minimal
-//!   tag, the explored set, the verdict, **and the counterexample word**
-//!   are independent of the thread count (the word matches the sequential
-//!   engine's; only `product_states` of a violating run may differ, since
-//!   the parallel engine finishes the violating level instead of stopping
+//!   is sharded across an [`Executor`] — fresh scoped threads per region,
+//!   or a persistent [`crate::WorkerPool`] when driven by a verification
+//!   session; workers expand their chunks into per-`(chunk, stripe)`
+//!   successor buffers against a read-only striped visited table (keyed
+//!   by [`crate::FxHasher`] over packed `(impl, spec)` ids), and a dedup
+//!   merge between levels — stripes processed in parallel, candidates
+//!   consumed in discovery-tag order — builds the next frontier. Because
+//!   every candidate carries its `(parent index, edge index)` tag and
+//!   merges resolve ties by minimal tag, the explored set, the verdict,
+//!   **and the counterexample word** are independent of the thread count
+//!   and of the executor (the word matches the sequential engine's; only
+//!   `product_states` of a violating run may differ, since the parallel
+//!   engine finishes the violating level instead of stopping
 //!   mid-edge-list).
 //!
 //! Successor rows are cached per implementation state on first touch
@@ -39,16 +41,18 @@
 //! the product inner loop is pure integer arithmetic after that.
 //!
 //! The thread count comes from the `TM_MODELCHECK_THREADS` environment
-//! variable (see [`modelcheck_threads`]); `TM_MODELCHECK_THREADS=1` is
-//! the deterministic sequential fallback.
+//! variable (see [`crate::modelcheck_threads`]); `TM_MODELCHECK_THREADS=1`
+//! is the deterministic sequential fallback.
 
 use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::alphabet::{Alphabet, LetterId};
 use crate::compiled::{CompiledDfa, CompiledNfa, EPSILON, NO_STATE};
+use crate::config::modelcheck_threads;
 use crate::fxhash::{FxHashMap, FxHashSet};
 use crate::inclusion::InclusionResult;
+use crate::pool::Executor;
 
 /// A lazily explorable implementation transition system: the input side
 /// of [`check_inclusion_otf`].
@@ -160,19 +164,41 @@ pub trait SpecSource {
     fn step(&self, state: &Self::State, letter: LetterId) -> Option<Self::State>;
 }
 
+/// Blanket reference implementation so adapters that *own* their spec
+/// source ([`DtsSpecSource`], [`SpecCache`]) can also borrow one.
+impl<D: SpecSource + ?Sized> SpecSource for &D {
+    type State = D::State;
+
+    fn num_letters(&self) -> u32 {
+        (**self).num_letters()
+    }
+
+    fn initial_state(&self) -> Self::State {
+        (**self).initial_state()
+    }
+
+    fn step(&self, state: &Self::State, letter: LetterId) -> Option<Self::State> {
+        (**self).step(state, letter)
+    }
+}
+
 /// [`SpecSource`] over any [`crate::DeterministicTransitionSystem`] plus
 /// an ordered letter list (letter ids are indices into it) — the adapter
 /// that lets `tm_spec::DetSpec` run the specification side of the
 /// product on the fly.
-pub struct DtsSpecSource<'a, T: crate::DeterministicTransitionSystem> {
-    system: &'a T,
+///
+/// Owns its system, so a session can cache it alongside the interned
+/// rows; pass `&system` (the trait is implemented for references) for the
+/// borrowed one-shot use of the benches.
+pub struct DtsSpecSource<T: crate::DeterministicTransitionSystem> {
+    system: T,
     letters: Vec<T::Label>,
 }
 
-impl<'a, T: crate::DeterministicTransitionSystem> DtsSpecSource<'a, T> {
+impl<T: crate::DeterministicTransitionSystem> DtsSpecSource<T> {
     /// Wraps `system` over `letters`; implementation sources must emit
     /// letter ids over the same list (in the same order).
-    pub fn new(system: &'a T, letters: Vec<T::Label>) -> Self {
+    pub fn new(system: T, letters: Vec<T::Label>) -> Self {
         DtsSpecSource { system, letters }
     }
 
@@ -182,7 +208,7 @@ impl<'a, T: crate::DeterministicTransitionSystem> DtsSpecSource<'a, T> {
     }
 }
 
-impl<T: crate::DeterministicTransitionSystem> SpecSource for DtsSpecSource<'_, T> {
+impl<T: crate::DeterministicTransitionSystem> SpecSource for DtsSpecSource<T> {
     type State = T::State;
 
     fn num_letters(&self) -> u32 {
@@ -208,11 +234,36 @@ impl<T: crate::DeterministicTransitionSystem> SpecSource for DtsSpecSource<'_, T
 /// words and `product_states` are identical to
 /// [`check_inclusion_otf_threads`]`(source, &eager_spec, 1)` whenever
 /// the eager spec is buildable at all.
+///
+/// The interned spec states and letter rows are discarded when the call
+/// returns; a session answering several queries against the same
+/// specification should hold a [`SpecCache`] and call
+/// [`check_inclusion_otf_cached`] instead.
 pub fn check_inclusion_otf_lazy<S: SuccessorSource, D: SpecSource>(
     source: &S,
     spec: &D,
 ) -> (InclusionResult<S::Label>, OtfStats) {
-    sequential_bounded(source, LazySpec::new(spec), usize::MAX)
+    let mut cache = SpecCache::new(spec);
+    check_inclusion_otf_cached(source, &mut cache, usize::MAX)
+}
+
+/// [`check_inclusion_otf_lazy`] against a persistent [`SpecCache`]: spec
+/// states and letter rows interned by earlier queries are reused, so a
+/// session checking many TMs against one specification pays each spec
+/// row at most once across the whole session. Results are bit-identical
+/// to the cold-cache run (spec state ids are internal; discovery order is
+/// driven by the implementation side and letter order only).
+///
+/// # Panics
+///
+/// Panics if the source reaches more than `max_impl_states` distinct
+/// implementation states.
+pub fn check_inclusion_otf_cached<S: SuccessorSource, D: SpecSource>(
+    source: &S,
+    cache: &mut SpecCache<D>,
+    max_impl_states: usize,
+) -> (InclusionResult<S::Label>, OtfStats) {
+    sequential_bounded(source, cache, max_impl_states)
 }
 
 /// Statistics of an on-the-fly run, beyond the [`InclusionResult`].
@@ -225,23 +276,6 @@ pub struct OtfStats {
     pub impl_states: usize,
     /// Number of BFS levels completed (edge depth of the exploration).
     pub levels: usize,
-}
-
-/// The thread count used by [`check_inclusion_otf`]: the
-/// `TM_MODELCHECK_THREADS` environment variable if set to a positive
-/// integer, otherwise the machine's available parallelism capped at 8.
-pub fn modelcheck_threads() -> usize {
-    match std::env::var("TM_MODELCHECK_THREADS") {
-        Ok(v) => match v.trim().parse::<usize>() {
-            Ok(n) if n >= 1 => n,
-            _ => default_threads(),
-        },
-        Err(_) => default_threads(),
-    }
-}
-
-fn default_threads() -> usize {
-    std::thread::available_parallelism().map_or(1, |n| n.get().min(8))
 }
 
 /// Checks `L(source) ⊆ L(spec)` on the fly, with the thread count of
@@ -290,10 +324,29 @@ pub fn check_inclusion_otf_bounded<S: SuccessorSource, M: Sync>(
     threads: usize,
     max_impl_states: usize,
 ) -> (InclusionResult<S::Label>, OtfStats) {
-    if threads <= 1 {
+    check_inclusion_otf_executor(source, spec, &Executor::for_threads(threads), max_impl_states)
+}
+
+/// [`check_inclusion_otf_bounded`] with an explicit [`Executor`]: the
+/// entry point of the `tm_checker::Verifier` session, whose persistent
+/// [`crate::WorkerPool`] replaces the per-BFS-level scoped-thread spawns
+/// of the bare `threads` entry points. Verdicts, counterexample words,
+/// and statistics are identical under every executor; an executor of
+/// width 1 selects the deterministic sequential engine.
+///
+/// # Panics
+///
+/// As for [`check_inclusion_otf_bounded`].
+pub fn check_inclusion_otf_executor<S: SuccessorSource, M: Sync>(
+    source: &S,
+    spec: &CompiledDfa<M>,
+    executor: &Executor<'_>,
+    max_impl_states: usize,
+) -> (InclusionResult<S::Label>, OtfStats) {
+    if executor.threads() <= 1 {
         sequential_bounded(source, CompiledSpec(spec), max_impl_states)
     } else {
-        parallel(source, spec, threads, max_impl_states)
+        parallel(source, spec, executor, max_impl_states)
     }
 }
 
@@ -330,25 +383,52 @@ impl<M> SpecAccess for CompiledSpec<'_, M> {
     }
 }
 
-/// Lazy interning view over a [`SpecSource`]: spec states become dense
+/// Lazy interning cache over a [`SpecSource`]: spec states become dense
 /// `u32` ids on first touch, and each touched state's full letter row is
 /// computed once and cached, so repeated product visits are table
 /// lookups.
-struct LazySpec<'a, D: SpecSource> {
-    source: &'a D,
+///
+/// The cache is the session-persistable artifact behind
+/// [`check_inclusion_otf_cached`]: held across queries, it makes every
+/// subsequent check against the same specification pay only for spec
+/// states it is the *first* to touch. The underlying source is never
+/// consulted twice for the same state.
+pub struct SpecCache<D: SpecSource> {
+    source: D,
     ids: FxHashMap<D::State, u32>,
     states: Vec<D::State>,
     rows: Vec<Option<Box<[u32]>>>,
 }
 
-impl<'a, D: SpecSource> LazySpec<'a, D> {
-    fn new(source: &'a D) -> Self {
-        LazySpec {
+impl<D: SpecSource> SpecCache<D> {
+    /// Wraps a spec source with an empty cache. `source` may be a
+    /// reference ([`SpecSource`] is implemented for `&D`) for one-shot
+    /// use, or an owned adapter for session use.
+    pub fn new(source: D) -> Self {
+        SpecCache {
             source,
             ids: FxHashMap::default(),
             states: Vec::new(),
             rows: Vec::new(),
         }
+    }
+
+    /// The wrapped source.
+    pub fn source(&self) -> &D {
+        &self.source
+    }
+
+    /// Number of distinct specification states touched so far — the lazy
+    /// counterpart of the eager spec's state count (what a session
+    /// reports as `spec_states`).
+    pub fn touched(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Number of letter rows fully computed so far (each is computed at
+    /// most once across the cache's lifetime).
+    pub fn rows_built(&self) -> usize {
+        self.rows.iter().filter(|r| r.is_some()).count()
     }
 
     fn intern(&mut self, state: D::State) -> u32 {
@@ -363,7 +443,7 @@ impl<'a, D: SpecSource> LazySpec<'a, D> {
     }
 }
 
-impl<D: SpecSource> SpecAccess for LazySpec<'_, D> {
+impl<D: SpecSource> SpecAccess for &mut SpecCache<D> {
     fn num_letters(&self) -> u32 {
         self.source.num_letters()
     }
@@ -636,11 +716,11 @@ fn stripe_of(key: u64) -> usize {
 }
 
 /// The parallel engine: deterministic level-synchronous BFS (see module
-/// docs). Results are independent of `threads`.
+/// docs). Results are independent of the executor and its width.
 fn parallel<S: SuccessorSource, M: Sync>(
     source: &S,
     spec: &CompiledDfa<M>,
-    threads: usize,
+    executor: &Executor<'_>,
     max_impl_states: usize,
 ) -> (InclusionResult<S::Label>, OtfStats) {
     let spec_letters = spec.alphabet().len() as u32;
@@ -667,11 +747,12 @@ fn parallel<S: SuccessorSource, M: Sync>(
     while !frontier.is_empty() {
         // Phase 1: generate successor rows for first-touched states, in
         // frontier order (sharded; interned sequentially for determinism).
-        ensure_rows(&mut ex, &frontier, threads);
+        ensure_rows(&mut ex, &frontier, executor);
 
         // Phase 2: expand the frontier into per-(chunk, stripe) candidate
         // buffers against the read-only visited table. Pure integers.
-        let mut chunk_outs = expand_frontier(&ex, spec, spec_letters, &visited, &frontier, threads);
+        let mut chunk_outs =
+            expand_frontier(&ex, spec, spec_letters, &visited, &frontier, executor);
 
         // A violation anywhere in this level beats all deeper ones; the
         // minimal tag reproduces the sequential engine's word.
@@ -695,7 +776,7 @@ fn parallel<S: SuccessorSource, M: Sync>(
 
         // Phase 3: dedup merge, stripe-parallel, candidates consumed in
         // tag order (chunk ranges are ascending, buffers are in-order).
-        let nodes = merge_level(&mut visited, &mut chunk_outs, threads);
+        let nodes = merge_level(&mut visited, &mut chunk_outs, executor);
 
         frontier.clear();
         let mut level_parents = Vec::with_capacity(nodes.len());
@@ -725,7 +806,11 @@ fn parallel<S: SuccessorSource, M: Sync>(
 
 /// Generates (in parallel) and interns (sequentially, in frontier order)
 /// the successor rows of every frontier state missing one.
-fn ensure_rows<S: SuccessorSource>(ex: &mut Explorer<'_, S>, frontier: &[(u32, u32)], threads: usize) {
+fn ensure_rows<S: SuccessorSource>(
+    ex: &mut Explorer<'_, S>,
+    frontier: &[(u32, u32)],
+    executor: &Executor<'_>,
+) {
     let mut missing: Vec<u32> = Vec::new();
     let mut queued = FxHashSet::default();
     for &(qi, _) in frontier {
@@ -736,6 +821,7 @@ fn ensure_rows<S: SuccessorSource>(ex: &mut Explorer<'_, S>, frontier: &[(u32, u
     if missing.is_empty() {
         return;
     }
+    let threads = executor.threads();
     let mut generated: Vec<Vec<(LetterId, S::State)>> = vec![Vec::new(); missing.len()];
     if missing.len() < PAR_THRESHOLD || threads <= 1 {
         for (slot, &qi) in generated.iter_mut().zip(&missing) {
@@ -745,7 +831,7 @@ fn ensure_rows<S: SuccessorSource>(ex: &mut Explorer<'_, S>, frontier: &[(u32, u
         let chunk = missing.len().div_ceil(threads);
         let source = ex.source;
         let states = &ex.states;
-        std::thread::scope(|scope| {
+        executor.scope(|scope| {
             for (slots, ids) in generated.chunks_mut(chunk).zip(missing.chunks(chunk)) {
                 scope.spawn(move || {
                     for (slot, &qi) in slots.iter_mut().zip(ids) {
@@ -769,8 +855,9 @@ fn expand_frontier<S: SuccessorSource, M: Sync>(
     spec_letters: u32,
     visited: &[FxHashSet<u64>],
     frontier: &[(u32, u32)],
-    threads: usize,
+    executor: &Executor<'_>,
 ) -> Vec<ChunkOut> {
+    let threads = executor.threads();
     let chunk = frontier.len().div_ceil(threads).max(1);
     let starts: Vec<usize> = (0..frontier.len()).step_by(chunk).collect();
     let mut outs: Vec<ChunkOut> = (0..starts.len()).map(|_| ChunkOut::default()).collect();
@@ -826,7 +913,7 @@ fn expand_frontier<S: SuccessorSource, M: Sync>(
         }
     } else {
         let expand_chunk = &expand_chunk;
-        std::thread::scope(|scope| {
+        executor.scope(|scope| {
             for (out, &start) in outs.iter_mut().zip(&starts) {
                 scope.spawn(move || expand_chunk(out, start));
             }
@@ -849,8 +936,9 @@ fn record_violation(out: &mut ChunkOut, min_violation: &AtomicU64, tag: u64, let
 fn merge_level(
     visited: &mut [FxHashSet<u64>],
     chunk_outs: &mut [ChunkOut],
-    threads: usize,
+    executor: &Executor<'_>,
 ) -> Vec<Candidate> {
+    let threads = executor.threads();
     // Regroup buffers by stripe (pointer moves only).
     let mut by_stripe: Vec<Vec<Vec<Candidate>>> = (0..STRIPES).map(|_| Vec::new()).collect();
     for out in chunk_outs.iter_mut() {
@@ -880,7 +968,7 @@ fn merge_level(
         }
     } else {
         let per = STRIPES.div_ceil(threads);
-        std::thread::scope(|scope| {
+        executor.scope(|scope| {
             for ((sets, bufs), outs) in visited
                 .chunks_mut(per)
                 .zip(by_stripe.chunks_mut(per))
@@ -1108,5 +1196,79 @@ mod tests {
         // Only exercises the default path (the variable is not set by
         // the test harness); the CI matrix covers explicit values.
         assert!(modelcheck_threads() >= 1);
+    }
+
+    #[test]
+    fn pool_executor_matches_scoped_and_sequential() {
+        let pool = crate::WorkerPool::new(3);
+        // One verified and one violating case, under every executor.
+        for dfa_letters in [&['a', 'b', 'c'][..], &['a', 'b'][..]] {
+            let nfa = chain_nfa(14);
+            let spec = letter_dfa(dfa_letters).compile();
+            let (imp, alphabet) = compile_pair(&nfa, &spec);
+            let source = NfaSource::new(&imp, &alphabet);
+            let (expected, expected_stats) = check_inclusion_otf_stats(&source, &spec, 1);
+            for executor in [
+                Executor::Sequential,
+                Executor::Scoped { threads: 3 },
+                Executor::Pool(&pool),
+            ] {
+                let (got, stats) =
+                    check_inclusion_otf_executor(&source, &spec, &executor, usize::MAX);
+                assert_eq!(got.holds(), expected.holds(), "{executor:?}");
+                assert_eq!(got.counterexample(), expected.counterexample(), "{executor:?}");
+                if expected.holds() {
+                    assert_eq!(got.product_states(), expected.product_states(), "{executor:?}");
+                    assert_eq!(stats, expected_stats, "{executor:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn warm_spec_cache_runs_are_bit_identical() {
+        struct Parity;
+        impl crate::DeterministicTransitionSystem for Parity {
+            type State = bool;
+            type Label = char;
+            fn initial(&self) -> bool {
+                false
+            }
+            fn step(&self, state: &bool, letter: &char) -> Option<bool> {
+                match letter {
+                    'f' => Some(!state),
+                    'z' if !state => Some(*state),
+                    _ => None,
+                }
+            }
+        }
+        let lazy_spec = DtsSpecSource::new(Parity, vec!['f', 'z']);
+        let mut cache = SpecCache::new(&lazy_spec);
+        let cases = [
+            letter_nfa(&['f']),
+            letter_nfa(&['f', 'z']),
+            letter_nfa(&['z']),
+            chain_nfa(7),
+        ];
+        let spec_dfa = crate::explore_deterministic(&Parity, vec!['f', 'z'], 10).0;
+        let compiled = spec_dfa.compile();
+        // First pass populates the cache; the second answers from it. All
+        // reported fields must match the cold (per-call) lazy path.
+        for pass in 0..2 {
+            let rows_before = cache.rows_built();
+            for nfa in &cases {
+                let (imp, alphabet) = compile_pair(nfa, &compiled);
+                let source = NfaSource::new(&imp, &alphabet);
+                let cold = check_inclusion_otf_lazy(&source, &lazy_spec);
+                let warm = check_inclusion_otf_cached(&source, &mut cache, usize::MAX);
+                assert_eq!(warm.0, cold.0, "pass {pass}");
+                assert_eq!(warm.1, cold.1, "pass {pass}");
+            }
+            if pass == 1 {
+                // Nothing new to intern on the warm pass.
+                assert_eq!(cache.rows_built(), rows_before);
+            }
+        }
+        assert_eq!(cache.touched(), 2); // both parity states reached
     }
 }

@@ -191,6 +191,80 @@ fn tm_steppers_match_materialized_pipeline() {
     );
 }
 
+/// The `Verifier` session — lazy and eager spec modes, pool sizes 1 and
+/// 4, artifacts cached across all five TMs and both properties — agrees
+/// with the pre-session `SafetyChecker` on every Table 2 pair: verdict,
+/// counterexample word, and (on verified runs) TM state count.
+#[test]
+fn safety_sessions_match_safety_checker_on_table2() {
+    use tm_modelcheck::checker::{SafetyChecker, SpecMode, Verifier};
+
+    fn check_case<A>(
+        tm: &A,
+        name: &str,
+        checker: &SafetyChecker,
+        sessions: &mut [(&str, Verifier)],
+    ) where
+        A: tm_modelcheck::algorithms::TmAlgorithm + Sync,
+        A::State: Send + Sync,
+    {
+        let baseline = checker.check(tm);
+        for (label, verifier) in sessions.iter_mut() {
+            let context = format!("{} / {name} ({label})", checker.property().short_name());
+            let got = verifier
+                .check_safety(tm, checker.property())
+                .into_safety()
+                .expect("safety query");
+            assert_eq!(got.holds(), baseline.holds(), "{context}: verdict");
+            assert_eq!(
+                got.counterexample(),
+                baseline.counterexample(),
+                "{context}: word"
+            );
+            if baseline.holds() {
+                // Full reachable TM state count — engine-independent. (On
+                // violations the explored portion legitimately differs
+                // between sequential and parallel runs.)
+                assert_eq!(got.tm_states, baseline.tm_states, "{context}: tm states");
+            }
+        }
+    }
+
+    for property in SafetyProperty::all() {
+        let checker = SafetyChecker::new(property, 2, 2);
+        let mut sessions = [
+            ("lazy/p1", Verifier::new(2, 2).pool_size(1)),
+            ("lazy/p4", Verifier::new(2, 2).pool_size(4)),
+            (
+                "eager/p1",
+                Verifier::new(2, 2).spec_mode(SpecMode::Eager).pool_size(1),
+            ),
+            (
+                "eager/p4",
+                Verifier::new(2, 2).spec_mode(SpecMode::Eager).pool_size(4),
+            ),
+        ];
+        check_case(&SequentialTm::new(2, 2), "sequential", &checker, &mut sessions);
+        check_case(&TwoPhaseTm::new(2, 2), "2PL", &checker, &mut sessions);
+        check_case(&DstmTm::new(2, 2), "dstm", &checker, &mut sessions);
+        check_case(&Tl2Tm::new(2, 2), "TL2", &checker, &mut sessions);
+        check_case(
+            &WithContentionManager::new(
+                Tl2Tm::with_validation(2, 2, ValidationStyle::RValidateThenChkLock),
+                PoliteCm,
+            ),
+            "modified-TL2+polite",
+            &checker,
+            &mut sessions,
+        );
+        for (label, verifier) in &sessions {
+            // Five TMs, one property per loop iteration: each session
+            // built its specification artifact exactly once.
+            assert_eq!(verifier.spec_builds(), 1, "{label}: spec built once");
+        }
+    }
+}
+
 const NFA_ALPHABET: [char; 4] = ['a', 'b', 'c', 'd'];
 
 /// A random NFA over a bounded alphabet with bounded states/transitions

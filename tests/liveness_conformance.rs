@@ -18,7 +18,7 @@ use tm_modelcheck::automata::{
     LiveScratch, LoopQuery, LoopSelection, RunGraphSource, MASK_ABORT, MASK_ALL_THREADS,
     MASK_COMMIT,
 };
-use tm_modelcheck::checker::LivenessVerdict;
+use tm_modelcheck::checker::{LivenessVerdict, Verifier};
 use tm_modelcheck::lang::LivenessProperty;
 
 /// Asserts engine ≡ reference on one verdict pair: outcome, state count,
@@ -69,6 +69,36 @@ fn table3_engine_matches_reference_at_every_pool_size() {
                 let context = format!("{} / {property} (pool {threads})", case.name);
                 assert_conforms(&engine, &reference, &context);
             }
+        }
+    }
+}
+
+/// Session reuse: a [`Verifier`] answering all three liveness properties
+/// of a TM from **one** cached run graph must yield verdicts, lassos,
+/// word projections, and Table 3 cycle notations bit-identical to three
+/// one-shot `check_liveness_threads` calls — at pool sizes 1 and 4, over
+/// the full (2, 1) TM × manager roster.
+#[test]
+fn session_reuse_matches_one_shot_at_every_pool_size() {
+    for pool in [1usize, 4] {
+        for case in liveness_roster(2, 1) {
+            let mut verifier = Verifier::new(2, 1).pool_size(pool);
+            for property in LivenessProperty::all() {
+                let session = case
+                    .check_session(&mut verifier, property)
+                    .into_liveness()
+                    .expect("liveness query");
+                let one_shot = case.check(property, pool);
+                let context =
+                    format!("{} / {property} (session, pool {pool})", case.name);
+                assert_conforms(&session, &one_shot, &context);
+            }
+            assert_eq!(
+                verifier.run_graph_builds(),
+                1,
+                "{}: three properties must share one compiled run graph",
+                case.name
+            );
         }
     }
 }
