@@ -20,6 +20,8 @@
 //!   dominate a full run.
 //! * `TM_BENCH_SMOKE=1` — CI mode: the paper tables and the build-once
 //!   assertions only; no A/B measurements, no `BENCH_*.json` rewrites.
+//! * `TM_BENCH_SERVICE_ONLY=1` — regenerate only the tm-service batch
+//!   baseline (`BENCH_service.json`).
 
 use std::time::{Duration, Instant};
 
@@ -44,6 +46,10 @@ fn env_flag(name: &str) -> bool {
 fn main() {
     let liveness_only = env_flag("TM_BENCH_LIVENESS_ONLY");
     let smoke = env_flag("TM_BENCH_SMOKE");
+    if env_flag("TM_BENCH_SERVICE_ONLY") {
+        bench_service();
+        return;
+    }
     if !liveness_only {
         table1();
         table2();
@@ -80,6 +86,9 @@ fn main() {
     );
     let session_rows = bench_liveness_session(&[(3, 1), (2, 2), (3, 2)]);
     write_liveness_json(&liveness_cases, liveness_speedup, &session_rows);
+    if !liveness_only {
+        bench_service();
+    }
 }
 
 fn table1() {
@@ -684,6 +693,134 @@ fn bench_liveness_session(sizes: &[(usize, usize)]) -> Vec<String> {
     }
     println!("{table}");
     rows
+}
+
+/// The tm-service batch baseline: the full Table 2 + Table 3 roster
+/// (22 queries) submitted twice — cold (every artifact builds) and warm
+/// (cache hits, or rebuilds under eviction) — at an **unbounded** budget
+/// and at a **tight** one (the largest artifact plus a quarter of the
+/// rest: smaller than the artifact total, so the roster cannot be
+/// answered without evicting). Verdicts are asserted identical across
+/// budgets; throughput, hit/rebuild rates, evictions, and the peak
+/// tracked bytes become `BENCH_service.json`.
+fn bench_service() {
+    use tm_service::{table2_batch, table3_batch, Service, ServiceConfig};
+
+    let mut batch = table3_batch();
+    batch.extend(table2_batch());
+    let pool = tm_automata::modelcheck_threads();
+    let config = |mem_budget| ServiceConfig {
+        mem_budget,
+        pool_size: pool,
+        max_states: MAX_STATES,
+    };
+
+    // Unbounded pass: ground-truth verdicts and the artifact ledger the
+    // tight budget is derived from.
+    let mut unbounded = Service::new(config(None));
+    let start = Instant::now();
+    let reference = unbounded.submit(&batch);
+    let unbounded_cold = start.elapsed();
+    let start = Instant::now();
+    let _ = unbounded.submit(&batch);
+    let unbounded_warm = start.elapsed();
+    let ledger = unbounded.ledger();
+    let total: usize = ledger.iter().map(|(_, bytes)| bytes).sum();
+    let largest: usize = ledger.iter().map(|(_, bytes)| *bytes).max().unwrap_or(0);
+    let tight = largest + (total - largest) / 4;
+    assert!(tight < total, "the tight budget must force eviction");
+
+    let mut budgeted = Service::new(config(Some(tight)));
+    let start = Instant::now();
+    let cold_results = budgeted.submit(&batch);
+    let tight_cold = start.elapsed();
+    let start = Instant::now();
+    let warm_results = budgeted.submit(&batch);
+    let tight_warm = start.elapsed();
+    let stats = budgeted.stats();
+    assert!(
+        stats.peak_tracked_bytes <= tight,
+        "peak {} exceeds the {tight}-byte budget",
+        stats.peak_tracked_bytes
+    );
+    for (run, name) in [(&cold_results, "cold"), (&warm_results, "warm")] {
+        for (a, b) in run.iter().zip(&reference) {
+            assert_eq!(
+                (a.holds, &a.outcome),
+                (b.holds, &b.outcome),
+                "budgeted {name} verdict must match unbounded: {}",
+                a.spec
+            );
+        }
+    }
+
+    let qps = |d: Duration| batch.len() as f64 / d.as_secs_f64();
+    let mut table = Table::new(
+        format!(
+            "Service batches — Table 2 + Table 3 roster ({} queries, pool = {pool}, \
+             artifacts total {total} B, largest {largest} B)",
+            batch.len()
+        ),
+        ["budget", "cold", "warm", "cold q/s", "builds", "rebuilds", "evictions", "peak B"],
+    );
+    let mut rows = Vec::new();
+    for (budget, cold, warm, stats) in [
+        (None, unbounded_cold, unbounded_warm, unbounded.stats()),
+        (Some(tight), tight_cold, tight_warm, stats),
+    ] {
+        table.push_row([
+            budget.map_or("unbounded".to_owned(), |b: usize| format!("{b} B")),
+            format!("{cold:.2?}"),
+            format!("{warm:.2?}"),
+            format!("{:.1}", qps(cold)),
+            stats.artifact_builds.to_string(),
+            stats.artifact_rebuilds.to_string(),
+            stats.evictions.to_string(),
+            stats.peak_tracked_bytes.to_string(),
+        ]);
+        rows.push(format!(
+            concat!(
+                "    {{\"budget_bytes\": {}, \"cold_ns\": {}, \"warm_ns\": {}, ",
+                "\"cold_qps\": {:.3}, \"warm_qps\": {:.3}, ",
+                "\"artifact_builds\": {}, \"artifact_rebuilds\": {}, ",
+                "\"cache_hits\": {}, \"evictions\": {}, ",
+                "\"peak_tracked_bytes\": {}, \"tracked_bytes\": {}}}"
+            ),
+            budget.map_or("null".to_owned(), |b: usize| b.to_string()),
+            cold.as_nanos(),
+            warm.as_nanos(),
+            qps(cold),
+            qps(warm),
+            stats.artifact_builds,
+            stats.artifact_rebuilds,
+            stats.cache_hits,
+            stats.evictions,
+            stats.peak_tracked_bytes,
+            stats.tracked_bytes,
+        ));
+    }
+    println!("{table}");
+    let json = format!(
+        "{{\n  \"benchmark\": \"service-batch\",\n  \
+         \"unit\": \"wall clock per 22-query batch (Table 2 safety at (2,2) + Table 3 \
+         liveness at (2,1)); cold = fresh service (every artifact builds), warm = same \
+         service re-submitted (cache hits at an unbounded budget, rebuilds of evicted \
+         artifacts at the tight one); tight budget = largest artifact + (total - \
+         largest)/4, so the roster cannot be held resident at once\",\n  \
+         \"host_cpus\": {},\n  \"pool_size\": {},\n  \"queries_per_batch\": {},\n  \
+         \"artifact_total_bytes\": {},\n  \"largest_artifact_bytes\": {},\n  \
+         \"budgets\": [\n{}\n  ]\n}}\n",
+        host_cpus(),
+        pool,
+        batch.len(),
+        total,
+        largest,
+        rows.join(",\n")
+    );
+    match std::fs::write("BENCH_service.json", &json) {
+        Ok(()) => println!("wrote BENCH_service.json"),
+        Err(e) => eprintln!("could not write BENCH_service.json: {e}"),
+    }
 }
 
 /// Writes `BENCH_liveness.json`: the (2,1) session-vs-reference baseline

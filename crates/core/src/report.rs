@@ -30,6 +30,13 @@ pub struct QueryStats {
     /// `true` if every artifact the query needed was already cached by an
     /// earlier query of the same session.
     pub artifact_cached: bool,
+    /// How many of the artifacts this query built were *re*builds — an
+    /// artifact of the same key had been built before and evicted via
+    /// [`crate::Verifier::drop_run_graph`] /
+    /// [`crate::Verifier::drop_spec`]. Zero for cache hits and for
+    /// first-time builds; what a memory-budgeted service reports as its
+    /// eviction cost.
+    pub rebuilds: usize,
 }
 
 /// The outcome payload of a [`Verdict`]: the query-specific verdict types

@@ -30,6 +30,7 @@
 //! [`crate::check_liveness`], [`crate::verify_with_reduction`]) survive
 //! as thin wrappers over a throwaway default session.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use tm_algorithms::{MostGeneralRunSource, MostGeneralSource, RunLabel, TmAlgorithm};
@@ -120,11 +121,22 @@ pub struct Verifier {
     spec_mode: SpecMode,
     max_states: usize,
     pool: Option<WorkerPool>,
+    /// A pool owned by someone else (a service multiplexing many
+    /// sessions); takes precedence over the session-owned `pool`.
+    shared_pool: Option<Arc<WorkerPool>>,
     eager_specs: FxHashMap<(SafetyProperty, usize, usize), EagerSpec>,
     lazy_specs: FxHashMap<(SafetyProperty, usize, usize), LazySpec>,
     run_graphs: FxHashMap<String, RunGraphArtifact>,
     run_graph_builds: usize,
     spec_builds: usize,
+    run_graph_rebuilds: usize,
+    spec_rebuilds: usize,
+    /// Total builds ever per TM name — survives eviction, so a build
+    /// after [`Verifier::drop_run_graph`] is recognized as a rebuild.
+    run_graph_history: FxHashMap<String, usize>,
+    /// Total builds ever per (property, n, k, mode) — the eviction
+    /// counterpart for specification artifacts.
+    spec_history: FxHashMap<(SafetyProperty, usize, usize, SpecMode), usize>,
 }
 
 impl std::fmt::Debug for Verifier {
@@ -156,11 +168,16 @@ impl Verifier {
             spec_mode: SpecMode::default(),
             max_states: DEFAULT_MAX_STATES,
             pool: None,
+            shared_pool: None,
             eager_specs: FxHashMap::default(),
             lazy_specs: FxHashMap::default(),
             run_graphs: FxHashMap::default(),
             run_graph_builds: 0,
             spec_builds: 0,
+            run_graph_rebuilds: 0,
+            spec_rebuilds: 0,
+            run_graph_history: FxHashMap::default(),
+            spec_history: FxHashMap::default(),
         }
     }
 
@@ -173,7 +190,20 @@ impl Verifier {
         if size != self.pool_size {
             self.pool_size = size;
             self.pool = None;
+            self.shared_pool = None;
         }
+        self
+    }
+
+    /// Attaches a worker pool owned by the caller: every parallel region
+    /// of this session dispatches to it instead of a session-owned pool.
+    /// This is how a service multiplexes many sessions over one fixed
+    /// set of worker threads (see the `tm-service` crate). The session's
+    /// pool size becomes the shared pool's.
+    pub fn shared_pool(mut self, pool: Arc<WorkerPool>) -> Self {
+        self.pool_size = pool.size();
+        self.pool = None;
+        self.shared_pool = Some(pool);
         self
     }
 
@@ -225,11 +255,110 @@ impl Verifier {
         self.run_graphs.get(tm_name).map(|artifact| artifact.build_time)
     }
 
-    /// Spawns the pool if a parallel query needs it.
+    /// Spawns the pool if a parallel query needs it (a shared pool is
+    /// never spawned here — the owner did).
     fn ensure_pool(&mut self) {
-        if self.pool_size > 1 && self.pool.is_none() {
+        if self.shared_pool.is_none() && self.pool_size > 1 && self.pool.is_none() {
             self.pool = Some(WorkerPool::new(self.pool_size));
         }
+    }
+
+    /// The executor parallel regions run on: the shared pool if one is
+    /// attached, else the session-owned pool, else sequential.
+    fn executor(&self) -> Executor<'_> {
+        if let Some(pool) = self.shared_pool.as_deref() {
+            if pool.size() > 1 {
+                return Executor::Pool(pool);
+            }
+            return Executor::Sequential;
+        }
+        match self.pool.as_ref() {
+            Some(pool) => Executor::Pool(pool),
+            None => Executor::Sequential,
+        }
+    }
+
+    /// Evicts the cached compiled run graph of `tm_name`, returning
+    /// whether one was cached. The next liveness query for that TM
+    /// transparently rebuilds it — and reports the build in
+    /// [`QueryStats::rebuilds`] and [`Verifier::run_graph_rebuilds`].
+    /// Verdicts and lassos are unaffected by eviction (the build is
+    /// deterministic); only time and memory are.
+    pub fn drop_run_graph(&mut self, tm_name: &str) -> bool {
+        self.run_graphs.remove(tm_name).is_some()
+    }
+
+    /// Evicts every cached specification artifact for `property` — lazy
+    /// and eager, at every instance size this session has touched —
+    /// returning whether any was cached. The next safety query against
+    /// the property transparently rebuilds (and reports a rebuild, as
+    /// with [`Verifier::drop_run_graph`]).
+    pub fn drop_spec(&mut self, property: SafetyProperty) -> bool {
+        let before = self.lazy_specs.len() + self.eager_specs.len();
+        self.lazy_specs.retain(|key, _| key.0 != property);
+        self.eager_specs.retain(|key, _| key.0 != property);
+        before != self.lazy_specs.len() + self.eager_specs.len()
+    }
+
+    /// How many run-graph builds were *re*builds after a
+    /// [`Verifier::drop_run_graph`] eviction.
+    pub fn run_graph_rebuilds(&self) -> usize {
+        self.run_graph_rebuilds
+    }
+
+    /// How many specification builds were *re*builds after a
+    /// [`Verifier::drop_spec`] eviction.
+    pub fn spec_rebuilds(&self) -> usize {
+        self.spec_rebuilds
+    }
+
+    /// Estimated heap footprint of `tm_name`'s cached run graph (the
+    /// [`tm_automata::CompiledRunGraph::heap_bytes`] figure), if one is
+    /// cached.
+    pub fn run_graph_heap_bytes(&self, tm_name: &str) -> Option<usize> {
+        self.run_graphs.get(tm_name).map(|artifact| artifact.graph.heap_bytes())
+    }
+
+    /// Estimated heap footprint of every cached specification artifact
+    /// for `property` (lazy and eager, summed over instance sizes), or
+    /// `None` if none is cached.
+    pub fn spec_heap_bytes(&self, property: SafetyProperty) -> Option<usize> {
+        let mut bytes = 0;
+        let mut any = false;
+        for (key, artifact) in &self.lazy_specs {
+            if key.0 == property {
+                bytes += artifact.cache.heap_bytes();
+                any = true;
+            }
+        }
+        for (key, artifact) in &self.eager_specs {
+            if key.0 == property {
+                bytes += artifact.compiled.heap_bytes();
+                any = true;
+            }
+        }
+        any.then_some(bytes)
+    }
+
+    /// Estimated heap footprint of every cached artifact of the session
+    /// (run graphs plus specifications).
+    pub fn artifact_heap_bytes(&self) -> usize {
+        let graphs: usize = self
+            .run_graphs
+            .values()
+            .map(|artifact| artifact.graph.heap_bytes())
+            .sum();
+        let lazy: usize = self.lazy_specs.values().map(|a| a.cache.heap_bytes()).sum();
+        let eager: usize = self.eager_specs.values().map(|a| a.compiled.heap_bytes()).sum();
+        graphs + lazy + eager
+    }
+
+    /// Names of the TMs whose run graphs are currently cached, sorted
+    /// (the hash map's own order is not deterministic).
+    pub fn cached_run_graphs(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.run_graphs.keys().cloned().collect();
+        names.sort();
+        names
     }
 
     /// Checks a safety property of `tm` on the most general program,
@@ -265,6 +394,7 @@ impl Verifier {
         match self.spec_mode {
             SpecMode::Lazy => {
                 let cached = self.lazy_specs.contains_key(&key);
+                let mut rebuilds = 0;
                 if !cached {
                     let build = Instant::now();
                     let spec = DetSpec::new(property, n, k);
@@ -276,7 +406,7 @@ impl Verifier {
                             build_time: build.elapsed(),
                         },
                     );
-                    self.spec_builds += 1;
+                    rebuilds = self.record_spec_build(property, n, k, SpecMode::Lazy);
                 }
                 let artifact = self.lazy_specs.get_mut(&key).expect("just ensured");
                 let source = MostGeneralSource::new(
@@ -305,11 +435,13 @@ impl Verifier {
                         search_time,
                         pool_size: 1, // the lazy spec path is sequential
                         artifact_cached: cached,
+                        rebuilds,
                     },
                 }
             }
             SpecMode::Eager => {
                 let cached = self.eager_specs.contains_key(&key);
+                let mut rebuilds = 0;
                 if !cached {
                     let build = Instant::now();
                     let compiled = DetSpec::new(property, n, k).to_dfa(max_states).0.compile();
@@ -320,14 +452,11 @@ impl Verifier {
                             build_time: build.elapsed(),
                         },
                     );
-                    self.spec_builds += 1;
+                    rebuilds = self.record_spec_build(property, n, k, SpecMode::Eager);
                 }
                 self.ensure_pool();
                 let artifact = &self.eager_specs[&key];
-                let executor = match self.pool.as_ref() {
-                    Some(pool) => Executor::Pool(pool),
-                    None => Executor::Sequential,
-                };
+                let executor = self.executor();
                 let source = MostGeneralSource::new(tm, artifact.compiled.alphabet().clone());
                 let search = Instant::now();
                 let (result, stats) =
@@ -352,10 +481,27 @@ impl Verifier {
                         search_time,
                         pool_size,
                         artifact_cached: cached,
+                        rebuilds,
                     },
                 }
             }
         }
+    }
+
+    /// Records a specification build in the counters, returning 1 when it
+    /// was a rebuild (the artifact existed before a
+    /// [`Verifier::drop_spec`]) and 0 on first build.
+    fn record_spec_build(
+        &mut self,
+        property: SafetyProperty,
+        n: usize,
+        k: usize,
+        mode: SpecMode,
+    ) -> usize {
+        self.spec_builds += 1;
+        let rebuilt = bump_build_history(self.spec_history.entry((property, n, k, mode)).or_insert(0));
+        self.spec_rebuilds += rebuilt;
+        rebuilt
     }
 
     /// Checks a liveness property of `tm` (× its contention manager) on
@@ -377,6 +523,7 @@ impl Verifier {
         let total = Instant::now();
         let key = tm.name();
         let cached = self.run_graphs.contains_key(&key);
+        let mut rebuilds = 0;
         if !cached {
             let build = Instant::now();
             let source = MostGeneralRunSource::new(tm);
@@ -390,14 +537,13 @@ impl Verifier {
                 },
             );
             self.run_graph_builds += 1;
+            rebuilds = bump_build_history(self.run_graph_history.entry(key.clone()).or_insert(0));
+            self.run_graph_rebuilds += rebuilds;
         }
         self.ensure_pool();
         let queries = property_queries(self.threads, property);
         let artifact = &self.run_graphs[&key];
-        let executor = match self.pool.as_ref() {
-            Some(pool) => Executor::Pool(pool),
-            None => Executor::Sequential,
-        };
+        let executor = self.executor();
         let search = Instant::now();
         let outcome = match artifact.graph.find_first_loop_exec(&queries, &executor) {
             Some((_, lasso)) => LivenessOutcome::Violation(RunLasso {
@@ -422,6 +568,7 @@ impl Verifier {
                 search_time,
                 pool_size: executor.threads(),
                 artifact_cached: cached,
+                rebuilds,
             },
         }
     }
@@ -458,6 +605,7 @@ impl Verifier {
         let states_explored = base.stats.states_explored;
         let pool_size = base.stats.pool_size;
         let mut all_cached = base.stats.artifact_cached;
+        let mut rebuilds = base.stats.rebuilds;
         let base_verdict = base.into_safety().expect("safety query");
         let structural = check_all_structural(&base_tm, structural_depth);
         let structural_time = total
@@ -472,6 +620,7 @@ impl Verifier {
                 build_time += spot.stats.build_time;
                 search_time += spot.stats.search_time;
                 all_cached &= spot.stats.artifact_cached;
+                rebuilds += spot.stats.rebuilds;
                 spot.into_safety().expect("safety query")
             })
             .collect();
@@ -489,9 +638,19 @@ impl Verifier {
                 search_time: search_time + structural_time,
                 pool_size,
                 artifact_cached: all_cached,
+                rebuilds,
             },
         }
     }
+}
+
+/// Bumps a per-artifact build-history entry, returning 1 when the build
+/// was a *re*build (the artifact had been built — and evicted — before)
+/// and 0 on first build. The one place the rebuild-counting rule lives,
+/// shared by the spec and run-graph paths.
+fn bump_build_history(seen: &mut usize) -> usize {
+    *seen += 1;
+    usize::from(*seen > 1)
 }
 
 /// Builds a [`SafetyVerdict`] from an inclusion result, re-checking any

@@ -169,6 +169,24 @@ impl CompiledNfa {
         &self.initial
     }
 
+    /// Estimated heap footprint in bytes: the sum of the backing arrays'
+    /// capacities. This is the crate's heap-accounting convention (used
+    /// by session-level memory budgets): containers are counted at
+    /// `capacity × element size`, elements that own further heap memory
+    /// are counted at their inline size only. For the all-`u32` compiled
+    /// automaton the figure is exact.
+    pub fn heap_bytes(&self) -> usize {
+        let u32s = self.initial.capacity()
+            + self.letter_offsets.capacity()
+            + self.letter_targets.capacity()
+            + self.eps_offsets.capacity()
+            + self.eps_targets.capacity()
+            + self.edge_offsets.capacity()
+            + self.edge_letters.capacity()
+            + self.edge_targets.capacity();
+        u32s * std::mem::size_of::<u32>()
+    }
+
     /// Targets of non-ε edges from `state` labelled `letter` (empty for
     /// letters outside the compiled alphabet).
     #[inline]
@@ -304,6 +322,13 @@ impl<L> CompiledDfa<L> {
         self.initial
     }
 
+    /// Estimated heap footprint in bytes: the dense transition table
+    /// plus the interned alphabet (convention of
+    /// [`CompiledNfa::heap_bytes`]).
+    pub fn heap_bytes(&self) -> usize {
+        self.next.capacity() * std::mem::size_of::<u32>() + self.alphabet.heap_bytes()
+    }
+
     /// Raw successor lookup: [`NO_STATE`] when the transition is missing.
     ///
     /// The inclusion inner loop uses this directly — one multiply, one
@@ -418,6 +443,42 @@ mod tests {
         assert_eq!(cr.successors(0, x), &[0]);
         assert_eq!(cl.num_letters(), 1);
         assert_eq!(cr.num_letters(), 2);
+    }
+
+    #[test]
+    fn heap_bytes_track_backing_vec_capacities() {
+        let nfa = sample();
+        let mut alphabet = Alphabet::new();
+        let compiled = CompiledNfa::compile(&nfa, &mut alphabet);
+        // Every edge is stored once in the insertion-order lists and once
+        // in the CSR (letter or ε) arrays — two letter/target pairs per
+        // edge — plus the per-state offset rows.
+        let edges = nfa.num_transitions();
+        let floor = (4 * edges + 2 * (nfa.num_states() + 1)) * std::mem::size_of::<u32>();
+        assert!(compiled.heap_bytes() >= floor, "{}", compiled.heap_bytes());
+        assert!(alphabet.heap_bytes() >= alphabet.len() * std::mem::size_of::<char>());
+
+        // The DFA's figure tracks its dense table: states × letters.
+        let small = {
+            let mut dfa = Dfa::new(vec!['a', 'b']);
+            let q = dfa.add_state();
+            dfa.set_initial(q);
+            dfa.compile()
+        };
+        let big = {
+            let mut dfa = Dfa::new(vec!['a', 'b']);
+            let q0 = dfa.add_state();
+            dfa.set_initial(q0);
+            for _ in 0..63 {
+                dfa.add_state();
+            }
+            dfa.compile()
+        };
+        let table_floor =
+            |d: &CompiledDfa<char>| d.num_states() * d.alphabet().len() * std::mem::size_of::<u32>();
+        assert!(small.heap_bytes() >= table_floor(&small));
+        assert!(big.heap_bytes() >= table_floor(&big));
+        assert!(big.heap_bytes() > small.heap_bytes());
     }
 
     #[test]

@@ -87,6 +87,15 @@ pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
 /// A `HashSet` using [`FxHasher`].
 pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
 
+/// Estimated heap footprint of a `HashMap`'s backing table: one
+/// `(K, V)` slot plus one control byte per unit of capacity (the swiss
+/// table layout). Only the table itself is counted — keys or values that
+/// own further heap memory are counted at their inline size, like the
+/// `Vec`-capacity accounting of the `heap_bytes()` methods this backs.
+pub(crate) fn map_heap_bytes<K, V, S>(map: &HashMap<K, V, S>) -> usize {
+    map.capacity() * (std::mem::size_of::<(K, V)>() + 1)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

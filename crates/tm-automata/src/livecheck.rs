@@ -350,6 +350,21 @@ impl<L> CompiledRunGraph<L> {
         self.labels.len()
     }
 
+    /// Estimated heap footprint in bytes: the sum of the CSR arrays'
+    /// capacities, labels counted at their inline size (convention of
+    /// [`crate::CompiledNfa::heap_bytes`]). For the large graphs a
+    /// session budget cares about — millions of run states, a handful of
+    /// labels — the figure is dominated by the exact `u32` arrays.
+    pub fn heap_bytes(&self) -> usize {
+        let u32s = self.row_start.capacity()
+            + self.edge_from.capacity()
+            + self.edge_target.capacity()
+            + self.edge_label.capacity();
+        u32s * std::mem::size_of::<u32>()
+            + self.edge_mask.capacity() * std::mem::size_of::<EdgeMask>()
+            + self.labels.capacity() * std::mem::size_of::<L>()
+    }
+
     /// Iterates over all edges as `(from, &label, to)`, in the engine's
     /// canonical enumeration order (state-major, discovery order per
     /// state) — the order loop candidates are selected in.
@@ -1006,6 +1021,32 @@ mod tests {
             forbid_all: (1 << 2) | MASK_COMMIT
         }
         .keeps(mask));
+    }
+
+    #[test]
+    fn heap_bytes_tracks_the_csr_arrays() {
+        // Lower bound from the graph's own counts: `row_start` has
+        // `states + 1` entries, every edge appears in three u32 arrays
+        // plus the mask array, every label is stored once.
+        fn floor(g: &CompiledRunGraph<TestLabel>) -> usize {
+            (g.num_states() + 1 + 3 * g.num_edges()) * std::mem::size_of::<u32>()
+                + g.num_edges() * std::mem::size_of::<EdgeMask>()
+                + g.num_labels() * std::mem::size_of::<TestLabel>()
+        }
+        let small = VecSource {
+            succ: vec![vec![(lbl(0, 0), 1)], vec![(lbl(1, 1), 0)]],
+        };
+        let (small_graph, _) = CompiledRunGraph::build(&small, 100);
+        assert!(small_graph.heap_bytes() >= floor(&small_graph));
+        let big = VecSource {
+            succ: (0..64u32)
+                .map(|i| vec![(lbl((i % 8) as u8, 0), (i + 1) % 64)])
+                .collect(),
+        };
+        let (big_graph, _) = CompiledRunGraph::build(&big, 100);
+        assert!(big_graph.heap_bytes() >= floor(&big_graph));
+        // A strictly larger graph is charged strictly more.
+        assert!(big_graph.heap_bytes() > small_graph.heap_bytes());
     }
 
     #[test]

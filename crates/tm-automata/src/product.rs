@@ -431,6 +431,24 @@ impl<D: SpecSource> SpecCache<D> {
         self.rows.iter().filter(|r| r.is_some()).count()
     }
 
+    /// Estimated heap footprint in bytes of the cache's interned rows and
+    /// state table (convention of [`crate::CompiledNfa::heap_bytes`]:
+    /// container capacities, elements at inline size). The wrapped
+    /// source is not counted — it is the cheap rule system the cache
+    /// exists to avoid re-stepping, not a compiled artifact.
+    pub fn heap_bytes(&self) -> usize {
+        let rows: usize = self
+            .rows
+            .iter()
+            .flatten()
+            .map(|row| std::mem::size_of_val::<[u32]>(row))
+            .sum();
+        crate::fxhash::map_heap_bytes(&self.ids)
+            + self.states.capacity() * std::mem::size_of::<D::State>()
+            + self.rows.capacity() * std::mem::size_of::<Option<Box<[u32]>>>()
+            + rows
+    }
+
     fn intern(&mut self, state: D::State) -> u32 {
         if let Some(&id) = self.ids.get(&state) {
             return id;
@@ -1270,5 +1288,37 @@ mod tests {
             }
         }
         assert_eq!(cache.touched(), 2); // both parity states reached
+    }
+
+    #[test]
+    fn spec_cache_heap_bytes_grow_with_interned_rows() {
+        struct Counter;
+        impl SpecSource for Counter {
+            type State = u64;
+            fn num_letters(&self) -> u32 {
+                4
+            }
+            fn initial_state(&self) -> u64 {
+                0
+            }
+            fn step(&self, state: &u64, letter: LetterId) -> Option<u64> {
+                (*state < 50).then_some(state * 4 + letter as u64)
+            }
+        }
+        let mut cache = SpecCache::new(Counter);
+        let empty = cache.heap_bytes();
+        // Walk a few states, forcing their full letter rows.
+        let mut access: &mut SpecCache<Counter> = &mut cache;
+        let mut q = access.initial();
+        for letter in [0, 1, 2, 3] {
+            q = access.step(q, letter);
+        }
+        let _ = access.step(q, 0);
+        let warm = cache.heap_bytes();
+        // Every fully computed row is a boxed `[u32; num_letters]`; the
+        // state table and interner grew alongside.
+        let floor = cache.rows_built() * 4 * std::mem::size_of::<u32>()
+            + cache.touched() * std::mem::size_of::<u64>();
+        assert!(warm >= empty + floor, "{empty} -> {warm}, floor {floor}");
     }
 }

@@ -1,0 +1,129 @@
+//! `tm-query` — CLI client for a running `tm-serve` daemon.
+//!
+//! ```bash
+//! tm-query --addr HOST:PORT [--json] QUERY...   # answer a batch
+//! tm-query --addr HOST:PORT --stats             # print service counters
+//! tm-query --addr HOST:PORT --shutdown          # stop the daemon
+//! ```
+//!
+//! Each `QUERY` is the shorthand `tm[+cm]:property:n:k`, e.g.
+//! `dstm+aggressive:of:2:1` or `TL2:ss:2:2` (properties: `ss`, `op`,
+//! `of`, `lf`, `wf`). Results print as an aligned table; `--json` dumps
+//! the raw response body instead. Exits non-zero on connection errors,
+//! non-200 responses, or malformed queries.
+
+use std::process::ExitCode;
+
+use tm_service::wire::{decode_results, encode_batch};
+use tm_service::{http_request, QueryOutcome, QuerySpec};
+
+fn usage() -> &'static str {
+    "usage: tm-query --addr HOST:PORT [--json] QUERY...\n       \
+     tm-query --addr HOST:PORT --stats | --shutdown\n       \
+     QUERY = tm[+cm]:property:n:k (e.g. dstm+aggressive:of:2:1, TL2:ss:2:2)"
+}
+
+fn run() -> Result<(), String> {
+    let mut addr: Option<String> = None;
+    let mut json = false;
+    let mut stats = false;
+    let mut shutdown = false;
+    let mut queries = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => {
+                addr = Some(args.next().ok_or_else(|| format!("--addr needs a value\n{}", usage()))?)
+            }
+            "--json" => json = true,
+            "--stats" => stats = true,
+            "--shutdown" => shutdown = true,
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return Ok(());
+            }
+            query => queries.push(QuerySpec::parse(query)?),
+        }
+    }
+    let addr = addr.ok_or_else(|| format!("--addr is required\n{}", usage()))?;
+
+    if stats {
+        let (status, body) = http_request(&addr, "GET", "/v1/stats", None)?;
+        println!("{body}");
+        return check(status);
+    }
+    if shutdown {
+        let (status, body) = http_request(&addr, "POST", "/v1/shutdown", None)?;
+        println!("{body}");
+        return check(status);
+    }
+    if queries.is_empty() {
+        return Err(format!("nothing to do\n{}", usage()));
+    }
+
+    let (status, body) = http_request(&addr, "POST", "/v1/batch", Some(&encode_batch(&queries)))?;
+    check(status).map_err(|e| format!("{e}: {body}"))?;
+    if json {
+        println!("{body}");
+        return Ok(());
+    }
+    let (results, stats) = decode_results(&body).map_err(|e| e.to_string())?;
+    let mut table = tm_checker::Table::new(
+        format!("tm-serve @ {addr}"),
+        ["TM", "property", "(n,k)", "verdict", "states", "artifact", "counterexample"],
+    );
+    for result in &results {
+        let (verdict, witness) = match &result.outcome {
+            QueryOutcome::Verified => ("Y".to_owned(), String::new()),
+            QueryOutcome::SafetyViolation { word } => ("N".to_owned(), word.clone()),
+            QueryOutcome::LivenessViolation { notation, .. } => ("N".to_owned(), notation.clone()),
+        };
+        let artifact = if result.rebuilt {
+            "rebuilt"
+        } else if result.cached {
+            "cached"
+        } else {
+            "built"
+        };
+        table.push_row([
+            result.name.clone(),
+            result.spec.property.to_string(),
+            format!("({},{})", result.spec.threads, result.spec.vars),
+            verdict,
+            result.states.to_string(),
+            artifact.to_owned(),
+            witness,
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "service: {} queries, {} hits, {} builds ({} rebuilds), {} evictions, \
+         {} tracked bytes (peak {})",
+        stats.queries,
+        stats.cache_hits,
+        stats.artifact_builds,
+        stats.artifact_rebuilds,
+        stats.evictions,
+        stats.tracked_bytes,
+        stats.peak_tracked_bytes
+    );
+    Ok(())
+}
+
+fn check(status: u16) -> Result<(), String> {
+    if status == 200 {
+        Ok(())
+    } else {
+        Err(format!("server answered HTTP {status}"))
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("tm-query: {message}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! `tm-serve` — the verification daemon: binds a TCP address, serves the
+//! HTTP/JSON endpoint over an in-process [`tm_service::Service`], and
+//! exits cleanly on `POST /v1/shutdown`.
+//!
+//! ```bash
+//! tm-serve [--addr 127.0.0.1:0] [--pool N] [--mem-budget BYTES[k|m|g]]
+//!          [--max-states N] [--port-file PATH]
+//! ```
+//!
+//! With port 0 the OS picks an ephemeral port; the bound address is
+//! printed on the first stdout line (and written to `--port-file` if
+//! given) so scripts can discover it. The memory budget defaults to the
+//! `TM_SERVICE_MEM_BUDGET` environment variable; `--mem-budget`
+//! overrides it. The pool size defaults to `TM_MODELCHECK_THREADS`.
+
+use std::io::Write;
+use std::net::TcpListener;
+use std::process::ExitCode;
+use std::sync::{Arc, Mutex};
+
+use tm_service::{parse_mem_budget, serve, Service, ServiceConfig};
+
+fn usage() -> &'static str {
+    "usage: tm-serve [--addr HOST:PORT] [--pool N] [--mem-budget BYTES[k|m|g]] \
+     [--max-states N] [--port-file PATH]"
+}
+
+fn run() -> Result<(), String> {
+    let mut addr = "127.0.0.1:0".to_owned();
+    let mut port_file: Option<String> = None;
+    let mut config = ServiceConfig::from_env()?;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().ok_or_else(|| format!("{name} needs a value\n{}", usage()))
+        };
+        match arg.as_str() {
+            "--addr" => addr = value("--addr")?,
+            "--port-file" => port_file = Some(value("--port-file")?),
+            "--pool" => {
+                config.pool_size = value("--pool")?
+                    .parse()
+                    .map_err(|e| format!("bad --pool: {e}"))?;
+            }
+            "--mem-budget" => config.mem_budget = parse_mem_budget(&value("--mem-budget")?)?,
+            "--max-states" => {
+                config.max_states = value("--max-states")?
+                    .parse()
+                    .map_err(|e| format!("bad --max-states: {e}"))?;
+            }
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return Ok(());
+            }
+            other => return Err(format!("unknown argument {other:?}\n{}", usage())),
+        }
+    }
+
+    let listener = TcpListener::bind(&addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    let local = listener.local_addr().map_err(|e| e.to_string())?;
+    println!(
+        "tm-serve listening on {local} (pool={}, budget={}, max-states={})",
+        config.pool_size,
+        config
+            .mem_budget
+            .map_or("unbounded".to_owned(), |b| format!("{b} bytes")),
+        config.max_states
+    );
+    std::io::stdout().flush().ok();
+    if let Some(path) = port_file {
+        std::fs::write(&path, local.to_string())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+
+    let service = Arc::new(Mutex::new(Service::new(config)));
+    let served = serve(listener, Arc::clone(&service)).map_err(|e| format!("serve: {e}"))?;
+    let stats = service
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+        .stats();
+    println!(
+        "tm-serve shut down cleanly: {} connections, {} queries ({} hits, {} builds, \
+         {} rebuilds, {} evictions, peak {} tracked bytes)",
+        served,
+        stats.queries,
+        stats.cache_hits,
+        stats.artifact_builds,
+        stats.artifact_rebuilds,
+        stats.evictions,
+        stats.peak_tracked_bytes
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("tm-serve: {message}");
+            ExitCode::from(2)
+        }
+    }
+}

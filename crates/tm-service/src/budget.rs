@@ -1,0 +1,336 @@
+//! The artifact memory budget: an LRU ledger over the compiled artifacts
+//! a service retains across queries, in the `heap_bytes()` accounting of
+//! `tm-automata`.
+//!
+//! The ledger is deliberately decoupled from the sessions that own the
+//! memory: it decides *which* artifact to evict and the service layer
+//! performs the eviction ([`tm_checker::Verifier::drop_run_graph`] /
+//! [`tm_checker::Verifier::drop_spec`]). The invariant it maintains is
+//! about *retained* memory: between queries, the sum of tracked artifact
+//! bytes never exceeds the budget (provided every single artifact fits —
+//! an over-budget artifact is kept and re-evicted as soon as another
+//! query needs room, since dropping the artifact a query is actively
+//! using would only force an immediate rebuild). During a query, the
+//! service pre-evicts with the artifact's last known size
+//! ([`MemoryBudget::reserve`]) so rebuilds never hold two generations of
+//! large artifacts at once; a first-time build of unknown size is charged
+//! and settled immediately after it completes ([`MemoryBudget::charge`]).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use tm_lang::SafetyProperty;
+
+/// What a ledger entry pays for.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum ArtifactKind {
+    /// A TM's compiled run graph (key: the full TM name).
+    RunGraph(String),
+    /// The specification artifacts of one safety property (lazy interned
+    /// rows and/or eager compiled DFA, summed).
+    Spec(SafetyProperty),
+}
+
+/// Ledger key: an artifact within one instance size's session.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct ArtifactKey {
+    /// Threads `n` of the owning session.
+    pub threads: usize,
+    /// Variables `k` of the owning session.
+    pub vars: usize,
+    /// Which artifact.
+    pub kind: ArtifactKind,
+}
+
+impl fmt::Display for ArtifactKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            ArtifactKind::RunGraph(name) => {
+                write!(f, "({},{})/run-graph/{name}", self.threads, self.vars)
+            }
+            ArtifactKind::Spec(property) => write!(
+                f,
+                "({},{})/spec/{}",
+                self.threads,
+                self.vars,
+                property.short_name()
+            ),
+        }
+    }
+}
+
+struct Entry {
+    bytes: usize,
+    last_used: u64,
+}
+
+/// The LRU byte ledger (see the module docs for the retained-memory
+/// invariant).
+///
+/// # Examples
+///
+/// ```
+/// use tm_service::{ArtifactKey, ArtifactKind, MemoryBudget};
+///
+/// let key = |name: &str| ArtifactKey {
+///     threads: 2,
+///     vars: 1,
+///     kind: ArtifactKind::RunGraph(name.to_owned()),
+/// };
+/// let mut budget = MemoryBudget::new(Some(100));
+/// assert!(budget.charge(key("a"), 60).is_empty());
+/// // Charging past the limit evicts the least recently used entry.
+/// let evicted = budget.charge(key("b"), 60);
+/// assert_eq!(evicted, vec![key("a")]);
+/// assert_eq!(budget.tracked_bytes(), 60);
+/// assert!(budget.peak_bytes() <= 100);
+/// ```
+pub struct MemoryBudget {
+    limit: Option<usize>,
+    entries: HashMap<ArtifactKey, Entry>,
+    /// Last observed size per key — survives eviction, so a rebuild can
+    /// pre-reserve its room.
+    hints: HashMap<ArtifactKey, usize>,
+    clock: u64,
+    tracked: usize,
+    peak: usize,
+    evictions: u64,
+}
+
+impl MemoryBudget {
+    /// Creates a ledger with the given byte limit (`None` = unbounded).
+    pub fn new(limit: Option<usize>) -> Self {
+        MemoryBudget {
+            limit,
+            entries: HashMap::new(),
+            hints: HashMap::new(),
+            clock: 0,
+            tracked: 0,
+            peak: 0,
+            evictions: 0,
+        }
+    }
+
+    /// The configured limit.
+    pub fn limit(&self) -> Option<usize> {
+        self.limit
+    }
+
+    /// Whether `key` is currently charged.
+    pub fn contains(&self, key: &ArtifactKey) -> bool {
+        self.entries.contains_key(key)
+    }
+
+    /// Marks `key` as just used (moves it to the MRU end).
+    pub fn touch(&mut self, key: &ArtifactKey) {
+        self.clock += 1;
+        if let Some(entry) = self.entries.get_mut(key) {
+            entry.last_used = self.clock;
+        }
+    }
+
+    /// The last observed size of `key`, whether or not it is currently
+    /// charged (0 if never charged).
+    pub fn hint(&self, key: &ArtifactKey) -> usize {
+        self.hints.get(key).copied().unwrap_or(0)
+    }
+
+    /// Makes room for an upcoming (re)build of `key`: evicts LRU entries
+    /// until the tracked total plus `key`'s last known size fits the
+    /// limit. Returns the keys the caller must now actually drop from
+    /// their sessions.
+    pub fn reserve(&mut self, key: &ArtifactKey) -> Vec<ArtifactKey> {
+        let hint = self.hint(key);
+        self.evict_while_over(hint, Some(key))
+    }
+
+    /// Charges (or re-charges) `key` at `bytes`, marks it most recently
+    /// used, and settles the ledger back under the limit by evicting LRU
+    /// entries — never `key` itself. Returns the keys the caller must
+    /// drop.
+    pub fn charge(&mut self, key: ArtifactKey, bytes: usize) -> Vec<ArtifactKey> {
+        self.clock += 1;
+        self.hints.insert(key.clone(), bytes);
+        match self.entries.get_mut(&key) {
+            Some(entry) => {
+                self.tracked = self.tracked - entry.bytes + bytes;
+                entry.bytes = bytes;
+                entry.last_used = self.clock;
+            }
+            None => {
+                self.entries.insert(
+                    key.clone(),
+                    Entry {
+                        bytes,
+                        last_used: self.clock,
+                    },
+                );
+                self.tracked += bytes;
+            }
+        }
+        let evicted = self.evict_while_over(0, Some(&key));
+        self.peak = self.peak.max(self.tracked);
+        evicted
+    }
+
+    /// Evicts LRU entries while `tracked + headroom` exceeds the limit,
+    /// never evicting `exclude`. Stops (leaving the ledger over budget)
+    /// when nothing evictable remains.
+    fn evict_while_over(&mut self, headroom: usize, exclude: Option<&ArtifactKey>) -> Vec<ArtifactKey> {
+        let Some(limit) = self.limit else {
+            return Vec::new();
+        };
+        let mut evicted = Vec::new();
+        while self.tracked + headroom > limit {
+            let victim = self
+                .entries
+                .iter()
+                .filter(|(key, _)| Some(*key) != exclude)
+                .min_by_key(|(_, entry)| entry.last_used)
+                .map(|(key, _)| key.clone());
+            let Some(victim) = victim else { break };
+            let entry = self.entries.remove(&victim).expect("victim is charged");
+            self.tracked -= entry.bytes;
+            self.evictions += 1;
+            evicted.push(victim);
+        }
+        evicted
+    }
+
+    /// Currently tracked bytes.
+    pub fn tracked_bytes(&self) -> usize {
+        self.tracked
+    }
+
+    /// The high-water mark of tracked bytes over the ledger's lifetime,
+    /// sampled whenever a charge settles.
+    pub fn peak_bytes(&self) -> usize {
+        self.peak
+    }
+
+    /// Total evictions so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Number of charged artifacts.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if nothing is charged.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The charged artifacts and their byte sizes, sorted by key display
+    /// (hash order is not deterministic).
+    pub fn ledger(&self) -> Vec<(ArtifactKey, usize)> {
+        let mut entries: Vec<(ArtifactKey, usize)> = self
+            .entries
+            .iter()
+            .map(|(key, entry)| (key.clone(), entry.bytes))
+            .collect();
+        entries.sort_by_cached_key(|(key, _)| key.to_string());
+        entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph(name: &str) -> ArtifactKey {
+        ArtifactKey {
+            threads: 2,
+            vars: 1,
+            kind: ArtifactKind::RunGraph(name.to_owned()),
+        }
+    }
+
+    fn spec() -> ArtifactKey {
+        ArtifactKey {
+            threads: 2,
+            vars: 2,
+            kind: ArtifactKind::Spec(SafetyProperty::Opacity),
+        }
+    }
+
+    #[test]
+    fn lru_order_decides_the_victim() {
+        let mut budget = MemoryBudget::new(Some(100));
+        assert!(budget.charge(graph("a"), 40).is_empty());
+        assert!(budget.charge(graph("b"), 40).is_empty());
+        // Touching `a` makes `b` the LRU entry.
+        budget.touch(&graph("a"));
+        let evicted = budget.charge(graph("c"), 40);
+        assert_eq!(evicted, vec![graph("b")]);
+        assert_eq!(budget.tracked_bytes(), 80);
+        assert_eq!(budget.evictions(), 1);
+        assert!(budget.contains(&graph("a")) && budget.contains(&graph("c")));
+    }
+
+    #[test]
+    fn peak_tracks_the_high_water_mark_under_the_limit() {
+        let mut budget = MemoryBudget::new(Some(100));
+        budget.charge(graph("a"), 70);
+        budget.charge(graph("b"), 60); // evicts a
+        budget.charge(spec(), 30);
+        assert!(budget.peak_bytes() <= 100);
+        assert_eq!(budget.peak_bytes(), 90);
+        assert_eq!(budget.tracked_bytes(), 90);
+    }
+
+    #[test]
+    fn reserve_uses_the_last_known_size() {
+        let mut budget = MemoryBudget::new(Some(100));
+        budget.charge(graph("a"), 80);
+        budget.charge(graph("b"), 15); // fits alongside
+        assert_eq!(budget.tracked_bytes(), 95);
+        // `a` was evicted at some point and will be rebuilt: reserving it
+        // must clear enough room for its known 80 bytes.
+        let dropped = budget.charge(graph("c"), 90); // evicts a and b
+        assert_eq!(dropped.len(), 2);
+        assert_eq!(budget.hint(&graph("a")), 80);
+        let evicted = budget.reserve(&graph("a"));
+        assert_eq!(evicted, vec![graph("c")]);
+        assert_eq!(budget.tracked_bytes(), 0);
+        budget.charge(graph("a"), 80);
+        assert!(budget.tracked_bytes() <= 100);
+    }
+
+    #[test]
+    fn an_unbounded_ledger_never_evicts() {
+        let mut budget = MemoryBudget::new(None);
+        for i in 0..50 {
+            assert!(budget.charge(graph(&format!("tm{i}")), 1 << 20).is_empty());
+        }
+        assert_eq!(budget.len(), 50);
+        assert_eq!(budget.evictions(), 0);
+        assert_eq!(budget.peak_bytes(), 50 << 20);
+    }
+
+    #[test]
+    fn the_artifact_in_use_is_never_its_own_victim() {
+        let mut budget = MemoryBudget::new(Some(10));
+        // A single over-budget artifact stays charged (evicting it would
+        // just force a rebuild for the query that is using it).
+        assert!(budget.charge(graph("big"), 50).is_empty());
+        assert_eq!(budget.tracked_bytes(), 50);
+        // ... but it is the first to go when another query needs room.
+        let evicted = budget.charge(graph("next"), 5);
+        assert_eq!(evicted, vec![graph("big")]);
+        assert_eq!(budget.tracked_bytes(), 5);
+    }
+
+    #[test]
+    fn recharging_updates_bytes_in_place() {
+        let mut budget = MemoryBudget::new(Some(100));
+        budget.charge(spec(), 30);
+        // A lazy spec cache grows as later queries touch more rows.
+        budget.charge(spec(), 45);
+        assert_eq!(budget.tracked_bytes(), 45);
+        assert_eq!(budget.len(), 1);
+        assert_eq!(budget.ledger(), vec![(spec(), 45)]);
+    }
+}

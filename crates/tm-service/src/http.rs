@@ -1,0 +1,231 @@
+//! A minimal HTTP/1.1 server and client over `std::net` — just enough
+//! protocol for the service's JSON endpoint, with zero dependencies (the
+//! shims spirit: offline, in-repo, the API subset this workspace needs).
+//!
+//! ## Server routes
+//!
+//! | Method | Path           | Body                | Response                       |
+//! |--------|----------------|---------------------|--------------------------------|
+//! | GET    | `/healthz`     | —                   | `{"ok": true}`                 |
+//! | GET    | `/v1/stats`    | —                   | [`crate::wire::encode_stats`]  |
+//! | POST   | `/v1/batch`    | batch request JSON  | [`crate::wire::encode_results`]|
+//! | POST   | `/v1/shutdown` | —                   | `{"ok": true}` then clean exit |
+//!
+//! Connections are one-request (`Connection: close`), each handled on
+//! its own thread; the [`Service`] behind the mutex answers batches one
+//! at a time (queries inside a batch still fan out on the shared worker
+//! pool). The accept loop polls a shutdown flag, so `POST /v1/shutdown`
+//! drains in-flight connections and returns from [`serve`] — the clean
+//! shutdown the CI smoke asserts.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crate::service::Service;
+use crate::wire;
+
+/// Upper bound on request bodies (16 MiB — a batch of millions of
+/// queries; anything larger is a client bug).
+const MAX_BODY_BYTES: usize = 16 << 20;
+
+/// Per-connection socket timeout.
+const IO_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Runs the accept loop on `listener` until a `POST /v1/shutdown`
+/// arrives, then joins every connection thread and returns the number of
+/// connections served.
+///
+/// # Errors
+///
+/// Propagates fatal listener errors (transient per-connection I/O errors
+/// only terminate that connection).
+pub fn serve(listener: TcpListener, service: Arc<Mutex<Service>>) -> std::io::Result<u64> {
+    listener.set_nonblocking(true)?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let mut handles: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    let mut served = 0u64;
+    loop {
+        // Checked every iteration — not only when idle — so a busy
+        // daemon cannot be kept alive past /v1/shutdown by a stream of
+        // new connections.
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                served += 1;
+                // Reap finished connection threads so a long-running
+                // daemon does not accumulate one handle per request.
+                handles.retain(|handle| !handle.is_finished());
+                let service = Arc::clone(&service);
+                let shutdown = Arc::clone(&shutdown);
+                handles.push(std::thread::spawn(move || {
+                    // Connection-level errors are the client's problem.
+                    let _ = handle_connection(stream, &service, &shutdown);
+                }));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    for handle in handles {
+        let _ = handle.join();
+    }
+    Ok(served)
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    service: &Arc<Mutex<Service>>,
+    shutdown: &AtomicBool,
+) -> std::io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    let mut reader = BufReader::new(stream);
+    let (method, path, body) = match read_request(&mut reader) {
+        Ok(request) => request,
+        Err(e) => {
+            let body = format!("{{\"error\": \"bad request: {e}\"}}");
+            return write_response(reader.get_mut(), 400, &body);
+        }
+    };
+    let (status, body) = route(&method, &path, &body, service, shutdown);
+    write_response(reader.get_mut(), status, &body)
+}
+
+/// Reads one request: the request line, the headers (only
+/// `Content-Length` is interpreted), and the body.
+fn read_request<R: BufRead>(reader: &mut R) -> Result<(String, String, String), String> {
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .map_err(|e| format!("request line: {e}"))?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next().ok_or("empty request line")?.to_owned();
+    let path = parts.next().ok_or("request line has no path")?.to_owned();
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        reader
+            .read_line(&mut header)
+            .map_err(|e| format!("headers: {e}"))?;
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|e| format!("bad Content-Length: {e}"))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(format!("body of {content_length} bytes exceeds the limit"));
+    }
+    let mut body = vec![0u8; content_length];
+    reader
+        .read_exact(&mut body)
+        .map_err(|e| format!("body: {e}"))?;
+    String::from_utf8(body).map(|body| (method, path, body)).map_err(|_| "body is not UTF-8".to_owned())
+}
+
+fn route(
+    method: &str,
+    path: &str,
+    body: &str,
+    service: &Arc<Mutex<Service>>,
+    shutdown: &AtomicBool,
+) -> (u16, String) {
+    let locked = |f: &mut dyn FnMut(&mut Service) -> (u16, String)| {
+        let mut service = service.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+        f(&mut service)
+    };
+    match (method, path) {
+        ("GET", "/healthz") => (200, "{\"ok\": true}".to_owned()),
+        ("GET", "/v1/stats") => locked(&mut |service| (200, wire::encode_stats(&service.stats()))),
+        ("POST", "/v1/batch") => match wire::decode_batch(body) {
+            Err(e) => (400, format!("{{\"error\": {}}}", crate::wire::Json::Str(e.to_string()))),
+            Ok(batch) => locked(&mut |service| {
+                let results = service.submit(&batch);
+                (200, wire::encode_results(&results, &service.stats()))
+            }),
+        },
+        ("POST", "/v1/shutdown") => {
+            shutdown.store(true, Ordering::SeqCst);
+            (200, "{\"ok\": true, \"shutting_down\": true}".to_owned())
+        }
+        _ => (404, format!("{{\"error\": \"no route {method} {path}\"}}")),
+    }
+}
+
+fn write_response(stream: &mut TcpStream, status: u16, body: &str) -> std::io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        _ => "Error",
+    };
+    let response = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+/// One-shot HTTP client request (the `tm-query` side): connects, sends
+/// `method path` with an optional JSON body, returns `(status, body)`.
+///
+/// # Errors
+///
+/// Returns a human-readable message on connection, protocol, or
+/// encoding failures.
+pub fn http_request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> Result<(u16, String), String> {
+    let resolved = addr
+        .to_socket_addrs()
+        .map_err(|e| format!("cannot resolve {addr}: {e}"))?
+        .next()
+        .ok_or_else(|| format!("{addr} resolves to nothing"))?;
+    let mut stream = TcpStream::connect_timeout(&resolved, IO_TIMEOUT)
+        .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    stream.set_read_timeout(Some(IO_TIMEOUT)).map_err(|e| e.to_string())?;
+    stream.set_write_timeout(Some(IO_TIMEOUT)).map_err(|e| e.to_string())?;
+    let body = body.unwrap_or("");
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream
+        .write_all(request.as_bytes())
+        .map_err(|e| format!("send: {e}"))?;
+    let mut response = Vec::new();
+    stream
+        .read_to_end(&mut response)
+        .map_err(|e| format!("receive: {e}"))?;
+    let response = String::from_utf8(response).map_err(|_| "response is not UTF-8".to_owned())?;
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .ok_or("response has no header/body separator")?;
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or("response has no status code")?;
+    Ok((status, body.to_owned()))
+}

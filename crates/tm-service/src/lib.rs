@@ -1,0 +1,87 @@
+//! # tm-service — the memory-budgeted verification service
+//!
+//! The serving layer of the *tm-modelcheck* workspace: a long-running
+//! daemon answering the paper's verification queries (any TM ×
+//! contention manager × property × instance size from the roster)
+//! behind the `tm_checker::Verifier` session API, under a configurable
+//! artifact memory budget.
+//!
+//! ```text
+//!            tm-query ── HTTP/JSON ──▶ tm-serve (http.rs)
+//!                                          │
+//!                                   Service (service.rs)
+//!                     ┌────────────────────┼────────────────────┐
+//!              batch scheduler       memory budget       session registry
+//!              (scheduler.rs)         (budget.rs)          (registry.rs)
+//!              orders queries        LRU ledger over      one `Verifier`
+//!              for artifact          heap_bytes(),        per (n, k), all
+//!              reuse                 evict + rebuild      on one WorkerPool
+//! ```
+//!
+//! * the **session registry** ([`SessionRegistry`]) lazily creates one
+//!   [`tm_checker::Verifier`] per instance size, all multiplexing one
+//!   shared [`tm_automata::WorkerPool`];
+//! * the **memory budget** ([`MemoryBudget`]) charges every compiled
+//!   artifact (per-TM run graphs, per-property specifications) against a
+//!   byte limit using the `heap_bytes()` accounting of `tm-automata`,
+//!   evicts least-recently-used artifacts once the queries using them
+//!   are answered, and lets the sessions transparently rebuild on
+//!   re-query (rebuilds are counted, verdicts are bit-identical — pinned
+//!   by `tests/session_eviction.rs` at the session layer and
+//!   `tests/service_conformance.rs` here);
+//! * the **batch scheduler** ([`execution_order`]) reorders each batch
+//!   to maximize artifact reuse (group by instance size, then safety
+//!   queries by property, liveness queries by TM) while returning
+//!   results in request order;
+//! * the **endpoints**: the in-process [`Service`] API, and the
+//!   std-`TcpListener` HTTP/JSON server (`tm-serve` bin, [`serve`]) with
+//!   its [`Json`] wire format and `tm-query` CLI client.
+//!
+//! The budget is configured via the `TM_SERVICE_MEM_BUDGET` environment
+//! variable ([`ServiceConfig::from_env`]); the pool inherits
+//! `TM_MODELCHECK_THREADS`.
+//!
+//! # Examples
+//!
+//! Answer the paper's Table 3 under a 1 MiB artifact budget:
+//!
+//! ```
+//! use tm_service::{table3_batch, Service, ServiceConfig};
+//!
+//! let mut service = Service::new(ServiceConfig {
+//!     mem_budget: Some(1 << 20),
+//!     pool_size: 1,
+//!     ..ServiceConfig::default()
+//! });
+//! let results = service.submit(&table3_batch());
+//! assert_eq!(results.len(), 12);
+//! // dstm+aggressive is obstruction free (Table 3 row 3).
+//! let dstm_of = results.iter().find(|r| r.name == "dstm+aggressive").unwrap();
+//! assert!(dstm_of.holds);
+//! assert!(service.stats().peak_tracked_bytes <= 1 << 20);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod budget;
+mod http;
+mod registry;
+mod roster;
+mod scheduler;
+mod service;
+pub mod wire;
+
+pub use budget::{ArtifactKey, ArtifactKind, MemoryBudget};
+pub use http::{http_request, serve};
+pub use registry::SessionRegistry;
+pub use roster::{
+    run_query, table2_batch, table3_batch, CmKind, PropertyKind, QuerySpec, TmKind,
+    MAX_QUERY_THREADS, MAX_QUERY_VARS,
+};
+pub use scheduler::execution_order;
+pub use service::{
+    parse_mem_budget, QueryOutcome, QueryResult, Service, ServiceConfig, ServiceStats,
+    DEFAULT_SERVICE_MAX_STATES, MEM_BUDGET_ENV,
+};
+pub use wire::Json;

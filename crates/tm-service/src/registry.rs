@@ -1,0 +1,134 @@
+//! The session registry: one lazily created [`Verifier`] per instance
+//! size `(n, k)`, all multiplexing one shared [`WorkerPool`].
+//!
+//! A `Verifier` owns per-instance artifact caches, so a service facing
+//! queries at many instance sizes needs one per size — but spawning a
+//! worker pool per session would oversubscribe the host as soon as two
+//! sessions exist. The registry therefore spawns **one** pool at
+//! construction and attaches it to every session it creates
+//! ([`Verifier::shared_pool`]); the scheduler above runs one query at a
+//! time, so the pool is never contended between sessions.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use tm_automata::WorkerPool;
+use tm_checker::Verifier;
+
+/// Registry of per-instance-size sessions over one shared pool.
+pub struct SessionRegistry {
+    sessions: HashMap<(usize, usize), Verifier>,
+    pool: Option<Arc<WorkerPool>>,
+    pool_size: usize,
+    max_states: usize,
+}
+
+impl SessionRegistry {
+    /// Creates a registry whose sessions run parallel regions on a
+    /// shared pool of `pool_size` workers (1 = the deterministic
+    /// sequential engines, no pool spawned), bounding every state space
+    /// at `max_states`.
+    pub fn new(pool_size: usize, max_states: usize) -> Self {
+        let pool_size = pool_size.max(1);
+        SessionRegistry {
+            sessions: HashMap::new(),
+            pool: (pool_size > 1).then(|| Arc::new(WorkerPool::new(pool_size))),
+            pool_size,
+            max_states,
+        }
+    }
+
+    /// The session for instance size `(threads, vars)`, created on first
+    /// use.
+    pub fn session(&mut self, threads: usize, vars: usize) -> &mut Verifier {
+        let (pool, max_states) = (&self.pool, self.max_states);
+        self.sessions.entry((threads, vars)).or_insert_with(|| {
+            let verifier = Verifier::new(threads, vars).max_states(max_states);
+            match pool {
+                Some(pool) => verifier.shared_pool(Arc::clone(pool)),
+                None => verifier.pool_size(1),
+            }
+        })
+    }
+
+    /// The shared pool's worker count (1 = sequential).
+    pub fn pool_size(&self) -> usize {
+        self.pool_size
+    }
+
+    /// Number of sessions created so far.
+    pub fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// `true` if no session was created yet.
+    pub fn is_empty(&self) -> bool {
+        self.sessions.is_empty()
+    }
+
+    /// The sessions' instance sizes, sorted.
+    pub fn instance_sizes(&self) -> Vec<(usize, usize)> {
+        let mut sizes: Vec<(usize, usize)> = self.sessions.keys().copied().collect();
+        sizes.sort_unstable();
+        sizes
+    }
+
+    /// Sum of every session's estimated artifact heap bytes — the ground
+    /// truth the budget ledger approximates.
+    pub fn artifact_heap_bytes(&self) -> usize {
+        self.sessions.values().map(Verifier::artifact_heap_bytes).sum()
+    }
+
+    /// Total artifact builds across sessions (spec + run graph).
+    pub fn total_builds(&self) -> usize {
+        self.sessions
+            .values()
+            .map(|s| s.spec_builds() + s.run_graph_builds())
+            .sum()
+    }
+
+    /// Total artifact *re*builds across sessions — builds forced by an
+    /// eviction.
+    pub fn total_rebuilds(&self) -> usize {
+        self.sessions
+            .values()
+            .map(|s| s.spec_rebuilds() + s.run_graph_rebuilds())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_lang::LivenessProperty;
+
+    use crate::roster::{run_query, QuerySpec};
+
+    #[test]
+    fn sessions_are_created_lazily_and_keyed_by_size() {
+        let mut registry = SessionRegistry::new(1, 1_000_000);
+        assert!(registry.is_empty());
+        let spec21 = QuerySpec::parse("dstm+aggressive:of:2:1").unwrap();
+        let spec22 = QuerySpec::parse("sequential:op:2:2").unwrap();
+        assert!(run_query(registry.session(2, 1), &spec21).holds());
+        assert!(run_query(registry.session(2, 2), &spec22).holds());
+        assert_eq!(registry.len(), 2);
+        assert_eq!(registry.instance_sizes(), vec![(2, 1), (2, 2)]);
+        assert_eq!(registry.total_builds(), 2);
+        assert!(registry.artifact_heap_bytes() > 0);
+    }
+
+    #[test]
+    fn sessions_share_the_registry_pool() {
+        let mut registry = SessionRegistry::new(4, 1_000_000);
+        let spec = QuerySpec {
+            property: crate::PropertyKind::Liveness(LivenessProperty::WaitFreedom),
+            ..QuerySpec::parse("2PL:of:2:1").unwrap()
+        };
+        let verdict = run_query(registry.session(2, 1), &spec);
+        // The query ran at the shared pool's width without the session
+        // spawning its own pool.
+        assert_eq!(verdict.stats.pool_size, 4);
+        assert_eq!(registry.session(2, 1).configured_pool_size(), 4);
+    }
+}

@@ -1,0 +1,376 @@
+//! The in-process [`Service`]: registry + budget + scheduler behind one
+//! `submit(batch)` call. The HTTP endpoint (`http.rs`, the `tm-serve`
+//! bin) is a thin wire adapter over this type; everything observable —
+//! verdicts, scheduling, eviction, statistics — lives here and is
+//! testable without a socket.
+
+use std::time::Instant;
+
+use tm_checker::{Verdict, VerdictOutcome};
+
+use crate::budget::{ArtifactKey, ArtifactKind, MemoryBudget};
+use crate::registry::SessionRegistry;
+use crate::roster::{run_query, QuerySpec};
+use crate::scheduler::execution_order;
+
+/// Default bound on reachable state spaces (the experiment suite's).
+pub const DEFAULT_SERVICE_MAX_STATES: usize = 20_000_000;
+
+/// Environment variable holding the artifact memory budget for
+/// [`ServiceConfig::from_env`]: plain bytes with an optional `k`/`m`/`g`
+/// suffix (powers of 1024); `0` or `unbounded` disables the budget.
+pub const MEM_BUDGET_ENV: &str = "TM_SERVICE_MEM_BUDGET";
+
+/// Service configuration.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Artifact byte budget (`None` = unbounded).
+    pub mem_budget: Option<usize>,
+    /// Shared worker-pool size (1 = sequential engines).
+    pub pool_size: usize,
+    /// Bound on reachable state spaces.
+    pub max_states: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            mem_budget: None,
+            pool_size: tm_automata::modelcheck_threads(),
+            max_states: DEFAULT_SERVICE_MAX_STATES,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// The default configuration with the memory budget read from
+    /// [`MEM_BUDGET_ENV`] (unset, empty, `0`, or `unbounded` mean no
+    /// budget; a malformed value is an error).
+    pub fn from_env() -> Result<Self, String> {
+        let mem_budget = match std::env::var(MEM_BUDGET_ENV) {
+            Err(_) => None,
+            Ok(value) => parse_mem_budget(&value)?,
+        };
+        Ok(ServiceConfig {
+            mem_budget,
+            ..ServiceConfig::default()
+        })
+    }
+}
+
+/// Parses a [`MEM_BUDGET_ENV`]-style byte budget: decimal bytes with an
+/// optional `k`/`m`/`g` suffix; empty, `0`, and `unbounded` mean none.
+pub fn parse_mem_budget(value: &str) -> Result<Option<usize>, String> {
+    let value = value.trim();
+    if value.is_empty() || value == "0" || value.eq_ignore_ascii_case("unbounded") {
+        return Ok(None);
+    }
+    let (digits, shift) = match value.as_bytes().last().map(u8::to_ascii_lowercase) {
+        Some(b'k') => (&value[..value.len() - 1], 10),
+        Some(b'm') => (&value[..value.len() - 1], 20),
+        Some(b'g') => (&value[..value.len() - 1], 30),
+        _ => (value, 0),
+    };
+    let bytes: usize = digits
+        .trim()
+        .parse()
+        .map_err(|e| format!("bad memory budget {value:?}: {e}"))?;
+    bytes
+        .checked_shl(shift)
+        .filter(|&b| b >> shift == bytes)
+        .map(Some)
+        .ok_or_else(|| format!("memory budget {value:?} overflows"))
+}
+
+/// The wire-friendly outcome of one query.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum QueryOutcome {
+    /// The property holds.
+    Verified,
+    /// A safety violation with its shortest counterexample word (the
+    /// word's canonical `Display` form).
+    SafetyViolation {
+        /// The counterexample word.
+        word: String,
+    },
+    /// A liveness violation with its lasso, as the run labels' canonical
+    /// `Display` forms.
+    LivenessViolation {
+        /// Labels of the run from the initial state to the loop.
+        prefix: Vec<String>,
+        /// Labels of the repeated loop.
+        cycle: Vec<String>,
+        /// The loop in the paper's Table 3 notation.
+        notation: String,
+    },
+}
+
+/// The service's answer to one [`QuerySpec`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct QueryResult {
+    /// The query answered.
+    pub spec: QuerySpec,
+    /// Full TM name (run-graph cache key, `"tm+cm"` under a manager).
+    pub name: String,
+    /// Whether the property holds.
+    pub holds: bool,
+    /// States explored (product states for safety, run-graph states for
+    /// liveness).
+    pub states: usize,
+    /// Whether the artifact was already resident in the session.
+    pub cached: bool,
+    /// Whether answering required rebuilding an evicted artifact.
+    pub rebuilt: bool,
+    /// The verdict payload.
+    pub outcome: QueryOutcome,
+}
+
+impl QueryResult {
+    fn from_verdict(spec: QuerySpec, verdict: Verdict) -> Self {
+        let stats = verdict.stats;
+        let (name, holds, outcome) = match verdict.outcome {
+            VerdictOutcome::Safety(v) => {
+                let outcome = match v.counterexample() {
+                    None => QueryOutcome::Verified,
+                    Some(word) => QueryOutcome::SafetyViolation {
+                        word: word.to_string(),
+                    },
+                };
+                let holds = v.holds();
+                (v.tm_name, holds, outcome)
+            }
+            VerdictOutcome::Liveness(v) => {
+                let outcome = match v.counterexample() {
+                    None => QueryOutcome::Verified,
+                    Some(lasso) => QueryOutcome::LivenessViolation {
+                        prefix: lasso.prefix.iter().map(ToString::to_string).collect(),
+                        cycle: lasso.cycle.iter().map(ToString::to_string).collect(),
+                        notation: lasso.cycle_notation(),
+                    },
+                };
+                let holds = v.holds();
+                (v.tm_name, holds, outcome)
+            }
+            VerdictOutcome::Reduction(_) => {
+                unreachable!("the service only issues safety and liveness queries")
+            }
+        };
+        QueryResult {
+            spec,
+            name,
+            holds,
+            states: stats.states_explored,
+            cached: stats.artifact_cached,
+            rebuilt: stats.rebuilds > 0,
+            outcome,
+        }
+    }
+}
+
+/// Cumulative service counters (monotonic across batches, except the
+/// instantaneous `tracked_bytes`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ServiceStats {
+    /// Queries answered.
+    pub queries: u64,
+    /// Queries whose artifact was already resident.
+    pub cache_hits: u64,
+    /// Artifact builds (first-time and rebuilds).
+    pub artifact_builds: u64,
+    /// Builds that were rebuilds of an evicted artifact.
+    pub artifact_rebuilds: u64,
+    /// Ledger evictions.
+    pub evictions: u64,
+    /// Currently tracked artifact bytes.
+    pub tracked_bytes: usize,
+    /// High-water mark of tracked bytes (never exceeds the budget while
+    /// every single artifact fits it — the ledger invariant).
+    pub peak_tracked_bytes: usize,
+    /// The configured budget (`None` = unbounded).
+    pub mem_budget: Option<usize>,
+    /// Sessions created (distinct instance sizes seen).
+    pub sessions: usize,
+    /// Shared worker-pool size.
+    pub pool_size: usize,
+    /// Wall-clock nanoseconds spent inside `submit`.
+    pub busy_ns: u64,
+}
+
+/// The verification service: a [`SessionRegistry`] under a
+/// [`MemoryBudget`], fed by the batch scheduler.
+///
+/// # Examples
+///
+/// ```
+/// use tm_service::{QuerySpec, Service, ServiceConfig};
+///
+/// let mut service = Service::new(ServiceConfig {
+///     pool_size: 1,
+///     ..ServiceConfig::default()
+/// });
+/// let batch = vec![
+///     QuerySpec::parse("dstm+aggressive:of:2:1").unwrap(),
+///     QuerySpec::parse("dstm+aggressive:lf:2:1").unwrap(),
+/// ];
+/// let results = service.submit(&batch);
+/// assert!(results[0].holds && !results[1].holds);
+/// // One run graph answered both properties.
+/// assert_eq!(service.stats().artifact_builds, 1);
+/// ```
+pub struct Service {
+    registry: SessionRegistry,
+    budget: MemoryBudget,
+    queries: u64,
+    cache_hits: u64,
+    artifact_builds: u64,
+    artifact_rebuilds: u64,
+    busy_ns: u64,
+}
+
+impl Service {
+    /// Creates a service from `config`.
+    pub fn new(config: ServiceConfig) -> Self {
+        Service {
+            registry: SessionRegistry::new(config.pool_size, config.max_states),
+            budget: MemoryBudget::new(config.mem_budget),
+            queries: 0,
+            cache_hits: 0,
+            artifact_builds: 0,
+            artifact_rebuilds: 0,
+            busy_ns: 0,
+        }
+    }
+
+    /// Answers a whole batch: schedules it for artifact reuse
+    /// ([`execution_order`]), runs every query through the registry
+    /// sessions under the budget, and returns the results **in request
+    /// order**.
+    pub fn submit(&mut self, batch: &[QuerySpec]) -> Vec<QueryResult> {
+        let start = Instant::now();
+        let mut results: Vec<Option<QueryResult>> = batch.iter().map(|_| None).collect();
+        for idx in execution_order(batch) {
+            let spec = &batch[idx];
+            let key = spec.artifact_key();
+            if self.budget.contains(&key) {
+                self.budget.touch(&key);
+            } else {
+                // Make room before the (re)build using the artifact's
+                // last known size, so two generations of large artifacts
+                // never coexist on a rebuild.
+                let evicted = self.budget.reserve(&key);
+                self.evict(&evicted);
+            }
+            let session = self.registry.session(spec.threads, spec.vars);
+            let verdict = run_query(session, spec);
+            let bytes = match &key.kind {
+                ArtifactKind::RunGraph(name) => session.run_graph_heap_bytes(name),
+                ArtifactKind::Spec(property) => session.spec_heap_bytes(*property),
+            }
+            .unwrap_or(0);
+            self.queries += 1;
+            if verdict.stats.artifact_cached {
+                self.cache_hits += 1;
+            } else {
+                self.artifact_builds += 1;
+            }
+            self.artifact_rebuilds += verdict.stats.rebuilds as u64;
+            // Charge the artifact's *current* size (lazy spec caches grow
+            // as new TMs touch new rows) and settle back under budget.
+            let evicted = self.budget.charge(key, bytes);
+            self.evict(&evicted);
+            results[idx] = Some(QueryResult::from_verdict(spec.clone(), verdict));
+        }
+        self.busy_ns += u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        results
+            .into_iter()
+            .map(|r| r.expect("every scheduled query was answered"))
+            .collect()
+    }
+
+    /// Performs ledger-decided evictions on the owning sessions.
+    fn evict(&mut self, evicted: &[ArtifactKey]) {
+        for key in evicted {
+            let session = self.registry.session(key.threads, key.vars);
+            match &key.kind {
+                ArtifactKind::RunGraph(name) => {
+                    session.drop_run_graph(name);
+                }
+                ArtifactKind::Spec(property) => {
+                    session.drop_spec(*property);
+                }
+            }
+        }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            queries: self.queries,
+            cache_hits: self.cache_hits,
+            artifact_builds: self.artifact_builds,
+            artifact_rebuilds: self.artifact_rebuilds,
+            evictions: self.budget.evictions(),
+            tracked_bytes: self.budget.tracked_bytes(),
+            peak_tracked_bytes: self.budget.peak_bytes(),
+            mem_budget: self.budget.limit(),
+            sessions: self.registry.len(),
+            pool_size: self.registry.pool_size(),
+            busy_ns: self.busy_ns,
+        }
+    }
+
+    /// The currently charged artifacts and their byte sizes, sorted.
+    pub fn ledger(&self) -> Vec<(ArtifactKey, usize)> {
+        self.budget.ledger()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::roster::{table2_batch, table3_batch};
+
+    fn sequential_config(mem_budget: Option<usize>) -> ServiceConfig {
+        ServiceConfig {
+            mem_budget,
+            pool_size: 1,
+            max_states: DEFAULT_SERVICE_MAX_STATES,
+        }
+    }
+
+    #[test]
+    fn a_batch_builds_each_artifact_once() {
+        let mut service = Service::new(sequential_config(None));
+        let mut batch = table3_batch();
+        batch.extend(table2_batch());
+        let results = service.submit(&batch);
+        assert_eq!(results.len(), 22);
+        // Results come back in request order.
+        for (result, spec) in results.iter().zip(&batch) {
+            assert_eq!(&result.spec, spec);
+        }
+        let stats = service.stats();
+        assert_eq!(stats.queries, 22);
+        // 4 run graphs + 2 specs, each built exactly once.
+        assert_eq!(stats.artifact_builds, 6);
+        assert_eq!(stats.cache_hits, 16);
+        assert_eq!(stats.artifact_rebuilds, 0);
+        assert_eq!(stats.evictions, 0);
+        assert_eq!(stats.sessions, 2);
+        assert_eq!(service.ledger().len(), 6);
+        assert!(stats.tracked_bytes > 0);
+    }
+
+    #[test]
+    fn mem_budget_parsing() {
+        assert_eq!(parse_mem_budget(""), Ok(None));
+        assert_eq!(parse_mem_budget("0"), Ok(None));
+        assert_eq!(parse_mem_budget("unbounded"), Ok(None));
+        assert_eq!(parse_mem_budget("4096"), Ok(Some(4096)));
+        assert_eq!(parse_mem_budget("16k"), Ok(Some(16 << 10)));
+        assert_eq!(parse_mem_budget("3M"), Ok(Some(3 << 20)));
+        assert_eq!(parse_mem_budget("2g"), Ok(Some(2 << 30)));
+        assert!(parse_mem_budget("lots").is_err());
+        assert!(parse_mem_budget("12q").is_err());
+    }
+}

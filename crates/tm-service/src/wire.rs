@@ -1,0 +1,743 @@
+//! The wire format: a minimal, dependency-free JSON value
+//! ([`Json`] — parser and writer over `std` only, in the spirit of the
+//! workspace's offline shims) plus the encode/decode functions for the
+//! service's request and response bodies.
+//!
+//! ## Batch request (`POST /v1/batch`)
+//!
+//! ```json
+//! {"queries": [
+//!   {"tm": "dstm", "cm": "aggressive", "property": "of", "threads": 2, "vars": 1},
+//!   {"tm": "TL2", "property": "ss", "threads": 2, "vars": 2}
+//! ]}
+//! ```
+//!
+//! `cm` is omitted (or `null`) for a bare TM. Properties use the short
+//! codes `ss`, `op`, `of`, `lf`, `wf`.
+//!
+//! ## Batch response
+//!
+//! ```json
+//! {"results": [
+//!   {"tm": "dstm", "cm": "aggressive", "property": "of", "threads": 2, "vars": 1,
+//!    "name": "dstm+aggressive", "holds": true, "states": 1977,
+//!    "cached": false, "rebuilt": false},
+//!   {"tm": "TL2", "property": "ss", "threads": 2, "vars": 2,
+//!    "name": "TL2", "holds": true, "states": 20430,
+//!    "cached": false, "rebuilt": false}
+//! ],
+//!  "stats": {"queries": 2, "cache_hits": 0, "...": "..."}}
+//! ```
+//!
+//! A safety violation adds `"counterexample": "<word>"`; a liveness
+//! violation adds `"lasso": {"prefix": [...], "cycle": [...],
+//! "notation": "..."}` — all strings in the canonical `Display` forms,
+//! so wire answers compare bit-identically against in-process ones.
+
+use std::fmt;
+
+use crate::roster::{CmKind, PropertyKind, QuerySpec, TmKind};
+use crate::service::{QueryOutcome, QueryResult, ServiceStats};
+
+/// A JSON value. Numbers are `f64` (every counter the service ships is
+/// far below 2^53, where `f64` is exact).
+#[derive(Clone, PartialEq, Debug)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object (insertion-ordered; keys are not deduplicated).
+    Obj(Vec<(String, Json)>),
+}
+
+/// A parse error with its byte offset.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct JsonError {
+    /// Byte offset of the error.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl Json {
+    /// Parses a complete JSON document (trailing whitespace allowed,
+    /// trailing garbage is an error).
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        let mut parser = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        parser.skip_ws();
+        let value = parser.value()?;
+        parser.skip_ws();
+        if parser.pos != parser.bytes.len() {
+            return Err(parser.error("trailing characters"));
+        }
+        Ok(value)
+    }
+
+    /// Member lookup on an object (first match; `None` on non-objects).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as a non-negative integer (`None` for
+    /// negative, fractional, or unsafely large values).
+    pub fn as_usize(&self) -> Option<usize> {
+        let n = self.as_f64()?;
+        (n >= 0.0 && n.fract() == 0.0 && n <= 9_007_199_254_740_992.0).then_some(n as usize)
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Num(n) => write_number(*n, out),
+            Json::Str(s) => write_string(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(members) => {
+                out.push('{');
+                for (i, (key, value)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(key, out);
+                    out.push(':');
+                    value.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        self.write(&mut out);
+        f.write_str(&out)
+    }
+}
+
+fn write_number(n: f64, out: &mut String) {
+    if n.fract() == 0.0 && n.abs() <= 9_007_199_254_740_992.0 {
+        out.push_str(&format!("{}", n as i64));
+    } else {
+        out.push_str(&format!("{n}"));
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn error(&self, message: impl Into<String>) -> JsonError {
+        JsonError {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(b' ' | b'\t' | b'\n' | b'\r') = self.bytes.get(self.pos) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {:?}", byte as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.error(format!("expected {word}")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.error("expected a JSON value")),
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while let Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-') = self.peek() {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.error(format!("bad number {text:?}")))
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let escape = self.peek().ok_or_else(|| self.error("bad escape"))?;
+                    self.pos += 1;
+                    match escape {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.error("bad \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogates are not paired (the writer never
+                            // emits them); map to the replacement char.
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        }
+                        other => {
+                            return Err(self.error(format!("bad escape \\{}", other as char)))
+                        }
+                    }
+                }
+                Some(_) => {
+                    // Copy one UTF-8 scalar as raw bytes.
+                    let rest = &self.bytes[self.pos..];
+                    let text = std::str::from_utf8(rest)
+                        .map_err(|_| self.error("invalid UTF-8"))?;
+                    let c = text.chars().next().expect("nonempty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.error("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(members));
+                }
+                _ => return Err(self.error("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+/// A malformed request/response body.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct WireError(pub String);
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<JsonError> for WireError {
+    fn from(e: JsonError) -> Self {
+        WireError(e.to_string())
+    }
+}
+
+fn num(n: usize) -> Json {
+    Json::Num(n as f64)
+}
+
+fn spec_members(spec: &QuerySpec) -> Vec<(String, Json)> {
+    let mut members = vec![("tm".to_owned(), Json::Str(spec.tm.code().to_owned()))];
+    if let Some(cm) = spec.cm.code() {
+        members.push(("cm".to_owned(), Json::Str(cm.to_owned())));
+    }
+    members.push(("property".to_owned(), Json::Str(spec.property.code().to_owned())));
+    members.push(("threads".to_owned(), num(spec.threads)));
+    members.push(("vars".to_owned(), num(spec.vars)));
+    members
+}
+
+/// Encodes a batch request body.
+pub fn encode_batch(batch: &[QuerySpec]) -> String {
+    Json::Obj(vec![(
+        "queries".to_owned(),
+        Json::Arr(batch.iter().map(|q| Json::Obj(spec_members(q))).collect()),
+    )])
+    .to_string()
+}
+
+fn decode_spec(value: &Json) -> Result<QuerySpec, WireError> {
+    let field = |key: &str| {
+        value
+            .get(key)
+            .ok_or_else(|| WireError(format!("query is missing {key:?}")))
+    };
+    let str_field = |key: &str| {
+        field(key)?
+            .as_str()
+            .ok_or_else(|| WireError(format!("query field {key:?} must be a string")))
+    };
+    let usize_field = |key: &str| {
+        field(key)?
+            .as_usize()
+            .ok_or_else(|| WireError(format!("query field {key:?} must be a non-negative integer")))
+    };
+    let tm: TmKind = str_field("tm")?.parse().map_err(WireError)?;
+    let cm: CmKind = match value.get("cm") {
+        None | Some(Json::Null) => CmKind::None,
+        Some(v) => v
+            .as_str()
+            .ok_or_else(|| WireError("query field \"cm\" must be a string".to_owned()))?
+            .parse()
+            .map_err(WireError)?,
+    };
+    let property: PropertyKind = str_field("property")?.parse().map_err(WireError)?;
+    let spec = QuerySpec {
+        tm,
+        cm,
+        property,
+        threads: usize_field("threads")?,
+        vars: usize_field("vars")?,
+    };
+    // Out-of-range instance sizes are a client error (HTTP 400), never a
+    // panic inside a serving thread.
+    spec.validate().map_err(WireError)?;
+    Ok(spec)
+}
+
+/// Decodes a batch request body.
+pub fn decode_batch(body: &str) -> Result<Vec<QuerySpec>, WireError> {
+    let json = Json::parse(body)?;
+    let queries = json
+        .get("queries")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| WireError("request must carry a \"queries\" array".to_owned()))?;
+    queries.iter().map(decode_spec).collect()
+}
+
+fn result_to_json(result: &QueryResult) -> Json {
+    let mut members = spec_members(&result.spec);
+    members.push(("name".to_owned(), Json::Str(result.name.clone())));
+    members.push(("holds".to_owned(), Json::Bool(result.holds)));
+    members.push(("states".to_owned(), num(result.states)));
+    members.push(("cached".to_owned(), Json::Bool(result.cached)));
+    members.push(("rebuilt".to_owned(), Json::Bool(result.rebuilt)));
+    match &result.outcome {
+        QueryOutcome::Verified => {}
+        QueryOutcome::SafetyViolation { word } => {
+            members.push(("counterexample".to_owned(), Json::Str(word.clone())));
+        }
+        QueryOutcome::LivenessViolation {
+            prefix,
+            cycle,
+            notation,
+        } => {
+            let strings = |labels: &[String]| {
+                Json::Arr(labels.iter().map(|l| Json::Str(l.clone())).collect())
+            };
+            members.push((
+                "lasso".to_owned(),
+                Json::Obj(vec![
+                    ("prefix".to_owned(), strings(prefix)),
+                    ("cycle".to_owned(), strings(cycle)),
+                    ("notation".to_owned(), Json::Str(notation.clone())),
+                ]),
+            ));
+        }
+    }
+    Json::Obj(members)
+}
+
+/// Encodes a batch response body (results in request order plus the
+/// service counters).
+pub fn encode_results(results: &[QueryResult], stats: &ServiceStats) -> String {
+    Json::Obj(vec![
+        (
+            "results".to_owned(),
+            Json::Arr(results.iter().map(result_to_json).collect()),
+        ),
+        ("stats".to_owned(), stats_to_json(stats)),
+    ])
+    .to_string()
+}
+
+fn stats_to_json(stats: &ServiceStats) -> Json {
+    Json::Obj(vec![
+        ("queries".to_owned(), num(stats.queries as usize)),
+        ("cache_hits".to_owned(), num(stats.cache_hits as usize)),
+        ("artifact_builds".to_owned(), num(stats.artifact_builds as usize)),
+        (
+            "artifact_rebuilds".to_owned(),
+            num(stats.artifact_rebuilds as usize),
+        ),
+        ("evictions".to_owned(), num(stats.evictions as usize)),
+        ("tracked_bytes".to_owned(), num(stats.tracked_bytes)),
+        (
+            "peak_tracked_bytes".to_owned(),
+            num(stats.peak_tracked_bytes),
+        ),
+        (
+            "mem_budget".to_owned(),
+            stats.mem_budget.map_or(Json::Null, num),
+        ),
+        ("sessions".to_owned(), num(stats.sessions)),
+        ("pool_size".to_owned(), num(stats.pool_size)),
+        ("busy_ns".to_owned(), num(stats.busy_ns as usize)),
+    ])
+}
+
+/// Encodes the `GET /v1/stats` body.
+pub fn encode_stats(stats: &ServiceStats) -> String {
+    stats_to_json(stats).to_string()
+}
+
+fn decode_result(value: &Json) -> Result<QueryResult, WireError> {
+    let spec = decode_spec(value)?;
+    let bool_field = |key: &str| {
+        value
+            .get(key)
+            .and_then(Json::as_bool)
+            .ok_or_else(|| WireError(format!("result is missing boolean {key:?}")))
+    };
+    let outcome = if let Some(word) = value.get("counterexample") {
+        QueryOutcome::SafetyViolation {
+            word: word
+                .as_str()
+                .ok_or_else(|| WireError("counterexample must be a string".to_owned()))?
+                .to_owned(),
+        }
+    } else if let Some(lasso) = value.get("lasso") {
+        let labels = |key: &str| -> Result<Vec<String>, WireError> {
+            lasso
+                .get(key)
+                .and_then(Json::as_arr)
+                .ok_or_else(|| WireError(format!("lasso is missing {key:?}")))?
+                .iter()
+                .map(|l| {
+                    l.as_str()
+                        .map(str::to_owned)
+                        .ok_or_else(|| WireError("lasso labels must be strings".to_owned()))
+                })
+                .collect()
+        };
+        QueryOutcome::LivenessViolation {
+            prefix: labels("prefix")?,
+            cycle: labels("cycle")?,
+            notation: lasso
+                .get("notation")
+                .and_then(Json::as_str)
+                .ok_or_else(|| WireError("lasso is missing \"notation\"".to_owned()))?
+                .to_owned(),
+        }
+    } else {
+        QueryOutcome::Verified
+    };
+    Ok(QueryResult {
+        spec,
+        name: value
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| WireError("result is missing \"name\"".to_owned()))?
+            .to_owned(),
+        holds: bool_field("holds")?,
+        states: value
+            .get("states")
+            .and_then(Json::as_usize)
+            .ok_or_else(|| WireError("result is missing \"states\"".to_owned()))?,
+        cached: bool_field("cached")?,
+        rebuilt: bool_field("rebuilt")?,
+        outcome,
+    })
+}
+
+fn decode_stats(value: &Json) -> Result<ServiceStats, WireError> {
+    let field = |key: &str| {
+        value
+            .get(key)
+            .and_then(Json::as_usize)
+            .ok_or_else(|| WireError(format!("stats are missing {key:?}")))
+    };
+    Ok(ServiceStats {
+        queries: field("queries")? as u64,
+        cache_hits: field("cache_hits")? as u64,
+        artifact_builds: field("artifact_builds")? as u64,
+        artifact_rebuilds: field("artifact_rebuilds")? as u64,
+        evictions: field("evictions")? as u64,
+        tracked_bytes: field("tracked_bytes")?,
+        peak_tracked_bytes: field("peak_tracked_bytes")?,
+        mem_budget: match value.get("mem_budget") {
+            None | Some(Json::Null) => None,
+            Some(v) => Some(v.as_usize().ok_or_else(|| {
+                WireError("stats field \"mem_budget\" must be an integer or null".to_owned())
+            })?),
+        },
+        sessions: field("sessions")?,
+        pool_size: field("pool_size")?,
+        busy_ns: field("busy_ns")? as u64,
+    })
+}
+
+/// Decodes a batch response body back into results and stats — what the
+/// `tm-query` client and the over-the-wire conformance tests consume.
+pub fn decode_results(body: &str) -> Result<(Vec<QueryResult>, ServiceStats), WireError> {
+    let json = Json::parse(body)?;
+    let results = json
+        .get("results")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| WireError("response must carry a \"results\" array".to_owned()))?
+        .iter()
+        .map(decode_result)
+        .collect::<Result<Vec<_>, _>>()?;
+    let stats = decode_stats(
+        json.get("stats")
+            .ok_or_else(|| WireError("response must carry \"stats\"".to_owned()))?,
+    )?;
+    Ok((results, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_parses_and_prints() {
+        let text = r#"{"a": [1, -2.5, true, null], "s": "x\"\\\nA"}"#;
+        let json = Json::parse(text).unwrap();
+        assert_eq!(json.get("s").unwrap().as_str(), Some("x\"\\\nA"));
+        assert_eq!(json.get("a").unwrap().as_arr().unwrap().len(), 4);
+        let round = Json::parse(&json.to_string()).unwrap();
+        assert_eq!(round, json);
+        assert!(Json::parse("{\"a\": }").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("[1] x").is_err());
+        assert!(Json::parse("\"open").is_err());
+    }
+
+    #[test]
+    fn batch_round_trips() {
+        let batch = vec![
+            QuerySpec::parse("dstm+aggressive:of:2:1").unwrap(),
+            QuerySpec::parse("modified-TL2+polite:op:2:2").unwrap(),
+            QuerySpec::parse("sequential:ss:3:1").unwrap(),
+        ];
+        let decoded = decode_batch(&encode_batch(&batch)).unwrap();
+        assert_eq!(decoded, batch);
+        assert!(decode_batch("{}").is_err());
+        assert!(decode_batch(r#"{"queries": [{"tm": "dstm"}]}"#).is_err());
+    }
+
+    #[test]
+    fn results_round_trip_with_every_outcome() {
+        let results = vec![
+            QueryResult {
+                spec: QuerySpec::parse("dstm:op:2:2").unwrap(),
+                name: "dstm".to_owned(),
+                holds: true,
+                states: 2083,
+                cached: false,
+                rebuilt: false,
+                outcome: QueryOutcome::Verified,
+            },
+            QueryResult {
+                spec: QuerySpec::parse("modified-TL2+polite:ss:2:2").unwrap(),
+                name: "modified-TL2+polite".to_owned(),
+                holds: false,
+                states: 913,
+                cached: true,
+                rebuilt: true,
+                outcome: QueryOutcome::SafetyViolation {
+                    word: "(w,1)1 c1 (r,1)2 (w,1)2 c2".to_owned(),
+                },
+            },
+            QueryResult {
+                spec: QuerySpec::parse("2PL:of:2:1").unwrap(),
+                name: "2PL".to_owned(),
+                holds: false,
+                states: 77,
+                cached: false,
+                rebuilt: false,
+                outcome: QueryOutcome::LivenessViolation {
+                    prefix: vec!["(o,1)2".to_owned()],
+                    cycle: vec!["a1".to_owned(), "(o,1)1".to_owned()],
+                    notation: "a1, (o,1)1".to_owned(),
+                },
+            },
+        ];
+        let stats = ServiceStats {
+            queries: 3,
+            cache_hits: 1,
+            artifact_builds: 2,
+            artifact_rebuilds: 1,
+            evictions: 4,
+            tracked_bytes: 12345,
+            peak_tracked_bytes: 23456,
+            mem_budget: Some(1 << 20),
+            sessions: 2,
+            pool_size: 4,
+            busy_ns: 987654321,
+        };
+        let body = encode_results(&results, &stats);
+        let (decoded, decoded_stats) = decode_results(&body).unwrap();
+        assert_eq!(decoded, results);
+        assert_eq!(decoded_stats, stats);
+        // Unbounded budget encodes as null and survives.
+        let unbounded = ServiceStats {
+            mem_budget: None,
+            ..stats
+        };
+        let (_, decoded_stats) = decode_results(&encode_results(&[], &unbounded)).unwrap();
+        assert_eq!(decoded_stats.mem_budget, None);
+    }
+}

@@ -1,0 +1,161 @@
+//! Eviction conformance: a session that evicts compiled artifacts
+//! between queries ([`Verifier::drop_run_graph`] / [`Verifier::drop_spec`])
+//! must answer every re-query **bit-identically** to the session that
+//! never evicted — verdicts, counterexample words, lassos, and notations.
+//! Eviction may only cost time (the rebuild) and is reported in
+//! [`tm_checker::QueryStats::rebuilds`]; this is the contract the
+//! memory-budgeted `tm-service` layer rests on.
+
+use tm_algorithms::{
+    AggressiveCm, DstmTm, PoliteCm, SequentialTm, Tl2Tm, TwoPhaseTm, ValidationStyle,
+    WithContentionManager,
+};
+use tm_checker::{LivenessVerdict, SafetyVerdict, SpecMode, Verifier};
+use tm_lang::{LivenessProperty, SafetyProperty};
+
+/// The Table 3 roster rows, rebuilt per call (construction is cheap).
+fn liveness_verdict(
+    verifier: &mut Verifier,
+    name: &str,
+    property: LivenessProperty,
+) -> (LivenessVerdict, usize) {
+    let verdict = match name {
+        "sequential" => verifier.check_liveness(&SequentialTm::new(2, 1), property),
+        "2PL" => verifier.check_liveness(&TwoPhaseTm::new(2, 1), property),
+        "dstm+aggressive" => verifier.check_liveness(
+            &WithContentionManager::new(DstmTm::new(2, 1), AggressiveCm),
+            property,
+        ),
+        "TL2+polite" => verifier.check_liveness(
+            &WithContentionManager::new(Tl2Tm::new(2, 1), PoliteCm),
+            property,
+        ),
+        other => panic!("unknown roster row: {other}"),
+    };
+    let rebuilds = verdict.stats.rebuilds;
+    (verdict.into_liveness().expect("liveness query"), rebuilds)
+}
+
+fn assert_liveness_identical(kept: &LivenessVerdict, evicted: &LivenessVerdict, context: &str) {
+    assert_eq!(kept.holds(), evicted.holds(), "{context}: verdict");
+    assert_eq!(kept.tm_states, evicted.tm_states, "{context}: states");
+    assert_eq!(
+        kept.counterexample(),
+        evicted.counterexample(),
+        "{context}: lasso"
+    );
+    if let (Some(a), Some(b)) = (kept.counterexample(), evicted.counterexample()) {
+        assert_eq!(a.cycle_notation(), b.cycle_notation(), "{context}: notation");
+    }
+}
+
+#[test]
+fn evicted_run_graphs_requery_bit_identically() {
+    for pool in [1, 4] {
+        let mut kept = Verifier::new(2, 1).pool_size(pool);
+        let mut evicting = Verifier::new(2, 1).pool_size(pool);
+        // Names are the TMs' own `name()`s — the run-graph cache keys.
+        for name in ["sequential", "2PL", "dstm+aggressive", "TL2+polite"] {
+            for property in LivenessProperty::all() {
+                let (reference, _) = liveness_verdict(&mut kept, name, property);
+                // Evict the graph before *every* query: each one is a
+                // cold rebuild after the first.
+                let had_graph = evicting.drop_run_graph(name);
+                let (requeried, rebuilds) = liveness_verdict(&mut evicting, name, property);
+                assert_liveness_identical(
+                    &reference,
+                    &requeried,
+                    &format!("{name}/{property} pool={pool}"),
+                );
+                assert_eq!(
+                    rebuilds,
+                    usize::from(had_graph),
+                    "{name}/{property}: a build after eviction is a rebuild"
+                );
+            }
+        }
+        // 4 TMs × 3 properties: one first build plus two rebuilds each.
+        assert_eq!(kept.run_graph_builds(), 4);
+        assert_eq!(kept.run_graph_rebuilds(), 0);
+        assert_eq!(evicting.run_graph_builds(), 12);
+        assert_eq!(evicting.run_graph_rebuilds(), 8);
+    }
+}
+
+fn safety_verdict(
+    verifier: &mut Verifier,
+    name: &str,
+    property: SafetyProperty,
+) -> (SafetyVerdict, usize) {
+    let verdict = match name {
+        "sequential" => verifier.check_safety(&SequentialTm::new(2, 2), property),
+        "2PL" => verifier.check_safety(&TwoPhaseTm::new(2, 2), property),
+        "dstm" => verifier.check_safety(&DstmTm::new(2, 2), property),
+        "modified-TL2+polite" => verifier.check_safety(
+            &WithContentionManager::new(
+                Tl2Tm::with_validation(2, 2, ValidationStyle::RValidateThenChkLock),
+                PoliteCm,
+            ),
+            property,
+        ),
+        other => panic!("unknown roster row: {other}"),
+    };
+    let rebuilds = verdict.stats.rebuilds;
+    (verdict.into_safety().expect("safety query"), rebuilds)
+}
+
+#[test]
+fn evicted_specs_requery_bit_identically() {
+    // The paper's interesting safety rows: a verifying TM per property
+    // plus the violating modified TL2 (counterexample word must survive
+    // eviction byte-for-byte). Lazy is the session default; eager also
+    // pinned since its artifact type (compiled DFA) evicts separately.
+    for mode in [SpecMode::Lazy, SpecMode::Eager] {
+        let mut kept = Verifier::new(2, 2).spec_mode(mode);
+        let mut evicting = Verifier::new(2, 2).spec_mode(mode);
+        for property in SafetyProperty::all() {
+            for name in ["sequential", "dstm", "modified-TL2+polite"] {
+                let (reference, _) = safety_verdict(&mut kept, name, property);
+                let had_spec = evicting.drop_spec(property);
+                let (requeried, rebuilds) = safety_verdict(&mut evicting, name, property);
+                assert_eq!(
+                    reference.holds(),
+                    requeried.holds(),
+                    "{name}/{property:?} {mode:?}: verdict"
+                );
+                assert_eq!(
+                    reference.counterexample(),
+                    requeried.counterexample(),
+                    "{name}/{property:?} {mode:?}: word"
+                );
+                assert_eq!(
+                    rebuilds,
+                    usize::from(had_spec),
+                    "{name}/{property:?} {mode:?}: rebuild accounting"
+                );
+            }
+        }
+        // 2 properties, 3 TMs each: every query after the first per
+        // property was answered from a freshly rebuilt artifact.
+        assert_eq!(kept.spec_builds(), 2);
+        assert_eq!(kept.spec_rebuilds(), 0);
+        assert_eq!(evicting.spec_builds(), 6);
+        assert_eq!(evicting.spec_rebuilds(), 4);
+    }
+}
+
+#[test]
+fn dropping_unknown_artifacts_is_a_no_op() {
+    let mut verifier = Verifier::new(2, 1);
+    assert!(!verifier.drop_run_graph("dstm"));
+    assert!(!verifier.drop_spec(SafetyProperty::Opacity));
+    let verdict = verifier.check_liveness(
+        &WithContentionManager::new(DstmTm::new(2, 1), AggressiveCm),
+        LivenessProperty::ObstructionFreedom,
+    );
+    // A first-time build after a no-op drop is not a rebuild.
+    assert_eq!(verdict.stats.rebuilds, 0);
+    assert_eq!(verifier.run_graph_rebuilds(), 0);
+    assert!(verifier.drop_run_graph("dstm+aggressive"));
+    assert!(verifier.run_graph_heap_bytes("dstm+aggressive").is_none());
+}
