@@ -503,7 +503,8 @@ where
         let source = MostGeneralSource::new(self, alphabet.clone());
         let mut counts = (0, 0);
         let best = best_of(runs.max(1), || {
-            let (result, stats) = check_inclusion_otf_lazy(&source, spec);
+            let (result, stats) =
+                check_inclusion_otf_lazy(&source, spec).expect("bench query within bounds");
             counts = (result.product_states(), stats.impl_states);
         });
         (best, counts.0, counts.1)
@@ -519,7 +520,8 @@ where
         let source = MostGeneralSource::new(self, alphabet.clone());
         let mut counts = (0, 0);
         let best = best_of(runs.max(1), || {
-            let (result, stats) = tm_automata::check_inclusion_otf_stats(&source, spec, threads);
+            let (result, stats) = tm_automata::check_inclusion_otf_stats(&source, spec, threads)
+                .expect("bench query within bounds");
             counts = (result.product_states(), stats.impl_states);
         });
         (best, counts.0, counts.1)
@@ -713,6 +715,7 @@ fn bench_service() {
         mem_budget,
         pool_size: pool,
         max_states: MAX_STATES,
+        ..ServiceConfig::default()
     };
 
     // Unbounded pass: ground-truth verdicts and the artifact ledger the

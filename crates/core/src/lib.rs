@@ -82,6 +82,7 @@ pub use safety::{
     DEFAULT_MAX_STATES,
 };
 pub use session::{SpecMode, Verifier};
+pub use tm_automata::{CancelToken, EngineError, QueryBudget};
 pub use structural::{
     check_all_structural, check_structural, StructuralProperty, StructuralReport,
     StructuralViolation,

@@ -5,6 +5,8 @@
 use std::fmt;
 use std::time::Duration;
 
+use tm_automata::EngineError;
+
 use crate::liveness::LivenessVerdict;
 use crate::reduction::ReductionEvidence;
 use crate::safety::SafetyVerdict;
@@ -49,6 +51,13 @@ pub enum VerdictOutcome {
     Liveness(LivenessVerdict),
     /// A full reduction-methodology run.
     Reduction(ReductionEvidence),
+    /// The engine retired the query at a resource limit — state-space
+    /// blowup, expired deadline, cooperative cancellation, a panicked
+    /// worker, or an injected fault — instead of answering it. The
+    /// [`QueryStats`] are partial: whatever the query had spent when it
+    /// was retired. [`EngineError::is_retryable`] says whether asking
+    /// again (with more time, or after cancellation clears) can succeed.
+    Aborted(EngineError),
 }
 
 /// The uniform result of every [`crate::Verifier`] query: the
@@ -82,6 +91,16 @@ impl Verdict {
             VerdictOutcome::Safety(v) => v.holds(),
             VerdictOutcome::Liveness(v) => v.holds(),
             VerdictOutcome::Reduction(e) => e.concludes(),
+            VerdictOutcome::Aborted(_) => false,
+        }
+    }
+
+    /// The abort reason, if the engine retired this query at a resource
+    /// limit instead of answering it (see [`VerdictOutcome::Aborted`]).
+    pub fn abort_reason(&self) -> Option<EngineError> {
+        match &self.outcome {
+            VerdictOutcome::Aborted(error) => Some(*error),
+            _ => None,
         }
     }
 

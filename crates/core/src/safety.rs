@@ -236,7 +236,8 @@ impl SafetyChecker {
             &self.compiled,
             modelcheck_threads(),
             DEFAULT_MAX_STATES,
-        );
+        )
+        .unwrap_or_else(|error| panic!("safety check failed: {error}"));
         let check_time = check_start.elapsed();
         let (outcome, product_states) = match result {
             InclusionResult::Included { product_states } => {

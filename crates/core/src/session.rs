@@ -35,9 +35,9 @@ use std::time::{Duration, Instant};
 
 use tm_algorithms::{MostGeneralRunSource, MostGeneralSource, RunLabel, TmAlgorithm};
 use tm_automata::{
-    check_inclusion_otf_cached, check_inclusion_otf_executor, modelcheck_threads, Alphabet,
-    CompiledDfa, CompiledRunGraph, DtsSpecSource, Executor, FxHashMap, InclusionResult,
-    SpecCache, WorkerPool,
+    check_inclusion_otf_budget, check_inclusion_otf_cached_budget, modelcheck_threads, Alphabet,
+    CancelToken, CompiledDfa, CompiledRunGraph, DtsSpecSource, EngineError, Executor, FxHashMap,
+    InclusionResult, QueryBudget, SpecCache, WorkerPool,
 };
 use tm_lang::{LivenessProperty, SafetyProperty, Statement, Word};
 use tm_spec::{spec_alphabet, DetSpec};
@@ -120,6 +120,8 @@ pub struct Verifier {
     pool_size: usize,
     spec_mode: SpecMode,
     max_states: usize,
+    deadline: Option<Duration>,
+    cancel: Option<CancelToken>,
     pool: Option<WorkerPool>,
     /// A pool owned by someone else (a service multiplexing many
     /// sessions); takes precedence over the session-owned `pool`.
@@ -167,6 +169,8 @@ impl Verifier {
             pool_size: modelcheck_threads(),
             spec_mode: SpecMode::default(),
             max_states: DEFAULT_MAX_STATES,
+            deadline: None,
+            cancel: None,
             pool: None,
             shared_pool: None,
             eager_specs: FxHashMap::default(),
@@ -213,10 +217,47 @@ impl Verifier {
         self
     }
 
-    /// Sets the bound on reachable state spaces.
+    /// Sets the bound on reachable state spaces. A query whose state
+    /// space exceeds the bound returns
+    /// [`VerdictOutcome::Aborted`]`(`[`EngineError::StateLimit`]`)`
+    /// instead of panicking.
     pub fn max_states(mut self, max_states: usize) -> Self {
         self.max_states = max_states;
         self
+    }
+
+    /// Sets a per-query wall-clock deadline: each subsequent query that
+    /// runs longer (artifact build included) returns
+    /// [`VerdictOutcome::Aborted`]`(`[`EngineError::Deadline`]`)` with
+    /// the partial stats it had accumulated. The engines poll the
+    /// deadline at BFS level boundaries and Tarjan iteration chunks, so
+    /// overshoot is bounded by one chunk.
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Attaches a cancellation token checked by every subsequent query:
+    /// [`CancelToken::cancel`] from another thread retires the running
+    /// query at its next budget poll with
+    /// [`VerdictOutcome::Aborted`]`(`[`EngineError::Cancelled`]`)`.
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// The budget one query runs under: the session's state bound, plus
+    /// the optional deadline (counted from *now* — each query gets the
+    /// full window) and cancellation token.
+    fn query_budget(&self) -> QueryBudget {
+        let mut budget = QueryBudget::new(self.max_states);
+        if let Some(deadline) = self.deadline {
+            budget = budget.with_timeout(deadline);
+        }
+        if let Some(token) = &self.cancel {
+            budget = budget.with_cancel(token.clone());
+        }
+        budget
     }
 
     /// Number of threads of the session's instance size.
@@ -365,10 +406,14 @@ impl Verifier {
     /// reusing the session's specification artifacts (and, under
     /// [`SpecMode::Eager`], its worker pool).
     ///
+    /// A state space exceeding the session's bound, an expired
+    /// [`Verifier::deadline`], or a cancelled [`Verifier::cancel_token`]
+    /// returns [`VerdictOutcome::Aborted`] with partial stats — never a
+    /// panic.
+    ///
     /// # Panics
     ///
-    /// Panics if `tm`'s instance size disagrees with the session's, or a
-    /// state space exceeds the session's bound.
+    /// Panics if `tm`'s instance size disagrees with the session's.
     pub fn check_safety<A>(&mut self, tm: &A, property: SafetyProperty) -> Verdict
     where
         A: TmAlgorithm + Sync,
@@ -390,7 +435,7 @@ impl Verifier {
         let total = Instant::now();
         let (n, k) = (tm.threads(), tm.vars());
         let key = (property, n, k);
-        let max_states = self.max_states;
+        let budget = self.query_budget();
         match self.spec_mode {
             SpecMode::Lazy => {
                 let cached = self.lazy_specs.contains_key(&key);
@@ -415,7 +460,27 @@ impl Verifier {
                 );
                 let search = Instant::now();
                 let (result, stats) =
-                    check_inclusion_otf_cached(&source, &mut artifact.cache, max_states);
+                    match check_inclusion_otf_cached_budget(&source, &mut artifact.cache, &budget)
+                    {
+                        Ok(pair) => pair,
+                        Err(error) => {
+                            return abort_verdict(
+                                error,
+                                QueryStats {
+                                    states_explored: 0,
+                                    build_time: if cached {
+                                        Duration::ZERO
+                                    } else {
+                                        artifact.build_time
+                                    },
+                                    search_time: search.elapsed(),
+                                    pool_size: 1,
+                                    artifact_cached: cached,
+                                    rebuilds,
+                                },
+                            );
+                        }
+                    };
                 let search_time = search.elapsed();
                 let verdict = assemble_safety(
                     tm.name(),
@@ -444,7 +509,22 @@ impl Verifier {
                 let mut rebuilds = 0;
                 if !cached {
                     let build = Instant::now();
-                    let compiled = DetSpec::new(property, n, k).to_dfa(max_states).0.compile();
+                    let compiled = match DetSpec::new(property, n, k).try_to_dfa(&budget) {
+                        Ok((dfa, _)) => dfa.compile(),
+                        Err(error) => {
+                            return abort_verdict(
+                                error,
+                                QueryStats {
+                                    states_explored: 0,
+                                    build_time: build.elapsed(),
+                                    search_time: Duration::ZERO,
+                                    pool_size: 1,
+                                    artifact_cached: false,
+                                    rebuilds: 0,
+                                },
+                            );
+                        }
+                    };
                     self.eager_specs.insert(
                         key,
                         EagerSpec {
@@ -459,10 +539,33 @@ impl Verifier {
                 let executor = self.executor();
                 let source = MostGeneralSource::new(tm, artifact.compiled.alphabet().clone());
                 let search = Instant::now();
-                let (result, stats) =
-                    check_inclusion_otf_executor(&source, &artifact.compiled, &executor, max_states);
-                let search_time = search.elapsed();
                 let pool_size = executor.threads();
+                let (result, stats) = match check_inclusion_otf_budget(
+                    &source,
+                    &artifact.compiled,
+                    &executor,
+                    &budget,
+                ) {
+                    Ok(pair) => pair,
+                    Err(error) => {
+                        return abort_verdict(
+                            error,
+                            QueryStats {
+                                states_explored: 0,
+                                build_time: if cached {
+                                    Duration::ZERO
+                                } else {
+                                    artifact.build_time
+                                },
+                                search_time: search.elapsed(),
+                                pool_size,
+                                artifact_cached: cached,
+                                rebuilds,
+                            },
+                        );
+                    }
+                };
+                let search_time = search.elapsed();
                 let verdict = assemble_safety(
                     tm.name(),
                     property,
@@ -509,10 +612,14 @@ impl Verifier {
     /// first query for this TM and cached; subsequent properties are pure
     /// loop searches over it, fanned out on the session pool.
     ///
+    /// A run-graph state space exceeding the session's bound, an expired
+    /// [`Verifier::deadline`], or a cancelled [`Verifier::cancel_token`]
+    /// returns [`VerdictOutcome::Aborted`] with partial stats — never a
+    /// panic.
+    ///
     /// # Panics
     ///
-    /// Panics if `tm`'s instance size disagrees with the session's, or
-    /// its run-graph state space exceeds the session's bound.
+    /// Panics if `tm`'s instance size disagrees with the session's.
     pub fn check_liveness<A: TmAlgorithm>(
         &mut self,
         tm: &A,
@@ -521,13 +628,29 @@ impl Verifier {
         assert_eq!(tm.threads(), self.threads, "thread count mismatch");
         assert_eq!(tm.vars(), self.vars, "variable count mismatch");
         let total = Instant::now();
+        let budget = self.query_budget();
         let key = tm.name();
         let cached = self.run_graphs.contains_key(&key);
         let mut rebuilds = 0;
         if !cached {
             let build = Instant::now();
             let source = MostGeneralRunSource::new(tm);
-            let (graph, states) = CompiledRunGraph::build(&source, self.max_states);
+            let (graph, states) = match CompiledRunGraph::build_budget(&source, &budget) {
+                Ok(pair) => pair,
+                Err(error) => {
+                    return abort_verdict(
+                        error,
+                        QueryStats {
+                            states_explored: 0,
+                            build_time: build.elapsed(),
+                            search_time: Duration::ZERO,
+                            pool_size: 1,
+                            artifact_cached: false,
+                            rebuilds: 0,
+                        },
+                    );
+                }
+            };
             self.run_graphs.insert(
                 key.clone(),
                 RunGraphArtifact {
@@ -545,12 +668,25 @@ impl Verifier {
         let artifact = &self.run_graphs[&key];
         let executor = self.executor();
         let search = Instant::now();
-        let outcome = match artifact.graph.find_first_loop_exec(&queries, &executor) {
-            Some((_, lasso)) => LivenessOutcome::Violation(RunLasso {
+        let outcome = match artifact.graph.find_first_loop_budget(&queries, &executor, &budget) {
+            Ok(Some((_, lasso))) => LivenessOutcome::Violation(RunLasso {
                 prefix: lasso.prefix,
                 cycle: lasso.cycle,
             }),
-            None => LivenessOutcome::Verified,
+            Ok(None) => LivenessOutcome::Verified,
+            Err(error) => {
+                return abort_verdict(
+                    error,
+                    QueryStats {
+                        states_explored: artifact.states,
+                        build_time: if cached { Duration::ZERO } else { artifact.build_time },
+                        search_time: search.elapsed(),
+                        pool_size: executor.threads(),
+                        artifact_cached: cached,
+                        rebuilds,
+                    },
+                );
+            }
         };
         let search_time = search.elapsed();
         let verdict = LivenessVerdict {
@@ -582,9 +718,9 @@ impl Verifier {
     ///
     /// `make(n, k)` must build the same TM algorithm at size `(n, k)`.
     ///
-    /// # Panics
-    ///
-    /// Panics if any instance exceeds the session's state bound.
+    /// If any constituent query aborts at a resource limit (state bound,
+    /// deadline, cancellation), the whole run returns that
+    /// [`VerdictOutcome::Aborted`] with the stats accumulated so far.
     pub fn verify_with_reduction<A, F>(
         &mut self,
         make: F,
@@ -600,6 +736,9 @@ impl Verifier {
         let total = Instant::now();
         let base_tm = make(self.threads, self.vars);
         let base = self.safety_query(&base_tm, property);
+        if matches!(base.outcome, VerdictOutcome::Aborted(_)) {
+            return base;
+        }
         let mut build_time = base.stats.build_time;
         let mut search_time = base.stats.search_time;
         let states_explored = base.stats.states_explored;
@@ -612,18 +751,29 @@ impl Verifier {
             .elapsed()
             .saturating_sub(build_time)
             .saturating_sub(search_time);
-        let spot_checks = spot_sizes
-            .iter()
-            .map(|&(n, k)| {
-                let tm = make(n, k);
-                let spot = self.safety_query(&tm, property);
-                build_time += spot.stats.build_time;
-                search_time += spot.stats.search_time;
-                all_cached &= spot.stats.artifact_cached;
-                rebuilds += spot.stats.rebuilds;
-                spot.into_safety().expect("safety query")
-            })
-            .collect();
+        let mut spot_checks = Vec::with_capacity(spot_sizes.len());
+        for &(n, k) in spot_sizes {
+            let tm = make(n, k);
+            let spot = self.safety_query(&tm, property);
+            build_time += spot.stats.build_time;
+            search_time += spot.stats.search_time;
+            all_cached &= spot.stats.artifact_cached;
+            rebuilds += spot.stats.rebuilds;
+            if let VerdictOutcome::Aborted(error) = spot.outcome {
+                return abort_verdict(
+                    error,
+                    QueryStats {
+                        states_explored,
+                        build_time,
+                        search_time,
+                        pool_size,
+                        artifact_cached: all_cached,
+                        rebuilds,
+                    },
+                );
+            }
+            spot_checks.push(spot.into_safety().expect("safety query"));
+        }
         let evidence = ReductionEvidence {
             base_verdict,
             structural,
@@ -641,6 +791,15 @@ impl Verifier {
                 rebuilds,
             },
         }
+    }
+}
+
+/// Wraps an engine abort into the uniform verdict envelope with the
+/// partial stats the query had accumulated when it was retired.
+fn abort_verdict(error: EngineError, stats: QueryStats) -> Verdict {
+    Verdict {
+        outcome: VerdictOutcome::Aborted(error),
+        stats,
     }
 }
 
@@ -795,5 +954,95 @@ mod tests {
     fn size_mismatch_is_rejected() {
         let mut verifier = Verifier::new(2, 2);
         let _ = verifier.check_safety(&SequentialTm::new(3, 2), SafetyProperty::Opacity);
+    }
+
+    #[test]
+    fn a_state_blowup_aborts_instead_of_panicking() {
+        for pool in [1, 4] {
+            for mode in [SpecMode::Lazy, SpecMode::Eager] {
+                let mut verifier = Verifier::new(2, 2)
+                    .pool_size(pool)
+                    .spec_mode(mode)
+                    .max_states(10);
+                let verdict = verifier.check_safety(&DstmTm::new(2, 2), SafetyProperty::Opacity);
+                assert!(!verdict.holds(), "pool={pool} {mode:?}");
+                assert_eq!(
+                    verdict.abort_reason(),
+                    Some(EngineError::StateLimit(10)),
+                    "pool={pool} {mode:?}"
+                );
+            }
+            let mut verifier = Verifier::new(2, 1).pool_size(pool).max_states(10);
+            let tm = WithContentionManager::new(DstmTm::new(2, 1), AggressiveCm);
+            let verdict = verifier.check_liveness(&tm, LivenessProperty::ObstructionFreedom);
+            assert!(!verdict.holds(), "pool={pool} liveness");
+            assert_eq!(verdict.abort_reason(), Some(EngineError::StateLimit(10)));
+        }
+    }
+
+    #[test]
+    fn an_expired_deadline_aborts_every_engine() {
+        for pool in [1, 4] {
+            for mode in [SpecMode::Lazy, SpecMode::Eager] {
+                let mut verifier = Verifier::new(2, 2)
+                    .pool_size(pool)
+                    .spec_mode(mode)
+                    .deadline(Duration::ZERO);
+                let verdict = verifier.check_safety(&DstmTm::new(2, 2), SafetyProperty::Opacity);
+                assert_eq!(
+                    verdict.abort_reason(),
+                    Some(EngineError::Deadline),
+                    "pool={pool} {mode:?}"
+                );
+            }
+            let mut verifier = Verifier::new(2, 1).pool_size(pool).deadline(Duration::ZERO);
+            let tm = WithContentionManager::new(DstmTm::new(2, 1), AggressiveCm);
+            let verdict = verifier.check_liveness(&tm, LivenessProperty::ObstructionFreedom);
+            assert_eq!(verdict.abort_reason(), Some(EngineError::Deadline));
+        }
+    }
+
+    #[test]
+    fn a_cancelled_token_aborts_every_engine() {
+        for pool in [1, 4] {
+            let token = CancelToken::new();
+            token.cancel();
+            let mut verifier = Verifier::new(2, 2)
+                .pool_size(pool)
+                .cancel_token(token.clone());
+            let verdict = verifier.check_safety(&DstmTm::new(2, 2), SafetyProperty::Opacity);
+            assert_eq!(verdict.abort_reason(), Some(EngineError::Cancelled), "pool={pool}");
+            let mut verifier = Verifier::new(2, 1).pool_size(pool).cancel_token(token);
+            let tm = WithContentionManager::new(DstmTm::new(2, 1), AggressiveCm);
+            let verdict = verifier.check_liveness(&tm, LivenessProperty::ObstructionFreedom);
+            assert_eq!(verdict.abort_reason(), Some(EngineError::Cancelled));
+        }
+    }
+
+    #[test]
+    fn an_aborted_query_reports_partial_stats_and_recovers() {
+        // The same session answers normally once the limit is lifted —
+        // an abort must not poison the artifact caches.
+        let mut verifier = Verifier::new(2, 1).pool_size(1).max_states(10);
+        let tm = WithContentionManager::new(DstmTm::new(2, 1), AggressiveCm);
+        let aborted = verifier.check_liveness(&tm, LivenessProperty::ObstructionFreedom);
+        assert_eq!(aborted.abort_reason(), Some(EngineError::StateLimit(10)));
+        assert_eq!(aborted.stats.pool_size, 1);
+        let mut verifier = verifier.max_states(1_000_000);
+        let verdict = verifier.check_liveness(&tm, LivenessProperty::ObstructionFreedom);
+        assert!(verdict.holds());
+    }
+
+    #[test]
+    fn reduction_stops_at_the_first_aborted_query() {
+        let mut verifier = Verifier::new(2, 2).pool_size(1).max_states(10);
+        let verdict = verifier.verify_with_reduction(
+            SequentialTm::new,
+            SafetyProperty::Opacity,
+            4,
+            &[(2, 1)],
+        );
+        assert!(!verdict.holds());
+        assert_eq!(verdict.abort_reason(), Some(EngineError::StateLimit(10)));
     }
 }

@@ -65,6 +65,7 @@ pub fn most_general_nfa<A: TmAlgorithm>(
     max_states: usize,
 ) -> Explored<A::State, Statement> {
     explore(&WordLevel(tm), max_states)
+        .unwrap_or_else(|error| panic!("most-general-program exploration failed: {error}"))
 }
 
 /// The most general program of a TM algorithm as a lazy
@@ -232,7 +233,8 @@ impl<A: TmAlgorithm> TransitionSystem for RunLevel<'_, A> {
 /// use tm_automata::CompiledRunGraph;
 ///
 /// let tm = SequentialTm::new(2, 1);
-/// let (graph, states) = CompiledRunGraph::build(&MostGeneralRunSource::new(&tm), 1_000);
+/// let (graph, states) = CompiledRunGraph::build(&MostGeneralRunSource::new(&tm), 1_000)
+///     .expect("within the state bound");
 /// assert_eq!(graph.num_states(), states.len());
 /// assert!(graph.num_edges() > 0);
 /// ```
@@ -288,7 +290,8 @@ pub fn most_general_run_graph<A: TmAlgorithm>(
     tm: &A,
     max_states: usize,
 ) -> (LabeledGraph<RunLabel>, Vec<A::State>) {
-    let explored = explore(&RunLevel(tm), max_states);
+    let explored = explore(&RunLevel(tm), max_states)
+        .unwrap_or_else(|error| panic!("run-level exploration failed: {error}"));
     let mut graph = LabeledGraph::new(explored.num_states());
     for from in 0..explored.num_states() {
         for (label, to) in explored.nfa.transitions_from(from) {
@@ -361,7 +364,7 @@ mod tests {
         let tm = TwoPhaseTm::new(2, 2);
         let (graph, states) = most_general_run_graph(&tm, 10_000);
         let (compiled, compiled_states) =
-            tm_automata::CompiledRunGraph::build(&MostGeneralRunSource::new(&tm), 10_000);
+            tm_automata::CompiledRunGraph::build(&MostGeneralRunSource::new(&tm), 10_000).unwrap();
         assert_eq!(states, compiled_states);
         let seed_edges: Vec<(usize, RunLabel, usize)> =
             graph.edges().map(|(f, l, t)| (f, *l, t)).collect();

@@ -8,8 +8,14 @@
 
 use std::hash::Hash;
 
+use crate::budget::{EngineError, QueryBudget};
 use crate::fxhash::FxHashMap;
 use crate::nfa::{Nfa, StateId};
+
+/// How many BFS visits pass between deadline/cancellation checks: cheap
+/// enough to bound abort latency, coarse enough to keep the hot loop
+/// clock-free.
+const INTERRUPT_STRIDE: usize = 1024;
 
 /// An implicitly defined labelled transition system.
 ///
@@ -55,12 +61,27 @@ impl<S, L> Explored<S, L> {
 /// Explores the reachable state space of `ts` breadth-first, up to
 /// `max_states` states.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the reachable state space exceeds `max_states` — the
-/// caller's declaration that the instance was expected to be finite and
-/// small (cf. the paper's reduction to two threads and two variables).
-pub fn explore<T: TransitionSystem>(ts: &T, max_states: usize) -> Explored<T::State, T::Label> {
+/// [`EngineError::StateLimit`] if the reachable state space exceeds
+/// `max_states` — in this workspace the bound is the caller's declaration
+/// that the instance was expected to be finite and small (cf. the paper's
+/// reduction to two threads and two variables), so hitting it is a
+/// structured abort, never a panic.
+pub fn explore<T: TransitionSystem>(
+    ts: &T,
+    max_states: usize,
+) -> Result<Explored<T::State, T::Label>, EngineError> {
+    explore_budget(ts, &QueryBudget::new(max_states))
+}
+
+/// [`explore`] under a full [`QueryBudget`]: the state bound is checked
+/// before every intern, the deadline/cancellation every
+/// `INTERRUPT_STRIDE` visited states.
+pub fn explore_budget<T: TransitionSystem>(
+    ts: &T,
+    budget: &QueryBudget,
+) -> Result<Explored<T::State, T::Label>, EngineError> {
     let mut nfa = Nfa::new();
     let mut ids: FxHashMap<T::State, StateId> = FxHashMap::default();
     let mut states: Vec<T::State> = Vec::new();
@@ -74,6 +95,9 @@ pub fn explore<T: TransitionSystem>(ts: &T, max_states: usize) -> Explored<T::St
     let mut head = 0;
     let mut buf: Vec<(Option<T::Label>, T::State)> = Vec::new();
     while head < states.len() {
+        if head.is_multiple_of(INTERRUPT_STRIDE) {
+            budget.check_interrupt()?;
+        }
         buf.clear();
         // Borrow the frontier state in place: the successor buffer is
         // filled before `states` grows, so no per-visit clone is needed.
@@ -82,10 +106,7 @@ pub fn explore<T: TransitionSystem>(ts: &T, max_states: usize) -> Explored<T::St
             let to = match ids.get(&succ) {
                 Some(&id) => id,
                 None => {
-                    assert!(
-                        states.len() < max_states,
-                        "state space exceeded {max_states} states"
-                    );
+                    budget.check_states(states.len())?;
                     let id = nfa.add_state();
                     ids.insert(succ.clone(), id);
                     states.push(succ);
@@ -96,7 +117,7 @@ pub fn explore<T: TransitionSystem>(ts: &T, max_states: usize) -> Explored<T::St
         }
         head += 1;
     }
-    Explored { nfa, states }
+    Ok(Explored { nfa, states })
 }
 
 /// An implicitly defined *deterministic* transition system: at most one
@@ -134,14 +155,31 @@ impl<T: DeterministicTransitionSystem + ?Sized> DeterministicTransitionSystem fo
 /// [`Dfa`](crate::Dfa),
 /// breadth-first, up to `max_states` states.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the reachable state space exceeds `max_states`.
+/// [`EngineError::StateLimit`] if the reachable state space exceeds
+/// `max_states`.
 pub fn explore_deterministic<T: DeterministicTransitionSystem>(
     ts: &T,
     alphabet: Vec<T::Label>,
     max_states: usize,
-) -> (crate::dfa::Dfa<T::Label>, Vec<T::State>) {
+) -> Result<ExploredDfa<T>, EngineError> {
+    explore_deterministic_budget(ts, alphabet, &QueryBudget::new(max_states))
+}
+
+/// The result of a deterministic exploration: the compiled
+/// [`Dfa`](crate::Dfa) plus the concrete state behind each automaton id.
+pub type ExploredDfa<T> = (
+    crate::dfa::Dfa<<T as DeterministicTransitionSystem>::Label>,
+    Vec<<T as DeterministicTransitionSystem>::State>,
+);
+
+/// [`explore_deterministic`] under a full [`QueryBudget`].
+pub fn explore_deterministic_budget<T: DeterministicTransitionSystem>(
+    ts: &T,
+    alphabet: Vec<T::Label>,
+    budget: &QueryBudget,
+) -> Result<ExploredDfa<T>, EngineError> {
     let mut dfa = crate::dfa::Dfa::new(alphabet);
     let mut ids: FxHashMap<T::State, StateId> = FxHashMap::default();
     let mut states: Vec<T::State> = Vec::new();
@@ -157,6 +195,9 @@ pub fn explore_deterministic<T: DeterministicTransitionSystem>(
     let letters: Vec<T::Label> = dfa.alphabet().to_vec();
     let mut head = 0;
     while head < states.len() {
+        if head.is_multiple_of(INTERRUPT_STRIDE) {
+            budget.check_interrupt()?;
+        }
         for (li, letter) in letters.iter().enumerate() {
             let Some(succ) = ts.step(&states[head], letter) else {
                 continue;
@@ -164,10 +205,7 @@ pub fn explore_deterministic<T: DeterministicTransitionSystem>(
             let to = match ids.get(&succ) {
                 Some(&id) => id,
                 None => {
-                    assert!(
-                        states.len() < max_states,
-                        "state space exceeded {max_states} states"
-                    );
+                    budget.check_states(states.len())?;
                     let id = dfa.add_state();
                     ids.insert(succ.clone(), id);
                     states.push(succ);
@@ -178,7 +216,7 @@ pub fn explore_deterministic<T: DeterministicTransitionSystem>(
         }
         head += 1;
     }
-    (dfa, states)
+    Ok((dfa, states))
 }
 
 #[cfg(test)]
@@ -208,16 +246,34 @@ mod tests {
 
     #[test]
     fn explores_all_residues() {
-        let explored = explore(&ModCounter { n: 5 }, 100);
+        let explored = explore(&ModCounter { n: 5 }, 100).unwrap();
         assert_eq!(explored.num_states(), 5);
         assert_eq!(explored.nfa.num_epsilon_transitions(), 4);
         assert_eq!(*explored.state(0), 0);
     }
 
     #[test]
-    #[should_panic(expected = "exceeded")]
-    fn state_bound_enforced() {
-        let _ = explore(&ModCounter { n: 100 }, 10);
+    fn state_bound_is_a_structured_error() {
+        assert_eq!(
+            explore(&ModCounter { n: 100 }, 10).err(),
+            Some(EngineError::StateLimit(10))
+        );
+    }
+
+    #[test]
+    fn expired_deadline_aborts_exploration() {
+        let budget = QueryBudget::unlimited().with_timeout(std::time::Duration::ZERO);
+        assert_eq!(
+            explore_budget(&ModCounter { n: 100 }, &budget).err(),
+            Some(EngineError::Deadline)
+        );
+        let stale = crate::CancelToken::new();
+        stale.cancel();
+        let budget = QueryBudget::unlimited().with_cancel(stale);
+        assert_eq!(
+            explore_deterministic_budget(&Parity, vec!['f', 'z'], &budget).err(),
+            Some(EngineError::Cancelled)
+        );
     }
 
     struct Parity;
@@ -241,7 +297,7 @@ mod tests {
 
     #[test]
     fn deterministic_exploration() {
-        let (dfa, states) = explore_deterministic(&Parity, vec!['f', 'z'], 10);
+        let (dfa, states) = explore_deterministic(&Parity, vec!['f', 'z'], 10).unwrap();
         assert_eq!(dfa.num_states(), 2);
         assert_eq!(states.len(), 2);
         assert!(dfa.accepts(&['f', 'f', 'z']));

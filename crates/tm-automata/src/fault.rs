@@ -1,0 +1,196 @@
+//! Deterministic fault injection: `TM_FAULT=<site>:<nth>[:delay_ms]`.
+//!
+//! A *fault point* is a named call site (`fault::fault_point("dispatch")`)
+//! that normally does nothing. When a fault plan is installed — from the
+//! `TM_FAULT` environment variable at process start, or programmatically
+//! in tests — the plan's site counts its hits, and exactly the `nth` hit
+//! (1-based) first sleeps `delay_ms` milliseconds (default 0), then fails
+//! with [`EngineError::FaultInjected`]. Every other hit, every other
+//! site, and every hit after the `nth` passes untouched.
+//!
+//! Firing exactly once makes chaos testing deterministic: a retried
+//! operation succeeds on its second attempt, and the conformance suites
+//! assert the retried run is bit-identical to a fault-free one.
+//!
+//! Registered sites across the workspace:
+//!
+//! | site       | where it fires                                      |
+//! |------------|-----------------------------------------------------|
+//! | `dispatch` | worker-pool / executor parallel-region dispatch     |
+//! | `build`    | tm-service artifact build (spec or run graph)       |
+//! | `evict`    | tm-service budget-ledger charge settle / eviction   |
+//! | `encode`   | tm-service wire encoding of a batch response        |
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use crate::budget::EngineError;
+
+/// One installed fault: fail the `nth` hit of `site`, after `delay_ms`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct FaultPlan {
+    /// The fault-point name this plan arms.
+    pub site: String,
+    /// Which hit fires, 1-based.
+    pub nth: u64,
+    /// Milliseconds to sleep before failing (models a slow failure).
+    pub delay_ms: u64,
+}
+
+impl FaultPlan {
+    /// Parses `<site>:<nth>[:delay_ms]` (the `TM_FAULT` format).
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut parts = spec.split(':');
+        let site = parts.next().unwrap_or("").trim();
+        if site.is_empty() {
+            return Err(format!("TM_FAULT {spec:?}: empty site"));
+        }
+        let nth = parts
+            .next()
+            .ok_or_else(|| format!("TM_FAULT {spec:?}: missing <nth>"))?
+            .trim()
+            .parse::<u64>()
+            .map_err(|e| format!("TM_FAULT {spec:?}: bad <nth>: {e}"))?;
+        if nth == 0 {
+            return Err(format!("TM_FAULT {spec:?}: <nth> is 1-based"));
+        }
+        let delay_ms = match parts.next() {
+            Some(ms) => ms
+                .trim()
+                .parse::<u64>()
+                .map_err(|e| format!("TM_FAULT {spec:?}: bad delay_ms: {e}"))?,
+            None => 0,
+        };
+        if parts.next().is_some() {
+            return Err(format!("TM_FAULT {spec:?}: too many fields"));
+        }
+        Ok(FaultPlan {
+            site: site.to_owned(),
+            nth,
+            delay_ms,
+        })
+    }
+}
+
+struct FaultState {
+    plan: Option<FaultPlan>,
+    /// Hits of the armed site so far.
+    hits: u64,
+    /// Whether `TM_FAULT` has been consulted.
+    env_loaded: bool,
+}
+
+/// Fast path: `false` means no plan is armed and [`fault_point`] is a
+/// single atomic load — but only once [`ENV_LOADED`] says `TM_FAULT` has
+/// been consulted, otherwise the first hit must take the slow path to
+/// arm an environment-provided plan.
+static ARMED: AtomicBool = AtomicBool::new(false);
+
+/// Mirrors `FaultState::env_loaded` for the lock-free fast path.
+static ENV_LOADED: AtomicBool = AtomicBool::new(false);
+
+static STATE: Mutex<FaultState> = Mutex::new(FaultState {
+    plan: None,
+    hits: 0,
+    env_loaded: false,
+});
+
+fn lock_state() -> std::sync::MutexGuard<'static, FaultState> {
+    let mut state = STATE.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+    if !state.env_loaded {
+        state.env_loaded = true;
+        if let Ok(spec) = std::env::var("TM_FAULT") {
+            if !spec.trim().is_empty() {
+                match FaultPlan::parse(&spec) {
+                    Ok(plan) => {
+                        state.plan = Some(plan);
+                        ARMED.store(true, Ordering::Release);
+                    }
+                    Err(message) => eprintln!("ignoring {message}"),
+                }
+            }
+        }
+        ENV_LOADED.store(true, Ordering::Release);
+    }
+    state
+}
+
+/// Installs `plan`, replacing any armed plan and resetting the hit
+/// counter. Tests drive chaos scenarios through this; production arms
+/// plans via `TM_FAULT` instead.
+pub fn install_fault(plan: FaultPlan) {
+    let mut state = lock_state();
+    state.plan = Some(plan);
+    state.hits = 0;
+    ARMED.store(true, Ordering::Release);
+}
+
+/// Disarms fault injection and resets the hit counter. `TM_FAULT` is not
+/// re-read.
+pub fn clear_fault() {
+    let mut state = lock_state();
+    state.plan = None;
+    state.hits = 0;
+    ARMED.store(false, Ordering::Release);
+}
+
+/// A named fault point. Returns `Err(EngineError::FaultInjected)` on
+/// exactly the armed plan's `nth` hit of its site (after sleeping the
+/// plan's delay), `Ok(())` otherwise.
+pub fn fault_point(site: &str) -> Result<(), EngineError> {
+    if ENV_LOADED.load(Ordering::Acquire) && !ARMED.load(Ordering::Acquire) {
+        return Ok(());
+    }
+    let delay_ms = {
+        let mut state = lock_state();
+        let Some(plan) = &state.plan else {
+            return Ok(());
+        };
+        if plan.site != site {
+            return Ok(());
+        }
+        state.hits += 1;
+        let plan = state.plan.as_ref().expect("checked above");
+        if state.hits != plan.nth {
+            return Ok(());
+        }
+        plan.delay_ms
+    };
+    if delay_ms > 0 {
+        std::thread::sleep(Duration::from_millis(delay_ms));
+    }
+    Err(EngineError::FaultInjected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_the_documented_format() {
+        assert_eq!(
+            FaultPlan::parse("build:2"),
+            Ok(FaultPlan {
+                site: "build".into(),
+                nth: 2,
+                delay_ms: 0
+            })
+        );
+        assert_eq!(
+            FaultPlan::parse("dispatch:1:250"),
+            Ok(FaultPlan {
+                site: "dispatch".into(),
+                nth: 1,
+                delay_ms: 250
+            })
+        );
+        for bad in ["", ":1", "build", "build:0", "build:x", "build:1:y", "a:1:2:3"] {
+            assert!(FaultPlan::parse(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    // The firing behavior of the global plan is exercised by the chaos
+    // conformance suite in tm-service, which serializes installs; firing
+    // tests here would race other tm-automata tests sharing the process.
+}

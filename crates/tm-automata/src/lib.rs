@@ -78,10 +78,12 @@
 mod alphabet;
 mod antichain;
 mod bitset;
+mod budget;
 mod compiled;
 mod config;
 mod dfa;
 mod explore;
+pub mod fault;
 mod fxhash;
 mod graph;
 mod inclusion;
@@ -91,6 +93,7 @@ mod pool;
 mod product;
 
 pub use alphabet::{Alphabet, LetterId};
+pub use budget::{CancelToken, EngineError, QueryBudget};
 pub use config::{
     default_threads, modelcheck_threads, parse_thread_count, DEFAULT_THREAD_CAP,
 };
@@ -102,7 +105,8 @@ pub use bitset::{BitSet, Iter as BitSetIter};
 pub use compiled::{CompiledDfa, CompiledNfa, EPSILON, NO_STATE};
 pub use dfa::Dfa;
 pub use explore::{
-    explore, explore_deterministic, DeterministicTransitionSystem, Explored, TransitionSystem,
+    explore, explore_budget, explore_deterministic, explore_deterministic_budget,
+    DeterministicTransitionSystem, Explored, TransitionSystem,
 };
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use graph::{
@@ -119,8 +123,8 @@ pub use livecheck::{
 pub use nfa::{Nfa, StateId};
 pub use pool::{Executor, TaskScope, WorkerPool};
 pub use product::{
-    check_inclusion_otf, check_inclusion_otf_bounded, check_inclusion_otf_cached,
-    check_inclusion_otf_executor, check_inclusion_otf_lazy, check_inclusion_otf_stats,
-    check_inclusion_otf_threads, DtsSpecSource, NfaSource, OtfStats, SpecCache, SpecSource,
-    SuccessorSource,
+    check_inclusion_otf, check_inclusion_otf_bounded, check_inclusion_otf_budget,
+    check_inclusion_otf_cached, check_inclusion_otf_cached_budget, check_inclusion_otf_executor,
+    check_inclusion_otf_lazy, check_inclusion_otf_stats, check_inclusion_otf_threads,
+    DtsSpecSource, NfaSource, OtfStats, SpecCache, SpecSource, SuccessorSource,
 };

@@ -37,8 +37,13 @@
 use std::hash::Hash;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+use crate::budget::{EngineError, QueryBudget};
 use crate::fxhash::FxHashMap;
 use crate::pool::Executor;
+
+/// How many units of work (BFS visits during build, Tarjan iterations
+/// during SCC search) pass between deadline/cancellation checks.
+const INTERRUPT_STRIDE: usize = 4096;
 
 /// Maximum thread count (of the checked TM instance, not the worker pool)
 /// representable in an [`EdgeMask`]: thread ids occupy the low bits,
@@ -254,13 +259,29 @@ impl<L: Clone + Eq + Hash> CompiledRunGraph<L> {
     /// graph, returning it with the interning table of structured states
     /// (`states[id]` is the state behind graph node `id`).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the reachable state space exceeds `max_states`.
+    /// [`EngineError::StateLimit`] if the reachable state space exceeds
+    /// `max_states`.
     pub fn build<S: RunGraphSource<Label = L>>(
         source: &S,
         max_states: usize,
-    ) -> (Self, Vec<S::State>) {
+    ) -> Result<(Self, Vec<S::State>), EngineError> {
+        Self::build_budget(source, &QueryBudget::new(max_states))
+    }
+
+    /// [`CompiledRunGraph::build`] under a full [`QueryBudget`]: the state
+    /// bound is checked before every intern, the deadline/cancellation
+    /// every `INTERRUPT_STRIDE` expanded states.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::StateLimit`], [`EngineError::Deadline`], or
+    /// [`EngineError::Cancelled`] per the budget.
+    pub fn build_budget<S: RunGraphSource<Label = L>>(
+        source: &S,
+        budget: &QueryBudget,
+    ) -> Result<(Self, Vec<S::State>), EngineError> {
         let mut label_ids: FxHashMap<L, u32> = FxHashMap::default();
         let mut labels: Vec<L> = Vec::new();
         let mut label_masks: Vec<EdgeMask> = Vec::new();
@@ -282,6 +303,9 @@ impl<L: Clone + Eq + Hash> CompiledRunGraph<L> {
         let mut buf: Vec<(L, S::State)> = Vec::new();
         let mut head = 0usize;
         while head < states.len() {
+            if head.is_multiple_of(INTERRUPT_STRIDE) {
+                budget.check_interrupt()?;
+            }
             buf.clear();
             source.successors(&states[head], &mut buf);
             for (label, succ) in buf.drain(..) {
@@ -299,10 +323,7 @@ impl<L: Clone + Eq + Hash> CompiledRunGraph<L> {
                 let to = match state_ids.get(&succ) {
                     Some(&id) => id,
                     None => {
-                        assert!(
-                            states.len() < max_states,
-                            "run-graph state space exceeded {max_states} states"
-                        );
+                        budget.check_states(states.len())?;
                         let id =
                             u32::try_from(states.len()).expect("more than u32::MAX run states");
                         state_ids.insert(succ.clone(), id);
@@ -320,7 +341,7 @@ impl<L: Clone + Eq + Hash> CompiledRunGraph<L> {
         }
         // Rows exist for exactly the discovered states.
         debug_assert_eq!(row_start.len(), states.len() + 1);
-        (
+        Ok((
             CompiledRunGraph {
                 labels,
                 row_start,
@@ -330,7 +351,7 @@ impl<L: Clone + Eq + Hash> CompiledRunGraph<L> {
                 edge_mask,
             },
             states,
-        )
+        ))
     }
 }
 
@@ -396,6 +417,26 @@ impl<L> CompiledRunGraph<L> {
     /// filtered subgraph: roots are tried in state order and edges are
     /// visited in enumeration order, skipping filtered ones.
     pub fn sccs_masked(&self, filter: EdgeFilter, scratch: &mut LiveScratch) {
+        self.sccs_masked_budget(filter, scratch, &QueryBudget::unlimited())
+            .expect("an unlimited budget cannot interrupt the SCC search")
+    }
+
+    /// [`CompiledRunGraph::sccs_masked`] under a [`QueryBudget`]: the
+    /// deadline/cancellation is polled every `INTERRUPT_STRIDE` Tarjan
+    /// iterations (an interrupted run leaves `scratch` in an unspecified —
+    /// but reusable — state).
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Deadline`] or [`EngineError::Cancelled`] per the
+    /// budget; the state bound does not apply (the graph is already
+    /// built).
+    pub fn sccs_masked_budget(
+        &self,
+        filter: EdgeFilter,
+        scratch: &mut LiveScratch,
+        budget: &QueryBudget,
+    ) -> Result<(), EngineError> {
         let n = self.num_states();
         scratch.index.clear();
         scratch.index.resize(n, UNVISITED);
@@ -410,12 +451,17 @@ impl<L> CompiledRunGraph<L> {
         scratch.count = 0;
 
         let mut next_index = 0u32;
+        let mut ticks = 0usize;
         for root in 0..n as u32 {
             if scratch.index[root as usize] != UNVISITED {
                 continue;
             }
             scratch.work.push((root, self.row_start[root as usize]));
             while let Some(&mut (v, ref mut cursor)) = scratch.work.last_mut() {
+                ticks += 1;
+                if ticks.is_multiple_of(INTERRUPT_STRIDE) {
+                    budget.check_interrupt()?;
+                }
                 let vi = v as usize;
                 if scratch.index[vi] == UNVISITED {
                     scratch.index[vi] = next_index;
@@ -466,6 +512,7 @@ impl<L> CompiledRunGraph<L> {
                 }
             }
         }
+        Ok(())
     }
 }
 
@@ -475,23 +522,41 @@ impl<L: Clone> CompiledRunGraph<L> {
     /// lasso (shortest prefix through the **full** graph, closed walk
     /// through the filtered SCC). Returns `None` if no such loop exists.
     pub fn find_loop(&self, query: &LoopQuery, scratch: &mut LiveScratch) -> Option<CompiledLasso<L>> {
-        self.sccs_masked(query.filter, scratch);
-        match query.selection {
+        self.find_loop_budget(query, scratch, &QueryBudget::unlimited())
+            .expect("an unlimited budget cannot interrupt the loop search")
+    }
+
+    /// [`CompiledRunGraph::find_loop`] under a [`QueryBudget`] (polled
+    /// during the SCC decomposition, the dominant phase).
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Deadline`] or [`EngineError::Cancelled`] per the
+    /// budget.
+    pub fn find_loop_budget(
+        &self,
+        query: &LoopQuery,
+        scratch: &mut LiveScratch,
+        budget: &QueryBudget,
+    ) -> Result<Option<CompiledLasso<L>>, EngineError> {
+        self.sccs_masked_budget(query.filter, scratch, budget)?;
+        Ok(match query.selection {
             LoopSelection::FirstEdge => {
-                let req = *query.required.first()?;
-                let e = (0..self.num_edges()).find(|&e| {
-                    let mask = self.edge_mask[e];
-                    query.filter.keeps(mask)
-                        && mask & req == req
-                        && scratch.component[self.edge_from[e] as usize]
-                            == scratch.component[self.edge_target[e] as usize]
-                })?;
-                self.build_lasso(query.filter, scratch, &[e as u32])
+                let found = query.required.first().and_then(|&req| {
+                    (0..self.num_edges()).find(|&e| {
+                        let mask = self.edge_mask[e];
+                        query.filter.keeps(mask)
+                            && mask & req == req
+                            && scratch.component[self.edge_from[e] as usize]
+                                == scratch.component[self.edge_target[e] as usize]
+                    })
+                });
+                found.and_then(|e| self.build_lasso(query.filter, scratch, &[e as u32]))
             }
             LoopSelection::FirstComponent => {
                 let r = query.required.len();
                 if r == 0 {
-                    return None;
+                    return Ok(None);
                 }
                 let count = scratch.count as usize;
                 let mut first_match = std::mem::take(&mut scratch.first_match);
@@ -528,7 +593,7 @@ impl<L: Clone> CompiledRunGraph<L> {
                 scratch.first_match = first_match;
                 result
             }
-        }
+        })
     }
 
     /// Runs independent queries and returns the violation of the smallest
@@ -555,6 +620,13 @@ impl<L: Clone> CompiledRunGraph<L> {
     /// the liveness fan-out of the `tm_checker::Verifier` session, whose
     /// persistent worker pool replaces the per-property scoped-thread
     /// spawns. Results are identical under every executor and width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a fan-out task panics or an armed fault plan fires;
+    /// budget-aware callers use
+    /// [`CompiledRunGraph::find_first_loop_budget`], which reports those
+    /// as structured errors instead.
     pub fn find_first_loop_exec(
         &self,
         queries: &[LoopQuery],
@@ -563,20 +635,47 @@ impl<L: Clone> CompiledRunGraph<L> {
     where
         L: Send + Sync,
     {
+        self.find_first_loop_budget(queries, executor, &QueryBudget::unlimited())
+            .unwrap_or_else(|error| panic!("liveness fan-out failed: {error}"))
+    }
+
+    /// [`CompiledRunGraph::find_first_loop_exec`] under a full
+    /// [`QueryBudget`]: each worker polls the budget inside its SCC
+    /// searches, and fan-out failures come back as structured errors.
+    ///
+    /// # Errors
+    ///
+    /// * [`EngineError::Deadline`] / [`EngineError::Cancelled`] — the
+    ///   budget interrupted a loop search;
+    /// * [`EngineError::TaskPanicked`] — a fan-out task panicked;
+    /// * [`EngineError::FaultInjected`] — an armed [`crate::fault`] plan
+    ///   fired at dispatch.
+    pub fn find_first_loop_budget(
+        &self,
+        queries: &[LoopQuery],
+        executor: &Executor<'_>,
+        budget: &QueryBudget,
+    ) -> Result<Option<(usize, CompiledLasso<L>)>, EngineError>
+    where
+        L: Send + Sync,
+    {
         let width = executor.threads().max(1).min(queries.len().max(1));
         if width <= 1 {
             let mut scratch = LiveScratch::default();
-            return queries
-                .iter()
-                .enumerate()
-                .find_map(|(i, q)| self.find_loop(q, &mut scratch).map(|l| (i, l)));
+            for (i, q) in queries.iter().enumerate() {
+                if let Some(lasso) = self.find_loop_budget(q, &mut scratch, budget)? {
+                    return Ok(Some((i, lasso)));
+                }
+            }
+            return Ok(None);
         }
         // Strided assignment: worker w owns queries w, w + width, …, in
         // increasing order, and stops once a smaller-index violation is
         // known — its own later indices can no longer win.
         let min_index = AtomicUsize::new(usize::MAX);
-        let mut found: Vec<Option<(usize, CompiledLasso<L>)>> = (0..width).map(|_| None).collect();
-        executor.scope(|scope| {
+        type SubsetOutcome<L> = Result<(usize, CompiledLasso<L>), EngineError>;
+        let mut found: Vec<Option<SubsetOutcome<L>>> = (0..width).map(|_| None).collect();
+        executor.try_scope(|scope| {
             for (w, slot) in found.iter_mut().enumerate() {
                 let min_index = &min_index;
                 scope.spawn(move || {
@@ -586,17 +685,33 @@ impl<L: Clone> CompiledRunGraph<L> {
                         if min_index.load(Ordering::Relaxed) < i {
                             return;
                         }
-                        if let Some(lasso) = self.find_loop(&queries[i], &mut scratch) {
-                            min_index.fetch_min(i, Ordering::Relaxed);
-                            *slot = Some((i, lasso));
-                            return;
+                        match self.find_loop_budget(&queries[i], &mut scratch, budget) {
+                            Ok(Some(lasso)) => {
+                                min_index.fetch_min(i, Ordering::Relaxed);
+                                *slot = Some(Ok((i, lasso)));
+                                return;
+                            }
+                            Ok(None) => {}
+                            Err(error) => {
+                                *slot = Some(Err(error));
+                                return;
+                            }
                         }
                         i += width;
                     }
                 });
             }
-        });
-        found.into_iter().flatten().min_by_key(|&(i, _)| i)
+        })?;
+        // A budget abort anywhere aborts the whole fan-out: the global
+        // condition (deadline, cancellation) holds for every worker.
+        let mut best: Option<(usize, CompiledLasso<L>)> = None;
+        for entry in found.into_iter().flatten() {
+            let (i, lasso) = entry?;
+            if best.as_ref().is_none_or(|(bi, _)| i < *bi) {
+                best = Some((i, lasso));
+            }
+        }
+        Ok(best)
     }
 
     /// Wraps the `required` edges (indices into the edge arrays, all
@@ -795,7 +910,7 @@ mod tests {
                 vec![(lbl(3, 0), 0)],
             ],
         };
-        let (graph, states) = CompiledRunGraph::build(&source, 100);
+        let (graph, states) = CompiledRunGraph::build(&source, 100).unwrap();
         assert_eq!(graph.num_states(), 3);
         assert_eq!(states, vec![0, 1, 2]);
         assert_eq!(graph.num_edges(), 3);
@@ -806,8 +921,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "exceeded 2 states")]
-    fn build_enforces_state_bound() {
+    fn build_enforces_state_bound_structurally() {
         let source = VecSource {
             succ: vec![
                 vec![(lbl(0, 0), 1)],
@@ -815,7 +929,16 @@ mod tests {
                 vec![(lbl(2, 0), 0)],
             ],
         };
-        let _ = CompiledRunGraph::build(&source, 2);
+        assert_eq!(
+            CompiledRunGraph::build(&source, 2).err(),
+            Some(EngineError::StateLimit(2))
+        );
+        // An expired deadline is the same structured abort, not a panic.
+        let expired = QueryBudget::unlimited().with_timeout(std::time::Duration::ZERO);
+        assert_eq!(
+            CompiledRunGraph::build_budget(&source, &expired).err(),
+            Some(EngineError::Deadline)
+        );
     }
 
     #[test]
@@ -829,7 +952,7 @@ mod tests {
                 vec![(lbl(4, 1), 2)],
             ],
         };
-        let (graph, _) = CompiledRunGraph::build(&source, 100);
+        let (graph, _) = CompiledRunGraph::build(&source, 100).unwrap();
         let mut scratch = LiveScratch::default();
         for filter in [
             KEEP_ALL,
@@ -868,7 +991,7 @@ mod tests {
                 vec![(lbl(2, 0), 1)],
             ],
         };
-        let (graph, _) = CompiledRunGraph::build(&source, 100);
+        let (graph, _) = CompiledRunGraph::build(&source, 100).unwrap();
         let query = LoopQuery {
             filter: EdgeFilter {
                 keep_any: 1 << 0,
@@ -898,7 +1021,7 @@ mod tests {
                 vec![(commit(1, 0), 0), (abort(2, 0), 0)],
             ],
         };
-        let (graph, _) = CompiledRunGraph::build(&source, 100);
+        let (graph, _) = CompiledRunGraph::build(&source, 100).unwrap();
         let mut scratch = LiveScratch::default();
         // With commits forbidden the abort loop remains.
         let with_aborts = LoopQuery {
@@ -932,7 +1055,7 @@ mod tests {
                 vec![(abort(2, 1), 1)],
             ],
         };
-        let (graph, _) = CompiledRunGraph::build(&source, 100);
+        let (graph, _) = CompiledRunGraph::build(&source, 100).unwrap();
         let mut scratch = LiveScratch::default();
         let both = LoopQuery {
             filter: EdgeFilter {
@@ -971,7 +1094,7 @@ mod tests {
                 vec![(lbl(2, 1), 1), (abort(3, 2), 1)],
             ],
         };
-        let (graph, _) = CompiledRunGraph::build(&source, 100);
+        let (graph, _) = CompiledRunGraph::build(&source, 100).unwrap();
         let query_for = |t: u16| LoopQuery {
             filter: EdgeFilter {
                 keep_any: 1 << t,
@@ -1036,14 +1159,14 @@ mod tests {
         let small = VecSource {
             succ: vec![vec![(lbl(0, 0), 1)], vec![(lbl(1, 1), 0)]],
         };
-        let (small_graph, _) = CompiledRunGraph::build(&small, 100);
+        let (small_graph, _) = CompiledRunGraph::build(&small, 100).unwrap();
         assert!(small_graph.heap_bytes() >= floor(&small_graph));
         let big = VecSource {
             succ: (0..64u32)
                 .map(|i| vec![(lbl((i % 8) as u8, 0), (i + 1) % 64)])
                 .collect(),
         };
-        let (big_graph, _) = CompiledRunGraph::build(&big, 100);
+        let (big_graph, _) = CompiledRunGraph::build(&big, 100).unwrap();
         assert!(big_graph.heap_bytes() >= floor(&big_graph));
         // A strictly larger graph is charged strictly more.
         assert!(big_graph.heap_bytes() > small_graph.heap_bytes());

@@ -36,6 +36,9 @@ use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
+use crate::budget::EngineError;
+use crate::fault;
+
 /// A type-erased task with its borrows erased to `'static`; only ever
 /// constructed inside [`WorkerPool::run_batch`], which guarantees the
 /// erased borrows outlive the task's execution.
@@ -147,13 +150,16 @@ impl WorkerPool {
 
     /// Runs a batch of borrowing tasks on the workers and blocks until
     /// all of them have finished. Panics in tasks are caught on the
-    /// workers (keeping them alive for the next batch) and re-raised
-    /// here once the batch has drained.
+    /// workers (keeping them alive for the next batch) and propagated
+    /// here as [`EngineError::TaskPanicked`] once the batch has drained.
     ///
     /// Must not be called from inside a pool task of the same pool: with
     /// every worker parked on the inner batch the pool would deadlock.
     /// The engines never nest parallel regions.
-    fn run_batch<'scope>(&self, tasks: Vec<Box<dyn FnOnce() + Send + 'scope>>) {
+    fn run_batch<'scope>(
+        &self,
+        tasks: Vec<Box<dyn FnOnce() + Send + 'scope>>,
+    ) -> Result<(), EngineError> {
         let state = BatchState::new();
         // Installed before the first dispatch: whatever happens below —
         // including a panic on this thread mid-loop — this frame cannot
@@ -196,8 +202,9 @@ impl WorkerPool {
         }
         drop(guard); // blocks until the batch has drained
         if state.panicked.load(Ordering::Relaxed) {
-            panic!("worker-pool task panicked");
+            return Err(EngineError::TaskPanicked);
         }
+        Ok(())
     }
 }
 
@@ -299,25 +306,63 @@ impl Executor<'_> {
     /// executes them to completion, then returns `f`'s result. Tasks may
     /// borrow from the caller's stack; the region is fully synchronous
     /// (no task outlives the call).
+    ///
+    /// # Panics
+    ///
+    /// Re-raises a task panic (or an injected dispatch fault) on the
+    /// calling thread. The engines use [`Executor::try_scope`] instead,
+    /// which returns these as structured errors.
     pub fn scope<'scope, R>(&self, f: impl FnOnce(&mut TaskScope<'scope>) -> R) -> R {
+        self.try_scope(f)
+            .unwrap_or_else(|error| panic!("parallel region failed: {error}"))
+    }
+
+    /// [`Executor::scope`] with structured failure: a task panic — caught
+    /// on the worker under [`Executor::Pool`], on the region join under
+    /// the other executors — comes back as
+    /// [`EngineError::TaskPanicked`], and the `dispatch` fault-injection
+    /// point (see [`crate::fault`]) fires here. The region is still fully
+    /// synchronous: on `Err` as on `Ok`, no task is left running.
+    pub fn try_scope<'scope, R>(
+        &self,
+        f: impl FnOnce(&mut TaskScope<'scope>) -> R,
+    ) -> Result<R, EngineError> {
         let mut scope = TaskScope { tasks: Vec::new() };
         let result = f(&mut scope);
         let tasks = scope.tasks;
+        if tasks.is_empty() {
+            return Ok(result);
+        }
+        fault::fault_point("dispatch")?;
         match self {
-            _ if tasks.is_empty() => {}
             Executor::Sequential => {
+                // Run every task (matching the parallel executors, which
+                // always drain the batch) and report a panic afterwards.
+                let mut panicked = false;
                 for task in tasks {
-                    task();
+                    panicked |= catch_unwind(AssertUnwindSafe(task)).is_err();
+                }
+                if panicked {
+                    return Err(EngineError::TaskPanicked);
                 }
             }
-            Executor::Scoped { .. } => std::thread::scope(|s| {
-                for task in tasks {
-                    s.spawn(task);
+            Executor::Scoped { .. } => {
+                // `thread::scope` re-raises a child panic on join; catch
+                // it here so all executors report the same error.
+                let join = catch_unwind(AssertUnwindSafe(|| {
+                    std::thread::scope(|s| {
+                        for task in tasks {
+                            s.spawn(task);
+                        }
+                    });
+                }));
+                if join.is_err() {
+                    return Err(EngineError::TaskPanicked);
                 }
-            }),
-            Executor::Pool(pool) => pool.run_batch(tasks),
+            }
+            Executor::Pool(pool) => pool.run_batch(tasks)?,
         }
-        result
+        Ok(result)
     }
 }
 
@@ -405,6 +450,28 @@ mod tests {
         }));
         assert!(result.is_err(), "task panic must propagate to the caller");
         // The workers survived the panic and the pool still runs batches.
+        assert_eq!(slot_sum(&Executor::Pool(&pool), 8), (0..8).sum());
+    }
+
+    #[test]
+    fn try_scope_reports_task_panics_as_errors_on_every_executor() {
+        let pool = WorkerPool::new(2);
+        for executor in [
+            Executor::Sequential,
+            Executor::Scoped { threads: 2 },
+            Executor::Pool(&pool),
+        ] {
+            let mut ran = false;
+            let result = executor.try_scope(|scope| {
+                scope.spawn(|| panic!("boom"));
+                scope.spawn(|| ran = true);
+            });
+            assert_eq!(result, Err(crate::EngineError::TaskPanicked));
+            // The batch drained: the sibling task still ran, and the
+            // executor is reusable afterwards.
+            assert!(ran);
+            assert_eq!(executor.try_scope(|_| 7), Ok(7));
+        }
         assert_eq!(slot_sum(&Executor::Pool(&pool), 8), (0..8).sum());
     }
 }

@@ -48,11 +48,17 @@ use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::alphabet::{Alphabet, LetterId};
+use crate::budget::{EngineError, QueryBudget};
 use crate::compiled::{CompiledDfa, CompiledNfa, EPSILON, NO_STATE};
 use crate::config::modelcheck_threads;
 use crate::fxhash::{FxHashMap, FxHashSet};
 use crate::inclusion::InclusionResult;
 use crate::pool::Executor;
+
+/// How many sequential BFS visits pass between deadline/cancellation
+/// checks (the parallel engine checks per level instead, which is
+/// naturally coarse).
+const INTERRUPT_STRIDE: usize = 4096;
 
 /// A lazily explorable implementation transition system: the input side
 /// of [`check_inclusion_otf`].
@@ -104,7 +110,7 @@ pub trait SuccessorSource: Sync {
 /// let mut alphabet = compiled.alphabet().clone();
 /// let imp = imp.compile(&mut alphabet);
 /// let source = NfaSource::new(&imp, &alphabet);
-/// let result = check_inclusion_otf_threads(&source, &compiled, 1);
+/// let result = check_inclusion_otf_threads(&source, &compiled, 1).unwrap();
 /// assert_eq!(result.counterexample(), Some(&['b'][..]));
 /// ```
 pub struct NfaSource<'a, L> {
@@ -239,10 +245,15 @@ impl<T: crate::DeterministicTransitionSystem> SpecSource for DtsSpecSource<T> {
 /// returns; a session answering several queries against the same
 /// specification should hold a [`SpecCache`] and call
 /// [`check_inclusion_otf_cached`] instead.
+///
+/// # Errors
+///
+/// As for [`check_inclusion_otf_budget`] (with an unlimited budget, only
+/// [`EngineError::FaultInjected`] is reachable).
 pub fn check_inclusion_otf_lazy<S: SuccessorSource, D: SpecSource>(
     source: &S,
     spec: &D,
-) -> (InclusionResult<S::Label>, OtfStats) {
+) -> Result<(InclusionResult<S::Label>, OtfStats), EngineError> {
     let mut cache = SpecCache::new(spec);
     check_inclusion_otf_cached(source, &mut cache, usize::MAX)
 }
@@ -254,16 +265,35 @@ pub fn check_inclusion_otf_lazy<S: SuccessorSource, D: SpecSource>(
 /// to the cold-cache run (spec state ids are internal; discovery order is
 /// driven by the implementation side and letter order only).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the source reaches more than `max_impl_states` distinct
-/// implementation states.
+/// [`EngineError::StateLimit`] if the source reaches more than
+/// `max_impl_states` distinct implementation states (already-interned
+/// cache rows never count against a later query).
 pub fn check_inclusion_otf_cached<S: SuccessorSource, D: SpecSource>(
     source: &S,
     cache: &mut SpecCache<D>,
     max_impl_states: usize,
-) -> (InclusionResult<S::Label>, OtfStats) {
-    sequential_bounded(source, cache, max_impl_states)
+) -> Result<(InclusionResult<S::Label>, OtfStats), EngineError> {
+    check_inclusion_otf_cached_budget(source, cache, &QueryBudget::new(max_impl_states))
+}
+
+/// [`check_inclusion_otf_cached`] under a full [`QueryBudget`]: the state
+/// bound covers fresh interns on both sides of the product, and the
+/// deadline/cancellation is polled at BFS level boundaries and every
+/// `INTERRUPT_STRIDE` product visits.
+///
+/// # Errors
+///
+/// [`EngineError::StateLimit`], [`EngineError::Deadline`], or
+/// [`EngineError::Cancelled`] per the budget; the partially interned
+/// cache rows stay valid for retries.
+pub fn check_inclusion_otf_cached_budget<S: SuccessorSource, D: SpecSource>(
+    source: &S,
+    cache: &mut SpecCache<D>,
+    budget: &QueryBudget,
+) -> Result<(InclusionResult<S::Label>, OtfStats), EngineError> {
+    sequential_bounded(source, cache, budget)
 }
 
 /// Statistics of an on-the-fly run, beyond the [`InclusionResult`].
@@ -281,31 +311,43 @@ pub struct OtfStats {
 /// Checks `L(source) ⊆ L(spec)` on the fly, with the thread count of
 /// [`modelcheck_threads`]. See the module docs for the guarantees of the
 /// sequential and parallel engines.
+///
+/// # Errors
+///
+/// As for [`check_inclusion_otf_budget`].
 pub fn check_inclusion_otf<S: SuccessorSource, M: Sync>(
     source: &S,
     spec: &CompiledDfa<M>,
-) -> InclusionResult<S::Label> {
+) -> Result<InclusionResult<S::Label>, EngineError> {
     check_inclusion_otf_threads(source, spec, modelcheck_threads())
 }
 
 /// [`check_inclusion_otf`] with an explicit thread count (`1` selects the
 /// sequential engine).
+///
+/// # Errors
+///
+/// As for [`check_inclusion_otf_budget`].
 pub fn check_inclusion_otf_threads<S: SuccessorSource, M: Sync>(
     source: &S,
     spec: &CompiledDfa<M>,
     threads: usize,
-) -> InclusionResult<S::Label> {
-    check_inclusion_otf_stats(source, spec, threads).0
+) -> Result<InclusionResult<S::Label>, EngineError> {
+    Ok(check_inclusion_otf_stats(source, spec, threads)?.0)
 }
 
 /// [`check_inclusion_otf_threads`] returning run statistics alongside the
 /// result — the entry point `SafetyChecker` uses to report the TM state
 /// count without a separate exploration pass.
+///
+/// # Errors
+///
+/// As for [`check_inclusion_otf_budget`].
 pub fn check_inclusion_otf_stats<S: SuccessorSource, M: Sync>(
     source: &S,
     spec: &CompiledDfa<M>,
     threads: usize,
-) -> (InclusionResult<S::Label>, OtfStats) {
+) -> Result<(InclusionResult<S::Label>, OtfStats), EngineError> {
     check_inclusion_otf_bounded(source, spec, threads, usize::MAX)
 }
 
@@ -314,16 +356,16 @@ pub fn check_inclusion_otf_stats<S: SuccessorSource, M: Sync>(
 /// state space might be unexpectedly unbounded (what `SafetyChecker`
 /// passes its `DEFAULT_MAX_STATES` through).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the source reaches more than `max_impl_states` distinct
-/// implementation states.
+/// [`EngineError::StateLimit`] if the source reaches more than
+/// `max_impl_states` distinct implementation states.
 pub fn check_inclusion_otf_bounded<S: SuccessorSource, M: Sync>(
     source: &S,
     spec: &CompiledDfa<M>,
     threads: usize,
     max_impl_states: usize,
-) -> (InclusionResult<S::Label>, OtfStats) {
+) -> Result<(InclusionResult<S::Label>, OtfStats), EngineError> {
     check_inclusion_otf_executor(source, spec, &Executor::for_threads(threads), max_impl_states)
 }
 
@@ -334,19 +376,44 @@ pub fn check_inclusion_otf_bounded<S: SuccessorSource, M: Sync>(
 /// and statistics are identical under every executor; an executor of
 /// width 1 selects the deterministic sequential engine.
 ///
-/// # Panics
+/// # Errors
 ///
-/// As for [`check_inclusion_otf_bounded`].
+/// As for [`check_inclusion_otf_budget`].
 pub fn check_inclusion_otf_executor<S: SuccessorSource, M: Sync>(
     source: &S,
     spec: &CompiledDfa<M>,
     executor: &Executor<'_>,
     max_impl_states: usize,
-) -> (InclusionResult<S::Label>, OtfStats) {
+) -> Result<(InclusionResult<S::Label>, OtfStats), EngineError> {
+    check_inclusion_otf_budget(source, spec, executor, &QueryBudget::new(max_impl_states))
+}
+
+/// The fully general product entry point: explicit [`Executor`] and
+/// explicit [`QueryBudget`]. The sequential engine polls the budget at
+/// BFS level boundaries and every `INTERRUPT_STRIDE` product visits;
+/// the parallel engine polls it once per level (levels are the natural
+/// synchronization points of the level-synchronous BFS). Aborts are
+/// structured — no engine resource limit panics.
+///
+/// # Errors
+///
+/// * [`EngineError::StateLimit`] — the implementation (or lazily
+///   interned specification) side outgrew `budget.max_states()`;
+/// * [`EngineError::Deadline`] / [`EngineError::Cancelled`] — the budget
+///   interrupted the exploration;
+/// * [`EngineError::TaskPanicked`] — a parallel region task panicked;
+/// * [`EngineError::FaultInjected`] — an armed [`crate::fault`] plan
+///   fired (test/chaos builds only).
+pub fn check_inclusion_otf_budget<S: SuccessorSource, M: Sync>(
+    source: &S,
+    spec: &CompiledDfa<M>,
+    executor: &Executor<'_>,
+    budget: &QueryBudget,
+) -> Result<(InclusionResult<S::Label>, OtfStats), EngineError> {
     if executor.threads() <= 1 {
-        sequential_bounded(source, CompiledSpec(spec), max_impl_states)
+        sequential_bounded(source, CompiledSpec(spec), budget)
     } else {
-        parallel(source, spec, executor, max_impl_states)
+        parallel(source, spec, executor, budget)
     }
 }
 
@@ -357,11 +424,14 @@ pub fn check_inclusion_otf_executor<S: SuccessorSource, M: Sync>(
 trait SpecAccess {
     /// Number of specification letters.
     fn num_letters(&self) -> u32;
-    /// The (interned) initial state.
-    fn initial(&mut self) -> u32;
+    /// The (interned) initial state. Fallible because a lazy access may
+    /// intern against the budget.
+    fn initial(&mut self, budget: &QueryBudget) -> Result<u32, EngineError>;
     /// Raw successor with the [`NO_STATE`] sentinel; `letter` is below
-    /// [`SpecAccess::num_letters`].
-    fn step(&mut self, state: u32, letter: LetterId) -> u32;
+    /// [`SpecAccess::num_letters`]. Fallible for the same reason as
+    /// [`SpecAccess::initial`].
+    fn step(&mut self, state: u32, letter: LetterId, budget: &QueryBudget)
+        -> Result<u32, EngineError>;
 }
 
 struct CompiledSpec<'a, M>(&'a CompiledDfa<M>);
@@ -373,13 +443,18 @@ impl<M> SpecAccess for CompiledSpec<'_, M> {
     }
 
     #[inline]
-    fn initial(&mut self) -> u32 {
-        self.0.initial_state()
+    fn initial(&mut self, _budget: &QueryBudget) -> Result<u32, EngineError> {
+        Ok(self.0.initial_state())
     }
 
     #[inline]
-    fn step(&mut self, state: u32, letter: LetterId) -> u32 {
-        self.0.step_raw(state, letter)
+    fn step(
+        &mut self,
+        state: u32,
+        letter: LetterId,
+        _budget: &QueryBudget,
+    ) -> Result<u32, EngineError> {
+        Ok(self.0.step_raw(state, letter))
     }
 }
 
@@ -449,15 +524,21 @@ impl<D: SpecSource> SpecCache<D> {
             + rows
     }
 
-    fn intern(&mut self, state: D::State) -> u32 {
+    /// Interns `state` against `budget`: specification blowups are the
+    /// same structured [`EngineError::StateLimit`] abort as
+    /// implementation ones — this is the check the (3,3)/(4,2) scaling
+    /// cases rely on, where the *spec* side is the wall. Already-interned
+    /// states from earlier queries are free.
+    fn intern(&mut self, state: D::State, budget: &QueryBudget) -> Result<u32, EngineError> {
         if let Some(&id) = self.ids.get(&state) {
-            return id;
+            return Ok(id);
         }
+        budget.check_states(self.states.len())?;
         let id = u32::try_from(self.states.len()).expect("more than u32::MAX spec states");
         self.ids.insert(state.clone(), id);
         self.states.push(state);
         self.rows.push(None);
-        id
+        Ok(id)
     }
 }
 
@@ -466,23 +547,31 @@ impl<D: SpecSource> SpecAccess for &mut SpecCache<D> {
         self.source.num_letters()
     }
 
-    fn initial(&mut self) -> u32 {
+    fn initial(&mut self, budget: &QueryBudget) -> Result<u32, EngineError> {
         let init = self.source.initial_state();
-        self.intern(init)
+        self.intern(init, budget)
     }
 
-    fn step(&mut self, state: u32, letter: LetterId) -> u32 {
+    fn step(
+        &mut self,
+        state: u32,
+        letter: LetterId,
+        budget: &QueryBudget,
+    ) -> Result<u32, EngineError> {
         if self.rows[state as usize].is_none() {
-            let row: Vec<Option<D::State>> = (0..self.source.num_letters())
+            let generated: Vec<Option<D::State>> = (0..self.source.num_letters())
                 .map(|l| self.source.step(&self.states[state as usize], l))
                 .collect();
-            let row: Box<[u32]> = row
-                .into_iter()
-                .map(|succ| succ.map_or(NO_STATE, |s| self.intern(s)))
-                .collect();
-            self.rows[state as usize] = Some(row);
+            let mut row = Vec::with_capacity(generated.len());
+            for succ in generated {
+                row.push(match succ {
+                    Some(s) => self.intern(s, budget)?,
+                    None => NO_STATE,
+                });
+            }
+            self.rows[state as usize] = Some(row.into_boxed_slice());
         }
-        self.rows[state as usize].as_deref().expect("row cached")[letter as usize]
+        Ok(self.rows[state as usize].as_deref().expect("row cached")[letter as usize])
     }
 }
 
@@ -507,56 +596,54 @@ struct Explorer<'a, S: SuccessorSource> {
     ids: FxHashMap<S::State, u32>,
     states: Vec<S::State>,
     rows: Vec<Option<Row>>,
-    /// Cap on distinct implementation states (the caller's declaration
-    /// that the source was expected to be finite and bounded).
-    max_states: usize,
+    /// The query budget bounding distinct implementation states (the
+    /// caller's declaration that the source was expected to be finite and
+    /// bounded).
+    budget: &'a QueryBudget,
 }
 
 impl<'a, S: SuccessorSource> Explorer<'a, S> {
-    fn new(source: &'a S, max_states: usize) -> Self {
+    fn new(source: &'a S, budget: &'a QueryBudget) -> Self {
         Explorer {
             source,
             ids: FxHashMap::default(),
             states: Vec::new(),
             rows: Vec::new(),
-            max_states,
+            budget,
         }
     }
 
-    fn intern(&mut self, state: S::State) -> u32 {
+    fn intern(&mut self, state: S::State) -> Result<u32, EngineError> {
         if let Some(&id) = self.ids.get(&state) {
-            return id;
+            return Ok(id);
         }
-        assert!(
-            self.states.len() < self.max_states,
-            "implementation state space exceeded {} states",
-            self.max_states
-        );
+        self.budget.check_states(self.states.len())?;
         let id = u32::try_from(self.states.len()).expect("more than u32::MAX states");
         self.ids.insert(state.clone(), id);
         self.states.push(state);
         self.rows.push(None);
-        id
+        Ok(id)
     }
 
     /// Interns an already-generated successor list as the row of `qi`.
-    fn store_row(&mut self, qi: u32, generated: Vec<(LetterId, S::State)>) {
-        let row: Row = generated
-            .into_iter()
-            .map(|(letter, succ)| (letter, self.intern(succ)))
-            .collect();
-        self.rows[qi as usize] = Some(row);
+    fn store_row(&mut self, qi: u32, generated: Vec<(LetterId, S::State)>) -> Result<(), EngineError> {
+        let mut row = Vec::with_capacity(generated.len());
+        for (letter, succ) in generated {
+            row.push((letter, self.intern(succ)?));
+        }
+        self.rows[qi as usize] = Some(row.into_boxed_slice());
+        Ok(())
     }
 
     /// Generates and caches the successor row of `qi` on first touch.
-    fn ensure_row(&mut self, qi: u32) {
+    fn ensure_row(&mut self, qi: u32) -> Result<(), EngineError> {
         if self.rows[qi as usize].is_some() {
-            return;
+            return Ok(());
         }
         let mut generated = Vec::new();
         self.source
             .successors(&self.states[qi as usize], &mut generated);
-        self.store_row(qi, generated);
+        self.store_row(qi, generated)
     }
 }
 
@@ -567,19 +654,19 @@ impl<'a, S: SuccessorSource> Explorer<'a, S> {
 fn sequential_bounded<S: SuccessorSource, P: SpecAccess>(
     source: &S,
     mut spec: P,
-    max_impl_states: usize,
-) -> (InclusionResult<S::Label>, OtfStats) {
+    budget: &QueryBudget,
+) -> Result<(InclusionResult<S::Label>, OtfStats), EngineError> {
     let spec_letters = spec.num_letters();
-    let mut ex = Explorer::new(source, max_impl_states);
+    let mut ex = Explorer::new(source, budget);
     let mut visited: FxHashSet<u64> = FxHashSet::default();
     let mut queue: Vec<(u32, u32)> = Vec::new();
     let mut parent: Vec<(u32, LetterId)> = Vec::new();
 
-    let spec0 = spec.initial();
+    let spec0 = spec.initial(budget)?;
     let mut inits = Vec::new();
     source.initial_states(&mut inits);
     for state in inits {
-        let qi = ex.intern(state);
+        let qi = ex.intern(state)?;
         if visited.insert(pack(qi, spec0)) {
             queue.push((qi, spec0));
             parent.push((ROOT, EPSILON));
@@ -593,17 +680,21 @@ fn sequential_bounded<S: SuccessorSource, P: SpecAccess>(
         if head == depth_mark {
             levels += 1;
             depth_mark = queue.len();
+            budget.check_interrupt()?;
+        } else if head.is_multiple_of(INTERRUPT_STRIDE) {
+            // Wide levels still poll the deadline at a bounded stride.
+            budget.check_interrupt()?;
         }
         let (qi, qs) = queue[head];
-        ex.ensure_row(qi);
+        ex.ensure_row(qi)?;
         let row = ex.rows[qi as usize].as_deref().expect("row ensured above");
         for &(letter, target) in row {
             let qs2 = if letter == EPSILON {
                 qs
             } else if letter < spec_letters {
-                match spec.step(qs, letter) {
+                match spec.step(qs, letter, budget)? {
                     NO_STATE => {
-                        return sequential_violation(
+                        return Ok(sequential_violation(
                             source,
                             &parent,
                             head,
@@ -611,12 +702,12 @@ fn sequential_bounded<S: SuccessorSource, P: SpecAccess>(
                             queue.len(),
                             ex.states.len(),
                             levels,
-                        )
+                        ))
                     }
                     next => next,
                 }
             } else {
-                return sequential_violation(
+                return Ok(sequential_violation(
                     source,
                     &parent,
                     head,
@@ -624,7 +715,7 @@ fn sequential_bounded<S: SuccessorSource, P: SpecAccess>(
                     queue.len(),
                     ex.states.len(),
                     levels,
-                );
+                ));
             };
             if visited.insert(pack(target, qs2)) {
                 queue.push((target, qs2));
@@ -633,7 +724,7 @@ fn sequential_bounded<S: SuccessorSource, P: SpecAccess>(
         }
         head += 1;
     }
-    (
+    Ok((
         InclusionResult::Included {
             product_states: queue.len(),
         },
@@ -641,7 +732,7 @@ fn sequential_bounded<S: SuccessorSource, P: SpecAccess>(
             impl_states: ex.states.len(),
             levels,
         },
-    )
+    ))
 }
 
 /// Builds the violating return of the sequential engine.
@@ -739,10 +830,10 @@ fn parallel<S: SuccessorSource, M: Sync>(
     source: &S,
     spec: &CompiledDfa<M>,
     executor: &Executor<'_>,
-    max_impl_states: usize,
-) -> (InclusionResult<S::Label>, OtfStats) {
+    budget: &QueryBudget,
+) -> Result<(InclusionResult<S::Label>, OtfStats), EngineError> {
     let spec_letters = spec.alphabet().len() as u32;
-    let mut ex = Explorer::new(source, max_impl_states);
+    let mut ex = Explorer::new(source, budget);
     let mut visited: Vec<FxHashSet<u64>> = (0..STRIPES).map(|_| FxHashSet::default()).collect();
 
     // Level 0: distinct initial pairs in order.
@@ -751,7 +842,7 @@ fn parallel<S: SuccessorSource, M: Sync>(
     source.initial_states(&mut inits);
     let mut frontier: Vec<(u32, u32)> = Vec::new();
     for state in inits {
-        let qi = ex.intern(state);
+        let qi = ex.intern(state)?;
         let key = pack(qi, spec0);
         if visited[stripe_of(key)].insert(key) {
             frontier.push((qi, spec0));
@@ -763,14 +854,19 @@ fn parallel<S: SuccessorSource, M: Sync>(
     let mut levels = 0usize;
 
     while !frontier.is_empty() {
+        // Levels are the natural synchronization points of this engine:
+        // one budget poll per level bounds abort latency by the cost of a
+        // single level expansion.
+        budget.check_interrupt()?;
+
         // Phase 1: generate successor rows for first-touched states, in
         // frontier order (sharded; interned sequentially for determinism).
-        ensure_rows(&mut ex, &frontier, executor);
+        ensure_rows(&mut ex, &frontier, executor)?;
 
         // Phase 2: expand the frontier into per-(chunk, stripe) candidate
         // buffers against the read-only visited table. Pure integers.
         let mut chunk_outs =
-            expand_frontier(&ex, spec, spec_letters, &visited, &frontier, executor);
+            expand_frontier(&ex, spec, spec_letters, &visited, &frontier, executor)?;
 
         // A violation anywhere in this level beats all deeper ones; the
         // minimal tag reproduces the sequential engine's word.
@@ -780,7 +876,7 @@ fn parallel<S: SuccessorSource, M: Sync>(
             .min_by_key(|&(tag, _)| tag);
         if let Some((tag, letter)) = violation {
             let word = reconstruct_levels(source, &parents, (tag >> 32) as u32, letter);
-            return (
+            return Ok((
                 InclusionResult::Counterexample {
                     word,
                     product_states: total,
@@ -789,12 +885,12 @@ fn parallel<S: SuccessorSource, M: Sync>(
                     impl_states: ex.states.len(),
                     levels,
                 },
-            );
+            ));
         }
 
         // Phase 3: dedup merge, stripe-parallel, candidates consumed in
         // tag order (chunk ranges are ascending, buffers are in-order).
-        let nodes = merge_level(&mut visited, &mut chunk_outs, executor);
+        let nodes = merge_level(&mut visited, &mut chunk_outs, executor)?;
 
         frontier.clear();
         let mut level_parents = Vec::with_capacity(nodes.len());
@@ -811,7 +907,7 @@ fn parallel<S: SuccessorSource, M: Sync>(
         }
     }
 
-    (
+    Ok((
         InclusionResult::Included {
             product_states: total,
         },
@@ -819,7 +915,7 @@ fn parallel<S: SuccessorSource, M: Sync>(
             impl_states: ex.states.len(),
             levels,
         },
-    )
+    ))
 }
 
 /// Generates (in parallel) and interns (sequentially, in frontier order)
@@ -828,7 +924,7 @@ fn ensure_rows<S: SuccessorSource>(
     ex: &mut Explorer<'_, S>,
     frontier: &[(u32, u32)],
     executor: &Executor<'_>,
-) {
+) -> Result<(), EngineError> {
     let mut missing: Vec<u32> = Vec::new();
     let mut queued = FxHashSet::default();
     for &(qi, _) in frontier {
@@ -837,7 +933,7 @@ fn ensure_rows<S: SuccessorSource>(
         }
     }
     if missing.is_empty() {
-        return;
+        return Ok(());
     }
     let threads = executor.threads();
     let mut generated: Vec<Vec<(LetterId, S::State)>> = vec![Vec::new(); missing.len()];
@@ -849,7 +945,7 @@ fn ensure_rows<S: SuccessorSource>(
         let chunk = missing.len().div_ceil(threads);
         let source = ex.source;
         let states = &ex.states;
-        executor.scope(|scope| {
+        executor.try_scope(|scope| {
             for (slots, ids) in generated.chunks_mut(chunk).zip(missing.chunks(chunk)) {
                 scope.spawn(move || {
                     for (slot, &qi) in slots.iter_mut().zip(ids) {
@@ -857,11 +953,12 @@ fn ensure_rows<S: SuccessorSource>(
                     }
                 });
             }
-        });
+        })?;
     }
     for (qi, row) in missing.into_iter().zip(generated) {
-        ex.store_row(qi, row);
+        ex.store_row(qi, row)?;
     }
+    Ok(())
 }
 
 /// Expands the frontier into per-chunk candidate buffers (chunks are
@@ -874,7 +971,7 @@ fn expand_frontier<S: SuccessorSource, M: Sync>(
     visited: &[FxHashSet<u64>],
     frontier: &[(u32, u32)],
     executor: &Executor<'_>,
-) -> Vec<ChunkOut> {
+) -> Result<Vec<ChunkOut>, EngineError> {
     let threads = executor.threads();
     let chunk = frontier.len().div_ceil(threads).max(1);
     let starts: Vec<usize> = (0..frontier.len()).step_by(chunk).collect();
@@ -931,13 +1028,13 @@ fn expand_frontier<S: SuccessorSource, M: Sync>(
         }
     } else {
         let expand_chunk = &expand_chunk;
-        executor.scope(|scope| {
+        executor.try_scope(|scope| {
             for (out, &start) in outs.iter_mut().zip(&starts) {
                 scope.spawn(move || expand_chunk(out, start));
             }
-        });
+        })?;
     }
-    outs
+    Ok(outs)
 }
 
 fn record_violation(out: &mut ChunkOut, min_violation: &AtomicU64, tag: u64, letter: LetterId) {
@@ -955,7 +1052,7 @@ fn merge_level(
     visited: &mut [FxHashSet<u64>],
     chunk_outs: &mut [ChunkOut],
     executor: &Executor<'_>,
-) -> Vec<Candidate> {
+) -> Result<Vec<Candidate>, EngineError> {
     let threads = executor.threads();
     // Regroup buffers by stripe (pointer moves only).
     let mut by_stripe: Vec<Vec<Vec<Candidate>>> = (0..STRIPES).map(|_| Vec::new()).collect();
@@ -986,7 +1083,7 @@ fn merge_level(
         }
     } else {
         let per = STRIPES.div_ceil(threads);
-        executor.scope(|scope| {
+        executor.try_scope(|scope| {
             for ((sets, bufs), outs) in visited
                 .chunks_mut(per)
                 .zip(by_stripe.chunks_mut(per))
@@ -998,11 +1095,11 @@ fn merge_level(
                     }
                 });
             }
-        });
+        })?;
     }
     let mut nodes: Vec<Candidate> = accepted.into_iter().flatten().collect();
     nodes.sort_unstable_by_key(|c| c.tag);
-    nodes
+    Ok(nodes)
 }
 
 /// Reconstructs a violating word along per-level parent arrays (parallel
@@ -1099,7 +1196,7 @@ mod tests {
             let (imp, alphabet) = compile_pair(nfa, &spec);
             let source = NfaSource::new(&imp, &alphabet);
             for threads in [1, 2, 5] {
-                let got = check_inclusion_otf_threads(&source, &spec, threads);
+                let got = check_inclusion_otf_threads(&source, &spec, threads).unwrap();
                 assert_eq!(got.holds(), expected.holds(), "threads={threads}");
                 assert_eq!(
                     got.counterexample(),
@@ -1120,7 +1217,7 @@ mod tests {
         let expected = check_inclusion_compiled(&nfa, &spec);
         let (imp, alphabet) = compile_pair(&nfa, &spec);
         let source = NfaSource::new(&imp, &alphabet);
-        let got = check_inclusion_otf_threads(&source, &spec, 1);
+        let got = check_inclusion_otf_threads(&source, &spec, 1).unwrap();
         assert_eq!(got, expected); // verdict, word, and product_states
     }
 
@@ -1130,11 +1227,11 @@ mod tests {
         let spec = letter_dfa(&['a', 'b', 'c']).compile();
         let (imp, alphabet) = compile_pair(&nfa, &spec);
         let source = NfaSource::new(&imp, &alphabet);
-        let (_, sequential_stats) = check_inclusion_otf_stats(&source, &spec, 1);
+        let (_, sequential_stats) = check_inclusion_otf_stats(&source, &spec, 1).unwrap();
         assert_eq!(sequential_stats.impl_states, nfa.num_states());
         assert!(sequential_stats.levels > 0);
         for threads in [2, 3] {
-            let (result, stats) = check_inclusion_otf_stats(&source, &spec, threads);
+            let (result, stats) = check_inclusion_otf_stats(&source, &spec, threads).unwrap();
             assert!(result.holds());
             // Stats — including the level count — are engine-independent.
             assert_eq!(stats, sequential_stats, "threads={threads}");
@@ -1142,13 +1239,73 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "exceeded 4 states")]
-    fn bounded_engine_rejects_state_blowup() {
+    fn bounded_engine_rejects_state_blowup_structurally() {
         let nfa = chain_nfa(10);
         let spec = letter_dfa(&['a', 'b', 'c']).compile();
         let (imp, alphabet) = compile_pair(&nfa, &spec);
         let source = NfaSource::new(&imp, &alphabet);
-        let _ = check_inclusion_otf_bounded(&source, &spec, 1, 4);
+        // Both engines return the structured abort, never panic.
+        for threads in [1, 4] {
+            assert_eq!(
+                check_inclusion_otf_bounded(&source, &spec, threads, 4).err(),
+                Some(EngineError::StateLimit(4)),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn expired_budget_aborts_both_engines() {
+        let nfa = chain_nfa(10);
+        let spec = letter_dfa(&['a', 'b', 'c']).compile();
+        let (imp, alphabet) = compile_pair(&nfa, &spec);
+        let source = NfaSource::new(&imp, &alphabet);
+        let expired = QueryBudget::unlimited().with_timeout(std::time::Duration::ZERO);
+        let token = crate::CancelToken::new();
+        token.cancel();
+        let cancelled = QueryBudget::unlimited().with_cancel(token);
+        for threads in [1, 4] {
+            let executor = Executor::for_threads(threads);
+            assert_eq!(
+                check_inclusion_otf_budget(&source, &spec, &executor, &expired).err(),
+                Some(EngineError::Deadline),
+                "threads={threads}"
+            );
+            assert_eq!(
+                check_inclusion_otf_budget(&source, &spec, &executor, &cancelled).err(),
+                Some(EngineError::Cancelled),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn lazy_spec_blowup_is_a_structured_error() {
+        // An infinite spec state space: the budget trips on *spec*
+        // interning even though the implementation is a single state.
+        struct Unbounded;
+        impl SpecSource for Unbounded {
+            type State = u64;
+            fn num_letters(&self) -> u32 {
+                1
+            }
+            fn initial_state(&self) -> u64 {
+                0
+            }
+            fn step(&self, state: &u64, _letter: LetterId) -> Option<u64> {
+                Some(state + 1)
+            }
+        }
+        let nfa = letter_nfa(&['a']);
+        let mut alphabet = Alphabet::new();
+        alphabet.intern(&'a');
+        let imp = CompiledNfa::compile(&nfa, &mut alphabet);
+        let source = NfaSource::new(&imp, &alphabet);
+        let mut cache = SpecCache::new(Unbounded);
+        assert_eq!(
+            check_inclusion_otf_cached(&source, &mut cache, 8).err(),
+            Some(EngineError::StateLimit(8))
+        );
     }
 
     #[test]
@@ -1162,6 +1319,7 @@ mod tests {
             .iter()
             .map(|&t| {
                 check_inclusion_otf_threads(&source, &spec, t)
+                    .unwrap()
                     .counterexample()
                     .expect("must violate")
                     .to_vec()
@@ -1191,7 +1349,7 @@ mod tests {
                 }
             }
         }
-        let (dfa, _) = crate::explore_deterministic(&Parity, vec!['f', 'z'], 10);
+        let (dfa, _) = crate::explore_deterministic(&Parity, vec!['f', 'z'], 10).unwrap();
         let spec = dfa.compile();
         for nfa in [
             letter_nfa(&['f']),
@@ -1201,9 +1359,9 @@ mod tests {
         ] {
             let (imp, alphabet) = compile_pair(&nfa, &spec);
             let source = NfaSource::new(&imp, &alphabet);
-            let eager = check_inclusion_otf_stats(&source, &spec, 1);
+            let eager = check_inclusion_otf_stats(&source, &spec, 1).unwrap();
             let lazy_spec = DtsSpecSource::new(&Parity, vec!['f', 'z']);
-            let lazy = check_inclusion_otf_lazy(&source, &lazy_spec);
+            let lazy = check_inclusion_otf_lazy(&source, &lazy_spec).unwrap();
             assert_eq!(lazy.0, eager.0);
             assert_eq!(lazy.1, eager.1);
         }
@@ -1225,14 +1383,14 @@ mod tests {
             let spec = letter_dfa(dfa_letters).compile();
             let (imp, alphabet) = compile_pair(&nfa, &spec);
             let source = NfaSource::new(&imp, &alphabet);
-            let (expected, expected_stats) = check_inclusion_otf_stats(&source, &spec, 1);
+            let (expected, expected_stats) = check_inclusion_otf_stats(&source, &spec, 1).unwrap();
             for executor in [
                 Executor::Sequential,
                 Executor::Scoped { threads: 3 },
                 Executor::Pool(&pool),
             ] {
                 let (got, stats) =
-                    check_inclusion_otf_executor(&source, &spec, &executor, usize::MAX);
+                    check_inclusion_otf_executor(&source, &spec, &executor, usize::MAX).unwrap();
                 assert_eq!(got.holds(), expected.holds(), "{executor:?}");
                 assert_eq!(got.counterexample(), expected.counterexample(), "{executor:?}");
                 if expected.holds() {
@@ -1268,7 +1426,7 @@ mod tests {
             letter_nfa(&['z']),
             chain_nfa(7),
         ];
-        let spec_dfa = crate::explore_deterministic(&Parity, vec!['f', 'z'], 10).0;
+        let spec_dfa = crate::explore_deterministic(&Parity, vec!['f', 'z'], 10).unwrap().0;
         let compiled = spec_dfa.compile();
         // First pass populates the cache; the second answers from it. All
         // reported fields must match the cold (per-call) lazy path.
@@ -1277,8 +1435,8 @@ mod tests {
             for nfa in &cases {
                 let (imp, alphabet) = compile_pair(nfa, &compiled);
                 let source = NfaSource::new(&imp, &alphabet);
-                let cold = check_inclusion_otf_lazy(&source, &lazy_spec);
-                let warm = check_inclusion_otf_cached(&source, &mut cache, usize::MAX);
+                let cold = check_inclusion_otf_lazy(&source, &lazy_spec).unwrap();
+                let warm = check_inclusion_otf_cached(&source, &mut cache, usize::MAX).unwrap();
                 assert_eq!(warm.0, cold.0, "pass {pass}");
                 assert_eq!(warm.1, cold.1, "pass {pass}");
             }
@@ -1307,13 +1465,14 @@ mod tests {
         }
         let mut cache = SpecCache::new(Counter);
         let empty = cache.heap_bytes();
+        let unlimited = QueryBudget::unlimited();
         // Walk a few states, forcing their full letter rows.
         let mut access: &mut SpecCache<Counter> = &mut cache;
-        let mut q = access.initial();
+        let mut q = access.initial(&unlimited).unwrap();
         for letter in [0, 1, 2, 3] {
-            q = access.step(q, letter);
+            q = access.step(q, letter, &unlimited).unwrap();
         }
-        let _ = access.step(q, 0);
+        let _ = access.step(q, 0, &unlimited).unwrap();
         let warm = cache.heap_bytes();
         // Every fully computed row is a boxed `[u32; num_letters]`; the
         // state table and interner grew alongside.

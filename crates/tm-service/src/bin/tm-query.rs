@@ -9,35 +9,112 @@
 //! Each `QUERY` is the shorthand `tm[+cm]:property:n:k`, e.g.
 //! `dstm+aggressive:of:2:1` or `TL2:ss:2:2` (properties: `ss`, `op`,
 //! `of`, `lf`, `wf`). Results print as an aligned table; `--json` dumps
-//! the raw response body instead. Exits non-zero on connection errors,
+//! the raw response body, `--verdicts` prints one stable
+//! `name:property:n:k verdict [witness]` line per query (for diffing
+//! runs against each other). Exits non-zero on connection errors,
 //! non-200 responses, or malformed queries.
+//!
+//! Retry knobs:
+//!
+//! * `--retries N` — retry transport failures and retryable HTTP
+//!   statuses (429/503/504) up to N times with exponential backoff and
+//!   seeded jitter, honoring server `Retry-After` hints;
+//! * `--backoff-seed S` — jitter seed (default 0), so CI runs are
+//!   reproducible;
+//! * `--deadline-ms MS` — whole-batch deadline shipped in the request;
+//!   the server sheds queries past it as `aborted: deadline`.
 
 use std::process::ExitCode;
+use std::time::Duration;
 
-use tm_service::wire::{decode_results, encode_batch};
-use tm_service::{http_request, QueryOutcome, QuerySpec};
+use tm_service::client::{is_retryable_status, Backoff};
+use tm_service::wire::{decode_results, encode_batch_request};
+use tm_service::{http_request_full, QueryOutcome, QuerySpec};
 
 fn usage() -> &'static str {
-    "usage: tm-query --addr HOST:PORT [--json] QUERY...\n       \
+    "usage: tm-query --addr HOST:PORT [--json | --verdicts] [--retries N] \
+     [--backoff-seed S] [--deadline-ms MS] QUERY...\n       \
      tm-query --addr HOST:PORT --stats | --shutdown\n       \
      QUERY = tm[+cm]:property:n:k (e.g. dstm+aggressive:of:2:1, TL2:ss:2:2)"
+}
+
+struct Retry {
+    attempts: u64,
+    backoff: Backoff,
+}
+
+/// Sends one request, retrying retryable failures per the policy.
+fn request(
+    retry: &mut Retry,
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> Result<(u16, String), String> {
+    let mut attempt = 0u32;
+    loop {
+        let outcome = http_request_full(addr, method, path, body);
+        let (retryable, retry_after) = match &outcome {
+            // Transport errors (refused, reset, timeout) are retryable:
+            // the daemon may still be starting or mid-drain.
+            Err(_) => (true, None),
+            Ok((status, _, retry_after)) => (is_retryable_status(*status), *retry_after),
+        };
+        if !retryable || u64::from(attempt) >= retry.attempts {
+            return outcome.map(|(status, body, _)| (status, body));
+        }
+        let delay = retry.backoff.delay_ms(attempt, retry_after);
+        eprintln!(
+            "tm-query: attempt {} failed ({}), retrying in {delay} ms",
+            attempt + 1,
+            match &outcome {
+                Err(e) => e.clone(),
+                Ok((status, _, _)) => format!("HTTP {status}"),
+            }
+        );
+        std::thread::sleep(Duration::from_millis(delay));
+        attempt += 1;
+    }
 }
 
 fn run() -> Result<(), String> {
     let mut addr: Option<String> = None;
     let mut json = false;
+    let mut verdicts = false;
     let mut stats = false;
     let mut shutdown = false;
+    let mut retries = 0u64;
+    let mut backoff_seed = 0u64;
+    let mut deadline_ms: Option<u64> = None;
     let mut queries = Vec::new();
     let mut args = std::env::args().skip(1);
+    let value_of = |args: &mut dyn Iterator<Item = String>, flag: &str| {
+        args.next().ok_or_else(|| format!("{flag} needs a value\n{}", usage()))
+    };
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--addr" => {
-                addr = Some(args.next().ok_or_else(|| format!("--addr needs a value\n{}", usage()))?)
-            }
+            "--addr" => addr = Some(value_of(&mut args, "--addr")?),
             "--json" => json = true,
+            "--verdicts" => verdicts = true,
             "--stats" => stats = true,
             "--shutdown" => shutdown = true,
+            "--retries" => {
+                retries = value_of(&mut args, "--retries")?
+                    .parse()
+                    .map_err(|e| format!("bad --retries: {e}"))?
+            }
+            "--backoff-seed" => {
+                backoff_seed = value_of(&mut args, "--backoff-seed")?
+                    .parse()
+                    .map_err(|e| format!("bad --backoff-seed: {e}"))?
+            }
+            "--deadline-ms" => {
+                deadline_ms = Some(
+                    value_of(&mut args, "--deadline-ms")?
+                        .parse()
+                        .map_err(|e| format!("bad --deadline-ms: {e}"))?,
+                )
+            }
             "--help" | "-h" => {
                 println!("{}", usage());
                 return Ok(());
@@ -46,14 +123,18 @@ fn run() -> Result<(), String> {
         }
     }
     let addr = addr.ok_or_else(|| format!("--addr is required\n{}", usage()))?;
+    let mut retry = Retry {
+        attempts: retries,
+        backoff: Backoff::new(backoff_seed),
+    };
 
     if stats {
-        let (status, body) = http_request(&addr, "GET", "/v1/stats", None)?;
+        let (status, body) = request(&mut retry, &addr, "GET", "/v1/stats", None)?;
         println!("{body}");
         return check(status);
     }
     if shutdown {
-        let (status, body) = http_request(&addr, "POST", "/v1/shutdown", None)?;
+        let (status, body) = request(&mut retry, &addr, "POST", "/v1/shutdown", None)?;
         println!("{body}");
         return check(status);
     }
@@ -61,23 +142,35 @@ fn run() -> Result<(), String> {
         return Err(format!("nothing to do\n{}", usage()));
     }
 
-    let (status, body) = http_request(&addr, "POST", "/v1/batch", Some(&encode_batch(&queries)))?;
+    let body = encode_batch_request(&queries, deadline_ms);
+    let (status, body) = request(&mut retry, &addr, "POST", "/v1/batch", Some(&body))?;
     check(status).map_err(|e| format!("{e}: {body}"))?;
     if json {
         println!("{body}");
         return Ok(());
     }
     let (results, stats) = decode_results(&body).map_err(|e| e.to_string())?;
+    if verdicts {
+        for result in &results {
+            let (verdict, witness) = describe(&result.outcome);
+            let witness = if witness.is_empty() {
+                String::new()
+            } else {
+                format!(" {witness}")
+            };
+            println!(
+                "{}:{}:{}:{} {verdict}{witness}",
+                result.name, result.spec.property, result.spec.threads, result.spec.vars
+            );
+        }
+        return Ok(());
+    }
     let mut table = tm_checker::Table::new(
         format!("tm-serve @ {addr}"),
         ["TM", "property", "(n,k)", "verdict", "states", "artifact", "counterexample"],
     );
     for result in &results {
-        let (verdict, witness) = match &result.outcome {
-            QueryOutcome::Verified => ("Y".to_owned(), String::new()),
-            QueryOutcome::SafetyViolation { word } => ("N".to_owned(), word.clone()),
-            QueryOutcome::LivenessViolation { notation, .. } => ("N".to_owned(), notation.clone()),
-        };
+        let (verdict, witness) = describe(&result.outcome);
         let artifact = if result.rebuilt {
             "rebuilt"
         } else if result.cached {
@@ -97,17 +190,27 @@ fn run() -> Result<(), String> {
     }
     println!("{table}");
     println!(
-        "service: {} queries, {} hits, {} builds ({} rebuilds), {} evictions, \
+        "service: {} queries, {} hits, {} builds ({} rebuilds), {} aborted, {} evictions, \
          {} tracked bytes (peak {})",
         stats.queries,
         stats.cache_hits,
         stats.artifact_builds,
         stats.artifact_rebuilds,
+        stats.aborted_queries,
         stats.evictions,
         stats.tracked_bytes,
         stats.peak_tracked_bytes
     );
     Ok(())
+}
+
+fn describe(outcome: &QueryOutcome) -> (String, String) {
+    match outcome {
+        QueryOutcome::Verified => ("Y".to_owned(), String::new()),
+        QueryOutcome::SafetyViolation { word } => ("N".to_owned(), word.clone()),
+        QueryOutcome::LivenessViolation { notation, .. } => ("N".to_owned(), notation.clone()),
+        QueryOutcome::Aborted { reason } => (format!("aborted:{reason}"), String::new()),
+    }
 }
 
 fn check(status: u16) -> Result<(), String> {

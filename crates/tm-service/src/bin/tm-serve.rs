@@ -4,7 +4,8 @@
 //!
 //! ```bash
 //! tm-serve [--addr 127.0.0.1:0] [--pool N] [--mem-budget BYTES[k|m|g]]
-//!          [--max-states N] [--port-file PATH]
+//!          [--max-states N] [--port-file PATH] [--max-inflight N]
+//!          [--query-deadline-ms MS] [--batch-deadline-ms MS]
 //! ```
 //!
 //! With port 0 the OS picks an ephemeral port; the bound address is
@@ -12,17 +13,27 @@
 //! given) so scripts can discover it. The memory budget defaults to the
 //! `TM_SERVICE_MEM_BUDGET` environment variable; `--mem-budget`
 //! overrides it. The pool size defaults to `TM_MODELCHECK_THREADS`.
+//!
+//! Robustness knobs (flags override the `TM_SERVICE_MAX_INFLIGHT`,
+//! `TM_SERVICE_QUERY_DEADLINE_MS`, and `TM_SERVICE_BATCH_DEADLINE_MS`
+//! environment variables; 0 disables): `--max-inflight` bounds
+//! concurrently admitted batches (excess answered 429),
+//! `--query-deadline-ms` bounds each query's wall clock,
+//! `--batch-deadline-ms` bounds a whole batch — expired work comes back
+//! as `aborted` results, never a hung daemon.
 
 use std::io::Write;
 use std::net::TcpListener;
 use std::process::ExitCode;
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 use tm_service::{parse_mem_budget, serve, Service, ServiceConfig};
 
 fn usage() -> &'static str {
     "usage: tm-serve [--addr HOST:PORT] [--pool N] [--mem-budget BYTES[k|m|g]] \
-     [--max-states N] [--port-file PATH]"
+     [--max-states N] [--port-file PATH] [--max-inflight N] \
+     [--query-deadline-ms MS] [--batch-deadline-ms MS]"
 }
 
 fn run() -> Result<(), String> {
@@ -43,6 +54,23 @@ fn run() -> Result<(), String> {
                     .map_err(|e| format!("bad --pool: {e}"))?;
             }
             "--mem-budget" => config.mem_budget = parse_mem_budget(&value("--mem-budget")?)?,
+            "--max-inflight" => {
+                config.max_inflight = value("--max-inflight")?
+                    .parse()
+                    .map_err(|e| format!("bad --max-inflight: {e}"))?;
+            }
+            "--query-deadline-ms" => {
+                let ms: u64 = value("--query-deadline-ms")?
+                    .parse()
+                    .map_err(|e| format!("bad --query-deadline-ms: {e}"))?;
+                config.query_deadline = (ms > 0).then(|| Duration::from_millis(ms));
+            }
+            "--batch-deadline-ms" => {
+                let ms: u64 = value("--batch-deadline-ms")?
+                    .parse()
+                    .map_err(|e| format!("bad --batch-deadline-ms: {e}"))?;
+                config.batch_deadline = (ms > 0).then(|| Duration::from_millis(ms));
+            }
             "--max-states" => {
                 config.max_states = value("--max-states")?
                     .parse()
@@ -80,12 +108,13 @@ fn run() -> Result<(), String> {
         .stats();
     println!(
         "tm-serve shut down cleanly: {} connections, {} queries ({} hits, {} builds, \
-         {} rebuilds, {} evictions, peak {} tracked bytes)",
+         {} rebuilds, {} aborted, {} evictions, peak {} tracked bytes)",
         served,
         stats.queries,
         stats.cache_hits,
         stats.artifact_builds,
         stats.artifact_rebuilds,
+        stats.aborted_queries,
         stats.evictions,
         stats.peak_tracked_bytes
     );

@@ -135,13 +135,54 @@ impl MemoryBudget {
         self.hints.get(key).copied().unwrap_or(0)
     }
 
-    /// Makes room for an upcoming (re)build of `key`: evicts LRU entries
-    /// until the tracked total plus `key`'s last known size fits the
-    /// limit. Returns the keys the caller must now actually drop from
-    /// their sessions.
+    /// Makes room for an upcoming (re)build of `key` and charges it
+    /// *provisionally* at its last known size: evicts LRU entries until
+    /// the tracked total (including the provisional charge) fits the
+    /// limit, so two queries racing through the service cannot both
+    /// believe the same headroom is theirs. Returns the keys the caller
+    /// must now actually drop from their sessions.
+    ///
+    /// A successful build settles the provisional charge with
+    /// [`MemoryBudget::charge`]; a build that fails or aborts **must**
+    /// call [`MemoryBudget::release`], or the phantom bytes stay tracked
+    /// forever and shrink the budget for every later query.
     pub fn reserve(&mut self, key: &ArtifactKey) -> Vec<ArtifactKey> {
         let hint = self.hint(key);
-        self.evict_while_over(hint, Some(key))
+        self.clock += 1;
+        match self.entries.get_mut(key) {
+            Some(entry) => {
+                self.tracked = self.tracked - entry.bytes + hint;
+                entry.bytes = hint;
+                entry.last_used = self.clock;
+            }
+            None => {
+                self.entries.insert(
+                    key.clone(),
+                    Entry {
+                        bytes: hint,
+                        last_used: self.clock,
+                    },
+                );
+                self.tracked += hint;
+            }
+        }
+        let evicted = self.evict_while_over(0, Some(key));
+        self.peak = self.peak.max(self.tracked);
+        evicted
+    }
+
+    /// Releases `key`'s charge — the settle path for a build that failed
+    /// or aborted after [`MemoryBudget::reserve`]. Returns whether the
+    /// key was charged. The size hint survives, so a retry reserves the
+    /// same room.
+    pub fn release(&mut self, key: &ArtifactKey) -> bool {
+        match self.entries.remove(key) {
+            Some(entry) => {
+                self.tracked -= entry.bytes;
+                true
+            }
+            None => false,
+        }
     }
 
     /// Charges (or re-charges) `key` at `bytes`, marks it most recently
@@ -294,9 +335,37 @@ mod tests {
         assert_eq!(budget.hint(&graph("a")), 80);
         let evicted = budget.reserve(&graph("a"));
         assert_eq!(evicted, vec![graph("c")]);
-        assert_eq!(budget.tracked_bytes(), 0);
+        // The reservation itself is charged at the known 80 bytes.
+        assert_eq!(budget.tracked_bytes(), 80);
         budget.charge(graph("a"), 80);
+        assert_eq!(budget.tracked_bytes(), 80);
         assert!(budget.tracked_bytes() <= 100);
+    }
+
+    #[test]
+    fn a_failed_build_releases_its_reservation() {
+        let mut budget = MemoryBudget::new(Some(100));
+        budget.charge(graph("a"), 80);
+        budget.charge(graph("b"), 15);
+        let before = budget.tracked_bytes();
+        // A first-time build (no hint) reserves 0 bytes; failing it must
+        // leave the ledger exactly as it was.
+        assert!(budget.reserve(&graph("new")).is_empty());
+        assert!(budget.release(&graph("new")));
+        assert_eq!(budget.tracked_bytes(), before);
+        assert_eq!(budget.len(), 2);
+        // A rebuild reserves the last known size; failing it must give
+        // the bytes back instead of tracking a phantom artifact.
+        budget.charge(graph("c"), 90); // evicts a and b
+        assert_eq!(budget.hint(&graph("a")), 80);
+        let evicted = budget.reserve(&graph("a"));
+        assert_eq!(evicted, vec![graph("c")]);
+        assert_eq!(budget.tracked_bytes(), 80);
+        assert!(budget.release(&graph("a")));
+        assert_eq!(budget.tracked_bytes(), 0);
+        assert!(!budget.release(&graph("a")), "double release is a no-op");
+        // The hint survives the release, so a retry reserves real room.
+        assert_eq!(budget.hint(&graph("a")), 80);
     }
 
     #[test]

@@ -20,19 +20,30 @@
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-use crate::service::Service;
+use tm_automata::{fault, EngineError};
+
+use crate::service::{QueryResult, Service};
 use crate::wire;
 
 /// Upper bound on request bodies (16 MiB — a batch of millions of
 /// queries; anything larger is a client bug).
 const MAX_BODY_BYTES: usize = 16 << 20;
 
+/// Upper bound on header count per request; more is a 431.
+const MAX_HEADERS: usize = 100;
+
+/// Upper bound on total header bytes per request; more is a 431.
+const MAX_HEADER_BYTES: usize = 32 << 10;
+
 /// Per-connection socket timeout.
 const IO_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// `Retry-After` seconds advertised on 429/503/504 responses.
+const RETRY_AFTER_SECS: u64 = 1;
 
 /// Runs the accept loop on `listener` until a `POST /v1/shutdown`
 /// arrives, then joins every connection thread and returns the number of
@@ -45,6 +56,11 @@ const IO_TIMEOUT: Duration = Duration::from_secs(60);
 pub fn serve(listener: TcpListener, service: Arc<Mutex<Service>>) -> std::io::Result<u64> {
     listener.set_nonblocking(true)?;
     let shutdown = Arc::new(AtomicBool::new(false));
+    let inflight = Arc::new(AtomicUsize::new(0));
+    let max_inflight = service
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+        .max_inflight();
     let mut handles: Vec<std::thread::JoinHandle<()>> = Vec::new();
     let mut served = 0u64;
     loop {
@@ -62,9 +78,16 @@ pub fn serve(listener: TcpListener, service: Arc<Mutex<Service>>) -> std::io::Re
                 handles.retain(|handle| !handle.is_finished());
                 let service = Arc::clone(&service);
                 let shutdown = Arc::clone(&shutdown);
+                let inflight = Arc::clone(&inflight);
                 handles.push(std::thread::spawn(move || {
                     // Connection-level errors are the client's problem.
-                    let _ = handle_connection(stream, &service, &shutdown);
+                    let _ = handle_connection(
+                        stream,
+                        &service,
+                        &shutdown,
+                        &inflight,
+                        max_inflight,
+                    );
                 }));
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -83,6 +106,8 @@ fn handle_connection(
     stream: TcpStream,
     service: &Arc<Mutex<Service>>,
     shutdown: &AtomicBool,
+    inflight: &AtomicUsize,
+    max_inflight: usize,
 ) -> std::io::Result<()> {
     stream.set_nonblocking(false)?;
     stream.set_read_timeout(Some(IO_TIMEOUT))?;
@@ -90,31 +115,52 @@ fn handle_connection(
     let mut reader = BufReader::new(stream);
     let (method, path, body) = match read_request(&mut reader) {
         Ok(request) => request,
-        Err(e) => {
+        Err((status, e)) => {
             let body = format!("{{\"error\": \"bad request: {e}\"}}");
-            return write_response(reader.get_mut(), 400, &body);
+            return write_response(reader.get_mut(), status, &body, None);
         }
     };
-    let (status, body) = route(&method, &path, &body, service, shutdown);
-    write_response(reader.get_mut(), status, &body)
+    let (status, body, retry_after) =
+        route(&method, &path, &body, service, shutdown, inflight, max_inflight);
+    write_response(reader.get_mut(), status, &body, retry_after)
 }
 
 /// Reads one request: the request line, the headers (only
-/// `Content-Length` is interpreted), and the body.
-fn read_request<R: BufRead>(reader: &mut R) -> Result<(String, String, String), String> {
+/// `Content-Length` is interpreted), and the body. Errors carry the
+/// HTTP status to answer with — 431 when the header section exceeds
+/// [`MAX_HEADERS`] lines or [`MAX_HEADER_BYTES`] bytes, 400 otherwise.
+fn read_request<R: BufRead>(reader: &mut R) -> Result<(String, String, String), (u16, String)> {
+    let bad = |e: String| (400u16, e);
     let mut line = String::new();
     reader
         .read_line(&mut line)
-        .map_err(|e| format!("request line: {e}"))?;
+        .map_err(|e| bad(format!("request line: {e}")))?;
     let mut parts = line.split_whitespace();
-    let method = parts.next().ok_or("empty request line")?.to_owned();
-    let path = parts.next().ok_or("request line has no path")?.to_owned();
+    let method = parts.next().ok_or_else(|| bad("empty request line".to_owned()))?.to_owned();
+    let path = parts
+        .next()
+        .ok_or_else(|| bad("request line has no path".to_owned()))?
+        .to_owned();
     let mut content_length = 0usize;
+    let mut headers = 0usize;
+    let mut header_bytes = 0usize;
     loop {
         let mut header = String::new();
+        // Cap the *read* too, so one never-ending header line cannot
+        // balloon the buffer past the total-bytes limit.
         reader
+            .by_ref()
+            .take((MAX_HEADER_BYTES + 2) as u64)
             .read_line(&mut header)
-            .map_err(|e| format!("headers: {e}"))?;
+            .map_err(|e| bad(format!("headers: {e}")))?;
+        if header.is_empty() {
+            return Err(bad("truncated headers".to_owned()));
+        }
+        headers += 1;
+        header_bytes += header.len();
+        if headers > MAX_HEADERS || header_bytes > MAX_HEADER_BYTES {
+            return Err((431, "header section exceeds the limit".to_owned()));
+        }
         let header = header.trim_end();
         if header.is_empty() {
             break;
@@ -124,59 +170,131 @@ fn read_request<R: BufRead>(reader: &mut R) -> Result<(String, String, String), 
                 content_length = value
                     .trim()
                     .parse()
-                    .map_err(|e| format!("bad Content-Length: {e}"))?;
+                    .map_err(|e| bad(format!("bad Content-Length: {e}")))?;
             }
         }
     }
     if content_length > MAX_BODY_BYTES {
-        return Err(format!("body of {content_length} bytes exceeds the limit"));
+        return Err(bad(format!("body of {content_length} bytes exceeds the limit")));
     }
     let mut body = vec![0u8; content_length];
     reader
         .read_exact(&mut body)
-        .map_err(|e| format!("body: {e}"))?;
-    String::from_utf8(body).map(|body| (method, path, body)).map_err(|_| "body is not UTF-8".to_owned())
+        .map_err(|e| bad(format!("body: {e}")))?;
+    String::from_utf8(body)
+        .map(|body| (method, path, body))
+        .map_err(|_| bad("body is not UTF-8".to_owned()))
 }
 
+/// The HTTP status a finished batch maps to: any retryable abort makes
+/// the whole response retryable — 504 for deadline expiry, 503 for
+/// cancellation/panics/injected faults — while abort reasons the client
+/// cannot retry away (the state limit) map to 422. The body always
+/// carries the full per-query results either way.
+fn batch_status(results: &[QueryResult]) -> (u16, Option<u64>) {
+    let aborts: Vec<EngineError> = results.iter().filter_map(QueryResult::abort_reason).collect();
+    if aborts.contains(&EngineError::Deadline) {
+        (504, Some(RETRY_AFTER_SECS))
+    } else if aborts.iter().any(EngineError::is_retryable) {
+        (503, Some(RETRY_AFTER_SECS))
+    } else if !aborts.is_empty() {
+        (422, None)
+    } else {
+        (200, None)
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn route(
     method: &str,
     path: &str,
     body: &str,
     service: &Arc<Mutex<Service>>,
     shutdown: &AtomicBool,
-) -> (u16, String) {
-    let locked = |f: &mut dyn FnMut(&mut Service) -> (u16, String)| {
+    inflight: &AtomicUsize,
+    max_inflight: usize,
+) -> (u16, String, Option<u64>) {
+    type Response = (u16, String, Option<u64>);
+    let locked = |f: &mut dyn FnMut(&mut Service) -> Response| {
         let mut service = service.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
         f(&mut service)
     };
     match (method, path) {
-        ("GET", "/healthz") => (200, "{\"ok\": true}".to_owned()),
-        ("GET", "/v1/stats") => locked(&mut |service| (200, wire::encode_stats(&service.stats()))),
-        ("POST", "/v1/batch") => match wire::decode_batch(body) {
-            Err(e) => (400, format!("{{\"error\": {}}}", crate::wire::Json::Str(e.to_string()))),
-            Ok(batch) => locked(&mut |service| {
-                let results = service.submit(&batch);
-                (200, wire::encode_results(&results, &service.stats()))
-            }),
-        },
+        ("GET", "/healthz") => (200, "{\"ok\": true}".to_owned(), None),
+        ("GET", "/v1/stats") => {
+            locked(&mut |service| (200, wire::encode_stats(&service.stats()), None))
+        }
+        ("POST", "/v1/batch") => {
+            // Admission control: a draining daemon sheds everything with
+            // 503, a saturated one sheds the excess with 429 — both with
+            // Retry-After, before any decode work.
+            if shutdown.load(Ordering::SeqCst) {
+                return (
+                    503,
+                    "{\"error\": \"draining\"}".to_owned(),
+                    Some(RETRY_AFTER_SECS),
+                );
+            }
+            let admitted = inflight.fetch_add(1, Ordering::SeqCst) + 1;
+            if max_inflight > 0 && admitted > max_inflight {
+                inflight.fetch_sub(1, Ordering::SeqCst);
+                return (
+                    429,
+                    "{\"error\": \"too many in-flight batches\"}".to_owned(),
+                    Some(RETRY_AFTER_SECS),
+                );
+            }
+            let response = match wire::decode_batch_request(body) {
+                Err(e) => (
+                    400,
+                    format!("{{\"error\": {}}}", crate::wire::Json::Str(e.to_string())),
+                    None,
+                ),
+                Ok((batch, deadline_ms)) => locked(&mut |service| {
+                    let results = service.submit_with_deadline(&batch, deadline_ms);
+                    let (status, retry_after) = batch_status(&results);
+                    if let Err(error) = fault::fault_point("encode") {
+                        return (
+                            503,
+                            format!("{{\"error\": {}}}", crate::wire::Json::Str(error.to_string())),
+                            Some(RETRY_AFTER_SECS),
+                        );
+                    }
+                    (status, wire::encode_results(&results, &service.stats()), retry_after)
+                }),
+            };
+            inflight.fetch_sub(1, Ordering::SeqCst);
+            response
+        }
         ("POST", "/v1/shutdown") => {
             shutdown.store(true, Ordering::SeqCst);
-            (200, "{\"ok\": true, \"shutting_down\": true}".to_owned())
+            (200, "{\"ok\": true, \"shutting_down\": true}".to_owned(), None)
         }
-        _ => (404, format!("{{\"error\": \"no route {method} {path}\"}}")),
+        _ => (404, format!("{{\"error\": \"no route {method} {path}\"}}"), None),
     }
 }
 
-fn write_response(stream: &mut TcpStream, status: u16, body: &str) -> std::io::Result<()> {
+fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &str,
+    retry_after: Option<u64>,
+) -> std::io::Result<()> {
     let reason = match status {
         200 => "OK",
         400 => "Bad Request",
         404 => "Not Found",
+        422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
         _ => "Error",
     };
+    let retry = retry_after.map_or(String::new(), |secs| format!("Retry-After: {secs}\r\n"));
     let response = format!(
         "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\n\
-         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+         Content-Length: {}\r\n{retry}Connection: close\r\n\r\n{body}",
         body.len()
     );
     stream.write_all(response.as_bytes())?;
@@ -196,6 +314,23 @@ pub fn http_request(
     path: &str,
     body: Option<&str>,
 ) -> Result<(u16, String), String> {
+    http_request_full(addr, method, path, body).map(|(status, body, _)| (status, body))
+}
+
+/// [`http_request`] that additionally surfaces the `Retry-After` header
+/// in seconds, if the server sent one — what a backing-off client
+/// honors on 429/503/504.
+///
+/// # Errors
+///
+/// Returns a human-readable message on connection, protocol, or
+/// encoding failures.
+pub fn http_request_full(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> Result<(u16, String, Option<u64>), String> {
     let resolved = addr
         .to_socket_addrs()
         .map_err(|e| format!("cannot resolve {addr}: {e}"))?
@@ -227,5 +362,11 @@ pub fn http_request(
         .nth(1)
         .and_then(|s| s.parse().ok())
         .ok_or("response has no status code")?;
-    Ok((status, body.to_owned()))
+    let retry_after = head.lines().find_map(|line| {
+        let (name, value) = line.split_once(':')?;
+        name.eq_ignore_ascii_case("retry-after")
+            .then(|| value.trim().parse().ok())
+            .flatten()
+    });
+    Ok((status, body.to_owned(), retry_after))
 }

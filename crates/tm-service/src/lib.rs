@@ -65,6 +65,7 @@
 #![warn(missing_docs)]
 
 mod budget;
+pub mod client;
 mod http;
 mod registry;
 mod roster;
@@ -73,15 +74,18 @@ mod service;
 pub mod wire;
 
 pub use budget::{ArtifactKey, ArtifactKind, MemoryBudget};
-pub use http::{http_request, serve};
+pub use client::{is_retryable_status, Backoff};
+pub use http::{http_request, http_request_full, serve};
 pub use registry::SessionRegistry;
 pub use roster::{
     run_query, table2_batch, table3_batch, CmKind, PropertyKind, QuerySpec, TmKind,
     MAX_QUERY_THREADS, MAX_QUERY_VARS,
 };
 pub use scheduler::execution_order;
+pub use tm_automata::{CancelToken, EngineError};
 pub use service::{
     parse_mem_budget, QueryOutcome, QueryResult, Service, ServiceConfig, ServiceStats,
-    DEFAULT_SERVICE_MAX_STATES, MEM_BUDGET_ENV,
+    BATCH_DEADLINE_ENV, DEFAULT_MAX_INFLIGHT, DEFAULT_SERVICE_MAX_STATES, MAX_INFLIGHT_ENV,
+    MEM_BUDGET_ENV, QUERY_DEADLINE_ENV,
 };
 pub use wire::Json;

@@ -11,6 +11,7 @@
 
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Duration;
 
 use tm_automata::WorkerPool;
 use tm_checker::Verifier;
@@ -21,6 +22,7 @@ pub struct SessionRegistry {
     pool: Option<Arc<WorkerPool>>,
     pool_size: usize,
     max_states: usize,
+    query_deadline: Option<Duration>,
 }
 
 impl SessionRegistry {
@@ -35,15 +37,29 @@ impl SessionRegistry {
             pool: (pool_size > 1).then(|| Arc::new(WorkerPool::new(pool_size))),
             pool_size,
             max_states,
+            query_deadline: None,
         }
+    }
+
+    /// Sets the per-query wall-clock deadline every session created
+    /// from here on runs under (`None` = no deadline). Sessions already
+    /// created keep their deadline, so configure this before the first
+    /// [`SessionRegistry::session`] call.
+    pub fn query_deadline(mut self, deadline: Option<Duration>) -> Self {
+        self.query_deadline = deadline;
+        self
     }
 
     /// The session for instance size `(threads, vars)`, created on first
     /// use.
     pub fn session(&mut self, threads: usize, vars: usize) -> &mut Verifier {
         let (pool, max_states) = (&self.pool, self.max_states);
+        let deadline = self.query_deadline;
         self.sessions.entry((threads, vars)).or_insert_with(|| {
-            let verifier = Verifier::new(threads, vars).max_states(max_states);
+            let mut verifier = Verifier::new(threads, vars).max_states(max_states);
+            if let Some(deadline) = deadline {
+                verifier = verifier.deadline(deadline);
+            }
             match pool {
                 Some(pool) => verifier.shared_pool(Arc::clone(pool)),
                 None => verifier.pool_size(1),

@@ -4,8 +4,9 @@
 //! verdicts, scheduling, eviction, statistics — lives here and is
 //! testable without a socket.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
+use tm_automata::{fault, EngineError};
 use tm_checker::{Verdict, VerdictOutcome};
 
 use crate::budget::{ArtifactKey, ArtifactKind, MemoryBudget};
@@ -16,10 +17,25 @@ use crate::scheduler::execution_order;
 /// Default bound on reachable state spaces (the experiment suite's).
 pub const DEFAULT_SERVICE_MAX_STATES: usize = 20_000_000;
 
+/// Default bound on concurrently admitted `/v1/batch` requests.
+pub const DEFAULT_MAX_INFLIGHT: usize = 4;
+
 /// Environment variable holding the artifact memory budget for
 /// [`ServiceConfig::from_env`]: plain bytes with an optional `k`/`m`/`g`
 /// suffix (powers of 1024); `0` or `unbounded` disables the budget.
 pub const MEM_BUDGET_ENV: &str = "TM_SERVICE_MEM_BUDGET";
+
+/// Environment variable holding the per-query deadline in milliseconds
+/// (`0` or unset = none).
+pub const QUERY_DEADLINE_ENV: &str = "TM_SERVICE_QUERY_DEADLINE_MS";
+
+/// Environment variable holding the per-batch deadline in milliseconds
+/// (`0` or unset = none). A request-supplied `deadline_ms` overrides it.
+pub const BATCH_DEADLINE_ENV: &str = "TM_SERVICE_BATCH_DEADLINE_MS";
+
+/// Environment variable bounding concurrently admitted batch requests
+/// (unset = [`DEFAULT_MAX_INFLIGHT`]; `0` = unbounded).
+pub const MAX_INFLIGHT_ENV: &str = "TM_SERVICE_MAX_INFLIGHT";
 
 /// Service configuration.
 #[derive(Clone, Debug)]
@@ -30,6 +46,16 @@ pub struct ServiceConfig {
     pub pool_size: usize,
     /// Bound on reachable state spaces.
     pub max_states: usize,
+    /// Per-query wall-clock deadline (`None` = none). A query that runs
+    /// longer aborts with [`EngineError::Deadline`].
+    pub query_deadline: Option<Duration>,
+    /// Per-batch wall-clock deadline (`None` = none). Queries still
+    /// unanswered when it expires are shed as aborted results without
+    /// running; a request-supplied `deadline_ms` overrides this default.
+    pub batch_deadline: Option<Duration>,
+    /// Bound on concurrently admitted `/v1/batch` requests; requests
+    /// beyond it are shed with HTTP 429 (`0` = unbounded).
+    pub max_inflight: usize,
 }
 
 impl Default for ServiceConfig {
@@ -38,6 +64,9 @@ impl Default for ServiceConfig {
             mem_budget: None,
             pool_size: tm_automata::modelcheck_threads(),
             max_states: DEFAULT_SERVICE_MAX_STATES,
+            query_deadline: None,
+            batch_deadline: None,
+            max_inflight: DEFAULT_MAX_INFLIGHT,
         }
     }
 }
@@ -45,14 +74,41 @@ impl Default for ServiceConfig {
 impl ServiceConfig {
     /// The default configuration with the memory budget read from
     /// [`MEM_BUDGET_ENV`] (unset, empty, `0`, or `unbounded` mean no
-    /// budget; a malformed value is an error).
+    /// budget; a malformed value is an error), the deadlines from
+    /// [`QUERY_DEADLINE_ENV`] / [`BATCH_DEADLINE_ENV`], and the
+    /// admission bound from [`MAX_INFLIGHT_ENV`].
     pub fn from_env() -> Result<Self, String> {
         let mem_budget = match std::env::var(MEM_BUDGET_ENV) {
             Err(_) => None,
             Ok(value) => parse_mem_budget(&value)?,
         };
+        let millis = |name: &str| -> Result<Option<Duration>, String> {
+            match std::env::var(name) {
+                Err(_) => Ok(None),
+                Ok(value) => {
+                    let value = value.trim();
+                    if value.is_empty() || value == "0" {
+                        return Ok(None);
+                    }
+                    value
+                        .parse::<u64>()
+                        .map(|ms| Some(Duration::from_millis(ms)))
+                        .map_err(|e| format!("bad {name}={value:?}: {e}"))
+                }
+            }
+        };
+        let max_inflight = match std::env::var(MAX_INFLIGHT_ENV) {
+            Err(_) => DEFAULT_MAX_INFLIGHT,
+            Ok(value) => value
+                .trim()
+                .parse()
+                .map_err(|e| format!("bad {MAX_INFLIGHT_ENV}={value:?}: {e}"))?,
+        };
         Ok(ServiceConfig {
             mem_budget,
+            query_deadline: millis(QUERY_DEADLINE_ENV)?,
+            batch_deadline: millis(BATCH_DEADLINE_ENV)?,
+            max_inflight,
             ..ServiceConfig::default()
         })
     }
@@ -103,6 +159,15 @@ pub enum QueryOutcome {
         /// The loop in the paper's Table 3 notation.
         notation: String,
     },
+    /// The query was retired at a resource limit instead of answered
+    /// (`holds` is `false`): a state-space blowup, an expired deadline,
+    /// a cancellation, a panicked worker, or an injected fault.
+    /// [`EngineError::is_retryable`] says whether resubmitting can
+    /// succeed.
+    Aborted {
+        /// Why the query was retired.
+        reason: EngineError,
+    },
 }
 
 /// The service's answer to one [`QuerySpec`].
@@ -151,6 +216,10 @@ impl QueryResult {
                 let holds = v.holds();
                 (v.tm_name, holds, outcome)
             }
+            VerdictOutcome::Aborted(reason) => {
+                let name = spec.tm_name();
+                (name, false, QueryOutcome::Aborted { reason })
+            }
             VerdictOutcome::Reduction(_) => {
                 unreachable!("the service only issues safety and liveness queries")
             }
@@ -163,6 +232,29 @@ impl QueryResult {
             cached: stats.artifact_cached,
             rebuilt: stats.rebuilds > 0,
             outcome,
+        }
+    }
+
+    /// An aborted result produced by the service layer itself (batch
+    /// deadline shedding, an injected build fault) — no engine ran.
+    fn aborted(spec: QuerySpec, reason: EngineError) -> Self {
+        let name = spec.tm_name();
+        QueryResult {
+            spec,
+            name,
+            holds: false,
+            states: 0,
+            cached: false,
+            rebuilt: false,
+            outcome: QueryOutcome::Aborted { reason },
+        }
+    }
+
+    /// The abort reason, if this query was retired at a resource limit.
+    pub fn abort_reason(&self) -> Option<EngineError> {
+        match &self.outcome {
+            QueryOutcome::Aborted { reason } => Some(*reason),
+            _ => None,
         }
     }
 }
@@ -179,6 +271,9 @@ pub struct ServiceStats {
     pub artifact_builds: u64,
     /// Builds that were rebuilds of an evicted artifact.
     pub artifact_rebuilds: u64,
+    /// Queries that aborted (deadline, cancellation, state limit,
+    /// injected fault) instead of producing a verdict.
+    pub aborted_queries: u64,
     /// Ledger evictions.
     pub evictions: u64,
     /// Currently tracked artifact bytes.
@@ -220,10 +315,13 @@ pub struct ServiceStats {
 pub struct Service {
     registry: SessionRegistry,
     budget: MemoryBudget,
+    batch_deadline: Option<Duration>,
+    max_inflight: usize,
     queries: u64,
     cache_hits: u64,
     artifact_builds: u64,
     artifact_rebuilds: u64,
+    aborted_queries: u64,
     busy_ns: u64,
 }
 
@@ -231,53 +329,120 @@ impl Service {
     /// Creates a service from `config`.
     pub fn new(config: ServiceConfig) -> Self {
         Service {
-            registry: SessionRegistry::new(config.pool_size, config.max_states),
+            registry: SessionRegistry::new(config.pool_size, config.max_states)
+                .query_deadline(config.query_deadline),
             budget: MemoryBudget::new(config.mem_budget),
+            batch_deadline: config.batch_deadline,
+            max_inflight: config.max_inflight,
             queries: 0,
             cache_hits: 0,
             artifact_builds: 0,
             artifact_rebuilds: 0,
+            aborted_queries: 0,
             busy_ns: 0,
         }
+    }
+
+    /// The configured admission bound (`0` = unbounded) — enforced by
+    /// the HTTP layer, which sheds requests beyond it with 429.
+    pub fn max_inflight(&self) -> usize {
+        self.max_inflight
     }
 
     /// Answers a whole batch: schedules it for artifact reuse
     /// ([`execution_order`]), runs every query through the registry
     /// sessions under the budget, and returns the results **in request
-    /// order**.
+    /// order**. Runs under the configured batch deadline, if any.
     pub fn submit(&mut self, batch: &[QuerySpec]) -> Vec<QueryResult> {
+        self.submit_with_deadline(batch, None)
+    }
+
+    /// [`Service::submit`] with an explicit batch deadline in
+    /// milliseconds (a request-supplied `deadline_ms` overrides the
+    /// configured default). Queries still unanswered when the deadline
+    /// expires are shed as [`QueryOutcome::Aborted`] /
+    /// [`EngineError::Deadline`] results without running; results stay
+    /// in request order either way.
+    pub fn submit_with_deadline(
+        &mut self,
+        batch: &[QuerySpec],
+        deadline_ms: Option<u64>,
+    ) -> Vec<QueryResult> {
         let start = Instant::now();
+        let deadline = deadline_ms
+            .map(Duration::from_millis)
+            .or(self.batch_deadline)
+            .map(|window| start + window);
         let mut results: Vec<Option<QueryResult>> = batch.iter().map(|_| None).collect();
         for idx in execution_order(batch) {
             let spec = &batch[idx];
+            self.queries += 1;
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                self.aborted_queries += 1;
+                results[idx] = Some(QueryResult::aborted(spec.clone(), EngineError::Deadline));
+                continue;
+            }
             let key = spec.artifact_key();
-            if self.budget.contains(&key) {
+            let reserved = if self.budget.contains(&key) {
                 self.budget.touch(&key);
+                false
             } else {
                 // Make room before the (re)build using the artifact's
                 // last known size, so two generations of large artifacts
-                // never coexist on a rebuild.
+                // never coexist on a rebuild. The reservation is charged
+                // provisionally; every early-out below must release it.
                 let evicted = self.budget.reserve(&key);
                 self.evict(&evicted);
+                true
+            };
+            // Fault site: the artifact (re)build about to happen.
+            if reserved {
+                if let Err(error) = fault::fault_point("build") {
+                    self.budget.release(&key);
+                    self.aborted_queries += 1;
+                    results[idx] = Some(QueryResult::aborted(spec.clone(), error));
+                    continue;
+                }
             }
             let session = self.registry.session(spec.threads, spec.vars);
             let verdict = run_query(session, spec);
+            let aborted = matches!(verdict.outcome, VerdictOutcome::Aborted(_));
             let bytes = match &key.kind {
                 ArtifactKind::RunGraph(name) => session.run_graph_heap_bytes(name),
                 ArtifactKind::Spec(property) => session.spec_heap_bytes(*property),
             }
             .unwrap_or(0);
-            self.queries += 1;
-            if verdict.stats.artifact_cached {
+            if aborted {
+                self.aborted_queries += 1;
+            } else if verdict.stats.artifact_cached {
                 self.cache_hits += 1;
             } else {
                 self.artifact_builds += 1;
             }
             self.artifact_rebuilds += verdict.stats.rebuilds as u64;
-            // Charge the artifact's *current* size (lazy spec caches grow
-            // as new TMs touch new rows) and settle back under budget.
-            let evicted = self.budget.charge(key, bytes);
-            self.evict(&evicted);
+            // Fault site: the charge settle / eviction after the query.
+            if let Err(error) = fault::fault_point("evict") {
+                if reserved {
+                    self.budget.release(&key);
+                }
+                self.aborted_queries += 1;
+                results[idx] = Some(QueryResult::aborted(spec.clone(), error));
+                continue;
+            }
+            if bytes == 0 && aborted {
+                // The build failed before producing an artifact: settle
+                // the provisional reservation instead of charging a
+                // phantom entry.
+                if reserved {
+                    self.budget.release(&key);
+                }
+            } else {
+                // Charge the artifact's *current* size (lazy spec caches
+                // grow as new TMs touch new rows) and settle back under
+                // budget.
+                let evicted = self.budget.charge(key, bytes);
+                self.evict(&evicted);
+            }
             results[idx] = Some(QueryResult::from_verdict(spec.clone(), verdict));
         }
         self.busy_ns += u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
@@ -309,6 +474,7 @@ impl Service {
             cache_hits: self.cache_hits,
             artifact_builds: self.artifact_builds,
             artifact_rebuilds: self.artifact_rebuilds,
+            aborted_queries: self.aborted_queries,
             evictions: self.budget.evictions(),
             tracked_bytes: self.budget.tracked_bytes(),
             peak_tracked_bytes: self.budget.peak_bytes(),
@@ -334,7 +500,7 @@ mod tests {
         ServiceConfig {
             mem_budget,
             pool_size: 1,
-            max_states: DEFAULT_SERVICE_MAX_STATES,
+            ..ServiceConfig::default()
         }
     }
 

@@ -32,12 +32,26 @@
 //! A safety violation adds `"counterexample": "<word>"`; a liveness
 //! violation adds `"lasso": {"prefix": [...], "cycle": [...],
 //! "notation": "..."}` — all strings in the canonical `Display` forms,
-//! so wire answers compare bit-identically against in-process ones.
+//! so wire answers compare bit-identically against in-process ones. A
+//! query that hit a resource limit instead carries
+//! `"aborted": "<code>"` (an [`EngineError`] code such as `deadline` or
+//! `state-limit:100000`) with `holds: false`.
+//!
+//! Requests may carry an optional `"deadline_ms"` member next to
+//! `"queries"` — a whole-batch wall-clock budget that overrides the
+//! server's configured default.
 
 use std::fmt;
 
+use tm_automata::EngineError;
+
 use crate::roster::{CmKind, PropertyKind, QuerySpec, TmKind};
 use crate::service::{QueryOutcome, QueryResult, ServiceStats};
+
+/// Nesting-depth cap for parsed documents: arrays/objects deeper than
+/// this are rejected with a [`JsonError`] instead of recursing toward a
+/// stack overflow. The service's own bodies nest 4 levels deep.
+pub const MAX_JSON_DEPTH: usize = 64;
 
 /// A JSON value. Numbers are `f64` (every counter the service ships is
 /// far below 2^53, where `f64` is exact).
@@ -81,6 +95,7 @@ impl Json {
         let mut parser = Parser {
             bytes: text.as_bytes(),
             pos: 0,
+            depth: 0,
         };
         parser.skip_ws();
         let value = parser.value()?;
@@ -206,6 +221,7 @@ fn write_string(s: &str, out: &mut String) {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -266,9 +282,12 @@ impl Parser<'_> {
             self.pos += 1;
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
-        text.parse::<f64>()
-            .map(Json::Num)
-            .map_err(|_| self.error(format!("bad number {text:?}")))
+        match text.parse::<f64>() {
+            // Overflowing literals like 1e999 parse to infinity; reject
+            // them so every in-tree number stays arithmetic-safe.
+            Ok(n) if n.is_finite() => Ok(Json::Num(n)),
+            _ => Err(self.error(format!("bad number {text:?}"))),
+        }
     }
 
     fn string(&mut self) -> Result<String, JsonError> {
@@ -324,12 +343,22 @@ impl Parser<'_> {
         }
     }
 
+    fn enter(&mut self) -> Result<(), JsonError> {
+        self.depth += 1;
+        if self.depth > MAX_JSON_DEPTH {
+            return Err(self.error(format!("nesting deeper than {MAX_JSON_DEPTH}")));
+        }
+        Ok(())
+    }
+
     fn array(&mut self) -> Result<Json, JsonError> {
         self.expect(b'[')?;
+        self.enter()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Arr(items));
         }
         loop {
@@ -340,6 +369,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Arr(items));
                 }
                 _ => return Err(self.error("expected ',' or ']'")),
@@ -349,10 +379,12 @@ impl Parser<'_> {
 
     fn object(&mut self) -> Result<Json, JsonError> {
         self.expect(b'{')?;
+        self.enter()?;
         let mut members = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Obj(members));
         }
         loop {
@@ -368,6 +400,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Obj(members));
                 }
                 _ => return Err(self.error("expected ',' or '}'")),
@@ -457,14 +490,42 @@ fn decode_spec(value: &Json) -> Result<QuerySpec, WireError> {
     Ok(spec)
 }
 
+/// Encodes a batch request body with an optional whole-batch deadline
+/// in milliseconds.
+pub fn encode_batch_request(batch: &[QuerySpec], deadline_ms: Option<u64>) -> String {
+    let mut members = vec![(
+        "queries".to_owned(),
+        Json::Arr(batch.iter().map(|q| Json::Obj(spec_members(q))).collect()),
+    )];
+    if let Some(ms) = deadline_ms {
+        members.push(("deadline_ms".to_owned(), num(ms as usize)));
+    }
+    Json::Obj(members).to_string()
+}
+
 /// Decodes a batch request body.
 pub fn decode_batch(body: &str) -> Result<Vec<QuerySpec>, WireError> {
+    decode_batch_request(body).map(|(queries, _)| queries)
+}
+
+/// Decodes a batch request body together with its optional
+/// `"deadline_ms"` member.
+pub fn decode_batch_request(body: &str) -> Result<(Vec<QuerySpec>, Option<u64>), WireError> {
     let json = Json::parse(body)?;
     let queries = json
         .get("queries")
         .and_then(Json::as_arr)
-        .ok_or_else(|| WireError("request must carry a \"queries\" array".to_owned()))?;
-    queries.iter().map(decode_spec).collect()
+        .ok_or_else(|| WireError("request must carry a \"queries\" array".to_owned()))?
+        .iter()
+        .map(decode_spec)
+        .collect::<Result<Vec<_>, _>>()?;
+    let deadline_ms = match json.get("deadline_ms") {
+        None | Some(Json::Null) => None,
+        Some(v) => Some(v.as_usize().ok_or_else(|| {
+            WireError("request field \"deadline_ms\" must be a non-negative integer".to_owned())
+        })? as u64),
+    };
+    Ok((queries, deadline_ms))
 }
 
 fn result_to_json(result: &QueryResult) -> Json {
@@ -496,6 +557,9 @@ fn result_to_json(result: &QueryResult) -> Json {
                 ]),
             ));
         }
+        QueryOutcome::Aborted { reason } => {
+            members.push(("aborted".to_owned(), Json::Str(reason.to_string())));
+        }
     }
     Json::Obj(members)
 }
@@ -521,6 +585,10 @@ fn stats_to_json(stats: &ServiceStats) -> Json {
         (
             "artifact_rebuilds".to_owned(),
             num(stats.artifact_rebuilds as usize),
+        ),
+        (
+            "aborted_queries".to_owned(),
+            num(stats.aborted_queries as usize),
         ),
         ("evictions".to_owned(), num(stats.evictions as usize)),
         ("tracked_bytes".to_owned(), num(stats.tracked_bytes)),
@@ -551,7 +619,15 @@ fn decode_result(value: &Json) -> Result<QueryResult, WireError> {
             .and_then(Json::as_bool)
             .ok_or_else(|| WireError(format!("result is missing boolean {key:?}")))
     };
-    let outcome = if let Some(word) = value.get("counterexample") {
+    let outcome = if let Some(reason) = value.get("aborted") {
+        let code = reason
+            .as_str()
+            .ok_or_else(|| WireError("aborted must be a string".to_owned()))?;
+        QueryOutcome::Aborted {
+            reason: EngineError::from_code(code)
+                .ok_or_else(|| WireError(format!("unknown abort code {code:?}")))?,
+        }
+    } else if let Some(word) = value.get("counterexample") {
         QueryOutcome::SafetyViolation {
             word: word
                 .as_str()
@@ -614,6 +690,11 @@ fn decode_stats(value: &Json) -> Result<ServiceStats, WireError> {
         cache_hits: field("cache_hits")? as u64,
         artifact_builds: field("artifact_builds")? as u64,
         artifact_rebuilds: field("artifact_rebuilds")? as u64,
+        // Absent in bodies from pre-abort servers: default to zero.
+        aborted_queries: value
+            .get("aborted_queries")
+            .and_then(Json::as_usize)
+            .unwrap_or(0) as u64,
         evictions: field("evictions")? as u64,
         tracked_bytes: field("tracked_bytes")?,
         peak_tracked_bytes: field("peak_tracked_bytes")?,
@@ -718,6 +799,7 @@ mod tests {
         let stats = ServiceStats {
             queries: 3,
             cache_hits: 1,
+            aborted_queries: 1,
             artifact_builds: 2,
             artifact_rebuilds: 1,
             evictions: 4,

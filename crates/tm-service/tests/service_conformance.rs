@@ -86,6 +86,7 @@ fn assert_matches_one_shot(result: &QueryResult, pool_size: usize) {
             }
         }
         VerdictOutcome::Reduction(_) => unreachable!("no reduction queries in the roster"),
+        VerdictOutcome::Aborted(reason) => panic!("{context}: one-shot aborted: {reason}"),
     }
 }
 

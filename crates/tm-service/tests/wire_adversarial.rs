@@ -1,0 +1,97 @@
+//! Adversarial wire-format tests: the JSON parser and the body decoders
+//! must answer `Err` — never panic, never overflow the stack, never
+//! produce non-finite numbers — on malformed, deeply nested, or
+//! bit-flipped input. The generators come from the workspace's
+//! deterministic `proptest` shim, so failures reproduce exactly.
+
+use proptest::prelude::*;
+use tm_service::wire::{
+    decode_batch, decode_batch_request, decode_results, encode_batch_request, Json,
+    MAX_JSON_DEPTH,
+};
+use tm_service::QuerySpec;
+
+#[test]
+fn deep_nesting_is_rejected_not_a_stack_overflow() {
+    // Way past the cap: the parser must refuse at depth MAX_JSON_DEPTH+1
+    // instead of recursing once per bracket.
+    for depth in [MAX_JSON_DEPTH + 1, 10_000, 1_000_000] {
+        let arrays = format!("{}{}", "[".repeat(depth), "]".repeat(depth));
+        assert!(Json::parse(&arrays).is_err(), "depth {depth} arrays");
+        let objects = format!("{}1{}", "{\"k\":".repeat(depth), "}".repeat(depth));
+        assert!(Json::parse(&objects).is_err(), "depth {depth} objects");
+    }
+    // Exactly at the cap still parses.
+    let at_cap = format!(
+        "{}1{}",
+        "[".repeat(MAX_JSON_DEPTH - 1),
+        "]".repeat(MAX_JSON_DEPTH - 1)
+    );
+    assert!(Json::parse(&at_cap).is_ok());
+}
+
+#[test]
+fn overflowing_numbers_are_rejected_not_infinite() {
+    assert!(Json::parse("1e999").is_err());
+    assert!(Json::parse("-1e999").is_err());
+    assert!(Json::parse("1e308").is_ok());
+    assert!(Json::parse("123456789012345678901234567890").is_ok());
+}
+
+fn arb_bytes() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(0u8..=255, 0..256)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(500))]
+
+    #[test]
+    fn random_bytes_never_panic_the_decoders(bytes in arb_bytes()) {
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = Json::parse(&text);
+        let _ = decode_batch(&text);
+        let _ = decode_batch_request(&text);
+        let _ = decode_results(&text);
+    }
+
+    #[test]
+    fn bit_flipped_valid_requests_never_panic((idx, byte) in (0usize..4096, 0u8..=255)) {
+        let body = encode_batch_request(
+            &[
+                QuerySpec::parse("dstm+aggressive:of:2:1").unwrap(),
+                QuerySpec::parse("TL2:ss:2:2").unwrap(),
+            ],
+            Some(5_000),
+        );
+        let mut bytes = body.into_bytes();
+        let i = idx % bytes.len();
+        bytes[i] = byte;
+        let text = String::from_utf8_lossy(&bytes);
+        // Either still decodable or a structured error — never a panic.
+        if let Ok((queries, deadline)) = decode_batch_request(&text) {
+            prop_assert!(queries.len() <= 2);
+            prop_assert!(deadline.is_none() || deadline.is_some());
+        }
+    }
+
+    #[test]
+    fn digit_bombs_stay_finite(
+        (digits, exp) in (1usize..300, 1usize..400)
+    ) {
+        let text = format!("{}e{}", "9".repeat(digits), exp);
+        if let Ok(json) = Json::parse(&text) {
+            prop_assert!(json.as_f64().unwrap().is_finite());
+        }
+    }
+
+    #[test]
+    fn bracket_soup_is_handled_in_bounded_depth(
+        parts in proptest::collection::vec(0usize..6, 0..300)
+    ) {
+        let mut text = String::new();
+        for p in &parts {
+            text.push_str(["[", "]", "{\"k\":", "}", "\"s\"", "1,"][*p]);
+        }
+        let _ = Json::parse(&text);
+    }
+}

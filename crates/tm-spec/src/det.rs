@@ -26,7 +26,7 @@ use tm_lang::{
     SafetyProperty, Statement, StatementKind, ThreadId, ThreadSet, VarId, Word,
 };
 
-use tm_automata::{explore_deterministic, DeterministicTransitionSystem, Dfa};
+use tm_automata::{DeterministicTransitionSystem, Dfa};
 
 use crate::state::{DetPhase, DetState, MAX_THREADS};
 
@@ -319,10 +319,27 @@ impl DetSpec {
     ///
     /// # Panics
     ///
-    /// Panics if the reachable state space exceeds `max_states`.
+    /// Panics if the reachable state space exceeds `max_states`. Callers
+    /// that need a structured abort instead (the verification session's
+    /// eager spec build) use [`DetSpec::try_to_dfa`].
     pub fn to_dfa(&self, max_states: usize) -> (Dfa<Statement>, Vec<DetState>) {
+        self.try_to_dfa(&tm_automata::QueryBudget::new(max_states))
+            .unwrap_or_else(|error| panic!("specification exploration failed: {error}"))
+    }
+
+    /// [`DetSpec::to_dfa`] under a full [`tm_automata::QueryBudget`]:
+    /// blowups, deadlines, and cancellations come back as structured
+    /// [`tm_automata::EngineError`]s instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// As for [`tm_automata::explore_deterministic_budget`].
+    pub fn try_to_dfa(
+        &self,
+        budget: &tm_automata::QueryBudget,
+    ) -> Result<(Dfa<Statement>, Vec<DetState>), tm_automata::EngineError> {
         let alphabet = crate::canonical::spec_alphabet(self.threads, self.vars);
-        explore_deterministic(self, alphabet, max_states)
+        tm_automata::explore_deterministic_budget(self, alphabet, budget)
     }
 }
 

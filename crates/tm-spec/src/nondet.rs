@@ -247,6 +247,7 @@ impl NondetSpec {
     /// Panics if the reachable state space exceeds `max_states`.
     pub fn to_nfa(&self, max_states: usize) -> Explored<NdState, Statement> {
         explore(self, max_states)
+            .unwrap_or_else(|error| panic!("specification exploration failed: {error}"))
     }
 
     /// Decides membership of a word in `L(Σ_π)` by direct frontier

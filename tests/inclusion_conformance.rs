@@ -85,10 +85,10 @@ fn conform<L: Clone + Eq + Hash + Sync + std::fmt::Debug>(
     let mut alphabet = spec.alphabet().clone();
     let imp = CompiledNfa::compile(nfa, &mut alphabet);
     let source = NfaSource::new(&imp, &alphabet);
-    let otf_seq = check_inclusion_otf_threads(&source, spec, 1);
+    let otf_seq = check_inclusion_otf_threads(&source, spec, 1).expect("in bounds");
     assert_eq!(otf_seq, reference, "{context}: otf sequential");
     for threads in [2, 4] {
-        let otf_par = check_inclusion_otf_threads(&source, spec, threads);
+        let otf_par = check_inclusion_otf_threads(&source, spec, threads).expect("in bounds");
         assert_eq!(
             otf_par.holds(),
             reference.holds(),
@@ -154,7 +154,7 @@ fn tm_steppers_match_materialized_pipeline() {
             let expected = check_inclusion_compiled(&explored.nfa, &spec);
             let source = MostGeneralSource::new(tm, spec.alphabet().clone());
             let context = format!("{} / {name} (stepper)", property.short_name());
-            let (otf_seq, stats) = check_inclusion_otf_stats(&source, &spec, 1);
+            let (otf_seq, stats) = check_inclusion_otf_stats(&source, &spec, 1).expect("in bounds");
             assert_eq!(otf_seq, expected, "{context}");
             if expected.holds() {
                 assert_eq!(
@@ -163,7 +163,7 @@ fn tm_steppers_match_materialized_pipeline() {
                     "{context}: impl state count"
                 );
             }
-            let otf_par = check_inclusion_otf_threads(&source, &spec, 4);
+            let otf_par = check_inclusion_otf_threads(&source, &spec, 4).expect("in bounds");
             assert_eq!(otf_par.holds(), expected.holds(), "{context}: x4 verdict");
             assert_eq!(
                 otf_par.counterexample(),

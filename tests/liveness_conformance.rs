@@ -194,7 +194,7 @@ fn masked_tarjan_matches_cloned_subgraph_reference_on_random_graphs() {
     for seed in 0..64u64 {
         let mut rng = StdRng::seed_from_u64(0x5cc0_0000 + seed);
         let source = random_source(&mut rng);
-        let (graph, _) = CompiledRunGraph::build(&source, 10_000);
+        let (graph, _) = CompiledRunGraph::build(&source, 10_000).expect("fuzz graph in bounds");
         // Materialize the engine's reachable subgraph once, then compare
         // decompositions per filter.
         let mut labeled: LabeledGraph<FuzzLabel> = LabeledGraph::new(graph.num_states());
@@ -230,7 +230,7 @@ fn random_query_fanout_is_pool_size_independent() {
     for seed in 0..24u64 {
         let mut rng = StdRng::seed_from_u64(0xfa40_0000 + seed);
         let source = random_source(&mut rng);
-        let (graph, _) = CompiledRunGraph::build(&source, 10_000);
+        let (graph, _) = CompiledRunGraph::build(&source, 10_000).expect("fuzz graph in bounds");
         let queries: Vec<LoopQuery> = (0..6)
             .map(|_| {
                 let t = rng.gen_range(0..3);
