@@ -720,7 +720,7 @@ fn bench_service() {
 
     // Unbounded pass: ground-truth verdicts and the artifact ledger the
     // tight budget is derived from.
-    let mut unbounded = Service::new(config(None));
+    let unbounded = Service::new(config(None));
     let start = Instant::now();
     let reference = unbounded.submit(&batch);
     let unbounded_cold = start.elapsed();
@@ -733,7 +733,7 @@ fn bench_service() {
     let tight = largest + (total - largest) / 4;
     assert!(tight < total, "the tight budget must force eviction");
 
-    let mut budgeted = Service::new(config(Some(tight)));
+    let budgeted = Service::new(config(Some(tight)));
     let start = Instant::now();
     let cold_results = budgeted.submit(&batch);
     let tight_cold = start.elapsed();
@@ -803,22 +803,81 @@ fn bench_service() {
         ));
     }
     println!("{table}");
+
+    // Concurrency: the same fixed amount of warm work — 8 batch
+    // submissions of the roster — pushed through one shared service by
+    // 1 vs 4 in-flight submitters (the `&self` API: no global service
+    // mutex, per-session locking, pinned artifacts). On a single-core
+    // host the two rates are expected to tie; on multi-core hosts the
+    // multi-inflight rate should not be below the single-inflight one.
+    let concurrent = std::sync::Arc::new(Service::new(config(None)));
+    let warm_reference = concurrent.submit(&batch);
+    const TOTAL_BATCHES: usize = 8;
+    let mut conc_table = Table::new(
+        format!(
+            "Service concurrency — {TOTAL_BATCHES} warm batch submissions of the roster, \
+             shared service (pool = {pool})"
+        ),
+        ["inflight", "elapsed", "q/s"],
+    );
+    let mut conc_rows = Vec::new();
+    for inflight in [1usize, 4] {
+        let per_thread = TOTAL_BATCHES / inflight;
+        let start = Instant::now();
+        std::thread::scope(|scope| {
+            for _ in 0..inflight {
+                let service = std::sync::Arc::clone(&concurrent);
+                let (batch, reference) = (&batch, &warm_reference);
+                scope.spawn(move || {
+                    for _ in 0..per_thread {
+                        let results = service.submit(batch);
+                        for (a, b) in results.iter().zip(reference) {
+                            assert_eq!(
+                                (a.holds, &a.outcome),
+                                (b.holds, &b.outcome),
+                                "concurrent verdict must match warm reference: {}",
+                                a.spec
+                            );
+                        }
+                    }
+                });
+            }
+        });
+        let elapsed = start.elapsed();
+        let queries = (TOTAL_BATCHES * batch.len()) as f64;
+        let conc_qps = queries / elapsed.as_secs_f64();
+        conc_table.push_row([
+            inflight.to_string(),
+            format!("{elapsed:.2?}"),
+            format!("{conc_qps:.1}"),
+        ]);
+        conc_rows.push(format!(
+            "    {{\"inflight\": {inflight}, \"batches\": {TOTAL_BATCHES}, \
+             \"elapsed_ns\": {}, \"qps\": {conc_qps:.3}}}",
+            elapsed.as_nanos()
+        ));
+    }
+    println!("{conc_table}");
+
     let json = format!(
         "{{\n  \"benchmark\": \"service-batch\",\n  \
          \"unit\": \"wall clock per 22-query batch (Table 2 safety at (2,2) + Table 3 \
          liveness at (2,1)); cold = fresh service (every artifact builds), warm = same \
          service re-submitted (cache hits at an unbounded budget, rebuilds of evicted \
          artifacts at the tight one); tight budget = largest artifact + (total - \
-         largest)/4, so the roster cannot be held resident at once\",\n  \
+         largest)/4, so the roster cannot be held resident at once; concurrency = 8 warm \
+         submissions of the roster through one shared service at 1 vs 4 in-flight \
+         submitter threads\",\n  \
          \"host_cpus\": {},\n  \"pool_size\": {},\n  \"queries_per_batch\": {},\n  \
          \"artifact_total_bytes\": {},\n  \"largest_artifact_bytes\": {},\n  \
-         \"budgets\": [\n{}\n  ]\n}}\n",
+         \"budgets\": [\n{}\n  ],\n  \"concurrency\": [\n{}\n  ]\n}}\n",
         host_cpus(),
         pool,
         batch.len(),
         total,
         largest,
-        rows.join(",\n")
+        rows.join(",\n"),
+        conc_rows.join(",\n")
     );
     match std::fs::write("BENCH_service.json", &json) {
         Ok(()) => println!("wrote BENCH_service.json"),

@@ -29,6 +29,14 @@
 //! The pre-session free functions ([`crate::check_safety`],
 //! [`crate::check_liveness`], [`crate::verify_with_reduction`]) survive
 //! as thin wrappers over a throwaway default session.
+//!
+//! Thread-safety: a `Verifier` is `Send` but not `Sync` — queries take
+//! `&mut self` because they mutate the artifact caches. Concurrent
+//! services share sessions as `Arc<Mutex<Verifier>>` (one mutex per
+//! instance size, so independent sessions overlap while queries on one
+//! session serialize; see the `tm-service` registry). Holding no
+//! cross-query invariants, a session is safe to keep using after a
+//! panicked query poisoned its mutex.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -244,6 +252,26 @@ impl Verifier {
     pub fn cancel_token(mut self, token: CancelToken) -> Self {
         self.cancel = Some(token);
         self
+    }
+
+    /// [`Verifier::max_states`] for an already-shared session: the
+    /// consuming builder setters cannot reconfigure a `Verifier` living
+    /// inside an `Arc<Mutex<_>>`, so the reconfigurable limits also have
+    /// `&mut self` forms usable through a lock guard.
+    pub fn set_max_states(&mut self, max_states: usize) {
+        self.max_states = max_states;
+    }
+
+    /// [`Verifier::deadline`] in `&mut self` form (see
+    /// [`Verifier::set_max_states`]); `None` clears the deadline.
+    pub fn set_deadline(&mut self, deadline: Option<Duration>) {
+        self.deadline = deadline;
+    }
+
+    /// [`Verifier::cancel_token`] in `&mut self` form (see
+    /// [`Verifier::set_max_states`]); `None` detaches the token.
+    pub fn set_cancel_token(&mut self, token: Option<CancelToken>) {
+        self.cancel = token;
     }
 
     /// The budget one query runs under: the session's state bound, plus

@@ -35,6 +35,24 @@ pub trait Rng {
         // Modulo bias is negligible for the small spans used in tests.
         range.start + (self.next_u64() % span as u64) as usize
     }
+
+    /// [`Rng::gen_range`] over a `u64` range: the full 64-bit span is
+    /// honored on every target, where a detour through `usize` would
+    /// truncate spans above `usize::MAX` on 32-bit platforms. For spans
+    /// that fit a `usize` this draws the same value from the same
+    /// generator state as `gen_range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range_u64(&mut self, range: Range<u64>) -> u64 {
+        let span = range
+            .end
+            .checked_sub(range.start)
+            .filter(|&s| s > 0)
+            .expect("gen_range_u64: empty range");
+        range.start + self.next_u64() % span
+    }
 }
 
 /// Concrete generators.
@@ -82,5 +100,32 @@ mod tests {
     #[should_panic(expected = "empty range")]
     fn empty_range_panics() {
         let _ = StdRng::seed_from_u64(1).gen_range(3..3);
+    }
+
+    #[test]
+    fn gen_range_u64_matches_gen_range_on_shared_spans() {
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range_u64(10..2_501) as usize, b.gen_range(10..2_501));
+        }
+    }
+
+    #[test]
+    fn gen_range_u64_covers_spans_beyond_u32() {
+        // A span no 32-bit usize could represent: every sample must
+        // still land inside it (a truncating implementation would wrap
+        // or panic).
+        let mut rng = StdRng::seed_from_u64(3);
+        let lo = 1u64 << 33;
+        let hi = (1u64 << 40) + 5;
+        let mut distinct_high_bits = std::collections::HashSet::new();
+        for _ in 0..64 {
+            let x = rng.gen_range_u64(lo..hi);
+            assert!((lo..hi).contains(&x));
+            distinct_high_bits.insert(x >> 32);
+        }
+        // The draw actually spreads over the >32-bit portion of the span.
+        assert!(distinct_high_bits.len() > 1);
     }
 }

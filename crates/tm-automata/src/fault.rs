@@ -1,11 +1,15 @@
-//! Deterministic fault injection: `TM_FAULT=<site>:<nth>[:delay_ms]`.
+//! Deterministic fault injection:
+//! `TM_FAULT=<site>:<nth>[:delay_ms][:panic]`.
 //!
 //! A *fault point* is a named call site (`fault::fault_point("dispatch")`)
 //! that normally does nothing. When a fault plan is installed — from the
 //! `TM_FAULT` environment variable at process start, or programmatically
 //! in tests — the plan's site counts its hits, and exactly the `nth` hit
 //! (1-based) first sleeps `delay_ms` milliseconds (default 0), then fails
-//! with [`EngineError::FaultInjected`]. Every other hit, every other
+//! with [`EngineError::FaultInjected`] — or, with the `panic` flavor,
+//! panics instead of returning, modeling a crashed worker rather than a
+//! clean failure (RAII cleanup is all that runs; the robustness suites
+//! use this to prove guards don't leak). Every other hit, every other
 //! site, and every hit after the `nth` passes untouched.
 //!
 //! Firing exactly once makes chaos testing deterministic: a retried
@@ -27,7 +31,8 @@ use std::time::Duration;
 
 use crate::budget::EngineError;
 
-/// One installed fault: fail the `nth` hit of `site`, after `delay_ms`.
+/// One installed fault: fail the `nth` hit of `site`, after `delay_ms` —
+/// by error return, or by panic when `panic` is set.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct FaultPlan {
     /// The fault-point name this plan arms.
@@ -36,10 +41,15 @@ pub struct FaultPlan {
     pub nth: u64,
     /// Milliseconds to sleep before failing (models a slow failure).
     pub delay_ms: u64,
+    /// Fire by panicking instead of returning an error (models a
+    /// crashed thread; only RAII cleanup runs).
+    pub panic: bool,
 }
 
 impl FaultPlan {
-    /// Parses `<site>:<nth>[:delay_ms]` (the `TM_FAULT` format).
+    /// Parses `<site>:<nth>[:delay_ms][:panic]` (the `TM_FAULT`
+    /// format). The `delay_ms` field may be omitted when `panic` is
+    /// given: `build:1:panic` ≡ `build:1:0:panic`.
     pub fn parse(spec: &str) -> Result<FaultPlan, String> {
         let mut parts = spec.split(':');
         let site = parts.next().unwrap_or("").trim();
@@ -55,13 +65,24 @@ impl FaultPlan {
         if nth == 0 {
             return Err(format!("TM_FAULT {spec:?}: <nth> is 1-based"));
         }
-        let delay_ms = match parts.next() {
-            Some(ms) => ms
-                .trim()
-                .parse::<u64>()
-                .map_err(|e| format!("TM_FAULT {spec:?}: bad delay_ms: {e}"))?,
-            None => 0,
-        };
+        let mut delay_ms = 0;
+        let mut panic = false;
+        match parts.next().map(str::trim) {
+            None => {}
+            Some("panic") => panic = true,
+            Some(ms) => {
+                delay_ms = ms
+                    .parse::<u64>()
+                    .map_err(|e| format!("TM_FAULT {spec:?}: bad delay_ms: {e}"))?;
+                match parts.next().map(str::trim) {
+                    None => {}
+                    Some("panic") => panic = true,
+                    Some(other) => {
+                        return Err(format!("TM_FAULT {spec:?}: unexpected field {other:?}"));
+                    }
+                }
+            }
+        }
         if parts.next().is_some() {
             return Err(format!("TM_FAULT {spec:?}: too many fields"));
         }
@@ -69,6 +90,7 @@ impl FaultPlan {
             site: site.to_owned(),
             nth,
             delay_ms,
+            panic,
         })
     }
 }
@@ -137,12 +159,13 @@ pub fn clear_fault() {
 
 /// A named fault point. Returns `Err(EngineError::FaultInjected)` on
 /// exactly the armed plan's `nth` hit of its site (after sleeping the
-/// plan's delay), `Ok(())` otherwise.
+/// plan's delay) — or panics there instead if the plan has the `panic`
+/// flavor — and `Ok(())` otherwise.
 pub fn fault_point(site: &str) -> Result<(), EngineError> {
     if ENV_LOADED.load(Ordering::Acquire) && !ARMED.load(Ordering::Acquire) {
         return Ok(());
     }
-    let delay_ms = {
+    let (delay_ms, panic) = {
         let mut state = lock_state();
         let Some(plan) = &state.plan else {
             return Ok(());
@@ -155,10 +178,13 @@ pub fn fault_point(site: &str) -> Result<(), EngineError> {
         if state.hits != plan.nth {
             return Ok(());
         }
-        plan.delay_ms
+        (plan.delay_ms, plan.panic)
     };
     if delay_ms > 0 {
         std::thread::sleep(Duration::from_millis(delay_ms));
+    }
+    if panic {
+        panic!("injected panic fault at site {site:?}");
     }
     Err(EngineError::FaultInjected)
 }
@@ -174,7 +200,8 @@ mod tests {
             Ok(FaultPlan {
                 site: "build".into(),
                 nth: 2,
-                delay_ms: 0
+                delay_ms: 0,
+                panic: false
             })
         );
         assert_eq!(
@@ -182,10 +209,39 @@ mod tests {
             Ok(FaultPlan {
                 site: "dispatch".into(),
                 nth: 1,
-                delay_ms: 250
+                delay_ms: 250,
+                panic: false
             })
         );
-        for bad in ["", ":1", "build", "build:0", "build:x", "build:1:y", "a:1:2:3"] {
+        assert_eq!(
+            FaultPlan::parse("encode:1:panic"),
+            Ok(FaultPlan {
+                site: "encode".into(),
+                nth: 1,
+                delay_ms: 0,
+                panic: true
+            })
+        );
+        assert_eq!(
+            FaultPlan::parse("build:3:40:panic"),
+            Ok(FaultPlan {
+                site: "build".into(),
+                nth: 3,
+                delay_ms: 40,
+                panic: true
+            })
+        );
+        for bad in [
+            "",
+            ":1",
+            "build",
+            "build:0",
+            "build:x",
+            "build:1:y",
+            "a:1:2:3",
+            "a:1:panic:2",
+            "a:1:2:panic:x",
+        ] {
             assert!(FaultPlan::parse(bad).is_err(), "{bad:?}");
         }
     }

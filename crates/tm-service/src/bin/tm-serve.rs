@@ -25,7 +25,7 @@
 use std::io::Write;
 use std::net::TcpListener;
 use std::process::ExitCode;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::Duration;
 
 use tm_service::{parse_mem_budget, serve, Service, ServiceConfig};
@@ -100,12 +100,9 @@ fn run() -> Result<(), String> {
             .map_err(|e| format!("cannot write {path}: {e}"))?;
     }
 
-    let service = Arc::new(Mutex::new(Service::new(config)));
+    let service = Arc::new(Service::new(config));
     let served = serve(listener, Arc::clone(&service)).map_err(|e| format!("serve: {e}"))?;
-    let stats = service
-        .lock()
-        .unwrap_or_else(|poisoned| poisoned.into_inner())
-        .stats();
+    let stats = service.stats();
     println!(
         "tm-serve shut down cleanly: {} connections, {} queries ({} hits, {} builds, \
          {} rebuilds, {} aborted, {} evictions, peak {} tracked bytes)",

@@ -15,9 +15,40 @@
 //! ([`MemoryBudget::reserve`]) so rebuilds never hold two generations of
 //! large artifacts at once; a first-time build of unknown size is charged
 //! and settled immediately after it completes ([`MemoryBudget::charge`]).
+//!
+//! ## Pinning and the concurrent protocol
+//!
+//! With per-session locking, several queries are in flight at once, and
+//! the ledger must not select an artifact another query is actively
+//! using as an eviction victim. Every entry therefore carries a **pin
+//! refcount**: [`MemoryBudget::pin`]ned entries are skipped by the
+//! eviction scan, and a query holds exactly one pin — on its own
+//! artifact — from admission to settle. [`SharedBudget`] wraps the
+//! ledger in a `Mutex` + `Condvar` and implements the protocol:
+//!
+//! 1. **admit** — if the key is charged: touch + pin (a cache hit, no
+//!    byte movement, never waits). Otherwise reserve at the size hint
+//!    and pin; if the reservation cannot fit even after evicting every
+//!    unpinned entry, *wait* for concurrent pins to drain first. The
+//!    waiter holds no pins and no other locks, so pin holders always
+//!    make progress and admission cannot deadlock.
+//! 2. **settle** — unpin first (the query is done; its artifact is fair
+//!    game again), then charge the actual size, waiting for room the
+//!    same way if the artifact grew while other queries hold pins.
+//!    Unpinning *before* waiting is what makes two concurrent settlers
+//!    drain each other instead of deadlocking.
+//! 3. **abandon** — the failed-build path: unpin and release the
+//!    provisional reservation (PR 6's refund), hint preserved.
+//!
+//! First-time builds reserve 0 bytes (no hint), so cold concurrent
+//! batches admit freely and each settle evicts predecessors as real
+//! sizes land. Single-flight per key is structural: all queries on one
+//! `(n, k)` session serialize on that session's mutex, so the second
+//! query for a key finds the artifact the first one built.
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::{Condvar, Mutex, MutexGuard};
 
 use tm_lang::SafetyProperty;
 
@@ -62,10 +93,13 @@ impl fmt::Display for ArtifactKey {
 struct Entry {
     bytes: usize,
     last_used: u64,
+    /// In-flight queries currently using this artifact; pinned entries
+    /// are never eviction victims.
+    pins: usize,
 }
 
 /// The LRU byte ledger (see the module docs for the retained-memory
-/// invariant).
+/// invariant and the pinning protocol).
 ///
 /// # Examples
 ///
@@ -129,10 +163,57 @@ impl MemoryBudget {
         }
     }
 
+    /// Pins `key`: while its pin count is nonzero the entry is never an
+    /// eviction victim. No-op if `key` is not charged.
+    pub fn pin(&mut self, key: &ArtifactKey) {
+        if let Some(entry) = self.entries.get_mut(key) {
+            entry.pins += 1;
+        }
+    }
+
+    /// Drops one pin from `key`. No-op if `key` is not charged (the
+    /// entry was released by the failed-build path).
+    pub fn unpin(&mut self, key: &ArtifactKey) {
+        if let Some(entry) = self.entries.get_mut(key) {
+            entry.pins = entry.pins.saturating_sub(1);
+        }
+    }
+
+    /// Whether `key` is charged and currently pinned.
+    pub fn pinned(&self, key: &ArtifactKey) -> bool {
+        self.entries.get(key).is_some_and(|e| e.pins > 0)
+    }
+
+    /// Number of entries with a nonzero pin count.
+    pub fn pinned_entries(&self) -> usize {
+        self.entries.values().filter(|e| e.pins > 0).count()
+    }
+
     /// The last observed size of `key`, whether or not it is currently
     /// charged (0 if never charged).
     pub fn hint(&self, key: &ArtifactKey) -> usize {
         self.hints.get(key).copied().unwrap_or(0)
+    }
+
+    /// Whether a charge of `key` at `bytes` could settle under the limit
+    /// after evicting every *unpinned* entry other than `key` — or, if
+    /// not, whether nothing else is pinned (so waiting cannot help and
+    /// the over-budget proviso applies). `false` means: wait for a
+    /// concurrent pin to drain.
+    fn room_for(&self, key: &ArtifactKey, bytes: usize) -> bool {
+        let Some(limit) = self.limit else {
+            return true;
+        };
+        let current = self.entries.get(key).map_or(0, |e| e.bytes);
+        let needed = self.tracked - current + bytes;
+        let evictable: usize = self
+            .entries
+            .iter()
+            .filter(|(k, e)| e.pins == 0 && *k != key)
+            .map(|(_, e)| e.bytes)
+            .sum();
+        needed.saturating_sub(evictable) <= limit
+            || !self.entries.iter().any(|(k, e)| e.pins > 0 && k != key)
     }
 
     /// Makes room for an upcoming (re)build of `key` and charges it
@@ -161,6 +242,7 @@ impl MemoryBudget {
                     Entry {
                         bytes: hint,
                         last_used: self.clock,
+                        pins: 0,
                     },
                 );
                 self.tracked += hint;
@@ -187,8 +269,8 @@ impl MemoryBudget {
 
     /// Charges (or re-charges) `key` at `bytes`, marks it most recently
     /// used, and settles the ledger back under the limit by evicting LRU
-    /// entries — never `key` itself. Returns the keys the caller must
-    /// drop.
+    /// entries — never `key` itself, never a pinned entry. Returns the
+    /// keys the caller must drop.
     pub fn charge(&mut self, key: ArtifactKey, bytes: usize) -> Vec<ArtifactKey> {
         self.clock += 1;
         self.hints.insert(key.clone(), bytes);
@@ -204,6 +286,7 @@ impl MemoryBudget {
                     Entry {
                         bytes,
                         last_used: self.clock,
+                        pins: 0,
                     },
                 );
                 self.tracked += bytes;
@@ -215,8 +298,8 @@ impl MemoryBudget {
     }
 
     /// Evicts LRU entries while `tracked + headroom` exceeds the limit,
-    /// never evicting `exclude`. Stops (leaving the ledger over budget)
-    /// when nothing evictable remains.
+    /// never evicting `exclude` or a pinned entry. Stops (leaving the
+    /// ledger over budget) when nothing evictable remains.
     fn evict_while_over(&mut self, headroom: usize, exclude: Option<&ArtifactKey>) -> Vec<ArtifactKey> {
         let Some(limit) = self.limit else {
             return Vec::new();
@@ -226,7 +309,7 @@ impl MemoryBudget {
             let victim = self
                 .entries
                 .iter()
-                .filter(|(key, _)| Some(*key) != exclude)
+                .filter(|(key, entry)| Some(*key) != exclude && entry.pins == 0)
                 .min_by_key(|(_, entry)| entry.last_used)
                 .map(|(key, _)| key.clone());
             let Some(victim) = victim else { break };
@@ -274,6 +357,133 @@ impl MemoryBudget {
             .collect();
         entries.sort_by_cached_key(|(key, _)| key.to_string());
         entries
+    }
+}
+
+/// The result of [`SharedBudget::admit`].
+pub struct Admission {
+    /// `true` — a (re)build was reserved and the settle must charge or
+    /// release it; `false` — the artifact was already charged (cache
+    /// hit).
+    pub reserved: bool,
+    /// Keys the caller must drop from their owning sessions.
+    pub evicted: Vec<ArtifactKey>,
+}
+
+/// A [`MemoryBudget`] shared between concurrent queries: a mutex-held
+/// ledger plus a condvar signalled whenever bytes or pins are freed, so
+/// admissions and settles that cannot fit yet wait for in-flight pins to
+/// drain instead of overcommitting the limit (see the module docs for
+/// the protocol and its deadlock-freedom argument).
+pub struct SharedBudget {
+    inner: Mutex<MemoryBudget>,
+    freed: Condvar,
+}
+
+impl SharedBudget {
+    /// Wraps a fresh ledger with the given byte limit.
+    pub fn new(limit: Option<usize>) -> Self {
+        SharedBudget {
+            inner: Mutex::new(MemoryBudget::new(limit)),
+            freed: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, MemoryBudget> {
+        self.inner.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Admits one query on `key` and pins it: a cache hit is touched and
+    /// pinned immediately; a miss reserves room at the size hint, waiting
+    /// for concurrent pins to drain if the reservation cannot fit even
+    /// after evicting every unpinned entry. Each successful admit must be
+    /// paired with exactly one [`SharedBudget::settle`] or
+    /// [`SharedBudget::abandon`].
+    pub fn admit(&self, key: &ArtifactKey) -> Admission {
+        let mut ledger = self.lock();
+        loop {
+            if ledger.contains(key) {
+                ledger.touch(key);
+                ledger.pin(key);
+                return Admission {
+                    reserved: false,
+                    evicted: Vec::new(),
+                };
+            }
+            let hint = ledger.hint(key);
+            if ledger.room_for(key, hint) {
+                let evicted = ledger.reserve(key);
+                ledger.pin(key);
+                return Admission {
+                    reserved: true,
+                    evicted,
+                };
+            }
+            ledger = self.freed.wait(ledger).unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+    }
+
+    /// Settles one admitted query: unpins `key`, then charges its actual
+    /// `bytes`, waiting for concurrent pins to drain if the charge grew
+    /// past what fits (unpinning *first* keeps concurrent settlers from
+    /// deadlocking on each other). Returns the keys the caller must drop
+    /// from their sessions.
+    pub fn settle(&self, key: &ArtifactKey, bytes: usize) -> Vec<ArtifactKey> {
+        let mut ledger = self.lock();
+        ledger.unpin(key);
+        while !ledger.room_for(key, bytes) {
+            self.freed.notify_all();
+            ledger = self.freed.wait(ledger).unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+        let evicted = ledger.charge(key.clone(), bytes);
+        self.freed.notify_all();
+        evicted
+    }
+
+    /// Abandons one admitted query — the failed-build / injected-fault
+    /// path: unpins `key` and, if the admission reserved a provisional
+    /// charge, releases it (the refund; the size hint survives for the
+    /// retry).
+    pub fn abandon(&self, key: &ArtifactKey, reserved: bool) {
+        let mut ledger = self.lock();
+        ledger.unpin(key);
+        if reserved {
+            ledger.release(key);
+        }
+        self.freed.notify_all();
+    }
+
+    /// Whether an eviction decided earlier should still be carried out:
+    /// `false` if `key` was re-charged (re-admitted) since the decision,
+    /// in which case dropping the artifact would destroy a live entry's
+    /// backing memory.
+    pub fn should_drop(&self, key: &ArtifactKey) -> bool {
+        !self.lock().contains(key)
+    }
+
+    /// The configured limit.
+    pub fn limit(&self) -> Option<usize> {
+        self.lock().limit()
+    }
+
+    /// Currently tracked bytes.
+    pub fn tracked_bytes(&self) -> usize {
+        self.lock().tracked_bytes()
+    }
+
+    /// The high-water mark of tracked bytes.
+    pub fn peak_bytes(&self) -> usize {
+        self.lock().peak_bytes()
+    }
+
+    /// Total evictions so far.
+    pub fn evictions(&self) -> u64 {
+        self.lock().evictions()
+    }
+
+    /// The charged artifacts and their byte sizes, sorted.
+    pub fn ledger(&self) -> Vec<(ArtifactKey, usize)> {
+        self.lock().ledger()
     }
 }
 
@@ -401,5 +611,131 @@ mod tests {
         assert_eq!(budget.tracked_bytes(), 45);
         assert_eq!(budget.len(), 1);
         assert_eq!(budget.ledger(), vec![(spec(), 45)]);
+    }
+
+    #[test]
+    fn pinned_entries_are_never_eviction_victims() {
+        let mut budget = MemoryBudget::new(Some(100));
+        budget.charge(graph("a"), 60);
+        budget.charge(graph("b"), 30);
+        budget.pin(&graph("a"));
+        // `a` is the LRU entry, but pinned: `b` goes instead.
+        let evicted = budget.charge(graph("c"), 40);
+        assert_eq!(evicted, vec![graph("b")]);
+        assert!(budget.contains(&graph("a")));
+        assert!(budget.pinned(&graph("a")));
+        // Unpinned, `a` is evictable again.
+        budget.unpin(&graph("a"));
+        assert!(!budget.pinned(&graph("a")));
+        let evicted = budget.charge(graph("d"), 60);
+        assert!(evicted.contains(&graph("a")), "{evicted:?}");
+    }
+
+    #[test]
+    fn pins_nest_like_a_refcount() {
+        let mut budget = MemoryBudget::new(Some(50));
+        budget.charge(graph("a"), 40);
+        budget.pin(&graph("a"));
+        budget.pin(&graph("a"));
+        budget.unpin(&graph("a"));
+        assert!(budget.pinned(&graph("a")), "one pin remains");
+        assert_eq!(budget.pinned_entries(), 1);
+        // Still protected: the charge below cannot evict `a` and settles
+        // over budget (the proviso), rather than destroying a live entry.
+        let evicted = budget.charge(graph("b"), 40);
+        assert!(evicted.is_empty());
+        assert!(budget.contains(&graph("a")));
+        budget.unpin(&graph("a"));
+        assert_eq!(budget.pinned_entries(), 0);
+        // Unpin below zero and unpin of an uncharged key are no-ops.
+        budget.unpin(&graph("a"));
+        budget.unpin(&graph("ghost"));
+    }
+
+    #[test]
+    fn shared_admission_waits_for_pins_instead_of_overcommitting() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+
+        let budget = Arc::new(SharedBudget::new(Some(100)));
+        // Query 1 holds a pin on a 70-byte artifact.
+        let first = budget.admit(&graph("a"));
+        assert!(first.reserved);
+        // Its hint is 0 (first build), so the reservation fits; settle is
+        // deferred — simulate a finished build charging 70 below. First,
+        // seed the hint by settling once and re-admitting.
+        budget.settle(&graph("a"), 70);
+        let first = budget.admit(&graph("a"));
+        assert!(!first.reserved, "second admit is a cache hit");
+
+        // Query 2 needs 60 bytes (hint seeded the same way): it cannot
+        // fit alongside the pinned 70, so admit must block until query 1
+        // settles.
+        {
+            let mut ledger = budget.lock();
+            ledger.hints.insert(graph("b"), 60);
+        }
+        let blocked = Arc::new(AtomicBool::new(true));
+        let admitted = {
+            let budget = Arc::clone(&budget);
+            let blocked = Arc::clone(&blocked);
+            std::thread::spawn(move || {
+                let admission = budget.admit(&graph("b"));
+                blocked.store(false, Ordering::SeqCst);
+                budget.settle(&graph("b"), 60);
+                admission.reserved
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        assert!(
+            blocked.load(Ordering::SeqCst),
+            "admission must wait while the pinned 70 bytes block the 60-byte reservation"
+        );
+        // Query 1 settles: the pin drains, query 2 gets in, `a` becomes
+        // the eviction victim for `b`'s reservation.
+        budget.settle(&graph("a"), 70);
+        assert!(admitted.join().unwrap(), "query 2 reserved after the wait");
+        let peak = budget.peak_bytes();
+        assert!(peak <= 100, "peak {peak} exceeded the limit under contention");
+        assert!(budget.tracked_bytes() <= 100);
+    }
+
+    #[test]
+    fn shared_settle_unpins_before_waiting_so_settlers_drain_each_other() {
+        // Two queries, each pinned, whose actual sizes together exceed
+        // the limit: both settles must complete (one evicts the other),
+        // never deadlock.
+        let budget = std::sync::Arc::new(SharedBudget::new(Some(100)));
+        let a = budget.admit(&graph("a"));
+        let b = budget.admit(&graph("b"));
+        assert!(a.reserved && b.reserved);
+        let t = {
+            let budget = std::sync::Arc::clone(&budget);
+            std::thread::spawn(move || budget.settle(&graph("a"), 80))
+        };
+        let evicted_b = budget.settle(&graph("b"), 80);
+        let evicted_a = t.join().unwrap();
+        // Exactly one of the two survived; the ledger is under the limit.
+        assert_eq!(evicted_a.len() + evicted_b.len(), 1, "{evicted_a:?} {evicted_b:?}");
+        assert!(budget.tracked_bytes() <= 100);
+        assert!(budget.peak_bytes() <= 100);
+    }
+
+    #[test]
+    fn shared_abandon_refunds_the_reservation_under_pins() {
+        let budget = SharedBudget::new(Some(100));
+        budget.admit(&graph("a"));
+        budget.settle(&graph("a"), 40);
+        // A rebuild admission reserves at the hint...
+        let evicted = budget.ledger();
+        assert_eq!(evicted, vec![(graph("a"), 40)]);
+        let admission = budget.admit(&graph("b"));
+        assert!(admission.reserved);
+        // ... and abandoning it (injected fault) refunds the bytes while
+        // leaving the concurrent entry alone.
+        budget.abandon(&graph("b"), admission.reserved);
+        assert_eq!(budget.ledger(), vec![(graph("a"), 40)]);
+        assert!(budget.should_drop(&graph("b")));
+        assert!(!budget.should_drop(&graph("a")));
     }
 }

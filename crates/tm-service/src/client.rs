@@ -62,9 +62,12 @@ impl Backoff {
         let jitter = if exp == 0 {
             0
         } else {
-            self.rng.gen_range(0..(exp / 2 + 1) as usize) as u64
+            // Drawn in u64 end to end: a detour through usize would
+            // truncate the span on 32-bit targets and bias the jitter.
+            self.rng.gen_range_u64(0..exp / 2 + 1)
         };
-        (exp + jitter).max(retry_after_secs.unwrap_or(0).saturating_mul(1_000))
+        exp.saturating_add(jitter)
+            .max(retry_after_secs.unwrap_or(0).saturating_mul(1_000))
     }
 }
 
@@ -107,6 +110,23 @@ mod tests {
         let mut backoff = Backoff::new(0);
         let delay = backoff.delay_ms(u32::MAX, None);
         assert!(delay <= DEFAULT_BACKOFF_CAP_MS + DEFAULT_BACKOFF_CAP_MS / 2);
+    }
+
+    #[test]
+    fn jitter_is_drawn_in_u64_even_for_huge_delays() {
+        // A cap whose jitter span exceeds u32::MAX: the old
+        // usize-detour draw would truncate this on 32-bit targets.
+        let cap = u64::MAX / 4;
+        let mut backoff = Backoff::with_bounds(5, cap, cap);
+        let mut saw_wide_jitter = false;
+        for attempt in 0..32 {
+            let delay = backoff.delay_ms(attempt, None);
+            assert!(delay >= cap && delay <= cap + cap / 2);
+            if delay - cap > u64::from(u32::MAX) {
+                saw_wide_jitter = true;
+            }
+        }
+        assert!(saw_wide_jitter, "jitter never exceeded 32 bits");
     }
 
     #[test]

@@ -12,16 +12,21 @@
 //! | POST   | `/v1/shutdown` | —                   | `{"ok": true}` then clean exit |
 //!
 //! Connections are one-request (`Connection: close`), each handled on
-//! its own thread; the [`Service`] behind the mutex answers batches one
-//! at a time (queries inside a batch still fan out on the shared worker
-//! pool). The accept loop polls a shutdown flag, so `POST /v1/shutdown`
-//! drains in-flight connections and returns from [`serve`] — the clean
-//! shutdown the CI smoke asserts.
+//! its own thread, and the [`Service`] is shared as a plain `Arc`: its
+//! API is `&self`, so admitted batches **run concurrently** — sessions
+//! on different instance sizes overlap, queries on one session
+//! serialize, and artifacts in use are pinned against eviction (see the
+//! service and registry docs for the lock hierarchy). `/healthz` takes
+//! no lock at all and `/v1/stats` reads atomics plus the short ledger
+//! lock, so both answer immediately while long batches run. The accept
+//! loop polls a shutdown flag, so `POST /v1/shutdown` drains in-flight
+//! connections and returns from [`serve`] — the clean shutdown the CI
+//! smoke asserts.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::Duration;
 
 use tm_automata::{fault, EngineError};
@@ -53,14 +58,11 @@ const RETRY_AFTER_SECS: u64 = 1;
 ///
 /// Propagates fatal listener errors (transient per-connection I/O errors
 /// only terminate that connection).
-pub fn serve(listener: TcpListener, service: Arc<Mutex<Service>>) -> std::io::Result<u64> {
+pub fn serve(listener: TcpListener, service: Arc<Service>) -> std::io::Result<u64> {
     listener.set_nonblocking(true)?;
     let shutdown = Arc::new(AtomicBool::new(false));
     let inflight = Arc::new(AtomicUsize::new(0));
-    let max_inflight = service
-        .lock()
-        .unwrap_or_else(|poisoned| poisoned.into_inner())
-        .max_inflight();
+    let max_inflight = service.max_inflight();
     let mut handles: Vec<std::thread::JoinHandle<()>> = Vec::new();
     let mut served = 0u64;
     loop {
@@ -73,9 +75,7 @@ pub fn serve(listener: TcpListener, service: Arc<Mutex<Service>>) -> std::io::Re
         match listener.accept() {
             Ok((stream, _)) => {
                 served += 1;
-                // Reap finished connection threads so a long-running
-                // daemon does not accumulate one handle per request.
-                handles.retain(|handle| !handle.is_finished());
+                reap_finished(&mut handles);
                 let service = Arc::clone(&service);
                 let shutdown = Arc::clone(&shutdown);
                 let inflight = Arc::clone(&inflight);
@@ -91,6 +91,11 @@ pub fn serve(listener: TcpListener, service: Arc<Mutex<Service>>) -> std::io::Re
                 }));
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                // Reap on the idle path too: after a burst, the daemon
+                // releases the finished threads' handles on the next
+                // poll tick instead of holding all of them until the
+                // next connection (or shutdown) arrives.
+                reap_finished(&mut handles);
                 std::thread::sleep(Duration::from_millis(10));
             }
             Err(e) => return Err(e),
@@ -102,9 +107,43 @@ pub fn serve(listener: TcpListener, service: Arc<Mutex<Service>>) -> std::io::Re
     Ok(served)
 }
 
+/// Drops the handles of connection threads that already finished, so a
+/// long-running daemon does not accumulate one `JoinHandle` per request.
+fn reap_finished(handles: &mut Vec<std::thread::JoinHandle<()>>) {
+    handles.retain(|handle| !handle.is_finished());
+}
+
+/// An admitted slot in the inflight-batch counter, released on `Drop` —
+/// so a panicking connection thread (e.g. an injected panic fault)
+/// cannot leak its increment and permanently shrink admission capacity.
+struct InflightGuard<'a> {
+    inflight: &'a AtomicUsize,
+}
+
+impl<'a> InflightGuard<'a> {
+    /// Takes a slot. Returns `None` — taking nothing — when that would
+    /// exceed `max_inflight` (`0` = unbounded).
+    fn admit(inflight: &'a AtomicUsize, max_inflight: usize) -> Option<Self> {
+        let admitted = inflight.fetch_add(1, Ordering::SeqCst) + 1;
+        let guard = InflightGuard { inflight };
+        if max_inflight > 0 && admitted > max_inflight {
+            // Dropping the guard undoes the increment.
+            None
+        } else {
+            Some(guard)
+        }
+    }
+}
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        self.inflight.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
 fn handle_connection(
     stream: TcpStream,
-    service: &Arc<Mutex<Service>>,
+    service: &Service,
     shutdown: &AtomicBool,
     inflight: &AtomicUsize,
     max_inflight: usize,
@@ -209,21 +248,14 @@ fn route(
     method: &str,
     path: &str,
     body: &str,
-    service: &Arc<Mutex<Service>>,
+    service: &Service,
     shutdown: &AtomicBool,
     inflight: &AtomicUsize,
     max_inflight: usize,
 ) -> (u16, String, Option<u64>) {
-    type Response = (u16, String, Option<u64>);
-    let locked = |f: &mut dyn FnMut(&mut Service) -> Response| {
-        let mut service = service.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
-        f(&mut service)
-    };
     match (method, path) {
         ("GET", "/healthz") => (200, "{\"ok\": true}".to_owned(), None),
-        ("GET", "/v1/stats") => {
-            locked(&mut |service| (200, wire::encode_stats(&service.stats()), None))
-        }
+        ("GET", "/v1/stats") => (200, wire::encode_stats(&service.stats()), None),
         ("POST", "/v1/batch") => {
             // Admission control: a draining daemon sheds everything with
             // 503, a saturated one sheds the excess with 429 — both with
@@ -235,22 +267,23 @@ fn route(
                     Some(RETRY_AFTER_SECS),
                 );
             }
-            let admitted = inflight.fetch_add(1, Ordering::SeqCst) + 1;
-            if max_inflight > 0 && admitted > max_inflight {
-                inflight.fetch_sub(1, Ordering::SeqCst);
+            let Some(_slot) = InflightGuard::admit(inflight, max_inflight) else {
                 return (
                     429,
                     "{\"error\": \"too many in-flight batches\"}".to_owned(),
                     Some(RETRY_AFTER_SECS),
                 );
-            }
-            let response = match wire::decode_batch_request(body) {
+            };
+            // `_slot` releases the admission on every exit from here —
+            // including a panic unwinding out of `submit` or the encode
+            // fault point below.
+            match wire::decode_batch_request(body) {
                 Err(e) => (
                     400,
                     format!("{{\"error\": {}}}", crate::wire::Json::Str(e.to_string())),
                     None,
                 ),
-                Ok((batch, deadline_ms)) => locked(&mut |service| {
+                Ok((batch, deadline_ms)) => {
                     let results = service.submit_with_deadline(&batch, deadline_ms);
                     let (status, retry_after) = batch_status(&results);
                     if let Err(error) = fault::fault_point("encode") {
@@ -261,10 +294,8 @@ fn route(
                         );
                     }
                     (status, wire::encode_results(&results, &service.stats()), retry_after)
-                }),
-            };
-            inflight.fetch_sub(1, Ordering::SeqCst);
-            response
+                }
+            }
         }
         ("POST", "/v1/shutdown") => {
             shutdown.store(true, Ordering::SeqCst);
@@ -317,6 +348,20 @@ pub fn http_request(
     http_request_full(addr, method, path, body).map(|(status, body, _)| (status, body))
 }
 
+/// Extracts the `Retry-After` header (in whole seconds) from a response
+/// head. Per RFC 9110 field names compare case-insensitively, so
+/// `retry-after: 1` and `RETRY-AFTER: 1` parse the same as the
+/// canonical spelling; an unparsable value reads as absent.
+fn parse_retry_after(head: &str) -> Option<u64> {
+    head.lines().find_map(|line| {
+        let (name, value) = line.split_once(':')?;
+        name.trim()
+            .eq_ignore_ascii_case("retry-after")
+            .then(|| value.trim().parse().ok())
+            .flatten()
+    })
+}
+
 /// [`http_request`] that additionally surfaces the `Retry-After` header
 /// in seconds, if the server sent one — what a backing-off client
 /// honors on 429/503/504.
@@ -362,11 +407,51 @@ pub fn http_request_full(
         .nth(1)
         .and_then(|s| s.parse().ok())
         .ok_or("response has no status code")?;
-    let retry_after = head.lines().find_map(|line| {
-        let (name, value) = line.split_once(':')?;
-        name.eq_ignore_ascii_case("retry-after")
-            .then(|| value.trim().parse().ok())
-            .flatten()
-    });
-    Ok((status, body.to_owned(), retry_after))
+    Ok((status, body.to_owned(), parse_retry_after(head)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retry_after_parses_case_insensitively() {
+        let canonical = "HTTP/1.1 429 Too Many Requests\r\nRetry-After: 2\r\nConnection: close";
+        assert_eq!(parse_retry_after(canonical), Some(2));
+        // RFC 9110 §5.1: field names are case-insensitive — a proxy may
+        // rewrite the server's canonical spelling.
+        let lower = "HTTP/1.1 429 Too Many Requests\r\nretry-after: 3\r\nConnection: close";
+        assert_eq!(parse_retry_after(lower), Some(3));
+        let shouty = "HTTP/1.1 503 Service Unavailable\r\nRETRY-AFTER: 7";
+        assert_eq!(parse_retry_after(shouty), Some(7));
+        let spaced = "HTTP/1.1 503 Service Unavailable\r\n Retry-After :  5 ";
+        assert_eq!(parse_retry_after(spaced), Some(5));
+    }
+
+    #[test]
+    fn retry_after_ignores_absent_or_malformed_values() {
+        assert_eq!(parse_retry_after("HTTP/1.1 200 OK\r\nContent-Length: 2"), None);
+        // An HTTP-date (also legal per RFC 9110) is out of scope for
+        // this client; it reads as absent rather than a parse error.
+        let dated = "HTTP/1.1 429 x\r\nRetry-After: Fri, 08 Aug 2026 00:00:00 GMT";
+        assert_eq!(parse_retry_after(dated), None);
+        assert_eq!(parse_retry_after("HTTP/1.1 429 x\r\nRetry-After: -1"), None);
+        // The name must match whole, not as a prefix.
+        assert_eq!(parse_retry_after("HTTP/1.1 429 x\r\nX-Retry-After: 9"), None);
+    }
+
+    #[test]
+    fn inflight_guard_releases_on_drop_and_rejects_over_capacity() {
+        let inflight = AtomicUsize::new(0);
+        let first = InflightGuard::admit(&inflight, 2).expect("slot 1");
+        let _second = InflightGuard::admit(&inflight, 2).expect("slot 2");
+        assert!(InflightGuard::admit(&inflight, 2).is_none(), "capacity 2 is full");
+        // A failed admission must not consume capacity.
+        assert_eq!(inflight.load(Ordering::SeqCst), 2);
+        drop(first);
+        assert_eq!(inflight.load(Ordering::SeqCst), 1);
+        assert!(InflightGuard::admit(&inflight, 2).is_some(), "slot freed by drop");
+        // Unbounded admission never rejects.
+        assert!(InflightGuard::admit(&inflight, 0).is_some());
+    }
 }

@@ -20,15 +20,19 @@
 //!
 //! * the **session registry** ([`SessionRegistry`]) lazily creates one
 //!   [`tm_checker::Verifier`] per instance size, all multiplexing one
-//!   shared [`tm_automata::WorkerPool`];
-//! * the **memory budget** ([`MemoryBudget`]) charges every compiled
-//!   artifact (per-TM run graphs, per-property specifications) against a
-//!   byte limit using the `heap_bytes()` accounting of `tm-automata`,
-//!   evicts least-recently-used artifacts once the queries using them
-//!   are answered, and lets the sessions transparently rebuild on
-//!   re-query (rebuilds are counted, verdicts are bit-identical — pinned
-//!   by `tests/session_eviction.rs` at the session layer and
-//!   `tests/service_conformance.rs` here);
+//!   shared [`tm_automata::WorkerPool`] — each session behind its own
+//!   mutex, so concurrent batches on different instance sizes overlap;
+//! * the **memory budget** ([`MemoryBudget`], shared concurrently as
+//!   [`SharedBudget`]) charges every compiled artifact (per-TM run
+//!   graphs, per-property specifications) against a byte limit using the
+//!   `heap_bytes()` accounting of `tm-automata`, evicts
+//!   least-recently-used artifacts once the queries using them are
+//!   answered — in-flight artifacts are *pinned* and never victims —
+//!   and lets the sessions transparently rebuild on re-query (rebuilds
+//!   are counted, verdicts are bit-identical — pinned by
+//!   `tests/session_eviction.rs` at the session layer,
+//!   `tests/service_conformance.rs` here, and
+//!   `tests/concurrent_conformance.rs` under concurrent submission);
 //! * the **batch scheduler** ([`execution_order`]) reorders each batch
 //!   to maximize artifact reuse (group by instance size, then safety
 //!   queries by property, liveness queries by TM) while returning
@@ -48,7 +52,7 @@
 //! ```
 //! use tm_service::{table3_batch, Service, ServiceConfig};
 //!
-//! let mut service = Service::new(ServiceConfig {
+//! let service = Service::new(ServiceConfig {
 //!     mem_budget: Some(1 << 20),
 //!     pool_size: 1,
 //!     ..ServiceConfig::default()
@@ -73,10 +77,10 @@ mod scheduler;
 mod service;
 pub mod wire;
 
-pub use budget::{ArtifactKey, ArtifactKind, MemoryBudget};
+pub use budget::{Admission, ArtifactKey, ArtifactKind, MemoryBudget, SharedBudget};
 pub use client::{is_retryable_status, Backoff};
 pub use http::{http_request, http_request_full, serve};
-pub use registry::SessionRegistry;
+pub use registry::{lock_session, SessionRegistry, SharedSession};
 pub use roster::{
     run_query, table2_batch, table3_batch, CmKind, PropertyKind, QuerySpec, TmKind,
     MAX_QUERY_THREADS, MAX_QUERY_VARS,

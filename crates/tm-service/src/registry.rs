@@ -6,19 +6,41 @@
 //! worker pool per session would oversubscribe the host as soon as two
 //! sessions exist. The registry therefore spawns **one** pool at
 //! construction and attaches it to every session it creates
-//! ([`Verifier::shared_pool`]); the scheduler above runs one query at a
-//! time, so the pool is never contended between sessions.
+//! ([`Verifier::shared_pool`]).
+//!
+//! Concurrency: the map itself sits behind an `RwLock` whose critical
+//! sections only *resolve or create* sessions — never run queries — and
+//! each session sits behind its own `Mutex`, so batches touching
+//! different instance sizes overlap while queries on one session
+//! serialize (which is also what makes artifact builds single-flight
+//! per key). The pool is safe to share: each `run_batch` call carries
+//! its own completion state, so concurrent sessions simply interleave
+//! their jobs on the one queue. Lock hierarchy: registry → session →
+//! budget ledger; the registry lock is never held while a session lock
+//! is being waited on with the ledger held.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
 use std::time::Duration;
 
 use tm_automata::WorkerPool;
 use tm_checker::Verifier;
 
+/// A shared, independently lockable session (see [`lock_session`]).
+pub type SharedSession = Arc<Mutex<Verifier>>;
+
+/// Locks one session, recovering from a poisoned mutex (a panicked
+/// query — e.g. an injected panic fault — must not wedge every later
+/// query on the same instance size; sessions hold no invariants a
+/// completed query can break mid-update, artifacts are rebuilt on
+/// demand).
+pub fn lock_session(session: &SharedSession) -> MutexGuard<'_, Verifier> {
+    session.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
 /// Registry of per-instance-size sessions over one shared pool.
 pub struct SessionRegistry {
-    sessions: HashMap<(usize, usize), Verifier>,
+    sessions: RwLock<HashMap<(usize, usize), SharedSession>>,
     pool: Option<Arc<WorkerPool>>,
     pool_size: usize,
     max_states: usize,
@@ -33,7 +55,7 @@ impl SessionRegistry {
     pub fn new(pool_size: usize, max_states: usize) -> Self {
         let pool_size = pool_size.max(1);
         SessionRegistry {
-            sessions: HashMap::new(),
+            sessions: RwLock::new(HashMap::new()),
             pool: (pool_size > 1).then(|| Arc::new(WorkerPool::new(pool_size))),
             pool_size,
             max_states,
@@ -50,21 +72,31 @@ impl SessionRegistry {
         self
     }
 
+    fn read(&self) -> std::sync::RwLockReadGuard<'_, HashMap<(usize, usize), SharedSession>> {
+        self.sessions.read().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
     /// The session for instance size `(threads, vars)`, created on first
-    /// use.
-    pub fn session(&mut self, threads: usize, vars: usize) -> &mut Verifier {
-        let (pool, max_states) = (&self.pool, self.max_states);
-        let deadline = self.query_deadline;
-        self.sessions.entry((threads, vars)).or_insert_with(|| {
-            let mut verifier = Verifier::new(threads, vars).max_states(max_states);
-            if let Some(deadline) = deadline {
+    /// use. Only resolves the `Arc` — callers lock the session
+    /// themselves ([`lock_session`]), so two batches on different
+    /// instance sizes run their queries concurrently.
+    pub fn session(&self, threads: usize, vars: usize) -> SharedSession {
+        if let Some(session) = self.read().get(&(threads, vars)) {
+            return Arc::clone(session);
+        }
+        let mut sessions = self.sessions.write().unwrap_or_else(|poisoned| poisoned.into_inner());
+        let session = sessions.entry((threads, vars)).or_insert_with(|| {
+            let mut verifier = Verifier::new(threads, vars).max_states(self.max_states);
+            if let Some(deadline) = self.query_deadline {
                 verifier = verifier.deadline(deadline);
             }
-            match pool {
+            let verifier = match &self.pool {
                 Some(pool) => verifier.shared_pool(Arc::clone(pool)),
                 None => verifier.pool_size(1),
-            }
-        })
+            };
+            Arc::new(Mutex::new(verifier))
+        });
+        Arc::clone(session)
     }
 
     /// The shared pool's worker count (1 = sequential).
@@ -74,41 +106,51 @@ impl SessionRegistry {
 
     /// Number of sessions created so far.
     pub fn len(&self) -> usize {
-        self.sessions.len()
+        self.read().len()
     }
 
     /// `true` if no session was created yet.
     pub fn is_empty(&self) -> bool {
-        self.sessions.is_empty()
+        self.read().is_empty()
     }
 
     /// The sessions' instance sizes, sorted.
     pub fn instance_sizes(&self) -> Vec<(usize, usize)> {
-        let mut sizes: Vec<(usize, usize)> = self.sessions.keys().copied().collect();
+        let mut sizes: Vec<(usize, usize)> = self.read().keys().copied().collect();
         sizes.sort_unstable();
         sizes
     }
 
     /// Sum of every session's estimated artifact heap bytes — the ground
-    /// truth the budget ledger approximates.
+    /// truth the budget ledger approximates. Locks each session briefly
+    /// in turn; a snapshot, not an atomic cross-session reading.
     pub fn artifact_heap_bytes(&self) -> usize {
-        self.sessions.values().map(Verifier::artifact_heap_bytes).sum()
+        self.read()
+            .values()
+            .map(|s| lock_session(s).artifact_heap_bytes())
+            .sum()
     }
 
     /// Total artifact builds across sessions (spec + run graph).
     pub fn total_builds(&self) -> usize {
-        self.sessions
+        self.read()
             .values()
-            .map(|s| s.spec_builds() + s.run_graph_builds())
+            .map(|s| {
+                let s = lock_session(s);
+                s.spec_builds() + s.run_graph_builds()
+            })
             .sum()
     }
 
     /// Total artifact *re*builds across sessions — builds forced by an
     /// eviction.
     pub fn total_rebuilds(&self) -> usize {
-        self.sessions
+        self.read()
             .values()
-            .map(|s| s.spec_rebuilds() + s.run_graph_rebuilds())
+            .map(|s| {
+                let s = lock_session(s);
+                s.spec_rebuilds() + s.run_graph_rebuilds()
+            })
             .sum()
     }
 }
@@ -122,12 +164,12 @@ mod tests {
 
     #[test]
     fn sessions_are_created_lazily_and_keyed_by_size() {
-        let mut registry = SessionRegistry::new(1, 1_000_000);
+        let registry = SessionRegistry::new(1, 1_000_000);
         assert!(registry.is_empty());
         let spec21 = QuerySpec::parse("dstm+aggressive:of:2:1").unwrap();
         let spec22 = QuerySpec::parse("sequential:op:2:2").unwrap();
-        assert!(run_query(registry.session(2, 1), &spec21).holds());
-        assert!(run_query(registry.session(2, 2), &spec22).holds());
+        assert!(run_query(&mut lock_session(&registry.session(2, 1)), &spec21).holds());
+        assert!(run_query(&mut lock_session(&registry.session(2, 2)), &spec22).holds());
         assert_eq!(registry.len(), 2);
         assert_eq!(registry.instance_sizes(), vec![(2, 1), (2, 2)]);
         assert_eq!(registry.total_builds(), 2);
@@ -136,15 +178,31 @@ mod tests {
 
     #[test]
     fn sessions_share_the_registry_pool() {
-        let mut registry = SessionRegistry::new(4, 1_000_000);
+        let registry = SessionRegistry::new(4, 1_000_000);
         let spec = QuerySpec {
             property: crate::PropertyKind::Liveness(LivenessProperty::WaitFreedom),
             ..QuerySpec::parse("2PL:of:2:1").unwrap()
         };
-        let verdict = run_query(registry.session(2, 1), &spec);
+        let verdict = run_query(&mut lock_session(&registry.session(2, 1)), &spec);
         // The query ran at the shared pool's width without the session
         // spawning its own pool.
         assert_eq!(verdict.stats.pool_size, 4);
-        assert_eq!(registry.session(2, 1).configured_pool_size(), 4);
+        assert_eq!(lock_session(&registry.session(2, 1)).configured_pool_size(), 4);
+    }
+
+    #[test]
+    fn the_same_arc_is_handed_to_concurrent_resolvers() {
+        let registry = Arc::new(SessionRegistry::new(1, 1_000_000));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let registry = Arc::clone(&registry);
+                std::thread::spawn(move || registry.session(2, 1))
+            })
+            .collect();
+        let sessions: Vec<SharedSession> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(registry.len(), 1, "one session for one instance size");
+        for pair in sessions.windows(2) {
+            assert!(Arc::ptr_eq(&pair[0], &pair[1]));
+        }
     }
 }

@@ -3,14 +3,27 @@
 //! bin) is a thin wire adapter over this type; everything observable —
 //! verdicts, scheduling, eviction, statistics — lives here and is
 //! testable without a socket.
+//!
+//! The whole API is `&self`: a `Service` is shared across connection
+//! threads as a plain `Arc`, and concurrent `submit` calls overlap.
+//! Internally the lock hierarchy is **registry → session → budget
+//! ledger** (see `registry.rs` and `budget.rs`): the registry lock only
+//! resolves sessions, each `(n, k)` session has its own mutex (so
+//! batches on different instance sizes run concurrently while queries
+//! on one session serialize — which also makes artifact builds
+//! single-flight per key), and the budget ledger pins in-flight
+//! artifacts so a concurrent batch can never evict an artifact
+//! mid-query. The statistics counters are atomics, so [`Service::stats`]
+//! never waits on a running query.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use tm_automata::{fault, EngineError};
 use tm_checker::{Verdict, VerdictOutcome};
 
-use crate::budget::{ArtifactKey, ArtifactKind, MemoryBudget};
-use crate::registry::SessionRegistry;
+use crate::budget::{ArtifactKey, ArtifactKind, SharedBudget};
+use crate::registry::{lock_session, SessionRegistry};
 use crate::roster::{run_query, QuerySpec};
 use crate::scheduler::execution_order;
 
@@ -287,19 +300,66 @@ pub struct ServiceStats {
     pub sessions: usize,
     /// Shared worker-pool size.
     pub pool_size: usize,
-    /// Wall-clock nanoseconds spent inside `submit`.
+    /// Wall-clock nanoseconds spent inside `submit`, summed across
+    /// batches — concurrent batches each contribute their full elapsed
+    /// time, so this can exceed real wall clock.
     pub busy_ns: u64,
 }
 
-/// The verification service: a [`SessionRegistry`] under a
-/// [`MemoryBudget`], fed by the batch scheduler.
+/// Unpins (and on the reserved path refunds) an admitted query's budget
+/// charge unless defused by a settle — the RAII backstop that keeps a
+/// panicking query (injected or otherwise) from leaking a pin and
+/// permanently shielding its artifact from eviction.
+struct PinGuard<'a> {
+    budget: &'a SharedBudget,
+    key: &'a ArtifactKey,
+    reserved: bool,
+    armed: bool,
+}
+
+impl<'a> PinGuard<'a> {
+    fn new(budget: &'a SharedBudget, key: &'a ArtifactKey, reserved: bool) -> Self {
+        PinGuard {
+            budget,
+            key,
+            reserved,
+            armed: true,
+        }
+    }
+
+    /// The failed-build settle: unpin + refund the reservation.
+    fn abandon(mut self) {
+        self.armed = false;
+        self.budget.abandon(self.key, self.reserved);
+    }
+
+    /// The successful settle: unpin + charge the actual size. Returns
+    /// the eviction victims the caller must drop.
+    fn settle(mut self, bytes: usize) -> Vec<ArtifactKey> {
+        self.armed = false;
+        self.budget.settle(self.key, bytes)
+    }
+}
+
+impl Drop for PinGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.budget.abandon(self.key, self.reserved);
+        }
+    }
+}
+
+/// The verification service: a [`SessionRegistry`] under a shared
+/// [`crate::MemoryBudget`] ledger, fed by the batch scheduler. The API
+/// is `&self` throughout — share it across threads with an `Arc` and
+/// submit concurrently.
 ///
 /// # Examples
 ///
 /// ```
 /// use tm_service::{QuerySpec, Service, ServiceConfig};
 ///
-/// let mut service = Service::new(ServiceConfig {
+/// let service = Service::new(ServiceConfig {
 ///     pool_size: 1,
 ///     ..ServiceConfig::default()
 /// });
@@ -314,15 +374,15 @@ pub struct ServiceStats {
 /// ```
 pub struct Service {
     registry: SessionRegistry,
-    budget: MemoryBudget,
+    budget: SharedBudget,
     batch_deadline: Option<Duration>,
     max_inflight: usize,
-    queries: u64,
-    cache_hits: u64,
-    artifact_builds: u64,
-    artifact_rebuilds: u64,
-    aborted_queries: u64,
-    busy_ns: u64,
+    queries: AtomicU64,
+    cache_hits: AtomicU64,
+    artifact_builds: AtomicU64,
+    artifact_rebuilds: AtomicU64,
+    aborted_queries: AtomicU64,
+    busy_ns: AtomicU64,
 }
 
 impl Service {
@@ -331,15 +391,15 @@ impl Service {
         Service {
             registry: SessionRegistry::new(config.pool_size, config.max_states)
                 .query_deadline(config.query_deadline),
-            budget: MemoryBudget::new(config.mem_budget),
+            budget: SharedBudget::new(config.mem_budget),
             batch_deadline: config.batch_deadline,
             max_inflight: config.max_inflight,
-            queries: 0,
-            cache_hits: 0,
-            artifact_builds: 0,
-            artifact_rebuilds: 0,
-            aborted_queries: 0,
-            busy_ns: 0,
+            queries: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            artifact_builds: AtomicU64::new(0),
+            artifact_rebuilds: AtomicU64::new(0),
+            aborted_queries: AtomicU64::new(0),
+            busy_ns: AtomicU64::new(0),
         }
     }
 
@@ -353,7 +413,9 @@ impl Service {
     /// ([`execution_order`]), runs every query through the registry
     /// sessions under the budget, and returns the results **in request
     /// order**. Runs under the configured batch deadline, if any.
-    pub fn submit(&mut self, batch: &[QuerySpec]) -> Vec<QueryResult> {
+    /// Concurrent `submit` calls overlap: queries on different instance
+    /// sizes run in parallel, queries on the same session serialize.
+    pub fn submit(&self, batch: &[QuerySpec]) -> Vec<QueryResult> {
         self.submit_with_deadline(batch, None)
     }
 
@@ -364,7 +426,7 @@ impl Service {
     /// [`EngineError::Deadline`] results without running; results stay
     /// in request order either way.
     pub fn submit_with_deadline(
-        &mut self,
+        &self,
         batch: &[QuerySpec],
         deadline_ms: Option<u64>,
     ) -> Vec<QueryResult> {
@@ -376,56 +438,54 @@ impl Service {
         let mut results: Vec<Option<QueryResult>> = batch.iter().map(|_| None).collect();
         for idx in execution_order(batch) {
             let spec = &batch[idx];
-            self.queries += 1;
+            self.queries.fetch_add(1, Ordering::Relaxed);
             if deadline.is_some_and(|d| Instant::now() >= d) {
-                self.aborted_queries += 1;
+                self.aborted_queries.fetch_add(1, Ordering::Relaxed);
                 results[idx] = Some(QueryResult::aborted(spec.clone(), EngineError::Deadline));
                 continue;
             }
             let key = spec.artifact_key();
-            let reserved = if self.budget.contains(&key) {
-                self.budget.touch(&key);
-                false
-            } else {
-                // Make room before the (re)build using the artifact's
-                // last known size, so two generations of large artifacts
-                // never coexist on a rebuild. The reservation is charged
-                // provisionally; every early-out below must release it.
-                let evicted = self.budget.reserve(&key);
-                self.evict(&evicted);
-                true
-            };
+            // Admit under the budget: pins `key` for the whole query, so
+            // no concurrent batch can evict the artifact from under us;
+            // on a miss this also pre-evicts at the last known size so
+            // two generations of a large artifact never coexist.
+            let admission = self.budget.admit(&key);
+            let pin = PinGuard::new(&self.budget, &key, admission.reserved);
+            self.perform_evictions(&admission.evicted);
             // Fault site: the artifact (re)build about to happen.
-            if reserved {
+            if admission.reserved {
                 if let Err(error) = fault::fault_point("build") {
-                    self.budget.release(&key);
-                    self.aborted_queries += 1;
+                    pin.abandon();
+                    self.aborted_queries.fetch_add(1, Ordering::Relaxed);
                     results[idx] = Some(QueryResult::aborted(spec.clone(), error));
                     continue;
                 }
             }
             let session = self.registry.session(spec.threads, spec.vars);
-            let verdict = run_query(session, spec);
+            let (verdict, bytes) = {
+                let mut session = lock_session(&session);
+                let verdict = run_query(&mut session, spec);
+                let bytes = match &key.kind {
+                    ArtifactKind::RunGraph(name) => session.run_graph_heap_bytes(name),
+                    ArtifactKind::Spec(property) => session.spec_heap_bytes(*property),
+                }
+                .unwrap_or(0);
+                (verdict, bytes)
+            };
             let aborted = matches!(verdict.outcome, VerdictOutcome::Aborted(_));
-            let bytes = match &key.kind {
-                ArtifactKind::RunGraph(name) => session.run_graph_heap_bytes(name),
-                ArtifactKind::Spec(property) => session.spec_heap_bytes(*property),
-            }
-            .unwrap_or(0);
             if aborted {
-                self.aborted_queries += 1;
+                self.aborted_queries.fetch_add(1, Ordering::Relaxed);
             } else if verdict.stats.artifact_cached {
-                self.cache_hits += 1;
+                self.cache_hits.fetch_add(1, Ordering::Relaxed);
             } else {
-                self.artifact_builds += 1;
+                self.artifact_builds.fetch_add(1, Ordering::Relaxed);
             }
-            self.artifact_rebuilds += verdict.stats.rebuilds as u64;
+            self.artifact_rebuilds
+                .fetch_add(verdict.stats.rebuilds as u64, Ordering::Relaxed);
             // Fault site: the charge settle / eviction after the query.
             if let Err(error) = fault::fault_point("evict") {
-                if reserved {
-                    self.budget.release(&key);
-                }
-                self.aborted_queries += 1;
+                pin.abandon();
+                self.aborted_queries.fetch_add(1, Ordering::Relaxed);
                 results[idx] = Some(QueryResult::aborted(spec.clone(), error));
                 continue;
             }
@@ -433,29 +493,39 @@ impl Service {
                 // The build failed before producing an artifact: settle
                 // the provisional reservation instead of charging a
                 // phantom entry.
-                if reserved {
-                    self.budget.release(&key);
-                }
+                pin.abandon();
             } else {
                 // Charge the artifact's *current* size (lazy spec caches
                 // grow as new TMs touch new rows) and settle back under
                 // budget.
-                let evicted = self.budget.charge(key, bytes);
-                self.evict(&evicted);
+                let evicted = pin.settle(bytes);
+                self.perform_evictions(&evicted);
             }
             results[idx] = Some(QueryResult::from_verdict(spec.clone(), verdict));
         }
-        self.busy_ns += u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.busy_ns.fetch_add(
+            u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            Ordering::Relaxed,
+        );
         results
             .into_iter()
             .map(|r| r.expect("every scheduled query was answered"))
             .collect()
     }
 
-    /// Performs ledger-decided evictions on the owning sessions.
-    fn evict(&mut self, evicted: &[ArtifactKey]) {
+    /// Performs ledger-decided evictions on the owning sessions. The
+    /// decision and the drop are deliberately decoupled: by the time a
+    /// victim's session lock is acquired here, a concurrent query may
+    /// have re-admitted the artifact, so each drop re-checks the ledger
+    /// (holding the session lock, which is what any user of the artifact
+    /// would need) and skips victims that came back to life.
+    fn perform_evictions(&self, evicted: &[ArtifactKey]) {
         for key in evicted {
             let session = self.registry.session(key.threads, key.vars);
+            let mut session = lock_session(&session);
+            if !self.budget.should_drop(key) {
+                continue;
+            }
             match &key.kind {
                 ArtifactKind::RunGraph(name) => {
                     session.drop_run_graph(name);
@@ -467,21 +537,23 @@ impl Service {
         }
     }
 
-    /// Current counters.
+    /// Current counters. Reads atomics and takes only the (short,
+    /// condvar-released) ledger and registry-map locks — never a session
+    /// lock — so it answers immediately while long batches run.
     pub fn stats(&self) -> ServiceStats {
         ServiceStats {
-            queries: self.queries,
-            cache_hits: self.cache_hits,
-            artifact_builds: self.artifact_builds,
-            artifact_rebuilds: self.artifact_rebuilds,
-            aborted_queries: self.aborted_queries,
+            queries: self.queries.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            artifact_builds: self.artifact_builds.load(Ordering::Relaxed),
+            artifact_rebuilds: self.artifact_rebuilds.load(Ordering::Relaxed),
+            aborted_queries: self.aborted_queries.load(Ordering::Relaxed),
             evictions: self.budget.evictions(),
             tracked_bytes: self.budget.tracked_bytes(),
             peak_tracked_bytes: self.budget.peak_bytes(),
             mem_budget: self.budget.limit(),
             sessions: self.registry.len(),
             pool_size: self.registry.pool_size(),
-            busy_ns: self.busy_ns,
+            busy_ns: self.busy_ns.load(Ordering::Relaxed),
         }
     }
 
@@ -506,7 +578,7 @@ mod tests {
 
     #[test]
     fn a_batch_builds_each_artifact_once() {
-        let mut service = Service::new(sequential_config(None));
+        let service = Service::new(sequential_config(None));
         let mut batch = table3_batch();
         batch.extend(table2_batch());
         let results = service.submit(&batch);

@@ -53,15 +53,16 @@ fn injected_faults_retry_to_bit_identical_answers() {
     let batch = mixed_batch();
     for pool in [1, 4] {
         clear_fault();
-        let mut baseline_service = Service::new(config(pool));
+        let baseline_service = Service::new(config(pool));
         let baseline = fingerprint(&baseline_service.submit(&batch));
 
         for site in ["build", "evict", "dispatch"] {
-            let mut service = Service::new(config(pool));
+            let service = Service::new(config(pool));
             install_fault(FaultPlan {
                 site: site.to_owned(),
                 nth: 1,
                 delay_ms: 0,
+                panic: false,
             });
             let first = service.submit(&batch);
             clear_fault();
@@ -107,7 +108,7 @@ fn injected_faults_retry_to_bit_identical_answers() {
 #[test]
 fn a_batch_deadline_sheds_the_tail_and_recovers() {
     let batch = mixed_batch();
-    let mut service = Service::new(ServiceConfig {
+    let service = Service::new(ServiceConfig {
         pool_size: 1,
         ..ServiceConfig::default()
     });

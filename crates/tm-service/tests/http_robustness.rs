@@ -5,7 +5,7 @@
 
 use std::io::{Read as _, Write as _};
 use std::net::{TcpListener, TcpStream};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 use tm_service::wire::{decode_results, encode_batch_request};
 use tm_service::{
@@ -16,7 +16,7 @@ use tm_service::{
 fn spawn_server(config: ServiceConfig) -> (String, std::thread::JoinHandle<std::io::Result<u64>>) {
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
     let addr = listener.local_addr().expect("local addr").to_string();
-    let service = Arc::new(Mutex::new(Service::new(config)));
+    let service = Arc::new(Service::new(config));
     let server = std::thread::spawn(move || serve(listener, service));
     (addr, server)
 }

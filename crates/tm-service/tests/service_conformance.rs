@@ -7,7 +7,7 @@
 //! never exceeding the budget.
 
 use std::net::TcpListener;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 use tm_checker::{Verifier, VerdictOutcome};
 use tm_service::wire::{decode_results, encode_batch};
@@ -103,7 +103,7 @@ fn verdict_fields(results: &[QueryResult]) -> Vec<(String, bool, usize, QueryOut
 fn in_process_service_matches_one_shot_sessions() {
     let batch = paper_batch();
     for pool_size in [1, 4] {
-        let mut service = Service::new(config(pool_size, None));
+        let service = Service::new(config(pool_size, None));
         let results = service.submit(&batch);
         assert_eq!(results.len(), batch.len());
         for (result, spec) in results.iter().zip(&batch) {
@@ -123,7 +123,7 @@ fn in_process_service_matches_one_shot_sessions() {
 fn tight_budget_stays_under_peak_and_answers_bit_identically() {
     let batch = paper_batch();
     // Ground truth and artifact sizes from an unbounded service.
-    let mut unbounded = Service::new(config(1, None));
+    let unbounded = Service::new(config(1, None));
     let reference = unbounded.submit(&batch);
     let ledger = unbounded.ledger();
     let total: usize = ledger.iter().map(|(_, bytes)| bytes).sum();
@@ -135,7 +135,7 @@ fn tight_budget_stays_under_peak_and_answers_bit_identically() {
     // any single artifact (the budget's documented requirement).
     let budget = largest + (total - largest) / 4;
     assert!(budget < total);
-    let mut service = Service::new(config(1, Some(budget)));
+    let service = Service::new(config(1, Some(budget)));
     let first = service.submit(&batch);
     assert_eq!(verdict_fields(&first), verdict_fields(&reference));
     let stats = service.stats();
@@ -170,7 +170,7 @@ fn http_endpoint_matches_the_in_process_service() {
 
         let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
         let addr = listener.local_addr().expect("local addr").to_string();
-        let service = Arc::new(Mutex::new(Service::new(config(pool_size, None))));
+        let service = Arc::new(Service::new(config(pool_size, None)));
         let server = std::thread::spawn(move || serve(listener, service));
 
         let (status, body) = http_request(&addr, "GET", "/healthz", None).expect("healthz");
