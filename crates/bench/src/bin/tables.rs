@@ -58,7 +58,8 @@ fn main() {
             let baseline = bench_inclusion_baseline();
             let scaling = bench_otf_scaling();
             let pool_vs_scoped = bench_pool_vs_scoped();
-            write_bench_json(&baseline, &scaling, &pool_vs_scoped);
+            let phases = bench_safety_phases();
+            write_bench_json(&baseline, &scaling, &pool_vs_scoped, &phases);
         }
     }
 
@@ -78,14 +79,15 @@ fn main() {
         println!("smoke mode: A/B benches and BENCH json regeneration skipped");
         return;
     }
-    let (liveness_cases, liveness_speedup) = bench_liveness_baseline(&mut session21);
+    let (liveness_cases, liveness_speedup, liveness_phases) =
+        bench_liveness_baseline(&mut session21);
     assert_eq!(
         session21.run_graph_builds(),
         12,
         "the (2,1) session must build each roster run graph exactly once"
     );
     let session_rows = bench_liveness_session(&[(3, 1), (2, 2), (3, 2)]);
-    write_liveness_json(&liveness_cases, liveness_speedup, &session_rows);
+    write_liveness_json(&liveness_cases, liveness_speedup, &session_rows, &liveness_phases);
     if !liveness_only {
         bench_service();
     }
@@ -545,13 +547,52 @@ fn host_cpus() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
+/// Nonzero engine-phase totals (`QueryStats::phase_ns`) as a JSON
+/// object fragment, keyed by `tm_obs::Phase` name.
+fn phase_json(phase_ns: &tm_obs::PhaseNanos) -> String {
+    let entries: Vec<String> = tm_obs::Phase::ALL
+        .into_iter()
+        .filter(|&p| phase_ns[p as usize] > 0)
+        .map(|p| format!("\"{}\": {}", p.name(), phase_ns[p as usize]))
+        .collect();
+    format!("{{{}}}", entries.join(", "))
+}
+
+/// Per-query engine-phase breakdown of the Table 2 safety roster at
+/// (2, 2) — where each query spends its time (spec interning, BFS
+/// levels, dedup merges, pool dispatch vs queue wait), from
+/// `QueryStats::phase_ns` through a fresh session. The `phases` section
+/// of `BENCH_inclusion.json`.
+fn bench_safety_phases() -> Vec<String> {
+    let mut rows = Vec::new();
+    let mut verifier = Verifier::new(2, 2).max_states(MAX_STATES);
+    let cases = table2_cases();
+    let roster = table2_roster();
+    for property in SafetyProperty::all() {
+        for (case, (name, _, _)) in cases.iter().zip(&roster) {
+            let verdict = case.check_session(&mut verifier, property);
+            rows.push(format!(
+                "    {{\"tm\": \"{}\", \"property\": \"{}\", \"cached_spec\": {}, \
+                 \"phase_ns\": {}}}",
+                name,
+                property.short_name(),
+                verdict.stats.artifact_cached,
+                phase_json(&verdict.stats.phase_ns)
+            ));
+        }
+    }
+    rows
+}
+
 /// The (2, 1) liveness A/B, restructured around the session: the seed
 /// reference checker (one-shot: explore + cloned filtered subgraphs) vs
 /// a query against the session's cached compiled run graph (search only;
 /// the one-time graph build is recorded per TM alongside). The rows
-/// become the `cases` section of `BENCH_liveness.json`.
-fn bench_liveness_baseline(verifier: &mut Verifier) -> (Vec<String>, f64) {
+/// become the `cases` section of `BENCH_liveness.json`; the per-query
+/// phase breakdowns (`QueryStats::phase_ns`) its `phases` section.
+fn bench_liveness_baseline(verifier: &mut Verifier) -> (Vec<String>, f64, Vec<String>) {
     let mut cases = Vec::new();
+    let mut phases = Vec::new();
     let mut table = Table::new(
         "Liveness A/B — seed one-shot (cloned subgraphs) vs session query (cached CSR), (2,1), best of 3",
         ["TM", "property", "verdict", "states", "reference", "session", "graph build", "speedup"],
@@ -605,6 +646,12 @@ fn bench_liveness_baseline(verifier: &mut Verifier) -> (Vec<String>, f64) {
                 build.as_nanos(),
                 speedup,
             ));
+            phases.push(format!(
+                "    {{\"tm\": \"{}\", \"property\": \"{}\", \"phase_ns\": {}}}",
+                case.name,
+                liveness_property_tag(property),
+                phase_json(&verdict.stats.phase_ns)
+            ));
         }
     }
     println!("{table}");
@@ -613,7 +660,7 @@ fn bench_liveness_baseline(verifier: &mut Verifier) -> (Vec<String>, f64) {
     let session_total = total_session + total_builds;
     let overall = total_reference.as_secs_f64() / session_total.as_secs_f64();
     println!("overall (2,1) session speedup (builds amortized): {overall:.2}x\n");
-    (cases, overall)
+    (cases, overall, phases)
 }
 
 /// The build-once-answer-three section: the full TM × manager roster at
@@ -804,6 +851,24 @@ fn bench_service() {
     }
     println!("{table}");
 
+    // Instrumentation overhead: the same warm roster (unbounded budget,
+    // every artifact cached) with phase timers and metric updates
+    // enabled vs `TM_OBS=off` — the documented "near-free when
+    // disabled, cheap when enabled" contract (target: ≤ 5% on-vs-off).
+    let obs_service = Service::new(config(None));
+    let _ = obs_service.submit(&batch);
+    tm_obs::set_obs_enabled(true);
+    let obs_on = best_of(5, || obs_service.submit(&batch));
+    tm_obs::set_obs_enabled(false);
+    let obs_off = best_of(5, || obs_service.submit(&batch));
+    tm_obs::set_obs_enabled(true);
+    let obs_overhead = obs_on.as_secs_f64() / obs_off.as_secs_f64() - 1.0;
+    println!(
+        "Instrumentation — warm roster best of 5: obs on {obs_on:.2?}, off {obs_off:.2?} \
+         ({:+.1}% overhead, target ≤ 5%)\n",
+        obs_overhead * 100.0
+    );
+
     // Concurrency: the same fixed amount of warm work — 8 batch
     // submissions of the roster — pushed through one shared service by
     // 1 vs 4 in-flight submitters (the `&self` API: no global service
@@ -870,14 +935,22 @@ fn bench_service() {
          submitter threads\",\n  \
          \"host_cpus\": {},\n  \"pool_size\": {},\n  \"queries_per_batch\": {},\n  \
          \"artifact_total_bytes\": {},\n  \"largest_artifact_bytes\": {},\n  \
-         \"budgets\": [\n{}\n  ],\n  \"concurrency\": [\n{}\n  ]\n}}\n",
+         \"budgets\": [\n{}\n  ],\n  \"concurrency\": [\n{}\n  ],\n  \
+         \"instrumentation_unit\": \"best-of-5 warm roster through an unbounded-budget \
+         service with tm-obs phase timers enabled (default) vs TM_OBS=off; \
+         overhead_ratio = on/off - 1, target <= 0.05\",\n  \
+         \"instrumentation\": {{\"obs_on_warm_ns\": {}, \"obs_off_warm_ns\": {}, \
+         \"overhead_ratio\": {:.4}}}\n}}\n",
         host_cpus(),
         pool,
         batch.len(),
         total,
         largest,
         rows.join(",\n"),
-        conc_rows.join(",\n")
+        conc_rows.join(",\n"),
+        obs_on.as_nanos(),
+        obs_off.as_nanos(),
+        obs_overhead
     );
     match std::fs::write("BENCH_service.json", &json) {
         Ok(()) => println!("wrote BENCH_service.json"),
@@ -887,8 +960,14 @@ fn bench_service() {
 
 /// Writes `BENCH_liveness.json`: the (2,1) session-vs-reference baseline
 /// (with the aggregate speedup over the full roster) plus the
-/// build-once-answer-three session rows.
-fn write_liveness_json(cases: &[String], overall_speedup: f64, session: &[String]) {
+/// build-once-answer-three session rows and the per-query phase
+/// breakdowns.
+fn write_liveness_json(
+    cases: &[String],
+    overall_speedup: f64,
+    session: &[String],
+    phases: &[String],
+) {
     let json = format!(
         "{{\n  \"benchmark\": \"liveness-session-vs-reference\",\n  \
          \"instance\": {{\"threads\": 2, \"vars\": 1}},\n  \
@@ -899,11 +978,17 @@ fn write_liveness_json(cases: &[String], overall_speedup: f64, session: &[String
          \"session_unit\": \"build once, answer OF+LF+WF: single-run wall clock per \
          property search on pool_threads workers; oneshot_est_ns = 3*graph_build_ns + \
          searches (what three one-shot checks would pay)\",\n  \
-         \"session\": [\n{}\n  ]\n}}\n",
+         \"session\": [\n{}\n  ],\n  \
+         \"phases_unit\": \"tm-obs engine-phase totals (QueryStats::phase_ns, \
+         nanoseconds, nonzero only) of the final measured run of each (2,1) query; \
+         phases nest (run_graph_build contains its pool phases), so they do not sum to \
+         wall time\",\n  \
+         \"phases\": [\n{}\n  ]\n}}\n",
         host_cpus(),
         overall_speedup,
         cases.join(",\n"),
-        session.join(",\n")
+        session.join(",\n"),
+        phases.join(",\n")
     );
     match std::fs::write("BENCH_liveness.json", &json) {
         Ok(()) => println!("wrote BENCH_liveness.json"),
@@ -912,8 +997,14 @@ fn write_liveness_json(cases: &[String], overall_speedup: f64, session: &[String
 }
 
 /// Writes `BENCH_inclusion.json`: the (2,2) seed-vs-compiled baseline,
-/// the on-the-fly scaling rows, and the pool-vs-scoped dispatch A/B.
-fn write_bench_json(cases: &[String], scaling: &[String], pool_vs_scoped: &[String]) {
+/// the on-the-fly scaling rows, the pool-vs-scoped dispatch A/B, and
+/// the per-query phase breakdowns.
+fn write_bench_json(
+    cases: &[String],
+    scaling: &[String],
+    pool_vs_scoped: &[String],
+    phases: &[String],
+) {
     let json = format!(
         "{{\n  \"benchmark\": \"inclusion-seed-vs-compiled\",\n  \
          \"instance\": {{\"threads\": 2, \"vars\": 2}},\n  \
@@ -925,11 +1016,17 @@ fn write_bench_json(cases: &[String], scaling: &[String], pool_vs_scoped: &[Stri
          identical work: scoped = fresh thread::scope per BFS-level region (pre-session \
          behavior), pool = persistent WorkerPool; on a single-cpu host this measures \
          dispatch overhead, not speedup\",\n  \
-         \"pool_vs_scoped\": [\n{}\n  ]\n}}\n",
+         \"pool_vs_scoped\": [\n{}\n  ],\n  \
+         \"phases_unit\": \"tm-obs engine-phase totals (QueryStats::phase_ns, \
+         nanoseconds, nonzero only) per Table 2 query through a fresh (2,2) session; \
+         cached_spec = false on each property's first query (which pays spec_intern); \
+         phases nest, so they do not sum to wall time\",\n  \
+         \"phases\": [\n{}\n  ]\n}}\n",
         cases.join(",\n"),
         host_cpus(),
         scaling.join(",\n"),
-        pool_vs_scoped.join(",\n")
+        pool_vs_scoped.join(",\n"),
+        phases.join(",\n")
     );
     match std::fs::write("BENCH_inclusion.json", &json) {
         Ok(()) => println!("wrote BENCH_inclusion.json"),

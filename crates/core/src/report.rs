@@ -39,6 +39,19 @@ pub struct QueryStats {
     /// first-time builds; what a memory-budgeted service reports as its
     /// eviction cost.
     pub rebuilds: usize,
+    /// Nanoseconds per engine/service phase, indexed by
+    /// [`tm_obs::Phase`]` as usize` — the phase breakdown of this query.
+    /// All zeros when instrumentation is disabled (`TM_OBS=off`). Phases
+    /// nest (a BFS level contains its pool dispatches and spec-row
+    /// interning), so the entries do not sum to wall time.
+    pub phase_ns: tm_obs::PhaseNanos,
+}
+
+impl QueryStats {
+    /// Nanoseconds recorded for one phase.
+    pub fn phase(&self, phase: tm_obs::Phase) -> u64 {
+        self.phase_ns[phase as usize]
+    }
 }
 
 /// The outcome payload of a [`Verdict`]: the query-specific verdict types

@@ -449,7 +449,7 @@ impl Verifier {
     {
         assert_eq!(tm.threads(), self.threads, "thread count mismatch");
         assert_eq!(tm.vars(), self.vars, "variable count mismatch");
-        self.safety_query(tm, property)
+        capture_phases(|| self.safety_query(tm, property))
     }
 
     /// The safety pipeline, parameterized over the TM's own size so the
@@ -505,6 +505,7 @@ impl Verifier {
                                     pool_size: 1,
                                     artifact_cached: cached,
                                     rebuilds,
+                                    ..QueryStats::default()
                                 },
                             );
                         }
@@ -529,6 +530,7 @@ impl Verifier {
                         pool_size: 1, // the lazy spec path is sequential
                         artifact_cached: cached,
                         rebuilds,
+                        ..QueryStats::default()
                     },
                 }
             }
@@ -549,6 +551,7 @@ impl Verifier {
                                     pool_size: 1,
                                     artifact_cached: false,
                                     rebuilds: 0,
+                                    ..QueryStats::default()
                                 },
                             );
                         }
@@ -589,6 +592,7 @@ impl Verifier {
                                 pool_size,
                                 artifact_cached: cached,
                                 rebuilds,
+                                ..QueryStats::default()
                             },
                         );
                     }
@@ -613,6 +617,7 @@ impl Verifier {
                         pool_size,
                         artifact_cached: cached,
                         rebuilds,
+                        ..QueryStats::default()
                     },
                 }
             }
@@ -655,6 +660,16 @@ impl Verifier {
     ) -> Verdict {
         assert_eq!(tm.threads(), self.threads, "thread count mismatch");
         assert_eq!(tm.vars(), self.vars, "variable count mismatch");
+        capture_phases(|| self.liveness_query(tm, property))
+    }
+
+    /// The liveness pipeline behind [`Verifier::check_liveness`] (split
+    /// out so the phase capture brackets exactly one query).
+    fn liveness_query<A: TmAlgorithm>(
+        &mut self,
+        tm: &A,
+        property: LivenessProperty,
+    ) -> Verdict {
         let total = Instant::now();
         let budget = self.query_budget();
         let key = tm.name();
@@ -675,6 +690,7 @@ impl Verifier {
                             pool_size: 1,
                             artifact_cached: false,
                             rebuilds: 0,
+                            ..QueryStats::default()
                         },
                     );
                 }
@@ -712,6 +728,7 @@ impl Verifier {
                         pool_size: executor.threads(),
                         artifact_cached: cached,
                         rebuilds,
+                        ..QueryStats::default()
                     },
                 );
             }
@@ -733,6 +750,7 @@ impl Verifier {
                 pool_size: executor.threads(),
                 artifact_cached: cached,
                 rebuilds,
+                ..QueryStats::default()
             },
         }
     }
@@ -750,6 +768,24 @@ impl Verifier {
     /// deadline, cancellation), the whole run returns that
     /// [`VerdictOutcome::Aborted`] with the stats accumulated so far.
     pub fn verify_with_reduction<A, F>(
+        &mut self,
+        make: F,
+        property: SafetyProperty,
+        structural_depth: usize,
+        spot_sizes: &[(usize, usize)],
+    ) -> Verdict
+    where
+        A: TmAlgorithm + Sync,
+        A::State: Send + Sync,
+        F: Fn(usize, usize) -> A,
+    {
+        capture_phases(|| self.reduction_query(make, property, structural_depth, spot_sizes))
+    }
+
+    /// The reduction pipeline behind [`Verifier::verify_with_reduction`]
+    /// (split out so the phase capture brackets the whole methodology
+    /// run, spot checks included).
+    fn reduction_query<A, F>(
         &mut self,
         make: F,
         property: SafetyProperty,
@@ -797,6 +833,7 @@ impl Verifier {
                         pool_size,
                         artifact_cached: all_cached,
                         rebuilds,
+                        ..QueryStats::default()
                     },
                 );
             }
@@ -817,7 +854,35 @@ impl Verifier {
                 pool_size,
                 artifact_cached: all_cached,
                 rebuilds,
+                ..QueryStats::default()
             },
+        }
+    }
+}
+
+/// Attaches the engine-phase breakdown to a query's stats
+/// ([`QueryStats::phase_ns`]). Under an already-installed recorder (the
+/// service's per-query one) the query is bracketed by two phase-total
+/// snapshots, so its share still flows to the outer recorder; otherwise a
+/// fresh recorder is installed for the query's duration. Free when
+/// instrumentation is disabled (`TM_OBS=off`): the stats stay all-zero.
+fn capture_phases(f: impl FnOnce() -> Verdict) -> Verdict {
+    match tm_obs::phase_totals() {
+        Some(before) => {
+            let mut verdict = f();
+            if let Some(after) = tm_obs::phase_totals() {
+                for ((slot, a), b) in verdict.stats.phase_ns.iter_mut().zip(after).zip(before) {
+                    *slot = a.saturating_sub(b);
+                }
+            }
+            verdict
+        }
+        None => {
+            let (mut verdict, record) = tm_obs::ensure_recorder(f);
+            if let Some(record) = record {
+                verdict.stats.phase_ns = record.phase_ns;
+            }
+            verdict
         }
     }
 }

@@ -37,6 +37,8 @@
 use std::hash::Hash;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+use tm_obs::{Phase, PhaseTimer};
+
 use crate::budget::{EngineError, QueryBudget};
 use crate::fxhash::FxHashMap;
 use crate::pool::Executor;
@@ -282,6 +284,7 @@ impl<L: Clone + Eq + Hash> CompiledRunGraph<L> {
         source: &S,
         budget: &QueryBudget,
     ) -> Result<(Self, Vec<S::State>), EngineError> {
+        let mut span = PhaseTimer::start(Phase::RunGraphBuild);
         let mut label_ids: FxHashMap<L, u32> = FxHashMap::default();
         let mut labels: Vec<L> = Vec::new();
         let mut label_masks: Vec<EdgeMask> = Vec::new();
@@ -341,6 +344,7 @@ impl<L: Clone + Eq + Hash> CompiledRunGraph<L> {
         }
         // Rows exist for exactly the discovered states.
         debug_assert_eq!(row_start.len(), states.len() + 1);
+        span.set_value(states.len() as u64);
         Ok((
             CompiledRunGraph {
                 labels,
@@ -437,6 +441,7 @@ impl<L> CompiledRunGraph<L> {
         scratch: &mut LiveScratch,
         budget: &QueryBudget,
     ) -> Result<(), EngineError> {
+        let _span = PhaseTimer::start(Phase::SccSearch).with_value(self.num_states() as u64);
         let n = self.num_states();
         scratch.index.clear();
         scratch.index.resize(n, UNVISITED);
@@ -725,6 +730,7 @@ impl<L: Clone> CompiledRunGraph<L> {
         scratch: &mut LiveScratch,
         required: &[u32],
     ) -> Option<CompiledLasso<L>> {
+        let _span = PhaseTimer::start(Phase::LassoExtract);
         let (&first, rest) = required.split_first()?;
         let comp = scratch.component[self.edge_from[first as usize] as usize];
         // All endpoints must share the SCC (guaranteed by the callers;

@@ -35,6 +35,9 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
+
+use tm_obs::{Phase, PhaseTimer};
 
 use crate::budget::EngineError;
 use crate::fault;
@@ -172,7 +175,14 @@ impl WorkerPool {
                 .lock()
                 .unwrap_or_else(|poisoned| poisoned.into_inner()) += 1;
             let batch = Arc::clone(&state);
+            // Queue-wait probe: stamped at enqueue, observed by the worker
+            // that dequeues the job. Workers have no per-query recorder,
+            // so the span lands in the global histogram only.
+            let enqueued = tm_obs::obs_enabled().then(Instant::now);
             let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+                if let Some(enqueued) = enqueued {
+                    tm_obs::record_phase(Phase::PoolQueueWait, enqueued.elapsed(), 0);
+                }
                 if catch_unwind(AssertUnwindSafe(task)).is_err() {
                     batch.panicked.store(true, Ordering::Relaxed);
                 }
@@ -334,6 +344,9 @@ impl Executor<'_> {
             return Ok(result);
         }
         fault::fault_point("dispatch")?;
+        // Submit + drain of the whole region, as seen by the coordinating
+        // thread (covers the inline run under `Sequential` too).
+        let _span = PhaseTimer::start(Phase::PoolDispatch).with_value(tasks.len() as u64);
         match self {
             Executor::Sequential => {
                 // Run every task (matching the parallel executors, which

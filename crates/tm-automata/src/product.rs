@@ -46,6 +46,9 @@
 
 use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+use tm_obs::{Histogram, Phase, PhaseTimer, Unit};
 
 use crate::alphabet::{Alphabet, LetterId};
 use crate::budget::{EngineError, QueryBudget};
@@ -559,6 +562,9 @@ impl<D: SpecSource> SpecAccess for &mut SpecCache<D> {
         budget: &QueryBudget,
     ) -> Result<u32, EngineError> {
         if self.rows[state as usize].is_none() {
+            // Spans cover only the miss path (one per row ever built), so
+            // the hot cache-hit lookup stays untimed.
+            let _span = PhaseTimer::start(Phase::SpecIntern).with_value(1);
             let generated: Vec<Option<D::State>> = (0..self.source.num_letters())
                 .map(|l| self.source.step(&self.states[state as usize], l))
                 .collect();
@@ -577,6 +583,25 @@ impl<D: SpecSource> SpecAccess for &mut SpecCache<D> {
 
 /// Root marker in parent arrays.
 const ROOT: u32 = u32::MAX;
+
+/// Observes one BFS level's frontier size into the global
+/// `tm_frontier_states` histogram (recorded per level by both engines).
+fn observe_frontier(size: usize) {
+    if !tm_obs::obs_enabled() {
+        return;
+    }
+    static FRONTIER: OnceLock<Histogram> = OnceLock::new();
+    FRONTIER
+        .get_or_init(|| {
+            tm_obs::global_histogram(
+                "tm_frontier_states",
+                "Frontier size entering each BFS level of the product engine",
+                &[],
+                Unit::None,
+            )
+        })
+        .observe(size as u64);
+}
 
 /// Packs a product pair into the visited-set key.
 #[inline]
@@ -676,10 +701,17 @@ fn sequential_bounded<S: SuccessorSource, P: SpecAccess>(
     let mut head = 0usize;
     let mut depth_mark = queue.len();
     let mut levels = 0usize;
+    observe_frontier(depth_mark);
+    let mut level_span = PhaseTimer::start(Phase::BfsLevel).with_value(depth_mark as u64);
     while head < queue.len() {
         if head == depth_mark {
             levels += 1;
             depth_mark = queue.len();
+            // Close the finished level's span and open the next one.
+            let frontier = depth_mark - head;
+            observe_frontier(frontier);
+            level_span.stop();
+            level_span = PhaseTimer::start(Phase::BfsLevel).with_value(frontier as u64);
             budget.check_interrupt()?;
         } else if head.is_multiple_of(INTERRUPT_STRIDE) {
             // Wide levels still poll the deadline at a bounded stride.
@@ -724,6 +756,7 @@ fn sequential_bounded<S: SuccessorSource, P: SpecAccess>(
         }
         head += 1;
     }
+    level_span.stop();
     Ok((
         InclusionResult::Included {
             product_states: queue.len(),
@@ -858,6 +891,8 @@ fn parallel<S: SuccessorSource, M: Sync>(
         // one budget poll per level bounds abort latency by the cost of a
         // single level expansion.
         budget.check_interrupt()?;
+        observe_frontier(frontier.len());
+        let level_span = PhaseTimer::start(Phase::BfsLevel).with_value(frontier.len() as u64);
 
         // Phase 1: generate successor rows for first-touched states, in
         // frontier order (sharded; interned sequentially for determinism).
@@ -867,6 +902,7 @@ fn parallel<S: SuccessorSource, M: Sync>(
         // buffers against the read-only visited table. Pure integers.
         let mut chunk_outs =
             expand_frontier(&ex, spec, spec_letters, &visited, &frontier, executor)?;
+        level_span.stop();
 
         // A violation anywhere in this level beats all deeper ones; the
         // minimal tag reproduces the sequential engine's word.
@@ -890,7 +926,10 @@ fn parallel<S: SuccessorSource, M: Sync>(
 
         // Phase 3: dedup merge, stripe-parallel, candidates consumed in
         // tag order (chunk ranges are ascending, buffers are in-order).
+        let mut merge_span = PhaseTimer::start(Phase::DedupMerge);
         let nodes = merge_level(&mut visited, &mut chunk_outs, executor)?;
+        merge_span.set_value(nodes.len() as u64);
+        merge_span.stop();
 
         frontier.clear();
         let mut level_parents = Vec::with_capacity(nodes.len());

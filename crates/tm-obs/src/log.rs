@@ -1,0 +1,199 @@
+//! Structured JSON log lines to stderr, gated by `TM_LOG=json|off`
+//! (default off), plus the `TM_SLOW_QUERY_MS` slow-query threshold.
+//!
+//! Each line is a single flat JSON object written with one `write_all`
+//! on a locked stderr handle, so concurrent serving threads never
+//! interleave bytes. A `ts_ms` Unix-epoch-millisecond timestamp and the
+//! `event` discriminator come first; callers append their own fields
+//! (request id, query, duration, outcome).
+
+use std::io::Write;
+use std::sync::atomic::{AtomicI64, AtomicU8, Ordering};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Environment variable selecting the log mode: `TM_LOG=json` turns
+/// structured logging on, anything else (or unset) keeps it off.
+pub const LOG_ENV: &str = "TM_LOG";
+
+/// Environment variable holding the slow-query threshold in
+/// milliseconds; unset or `0` disables the slow-query log.
+pub const SLOW_QUERY_ENV: &str = "TM_SLOW_QUERY_MS";
+
+/// Whether structured log lines are emitted.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LogMode {
+    /// No log lines.
+    Off,
+    /// One JSON object per line on stderr.
+    Json,
+}
+
+// 0 = unread, 1 = off, 2 = json.
+static LOG_STATE: AtomicU8 = AtomicU8::new(0);
+
+/// The active log mode (first call reads `TM_LOG`; afterwards one
+/// relaxed atomic load).
+pub fn log_mode() -> LogMode {
+    match LOG_STATE.load(Ordering::Relaxed) {
+        1 => LogMode::Off,
+        2 => LogMode::Json,
+        _ => {
+            let mode = match std::env::var(LOG_ENV).as_deref() {
+                Ok("json") => LogMode::Json,
+                _ => LogMode::Off,
+            };
+            set_log_mode(mode);
+            mode
+        }
+    }
+}
+
+/// Overrides the log mode (tests).
+pub fn set_log_mode(mode: LogMode) {
+    LOG_STATE.store(
+        match mode {
+            LogMode::Off => 1,
+            LogMode::Json => 2,
+        },
+        Ordering::Relaxed,
+    );
+}
+
+// -1 = unread, 0 = disabled, >0 = threshold in ms.
+static SLOW_QUERY_MS: AtomicI64 = AtomicI64::new(-1);
+
+/// The `TM_SLOW_QUERY_MS` threshold: queries slower than this get a
+/// `slow_query` log line (emitted even with `TM_LOG` off). `None` when
+/// unset, unparsable, or `0`.
+pub fn slow_query_threshold() -> Option<std::time::Duration> {
+    let cached = SLOW_QUERY_MS.load(Ordering::Relaxed);
+    let ms = if cached >= 0 {
+        cached
+    } else {
+        let parsed = std::env::var(SLOW_QUERY_ENV)
+            .ok()
+            .and_then(|v| v.parse::<i64>().ok())
+            .filter(|&v| v > 0)
+            .unwrap_or(0);
+        SLOW_QUERY_MS.store(parsed, Ordering::Relaxed);
+        parsed
+    };
+    (ms > 0).then(|| std::time::Duration::from_millis(ms as u64))
+}
+
+/// Overrides the slow-query threshold (tests); `None` disables.
+pub fn set_slow_query_threshold(threshold: Option<std::time::Duration>) {
+    SLOW_QUERY_MS.store(
+        threshold.map_or(0, |d| d.as_millis().min(i64::MAX as u128) as i64),
+        Ordering::Relaxed,
+    );
+}
+
+/// One field value of a log line.
+#[derive(Clone, Copy, Debug)]
+pub enum LogValue<'a> {
+    /// A JSON string (escaped on write).
+    Str(&'a str),
+    /// An unsigned integer.
+    U64(u64),
+    /// A signed integer.
+    I64(i64),
+    /// A float.
+    F64(f64),
+    /// A boolean.
+    Bool(bool),
+}
+
+fn push_json_string(out: &mut String, value: &str) {
+    out.push('"');
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Formats one log line (without emitting it); exposed so tests can
+/// assert the exact bytes.
+pub fn format_log_line(event: &str, fields: &[(&str, LogValue<'_>)]) -> String {
+    let ts_ms = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map_or(0, |d| d.as_millis().min(u64::MAX as u128) as u64);
+    let mut line = String::with_capacity(128);
+    line.push_str("{\"ts_ms\":");
+    line.push_str(&ts_ms.to_string());
+    line.push_str(",\"event\":");
+    push_json_string(&mut line, event);
+    for (key, value) in fields {
+        line.push(',');
+        push_json_string(&mut line, key);
+        line.push(':');
+        match value {
+            LogValue::Str(s) => push_json_string(&mut line, s),
+            LogValue::U64(v) => line.push_str(&v.to_string()),
+            LogValue::I64(v) => line.push_str(&v.to_string()),
+            LogValue::F64(v) => line.push_str(&crate::registry::format_f64(*v)),
+            LogValue::Bool(v) => line.push_str(if *v { "true" } else { "false" }),
+        }
+    }
+    line.push_str("}\n");
+    line
+}
+
+/// Emits one structured log line to stderr if `TM_LOG=json`; a no-op
+/// otherwise.
+pub fn log_json(event: &str, fields: &[(&str, LogValue<'_>)]) {
+    if log_mode() != LogMode::Json {
+        return;
+    }
+    let line = format_log_line(event, fields);
+    let stderr = std::io::stderr();
+    let mut handle = stderr.lock();
+    let _ = handle.write_all(line.as_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_lines_are_flat_json_with_escapes() {
+        let line = format_log_line(
+            "query_done",
+            &[
+                ("request_id", LogValue::Str("req-1")),
+                ("query", LogValue::Str("TL2:ss:2:2")),
+                ("quote", LogValue::Str("a\"b\\c\nd")),
+                ("dur_ms", LogValue::U64(12)),
+                ("holds", LogValue::Bool(true)),
+                ("ratio", LogValue::F64(0.5)),
+                ("delta", LogValue::I64(-3)),
+            ],
+        );
+        assert!(line.starts_with("{\"ts_ms\":"));
+        assert!(line.ends_with("}\n"));
+        assert!(line.contains("\"event\":\"query_done\""));
+        assert!(line.contains("\"request_id\":\"req-1\""));
+        assert!(line.contains("\"quote\":\"a\\\"b\\\\c\\nd\""));
+        assert!(line.contains("\"dur_ms\":12"));
+        assert!(line.contains("\"holds\":true"));
+        assert!(line.contains("\"ratio\":0.5"));
+        assert!(line.contains("\"delta\":-3"));
+        assert_eq!(line.matches('\n').count(), 1, "one line per record");
+    }
+
+    #[test]
+    fn slow_query_threshold_parses_and_disables() {
+        set_slow_query_threshold(Some(std::time::Duration::from_millis(250)));
+        assert_eq!(slow_query_threshold(), Some(std::time::Duration::from_millis(250)));
+        set_slow_query_threshold(None);
+        assert_eq!(slow_query_threshold(), None);
+    }
+}

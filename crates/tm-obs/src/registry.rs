@@ -1,0 +1,730 @@
+//! The metrics registry: atomic counters, gauges, and fixed-bucket log2
+//! histograms, registered by name + label set under a cardinality cap
+//! and rendered in the Prometheus text exposition format.
+//!
+//! Registration (name lookup under a mutex) is the cold path, done once
+//! per site; the returned handles are `Arc`-shared atomics, so recording
+//! is lock-free — a relaxed `fetch_add` for counters and histograms, a
+//! relaxed `store` for gauges. A handle can also be *detached*
+//! ([`Counter::detached`] etc.): it records into private atomics that no
+//! registry exports, which is what the infallible [`crate::global`]
+//! convenience constructors fall back to when the cardinality cap
+//! rejects a new series — the hot path never has to handle a `Result`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Number of histogram buckets: bucket `i` counts observations `v` with
+/// `v <= 2^i` (the first bucket also takes `v = 0`), cumulative bounds
+/// `1, 2, 4, …, 2^(HISTOGRAM_BUCKETS-1)`. With 40 buckets the top
+/// finite bound is `2^39` — ≈ 9.1 minutes for nanosecond observations —
+/// and larger values **saturate into the top bucket** (the count and
+/// sum stay exact; only the bucket placement clamps).
+pub const HISTOGRAM_BUCKETS: usize = 40;
+
+/// The bucket an observation lands in: the smallest `i` with
+/// `value <= 2^i`, clamped to the top bucket.
+pub(crate) fn bucket_index(value: u64) -> usize {
+    if value <= 1 {
+        return 0;
+    }
+    let index = (64 - (value - 1).leading_zeros()) as usize;
+    index.min(HISTOGRAM_BUCKETS - 1)
+}
+
+/// How a metric's numeric value is rendered.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Unit {
+    /// Values are plain numbers (counts, bytes, states).
+    None,
+    /// Values are recorded in nanoseconds and rendered in **seconds**
+    /// (the Prometheus base unit): sample values and histogram bucket
+    /// bounds are divided by 1e9 at exposition time.
+    Nanos,
+}
+
+impl Unit {
+    fn render(self, value: u64) -> String {
+        match self {
+            Unit::None => value.to_string(),
+            Unit::Nanos => format_f64(value as f64 / 1e9),
+        }
+    }
+}
+
+/// Formats a float the way Prometheus expects (shortest round-trip;
+/// integral values still get a decimal-less form, which the text format
+/// accepts).
+pub(crate) fn format_f64(value: f64) -> String {
+    if value.is_infinite() {
+        if value > 0.0 { "+Inf".to_owned() } else { "-Inf".to_owned() }
+    } else {
+        format!("{value}")
+    }
+}
+
+/// A monotonically increasing counter.
+#[derive(Clone, Debug)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A handle not exported by any registry (records into a private
+    /// cell); the cardinality-cap fallback.
+    pub fn detached() -> Self {
+        Counter(Arc::new(AtomicU64::new(0)))
+    }
+
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `delta`.
+    pub fn add(&self, delta: u64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// An integer gauge (set to the current value of something).
+#[derive(Clone, Debug)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// A handle not exported by any registry.
+    pub fn detached() -> Self {
+        Gauge(Arc::new(AtomicU64::new(0)))
+    }
+
+    /// Sets the value.
+    pub fn set(&self, value: u64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    /// Adds `delta`.
+    pub fn add(&self, delta: u64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Subtracts `delta` (saturating at zero only in aggregate use; the
+    /// raw subtraction wraps like the underlying atomic).
+    pub fn sub(&self, delta: u64) {
+        self.0.fetch_sub(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A float gauge (ratios); stores the `f64` bit pattern atomically.
+#[derive(Clone, Debug)]
+pub struct GaugeF(Arc<AtomicU64>);
+
+impl GaugeF {
+    /// A handle not exported by any registry.
+    pub fn detached() -> Self {
+        GaugeF(Arc::new(AtomicU64::new(0)))
+    }
+
+    /// Sets the value.
+    pub fn set(&self, value: f64) {
+        self.0.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+struct HistogramCore {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl HistogramCore {
+    fn new() -> Self {
+        HistogramCore {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A fixed-bucket log2 histogram (see [`HISTOGRAM_BUCKETS`] for the
+/// bucket layout and top-bucket saturation).
+#[derive(Clone)]
+pub struct Histogram(Arc<HistogramCore>);
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram").field("snapshot", &self.snapshot()).finish()
+    }
+}
+
+impl Histogram {
+    /// A handle not exported by any registry.
+    pub fn detached() -> Self {
+        Histogram(Arc::new(HistogramCore::new()))
+    }
+
+    /// Records one observation: three relaxed atomic adds.
+    pub fn observe(&self, value: u64) {
+        self.0.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough copy of the current state (individual fields
+    /// are read relaxed; concurrent observers may make `count` lag or
+    /// lead the bucket total by in-flight observations).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self.0.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+            count: self.0.count.load(Ordering::Relaxed),
+            sum: self.0.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`] (or the accumulated state of
+/// a [`LocalHistogram`] shard).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct HistogramSnapshot {
+    /// Per-bucket (non-cumulative) observation counts.
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values (exact even for saturated
+    /// observations).
+    pub sum: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            buckets: vec![0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Accumulates `other` into `self` (shard merging).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+}
+
+/// A plain (non-atomic, single-owner) histogram shard: observe locally
+/// with no atomics at all, then [`LocalHistogram::flush_into`] a shared
+/// [`Histogram`] once per batch. Shard merges are exact: the merged
+/// snapshot equals what single-threaded observation of the same values
+/// would have produced (pinned by the registry proptests).
+#[derive(Clone, Debug)]
+pub struct LocalHistogram {
+    buckets: [u64; HISTOGRAM_BUCKETS],
+    count: u64,
+    sum: u64,
+}
+
+impl Default for LocalHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LocalHistogram {
+    /// An empty shard.
+    pub fn new() -> Self {
+        LocalHistogram {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+
+    /// Records one observation (no atomics). The sum wraps on overflow,
+    /// matching the shared histogram's atomic `fetch_add` semantics.
+    pub fn observe(&mut self, value: u64) {
+        self.buckets[bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.wrapping_add(value);
+    }
+
+    /// This shard's accumulated state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self.buckets.to_vec(),
+            count: self.count,
+            sum: self.sum,
+        }
+    }
+
+    /// Adds this shard's state to a shared histogram and empties the
+    /// shard.
+    pub fn flush_into(&mut self, target: &Histogram) {
+        for (bucket, &n) in target.0.buckets.iter().zip(&self.buckets) {
+            if n > 0 {
+                bucket.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        target.0.count.fetch_add(self.count, Ordering::Relaxed);
+        target.0.sum.fetch_add(self.sum, Ordering::Relaxed);
+        *self = LocalHistogram::new();
+    }
+}
+
+/// Why a registration was refused.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RegistryError {
+    /// Registering this series would exceed the registry's series cap.
+    CardinalityCapExceeded,
+    /// The name is already registered as a different metric kind (or a
+    /// different unit).
+    KindMismatch,
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistryError::CardinalityCapExceeded => write!(f, "metric cardinality cap exceeded"),
+            RegistryError::KindMismatch => {
+                write!(f, "metric name already registered with a different kind or unit")
+            }
+        }
+    }
+}
+
+#[derive(Clone)]
+enum Handle {
+    Counter(Counter),
+    Gauge(Gauge),
+    GaugeF(GaugeF),
+    Histogram(Histogram, Unit),
+}
+
+impl Handle {
+    fn kind_tag(&self) -> (&'static str, Unit) {
+        match self {
+            Handle::Counter(_) => ("counter", Unit::None),
+            Handle::Gauge(_) => ("gauge", Unit::None),
+            Handle::GaugeF(_) => ("gauge", Unit::None),
+            Handle::Histogram(_, unit) => ("histogram", *unit),
+        }
+    }
+}
+
+struct Series {
+    labels: Vec<(String, String)>,
+    handle: Handle,
+}
+
+struct Family {
+    name: String,
+    help: String,
+    kind: &'static str,
+    unit: Unit,
+    series: Vec<Series>,
+}
+
+/// Default series cap of a registry: generous for the workspace's fixed
+/// instrumentation (a few dozen series) while bounding what a buggy
+/// label explosion could allocate or expose.
+pub const DEFAULT_SERIES_CAP: usize = 256;
+
+/// A set of registered metrics. Most code uses the process-global
+/// registry via [`crate::global`]; tests construct private ones.
+pub struct Registry {
+    families: Mutex<Vec<Family>>,
+    cap: usize,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Registry {
+    /// An empty registry with the default series cap.
+    pub fn new() -> Self {
+        Self::with_cap(DEFAULT_SERIES_CAP)
+    }
+
+    /// An empty registry with an explicit series cap.
+    pub fn with_cap(cap: usize) -> Self {
+        Registry {
+            families: Mutex::new(Vec::new()),
+            cap,
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<Family>> {
+        self.families.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    fn get_or_register(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        make: impl FnOnce() -> Handle,
+    ) -> Result<Handle, RegistryError> {
+        let probe = make();
+        let (kind, unit) = probe.kind_tag();
+        let mut families = self.lock();
+        let total: usize = families.iter().map(|f| f.series.len()).sum();
+        let family = match families.iter_mut().find(|f| f.name == name) {
+            Some(family) => {
+                if family.kind != kind || family.unit != unit {
+                    return Err(RegistryError::KindMismatch);
+                }
+                family
+            }
+            None => {
+                families.push(Family {
+                    name: name.to_owned(),
+                    help: help.to_owned(),
+                    kind,
+                    unit,
+                    series: Vec::new(),
+                });
+                families.last_mut().expect("just pushed")
+            }
+        };
+        let labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
+            .collect();
+        if let Some(series) = family.series.iter().find(|s| s.labels == labels) {
+            return Ok(series.handle.clone());
+        }
+        if total >= self.cap {
+            return Err(RegistryError::CardinalityCapExceeded);
+        }
+        family.series.push(Series {
+            labels,
+            handle: probe.clone(),
+        });
+        Ok(probe)
+    }
+
+    /// Gets or registers a counter series.
+    pub fn counter(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+    ) -> Result<Counter, RegistryError> {
+        match self.get_or_register(name, help, labels, || Handle::Counter(Counter::detached()))? {
+            Handle::Counter(c) => Ok(c),
+            _ => Err(RegistryError::KindMismatch),
+        }
+    }
+
+    /// Gets or registers an integer gauge series.
+    pub fn gauge(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+    ) -> Result<Gauge, RegistryError> {
+        match self.get_or_register(name, help, labels, || Handle::Gauge(Gauge::detached()))? {
+            Handle::Gauge(g) => Ok(g),
+            _ => Err(RegistryError::KindMismatch),
+        }
+    }
+
+    /// Gets or registers a float gauge series.
+    pub fn gauge_f(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+    ) -> Result<GaugeF, RegistryError> {
+        match self.get_or_register(name, help, labels, || Handle::GaugeF(GaugeF::detached()))? {
+            Handle::GaugeF(g) => Ok(g),
+            _ => Err(RegistryError::KindMismatch),
+        }
+    }
+
+    /// Gets or registers a histogram series with the given unit.
+    pub fn histogram(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        unit: Unit,
+    ) -> Result<Histogram, RegistryError> {
+        match self.get_or_register(name, help, labels, || {
+            Handle::Histogram(Histogram::detached(), unit)
+        })? {
+            Handle::Histogram(h, _) => Ok(h),
+            _ => Err(RegistryError::KindMismatch),
+        }
+    }
+
+    /// Total registered series (one histogram = one series here).
+    pub fn series_count(&self) -> usize {
+        self.lock().iter().map(|f| f.series.len()).sum()
+    }
+
+    /// Renders every registered metric in the Prometheus text exposition
+    /// format (`# HELP` / `# TYPE` comments, one sample line per series;
+    /// histograms as cumulative `_bucket{le=…}` plus `_sum`/`_count`).
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        let families = self.lock();
+        for family in families.iter() {
+            out.push_str(&format!("# HELP {} {}\n", family.name, family.help));
+            out.push_str(&format!("# TYPE {} {}\n", family.name, family.kind));
+            for series in &family.series {
+                render_series(&mut out, &family.name, series, family.unit);
+            }
+        }
+        out
+    }
+}
+
+fn label_block(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{v}\""));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+fn escape_label(value: &str) -> String {
+    value.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+fn render_series(out: &mut String, name: &str, series: &Series, unit: Unit) {
+    match &series.handle {
+        Handle::Counter(c) => {
+            out.push_str(&format!(
+                "{name}{} {}\n",
+                label_block(&series.labels, None),
+                c.get()
+            ));
+        }
+        Handle::Gauge(g) => {
+            out.push_str(&format!(
+                "{name}{} {}\n",
+                label_block(&series.labels, None),
+                g.get()
+            ));
+        }
+        Handle::GaugeF(g) => {
+            out.push_str(&format!(
+                "{name}{} {}\n",
+                label_block(&series.labels, None),
+                format_f64(g.get())
+            ));
+        }
+        Handle::Histogram(h, _) => {
+            let snapshot = h.snapshot();
+            let mut cumulative = 0u64;
+            for (i, count) in snapshot.buckets.iter().enumerate() {
+                cumulative += count;
+                // Suppress interior all-zero prefixes? No: Prometheus
+                // expects the full cumulative series; emit every bound.
+                let bound = match unit {
+                    Unit::None => format_f64((1u64 << i) as f64),
+                    Unit::Nanos => format_f64((1u64 << i) as f64 / 1e9),
+                };
+                out.push_str(&format!(
+                    "{name}_bucket{} {cumulative}\n",
+                    label_block(&series.labels, Some(("le", &bound))),
+                ));
+            }
+            out.push_str(&format!(
+                "{name}_bucket{} {}\n",
+                label_block(&series.labels, Some(("le", "+Inf"))),
+                snapshot.count
+            ));
+            out.push_str(&format!(
+                "{name}_sum{} {}\n",
+                label_block(&series.labels, None),
+                unit.render(snapshot.sum)
+            ));
+            out.push_str(&format!(
+                "{name}_count{} {}\n",
+                label_block(&series.labels, None),
+                snapshot.count
+            ));
+        }
+    }
+}
+
+static GLOBAL: OnceLock<Registry> = OnceLock::new();
+
+/// The process-global registry every instrumentation site records into
+/// and `/metrics` renders from.
+pub fn global() -> &'static Registry {
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// Gets or registers a counter in the global registry, falling back to a
+/// detached handle if the registration is refused — recording stays
+/// infallible at every call site.
+pub fn global_counter(name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+    global().counter(name, help, labels).unwrap_or_else(|_| Counter::detached())
+}
+
+/// Gets or registers an integer gauge in the global registry (detached
+/// fallback).
+pub fn global_gauge(name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+    global().gauge(name, help, labels).unwrap_or_else(|_| Gauge::detached())
+}
+
+/// Gets or registers a float gauge in the global registry (detached
+/// fallback).
+pub fn global_gauge_f(name: &str, help: &str, labels: &[(&str, &str)]) -> GaugeF {
+    global().gauge_f(name, help, labels).unwrap_or_else(|_| GaugeF::detached())
+}
+
+/// Gets or registers a histogram in the global registry (detached
+/// fallback).
+pub fn global_histogram(name: &str, help: &str, labels: &[(&str, &str)], unit: Unit) -> Histogram {
+    global()
+        .histogram(name, help, labels, unit)
+        .unwrap_or_else(|_| Histogram::detached())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        // v <= 2^i goes in bucket i: exact powers stay put, the next
+        // value up moves one bucket.
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(5), 3);
+        for i in 0..HISTOGRAM_BUCKETS - 1 {
+            let bound = 1u64 << i;
+            assert_eq!(bucket_index(bound), i, "2^{i} must land on its own bound");
+            assert_eq!(bucket_index(bound + 1), i + 1, "2^{i}+1 must spill over");
+        }
+    }
+
+    #[test]
+    fn top_bucket_saturates_and_sum_stays_exact() {
+        let h = Histogram::detached();
+        let top_bound = 1u64 << (HISTOGRAM_BUCKETS - 1);
+        h.observe(top_bound);
+        h.observe(top_bound + 1);
+        h.observe(u64::MAX / 2);
+        let snapshot = h.snapshot();
+        assert_eq!(snapshot.buckets[HISTOGRAM_BUCKETS - 1], 3);
+        assert_eq!(snapshot.count, 3);
+        assert_eq!(snapshot.sum, top_bound + top_bound + 1 + u64::MAX / 2);
+        // Cumulative consistency: the top finite bound covers everything.
+        let cumulative: u64 = snapshot.buckets.iter().sum();
+        assert_eq!(cumulative, snapshot.count);
+    }
+
+    #[test]
+    fn cardinality_cap_rejects_new_series_but_returns_existing() {
+        let registry = Registry::with_cap(2);
+        let a = registry.counter("tm_x_total", "x", &[("k", "a")]).unwrap();
+        let _b = registry.counter("tm_x_total", "x", &[("k", "b")]).unwrap();
+        assert_eq!(
+            registry.counter("tm_x_total", "x", &[("k", "c")]).unwrap_err(),
+            RegistryError::CardinalityCapExceeded
+        );
+        // Existing series are still retrievable at the cap, and the
+        // handle aliases the original.
+        let a2 = registry.counter("tm_x_total", "x", &[("k", "a")]).unwrap();
+        a.inc();
+        assert_eq!(a2.get(), 1);
+        assert_eq!(registry.series_count(), 2);
+    }
+
+    #[test]
+    fn kind_mismatch_is_rejected() {
+        let registry = Registry::new();
+        registry.counter("tm_thing", "t", &[]).unwrap();
+        assert_eq!(
+            registry.gauge("tm_thing", "t", &[]).unwrap_err(),
+            RegistryError::KindMismatch
+        );
+        registry.histogram("tm_h", "h", &[], Unit::Nanos).unwrap();
+        assert_eq!(
+            registry.histogram("tm_h", "h", &[], Unit::None).unwrap_err(),
+            RegistryError::KindMismatch
+        );
+    }
+
+    #[test]
+    fn local_shards_merge_to_the_single_threaded_answer() {
+        let values: Vec<u64> = (0..1000).map(|i| (i * i * 31) % 100_000).collect();
+        // Single-threaded reference.
+        let mut reference = LocalHistogram::new();
+        for &v in &values {
+            reference.observe(v);
+        }
+        // Four shards, interleaved assignment, merged.
+        let mut shards = vec![LocalHistogram::new(); 4];
+        for (i, &v) in values.iter().enumerate() {
+            shards[i % 4].observe(v);
+        }
+        let mut merged = HistogramSnapshot::default();
+        for shard in &shards {
+            merged.merge(&shard.snapshot());
+        }
+        assert_eq!(merged, reference.snapshot());
+        // Flushing the shards into a shared histogram agrees too.
+        let shared = Histogram::detached();
+        for shard in &mut shards {
+            shard.flush_into(&shared);
+        }
+        assert_eq!(shared.snapshot(), reference.snapshot());
+        assert_eq!(shards[0].snapshot(), HistogramSnapshot::default());
+    }
+
+    #[test]
+    fn render_emits_cumulative_buckets_and_labels() {
+        let registry = Registry::new();
+        let c = registry.counter("tm_q_total", "queries", &[("result", "ok")]).unwrap();
+        c.add(3);
+        let h = registry.histogram("tm_lat_seconds", "latency", &[], Unit::Nanos).unwrap();
+        h.observe(1_000_000_000); // exactly 2^30 < 1s < 2^31 ns? (2^30 ≈ 1.07e9) — 1e9 <= 2^30
+        let text = registry.render_prometheus();
+        assert!(text.contains("# TYPE tm_q_total counter"));
+        assert!(text.contains("tm_q_total{result=\"ok\"} 3"));
+        assert!(text.contains("# TYPE tm_lat_seconds histogram"));
+        assert!(text.contains("tm_lat_seconds_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("tm_lat_seconds_count 1"));
+        assert!(text.contains("tm_lat_seconds_sum 1"));
+        // The checker in `text` accepts our own exposition.
+        let exposition = crate::text::parse_prometheus(&text).expect("self-render parses");
+        assert!(exposition.has_series("tm_q_total"));
+        assert!(exposition.has_series("tm_lat_seconds"));
+    }
+}

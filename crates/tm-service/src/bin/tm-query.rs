@@ -2,7 +2,9 @@
 //!
 //! ```bash
 //! tm-query --addr HOST:PORT [--json] QUERY...   # answer a batch
+//! tm-query --addr HOST:PORT --trace QUERY...    # + per-query phase trace
 //! tm-query --addr HOST:PORT --stats             # print service counters
+//! tm-query --addr HOST:PORT --metrics           # fetch + summarize /metrics
 //! tm-query --addr HOST:PORT --shutdown          # stop the daemon
 //! ```
 //!
@@ -13,6 +15,19 @@
 //! `name:property:n:k verdict [witness]` line per query (for diffing
 //! runs against each other). Exits non-zero on connection errors,
 //! non-200 responses, or malformed queries.
+//!
+//! Observability knobs:
+//!
+//! * `--trace` — ask the server for per-query phase traces and print a
+//!   phase-breakdown table after the results. Exits non-zero if the
+//!   server answered without traces (e.g. it runs `TM_OBS=off`);
+//! * `--metrics` — fetch `GET /metrics`, check it parses as Prometheus
+//!   text, and print a one-line-per-series summary (`--json` prints the
+//!   raw exposition instead);
+//! * `--require NAME` (repeatable, with `--metrics`) — exit non-zero
+//!   unless series `NAME` is present, for CI assertions;
+//! * `--request-id ID` — ship `X-Request-Id: ID` so the server's log
+//!   line and response echo it.
 //!
 //! Retry knobs:
 //!
@@ -27,20 +42,22 @@
 use std::process::ExitCode;
 use std::time::Duration;
 
+use tm_obs::Phase;
 use tm_service::client::{is_retryable_status, Backoff};
-use tm_service::wire::{decode_results, encode_batch_request};
-use tm_service::{http_request_full, QueryOutcome, QuerySpec};
+use tm_service::wire::{decode_results, encode_batch_request_traced};
+use tm_service::{http_request_with_id, QueryOutcome, QuerySpec};
 
 fn usage() -> &'static str {
-    "usage: tm-query --addr HOST:PORT [--json | --verdicts] [--retries N] \
-     [--backoff-seed S] [--deadline-ms MS] QUERY...\n       \
-     tm-query --addr HOST:PORT --stats | --shutdown\n       \
+    "usage: tm-query --addr HOST:PORT [--json | --verdicts] [--trace] [--retries N] \
+     [--backoff-seed S] [--deadline-ms MS] [--request-id ID] QUERY...\n       \
+     tm-query --addr HOST:PORT --stats | --shutdown | --metrics [--require NAME]...\n       \
      QUERY = tm[+cm]:property:n:k (e.g. dstm+aggressive:of:2:1, TL2:ss:2:2)"
 }
 
 struct Retry {
     attempts: u64,
     backoff: Backoff,
+    request_id: Option<String>,
 }
 
 /// Sends one request, retrying retryable failures per the policy.
@@ -53,7 +70,8 @@ fn request(
 ) -> Result<(u16, String), String> {
     let mut attempt = 0u32;
     loop {
-        let outcome = http_request_full(addr, method, path, body);
+        let outcome =
+            http_request_with_id(addr, method, path, body, retry.request_id.as_deref());
         let (retryable, retry_after) = match &outcome {
             // Transport errors (refused, reset, timeout) are retryable:
             // the daemon may still be starting or mid-drain.
@@ -83,6 +101,10 @@ fn run() -> Result<(), String> {
     let mut verdicts = false;
     let mut stats = false;
     let mut shutdown = false;
+    let mut metrics = false;
+    let mut trace = false;
+    let mut required_series: Vec<String> = Vec::new();
+    let mut request_id: Option<String> = None;
     let mut retries = 0u64;
     let mut backoff_seed = 0u64;
     let mut deadline_ms: Option<u64> = None;
@@ -98,6 +120,10 @@ fn run() -> Result<(), String> {
             "--verdicts" => verdicts = true,
             "--stats" => stats = true,
             "--shutdown" => shutdown = true,
+            "--metrics" => metrics = true,
+            "--trace" => trace = true,
+            "--require" => required_series.push(value_of(&mut args, "--require")?),
+            "--request-id" => request_id = Some(value_of(&mut args, "--request-id")?),
             "--retries" => {
                 retries = value_of(&mut args, "--retries")?
                     .parse()
@@ -126,12 +152,18 @@ fn run() -> Result<(), String> {
     let mut retry = Retry {
         attempts: retries,
         backoff: Backoff::new(backoff_seed),
+        request_id,
     };
 
     if stats {
         let (status, body) = request(&mut retry, &addr, "GET", "/v1/stats", None)?;
         println!("{body}");
         return check(status);
+    }
+    if metrics {
+        let (status, body) = request(&mut retry, &addr, "GET", "/metrics", None)?;
+        check(status)?;
+        return print_metrics(&body, json, &required_series);
     }
     if shutdown {
         let (status, body) = request(&mut retry, &addr, "POST", "/v1/shutdown", None)?;
@@ -142,7 +174,7 @@ fn run() -> Result<(), String> {
         return Err(format!("nothing to do\n{}", usage()));
     }
 
-    let body = encode_batch_request(&queries, deadline_ms);
+    let body = encode_batch_request_traced(&queries, deadline_ms, trace);
     let (status, body) = request(&mut retry, &addr, "POST", "/v1/batch", Some(&body))?;
     check(status).map_err(|e| format!("{e}: {body}"))?;
     if json {
@@ -150,6 +182,20 @@ fn run() -> Result<(), String> {
         return Ok(());
     }
     let (results, stats) = decode_results(&body).map_err(|e| e.to_string())?;
+    if trace {
+        let missing: Vec<&str> = results
+            .iter()
+            .filter(|r| r.trace.is_none())
+            .map(|r| r.name.as_str())
+            .collect();
+        if !missing.is_empty() {
+            return Err(format!(
+                "trace requested but the server answered without one for: {} \
+                 (is it running with TM_OBS=off?)",
+                missing.join(", ")
+            ));
+        }
+    }
     if verdicts {
         for result in &results {
             let (verdict, witness) = describe(&result.outcome);
@@ -201,6 +247,90 @@ fn run() -> Result<(), String> {
         stats.tracked_bytes,
         stats.peak_tracked_bytes
     );
+    if trace {
+        print_trace_table(&results);
+    }
+    Ok(())
+}
+
+/// Prints the per-query phase breakdown, one row per (query, phase)
+/// with nonzero time, plus a per-query total and drop count.
+fn print_trace_table(results: &[tm_service::QueryResult]) {
+    let mut table = tm_checker::Table::new(
+        "phase breakdown".to_owned(),
+        ["TM", "property", "(n,k)", "phase", "ms", "events"],
+    );
+    for result in results {
+        let Some(trace) = &result.trace else { continue };
+        for phase in Phase::ALL {
+            let ns = trace.phase_ns[phase as usize];
+            if ns == 0 {
+                continue;
+            }
+            let events = trace.events.iter().filter(|e| e.phase == phase).count();
+            table.push_row([
+                result.name.clone(),
+                result.spec.property.to_string(),
+                format!("({},{})", result.spec.threads, result.spec.vars),
+                phase.name().to_owned(),
+                format!("{:.3}", ns as f64 / 1e6),
+                events.to_string(),
+            ]);
+        }
+        table.push_row([
+            result.name.clone(),
+            result.spec.property.to_string(),
+            format!("({},{})", result.spec.threads, result.spec.vars),
+            "total".to_owned(),
+            format!("{:.3}", trace.total_ns() as f64 / 1e6),
+            if trace.dropped_events > 0 {
+                format!("{} (+{} dropped)", trace.events.len(), trace.dropped_events)
+            } else {
+                trace.events.len().to_string()
+            },
+        ]);
+    }
+    println!("{table}");
+}
+
+/// Validates and prints a `/metrics` exposition: parse (histogram
+/// invariants included), assert every `--require` series exists, then
+/// dump raw (`--json`) or one aligned `name{labels} value` line per
+/// sample — histogram buckets are summarized by their `_sum`/`_count`
+/// lines (the raw dump keeps them).
+fn print_metrics(body: &str, json: bool, required: &[String]) -> Result<(), String> {
+    let exposition =
+        tm_obs::text::parse_prometheus(body).map_err(|e| format!("bad /metrics exposition: {e}"))?;
+    let missing: Vec<&str> = required
+        .iter()
+        .map(String::as_str)
+        .filter(|name| !exposition.has_series(name))
+        .collect();
+    if !missing.is_empty() {
+        return Err(format!("missing required series: {}", missing.join(", ")));
+    }
+    if json {
+        print!("{body}");
+        return Ok(());
+    }
+    let mut table = tm_checker::Table::new(
+        format!("{} samples, {} series types", exposition.samples.len(), exposition.types.len()),
+        ["series", "value"],
+    );
+    for sample in &exposition.samples {
+        if sample.name.ends_with("_bucket") {
+            continue;
+        }
+        let name = if sample.labels.is_empty() {
+            sample.name.clone()
+        } else {
+            let labels: Vec<String> =
+                sample.labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+            format!("{}{{{}}}", sample.name, labels.join(","))
+        };
+        table.push_row([name, format!("{}", sample.value)]);
+    }
+    println!("{table}");
     Ok(())
 }
 

@@ -21,6 +21,18 @@
 //! `--query-deadline-ms` bounds each query's wall clock,
 //! `--batch-deadline-ms` bounds a whole batch — expired work comes back
 //! as `aborted` results, never a hung daemon.
+//!
+//! Observability knobs (environment only; see the crate README's
+//! Observability section for the metric and phase inventory):
+//!
+//! * `GET /metrics` always serves the Prometheus text exposition;
+//! * `TM_OBS=off` (or `0`) disables phase timers and per-query traces
+//!   (cheap counters stay on) — `trace: true` requests then come back
+//!   without traces;
+//! * `TM_LOG=json` emits one structured JSON log line per HTTP request
+//!   (with its `X-Request-Id`) to stderr;
+//! * `TM_SLOW_QUERY_MS=N` logs any query slower than N ms to stderr,
+//!   even with `TM_LOG` unset.
 
 use std::io::Write;
 use std::net::TcpListener;

@@ -51,6 +51,7 @@ use std::fmt;
 use std::sync::{Condvar, Mutex, MutexGuard};
 
 use tm_lang::SafetyProperty;
+use tm_obs::{Phase, PhaseTimer};
 
 /// What a ledger entry pays for.
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
@@ -401,6 +402,9 @@ impl SharedBudget {
     /// [`SharedBudget::abandon`].
     pub fn admit(&self, key: &ArtifactKey) -> Admission {
         let mut ledger = self.lock();
+        // Lazily started on the first blocked iteration, so the
+        // fast path (cache hit, or room available) records nothing.
+        let mut wait_span: Option<PhaseTimer> = None;
         loop {
             if ledger.contains(key) {
                 ledger.touch(key);
@@ -419,6 +423,7 @@ impl SharedBudget {
                     evicted,
                 };
             }
+            wait_span.get_or_insert_with(|| PhaseTimer::start(Phase::BudgetAdmitWait));
             ledger = self.freed.wait(ledger).unwrap_or_else(|poisoned| poisoned.into_inner());
         }
     }
@@ -431,10 +436,13 @@ impl SharedBudget {
     pub fn settle(&self, key: &ArtifactKey, bytes: usize) -> Vec<ArtifactKey> {
         let mut ledger = self.lock();
         ledger.unpin(key);
+        let mut wait_span: Option<PhaseTimer> = None;
         while !ledger.room_for(key, bytes) {
+            wait_span.get_or_insert_with(|| PhaseTimer::start(Phase::BudgetSettleWait));
             self.freed.notify_all();
             ledger = self.freed.wait(ledger).unwrap_or_else(|poisoned| poisoned.into_inner());
         }
+        drop(wait_span);
         let evicted = ledger.charge(key.clone(), bytes);
         self.freed.notify_all();
         evicted

@@ -7,9 +7,14 @@
 //! | Method | Path           | Body                | Response                       |
 //! |--------|----------------|---------------------|--------------------------------|
 //! | GET    | `/healthz`     | —                   | `{"ok": true}`                 |
+//! | GET    | `/metrics`     | —                   | Prometheus text exposition     |
 //! | GET    | `/v1/stats`    | —                   | [`crate::wire::encode_stats`]  |
 //! | POST   | `/v1/batch`    | batch request JSON  | [`crate::wire::encode_results`]|
 //! | POST   | `/v1/shutdown` | —                   | `{"ok": true}` then clean exit |
+//!
+//! Requests may carry an `X-Request-Id` header; the id (or a generated
+//! `req-N` fallback) is echoed back on the response and stamped on the
+//! one structured log line each request emits under `TM_LOG=json`.
 //!
 //! Connections are one-request (`Connection: close`), each handled on
 //! its own thread, and the [`Service`] is shared as a plain `Arc`: its
@@ -25,11 +30,12 @@
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use tm_automata::{fault, EngineError};
+use tm_obs::LogValue;
 
 use crate::service::{QueryResult, Service};
 use crate::wire;
@@ -141,6 +147,51 @@ impl Drop for InflightGuard<'_> {
     }
 }
 
+/// A process-unique `req-N` id for requests that carry no
+/// `X-Request-Id` header, so every log line has a correlatable id.
+fn request_id_fallback() -> String {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    format!("req-{}", NEXT.fetch_add(1, Ordering::Relaxed))
+}
+
+/// The `path` label of `tm_http_requests_total`: known routes verbatim,
+/// everything else collapsed to `other` so arbitrary client paths
+/// cannot explode the metric's cardinality.
+fn route_label(path: &str) -> &'static str {
+    match path {
+        "/healthz" => "/healthz",
+        "/metrics" => "/metrics",
+        "/v1/stats" => "/v1/stats",
+        "/v1/batch" => "/v1/batch",
+        "/v1/shutdown" => "/v1/shutdown",
+        _ => "other",
+    }
+}
+
+/// Emits the one structured log line this request gets (under
+/// `TM_LOG=json`) and counts it in `tm_http_requests_total`.
+fn observe_request(request_id: &str, method: &str, path: &str, status: u16, started: Instant) {
+    tm_obs::global_counter(
+        "tm_http_requests_total",
+        "HTTP requests served, by route",
+        &[("path", route_label(path))],
+    )
+    .inc();
+    tm_obs::log_json(
+        "http_request",
+        &[
+            ("request_id", LogValue::Str(request_id)),
+            ("method", LogValue::Str(method)),
+            ("path", LogValue::Str(path)),
+            ("status", LogValue::U64(u64::from(status))),
+            (
+                "dur_ms",
+                LogValue::U64(u64::try_from(started.elapsed().as_millis()).unwrap_or(u64::MAX)),
+            ),
+        ],
+    );
+}
+
 fn handle_connection(
     stream: TcpStream,
     service: &Service,
@@ -151,24 +202,45 @@ fn handle_connection(
     stream.set_nonblocking(false)?;
     stream.set_read_timeout(Some(IO_TIMEOUT))?;
     stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    let started = Instant::now();
     let mut reader = BufReader::new(stream);
-    let (method, path, body) = match read_request(&mut reader) {
+    let (method, path, body, request_id) = match read_request(&mut reader) {
         Ok(request) => request,
         Err((status, e)) => {
+            let request_id = request_id_fallback();
+            observe_request(&request_id, "", "", status, started);
             let body = format!("{{\"error\": \"bad request: {e}\"}}");
-            return write_response(reader.get_mut(), status, &body, None);
+            let response = Response {
+                status,
+                content_type: "application/json",
+                retry_after: None,
+                request_id: &request_id,
+            };
+            return write_response(reader.get_mut(), &response, &body);
         }
     };
-    let (status, body, retry_after) =
+    let request_id = request_id.unwrap_or_else(request_id_fallback);
+    let (status, content_type, body, retry_after) =
         route(&method, &path, &body, service, shutdown, inflight, max_inflight);
-    write_response(reader.get_mut(), status, &body, retry_after)
+    observe_request(&request_id, &method, &path, status, started);
+    let response = Response {
+        status,
+        content_type,
+        retry_after,
+        request_id: &request_id,
+    };
+    write_response(reader.get_mut(), &response, &body)
 }
 
 /// Reads one request: the request line, the headers (only
-/// `Content-Length` is interpreted), and the body. Errors carry the
-/// HTTP status to answer with — 431 when the header section exceeds
-/// [`MAX_HEADERS`] lines or [`MAX_HEADER_BYTES`] bytes, 400 otherwise.
-fn read_request<R: BufRead>(reader: &mut R) -> Result<(String, String, String), (u16, String)> {
+/// `Content-Length` and `X-Request-Id` are interpreted), and the body.
+/// Errors carry the HTTP status to answer with — 431 when the header
+/// section exceeds [`MAX_HEADERS`] lines or [`MAX_HEADER_BYTES`] bytes,
+/// 400 otherwise.
+#[allow(clippy::type_complexity)]
+fn read_request<R: BufRead>(
+    reader: &mut R,
+) -> Result<(String, String, String, Option<String>), (u16, String)> {
     let bad = |e: String| (400u16, e);
     let mut line = String::new();
     reader
@@ -181,6 +253,7 @@ fn read_request<R: BufRead>(reader: &mut R) -> Result<(String, String, String), 
         .ok_or_else(|| bad("request line has no path".to_owned()))?
         .to_owned();
     let mut content_length = 0usize;
+    let mut request_id: Option<String> = None;
     let mut headers = 0usize;
     let mut header_bytes = 0usize;
     loop {
@@ -210,6 +283,11 @@ fn read_request<R: BufRead>(reader: &mut R) -> Result<(String, String, String), 
                     .trim()
                     .parse()
                     .map_err(|e| bad(format!("bad Content-Length: {e}")))?;
+            } else if name.eq_ignore_ascii_case("x-request-id") {
+                let value = value.trim();
+                if !value.is_empty() {
+                    request_id = Some(value.to_owned());
+                }
             }
         }
     }
@@ -221,7 +299,7 @@ fn read_request<R: BufRead>(reader: &mut R) -> Result<(String, String, String), 
         .read_exact(&mut body)
         .map_err(|e| bad(format!("body: {e}")))?;
     String::from_utf8(body)
-        .map(|body| (method, path, body))
+        .map(|body| (method, path, body, request_id))
         .map_err(|_| bad("body is not UTF-8".to_owned()))
 }
 
@@ -243,6 +321,9 @@ fn batch_status(results: &[QueryResult]) -> (u16, Option<u64>) {
     }
 }
 
+/// JSON content type — every route except `/metrics`.
+const JSON: &str = "application/json";
+
 #[allow(clippy::too_many_arguments)]
 fn route(
     method: &str,
@@ -252,10 +333,21 @@ fn route(
     shutdown: &AtomicBool,
     inflight: &AtomicUsize,
     max_inflight: usize,
-) -> (u16, String, Option<u64>) {
+) -> (u16, &'static str, String, Option<u64>) {
     match (method, path) {
-        ("GET", "/healthz") => (200, "{\"ok\": true}".to_owned(), None),
-        ("GET", "/v1/stats") => (200, wire::encode_stats(&service.stats()), None),
+        ("GET", "/healthz") => (200, JSON, "{\"ok\": true}".to_owned(), None),
+        ("GET", "/metrics") => {
+            // Publish the scrape-time gauges, then render the global
+            // registry in the Prometheus text exposition format.
+            service.refresh_metrics();
+            (
+                200,
+                "text/plain; version=0.0.4",
+                tm_obs::global().render_prometheus(),
+                None,
+            )
+        }
+        ("GET", "/v1/stats") => (200, JSON, wire::encode_stats(&service.stats()), None),
         ("POST", "/v1/batch") => {
             // Admission control: a draining daemon sheds everything with
             // 503, a saturated one sheds the excess with 429 — both with
@@ -263,6 +355,7 @@ fn route(
             if shutdown.load(Ordering::SeqCst) {
                 return (
                     503,
+                    JSON,
                     "{\"error\": \"draining\"}".to_owned(),
                     Some(RETRY_AFTER_SECS),
                 );
@@ -270,6 +363,7 @@ fn route(
             let Some(_slot) = InflightGuard::admit(inflight, max_inflight) else {
                 return (
                     429,
+                    JSON,
                     "{\"error\": \"too many in-flight batches\"}".to_owned(),
                     Some(RETRY_AFTER_SECS),
                 );
@@ -277,40 +371,51 @@ fn route(
             // `_slot` releases the admission on every exit from here —
             // including a panic unwinding out of `submit` or the encode
             // fault point below.
-            match wire::decode_batch_request(body) {
+            match wire::decode_batch_request_traced(body) {
                 Err(e) => (
                     400,
+                    JSON,
                     format!("{{\"error\": {}}}", crate::wire::Json::Str(e.to_string())),
                     None,
                 ),
-                Ok((batch, deadline_ms)) => {
-                    let results = service.submit_with_deadline(&batch, deadline_ms);
+                Ok((batch, deadline_ms, trace)) => {
+                    let results = service.submit_traced(&batch, deadline_ms, trace);
                     let (status, retry_after) = batch_status(&results);
                     if let Err(error) = fault::fault_point("encode") {
                         return (
                             503,
+                            JSON,
                             format!("{{\"error\": {}}}", crate::wire::Json::Str(error.to_string())),
                             Some(RETRY_AFTER_SECS),
                         );
                     }
-                    (status, wire::encode_results(&results, &service.stats()), retry_after)
+                    (
+                        status,
+                        JSON,
+                        wire::encode_results(&results, &service.stats()),
+                        retry_after,
+                    )
                 }
             }
         }
         ("POST", "/v1/shutdown") => {
             shutdown.store(true, Ordering::SeqCst);
-            (200, "{\"ok\": true, \"shutting_down\": true}".to_owned(), None)
+            (200, JSON, "{\"ok\": true, \"shutting_down\": true}".to_owned(), None)
         }
-        _ => (404, format!("{{\"error\": \"no route {method} {path}\"}}"), None),
+        _ => (404, JSON, format!("{{\"error\": \"no route {method} {path}\"}}"), None),
     }
 }
 
-fn write_response(
-    stream: &mut TcpStream,
+/// The response head: everything but the body.
+struct Response<'a> {
     status: u16,
-    body: &str,
+    content_type: &'static str,
     retry_after: Option<u64>,
-) -> std::io::Result<()> {
+    request_id: &'a str,
+}
+
+fn write_response(stream: &mut TcpStream, response: &Response<'_>, body: &str) -> std::io::Result<()> {
+    let status = response.status;
     let reason = match status {
         200 => "OK",
         400 => "Bad Request",
@@ -322,13 +427,24 @@ fn write_response(
         504 => "Gateway Timeout",
         _ => "Error",
     };
-    let retry = retry_after.map_or(String::new(), |secs| format!("Retry-After: {secs}\r\n"));
-    let response = format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\n\
-         Content-Length: {}\r\n{retry}Connection: close\r\n\r\n{body}",
+    let retry = response
+        .retry_after
+        .map_or(String::new(), |secs| format!("Retry-After: {secs}\r\n"));
+    // Header values must stay a single line; a hostile X-Request-Id
+    // with CR/LF must not become a header-injection vector.
+    let request_id: String = response
+        .request_id
+        .chars()
+        .filter(|c| !c.is_control())
+        .take(128)
+        .collect();
+    let text = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {}\r\n\
+         Content-Length: {}\r\nX-Request-Id: {request_id}\r\n{retry}Connection: close\r\n\r\n{body}",
+        response.content_type,
         body.len()
     );
-    stream.write_all(response.as_bytes())?;
+    stream.write_all(text.as_bytes())?;
     stream.flush()
 }
 
@@ -376,6 +492,23 @@ pub fn http_request_full(
     path: &str,
     body: Option<&str>,
 ) -> Result<(u16, String, Option<u64>), String> {
+    http_request_with_id(addr, method, path, body, None)
+}
+
+/// [`http_request_full`] that additionally ships an `X-Request-Id`
+/// header, which the server echoes and stamps on its log line.
+///
+/// # Errors
+///
+/// Returns a human-readable message on connection, protocol, or
+/// encoding failures.
+pub fn http_request_with_id(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    request_id: Option<&str>,
+) -> Result<(u16, String, Option<u64>), String> {
     let resolved = addr
         .to_socket_addrs()
         .map_err(|e| format!("cannot resolve {addr}: {e}"))?
@@ -386,9 +519,11 @@ pub fn http_request_full(
     stream.set_read_timeout(Some(IO_TIMEOUT)).map_err(|e| e.to_string())?;
     stream.set_write_timeout(Some(IO_TIMEOUT)).map_err(|e| e.to_string())?;
     let body = body.unwrap_or("");
+    let id_header =
+        request_id.map_or(String::new(), |id| format!("X-Request-Id: {id}\r\n"));
     let request = format!(
         "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\n\
-         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+         Content-Length: {}\r\n{id_header}Connection: close\r\n\r\n{body}",
         body.len()
     );
     stream

@@ -79,7 +79,7 @@ pub mod wire;
 
 pub use budget::{Admission, ArtifactKey, ArtifactKind, MemoryBudget, SharedBudget};
 pub use client::{is_retryable_status, Backoff};
-pub use http::{http_request, http_request_full, serve};
+pub use http::{http_request, http_request_full, http_request_with_id, serve};
 pub use registry::{lock_session, SessionRegistry, SharedSession};
 pub use roster::{
     run_query, table2_batch, table3_batch, CmKind, PropertyKind, QuerySpec, TmKind,

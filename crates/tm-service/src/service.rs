@@ -17,10 +17,12 @@
 //! never waits on a running query.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use tm_automata::{fault, EngineError};
 use tm_checker::{Verdict, VerdictOutcome};
+use tm_obs::{Counter, Gauge, GaugeF, Histogram, LogValue, Phase, PhaseTimer, TraceRecord, Unit};
 
 use crate::budget::{ArtifactKey, ArtifactKind, SharedBudget};
 use crate::registry::{lock_session, SessionRegistry};
@@ -201,6 +203,10 @@ pub struct QueryResult {
     pub rebuilt: bool,
     /// The verdict payload.
     pub outcome: QueryOutcome,
+    /// The per-query phase trace, present only when the batch requested
+    /// tracing ([`Service::submit_traced`]) and instrumentation is
+    /// enabled.
+    pub trace: Option<TraceRecord>,
 }
 
 impl QueryResult {
@@ -245,6 +251,7 @@ impl QueryResult {
             cached: stats.artifact_cached,
             rebuilt: stats.rebuilds > 0,
             outcome,
+            trace: None,
         }
     }
 
@@ -260,6 +267,7 @@ impl QueryResult {
             cached: false,
             rebuilt: false,
             outcome: QueryOutcome::Aborted { reason },
+            trace: None,
         }
     }
 
@@ -300,10 +308,202 @@ pub struct ServiceStats {
     pub sessions: usize,
     /// Shared worker-pool size.
     pub pool_size: usize,
-    /// Wall-clock nanoseconds spent inside `submit`, summed across
-    /// batches — concurrent batches each contribute their full elapsed
-    /// time, so this can exceed real wall clock.
-    pub busy_ns: u64,
+    /// Wall-clock nanoseconds spent inside `submit`, **summed across
+    /// batches** — concurrent batches each contribute their full elapsed
+    /// time, so on overlapping load this exceeds real wall clock. A
+    /// *work* metric (total batch time served), not a utilization
+    /// metric; for utilization use [`ServiceStats::busy_wall_ns`] /
+    /// [`ServiceStats::uptime_ns`].
+    pub batch_ns: u64,
+    /// Wall-clock nanoseconds during which **at least one** batch was in
+    /// flight — each instant counted once no matter how many batches
+    /// overlap, so this is monotonic and never exceeds
+    /// [`ServiceStats::uptime_ns`]. `busy_wall_ns / uptime_ns` is the
+    /// `tm_serve_busy_ratio` utilization gauge.
+    pub busy_wall_ns: u64,
+    /// Wall-clock nanoseconds since the service was constructed.
+    pub uptime_ns: u64,
+}
+
+/// Wall-clock accounting behind [`ServiceStats::busy_wall_ns`]: tracks
+/// the number of in-flight `submit` calls and accumulates the union of
+/// their busy intervals (an instant with five overlapping batches counts
+/// once — the fix for the old `busy_ns` counter, which summed overlaps
+/// and read as >100% utilization on one core).
+struct BusyClock {
+    started: Instant,
+    state: Mutex<BusyState>,
+}
+
+struct BusyState {
+    inflight: usize,
+    busy: Duration,
+    since: Option<Instant>,
+}
+
+impl BusyClock {
+    fn new() -> Self {
+        BusyClock {
+            started: Instant::now(),
+            state: Mutex::new(BusyState {
+                inflight: 0,
+                busy: Duration::ZERO,
+                since: None,
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BusyState> {
+        self.state.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Marks one batch in flight; the clock runs while any guard lives.
+    fn enter(&self) -> BusyGuard<'_> {
+        let mut state = self.lock();
+        if state.inflight == 0 {
+            state.since = Some(Instant::now());
+        }
+        state.inflight += 1;
+        BusyGuard { clock: self }
+    }
+
+    /// Busy wall time so far, including the currently open interval.
+    fn busy_wall(&self) -> Duration {
+        let state = self.lock();
+        state.busy + state.since.map_or(Duration::ZERO, |since| since.elapsed())
+    }
+
+    fn uptime(&self) -> Duration {
+        self.started.elapsed()
+    }
+}
+
+/// Closes a [`BusyClock`] interval on drop — panic-safe, like the
+/// admission guard in `http.rs`.
+struct BusyGuard<'a> {
+    clock: &'a BusyClock,
+}
+
+impl Drop for BusyGuard<'_> {
+    fn drop(&mut self) {
+        let mut state = self.clock.lock();
+        state.inflight -= 1;
+        if state.inflight == 0 {
+            if let Some(since) = state.since.take() {
+                state.busy += since.elapsed();
+            }
+        }
+    }
+}
+
+/// The service's handles into the global metrics registry, resolved once
+/// per `Service` (registration is idempotent — a second service in the
+/// same process shares the same series).
+struct ServiceMetrics {
+    queries_verified: Counter,
+    queries_violated: Counter,
+    queries_aborted: Counter,
+    query_seconds: Histogram,
+    cache_hits: Counter,
+    artifact_builds: Counter,
+    artifact_rebuilds: Counter,
+    evictions: Counter,
+    /// Ledger eviction count already published into `evictions` — the
+    /// ledger keeps the monotonic total, the counter advances by the
+    /// delta at each [`Service::refresh_metrics`].
+    published_evictions: AtomicU64,
+    tracked_bytes: Gauge,
+    peak_tracked_bytes: Gauge,
+    busy_ratio: GaugeF,
+}
+
+impl ServiceMetrics {
+    fn new() -> Self {
+        let queries = |result: &str| {
+            tm_obs::global_counter(
+                "tm_queries_total",
+                "Queries answered, by result",
+                &[("result", result)],
+            )
+        };
+        ServiceMetrics {
+            queries_verified: queries("verified"),
+            queries_violated: queries("violated"),
+            queries_aborted: queries("aborted"),
+            query_seconds: tm_obs::global_histogram(
+                "tm_query_seconds",
+                "End-to-end time per query (admission to settle)",
+                &[],
+                Unit::Nanos,
+            ),
+            cache_hits: tm_obs::global_counter(
+                "tm_cache_hits_total",
+                "Queries answered from a resident artifact",
+                &[],
+            ),
+            artifact_builds: tm_obs::global_counter(
+                "tm_artifact_builds_total",
+                "Artifact builds (first-time and rebuilds)",
+                &[],
+            ),
+            artifact_rebuilds: tm_obs::global_counter(
+                "tm_artifact_rebuilds_total",
+                "Builds that re-created an evicted artifact",
+                &[],
+            ),
+            evictions: tm_obs::global_counter(
+                "tm_evictions_total",
+                "Artifacts evicted by the memory budget",
+                &[],
+            ),
+            published_evictions: AtomicU64::new(0),
+            tracked_bytes: tm_obs::global_gauge(
+                "tm_tracked_bytes",
+                "Artifact bytes currently tracked by the budget ledger",
+                &[],
+            ),
+            peak_tracked_bytes: tm_obs::global_gauge(
+                "tm_peak_tracked_bytes",
+                "High-water mark of tracked artifact bytes",
+                &[],
+            ),
+            busy_ratio: tm_obs::global_gauge_f(
+                "tm_serve_busy_ratio",
+                "Fraction of service uptime with at least one batch in flight",
+                &[],
+            ),
+        }
+    }
+
+    /// Per-query counter updates (cheap relaxed adds, done inline).
+    fn observe_query(&self, result: &QueryResult, elapsed: Duration) {
+        match &result.outcome {
+            QueryOutcome::Aborted { reason } => {
+                self.queries_aborted.inc();
+                // Abort-reason cardinality is the 5 EngineError codes;
+                // aborts are rare, so the registry lookup per abort is
+                // fine.
+                tm_obs::global_counter(
+                    "tm_aborted_queries_total",
+                    "Aborted queries, by abort reason",
+                    &[("reason", reason.code())],
+                )
+                .inc();
+            }
+            _ if result.holds => self.queries_verified.inc(),
+            _ => self.queries_violated.inc(),
+        }
+        if result.cached {
+            self.cache_hits.inc();
+        } else if result.abort_reason().is_none() {
+            self.artifact_builds.inc();
+        }
+        if result.rebuilt {
+            self.artifact_rebuilds.inc();
+        }
+        self.query_seconds
+            .observe(elapsed.as_nanos().min(u128::from(u64::MAX)) as u64);
+    }
 }
 
 /// Unpins (and on the reserved path refunds) an admitted query's budget
@@ -382,7 +582,9 @@ pub struct Service {
     artifact_builds: AtomicU64,
     artifact_rebuilds: AtomicU64,
     aborted_queries: AtomicU64,
-    busy_ns: AtomicU64,
+    batch_ns: AtomicU64,
+    busy: BusyClock,
+    metrics: ServiceMetrics,
 }
 
 impl Service {
@@ -399,7 +601,9 @@ impl Service {
             artifact_builds: AtomicU64::new(0),
             artifact_rebuilds: AtomicU64::new(0),
             aborted_queries: AtomicU64::new(0),
-            busy_ns: AtomicU64::new(0),
+            batch_ns: AtomicU64::new(0),
+            busy: BusyClock::new(),
+            metrics: ServiceMetrics::new(),
         }
     }
 
@@ -430,80 +634,30 @@ impl Service {
         batch: &[QuerySpec],
         deadline_ms: Option<u64>,
     ) -> Vec<QueryResult> {
+        self.submit_traced(batch, deadline_ms, false)
+    }
+
+    /// [`Service::submit_with_deadline`] that additionally attaches a
+    /// per-query [`TraceRecord`] — the phase totals and captured spans —
+    /// to every result when `trace` is `true` (and instrumentation is
+    /// enabled; with `TM_OBS=off` the results come back untraced).
+    pub fn submit_traced(
+        &self,
+        batch: &[QuerySpec],
+        deadline_ms: Option<u64>,
+        trace: bool,
+    ) -> Vec<QueryResult> {
         let start = Instant::now();
+        let _busy = self.busy.enter();
         let deadline = deadline_ms
             .map(Duration::from_millis)
             .or(self.batch_deadline)
             .map(|window| start + window);
         let mut results: Vec<Option<QueryResult>> = batch.iter().map(|_| None).collect();
         for idx in execution_order(batch) {
-            let spec = &batch[idx];
-            self.queries.fetch_add(1, Ordering::Relaxed);
-            if deadline.is_some_and(|d| Instant::now() >= d) {
-                self.aborted_queries.fetch_add(1, Ordering::Relaxed);
-                results[idx] = Some(QueryResult::aborted(spec.clone(), EngineError::Deadline));
-                continue;
-            }
-            let key = spec.artifact_key();
-            // Admit under the budget: pins `key` for the whole query, so
-            // no concurrent batch can evict the artifact from under us;
-            // on a miss this also pre-evicts at the last known size so
-            // two generations of a large artifact never coexist.
-            let admission = self.budget.admit(&key);
-            let pin = PinGuard::new(&self.budget, &key, admission.reserved);
-            self.perform_evictions(&admission.evicted);
-            // Fault site: the artifact (re)build about to happen.
-            if admission.reserved {
-                if let Err(error) = fault::fault_point("build") {
-                    pin.abandon();
-                    self.aborted_queries.fetch_add(1, Ordering::Relaxed);
-                    results[idx] = Some(QueryResult::aborted(spec.clone(), error));
-                    continue;
-                }
-            }
-            let session = self.registry.session(spec.threads, spec.vars);
-            let (verdict, bytes) = {
-                let mut session = lock_session(&session);
-                let verdict = run_query(&mut session, spec);
-                let bytes = match &key.kind {
-                    ArtifactKind::RunGraph(name) => session.run_graph_heap_bytes(name),
-                    ArtifactKind::Spec(property) => session.spec_heap_bytes(*property),
-                }
-                .unwrap_or(0);
-                (verdict, bytes)
-            };
-            let aborted = matches!(verdict.outcome, VerdictOutcome::Aborted(_));
-            if aborted {
-                self.aborted_queries.fetch_add(1, Ordering::Relaxed);
-            } else if verdict.stats.artifact_cached {
-                self.cache_hits.fetch_add(1, Ordering::Relaxed);
-            } else {
-                self.artifact_builds.fetch_add(1, Ordering::Relaxed);
-            }
-            self.artifact_rebuilds
-                .fetch_add(verdict.stats.rebuilds as u64, Ordering::Relaxed);
-            // Fault site: the charge settle / eviction after the query.
-            if let Err(error) = fault::fault_point("evict") {
-                pin.abandon();
-                self.aborted_queries.fetch_add(1, Ordering::Relaxed);
-                results[idx] = Some(QueryResult::aborted(spec.clone(), error));
-                continue;
-            }
-            if bytes == 0 && aborted {
-                // The build failed before producing an artifact: settle
-                // the provisional reservation instead of charging a
-                // phantom entry.
-                pin.abandon();
-            } else {
-                // Charge the artifact's *current* size (lazy spec caches
-                // grow as new TMs touch new rows) and settle back under
-                // budget.
-                let evicted = pin.settle(bytes);
-                self.perform_evictions(&evicted);
-            }
-            results[idx] = Some(QueryResult::from_verdict(spec.clone(), verdict));
+            results[idx] = Some(self.run_traced(&batch[idx], deadline, trace));
         }
-        self.busy_ns.fetch_add(
+        self.batch_ns.fetch_add(
             u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX),
             Ordering::Relaxed,
         );
@@ -511,6 +665,131 @@ impl Service {
             .into_iter()
             .map(|r| r.expect("every scheduled query was answered"))
             .collect()
+    }
+
+    /// Runs one query under a per-query trace recorder (when
+    /// instrumentation is enabled), updates the per-query metrics, and
+    /// emits the slow-query log line if the query crossed the
+    /// `TM_SLOW_QUERY_MS` threshold.
+    fn run_traced(
+        &self,
+        spec: &QuerySpec,
+        deadline: Option<Instant>,
+        trace: bool,
+    ) -> QueryResult {
+        let started = Instant::now();
+        let result = if tm_obs::obs_enabled() {
+            let (mut result, record) =
+                tm_obs::with_recorder(trace, || self.run_one(spec, deadline));
+            if trace {
+                result.trace = Some(record);
+            }
+            result
+        } else {
+            self.run_one(spec, deadline)
+        };
+        let elapsed = started.elapsed();
+        self.metrics.observe_query(&result, elapsed);
+        if let Some(threshold) = tm_obs::slow_query_threshold() {
+            if elapsed >= threshold {
+                self.log_slow_query(&result, elapsed);
+            }
+        }
+        result
+    }
+
+    /// Emits the slow-query line. Written straight to stderr via
+    /// [`tm_obs::format_log_line`] — deliberately *not* through
+    /// [`tm_obs::log_json`], so setting `TM_SLOW_QUERY_MS` alone (with
+    /// `TM_LOG` off) still surfaces slow queries.
+    fn log_slow_query(&self, result: &QueryResult, elapsed: Duration) {
+        use std::io::Write;
+        let spec = result.spec.to_string();
+        let dur_ms = u64::try_from(elapsed.as_millis()).unwrap_or(u64::MAX);
+        let line = tm_obs::format_log_line(
+            "slow_query",
+            &[
+                ("query", LogValue::Str(&spec)),
+                ("tm", LogValue::Str(&result.name)),
+                ("dur_ms", LogValue::U64(dur_ms)),
+                ("holds", LogValue::Bool(result.holds)),
+                ("states", LogValue::U64(result.states as u64)),
+                ("cached", LogValue::Bool(result.cached)),
+            ],
+        );
+        let stderr = std::io::stderr();
+        let mut handle = stderr.lock();
+        let _ = handle.write_all(line.as_bytes());
+    }
+
+    /// Answers one scheduled query: deadline check, budget admission
+    /// (pin), session query, settle. The extracted per-query body of the
+    /// old `submit` loop, so [`Service::run_traced`] can wrap it in a
+    /// recorder.
+    fn run_one(&self, spec: &QuerySpec, deadline: Option<Instant>) -> QueryResult {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            self.aborted_queries.fetch_add(1, Ordering::Relaxed);
+            return QueryResult::aborted(spec.clone(), EngineError::Deadline);
+        }
+        let key = spec.artifact_key();
+        // Admit under the budget: pins `key` for the whole query, so
+        // no concurrent batch can evict the artifact from under us;
+        // on a miss this also pre-evicts at the last known size so
+        // two generations of a large artifact never coexist.
+        let admission = self.budget.admit(&key);
+        let pin = PinGuard::new(&self.budget, &key, admission.reserved);
+        self.perform_evictions(&admission.evicted);
+        // Fault site: the artifact (re)build about to happen.
+        if admission.reserved {
+            if let Err(error) = fault::fault_point("build") {
+                pin.abandon();
+                self.aborted_queries.fetch_add(1, Ordering::Relaxed);
+                return QueryResult::aborted(spec.clone(), error);
+            }
+        }
+        let session = self.registry.session(spec.threads, spec.vars);
+        let (verdict, bytes) = {
+            let lock_span = PhaseTimer::start(Phase::SessionLockWait);
+            let mut session = lock_session(&session);
+            lock_span.stop();
+            let verdict = run_query(&mut session, spec);
+            let bytes = match &key.kind {
+                ArtifactKind::RunGraph(name) => session.run_graph_heap_bytes(name),
+                ArtifactKind::Spec(property) => session.spec_heap_bytes(*property),
+            }
+            .unwrap_or(0);
+            (verdict, bytes)
+        };
+        let aborted = matches!(verdict.outcome, VerdictOutcome::Aborted(_));
+        if aborted {
+            self.aborted_queries.fetch_add(1, Ordering::Relaxed);
+        } else if verdict.stats.artifact_cached {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.artifact_builds.fetch_add(1, Ordering::Relaxed);
+        }
+        self.artifact_rebuilds
+            .fetch_add(verdict.stats.rebuilds as u64, Ordering::Relaxed);
+        // Fault site: the charge settle / eviction after the query.
+        if let Err(error) = fault::fault_point("evict") {
+            pin.abandon();
+            self.aborted_queries.fetch_add(1, Ordering::Relaxed);
+            return QueryResult::aborted(spec.clone(), error);
+        }
+        if bytes == 0 && aborted {
+            // The build failed before producing an artifact: settle
+            // the provisional reservation instead of charging a
+            // phantom entry.
+            pin.abandon();
+        } else {
+            // Charge the artifact's *current* size (lazy spec caches
+            // grow as new TMs touch new rows) and settle back under
+            // budget.
+            let evicted = pin.settle(bytes);
+            self.perform_evictions(&evicted);
+        }
+        QueryResult::from_verdict(spec.clone(), verdict)
     }
 
     /// Performs ledger-decided evictions on the owning sessions. The
@@ -553,8 +832,29 @@ impl Service {
             mem_budget: self.budget.limit(),
             sessions: self.registry.len(),
             pool_size: self.registry.pool_size(),
-            busy_ns: self.busy_ns.load(Ordering::Relaxed),
+            batch_ns: self.batch_ns.load(Ordering::Relaxed),
+            busy_wall_ns: u64::try_from(self.busy.busy_wall().as_nanos()).unwrap_or(u64::MAX),
+            uptime_ns: u64::try_from(self.busy.uptime().as_nanos()).unwrap_or(u64::MAX),
         }
+    }
+
+    /// Publishes the scrape-time metrics into the global registry: the
+    /// ledger gauges, the eviction-counter delta, and the busy ratio.
+    /// The `/metrics` endpoint calls this before rendering, so gauges
+    /// are current without a per-query update.
+    pub fn refresh_metrics(&self) {
+        let stats = self.stats();
+        let m = &self.metrics;
+        m.tracked_bytes.set(stats.tracked_bytes as u64);
+        m.peak_tracked_bytes.set(stats.peak_tracked_bytes as u64);
+        // Publish the monotonic ledger total into the counter by delta;
+        // fetch_max makes concurrent scrapes add each eviction once.
+        let published = m.published_evictions.fetch_max(stats.evictions, Ordering::Relaxed);
+        if stats.evictions > published {
+            m.evictions.add(stats.evictions - published);
+        }
+        m.busy_ratio
+            .set(stats.busy_wall_ns as f64 / (stats.uptime_ns.max(1)) as f64);
     }
 
     /// The currently charged artifacts and their byte sizes, sorted.

@@ -39,11 +39,18 @@
 //!
 //! Requests may carry an optional `"deadline_ms"` member next to
 //! `"queries"` — a whole-batch wall-clock budget that overrides the
-//! server's configured default.
+//! server's configured default — and an optional `"trace": true`, which
+//! asks the server to attach a per-query `"trace"` member to every
+//! result: `{"phases": {"<phase>": <ns>, ...}, "events": [{"phase":
+//! ..., "start_ns": ..., "dur_ns": ..., "value": ...}, ...],
+//! "dropped_events": N}` (phase names are the
+//! [`tm_obs::Phase::name`] vocabulary; servers running `TM_OBS=off`
+//! omit the member).
 
 use std::fmt;
 
 use tm_automata::EngineError;
+use tm_obs::{Phase, TraceEvent, TraceRecord};
 
 use crate::roster::{CmKind, PropertyKind, QuerySpec, TmKind};
 use crate::service::{QueryOutcome, QueryResult, ServiceStats};
@@ -493,12 +500,25 @@ fn decode_spec(value: &Json) -> Result<QuerySpec, WireError> {
 /// Encodes a batch request body with an optional whole-batch deadline
 /// in milliseconds.
 pub fn encode_batch_request(batch: &[QuerySpec], deadline_ms: Option<u64>) -> String {
+    encode_batch_request_traced(batch, deadline_ms, false)
+}
+
+/// [`encode_batch_request`] with the optional `"trace": true` member
+/// that asks the server for per-query phase traces.
+pub fn encode_batch_request_traced(
+    batch: &[QuerySpec],
+    deadline_ms: Option<u64>,
+    trace: bool,
+) -> String {
     let mut members = vec![(
         "queries".to_owned(),
         Json::Arr(batch.iter().map(|q| Json::Obj(spec_members(q))).collect()),
     )];
     if let Some(ms) = deadline_ms {
         members.push(("deadline_ms".to_owned(), num(ms as usize)));
+    }
+    if trace {
+        members.push(("trace".to_owned(), Json::Bool(true)));
     }
     Json::Obj(members).to_string()
 }
@@ -511,6 +531,14 @@ pub fn decode_batch(body: &str) -> Result<Vec<QuerySpec>, WireError> {
 /// Decodes a batch request body together with its optional
 /// `"deadline_ms"` member.
 pub fn decode_batch_request(body: &str) -> Result<(Vec<QuerySpec>, Option<u64>), WireError> {
+    decode_batch_request_traced(body).map(|(queries, deadline_ms, _)| (queries, deadline_ms))
+}
+
+/// Decodes a batch request body together with its optional
+/// `"deadline_ms"` and `"trace"` members.
+pub fn decode_batch_request_traced(
+    body: &str,
+) -> Result<(Vec<QuerySpec>, Option<u64>, bool), WireError> {
     let json = Json::parse(body)?;
     let queries = json
         .get("queries")
@@ -525,7 +553,13 @@ pub fn decode_batch_request(body: &str) -> Result<(Vec<QuerySpec>, Option<u64>),
             WireError("request field \"deadline_ms\" must be a non-negative integer".to_owned())
         })? as u64),
     };
-    Ok((queries, deadline_ms))
+    let trace = match json.get("trace") {
+        None | Some(Json::Null) => false,
+        Some(v) => v
+            .as_bool()
+            .ok_or_else(|| WireError("request field \"trace\" must be a boolean".to_owned()))?,
+    };
+    Ok((queries, deadline_ms, trace))
 }
 
 fn result_to_json(result: &QueryResult) -> Json {
@@ -561,7 +595,78 @@ fn result_to_json(result: &QueryResult) -> Json {
             members.push(("aborted".to_owned(), Json::Str(reason.to_string())));
         }
     }
+    if let Some(trace) = &result.trace {
+        members.push(("trace".to_owned(), trace_to_json(trace)));
+    }
     Json::Obj(members)
+}
+
+fn trace_to_json(trace: &TraceRecord) -> Json {
+    // Phase totals as a name → nanoseconds map; all-zero phases are
+    // omitted to keep traced responses compact.
+    let phases = Phase::ALL
+        .into_iter()
+        .filter(|&p| trace.phase_ns[p as usize] > 0)
+        .map(|p| (p.name().to_owned(), num(trace.phase_ns[p as usize] as usize)))
+        .collect();
+    let events = trace
+        .events
+        .iter()
+        .map(|e| {
+            Json::Obj(vec![
+                ("phase".to_owned(), Json::Str(e.phase.name().to_owned())),
+                ("start_ns".to_owned(), num(e.start_ns as usize)),
+                ("dur_ns".to_owned(), num(e.dur_ns as usize)),
+                ("value".to_owned(), num(e.value as usize)),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("phases".to_owned(), Json::Obj(phases)),
+        ("events".to_owned(), Json::Arr(events)),
+        ("dropped_events".to_owned(), num(trace.dropped_events as usize)),
+    ])
+}
+
+fn decode_trace(value: &Json) -> Result<TraceRecord, WireError> {
+    let mut record = TraceRecord::default();
+    if let Some(Json::Obj(members)) = value.get("phases") {
+        for (name, ns) in members {
+            let phase = Phase::from_name(name)
+                .ok_or_else(|| WireError(format!("unknown trace phase {name:?}")))?;
+            record.phase_ns[phase as usize] = ns
+                .as_usize()
+                .ok_or_else(|| WireError(format!("trace phase {name:?} must be an integer")))?
+                as u64;
+        }
+    }
+    if let Some(events) = value.get("events").and_then(Json::as_arr) {
+        let field = |event: &Json, key: &str| {
+            event
+                .get(key)
+                .and_then(Json::as_usize)
+                .map(|v| v as u64)
+                .ok_or_else(|| WireError(format!("trace event is missing integer {key:?}")))
+        };
+        for event in events {
+            let name = event
+                .get("phase")
+                .and_then(Json::as_str)
+                .ok_or_else(|| WireError("trace event is missing \"phase\"".to_owned()))?;
+            record.events.push(TraceEvent {
+                phase: Phase::from_name(name)
+                    .ok_or_else(|| WireError(format!("unknown trace phase {name:?}")))?,
+                start_ns: field(event, "start_ns")?,
+                dur_ns: field(event, "dur_ns")?,
+                value: field(event, "value")?,
+            });
+        }
+    }
+    record.dropped_events = value
+        .get("dropped_events")
+        .and_then(Json::as_usize)
+        .unwrap_or(0) as u64;
+    Ok(record)
 }
 
 /// Encodes a batch response body (results in request order plus the
@@ -602,7 +707,9 @@ fn stats_to_json(stats: &ServiceStats) -> Json {
         ),
         ("sessions".to_owned(), num(stats.sessions)),
         ("pool_size".to_owned(), num(stats.pool_size)),
-        ("busy_ns".to_owned(), num(stats.busy_ns as usize)),
+        ("batch_ns".to_owned(), num(stats.batch_ns as usize)),
+        ("busy_wall_ns".to_owned(), num(stats.busy_wall_ns as usize)),
+        ("uptime_ns".to_owned(), num(stats.uptime_ns as usize)),
     ])
 }
 
@@ -675,6 +782,10 @@ fn decode_result(value: &Json) -> Result<QueryResult, WireError> {
         cached: bool_field("cached")?,
         rebuilt: bool_field("rebuilt")?,
         outcome,
+        trace: match value.get("trace") {
+            None | Some(Json::Null) => None,
+            Some(trace) => Some(decode_trace(trace)?),
+        },
     })
 }
 
@@ -706,7 +817,16 @@ fn decode_stats(value: &Json) -> Result<ServiceStats, WireError> {
         },
         sessions: field("sessions")?,
         pool_size: field("pool_size")?,
-        busy_ns: field("busy_ns")? as u64,
+        // `busy_ns` was renamed `batch_ns` when the overlap-summing bug
+        // was documented away; accept bodies from servers of either
+        // vintage.
+        batch_ns: value
+            .get("batch_ns")
+            .or_else(|| value.get("busy_ns"))
+            .and_then(Json::as_usize)
+            .unwrap_or(0) as u64,
+        busy_wall_ns: value.get("busy_wall_ns").and_then(Json::as_usize).unwrap_or(0) as u64,
+        uptime_ns: value.get("uptime_ns").and_then(Json::as_usize).unwrap_or(0) as u64,
     })
 }
 
@@ -770,6 +890,21 @@ mod tests {
                 cached: false,
                 rebuilt: false,
                 outcome: QueryOutcome::Verified,
+                trace: Some(TraceRecord {
+                    phase_ns: {
+                        let mut ns = [0u64; Phase::COUNT];
+                        ns[Phase::BfsLevel as usize] = 120_000;
+                        ns[Phase::SessionLockWait as usize] = 450;
+                        ns
+                    },
+                    events: vec![TraceEvent {
+                        phase: Phase::BfsLevel,
+                        start_ns: 500,
+                        dur_ns: 120_000,
+                        value: 37,
+                    }],
+                    dropped_events: 2,
+                }),
             },
             QueryResult {
                 spec: QuerySpec::parse("modified-TL2+polite:ss:2:2").unwrap(),
@@ -781,6 +916,7 @@ mod tests {
                 outcome: QueryOutcome::SafetyViolation {
                     word: "(w,1)1 c1 (r,1)2 (w,1)2 c2".to_owned(),
                 },
+                trace: None,
             },
             QueryResult {
                 spec: QuerySpec::parse("2PL:of:2:1").unwrap(),
@@ -794,6 +930,7 @@ mod tests {
                     cycle: vec!["a1".to_owned(), "(o,1)1".to_owned()],
                     notation: "a1, (o,1)1".to_owned(),
                 },
+                trace: None,
             },
         ];
         let stats = ServiceStats {
@@ -808,7 +945,9 @@ mod tests {
             mem_budget: Some(1 << 20),
             sessions: 2,
             pool_size: 4,
-            busy_ns: 987654321,
+            batch_ns: 987654321,
+            busy_wall_ns: 123456789,
+            uptime_ns: 222333444,
         };
         let body = encode_results(&results, &stats);
         let (decoded, decoded_stats) = decode_results(&body).unwrap();
@@ -821,5 +960,33 @@ mod tests {
         };
         let (_, decoded_stats) = decode_results(&encode_results(&[], &unbounded)).unwrap();
         assert_eq!(decoded_stats.mem_budget, None);
+    }
+
+    #[test]
+    fn trace_flag_round_trips_and_defaults_off() {
+        let batch = vec![QuerySpec::parse("TL2:ss:2:2").unwrap()];
+        let traced = encode_batch_request_traced(&batch, Some(500), true);
+        let (queries, deadline_ms, trace) = decode_batch_request_traced(&traced).unwrap();
+        assert_eq!(queries, batch);
+        assert_eq!(deadline_ms, Some(500));
+        assert!(trace);
+        // Plain requests (and the untraced encoder) read as trace=false.
+        let plain = encode_batch_request(&batch, None);
+        let (_, _, trace) = decode_batch_request_traced(&plain).unwrap();
+        assert!(!trace);
+        assert!(decode_batch_request_traced(r#"{"queries": [], "trace": 1}"#).is_err());
+    }
+
+    #[test]
+    fn legacy_busy_ns_bodies_still_decode() {
+        // A stats body from a server predating the batch_ns rename.
+        let body = r#"{"queries": 1, "cache_hits": 0, "artifact_builds": 1,
+            "artifact_rebuilds": 0, "evictions": 0, "tracked_bytes": 10,
+            "peak_tracked_bytes": 10, "mem_budget": null, "sessions": 1,
+            "pool_size": 1, "busy_ns": 42}"#;
+        let stats = decode_stats(&Json::parse(body).unwrap()).unwrap();
+        assert_eq!(stats.batch_ns, 42, "busy_ns reads as batch_ns");
+        assert_eq!(stats.busy_wall_ns, 0);
+        assert_eq!(stats.uptime_ns, 0);
     }
 }
