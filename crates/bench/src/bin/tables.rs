@@ -751,7 +751,10 @@ fn bench_liveness_session(sizes: &[(usize, usize)]) -> Vec<String> {
 /// rest: smaller than the artifact total, so the roster cannot be
 /// answered without evicting). Verdicts are asserted identical across
 /// budgets; throughput, hit/rebuild rates, evictions, and the peak
-/// tracked bytes become `BENCH_service.json`.
+/// tracked bytes become `BENCH_service.json`. A persistence pass runs
+/// the roster through the content-addressed artifact store: cold
+/// write-through, a restarted warm-started service (zero builds), and
+/// promote-instead-of-rebuild under the tight budget.
 fn bench_service() {
     use tm_service::{table2_batch, table3_batch, Service, ServiceConfig};
 
@@ -924,6 +927,104 @@ fn bench_service() {
     }
     println!("{conc_table}");
 
+    // Persistence: the same roster through the content-addressed
+    // artifact store. A cold service write-throughs every build; a
+    // "restarted daemon" warm-starts over the same directory and must
+    // answer with zero builds; a tight-budget service over its own
+    // directory demotes evictions to disk and, on re-submission,
+    // promotes them back instead of rebuilding (compare its warm pass
+    // against the storeless tight budget's rebuild-based one above).
+    let store_dir = std::env::temp_dir().join(format!("tm-bench-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let store_config = |mem_budget, dir: &std::path::Path| ServiceConfig {
+        mem_budget,
+        pool_size: pool,
+        max_states: MAX_STATES,
+        store_dir: Some(dir.to_path_buf()),
+        ..ServiceConfig::default()
+    };
+    let cold_store = Service::try_new(store_config(None, &store_dir)).expect("store opens");
+    let start = Instant::now();
+    let cold_store_results = cold_store.submit(&batch);
+    let store_cold = start.elapsed();
+    let cold_store_stats = cold_store.stats();
+    drop(cold_store);
+
+    let start = Instant::now();
+    let warm_store = Service::try_new(store_config(None, &store_dir)).expect("store opens");
+    let warm_boot = start.elapsed();
+    let start = Instant::now();
+    let warm_store_results = warm_store.submit(&batch);
+    let store_warm = start.elapsed();
+    let warm_store_stats = warm_store.stats();
+    assert_eq!(
+        warm_store_stats.artifact_builds, 0,
+        "a warm-started service answers the roster with zero builds"
+    );
+
+    let demote_dir =
+        std::env::temp_dir().join(format!("tm-bench-store-demote-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&demote_dir);
+    let demote_service =
+        Service::try_new(store_config(Some(tight), &demote_dir)).expect("store opens");
+    let _ = demote_service.submit(&batch);
+    let start = Instant::now();
+    let promote_results = demote_service.submit(&batch);
+    let promote_warm = start.elapsed();
+    let demote_stats = demote_service.stats();
+    assert_eq!(
+        demote_stats.artifact_rebuilds, 0,
+        "with a store, every would-be rebuild is a promote"
+    );
+    assert!(demote_stats.store_promotes > 0, "the tight budget must promote");
+    for (run, name) in [
+        (&cold_store_results, "store cold"),
+        (&warm_store_results, "store warm"),
+        (&promote_results, "store promote"),
+    ] {
+        for (a, b) in run.iter().zip(&reference) {
+            assert_eq!(
+                (a.holds, &a.outcome),
+                (b.holds, &b.outcome),
+                "{name} verdict must match unbounded: {}",
+                a.spec
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let _ = std::fs::remove_dir_all(&demote_dir);
+
+    let mut store_table = Table::new(
+        format!(
+            "Service persistence — same roster through the artifact store \
+             ({} B on disk, {} files)",
+            warm_store_stats.store_bytes, warm_store_stats.store_files
+        ),
+        ["pass", "elapsed", "builds", "saves", "hits", "promotes", "demotes"],
+    );
+    for (pass, elapsed, stats) in [
+        ("cold + write-through", store_cold, &cold_store_stats),
+        ("warm-started batch", store_warm, &warm_store_stats),
+        ("tight budget, promote", promote_warm, &demote_stats),
+    ] {
+        store_table.push_row([
+            pass.to_owned(),
+            format!("{elapsed:.2?}"),
+            stats.artifact_builds.to_string(),
+            stats.store_saves.to_string(),
+            stats.store_hits.to_string(),
+            stats.store_promotes.to_string(),
+            stats.store_demotes.to_string(),
+        ]);
+    }
+    println!("{store_table}");
+    println!(
+        "Warm boot (store open + install of {} artifacts): {warm_boot:.2?}; \
+         tight-budget warm pass: {promote_warm:.2?} promoting vs {tight_warm:.2?} \
+         rebuilding without a store\n",
+        warm_store_stats.store_hits
+    );
+
     let json = format!(
         "{{\n  \"benchmark\": \"service-batch\",\n  \
          \"unit\": \"wall clock per 22-query batch (Table 2 safety at (2,2) + Table 3 \
@@ -936,6 +1037,18 @@ fn bench_service() {
          \"host_cpus\": {},\n  \"pool_size\": {},\n  \"queries_per_batch\": {},\n  \
          \"artifact_total_bytes\": {},\n  \"largest_artifact_bytes\": {},\n  \
          \"budgets\": [\n{}\n  ],\n  \"concurrency\": [\n{}\n  ],\n  \
+         \"persistence_unit\": \"same roster through the content-addressed artifact \
+         store (tm-store): store_cold_ns = fresh service writing every built artifact \
+         through to disk, warm_boot_ns = restarted service opening the store and \
+         installing every artifact at construction, store_warm_ns = that restarted \
+         service answering the full roster with zero builds, promote_warm_ns = a \
+         tight-budget service re-answering the roster by promoting demoted artifacts \
+         from disk instead of rebuilding (compare the tight budget row's rebuild-based \
+         warm_ns)\",\n  \
+         \"persistence\": {{\"store_cold_ns\": {}, \"warm_boot_ns\": {}, \
+         \"store_warm_ns\": {}, \"promote_warm_ns\": {}, \"store_bytes\": {}, \
+         \"store_files\": {}, \"cold_saves\": {}, \"warm_hits\": {}, \"promotes\": {}, \
+         \"demotes\": {}}},\n  \
          \"instrumentation_unit\": \"best-of-5 warm roster through an unbounded-budget \
          service with tm-obs phase timers enabled (default) vs TM_OBS=off; \
          overhead_ratio = on/off - 1, target <= 0.05\",\n  \
@@ -948,6 +1061,16 @@ fn bench_service() {
         largest,
         rows.join(",\n"),
         conc_rows.join(",\n"),
+        store_cold.as_nanos(),
+        warm_boot.as_nanos(),
+        store_warm.as_nanos(),
+        promote_warm.as_nanos(),
+        warm_store_stats.store_bytes,
+        warm_store_stats.store_files,
+        cold_store_stats.store_saves,
+        warm_store_stats.store_hits,
+        demote_stats.store_promotes,
+        demote_stats.store_demotes,
         obs_on.as_nanos(),
         obs_off.as_nanos(),
         obs_overhead

@@ -45,6 +45,16 @@ pub struct QueryStats {
     /// nest (a BFS level contains its pool dispatches and spec-row
     /// interning), so the entries do not sum to wall time.
     pub phase_ns: tm_obs::PhaseNanos,
+    /// Artifacts this query *promoted* from the persistent store
+    /// (loaded and verified from disk instead of rebuilt). Zero when no
+    /// store is configured. Filled by the serving layer; a promote is
+    /// neither a build nor a rebuild.
+    pub store_promotes: usize,
+    /// Artifacts *demoted* to the persistent store by the evictions
+    /// this query's memory admission forced (exported to disk before
+    /// being dropped, instead of discarded). Zero when no store is
+    /// configured.
+    pub store_demotes: usize,
 }
 
 impl QueryStats {

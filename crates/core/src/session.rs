@@ -369,6 +369,108 @@ impl Verifier {
         before != self.lazy_specs.len() + self.eager_specs.len()
     }
 
+    /// Exports the cached compiled run graph of `tm_name` for
+    /// persistence: the graph (cloned), the states-explored figure, and
+    /// the original build time. `None` when nothing is cached. Pairs
+    /// with [`Verifier::import_run_graph`]; a service *demotes* an
+    /// artifact by exporting it to disk and then calling
+    /// [`Verifier::drop_run_graph`].
+    pub fn export_run_graph(
+        &self,
+        tm_name: &str,
+    ) -> Option<(CompiledRunGraph<RunLabel>, usize, Duration)> {
+        self.run_graphs
+            .get(tm_name)
+            .map(|artifact| (artifact.graph.clone(), artifact.states, artifact.build_time))
+    }
+
+    /// Installs a previously exported (or freshly loaded-from-disk)
+    /// compiled run graph as `tm_name`'s cached artifact, replacing any
+    /// cached one.
+    ///
+    /// Importing is **neither a build nor a rebuild** — the build
+    /// counters and [`QueryStats::rebuilds`] are untouched, so a
+    /// warm-started service truthfully reports zero rebuilds. The build
+    /// *history* is marked, so a later eviction followed by an actual
+    /// build still counts as a rebuild.
+    ///
+    /// The graph must come from [`Verifier::export_run_graph`] or a
+    /// verified store load: builds are deterministic, so an imported
+    /// artifact answers queries bit-identically to a rebuilt one.
+    pub fn import_run_graph(
+        &mut self,
+        tm_name: &str,
+        graph: CompiledRunGraph<RunLabel>,
+        states: usize,
+        build_time: Duration,
+    ) {
+        self.run_graphs.insert(
+            tm_name.to_owned(),
+            RunGraphArtifact {
+                graph,
+                states,
+                build_time,
+            },
+        );
+        *self
+            .run_graph_history
+            .entry(tm_name.to_owned())
+            .or_insert(0) += 1;
+    }
+
+    /// Exports the interned rows of the cached lazy specification for
+    /// `(property, n, k)`: the interned states, the computed successor
+    /// rows, and the original build time. `None` when nothing is cached
+    /// (or only an eager artifact is). Pairs with
+    /// [`Verifier::import_lazy_spec`].
+    #[allow(clippy::type_complexity)]
+    pub fn export_lazy_spec(
+        &self,
+        property: SafetyProperty,
+        n: usize,
+        k: usize,
+    ) -> Option<(Vec<tm_spec::DetState>, Vec<Option<Box<[u32]>>>, Duration)> {
+        self.lazy_specs.get(&(property, n, k)).map(|artifact| {
+            let (states, rows) = artifact.cache.to_parts();
+            (states, rows, artifact.build_time)
+        })
+    }
+
+    /// Installs previously exported lazy-specification rows for
+    /// `(property, n, k)`, validating them against a freshly
+    /// constructed specification source (initial state, row widths, id
+    /// ranges). Like [`Verifier::import_run_graph`], this is neither a
+    /// build nor a rebuild, but it marks the build history.
+    ///
+    /// The interned rows are a pure memo of the deterministic
+    /// specification semantics — ids are dense renames in discovery
+    /// order, and any state the memo lacks is stepped on demand — so an
+    /// import can change timing, never verdicts.
+    ///
+    /// # Errors
+    ///
+    /// A static description of the first validation failure; the
+    /// session is left unchanged.
+    pub fn import_lazy_spec(
+        &mut self,
+        property: SafetyProperty,
+        n: usize,
+        k: usize,
+        states: Vec<tm_spec::DetState>,
+        rows: Vec<Option<Box<[u32]>>>,
+        build_time: Duration,
+    ) -> Result<(), &'static str> {
+        let source = DtsSpecSource::new(DetSpec::new(property, n, k), spec_alphabet(n, k));
+        let cache = SpecCache::from_parts(source, states, rows)?;
+        self.lazy_specs
+            .insert((property, n, k), LazySpec { cache, build_time });
+        *self
+            .spec_history
+            .entry((property, n, k, SpecMode::Lazy))
+            .or_insert(0) += 1;
+        Ok(())
+    }
+
     /// How many run-graph builds were *re*builds after a
     /// [`Verifier::drop_run_graph`] eviction.
     pub fn run_graph_rebuilds(&self) -> usize {

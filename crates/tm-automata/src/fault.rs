@@ -24,6 +24,9 @@
 //! | `build`    | tm-service artifact build (spec or run graph)       |
 //! | `evict`    | tm-service budget-ledger charge settle / eviction   |
 //! | `encode`   | tm-service wire encoding of a batch response        |
+//! | `store`    | tm-store artifact save (before the atomic rename —  |
+//! |            | a mid-write crash) and artifact load (a poisoned    |
+//! |            | read; the service falls back to rebuild)            |
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;

@@ -102,7 +102,7 @@ pub use antichain::{
     check_inclusion_antichain_reference, EquivalenceResult,
 };
 pub use bitset::{BitSet, Iter as BitSetIter};
-pub use compiled::{CompiledDfa, CompiledNfa, EPSILON, NO_STATE};
+pub use compiled::{CompiledDfa, CompiledNfa, DfaParts, NfaParts, EPSILON, NO_STATE};
 pub use dfa::Dfa;
 pub use explore::{
     explore, explore_budget, explore_deterministic, explore_deterministic_budget,
@@ -117,8 +117,8 @@ pub use inclusion::{
 };
 pub use livecheck::{
     CompiledLasso, CompiledRunGraph, EdgeFilter, EdgeMask, LabelClass, LiveScratch, LoopQuery,
-    LoopSelection, RunGraphSource, MASK_ABORT, MASK_ALL_THREADS, MASK_COMMIT, MASK_EMITS,
-    MAX_MASK_THREADS,
+    LoopSelection, RunGraphParts, RunGraphSource, MASK_ABORT, MASK_ALL_THREADS, MASK_COMMIT,
+    MASK_EMITS, MAX_MASK_THREADS,
 };
 pub use nfa::{Nfa, StateId};
 pub use pool::{Executor, TaskScope, WorkerPool};

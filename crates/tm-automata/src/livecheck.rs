@@ -256,6 +256,26 @@ pub struct CompiledRunGraph<L> {
     edge_mask: Vec<EdgeMask>,
 }
 
+/// The raw CSR arrays of a [`CompiledRunGraph`]
+/// ([`CompiledRunGraph::to_parts`] / [`CompiledRunGraph::from_parts`]):
+/// the serialization form used by the on-disk artifact store. Field
+/// meanings match the private fields of [`CompiledRunGraph`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RunGraphParts<L> {
+    /// Interned labels, in id order.
+    pub labels: Vec<L>,
+    /// CSR row boundaries (length `num_states + 1`, starting at 0).
+    pub row_start: Vec<u32>,
+    /// Source state per edge ( = its CSR row).
+    pub edge_from: Vec<u32>,
+    /// Target state per edge.
+    pub edge_target: Vec<u32>,
+    /// Label id per edge (index into `labels`).
+    pub edge_label: Vec<u32>,
+    /// Class mask per edge (uniform per label id).
+    pub edge_mask: Vec<EdgeMask>,
+}
+
 impl<L: Clone + Eq + Hash> CompiledRunGraph<L> {
     /// Explores `source` breadth-first and compiles the reachable run
     /// graph, returning it with the interning table of structured states
@@ -407,6 +427,90 @@ impl<L> CompiledRunGraph<L> {
     /// [`CompiledRunGraph::edges`]).
     pub fn edge_mask(&self, e: usize) -> EdgeMask {
         self.edge_mask[e]
+    }
+
+    /// Clones the raw CSR arrays out of the graph — the serialization
+    /// form used by the on-disk artifact store (`tm-store`).
+    pub fn to_parts(&self) -> RunGraphParts<L>
+    where
+        L: Clone,
+    {
+        RunGraphParts {
+            labels: self.labels.clone(),
+            row_start: self.row_start.clone(),
+            edge_from: self.edge_from.clone(),
+            edge_target: self.edge_target.clone(),
+            edge_label: self.edge_label.clone(),
+            edge_mask: self.edge_mask.clone(),
+        }
+    }
+
+    /// Reassembles a run graph from raw CSR arrays
+    /// ([`CompiledRunGraph::to_parts`]), verifying every structural
+    /// invariant [`CompiledRunGraph::build_budget`] establishes before
+    /// trusting the data: CSR shape and monotonicity, per-row
+    /// `edge_from` agreement, id ranges, and one uniform class mask per
+    /// interned label (masks are a per-label property of the builder).
+    /// A graph that passes is behaviourally indistinguishable from a
+    /// freshly built one — SCC indices, loop choices, and lassos are
+    /// functions of these arrays alone.
+    ///
+    /// # Errors
+    ///
+    /// A static description of the first violated invariant.
+    pub fn from_parts(parts: RunGraphParts<L>) -> Result<Self, &'static str> {
+        let RunGraphParts {
+            labels,
+            row_start,
+            edge_from,
+            edge_target,
+            edge_label,
+            edge_mask,
+        } = parts;
+        if row_start.is_empty() || row_start[0] != 0 {
+            return Err("CSR rows do not start at 0");
+        }
+        if row_start.windows(2).any(|w| w[0] > w[1]) {
+            return Err("CSR offsets are not monotone");
+        }
+        let num_states = row_start.len() - 1;
+        let num_edges = *row_start.last().expect("nonempty") as usize;
+        if edge_from.len() != num_edges
+            || edge_target.len() != num_edges
+            || edge_label.len() != num_edges
+            || edge_mask.len() != num_edges
+        {
+            return Err("edge arrays do not cover the CSR rows");
+        }
+        for v in 0..num_states {
+            let row = row_start[v] as usize..row_start[v + 1] as usize;
+            if edge_from[row].iter().any(|&f| f as usize != v) {
+                return Err("edge source disagrees with its CSR row");
+            }
+        }
+        if edge_target.iter().any(|&t| t as usize >= num_states) {
+            return Err("edge target out of range");
+        }
+        if edge_label.iter().any(|&l| l as usize >= labels.len()) {
+            return Err("edge label out of range");
+        }
+        let mut label_masks: Vec<Option<EdgeMask>> = vec![None; labels.len()];
+        for e in 0..num_edges {
+            let slot = &mut label_masks[edge_label[e] as usize];
+            match *slot {
+                None => *slot = Some(edge_mask[e]),
+                Some(mask) if mask == edge_mask[e] => {}
+                Some(_) => return Err("edge mask varies within one label"),
+            }
+        }
+        Ok(CompiledRunGraph {
+            labels,
+            row_start,
+            edge_from,
+            edge_target,
+            edge_label,
+            edge_mask,
+        })
     }
 
     /// Computes the SCCs of the subgraph induced by `filter` with an

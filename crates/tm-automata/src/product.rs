@@ -461,6 +461,11 @@ impl<M> SpecAccess for CompiledSpec<'_, M> {
     }
 }
 
+/// The cached letter-row table of a [`SpecCache`] in serialization form:
+/// `rows[id]` is spec state `id`'s full letter row, `None` if that state
+/// was interned but never stepped.
+pub type SpecRows = Vec<Option<Box<[u32]>>>;
+
 /// Lazy interning cache over a [`SpecSource`]: spec states become dense
 /// `u32` ids on first touch, and each touched state's full letter row is
 /// computed once and cached, so repeated product visits are table
@@ -475,7 +480,7 @@ pub struct SpecCache<D: SpecSource> {
     source: D,
     ids: FxHashMap<D::State, u32>,
     states: Vec<D::State>,
-    rows: Vec<Option<Box<[u32]>>>,
+    rows: SpecRows,
 }
 
 impl<D: SpecSource> SpecCache<D> {
@@ -525,6 +530,70 @@ impl<D: SpecSource> SpecCache<D> {
             + self.states.capacity() * std::mem::size_of::<D::State>()
             + self.rows.capacity() * std::mem::size_of::<Option<Box<[u32]>>>()
             + rows
+    }
+
+    /// Clones the interned state table and cached letter rows out of the
+    /// cache — the serialization form used by the on-disk artifact store
+    /// (`tm-store`). `states[id]` is the spec state behind id `id`;
+    /// `rows[id]` is its cached full letter row (`None` if never
+    /// stepped), entries indexing `states` with misses as
+    /// [`crate::NO_STATE`].
+    pub fn to_parts(&self) -> (Vec<D::State>, SpecRows) {
+        (self.states.clone(), self.rows.clone())
+    }
+
+    /// Rebuilds a cache around `source` from [`SpecCache::to_parts`]
+    /// output, verifying before trusting the data that the tables are
+    /// parallel, states are distinct, the first interned state is the
+    /// source's initial state, and every row has exactly one entry per
+    /// letter pointing inside the state table. The cache is a pure memo
+    /// of `source.step` — ids are dense renames of spec states — so a
+    /// verified import can only change *when* rows are computed, never
+    /// what any query answers.
+    ///
+    /// # Errors
+    ///
+    /// A static description of the first violated invariant.
+    pub fn from_parts(
+        source: D,
+        states: Vec<D::State>,
+        rows: SpecRows,
+    ) -> Result<Self, &'static str> {
+        if states.len() != rows.len() {
+            return Err("state and row tables disagree in length");
+        }
+        if u32::try_from(states.len()).is_err() {
+            return Err("more than u32::MAX spec states");
+        }
+        if let Some(first) = states.first() {
+            if *first != source.initial_state() {
+                return Err("first interned state is not the initial state");
+            }
+        }
+        let num_letters = source.num_letters() as usize;
+        for row in rows.iter().flatten() {
+            if row.len() != num_letters {
+                return Err("cached row has wrong letter count");
+            }
+            if row
+                .iter()
+                .any(|&id| id != NO_STATE && id as usize >= states.len())
+            {
+                return Err("cached row points outside the state table");
+            }
+        }
+        let mut ids = FxHashMap::default();
+        for (id, state) in states.iter().enumerate() {
+            if ids.insert(state.clone(), id as u32).is_some() {
+                return Err("duplicate interned state");
+            }
+        }
+        Ok(SpecCache {
+            source,
+            ids,
+            states,
+            rows,
+        })
     }
 
     /// Interns `state` against `budget`: specification blowups are the

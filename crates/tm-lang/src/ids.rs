@@ -256,6 +256,22 @@ impl<T: Id> IdSet<T> {
             _marker: PhantomData,
         }
     }
+
+    /// The raw 16-bit membership mask (bit `i` set ⇔ id with index `i`
+    /// present). Stable across processes — the serialization form used by
+    /// the on-disk artifact store.
+    pub const fn bits(self) -> u16 {
+        self.bits
+    }
+
+    /// Reconstructs a set from a raw membership mask produced by
+    /// [`IdSet::bits`]. Every `u16` is a valid mask (ids are capped at 16).
+    pub const fn from_bits(bits: u16) -> Self {
+        IdSet {
+            bits,
+            _marker: PhantomData,
+        }
+    }
 }
 
 impl<T: Id> Default for IdSet<T> {
@@ -397,5 +413,13 @@ mod tests {
     fn set_full_sixteen() {
         let s = VarSet::full(16);
         assert_eq!(s.len(), 16);
+    }
+
+    #[test]
+    fn set_bits_round_trip() {
+        let s: VarSet = [0, 2, 15].into_iter().map(VarId::new).collect();
+        assert_eq!(VarSet::from_bits(s.bits()), s);
+        assert_eq!(VarSet::from_bits(0), VarSet::new());
+        assert_eq!(VarSet::from_bits(u16::MAX), VarSet::full(16));
     }
 }

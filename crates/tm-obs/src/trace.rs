@@ -54,11 +54,17 @@ pub enum Phase {
     BudgetAdmitWait,
     /// Waiting in budget settle for the final charge to fit.
     BudgetSettleWait,
+    /// Loading an artifact from the on-disk store (read + verify +
+    /// decode; span value = file size in bytes).
+    StoreLoad,
+    /// Saving an artifact to the on-disk store (encode + atomic write;
+    /// span value = file size in bytes).
+    StoreSave,
 }
 
 impl Phase {
     /// Number of phases ( = the length of a [`PhaseNanos`] breakdown).
-    pub const COUNT: usize = 11;
+    pub const COUNT: usize = 13;
 
     /// Every phase, in `repr` order.
     pub const ALL: [Phase; Phase::COUNT] = [
@@ -73,6 +79,8 @@ impl Phase {
         Phase::SessionLockWait,
         Phase::BudgetAdmitWait,
         Phase::BudgetSettleWait,
+        Phase::StoreLoad,
+        Phase::StoreSave,
     ];
 
     /// The stable snake_case name used in metric labels, trace JSON, and
@@ -90,6 +98,8 @@ impl Phase {
             Phase::SessionLockWait => "session_lock_wait",
             Phase::BudgetAdmitWait => "budget_admit_wait",
             Phase::BudgetSettleWait => "budget_settle_wait",
+            Phase::StoreLoad => "store_load",
+            Phase::StoreSave => "store_save",
         }
     }
 

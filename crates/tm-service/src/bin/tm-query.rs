@@ -14,7 +14,9 @@
 //! the raw response body, `--verdicts` prints one stable
 //! `name:property:n:k verdict [witness]` line per query (for diffing
 //! runs against each other). Exits non-zero on connection errors,
-//! non-200 responses, or malformed queries.
+//! non-200 responses, or malformed queries. Against a daemon with a
+//! persistent store (`tm-serve --store-dir`), the batch footer adds a
+//! `store:` line with the promote/demote and hit/miss counters.
 //!
 //! Observability knobs:
 //!
@@ -247,6 +249,24 @@ fn run() -> Result<(), String> {
         stats.tracked_bytes,
         stats.peak_tracked_bytes
     );
+    // The storage-tier line appears only when the server has a store
+    // (any store counter or file implies one).
+    if stats.store_files > 0
+        || stats.store_hits + stats.store_misses + stats.store_saves + stats.store_corrupt > 0
+    {
+        println!(
+            "store: {} promotes, {} demotes, {} hits, {} misses, {} saves, {} corrupt, \
+             {} files ({} bytes)",
+            stats.store_promotes,
+            stats.store_demotes,
+            stats.store_hits,
+            stats.store_misses,
+            stats.store_saves,
+            stats.store_corrupt,
+            stats.store_files,
+            stats.store_bytes
+        );
+    }
     if trace {
         print_trace_table(&results);
     }

@@ -6,6 +6,7 @@
 //! tm-serve [--addr 127.0.0.1:0] [--pool N] [--mem-budget BYTES[k|m|g]]
 //!          [--max-states N] [--port-file PATH] [--max-inflight N]
 //!          [--query-deadline-ms MS] [--batch-deadline-ms MS]
+//!          [--store-dir PATH] [--store-cap BYTES[k|m|g]]
 //! ```
 //!
 //! With port 0 the OS picks an ephemeral port; the bound address is
@@ -13,6 +14,14 @@
 //! given) so scripts can discover it. The memory budget defaults to the
 //! `TM_SERVICE_MEM_BUDGET` environment variable; `--mem-budget`
 //! overrides it. The pool size defaults to `TM_MODELCHECK_THREADS`.
+//!
+//! Persistence (flags override the `TM_STORE_DIR` and `TM_STORE_CAP`
+//! environment variables): `--store-dir` keeps compiled artifacts in a
+//! content-addressed on-disk store — budget evictions demote to disk
+//! instead of discarding, re-queries promote the verified copy back
+//! instead of rebuilding, and a restarted daemon warm-starts from the
+//! directory with zero rebuilds. `--store-cap` bounds the directory's
+//! bytes with the store's own LRU.
 //!
 //! Robustness knobs (flags override the `TM_SERVICE_MAX_INFLIGHT`,
 //! `TM_SERVICE_QUERY_DEADLINE_MS`, and `TM_SERVICE_BATCH_DEADLINE_MS`
@@ -45,7 +54,8 @@ use tm_service::{parse_mem_budget, serve, Service, ServiceConfig};
 fn usage() -> &'static str {
     "usage: tm-serve [--addr HOST:PORT] [--pool N] [--mem-budget BYTES[k|m|g]] \
      [--max-states N] [--port-file PATH] [--max-inflight N] \
-     [--query-deadline-ms MS] [--batch-deadline-ms MS]"
+     [--query-deadline-ms MS] [--batch-deadline-ms MS] \
+     [--store-dir PATH] [--store-cap BYTES[k|m|g]]"
 }
 
 fn run() -> Result<(), String> {
@@ -88,6 +98,14 @@ fn run() -> Result<(), String> {
                     .parse()
                     .map_err(|e| format!("bad --max-states: {e}"))?;
             }
+            "--store-dir" => {
+                let dir = value("--store-dir")?;
+                config.store_dir = (!dir.is_empty()).then(|| dir.into());
+            }
+            "--store-cap" => {
+                config.store_cap =
+                    parse_mem_budget(&value("--store-cap")?)?.map(|bytes| bytes as u64);
+            }
             "--help" | "-h" => {
                 println!("{}", usage());
                 return Ok(());
@@ -99,12 +117,16 @@ fn run() -> Result<(), String> {
     let listener = TcpListener::bind(&addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
     let local = listener.local_addr().map_err(|e| e.to_string())?;
     println!(
-        "tm-serve listening on {local} (pool={}, budget={}, max-states={})",
+        "tm-serve listening on {local} (pool={}, budget={}, max-states={}, store={})",
         config.pool_size,
         config
             .mem_budget
             .map_or("unbounded".to_owned(), |b| format!("{b} bytes")),
-        config.max_states
+        config.max_states,
+        config
+            .store_dir
+            .as_deref()
+            .map_or("none".to_owned(), |dir| dir.display().to_string()),
     );
     std::io::stdout().flush().ok();
     if let Some(path) = port_file {
@@ -112,12 +134,13 @@ fn run() -> Result<(), String> {
             .map_err(|e| format!("cannot write {path}: {e}"))?;
     }
 
-    let service = Arc::new(Service::new(config));
+    let service = Arc::new(Service::try_new(config)?);
     let served = serve(listener, Arc::clone(&service)).map_err(|e| format!("serve: {e}"))?;
     let stats = service.stats();
     println!(
         "tm-serve shut down cleanly: {} connections, {} queries ({} hits, {} builds, \
-         {} rebuilds, {} aborted, {} evictions, peak {} tracked bytes)",
+         {} rebuilds, {} aborted, {} evictions, peak {} tracked bytes, \
+         store {} promotes / {} demotes)",
         served,
         stats.queries,
         stats.cache_hits,
@@ -125,7 +148,9 @@ fn run() -> Result<(), String> {
         stats.artifact_rebuilds,
         stats.aborted_queries,
         stats.evictions,
-        stats.peak_tracked_bytes
+        stats.peak_tracked_bytes,
+        stats.store_promotes,
+        stats.store_demotes
     );
     Ok(())
 }

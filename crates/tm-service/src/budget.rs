@@ -493,6 +493,11 @@ impl SharedBudget {
     pub fn ledger(&self) -> Vec<(ArtifactKey, usize)> {
         self.lock().ledger()
     }
+
+    /// Number of entries currently pinned by in-flight queries.
+    pub fn pinned_entries(&self) -> usize {
+        self.lock().pinned_entries()
+    }
 }
 
 #[cfg(test)]

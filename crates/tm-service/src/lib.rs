@@ -39,7 +39,14 @@
 //!   results in request order;
 //! * the **endpoints**: the in-process [`Service`] API, and the
 //!   std-`TcpListener` HTTP/JSON server (`tm-serve` bin, [`serve`]) with
-//!   its [`Json`] wire format and `tm-query` CLI client.
+//!   its [`Json`] wire format and `tm-query` CLI client;
+//! * the **storage tier**: with a store directory configured
+//!   ([`STORE_DIR_ENV`] / `tm-serve --store-dir`), artifacts persist in
+//!   a content-addressed on-disk store (`tm-store`) — budget evictions
+//!   *demote* to disk instead of discarding, a re-query *promotes* the
+//!   verified on-disk copy back instead of rebuilding, and a restarted
+//!   daemon warm-starts its sessions from the directory with zero
+//!   rebuilds.
 //!
 //! The budget is configured via the `TM_SERVICE_MEM_BUDGET` environment
 //! variable ([`ServiceConfig::from_env`]); the pool inherits
@@ -90,6 +97,6 @@ pub use tm_automata::{CancelToken, EngineError};
 pub use service::{
     parse_mem_budget, QueryOutcome, QueryResult, Service, ServiceConfig, ServiceStats,
     BATCH_DEADLINE_ENV, DEFAULT_MAX_INFLIGHT, DEFAULT_SERVICE_MAX_STATES, MAX_INFLIGHT_ENV,
-    MEM_BUDGET_ENV, QUERY_DEADLINE_ENV,
+    MEM_BUDGET_ENV, QUERY_DEADLINE_ENV, STORE_CAP_ENV, STORE_DIR_ENV,
 };
 pub use wire::Json;

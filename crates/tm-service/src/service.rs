@@ -16,17 +16,23 @@
 //! mid-query. The statistics counters are atomics, so [`Service::stats`]
 //! never waits on a running query.
 
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use tm_automata::{fault, EngineError};
-use tm_checker::{Verdict, VerdictOutcome};
+use tm_checker::{Verdict, VerdictOutcome, Verifier};
 use tm_obs::{Counter, Gauge, GaugeF, Histogram, LogValue, Phase, PhaseTimer, TraceRecord, Unit};
+use tm_store::{
+    Artifact, ArtifactStore, LazySpecArtifact, RunGraphArtifact, StoreConfig, StoreKey, StoreKind,
+};
 
 use crate::budget::{ArtifactKey, ArtifactKind, SharedBudget};
 use crate::registry::{lock_session, SessionRegistry};
-use crate::roster::{run_query, QuerySpec};
+use crate::roster::{
+    run_query, PropertyKind, QuerySpec, MAX_QUERY_THREADS, MAX_QUERY_VARS,
+};
 use crate::scheduler::execution_order;
 
 /// Default bound on reachable state spaces (the experiment suite's).
@@ -52,6 +58,18 @@ pub const BATCH_DEADLINE_ENV: &str = "TM_SERVICE_BATCH_DEADLINE_MS";
 /// (unset = [`DEFAULT_MAX_INFLIGHT`]; `0` = unbounded).
 pub const MAX_INFLIGHT_ENV: &str = "TM_SERVICE_MAX_INFLIGHT";
 
+/// Environment variable holding the persistent artifact store directory
+/// (unset or empty = no store). With a store, budget evictions *demote*
+/// artifacts to disk instead of discarding them, rebuilt artifacts are
+/// written through, and a new service warm-starts its sessions from the
+/// directory — a restarted daemon answers its old roster with zero
+/// rebuilds.
+pub const STORE_DIR_ENV: &str = "TM_STORE_DIR";
+
+/// Environment variable holding the on-disk byte cap for the store's own
+/// LRU, in [`MEM_BUDGET_ENV`] syntax (`0`/`unbounded`/unset = no cap).
+pub const STORE_CAP_ENV: &str = "TM_STORE_CAP";
+
 /// Service configuration.
 #[derive(Clone, Debug)]
 pub struct ServiceConfig {
@@ -71,6 +89,11 @@ pub struct ServiceConfig {
     /// Bound on concurrently admitted `/v1/batch` requests; requests
     /// beyond it are shed with HTTP 429 (`0` = unbounded).
     pub max_inflight: usize,
+    /// Directory of the persistent artifact store (`None` = none). See
+    /// [`STORE_DIR_ENV`] for the semantics it enables.
+    pub store_dir: Option<PathBuf>,
+    /// On-disk byte cap for the store's own LRU (`None` = unbounded).
+    pub store_cap: Option<u64>,
 }
 
 impl Default for ServiceConfig {
@@ -82,6 +105,8 @@ impl Default for ServiceConfig {
             query_deadline: None,
             batch_deadline: None,
             max_inflight: DEFAULT_MAX_INFLIGHT,
+            store_dir: None,
+            store_cap: None,
         }
     }
 }
@@ -119,11 +144,26 @@ impl ServiceConfig {
                 .parse()
                 .map_err(|e| format!("bad {MAX_INFLIGHT_ENV}={value:?}: {e}"))?,
         };
+        let store_dir = match std::env::var(STORE_DIR_ENV) {
+            Err(_) => None,
+            Ok(value) => {
+                let value = value.trim();
+                (!value.is_empty()).then(|| PathBuf::from(value))
+            }
+        };
+        let store_cap = match std::env::var(STORE_CAP_ENV) {
+            Err(_) => None,
+            Ok(value) => parse_mem_budget(&value)
+                .map_err(|e| format!("bad {STORE_CAP_ENV}: {e}"))?
+                .map(|bytes| bytes as u64),
+        };
         Ok(ServiceConfig {
             mem_budget,
             query_deadline: millis(QUERY_DEADLINE_ENV)?,
             batch_deadline: millis(BATCH_DEADLINE_ENV)?,
             max_inflight,
+            store_dir,
+            store_cap,
             ..ServiceConfig::default()
         })
     }
@@ -323,6 +363,26 @@ pub struct ServiceStats {
     pub busy_wall_ns: u64,
     /// Wall-clock nanoseconds since the service was constructed.
     pub uptime_ns: u64,
+    /// Persistent-store loads that returned a verified artifact. Zero
+    /// (like every `store_*` counter) when no store is configured.
+    pub store_hits: u64,
+    /// Persistent-store loads that found no file for the key.
+    pub store_misses: u64,
+    /// Artifacts promoted from the store into a session instead of
+    /// rebuilt (a promote counts as a cache hit, not a build).
+    pub store_promotes: u64,
+    /// Eviction victims demoted to the store instead of discarded.
+    pub store_demotes: u64,
+    /// Store files quarantined as corrupt (checksum or content-address
+    /// mismatch); each was renamed `*.quarantined` and its key rebuilt.
+    pub store_corrupt: u64,
+    /// Artifact files written to the store (write-through plus
+    /// demotions; content-addressed re-saves are not counted).
+    pub store_saves: u64,
+    /// Bytes currently addressable in the store directory.
+    pub store_bytes: u64,
+    /// Files currently addressable in the store directory.
+    pub store_files: u64,
 }
 
 /// Wall-clock accounting behind [`ServiceStats::busy_wall_ns`]: tracks
@@ -396,6 +456,30 @@ impl Drop for BusyGuard<'_> {
     }
 }
 
+/// Publishes an externally kept monotonic total into a registry counter
+/// by delta at each [`Service::refresh_metrics`] — `fetch_max` makes
+/// concurrent scrapes add each increment exactly once.
+struct DeltaCounter {
+    counter: Counter,
+    published: AtomicU64,
+}
+
+impl DeltaCounter {
+    fn new(counter: Counter) -> Self {
+        DeltaCounter {
+            counter,
+            published: AtomicU64::new(0),
+        }
+    }
+
+    fn publish(&self, total: u64) {
+        let published = self.published.fetch_max(total, Ordering::Relaxed);
+        if total > published {
+            self.counter.add(total - published);
+        }
+    }
+}
+
 /// The service's handles into the global metrics registry, resolved once
 /// per `Service` (registration is idempotent — a second service in the
 /// same process shares the same series).
@@ -407,13 +491,15 @@ struct ServiceMetrics {
     cache_hits: Counter,
     artifact_builds: Counter,
     artifact_rebuilds: Counter,
-    evictions: Counter,
-    /// Ledger eviction count already published into `evictions` — the
-    /// ledger keeps the monotonic total, the counter advances by the
-    /// delta at each [`Service::refresh_metrics`].
-    published_evictions: AtomicU64,
+    evictions: DeltaCounter,
+    store_hits: DeltaCounter,
+    store_misses: DeltaCounter,
+    store_promotes: DeltaCounter,
+    store_demotes: DeltaCounter,
+    store_corrupt: DeltaCounter,
     tracked_bytes: Gauge,
     peak_tracked_bytes: Gauge,
+    store_bytes: Gauge,
     busy_ratio: GaugeF,
 }
 
@@ -451,12 +537,36 @@ impl ServiceMetrics {
                 "Builds that re-created an evicted artifact",
                 &[],
             ),
-            evictions: tm_obs::global_counter(
+            evictions: DeltaCounter::new(tm_obs::global_counter(
                 "tm_evictions_total",
                 "Artifacts evicted by the memory budget",
                 &[],
-            ),
-            published_evictions: AtomicU64::new(0),
+            )),
+            store_hits: DeltaCounter::new(tm_obs::global_counter(
+                "tm_store_hits_total",
+                "Persistent-store loads that returned a verified artifact",
+                &[],
+            )),
+            store_misses: DeltaCounter::new(tm_obs::global_counter(
+                "tm_store_misses_total",
+                "Persistent-store loads that found no file for the key",
+                &[],
+            )),
+            store_promotes: DeltaCounter::new(tm_obs::global_counter(
+                "tm_store_promotes_total",
+                "Artifacts promoted from the persistent store instead of rebuilt",
+                &[],
+            )),
+            store_demotes: DeltaCounter::new(tm_obs::global_counter(
+                "tm_store_demotes_total",
+                "Eviction victims demoted to the persistent store instead of discarded",
+                &[],
+            )),
+            store_corrupt: DeltaCounter::new(tm_obs::global_counter(
+                "tm_store_corrupt_total",
+                "Persistent-store files quarantined as corrupt",
+                &[],
+            )),
             tracked_bytes: tm_obs::global_gauge(
                 "tm_tracked_bytes",
                 "Artifact bytes currently tracked by the budget ledger",
@@ -465,6 +575,11 @@ impl ServiceMetrics {
             peak_tracked_bytes: tm_obs::global_gauge(
                 "tm_peak_tracked_bytes",
                 "High-water mark of tracked artifact bytes",
+                &[],
+            ),
+            store_bytes: tm_obs::global_gauge(
+                "tm_store_bytes",
+                "Bytes currently addressable in the persistent artifact store",
                 &[],
             ),
             busy_ratio: tm_obs::global_gauge_f(
@@ -577,11 +692,14 @@ pub struct Service {
     budget: SharedBudget,
     batch_deadline: Option<Duration>,
     max_inflight: usize,
+    store: Option<ArtifactStore>,
     queries: AtomicU64,
     cache_hits: AtomicU64,
     artifact_builds: AtomicU64,
     artifact_rebuilds: AtomicU64,
     aborted_queries: AtomicU64,
+    store_promotes: AtomicU64,
+    store_demotes: AtomicU64,
     batch_ns: AtomicU64,
     busy: BusyClock,
     metrics: ServiceMetrics,
@@ -589,22 +707,150 @@ pub struct Service {
 
 impl Service {
     /// Creates a service from `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured store directory cannot be opened; use
+    /// [`Service::try_new`] to handle that as an error.
     pub fn new(config: ServiceConfig) -> Self {
-        Service {
+        Service::try_new(config).unwrap_or_else(|error| panic!("{error}"))
+    }
+
+    /// Creates a service from `config`, opening (and warm-starting
+    /// from) the persistent store when one is configured. Every
+    /// readable artifact in the store directory is imported into its
+    /// owning session and charged to the budget ledger before the first
+    /// query runs, so a restarted daemon answers its old roster with
+    /// zero rebuilds; corrupt files are quarantined and skipped.
+    pub fn try_new(config: ServiceConfig) -> Result<Self, String> {
+        let store = match &config.store_dir {
+            None => None,
+            Some(dir) => Some(
+                ArtifactStore::open(StoreConfig {
+                    dir: dir.clone(),
+                    cap_bytes: config.store_cap,
+                    cap_files: None,
+                })
+                .map_err(|e| format!("cannot open artifact store {}: {e}", dir.display()))?,
+            ),
+        };
+        let service = Service {
             registry: SessionRegistry::new(config.pool_size, config.max_states)
                 .query_deadline(config.query_deadline),
             budget: SharedBudget::new(config.mem_budget),
             batch_deadline: config.batch_deadline,
             max_inflight: config.max_inflight,
+            store,
             queries: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             artifact_builds: AtomicU64::new(0),
             artifact_rebuilds: AtomicU64::new(0),
             aborted_queries: AtomicU64::new(0),
+            store_promotes: AtomicU64::new(0),
+            store_demotes: AtomicU64::new(0),
             batch_ns: AtomicU64::new(0),
             busy: BusyClock::new(),
             metrics: ServiceMetrics::new(),
+        };
+        service.warm_start();
+        Ok(service)
+    }
+
+    /// Rehydrates every session from the persistent store at
+    /// construction: loads each addressable file (integrity-verified —
+    /// a corrupt one is quarantined by the load and skipped), imports
+    /// the artifact into its owning session, and charges it through the
+    /// normal admit/settle protocol, so the memory budget holds from
+    /// the first instant (overflow demotes straight back to disk).
+    fn warm_start(&self) {
+        let Some(store) = &self.store else { return };
+        for path in store.files() {
+            let Ok((key, artifact)) = store.load_path(&path) else {
+                continue;
+            };
+            self.install(&key, artifact);
         }
+    }
+
+    /// Installs one verified store artifact into its owning session and
+    /// charges it to the budget ledger. `false` if the store key does
+    /// not map to an artifact this service serves (foreign kind,
+    /// unknown property code, out-of-range instance size) or the
+    /// payload fails the session's structural validation.
+    fn install(&self, key: &StoreKey, artifact: Artifact) -> bool {
+        let Some(ledger_key) = ledger_key(key) else {
+            return false;
+        };
+        let session = self.registry.session(ledger_key.threads, ledger_key.vars);
+        let bytes = {
+            let mut session = lock_session(&session);
+            match import(&mut session, &ledger_key, artifact) {
+                Some(bytes) => bytes,
+                None => return false,
+            }
+        };
+        let admission = self.budget.admit(&ledger_key);
+        self.perform_evictions(&admission.evicted);
+        let evicted = self.budget.settle(&ledger_key, bytes);
+        self.perform_evictions(&evicted);
+        true
+    }
+
+    /// Tries to answer an artifact miss from the persistent store:
+    /// loads and verifies the on-disk copy and imports it into the
+    /// (locked) session in place of a rebuild. `false` on a store miss,
+    /// a corrupt file (quarantined by the load), an injected `store`
+    /// fault, or when the artifact is already resident — every failure
+    /// falls back to the ordinary rebuild.
+    fn promote(&self, session: &mut Verifier, key: &ArtifactKey) -> bool {
+        let Some(store) = &self.store else {
+            return false;
+        };
+        let resident = match &key.kind {
+            ArtifactKind::RunGraph(name) => session.run_graph_heap_bytes(name).is_some(),
+            ArtifactKind::Spec(property) => session.spec_heap_bytes(*property).is_some(),
+        };
+        if resident {
+            return false;
+        }
+        let Ok(Some(artifact)) = store.load(&store_key(key)) else {
+            return false;
+        };
+        if import(session, key, artifact).is_none() {
+            return false;
+        }
+        self.store_promotes.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Write-through: persists a freshly built artifact, exporting it
+    /// from the (locked) session. Content-addressed re-saves of an
+    /// already stored key are no-ops inside the store; store faults and
+    /// I/O errors are swallowed — persistence is best-effort and never
+    /// fails a query.
+    fn save_through(&self, session: &Verifier, key: &ArtifactKey) {
+        let Some(store) = &self.store else { return };
+        if let Some(artifact) = export(session, key) {
+            let _ = store.save(&store_key(key), &artifact);
+        }
+    }
+
+    /// Demotes an eviction victim to the store before it is dropped
+    /// (export + save under the caller's session lock). `false` — and
+    /// the eviction simply discards, the pre-store behavior — when no
+    /// store is configured or the save fails.
+    fn demote(&self, session: &Verifier, key: &ArtifactKey) -> bool {
+        let Some(store) = &self.store else {
+            return false;
+        };
+        let Some(artifact) = export(session, key) else {
+            return false;
+        };
+        if store.save(&store_key(key), &artifact).is_err() {
+            return false;
+        }
+        self.store_demotes.fetch_add(1, Ordering::Relaxed);
+        true
     }
 
     /// The configured admission bound (`0` = unbounded) — enforced by
@@ -739,7 +985,7 @@ impl Service {
         // two generations of a large artifact never coexist.
         let admission = self.budget.admit(&key);
         let pin = PinGuard::new(&self.budget, &key, admission.reserved);
-        self.perform_evictions(&admission.evicted);
+        let mut demotes = self.perform_evictions(&admission.evicted);
         // Fault site: the artifact (re)build about to happen.
         if admission.reserved {
             if let Err(error) = fault::fault_point("build") {
@@ -749,16 +995,31 @@ impl Service {
             }
         }
         let session = self.registry.session(spec.threads, spec.vars);
-        let (verdict, bytes) = {
+        let mut promotes = 0;
+        let (mut verdict, bytes) = {
             let lock_span = PhaseTimer::start(Phase::SessionLockWait);
             let mut session = lock_session(&session);
             lock_span.stop();
+            // A budget miss first tries the persistent store: a
+            // verified on-disk copy imports in place of a rebuild.
+            if admission.reserved && self.promote(&mut session, &key) {
+                promotes = 1;
+            }
             let verdict = run_query(&mut session, spec);
             let bytes = match &key.kind {
                 ArtifactKind::RunGraph(name) => session.run_graph_heap_bytes(name),
                 ArtifactKind::Spec(property) => session.spec_heap_bytes(*property),
             }
             .unwrap_or(0);
+            // Write-through: a successful first build (or rebuild) is
+            // persisted immediately, so a restart warm-starts even if
+            // the budget never forces a demotion.
+            if admission.reserved
+                && !verdict.stats.artifact_cached
+                && !matches!(verdict.outcome, VerdictOutcome::Aborted(_))
+            {
+                self.save_through(&session, &key);
+            }
             (verdict, bytes)
         };
         let aborted = matches!(verdict.outcome, VerdictOutcome::Aborted(_));
@@ -787,23 +1048,34 @@ impl Service {
             // grow as new TMs touch new rows) and settle back under
             // budget.
             let evicted = pin.settle(bytes);
-            self.perform_evictions(&evicted);
+            demotes += self.perform_evictions(&evicted);
         }
+        verdict.stats.store_promotes = promotes;
+        verdict.stats.store_demotes = demotes;
         QueryResult::from_verdict(spec.clone(), verdict)
     }
 
-    /// Performs ledger-decided evictions on the owning sessions. The
-    /// decision and the drop are deliberately decoupled: by the time a
-    /// victim's session lock is acquired here, a concurrent query may
-    /// have re-admitted the artifact, so each drop re-checks the ledger
-    /// (holding the session lock, which is what any user of the artifact
-    /// would need) and skips victims that came back to life.
-    fn perform_evictions(&self, evicted: &[ArtifactKey]) {
+    /// Performs ledger-decided evictions on the owning sessions,
+    /// returning how many victims were demoted to the persistent store
+    /// (always 0 without one). The decision and the drop are
+    /// deliberately decoupled: by the time a victim's session lock is
+    /// acquired here, a concurrent query may have re-admitted the
+    /// artifact, so each drop re-checks the ledger (holding the session
+    /// lock, which is what any user of the artifact would need) and
+    /// skips victims that came back to life. With a store, the victim
+    /// is exported and saved right before the drop — eviction becomes
+    /// demotion, and a later query on the key promotes it back instead
+    /// of rebuilding.
+    fn perform_evictions(&self, evicted: &[ArtifactKey]) -> usize {
+        let mut demotes = 0;
         for key in evicted {
             let session = self.registry.session(key.threads, key.vars);
             let mut session = lock_session(&session);
             if !self.budget.should_drop(key) {
                 continue;
+            }
+            if self.demote(&session, key) {
+                demotes += 1;
             }
             match &key.kind {
                 ArtifactKind::RunGraph(name) => {
@@ -814,12 +1086,18 @@ impl Service {
                 }
             }
         }
+        demotes
     }
 
     /// Current counters. Reads atomics and takes only the (short,
     /// condvar-released) ledger and registry-map locks — never a session
     /// lock — so it answers immediately while long batches run.
     pub fn stats(&self) -> ServiceStats {
+        let store = self
+            .store
+            .as_ref()
+            .map(ArtifactStore::stats)
+            .unwrap_or_default();
         ServiceStats {
             queries: self.queries.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
@@ -835,6 +1113,14 @@ impl Service {
             batch_ns: self.batch_ns.load(Ordering::Relaxed),
             busy_wall_ns: u64::try_from(self.busy.busy_wall().as_nanos()).unwrap_or(u64::MAX),
             uptime_ns: u64::try_from(self.busy.uptime().as_nanos()).unwrap_or(u64::MAX),
+            store_hits: store.hits,
+            store_misses: store.misses,
+            store_promotes: self.store_promotes.load(Ordering::Relaxed),
+            store_demotes: self.store_demotes.load(Ordering::Relaxed),
+            store_corrupt: store.corrupt,
+            store_saves: store.saves,
+            store_bytes: store.bytes,
+            store_files: store.files,
         }
     }
 
@@ -847,12 +1133,15 @@ impl Service {
         let m = &self.metrics;
         m.tracked_bytes.set(stats.tracked_bytes as u64);
         m.peak_tracked_bytes.set(stats.peak_tracked_bytes as u64);
-        // Publish the monotonic ledger total into the counter by delta;
-        // fetch_max makes concurrent scrapes add each eviction once.
-        let published = m.published_evictions.fetch_max(stats.evictions, Ordering::Relaxed);
-        if stats.evictions > published {
-            m.evictions.add(stats.evictions - published);
-        }
+        m.store_bytes.set(stats.store_bytes);
+        // Publish the monotonic service-side totals into the counters
+        // by delta (see [`DeltaCounter`]).
+        m.evictions.publish(stats.evictions);
+        m.store_hits.publish(stats.store_hits);
+        m.store_misses.publish(stats.store_misses);
+        m.store_promotes.publish(stats.store_promotes);
+        m.store_demotes.publish(stats.store_demotes);
+        m.store_corrupt.publish(stats.store_corrupt);
         m.busy_ratio
             .set(stats.busy_wall_ns as f64 / (stats.uptime_ns.max(1)) as f64);
     }
@@ -861,6 +1150,115 @@ impl Service {
     pub fn ledger(&self) -> Vec<(ArtifactKey, usize)> {
         self.budget.ledger()
     }
+
+    /// Sum of every session's resident artifact heap bytes — the ground
+    /// truth the budget ledger approximates (takes each session lock
+    /// briefly; a snapshot, not an atomic read).
+    pub fn artifact_heap_bytes(&self) -> usize {
+        self.registry.artifact_heap_bytes()
+    }
+
+    /// Ledger entries currently pinned by in-flight queries — 0
+    /// whenever no query is running (diagnostics; the demotion
+    /// accounting tests assert pins never leak).
+    pub fn pinned_artifacts(&self) -> usize {
+        self.budget.pinned_entries()
+    }
+}
+
+/// The store key addressing a budget-ledger artifact on disk.
+fn store_key(key: &ArtifactKey) -> StoreKey {
+    match &key.kind {
+        ArtifactKind::RunGraph(name) => StoreKey::run_graph(name, key.threads, key.vars),
+        ArtifactKind::Spec(property) => StoreKey::lazy_spec(
+            PropertyKind::Safety(*property).code(),
+            key.threads,
+            key.vars,
+        ),
+    }
+}
+
+/// The inverse of [`store_key`]: the ledger key a store file installs
+/// under, or `None` for files this service does not serve — foreign
+/// kinds (eager NFA/DFA artifacts), unknown property codes, or instance
+/// sizes outside the query bounds (a foreign file in the directory must
+/// be skipped, not fed to a session constructor that would assert).
+fn ledger_key(key: &StoreKey) -> Option<ArtifactKey> {
+    let threads = key.threads as usize;
+    let vars = key.vars as usize;
+    if !(1..=MAX_QUERY_THREADS).contains(&threads) || !(1..=MAX_QUERY_VARS).contains(&vars) {
+        return None;
+    }
+    let kind = match key.kind {
+        StoreKind::RunGraph => ArtifactKind::RunGraph(key.tm.clone()),
+        StoreKind::LazySpec => match key.property.parse::<PropertyKind>() {
+            Ok(PropertyKind::Safety(property)) => ArtifactKind::Spec(property),
+            _ => return None,
+        },
+        _ => return None,
+    };
+    Some(ArtifactKey {
+        threads,
+        vars,
+        kind,
+    })
+}
+
+/// Imports a verified store artifact into `session` under `key`,
+/// returning its resident heap size — `None` if the payload kind does
+/// not match the key or fails the session's structural validation.
+fn import(session: &mut Verifier, key: &ArtifactKey, artifact: Artifact) -> Option<usize> {
+    match (&key.kind, artifact) {
+        (ArtifactKind::RunGraph(name), Artifact::RunGraph(a)) => {
+            session.import_run_graph(name, a.graph, a.states, Duration::from_nanos(a.build_ns));
+            session.run_graph_heap_bytes(name)
+        }
+        (ArtifactKind::Spec(property), Artifact::LazySpec(a)) => {
+            session
+                .import_lazy_spec(
+                    *property,
+                    key.threads,
+                    key.vars,
+                    a.states,
+                    a.rows,
+                    Duration::from_nanos(a.build_ns),
+                )
+                .ok()?;
+            session.spec_heap_bytes(*property)
+        }
+        _ => None,
+    }
+}
+
+/// Exports `key`'s resident artifact from `session` for the store —
+/// `None` if the session no longer holds it.
+fn export(session: &Verifier, key: &ArtifactKey) -> Option<Artifact> {
+    match &key.kind {
+        ArtifactKind::RunGraph(name) => {
+            session
+                .export_run_graph(name)
+                .map(|(graph, states, build_time)| {
+                    Artifact::RunGraph(RunGraphArtifact {
+                        graph,
+                        states,
+                        build_ns: saturating_ns(build_time),
+                    })
+                })
+        }
+        ArtifactKind::Spec(property) => session
+            .export_lazy_spec(*property, key.threads, key.vars)
+            .map(|(states, rows, build_time)| {
+                Artifact::LazySpec(LazySpecArtifact {
+                    states,
+                    rows,
+                    build_ns: saturating_ns(build_time),
+                })
+            }),
+    }
+}
+
+fn saturating_ns(duration: Duration) -> u64 {
+    u64::try_from(duration.as_nanos()).unwrap_or(u64::MAX)
 }
 
 #[cfg(test)]

@@ -710,6 +710,14 @@ fn stats_to_json(stats: &ServiceStats) -> Json {
         ("batch_ns".to_owned(), num(stats.batch_ns as usize)),
         ("busy_wall_ns".to_owned(), num(stats.busy_wall_ns as usize)),
         ("uptime_ns".to_owned(), num(stats.uptime_ns as usize)),
+        ("store_hits".to_owned(), num(stats.store_hits as usize)),
+        ("store_misses".to_owned(), num(stats.store_misses as usize)),
+        ("store_promotes".to_owned(), num(stats.store_promotes as usize)),
+        ("store_demotes".to_owned(), num(stats.store_demotes as usize)),
+        ("store_corrupt".to_owned(), num(stats.store_corrupt as usize)),
+        ("store_saves".to_owned(), num(stats.store_saves as usize)),
+        ("store_bytes".to_owned(), num(stats.store_bytes as usize)),
+        ("store_files".to_owned(), num(stats.store_files as usize)),
     ])
 }
 
@@ -827,7 +835,21 @@ fn decode_stats(value: &Json) -> Result<ServiceStats, WireError> {
             .unwrap_or(0) as u64,
         busy_wall_ns: value.get("busy_wall_ns").and_then(Json::as_usize).unwrap_or(0) as u64,
         uptime_ns: value.get("uptime_ns").and_then(Json::as_usize).unwrap_or(0) as u64,
+        // Absent in bodies from pre-store servers: default to zero.
+        store_hits: optional_u64(value, "store_hits"),
+        store_misses: optional_u64(value, "store_misses"),
+        store_promotes: optional_u64(value, "store_promotes"),
+        store_demotes: optional_u64(value, "store_demotes"),
+        store_corrupt: optional_u64(value, "store_corrupt"),
+        store_saves: optional_u64(value, "store_saves"),
+        store_bytes: optional_u64(value, "store_bytes"),
+        store_files: optional_u64(value, "store_files"),
     })
+}
+
+/// A stats counter that may be absent in bodies from older servers.
+fn optional_u64(value: &Json, key: &str) -> u64 {
+    value.get(key).and_then(Json::as_usize).unwrap_or(0) as u64
 }
 
 /// Decodes a batch response body back into results and stats — what the
@@ -948,6 +970,14 @@ mod tests {
             batch_ns: 987654321,
             busy_wall_ns: 123456789,
             uptime_ns: 222333444,
+            store_hits: 5,
+            store_misses: 2,
+            store_promotes: 3,
+            store_demotes: 4,
+            store_corrupt: 1,
+            store_saves: 6,
+            store_bytes: 7777,
+            store_files: 3,
         };
         let body = encode_results(&results, &stats);
         let (decoded, decoded_stats) = decode_results(&body).unwrap();

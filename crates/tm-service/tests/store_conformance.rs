@@ -1,0 +1,208 @@
+//! Storage-tier conformance: the persistent artifact store must be
+//! *invisible* in every answer — a warm-started service returns
+//! bit-identical verdicts to a cold one with zero artifact (re)builds,
+//! a budget that demotes and promotes instead of discarding and
+//! rebuilding changes nothing but the counters, and a corrupt store
+//! file is quarantined and transparently rebuilt.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use tm_service::{
+    table2_batch, table3_batch, QueryOutcome, QueryResult, QuerySpec, Service, ServiceConfig,
+};
+use tm_store::StoreKey;
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let seq = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "tm-service-store-{tag}-{}-{seq}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The full paper roster: Table 3 liveness at (2,1) plus Table 2 safety
+/// at (2,2) — 22 queries over 6 artifacts in 2 sessions.
+fn paper_batch() -> Vec<QuerySpec> {
+    let mut batch = table3_batch();
+    batch.extend(table2_batch());
+    batch
+}
+
+fn store_config(pool_size: usize, dir: &PathBuf, mem_budget: Option<usize>) -> ServiceConfig {
+    ServiceConfig {
+        mem_budget,
+        pool_size,
+        store_dir: Some(dir.clone()),
+        ..ServiceConfig::default()
+    }
+}
+
+/// One stable line per result — verdict, states, and witness, but *not*
+/// the cached/rebuilt flags, which legitimately differ between a cold
+/// and a warm service.
+fn fingerprint(results: &[QueryResult]) -> Vec<String> {
+    results
+        .iter()
+        .map(|r| {
+            let outcome = match &r.outcome {
+                QueryOutcome::Verified => "verified".to_owned(),
+                QueryOutcome::SafetyViolation { word } => format!("cex {word}"),
+                QueryOutcome::LivenessViolation { notation, .. } => format!("lasso {notation}"),
+                QueryOutcome::Aborted { reason } => format!("aborted {reason}"),
+            };
+            format!("{}:{} {} states={} {outcome}", r.spec, r.name, r.holds, r.states)
+        })
+        .collect()
+}
+
+#[test]
+fn warm_restart_answers_roster_with_zero_rebuilds() {
+    let batch = paper_batch();
+    for pool_size in [1, 4] {
+        let dir = scratch_dir(&format!("warm-{pool_size}"));
+
+        // Cold service: populates the store by write-through.
+        let cold = Service::try_new(store_config(pool_size, &dir, None)).unwrap();
+        let reference = fingerprint(&cold.submit(&batch));
+        let cold_stats = cold.stats();
+        assert_eq!(cold_stats.artifact_builds, 6, "pool={pool_size}");
+        assert_eq!(
+            cold_stats.store_saves, 6,
+            "every built artifact is written through: {cold_stats:?}"
+        );
+        assert_eq!(cold_stats.store_files, 6);
+        drop(cold);
+
+        // "Restarted daemon": a fresh service over the same directory
+        // answers the whole roster without building anything.
+        let warm = Service::try_new(store_config(pool_size, &dir, None)).unwrap();
+        let warm_results = warm.submit(&batch);
+        assert_eq!(fingerprint(&warm_results), reference, "pool={pool_size}");
+        let stats = warm.stats();
+        assert_eq!(
+            stats.artifact_builds, 0,
+            "warm start must answer with zero builds: {stats:?}"
+        );
+        assert_eq!(stats.artifact_rebuilds, 0, "pool={pool_size}");
+        assert_eq!(stats.cache_hits, batch.len() as u64, "pool={pool_size}");
+        assert!(
+            stats.store_hits >= 6,
+            "warm boot loads every stored artifact: {stats:?}"
+        );
+        assert_eq!(stats.store_corrupt, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+#[test]
+fn tight_budget_demotes_and_promotes_instead_of_rebuilding() {
+    let batch = paper_batch();
+    // Ground truth and artifact sizes from an unbounded, storeless
+    // service.
+    let unbounded = Service::new(ServiceConfig {
+        pool_size: 1,
+        ..ServiceConfig::default()
+    });
+    let reference = fingerprint(&unbounded.submit(&batch));
+    let ledger = unbounded.ledger();
+    let total: usize = ledger.iter().map(|(_, bytes)| bytes).sum();
+    let largest: usize = ledger.iter().map(|(_, bytes)| *bytes).max().unwrap();
+    let budget = largest + (total - largest) / 4;
+    assert!(budget < total, "budget must force evictions");
+
+    let dir = scratch_dir("demote");
+    let service = Service::try_new(store_config(1, &dir, Some(budget))).unwrap();
+    let first = service.submit(&batch);
+    assert_eq!(fingerprint(&first), reference);
+    let stats = service.stats();
+    assert!(stats.evictions > 0, "a tight budget must evict: {stats:?}");
+    assert_eq!(
+        stats.store_demotes, stats.evictions,
+        "with a store every eviction is a demotion: {stats:?}"
+    );
+    assert!(stats.peak_tracked_bytes <= budget);
+    assert!(stats.tracked_bytes <= budget);
+    // Demotion accounting: the ledger and the sessions agree, resident
+    // bytes actually dropped under the budget, and no query leaked a
+    // pin.
+    assert_eq!(
+        service.artifact_heap_bytes(),
+        stats.tracked_bytes,
+        "resident artifact bytes must match the ledger at quiescence"
+    );
+    assert_eq!(service.pinned_artifacts(), 0, "no pins survive a batch");
+
+    // Re-submitting promotes the demoted artifacts back from disk —
+    // bit-identical answers, zero rebuilds.
+    let second = service.submit(&batch);
+    assert_eq!(fingerprint(&second), reference);
+    let stats = service.stats();
+    assert!(
+        stats.store_promotes > 0,
+        "re-querying demoted artifacts must promote: {stats:?}"
+    );
+    assert_eq!(
+        stats.artifact_rebuilds, 0,
+        "promotes must replace rebuilds entirely: {stats:?}"
+    );
+    assert!(stats.peak_tracked_bytes <= budget);
+    assert_eq!(service.artifact_heap_bytes(), stats.tracked_bytes);
+    assert_eq!(service.pinned_artifacts(), 0);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn corrupt_store_files_are_quarantined_and_rebuilt() {
+    let batch: Vec<QuerySpec> = ["dstm+aggressive:of:2:1", "TL2:ss:2:2"]
+        .iter()
+        .map(|q| QuerySpec::parse(q).unwrap())
+        .collect();
+    let dir = scratch_dir("corrupt");
+    let cold = Service::try_new(store_config(1, &dir, None)).unwrap();
+    let reference = fingerprint(&cold.submit(&batch));
+    assert_eq!(cold.stats().store_files, 2);
+    drop(cold);
+
+    // Flip one byte of the liveness run graph on disk.
+    let victim = dir.join(StoreKey::run_graph("dstm+aggressive", 2, 1).file_name());
+    let mut bytes = std::fs::read(&victim).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x10;
+    std::fs::write(&victim, &bytes).unwrap();
+
+    // The restart quarantines the corrupt file at warm boot...
+    let warm = Service::try_new(store_config(1, &dir, None)).unwrap();
+    assert!(
+        !victim.exists(),
+        "the corrupt file must leave the addressable namespace at boot"
+    );
+    assert!(
+        dir.join(format!(
+            "{}.quarantined",
+            StoreKey::run_graph("dstm+aggressive", 2, 1).file_name()
+        ))
+        .exists(),
+        "the corrupt file is kept for post-mortem"
+    );
+    // ...answers correctly anyway (one rebuild), and the write-through
+    // re-creates the quarantined key's file from the rebuilt artifact.
+    let results = warm.submit(&batch);
+    assert_eq!(fingerprint(&results), reference);
+    let stats = warm.stats();
+    assert!(
+        stats.store_corrupt >= 1,
+        "the corrupt file must be quarantined: {stats:?}"
+    );
+    assert_eq!(
+        stats.artifact_builds, 1,
+        "only the quarantined artifact is rebuilt: {stats:?}"
+    );
+    assert!(victim.exists(), "the rebuild is written through again");
+    assert_eq!(stats.store_files, 2, "{stats:?}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -1,0 +1,64 @@
+//! # tm-store — persistent content-addressed artifact store
+//!
+//! Compiled verification artifacts — TM run graphs
+//! ([`tm_automata::CompiledRunGraph`]), compiled automata
+//! ([`tm_automata::CompiledNfa`] / [`tm_automata::CompiledDfa`]), and
+//! interned lazy-specification rows — are expensive to build and
+//! entirely deterministic: the same engine at the same version,
+//! given the same TM, contention manager, property, and instance size
+//! `(n, k)`, always builds bit-identical CSR arrays. This crate
+//! persists them so a restarted `tm-serve` answers its warm roster
+//! with **zero rebuilds**, and so the in-memory budget can *demote*
+//! cold artifacts to disk instead of discarding them.
+//!
+//! Layers, bottom up:
+//!
+//! * [`sha256`] — a std-only SHA-256 (the workspace builds offline;
+//!   see the shims policy in the workspace manifest);
+//! * [`StoreKey`] — the content address: SHA-256 over a canonical
+//!   length-prefixed encoding of *(kind, TM name, property, mode, n,
+//!   k)* plus the format and engine versions, so any incompatible
+//!   change silently retires old files;
+//! * the `.tmart` container (`format`) — magic, versions, a
+//!   checksummed section table, per-section checksums; any single-bit
+//!   corruption or truncation anywhere in a file is detected;
+//! * the codecs (`codec`) — fixed-width little-endian encodings of
+//!   the domain types ([`Artifact`] and friends), with every id
+//!   range-checked and every decoded structure re-validated through
+//!   the `from_parts` constructors in `tm-automata`;
+//! * [`ArtifactStore`] — the directory: atomic temp-file + rename
+//!   writes, mmap (or buffered) reads, quarantine of corrupt files,
+//!   an LRU byte/file cap, and counters for the service metrics.
+//!
+//! Trust model: nothing read from disk is believed until the
+//! container checksums pass, the embedded key re-digests to the
+//! content address, and the structural validators accept the decoded
+//! arrays. A file failing any of those is renamed to
+//! `*.quarantined` and the caller rebuilds — a corrupt store can cost
+//! time, never correctness.
+//!
+//! Fault injection: `TM_FAULT=store:<nth>` arms the `store` site,
+//! which fires inside save (before the atomic rename — a crash
+//! mid-write) and load (a poisoned read). See [`tm_automata::fault`].
+
+// `deny` (not `forbid`) so the mmap module can opt in locally,
+// mirroring the worker-pool convention in `tm-automata`.
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+mod codec;
+mod format;
+mod key;
+mod mmap;
+pub mod sha256;
+mod store;
+
+pub use codec::{Artifact, LazySpecArtifact, Reader, RunGraphArtifact};
+pub use format::{FormatError, SectionWriter, Sections, MAGIC};
+pub use key::{StoreKey, StoreKind, ENGINE_VERSION, FORMAT_VERSION};
+pub use mmap::{read_file, FileBytes};
+pub use store::{ArtifactStore, StoreConfig, StoreError, StoreStats};
+
+// Re-exported for integration tests and the service layer, which
+// encode/decode images without going through a directory.
+pub use codec::{decode_artifact, encode_artifact};

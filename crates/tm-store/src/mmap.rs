@@ -1,0 +1,177 @@
+//! Read-only file mapping with a buffered-read fallback.
+//!
+//! On 64-bit Unix the store reads artifact files through `mmap(2)` —
+//! warm-start of a large registry then touches pages lazily while the
+//! integrity pass streams over them once. Everywhere else (and whenever
+//! the map fails, e.g. on an empty file or an exotic filesystem) it
+//! falls back to [`std::fs::read`]. Callers only ever see a byte
+//! slice; which path produced it is an implementation detail, and the
+//! checksum verification downstream is identical for both.
+//!
+//! The raw `mmap`/`munmap` prototypes are declared here directly: the
+//! workspace builds offline with no registry access, so the usual
+//! `libc` crate is out of reach by policy (see the shims note in the
+//! workspace manifest).
+#![allow(unsafe_code)]
+
+use std::fs::File;
+use std::io;
+use std::ops::Deref;
+use std::path::Path;
+
+/// The bytes of a file: memory-mapped when possible, owned otherwise.
+/// Dereferences to `[u8]`; unmaps (if mapped) on drop.
+pub enum FileBytes {
+    /// A live read-only mapping.
+    #[cfg(all(unix, target_pointer_width = "64"))]
+    Mapped(map::Mapping),
+    /// Bytes read through the buffered fallback.
+    Owned(Vec<u8>),
+}
+
+impl Deref for FileBytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        match self {
+            #[cfg(all(unix, target_pointer_width = "64"))]
+            FileBytes::Mapped(mapping) => mapping,
+            FileBytes::Owned(bytes) => bytes,
+        }
+    }
+}
+
+impl FileBytes {
+    /// `true` if these bytes come from a live mapping (statistics /
+    /// tests only).
+    pub fn is_mapped(&self) -> bool {
+        match self {
+            #[cfg(all(unix, target_pointer_width = "64"))]
+            FileBytes::Mapped(_) => true,
+            FileBytes::Owned(_) => false,
+        }
+    }
+}
+
+/// Reads `path` fully, preferring a read-only mapping.
+pub fn read_file(path: &Path) -> io::Result<FileBytes> {
+    #[cfg(all(unix, target_pointer_width = "64"))]
+    {
+        let file = File::open(path)?;
+        let len = file.metadata()?.len();
+        // Empty files can't be mapped; and a file larger than the
+        // address-space practical limit shouldn't be trusted anyway.
+        if len > 0 {
+            if let Ok(len) = usize::try_from(len) {
+                if let Some(mapping) = map::map_readonly(&file, len) {
+                    return Ok(FileBytes::Mapped(mapping));
+                }
+            }
+        }
+        drop(file);
+    }
+    Ok(FileBytes::Owned(std::fs::read(path)?))
+}
+
+#[cfg(all(unix, target_pointer_width = "64"))]
+mod map {
+    use std::fs::File;
+    use std::ops::Deref;
+    use std::os::unix::io::AsRawFd;
+
+    // Values shared by every Unix the workspace targets (Linux, macOS,
+    // BSDs) for the subset used here.
+    const PROT_READ: i32 = 1;
+    const MAP_PRIVATE: i32 = 2;
+    const MAP_FAILED: isize = -1;
+
+    extern "C" {
+        fn mmap(
+            addr: *mut u8,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut u8;
+        fn munmap(addr: *mut u8, len: usize) -> i32;
+    }
+
+    /// A live read-only private mapping; unmapped on drop.
+    pub struct Mapping {
+        addr: *mut u8,
+        len: usize,
+    }
+
+    // The mapping is read-only and owned: sharing references across
+    // threads is no different from sharing a `&[u8]`.
+    unsafe impl Send for Mapping {}
+    unsafe impl Sync for Mapping {}
+
+    impl Deref for Mapping {
+        type Target = [u8];
+
+        fn deref(&self) -> &[u8] {
+            // SAFETY: `addr` is a live mapping of exactly `len`
+            // readable bytes, unmapped only in `Drop`.
+            unsafe { std::slice::from_raw_parts(self.addr, self.len) }
+        }
+    }
+
+    impl Drop for Mapping {
+        fn drop(&mut self) {
+            // SAFETY: `addr`/`len` come from a successful `mmap` and
+            // are unmapped exactly once.
+            unsafe {
+                munmap(self.addr, self.len);
+            }
+        }
+    }
+
+    /// Maps `len` bytes of `file` read-only, `None` on any failure (the
+    /// caller falls back to a buffered read).
+    pub fn map_readonly(file: &File, len: usize) -> Option<Mapping> {
+        // SAFETY: a fresh private read-only mapping of a file we hold
+        // open; all arguments are well-formed, and failure is reported
+        // through MAP_FAILED which we check.
+        let addr = unsafe {
+            mmap(
+                std::ptr::null_mut(),
+                len,
+                PROT_READ,
+                MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if addr as isize == MAP_FAILED || addr.is_null() {
+            return None;
+        }
+        Some(Mapping { addr, len })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_whole_files() {
+        let dir = std::env::temp_dir().join("tm-store-mmap-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("probe-{}.bin", std::process::id()));
+        let payload: Vec<u8> = (0u32..10_000).flat_map(|i| i.to_le_bytes()).collect();
+        std::fs::write(&path, &payload).unwrap();
+        let bytes = read_file(&path).unwrap();
+        assert_eq!(&*bytes, &payload[..]);
+        #[cfg(all(unix, target_pointer_width = "64"))]
+        assert!(bytes.is_mapped());
+        drop(bytes);
+
+        std::fs::write(&path, b"").unwrap();
+        let empty = read_file(&path).unwrap();
+        assert!(empty.is_empty());
+        assert!(!empty.is_mapped());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,406 @@
+//! The on-disk artifact store.
+//!
+//! One directory, one file per artifact, named by the content-address
+//! digest of its key (`<hex64>.tmart`). Writes are atomic — encode to
+//! `<digest>.tmp` in the same directory, sync, rename — so a crash at
+//! any instant leaves either the old file, the new file, or a stale
+//! `.tmp` that the next [`ArtifactStore::open`] sweeps away; never a
+//! half-written addressable artifact. Reads verify the full container
+//! integrity (and that the embedded key matches the requested digest)
+//! before anything is trusted; a file that fails is *quarantined* —
+//! renamed to `<name>.quarantined` so it stops being addressable but
+//! survives for post-mortem — and reported as corrupt so the caller
+//! rebuilds from scratch.
+//!
+//! The store keeps its own LRU ledger (seeded from file mtimes at
+//! open, tracked by access order afterwards) and enforces an optional
+//! byte and file cap by deleting the least-recently-used artifacts
+//! after each save. Hits, misses, corruptions, saves, and evictions
+//! are counted for the service metrics.
+
+use std::collections::HashMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use tm_automata::fault::fault_point;
+use tm_obs::{Phase, PhaseTimer};
+
+use crate::codec::{decode_artifact, encode_artifact, Artifact};
+use crate::key::StoreKey;
+
+/// Extension of addressable artifact files.
+const EXT: &str = "tmart";
+
+/// Why a store operation failed.
+#[derive(Debug)]
+pub enum StoreError {
+    /// The underlying filesystem operation failed.
+    Io(io::Error),
+    /// The file existed but failed integrity verification or decoding;
+    /// it has been quarantined.
+    Corrupt(&'static str),
+    /// An injected fault fired (`TM_FAULT=store:<nth>`).
+    Fault,
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store I/O error: {e}"),
+            StoreError::Corrupt(why) => write!(f, "corrupt artifact (quarantined): {why}"),
+            StoreError::Fault => write!(f, "injected store fault"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> StoreError {
+        StoreError::Io(e)
+    }
+}
+
+/// Configuration for [`ArtifactStore::open`].
+#[derive(Clone, Debug, Default)]
+pub struct StoreConfig {
+    /// The store directory; created if absent.
+    pub dir: PathBuf,
+    /// Byte cap over all addressable files (`None` = unbounded).
+    pub cap_bytes: Option<u64>,
+    /// File-count cap (`None` = unbounded).
+    pub cap_files: Option<usize>,
+}
+
+/// A point-in-time snapshot of the store counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Loads that returned a verified artifact.
+    pub hits: u64,
+    /// Loads that found no file for the key.
+    pub misses: u64,
+    /// Files that failed verification and were quarantined.
+    pub corrupt: u64,
+    /// Artifacts written (idempotent re-saves of an existing digest are
+    /// not counted).
+    pub saves: u64,
+    /// Files deleted by the byte/file cap.
+    pub evicted: u64,
+    /// Current addressable bytes on disk (per the ledger).
+    pub bytes: u64,
+    /// Current addressable file count.
+    pub files: u64,
+}
+
+struct Entry {
+    bytes: u64,
+    last_used: u64,
+}
+
+struct Ledger {
+    entries: HashMap<String, Entry>,
+    /// Monotonic access clock for LRU ordering.
+    tick: u64,
+}
+
+impl Ledger {
+    fn touch(&mut self, name: &str) {
+        self.tick += 1;
+        if let Some(entry) = self.entries.get_mut(name) {
+            entry.last_used = self.tick;
+        }
+    }
+
+    fn total_bytes(&self) -> u64 {
+        self.entries.values().map(|e| e.bytes).sum()
+    }
+}
+
+/// The persistent content-addressed artifact store. All operations are
+/// safe to call from multiple threads; the ledger is internally locked
+/// and file writes are atomic.
+pub struct ArtifactStore {
+    dir: PathBuf,
+    cap_bytes: Option<u64>,
+    cap_files: Option<usize>,
+    ledger: Mutex<Ledger>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    corrupt: AtomicU64,
+    saves: AtomicU64,
+    evicted: AtomicU64,
+}
+
+impl ArtifactStore {
+    /// Opens (creating if needed) the store at `config.dir`. Scans the
+    /// directory: stale `.tmp` files from interrupted writes are
+    /// deleted, addressable `.tmart` files seed the LRU ledger in
+    /// modification-time order (oldest = least recently used).
+    pub fn open(config: StoreConfig) -> Result<ArtifactStore, StoreError> {
+        std::fs::create_dir_all(&config.dir)?;
+        let mut found: Vec<(String, u64, std::time::SystemTime)> = Vec::new();
+        for entry in std::fs::read_dir(&config.dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if name.ends_with(".tmp") {
+                // Leftover from a write interrupted before its rename.
+                let _ = std::fs::remove_file(entry.path());
+                continue;
+            }
+            if !name.ends_with(&format!(".{EXT}")) {
+                continue;
+            }
+            let meta = entry.metadata()?;
+            if !meta.is_file() {
+                continue;
+            }
+            let mtime = meta.modified().unwrap_or(std::time::SystemTime::UNIX_EPOCH);
+            found.push((name.to_owned(), meta.len(), mtime));
+        }
+        found.sort_by(|a, b| a.2.cmp(&b.2).then_with(|| a.0.cmp(&b.0)));
+        let mut ledger = Ledger {
+            entries: HashMap::new(),
+            tick: 0,
+        };
+        for (name, bytes, _) in found {
+            ledger.tick += 1;
+            let last_used = ledger.tick;
+            ledger.entries.insert(name, Entry { bytes, last_used });
+        }
+        Ok(ArtifactStore {
+            dir: config.dir,
+            cap_bytes: config.cap_bytes,
+            cap_files: config.cap_files,
+            ledger: Mutex::new(ledger),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            corrupt: AtomicU64::new(0),
+            saves: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
+        })
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Saves `artifact` under `key`. Content-addressed and idempotent:
+    /// if the digest is already present, the entry is only touched in
+    /// the LRU. The write is atomic (temp file + rename) and runs the
+    /// `store` fault point *before* the rename, so an injected fault
+    /// models a crash mid-write: the addressable store is unchanged and
+    /// only a `.tmp` remains.
+    pub fn save(&self, key: &StoreKey, artifact: &Artifact) -> Result<(), StoreError> {
+        let name = key.file_name();
+        {
+            let mut ledger = self.lock_ledger();
+            if ledger.entries.contains_key(&name) {
+                ledger.touch(&name);
+                return Ok(());
+            }
+        }
+        let mut timer = PhaseTimer::start(Phase::StoreSave);
+        let image = encode_artifact(key, artifact);
+        timer.set_value(image.len() as u64);
+        let final_path = self.dir.join(&name);
+        let tmp_path = self.dir.join(format!("{name}.tmp"));
+        let write_result = (|| -> Result<(), StoreError> {
+            std::fs::write(&tmp_path, &image)?;
+            // A crash between here and the rename must leave the store
+            // unchanged — that is exactly what the fault point models.
+            fault_point("store").map_err(|_| StoreError::Fault)?;
+            std::fs::rename(&tmp_path, &final_path)?;
+            Ok(())
+        })();
+        if write_result.is_err() {
+            let _ = std::fs::remove_file(&tmp_path);
+            return write_result;
+        }
+        self.saves.fetch_add(1, Ordering::Relaxed);
+        let over_cap = {
+            let mut ledger = self.lock_ledger();
+            ledger.tick += 1;
+            let last_used = ledger.tick;
+            ledger.entries.insert(
+                name,
+                Entry {
+                    bytes: image.len() as u64,
+                    last_used,
+                },
+            );
+            self.collect_over_cap(&mut ledger)
+        };
+        self.delete_evicted(over_cap);
+        Ok(())
+    }
+
+    /// Loads the artifact stored under `key`. `Ok(None)` when no file
+    /// exists for the digest; `Err(Corrupt)` (after quarantining the
+    /// file) when one exists but fails verification; `Err(Fault)` when
+    /// the injected `store` fault fires (a poisoned read — the caller
+    /// treats it like a miss and rebuilds).
+    pub fn load(&self, key: &StoreKey) -> Result<Option<Artifact>, StoreError> {
+        let name = key.file_name();
+        let path = self.dir.join(&name);
+        if !path.exists() {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return Ok(None);
+        }
+        fault_point("store").map_err(|_| StoreError::Fault)?;
+        let mut timer = PhaseTimer::start(Phase::StoreLoad);
+        let bytes = match crate::mmap::read_file(&path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                // Raced with an eviction: a plain miss.
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return Ok(None);
+            }
+            Err(e) => return Err(e.into()),
+        };
+        timer.set_value(bytes.len() as u64);
+        match decode_artifact(&bytes).and_then(|(stored_key, artifact)| {
+            if stored_key.digest() == key.digest() {
+                Ok(artifact)
+            } else {
+                Err("file content addresses a different key")
+            }
+        }) {
+            Ok(artifact) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.lock_ledger().touch(&name);
+                Ok(Some(artifact))
+            }
+            Err(why) => {
+                drop(bytes);
+                self.quarantine(&name);
+                Err(StoreError::Corrupt(why))
+            }
+        }
+    }
+
+    /// The addressable files currently on disk, least recently used
+    /// first (warm-start iterates this and promotes what it can).
+    pub fn files(&self) -> Vec<PathBuf> {
+        let ledger = self.lock_ledger();
+        let mut names: Vec<(&String, u64)> = ledger
+            .entries
+            .iter()
+            .map(|(name, entry)| (name, entry.last_used))
+            .collect();
+        names.sort_by(|a, b| a.1.cmp(&b.1).then_with(|| a.0.cmp(b.0)));
+        names
+            .into_iter()
+            .map(|(name, _)| self.dir.join(name))
+            .collect()
+    }
+
+    /// Loads and verifies an arbitrary store file (warm-start path,
+    /// where the key is not known up front — it is read out of the
+    /// file and re-verified against the content address). Quarantines
+    /// on corruption exactly like [`ArtifactStore::load`].
+    pub fn load_path(&self, path: &Path) -> Result<(StoreKey, Artifact), StoreError> {
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .ok_or(StoreError::Corrupt("unrepresentable file name"))?
+            .to_owned();
+        fault_point("store").map_err(|_| StoreError::Fault)?;
+        let mut timer = PhaseTimer::start(Phase::StoreLoad);
+        let bytes = crate::mmap::read_file(path)?;
+        timer.set_value(bytes.len() as u64);
+        match decode_artifact(&bytes).and_then(|(key, artifact)| {
+            if key.file_name() == name {
+                Ok((key, artifact))
+            } else {
+                Err("file name does not match content address")
+            }
+        }) {
+            Ok(result) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.lock_ledger().touch(&name);
+                Ok(result)
+            }
+            Err(why) => {
+                drop(bytes);
+                self.quarantine(&name);
+                Err(StoreError::Corrupt(why))
+            }
+        }
+    }
+
+    /// Point-in-time counters plus the current ledger totals.
+    pub fn stats(&self) -> StoreStats {
+        let (bytes, files) = {
+            let ledger = self.lock_ledger();
+            (ledger.total_bytes(), ledger.entries.len() as u64)
+        };
+        StoreStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            corrupt: self.corrupt.load(Ordering::Relaxed),
+            saves: self.saves.load(Ordering::Relaxed),
+            evicted: self.evicted.load(Ordering::Relaxed),
+            bytes,
+            files,
+        }
+    }
+
+    fn lock_ledger(&self) -> std::sync::MutexGuard<'_, Ledger> {
+        self.ledger
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Renames a failed file out of the addressable namespace and drops
+    /// it from the ledger.
+    fn quarantine(&self, name: &str) {
+        self.corrupt.fetch_add(1, Ordering::Relaxed);
+        let from = self.dir.join(name);
+        let to = self.dir.join(format!("{name}.quarantined"));
+        if std::fs::rename(&from, &to).is_err() {
+            // Rename failed (permissions, races): delete rather than
+            // risk re-reading the bad file forever.
+            let _ = std::fs::remove_file(&from);
+        }
+        self.lock_ledger().entries.remove(name);
+    }
+
+    /// Removes least-recently-used ledger entries until the caps hold;
+    /// returns the file names to delete (done outside the lock).
+    fn collect_over_cap(&self, ledger: &mut Ledger) -> Vec<String> {
+        let mut victims = Vec::new();
+        loop {
+            let over_bytes = self
+                .cap_bytes
+                .is_some_and(|cap| ledger.total_bytes() > cap);
+            let over_files = self
+                .cap_files
+                .is_some_and(|cap| ledger.entries.len() > cap);
+            if !over_bytes && !over_files {
+                break;
+            }
+            let Some(name) = ledger
+                .entries
+                .iter()
+                .min_by_key(|(name, entry)| (entry.last_used, (*name).clone()))
+                .map(|(name, _)| name.clone())
+            else {
+                break;
+            };
+            ledger.entries.remove(&name);
+            victims.push(name);
+        }
+        victims
+    }
+
+    fn delete_evicted(&self, names: Vec<String>) {
+        for name in names {
+            let _ = std::fs::remove_file(self.dir.join(&name));
+            self.evicted.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}

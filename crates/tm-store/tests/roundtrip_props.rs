@@ -1,0 +1,291 @@
+//! Property tests for the artifact codecs: serialize → deserialize is
+//! the identity on randomly generated compiled artifacts, digests are
+//! byte-stable, and every single-bit corruption of an encoded file is
+//! detected and rejected.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use tm_algorithms::{Action, ExtCommand, RunLabel};
+use tm_automata::{
+    Alphabet, CompiledRunGraph, Dfa, Nfa, RunGraphParts, NO_STATE,
+};
+use tm_lang::{Command, Statement, ThreadId, ThreadSet, VarId, VarSet};
+use tm_spec::{spec_alphabet, DetPhase, DetState};
+use tm_store::{
+    decode_artifact, encode_artifact, Artifact, LazySpecArtifact, RunGraphArtifact, StoreKey,
+    StoreKind,
+};
+
+/// A fixed universe of distinct run labels to draw edge labels from.
+fn label_universe() -> Vec<RunLabel> {
+    let v0 = VarId::new(0);
+    let v1 = VarId::new(1);
+    let t0 = ThreadId::new(0);
+    let t1 = ThreadId::new(1);
+    vec![
+        RunLabel {
+            thread: t0,
+            command: Command::Read(v0),
+            action: Action::Complete(ExtCommand::Base(Command::Read(v0))),
+        },
+        RunLabel {
+            thread: t0,
+            command: Command::Write(v1),
+            action: Action::Internal(ExtCommand::Own(v1)),
+        },
+        RunLabel {
+            thread: t0,
+            command: Command::Commit,
+            action: Action::Complete(ExtCommand::Base(Command::Commit)),
+        },
+        RunLabel {
+            thread: t1,
+            command: Command::Read(v1),
+            action: Action::Internal(ExtCommand::RLock(v1)),
+        },
+        RunLabel {
+            thread: t1,
+            command: Command::Commit,
+            action: Action::Internal(ExtCommand::Validate),
+        },
+        RunLabel {
+            thread: t1,
+            command: Command::Write(v0),
+            action: Action::Abort,
+        },
+        RunLabel {
+            thread: t1,
+            command: Command::Commit,
+            action: Action::Internal(ExtCommand::ChkLock),
+        },
+        RunLabel {
+            thread: t0,
+            command: Command::Read(v1),
+            action: Action::Internal(ExtCommand::RValidate),
+        },
+    ]
+}
+
+fn nfa_key() -> StoreKey {
+    StoreKey {
+        kind: StoreKind::Nfa,
+        tm: "prop".into(),
+        property: String::new(),
+        mode: String::new(),
+        threads: 2,
+        vars: 2,
+    }
+}
+
+fn dfa_key() -> StoreKey {
+    StoreKey {
+        kind: StoreKind::Dfa,
+        ..nfa_key()
+    }
+}
+
+/// Builds a random run-graph CSR over the label universe; masks are
+/// uniform per label as `CompiledRunGraph::from_parts` demands.
+fn random_run_graph(
+    num_states: usize,
+    edge_picks: &[(u32, u32)],
+    masks: &[u16],
+) -> CompiledRunGraph<RunLabel> {
+    let labels = label_universe();
+    let mut row_start = vec![0u32];
+    let mut edge_from = Vec::new();
+    let mut edge_target = Vec::new();
+    let mut edge_label = Vec::new();
+    let mut edge_mask = Vec::new();
+    let per_state = (edge_picks.len() / num_states).max(1);
+    for (i, &(target, label)) in edge_picks.iter().enumerate() {
+        let from = (i / per_state).min(num_states - 1);
+        while row_start.len() <= from {
+            row_start.push(edge_from.len() as u32);
+        }
+        edge_from.push(from as u32);
+        edge_target.push(target % num_states as u32);
+        let label = label as usize % labels.len();
+        edge_label.push(label as u32);
+        edge_mask.push(masks[label]);
+    }
+    while row_start.len() <= num_states {
+        row_start.push(edge_from.len() as u32);
+    }
+    CompiledRunGraph::from_parts(RunGraphParts {
+        labels,
+        row_start,
+        edge_from,
+        edge_target,
+        edge_label,
+        edge_mask,
+    })
+    .expect("generated CSR must be valid")
+}
+
+proptest! {
+    #[test]
+    fn nfa_round_trips(input in (1usize..9, vec((0u32..9, 0u32..16, 0u32..9), 0..40))) {
+        let (num_states, edges) = input;
+        let letters = spec_alphabet(2, 2);
+        let mut nfa = Nfa::new();
+        let states: Vec<_> = (0..num_states).map(|_| nfa.add_state()).collect();
+        nfa.set_initial(states[0]);
+        for &(from, letter, to) in &edges {
+            let from = states[from as usize % num_states];
+            let to = states[to as usize % num_states];
+            // Every 4th pick is an ε-edge so both CSR families are hit.
+            let label = if letter % 4 == 0 {
+                None
+            } else {
+                Some(letters[letter as usize % letters.len()])
+            };
+            nfa.add_transition(from, label, to);
+        }
+        let mut alphabet = Alphabet::from_letters(&letters);
+        let compiled = nfa.compile(&mut alphabet);
+        let image = encode_artifact(&nfa_key(), &Artifact::Nfa(compiled.clone()));
+        let (key, decoded) = decode_artifact(&image).expect("fresh image must decode");
+        prop_assert_eq!(key, nfa_key());
+        let Artifact::Nfa(decoded) = decoded else { panic!("wrong artifact kind") };
+        prop_assert_eq!(decoded.to_parts(), compiled.to_parts());
+    }
+
+    #[test]
+    fn dfa_round_trips(input in (1usize..9, vec((0u32..9, 0u32..16, 0u32..9), 0..40))) {
+        let (num_states, edges) = input;
+        let letters = spec_alphabet(2, 2);
+        let mut dfa = Dfa::new(letters.clone());
+        let states: Vec<_> = (0..num_states).map(|_| dfa.add_state()).collect();
+        dfa.set_initial(states[0]);
+        for &(from, letter, to) in &edges {
+            let from = states[from as usize % num_states];
+            let to = states[to as usize % num_states];
+            dfa.set_transition(from, &letters[letter as usize % letters.len()], to);
+        }
+        let compiled = dfa.compile();
+        let image = encode_artifact(&dfa_key(), &Artifact::Dfa(compiled.clone()));
+        let (key, decoded) = decode_artifact(&image).expect("fresh image must decode");
+        prop_assert_eq!(key, dfa_key());
+        let Artifact::Dfa(decoded) = decoded else { panic!("wrong artifact kind") };
+        prop_assert_eq!(decoded.to_parts(), compiled.to_parts());
+    }
+
+    #[test]
+    fn run_graph_round_trips(
+        input in (
+            (1usize..10, vec((0u32..64, 0u32..64), 0..36)),
+            vec(0u16..u16::MAX, 8..9),
+            (0u64..u64::MAX, 0u64..1 << 40),
+        )
+    ) {
+        let ((num_states, edge_picks), masks, (_seed, build_ns)) = input;
+        let graph = random_run_graph(num_states, &edge_picks, &masks);
+        let key = StoreKey::run_graph("prop+tm", 2, 2);
+        let artifact = Artifact::RunGraph(RunGraphArtifact {
+            graph: graph.clone(),
+            states: num_states,
+            build_ns,
+        });
+        let image = encode_artifact(&key, &artifact);
+        let (decoded_key, decoded) = decode_artifact(&image).expect("fresh image must decode");
+        prop_assert_eq!(decoded_key, key);
+        let Artifact::RunGraph(decoded) = decoded else { panic!("wrong artifact kind") };
+        prop_assert_eq!(decoded.graph.to_parts(), graph.to_parts());
+        prop_assert_eq!(decoded.states, num_states);
+        prop_assert_eq!(decoded.build_ns, build_ns);
+    }
+
+    #[test]
+    fn lazy_spec_round_trips(
+        input in (
+            (1usize..12, 1usize..6),
+            vec((0u32..3, 0u16..u16::MAX, 0u16..16), 1..12),
+            vec(0u32..1000, 0..60),
+        )
+    ) {
+        let ((num_states, width), thread_picks, row_entries) = input;
+        // Random deterministic-spec states.
+        let mut states = Vec::with_capacity(num_states);
+        for i in 0..num_states {
+            let mut state = DetState::default();
+            for (t, &(phase, var_bits, thread_bits)) in
+                thread_picks.iter().cycle().skip(i).take(4).enumerate()
+            {
+                state.0[t].phase = match phase {
+                    0 => DetPhase::Finished,
+                    1 => DetPhase::Started,
+                    _ => DetPhase::Pending,
+                };
+                state.0[t].valid = var_bits % 2 == 0;
+                state.0[t].rs = VarSet::from_bits(var_bits);
+                state.0[t].ws = VarSet::from_bits(var_bits.rotate_left(3));
+                state.0[t].prs = VarSet::from_bits(var_bits.rotate_left(7));
+                state.0[t].pws = VarSet::from_bits(var_bits.rotate_left(11));
+                state.0[t].wp = ThreadSet::from_bits(thread_bits & 0xF);
+                state.0[t].sp = ThreadSet::from_bits(thread_bits.rotate_left(2) & 0xF);
+            }
+            states.push(state);
+        }
+        // Random present/absent successor rows of uniform width.
+        let mut rows: Vec<Option<Box<[u32]>>> = Vec::with_capacity(num_states);
+        let mut cursor = row_entries.iter().cycle();
+        for i in 0..num_states {
+            if i % 3 == 2 {
+                rows.push(None);
+            } else {
+                let row: Vec<u32> = (0..width)
+                    .map(|_| {
+                        let v = *cursor.next().unwrap_or(&0);
+                        if v % 5 == 0 { NO_STATE } else { v % num_states as u32 }
+                    })
+                    .collect();
+                rows.push(Some(row.into_boxed_slice()));
+            }
+        }
+        let key = StoreKey::lazy_spec("op", 2, 2);
+        let artifact = Artifact::LazySpec(LazySpecArtifact {
+            states: states.clone(),
+            rows: rows.clone(),
+            build_ns: 12_345,
+        });
+        let image = encode_artifact(&key, &artifact);
+        let (decoded_key, decoded) = decode_artifact(&image).expect("fresh image must decode");
+        prop_assert_eq!(decoded_key, key);
+        let Artifact::LazySpec(decoded) = decoded else { panic!("wrong artifact kind") };
+        prop_assert_eq!(decoded.states, states);
+        prop_assert_eq!(decoded.rows, rows);
+        prop_assert_eq!(decoded.build_ns, 12_345);
+    }
+
+    /// Encoding is deterministic (same artifact → bit-identical file,
+    /// the property the content-addressed dedup relies on), and every
+    /// single-bit flip of the file is rejected by the loader.
+    #[test]
+    fn encoding_is_stable_and_corruption_is_always_detected(
+        input in ((1usize..5, vec((0u32..64, 0u32..64), 0..10)), vec(0u16..u16::MAX, 8..9))
+    ) {
+        let ((num_states, edge_picks), masks) = input;
+        let graph = random_run_graph(num_states, &edge_picks, &masks);
+        let key = StoreKey::run_graph("prop+tm", 2, 2);
+        let artifact = Artifact::RunGraph(RunGraphArtifact {
+            graph,
+            states: num_states,
+            build_ns: 7,
+        });
+        let image = encode_artifact(&key, &artifact);
+        prop_assert_eq!(&encode_artifact(&key, &artifact), &image);
+        for byte in 0..image.len() {
+            for bit in 0..8 {
+                let mut corrupt = image.clone();
+                corrupt[byte] ^= 1 << bit;
+                prop_assert!(
+                    decode_artifact(&corrupt).is_err(),
+                    "flip of byte {} bit {} went undetected",
+                    byte,
+                    bit
+                );
+            }
+        }
+    }
+}

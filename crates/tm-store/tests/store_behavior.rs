@@ -1,0 +1,262 @@
+//! Behavioral tests for [`ArtifactStore`]: atomic saves, verified
+//! loads, quarantine of corrupt files, warm re-open, and the LRU
+//! byte/file cap.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use tm_algorithms::{Action, ExtCommand, RunLabel};
+use tm_automata::{CompiledRunGraph, RunGraphParts};
+use tm_lang::{Command, ThreadId, VarId};
+use tm_store::{Artifact, ArtifactStore, RunGraphArtifact, StoreConfig, StoreError, StoreKey};
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let seq = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "tm-store-test-{tag}-{}-{seq}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A tiny but nontrivial run graph: two states, two labels, edges both
+/// ways.
+fn sample_graph(flavor: u32) -> CompiledRunGraph<RunLabel> {
+    let v0 = VarId::new(0);
+    let t0 = ThreadId::new(0);
+    let labels = vec![
+        RunLabel {
+            thread: t0,
+            command: Command::Read(v0),
+            action: Action::Complete(ExtCommand::Base(Command::Read(v0))),
+        },
+        RunLabel {
+            thread: t0,
+            command: Command::Commit,
+            action: Action::Abort,
+        },
+    ];
+    CompiledRunGraph::from_parts(RunGraphParts {
+        labels,
+        row_start: vec![0, 2, 3],
+        edge_from: vec![0, 0, 1],
+        edge_target: vec![1, 0, flavor % 2],
+        edge_label: vec![0, 1, 0],
+        edge_mask: vec![1, 2, 1],
+    })
+    .expect("sample CSR is valid")
+}
+
+fn sample_artifact(flavor: u32) -> Artifact {
+    Artifact::RunGraph(RunGraphArtifact {
+        graph: sample_graph(flavor),
+        states: 2,
+        build_ns: 42,
+    })
+}
+
+#[test]
+fn save_load_round_trip_and_idempotent_resave() {
+    let dir = scratch_dir("roundtrip");
+    let store = ArtifactStore::open(StoreConfig {
+        dir: dir.clone(),
+        ..StoreConfig::default()
+    })
+    .unwrap();
+    let key = StoreKey::run_graph("dstm", 2, 2);
+
+    assert!(store.load(&key).unwrap().is_none(), "empty store must miss");
+    store.save(&key, &sample_artifact(0)).unwrap();
+    store.save(&key, &sample_artifact(0)).unwrap();
+    let stats = store.stats();
+    assert_eq!(stats.saves, 1, "content-addressed re-save must be a no-op");
+    assert_eq!(stats.files, 1);
+    assert!(stats.bytes > 0);
+
+    let Some(Artifact::RunGraph(loaded)) = store.load(&key).unwrap() else {
+        panic!("expected a run-graph hit");
+    };
+    assert_eq!(loaded.graph.to_parts(), sample_graph(0).to_parts());
+    assert_eq!(loaded.states, 2);
+    assert_eq!(loaded.build_ns, 42);
+    let stats = store.stats();
+    assert_eq!((stats.hits, stats.misses), (1, 1));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn reopen_warm_starts_from_disk() {
+    let dir = scratch_dir("reopen");
+    let key_a = StoreKey::run_graph("dstm", 2, 2);
+    let key_b = StoreKey::lazy_spec("op", 2, 2);
+    {
+        let store = ArtifactStore::open(StoreConfig {
+            dir: dir.clone(),
+            ..StoreConfig::default()
+        })
+        .unwrap();
+        store.save(&key_a, &sample_artifact(0)).unwrap();
+        store
+            .save(
+                &key_b,
+                &Artifact::LazySpec(tm_store::LazySpecArtifact {
+                    states: vec![tm_spec::DetState::default()],
+                    rows: vec![None],
+                    build_ns: 7,
+                }),
+            )
+            .unwrap();
+        // A stale temp file from a "crashed" writer.
+        std::fs::write(dir.join("deadbeef.tmart.tmp"), b"partial").unwrap();
+    }
+    let store = ArtifactStore::open(StoreConfig {
+        dir: dir.clone(),
+        ..StoreConfig::default()
+    })
+    .unwrap();
+    assert_eq!(store.stats().files, 2, "both artifacts must be readdressable");
+    assert!(
+        !dir.join("deadbeef.tmart.tmp").exists(),
+        "stale temp files must be swept at open"
+    );
+    let files = store.files();
+    assert_eq!(files.len(), 2);
+    let mut kinds = Vec::new();
+    for path in files {
+        let (key, _artifact) = store.load_path(&path).unwrap();
+        kinds.push(key.kind);
+    }
+    kinds.sort_by_key(|k| k.as_tag());
+    assert_eq!(
+        kinds,
+        vec![tm_store::StoreKind::RunGraph, tm_store::StoreKind::LazySpec]
+    );
+    assert!(store.load(&key_a).unwrap().is_some());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn corrupt_files_are_quarantined_and_become_misses() {
+    let dir = scratch_dir("quarantine");
+    let store = ArtifactStore::open(StoreConfig {
+        dir: dir.clone(),
+        ..StoreConfig::default()
+    })
+    .unwrap();
+    let key = StoreKey::run_graph("TL2", 2, 2);
+    store.save(&key, &sample_artifact(0)).unwrap();
+
+    // Flip one payload byte on disk.
+    let path = dir.join(key.file_name());
+    let mut bytes = std::fs::read(&path).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x40;
+    std::fs::write(&path, &bytes).unwrap();
+
+    match store.load(&key) {
+        Err(StoreError::Corrupt(_)) => {}
+        other => panic!("expected corrupt, got {other:?}"),
+    }
+    assert!(!path.exists(), "corrupt file must leave the namespace");
+    assert!(
+        dir.join(format!("{}.quarantined", key.file_name())).exists(),
+        "corrupt file must be kept for post-mortem"
+    );
+    let stats = store.stats();
+    assert_eq!(stats.corrupt, 1);
+    assert_eq!(stats.files, 0);
+
+    // The key now misses cleanly, and a rebuild can be saved again.
+    assert!(store.load(&key).unwrap().is_none());
+    store.save(&key, &sample_artifact(0)).unwrap();
+    assert!(store.load(&key).unwrap().is_some());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn renamed_files_cannot_impersonate_another_key() {
+    let dir = scratch_dir("rename");
+    let store = ArtifactStore::open(StoreConfig {
+        dir: dir.clone(),
+        ..StoreConfig::default()
+    })
+    .unwrap();
+    let key = StoreKey::run_graph("dstm", 2, 2);
+    let other = StoreKey::run_graph("dstm", 2, 1);
+    store.save(&key, &sample_artifact(0)).unwrap();
+    std::fs::rename(dir.join(key.file_name()), dir.join(other.file_name())).unwrap();
+    match store.load(&other) {
+        Err(StoreError::Corrupt(why)) => {
+            assert!(why.contains("different key"), "unexpected reason: {why}")
+        }
+        other => panic!("expected corrupt, got {other:?}"),
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn byte_cap_evicts_least_recently_used() {
+    let dir = scratch_dir("lru");
+    // Size one artifact, then cap the store at two of them.
+    let probe = {
+        let store = ArtifactStore::open(StoreConfig {
+            dir: dir.clone(),
+            ..StoreConfig::default()
+        })
+        .unwrap();
+        store
+            .save(&StoreKey::run_graph("probe", 2, 2), &sample_artifact(0))
+            .unwrap();
+        store.stats().bytes
+    };
+    std::fs::remove_dir_all(&dir).unwrap();
+
+    let store = ArtifactStore::open(StoreConfig {
+        dir: dir.clone(),
+        cap_bytes: Some(probe * 2 + probe / 2),
+        cap_files: None,
+    })
+    .unwrap();
+    let keys: Vec<StoreKey> = ["a", "b", "c"]
+        .iter()
+        .map(|tm| StoreKey::run_graph(tm, 2, 2))
+        .collect();
+    store.save(&keys[0], &sample_artifact(0)).unwrap();
+    store.save(&keys[1], &sample_artifact(0)).unwrap();
+    // Touch `a` so `b` is the LRU victim when `c` lands.
+    assert!(store.load(&keys[0]).unwrap().is_some());
+    store.save(&keys[2], &sample_artifact(0)).unwrap();
+
+    let stats = store.stats();
+    assert_eq!(stats.evicted, 1);
+    assert_eq!(stats.files, 2);
+    assert!(store.load(&keys[0]).unwrap().is_some(), "a was recently used");
+    assert!(store.load(&keys[1]).unwrap().is_none(), "b must be evicted");
+    assert!(store.load(&keys[2]).unwrap().is_some(), "c was just saved");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn file_cap_holds_too() {
+    let dir = scratch_dir("filecap");
+    let store = ArtifactStore::open(StoreConfig {
+        dir: dir.clone(),
+        cap_bytes: None,
+        cap_files: Some(1),
+    })
+    .unwrap();
+    store
+        .save(&StoreKey::run_graph("a", 2, 2), &sample_artifact(0))
+        .unwrap();
+    store
+        .save(&StoreKey::run_graph("b", 2, 2), &sample_artifact(1))
+        .unwrap();
+    let stats = store.stats();
+    assert_eq!((stats.files, stats.evicted), (1, 1));
+    assert!(store.load(&StoreKey::run_graph("a", 2, 2)).unwrap().is_none());
+    assert!(store.load(&StoreKey::run_graph("b", 2, 2)).unwrap().is_some());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
