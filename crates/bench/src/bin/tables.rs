@@ -22,8 +22,20 @@
 //!   assertions only; no A/B measurements, no `BENCH_*.json` rewrites.
 //! * `TM_BENCH_SERVICE_ONLY=1` — regenerate only the tm-service batch
 //!   baseline (`BENCH_service.json`).
+//!
+//! Perf trajectory (`TM_BENCH_TREND`): every `BENCH_*.json` carries a
+//! `history` array of timestamped headline records (host cpus, pool
+//! size, the section's headline numbers), preserved verbatim across
+//! regenerations. `TM_BENCH_TREND=record` appends this run's record;
+//! `TM_BENCH_TREND=check` appends **and** compares it against the
+//! previous record, exiting nonzero when a headline metric is worse by
+//! more than `TM_BENCH_TREND_TOLERANCE` (a fraction; default
+//! [`DEFAULT_TREND_TOLERANCE`] — generous, because CI records and
+//! checks across unrelated 1-cpu hosts). Unset, the run rewrites the
+//! measurement sections but leaves `history` untouched.
 
-use std::time::{Duration, Instant};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 use tm_algorithms::{MostGeneralSource, Tl2Tm, TmAlgorithm, TwoPhaseTm};
 use tm_automata::{
@@ -43,11 +55,67 @@ fn env_flag(name: &str) -> bool {
     std::env::var(name).as_deref() == Ok("1")
 }
 
+/// Default `TM_BENCH_TREND_TOLERANCE`: a metric may be up to 150% worse
+/// than the previous history record before `check` mode fails. Wide on
+/// purpose — the committed baseline and the CI checker are unrelated
+/// hosts — while still catching order-of-magnitude regressions.
+const DEFAULT_TREND_TOLERANCE: f64 = 1.5;
+
+/// How many previous history records a regeneration keeps (plus the one
+/// it may append), so the trajectory files stay reviewable.
+const TREND_HISTORY_KEEP: usize = 30;
+
+/// Set once any `check`-mode comparison regresses; `main` turns it into
+/// a nonzero exit after every requested section has reported.
+static TREND_REGRESSED: AtomicBool = AtomicBool::new(false);
+
+#[derive(Clone, Copy, PartialEq)]
+enum TrendMode {
+    Off,
+    Record,
+    Check,
+}
+
+fn trend_mode() -> TrendMode {
+    match std::env::var("TM_BENCH_TREND").as_deref() {
+        Ok("record") => TrendMode::Record,
+        Ok("check") => TrendMode::Check,
+        _ => TrendMode::Off,
+    }
+}
+
+/// A headline number of one bench section, trended across runs.
+struct Metric {
+    name: &'static str,
+    value: f64,
+    /// Direction: wall-clock metrics regress upward, throughput
+    /// metrics regress downward.
+    lower_is_better: bool,
+}
+
+impl Metric {
+    fn nanos(name: &'static str, d: Duration) -> Metric {
+        Metric { name, value: d.as_nanos() as f64, lower_is_better: true }
+    }
+
+    fn rate(name: &'static str, value: f64) -> Metric {
+        Metric { name, value, lower_is_better: false }
+    }
+}
+
+fn exit_if_regressed() {
+    if TREND_REGRESSED.load(Ordering::Relaxed) {
+        eprintln!("TM_BENCH_TREND=check: headline metrics regressed beyond tolerance");
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let liveness_only = env_flag("TM_BENCH_LIVENESS_ONLY");
     let smoke = env_flag("TM_BENCH_SMOKE");
     if env_flag("TM_BENCH_SERVICE_ONLY") {
         bench_service();
+        exit_if_regressed();
         return;
     }
     if !liveness_only {
@@ -55,11 +123,21 @@ fn main() {
         table2();
         theorem3();
         if !smoke {
-            let baseline = bench_inclusion_baseline();
-            let scaling = bench_otf_scaling();
-            let pool_vs_scoped = bench_pool_vs_scoped();
+            let (baseline, compiled_total) = bench_inclusion_baseline();
+            let (scaling, lazy_total) = bench_otf_scaling();
+            let (pool_vs_scoped, pool_total) = bench_pool_vs_scoped();
             let phases = bench_safety_phases();
-            write_bench_json(&baseline, &scaling, &pool_vs_scoped, &phases);
+            write_bench_json(
+                &baseline,
+                &scaling,
+                &pool_vs_scoped,
+                &phases,
+                &[
+                    Metric::nanos("inclusion_compiled_total_ns", compiled_total),
+                    Metric::nanos("scaling_lazy_total_ns", lazy_total),
+                    Metric::nanos("pool_dispatch_total_ns", pool_total),
+                ],
+            );
         }
     }
 
@@ -79,7 +157,7 @@ fn main() {
         println!("smoke mode: A/B benches and BENCH json regeneration skipped");
         return;
     }
-    let (liveness_cases, liveness_speedup, liveness_phases) =
+    let (liveness_cases, liveness_speedup, liveness_phases, liveness_total) =
         bench_liveness_baseline(&mut session21);
     assert_eq!(
         session21.run_graph_builds(),
@@ -87,10 +165,20 @@ fn main() {
         "the (2,1) session must build each roster run graph exactly once"
     );
     let session_rows = bench_liveness_session(&[(3, 1), (2, 2), (3, 2)]);
-    write_liveness_json(&liveness_cases, liveness_speedup, &session_rows, &liveness_phases);
+    write_liveness_json(
+        &liveness_cases,
+        liveness_speedup,
+        &session_rows,
+        &liveness_phases,
+        &[
+            Metric::nanos("session_total_ns", liveness_total),
+            Metric::rate("overall_speedup", liveness_speedup),
+        ],
+    );
     if !liveness_only {
         bench_service();
     }
+    exit_if_regressed();
 }
 
 fn table1() {
@@ -245,8 +333,9 @@ fn best_of<T>(runs: usize, mut f: impl FnMut() -> T) -> Duration {
 /// one on every Table 2 TM/property pair; the measurements become the
 /// `cases` section of `BENCH_inclusion.json` — the committed baseline for
 /// the interned-alphabet refactor.
-fn bench_inclusion_baseline() -> Vec<String> {
+fn bench_inclusion_baseline() -> (Vec<String>, Duration) {
     let mut cases = Vec::new();
+    let mut compiled_total = Duration::ZERO;
     let mut table = Table::new(
         "Inclusion A/B — seed (label-hashing) vs compiled (letter ids), best of 3",
         ["TM", "property", "seed", "compiled", "precompiled", "speedup"],
@@ -263,6 +352,7 @@ fn bench_inclusion_baseline() -> Vec<String> {
             let seed = best_of(3, || check_inclusion_reference(nfa, &spec));
             let fast = best_of(3, || check_inclusion(nfa, &spec));
             let precompiled = best_of(3, || check_inclusion_compiled(nfa, &compiled));
+            compiled_total += fast;
             let speedup = seed.as_secs_f64() / fast.as_secs_f64();
             table.push_row([
                 name.clone(),
@@ -292,7 +382,7 @@ fn bench_inclusion_baseline() -> Vec<String> {
         }
     }
     println!("{table}");
-    cases
+    (cases, compiled_total)
 }
 
 /// Preferred thread count of the parallel-engine measurements; clamped
@@ -313,8 +403,9 @@ fn par_threads() -> Option<usize> {
 /// (3,3)/(4,2) rows only exist on the fully lazy engine — eagerly
 /// determinizing those specifications does not terminate in reasonable
 /// time — which is exactly the point of on-the-fly exploration.
-fn bench_otf_scaling() -> Vec<String> {
+fn bench_otf_scaling() -> (Vec<String>, Duration) {
     let mut rows = Vec::new();
+    let mut lazy_total = Duration::ZERO;
     let mut table = Table::new(
         format!(
             "Scaling — on-the-fly product engine, π_ss (host: {} cpus; par = {})",
@@ -343,6 +434,7 @@ fn bench_otf_scaling() -> Vec<String> {
         let mut measure = |tm: &dyn ErasedTm, name: &str| {
             let lazy_spec = DtsSpecSource::new(&det, letters.clone());
             let (lazy, product, impl_states) = tm.time_lazy(&alphabet, &lazy_spec, runs);
+            lazy_total += lazy;
             let seq = compiled
                 .as_ref()
                 .map(|spec| tm.time_compiled(&alphabet, spec, 1, runs).0);
@@ -392,7 +484,7 @@ fn bench_otf_scaling() -> Vec<String> {
         }
     }
     println!("{table}");
-    rows
+    (rows, lazy_total)
 }
 
 /// Dispatch-overhead A/B for the parallel product engine: the same
@@ -401,8 +493,9 @@ fn bench_otf_scaling() -> Vec<String> {
 /// `pool_vs_scoped` section of `BENCH_inclusion.json`. On a single-cpu
 /// host the absolute times measure dispatch overhead, not speedup
 /// (`host_cpus` is recorded alongside).
-fn bench_pool_vs_scoped() -> Vec<String> {
+fn bench_pool_vs_scoped() -> (Vec<String>, Duration) {
     let mut rows = Vec::new();
+    let mut pool_total = Duration::ZERO;
     let mut table = Table::new(
         format!(
             "Pool vs scoped — parallel product engine dispatch (host: {} cpus)",
@@ -423,6 +516,7 @@ fn bench_pool_vs_scoped() -> Vec<String> {
             let scoped = tm.time_executor(&alphabet, &spec, &Executor::Scoped { threads: workers }, runs);
             let pool = WorkerPool::new(workers);
             let pooled = tm.time_executor(&alphabet, &spec, &Executor::Pool(&pool), runs);
+            pool_total += pooled;
             let ratio = scoped.as_secs_f64() / pooled.as_secs_f64();
             table.push_row([
                 name.to_owned(),
@@ -456,7 +550,7 @@ fn bench_pool_vs_scoped() -> Vec<String> {
     measure(&Tl2Tm::new(2, 2), "TL2", 2, 2, 3, &[2, 4]);
     measure(&tm_algorithms::DstmTm::new(3, 2), "dstm", 3, 2, 1, &[2]);
     println!("{table}");
-    rows
+    (rows, pool_total)
 }
 
 /// Object-safe timing shim over concrete TM types.
@@ -547,6 +641,140 @@ fn host_cpus() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
+/// The previous `history` records of a `BENCH_*.json`, spliced out
+/// textually (one record per line, exactly as this binary writes them)
+/// so regenerations preserve the recorded trajectory byte-for-byte.
+fn previous_history(path: &str) -> Vec<String> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let Some(start) = text.find("\"history\": [") else {
+        return Vec::new();
+    };
+    let tail = &text[start + "\"history\": [".len()..];
+    // Records are single-line objects with no nested arrays, so the
+    // first ']' closes the history array.
+    let Some(end) = tail.find(']') else {
+        return Vec::new();
+    };
+    tail[..end]
+        .lines()
+        .map(str::trim)
+        .filter(|line| line.starts_with('{'))
+        .map(|line| line.trim_end_matches(',').to_owned())
+        .collect()
+}
+
+/// One history record: when the run happened, where, and the section's
+/// headline numbers.
+fn trend_record(metrics: &[Metric]) -> String {
+    let now = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let fields: Vec<String> = metrics
+        .iter()
+        .map(|m| {
+            if m.value.fract() == 0.0 {
+                format!("\"{}\": {}", m.name, m.value as u128)
+            } else {
+                format!("\"{}\": {:.3}", m.name, m.value)
+            }
+        })
+        .collect();
+    format!(
+        "    {{\"recorded_at_unix\": {now}, \"host_cpus\": {}, \"pool_size\": {}, \
+         \"metrics\": {{{}}}}}",
+        host_cpus(),
+        tm_automata::modelcheck_threads(),
+        fields.join(", ")
+    )
+}
+
+/// `check` mode: each headline metric may be worse than the previous
+/// record's by at most `TM_BENCH_TREND_TOLERANCE` (a fraction of the
+/// old value); anything beyond flags the run for a nonzero exit.
+fn check_trend(path: &str, previous: Option<&String>, metrics: &[Metric]) {
+    let tolerance = std::env::var("TM_BENCH_TREND_TOLERANCE")
+        .ok()
+        .and_then(|raw| raw.parse().ok())
+        .unwrap_or(DEFAULT_TREND_TOLERANCE);
+    let Some(previous) = previous else {
+        println!("{path}: no history record to check against (run TM_BENCH_TREND=record first)");
+        return;
+    };
+    let Ok(record) = tm_service::Json::parse(previous) else {
+        eprintln!("{path}: unparseable history record {previous:?}");
+        TREND_REGRESSED.store(true, Ordering::Relaxed);
+        return;
+    };
+    for metric in metrics {
+        let Some(old) = record
+            .get("metrics")
+            .and_then(|m| m.get(metric.name))
+            .and_then(tm_service::Json::as_f64)
+            .filter(|old| *old > 0.0)
+        else {
+            println!("{path}: no previous {} to check against", metric.name);
+            continue;
+        };
+        let worse = if metric.lower_is_better {
+            metric.value / old
+        } else {
+            old / metric.value
+        };
+        if worse > 1.0 + tolerance {
+            eprintln!(
+                "{path}: {} regressed to {worse:.2}x of the previous record, beyond the \
+                 {:.0}% tolerance (was {old:.0}, now {:.0})",
+                metric.name,
+                tolerance * 100.0,
+                metric.value
+            );
+            TREND_REGRESSED.store(true, Ordering::Relaxed);
+        } else {
+            println!(
+                "{path}: {} ok at {worse:.2}x of the previous record (tolerance {:.0}%)",
+                metric.name,
+                tolerance * 100.0
+            );
+        }
+    }
+}
+
+/// Appends the perf-trajectory section to a regenerated `BENCH_*.json`
+/// body (the full JSON minus its closing brace) and writes the file;
+/// see the module docs for the `TM_BENCH_TREND` modes.
+fn write_with_history(path: &str, body: String, metrics: &[Metric]) {
+    let mode = trend_mode();
+    let mut records = previous_history(path);
+    if records.len() > TREND_HISTORY_KEEP {
+        records.drain(..records.len() - TREND_HISTORY_KEEP);
+    }
+    if mode == TrendMode::Check {
+        check_trend(path, records.last(), metrics);
+    }
+    if mode != TrendMode::Off {
+        records.push(trend_record(metrics));
+    }
+    let history = if records.is_empty() {
+        "[]".to_owned()
+    } else {
+        format!("[\n{}\n  ]", records.join(",\n"))
+    };
+    let json = format!(
+        "{body},\n  \"history_unit\": \"perf trajectory: one record per \
+         TM_BENCH_TREND=record|check run, oldest first, last {TREND_HISTORY_KEEP} kept \
+         across regenerations; metrics are this file's headline numbers, compared \
+         against the latest record by TM_BENCH_TREND=check under \
+         TM_BENCH_TREND_TOLERANCE (suffix _ns: lower is better; rates: higher is \
+         better)\",\n  \"history\": {history}\n}}\n",
+    );
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
 /// Nonzero engine-phase totals (`QueryStats::phase_ns`) as a JSON
 /// object fragment, keyed by `tm_obs::Phase` name.
 fn phase_json(phase_ns: &tm_obs::PhaseNanos) -> String {
@@ -590,7 +818,7 @@ fn bench_safety_phases() -> Vec<String> {
 /// the one-time graph build is recorded per TM alongside). The rows
 /// become the `cases` section of `BENCH_liveness.json`; the per-query
 /// phase breakdowns (`QueryStats::phase_ns`) its `phases` section.
-fn bench_liveness_baseline(verifier: &mut Verifier) -> (Vec<String>, f64, Vec<String>) {
+fn bench_liveness_baseline(verifier: &mut Verifier) -> (Vec<String>, f64, Vec<String>, Duration) {
     let mut cases = Vec::new();
     let mut phases = Vec::new();
     let mut table = Table::new(
@@ -660,7 +888,7 @@ fn bench_liveness_baseline(verifier: &mut Verifier) -> (Vec<String>, f64, Vec<St
     let session_total = total_session + total_builds;
     let overall = total_reference.as_secs_f64() / session_total.as_secs_f64();
     println!("overall (2,1) session speedup (builds amortized): {overall:.2}x\n");
-    (cases, overall, phases)
+    (cases, overall, phases, session_total)
 }
 
 /// The build-once-answer-three section: the full TM × manager roster at
@@ -858,18 +1086,28 @@ fn bench_service() {
     // every artifact cached) with phase timers and metric updates
     // enabled vs `TM_OBS=off` — the documented "near-free when
     // disabled, cheap when enabled" contract (target: ≤ 5% on-vs-off).
+    // The ~97 Hz sampling profiler is measured on top of the enabled
+    // run: its own overhead (push/pop of phase slots is already paid by
+    // the timers; the sampler adds one reader thread) must stay within
+    // the same 5% envelope.
     let obs_service = Service::new(config(None));
     let _ = obs_service.submit(&batch);
     tm_obs::set_obs_enabled(true);
     let obs_on = best_of(5, || obs_service.submit(&batch));
+    tm_obs::start_sampler();
+    let sampler_on = best_of(5, || obs_service.submit(&batch));
+    tm_obs::stop_sampler();
     tm_obs::set_obs_enabled(false);
     let obs_off = best_of(5, || obs_service.submit(&batch));
     tm_obs::set_obs_enabled(true);
     let obs_overhead = obs_on.as_secs_f64() / obs_off.as_secs_f64() - 1.0;
+    let profiler_overhead = sampler_on.as_secs_f64() / obs_on.as_secs_f64() - 1.0;
     println!(
         "Instrumentation — warm roster best of 5: obs on {obs_on:.2?}, off {obs_off:.2?} \
-         ({:+.1}% overhead, target ≤ 5%)\n",
-        obs_overhead * 100.0
+         ({:+.1}% overhead, target ≤ 5%); sampler running {sampler_on:.2?} \
+         ({:+.1}% over obs on, target ≤ 5%)\n",
+        obs_overhead * 100.0,
+        profiler_overhead * 100.0
     );
 
     // Concurrency: the same fixed amount of warm work — 8 batch
@@ -889,6 +1127,7 @@ fn bench_service() {
         ["inflight", "elapsed", "q/s"],
     );
     let mut conc_rows = Vec::new();
+    let mut conc4_qps = 0.0;
     for inflight in [1usize, 4] {
         let per_thread = TOTAL_BATCHES / inflight;
         let start = Instant::now();
@@ -914,6 +1153,9 @@ fn bench_service() {
         let elapsed = start.elapsed();
         let queries = (TOTAL_BATCHES * batch.len()) as f64;
         let conc_qps = queries / elapsed.as_secs_f64();
+        if inflight == 4 {
+            conc4_qps = conc_qps;
+        }
         conc_table.push_row([
             inflight.to_string(),
             format!("{elapsed:.2?}"),
@@ -1051,9 +1293,12 @@ fn bench_service() {
          \"demotes\": {}}},\n  \
          \"instrumentation_unit\": \"best-of-5 warm roster through an unbounded-budget \
          service with tm-obs phase timers enabled (default) vs TM_OBS=off; \
-         overhead_ratio = on/off - 1, target <= 0.05\",\n  \
+         overhead_ratio = on/off - 1, target <= 0.05; sampler_on_warm_ns = same roster \
+         with the ~97 Hz sampling profiler also running, profiler_overhead_ratio = \
+         sampler_on/on - 1, target <= 0.05\",\n  \
          \"instrumentation\": {{\"obs_on_warm_ns\": {}, \"obs_off_warm_ns\": {}, \
-         \"overhead_ratio\": {:.4}}}\n}}\n",
+         \"overhead_ratio\": {:.4}, \"sampler_on_warm_ns\": {}, \
+         \"profiler_overhead_ratio\": {:.4}}}",
         host_cpus(),
         pool,
         batch.len(),
@@ -1073,12 +1318,19 @@ fn bench_service() {
         demote_stats.store_demotes,
         obs_on.as_nanos(),
         obs_off.as_nanos(),
-        obs_overhead
+        obs_overhead,
+        sampler_on.as_nanos(),
+        profiler_overhead
     );
-    match std::fs::write("BENCH_service.json", &json) {
-        Ok(()) => println!("wrote BENCH_service.json"),
-        Err(e) => eprintln!("could not write BENCH_service.json: {e}"),
-    }
+    write_with_history(
+        "BENCH_service.json",
+        json,
+        &[
+            Metric::nanos("cold_ns", unbounded_cold),
+            Metric::nanos("warm_ns", unbounded_warm),
+            Metric::rate("concurrent4_qps", conc4_qps),
+        ],
+    );
 }
 
 /// Writes `BENCH_liveness.json`: the (2,1) session-vs-reference baseline
@@ -1090,6 +1342,7 @@ fn write_liveness_json(
     overall_speedup: f64,
     session: &[String],
     phases: &[String],
+    metrics: &[Metric],
 ) {
     let json = format!(
         "{{\n  \"benchmark\": \"liveness-session-vs-reference\",\n  \
@@ -1106,17 +1359,14 @@ fn write_liveness_json(
          nanoseconds, nonzero only) of the final measured run of each (2,1) query; \
          phases nest (run_graph_build contains its pool phases), so they do not sum to \
          wall time\",\n  \
-         \"phases\": [\n{}\n  ]\n}}\n",
+         \"phases\": [\n{}\n  ]",
         host_cpus(),
         overall_speedup,
         cases.join(",\n"),
         session.join(",\n"),
         phases.join(",\n")
     );
-    match std::fs::write("BENCH_liveness.json", &json) {
-        Ok(()) => println!("wrote BENCH_liveness.json"),
-        Err(e) => eprintln!("could not write BENCH_liveness.json: {e}"),
-    }
+    write_with_history("BENCH_liveness.json", json, metrics);
 }
 
 /// Writes `BENCH_inclusion.json`: the (2,2) seed-vs-compiled baseline,
@@ -1127,6 +1377,7 @@ fn write_bench_json(
     scaling: &[String],
     pool_vs_scoped: &[String],
     phases: &[String],
+    metrics: &[Metric],
 ) {
     let json = format!(
         "{{\n  \"benchmark\": \"inclusion-seed-vs-compiled\",\n  \
@@ -1144,15 +1395,12 @@ fn write_bench_json(
          nanoseconds, nonzero only) per Table 2 query through a fresh (2,2) session; \
          cached_spec = false on each property's first query (which pays spec_intern); \
          phases nest, so they do not sum to wall time\",\n  \
-         \"phases\": [\n{}\n  ]\n}}\n",
+         \"phases\": [\n{}\n  ]",
         cases.join(",\n"),
         host_cpus(),
         scaling.join(",\n"),
         pool_vs_scoped.join(",\n"),
         phases.join(",\n")
     );
-    match std::fs::write("BENCH_inclusion.json", &json) {
-        Ok(()) => println!("wrote BENCH_inclusion.json"),
-        Err(e) => eprintln!("could not write BENCH_inclusion.json: {e}"),
-    }
+    write_with_history("BENCH_inclusion.json", json, metrics);
 }

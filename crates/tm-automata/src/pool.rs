@@ -136,7 +136,13 @@ impl WorkerPool {
         let workers = (0..size)
             .map(|_| {
                 let receiver = Arc::clone(&receiver);
-                std::thread::spawn(move || worker_loop(&receiver))
+                std::thread::spawn(move || {
+                    // Register with the sampling profiler for the
+                    // worker's lifetime (inert under `TM_OBS=off`): the
+                    // sampler sees this thread as `worker-N`.
+                    let _profile = tm_obs::register_thread(tm_obs::ThreadKind::Worker);
+                    worker_loop(&receiver)
+                })
             })
             .collect();
         WorkerPool {
@@ -240,7 +246,13 @@ fn worker_loop(receiver: &Mutex<Receiver<Job>>) {
             receiver.recv()
         };
         match job {
-            Ok(job) => job(),
+            Ok(job) => {
+                // Published for the job's duration so a profiler sample
+                // counts this worker as busy (`tm_parallelism`) even
+                // between finer-grained phase spans.
+                let _busy = tm_obs::task_frame();
+                job();
+            }
             Err(_) => break, // pool dropped
         }
     }

@@ -1,0 +1,361 @@
+//! The lifecycle event journal: a bounded ring buffer of structured
+//! service events (`build`/`evict`/`demote`/`promote`/`abort`/
+//! `admission_wait`) with sequence cursors for tail-following.
+//!
+//! Writers never contend globally: a [`Journal::publish`] claims a
+//! sequence number with one atomic `fetch_add`, then writes its event
+//! under that *slot's* mutex only — two writers block each other only
+//! when the ring has wrapped all the way around between them. Readers
+//! ([`Journal::read_from`]) pass the cursor a previous read returned and
+//! get every event since, in sequence order, with an explicit
+//! [`JournalRead::dropped`] count when they lagged far enough for the
+//! ring to overwrite history — events are never silently skipped.
+//!
+//! A read only returns the *contiguous* run of events starting at its
+//! cursor: a slot whose write is still in flight (sequence claimed,
+//! event not yet stored) ends the run, and the next read picks it up.
+//! That is what makes cursors loss-free under concurrent writers — a
+//! reader never steps its cursor over an event it has not seen.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Capacity of the process-global journal ([`global_journal`]).
+pub const JOURNAL_CAP: usize = 1024;
+
+/// What happened (the `kind` field of the event schema).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EventKind {
+    /// An artifact was compiled (a cache miss with no on-disk copy).
+    Build,
+    /// An artifact was evicted from memory and discarded.
+    Evict,
+    /// An artifact was evicted from memory and written to the store.
+    Demote,
+    /// An on-disk artifact was loaded back instead of rebuilding.
+    Promote,
+    /// A query aborted (budget, deadline, cancellation, or panic).
+    Abort,
+    /// A query waited in budget admission before starting.
+    AdmissionWait,
+}
+
+impl EventKind {
+    /// Every kind, in declaration order.
+    pub const ALL: [EventKind; 6] = [
+        EventKind::Build,
+        EventKind::Evict,
+        EventKind::Demote,
+        EventKind::Promote,
+        EventKind::Abort,
+        EventKind::AdmissionWait,
+    ];
+
+    /// The stable snake_case name used on the wire.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::Build => "build",
+            EventKind::Evict => "evict",
+            EventKind::Demote => "demote",
+            EventKind::Promote => "promote",
+            EventKind::Abort => "abort",
+            EventKind::AdmissionWait => "admission_wait",
+        }
+    }
+
+    /// Parses a [`EventKind::name`] back.
+    pub fn from_name(name: &str) -> Option<EventKind> {
+        EventKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+}
+
+/// One journal entry.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct JournalEvent {
+    /// What happened.
+    pub kind: EventKind,
+    /// What it happened to (an artifact key like
+    /// `run_graph/TL2/3x2`, or an instance size for admission events).
+    pub key: String,
+    /// The request id of the batch that caused it (empty when no
+    /// request context exists, e.g. warm start).
+    pub request_id: String,
+    /// Size in bytes where meaningful (artifact heap estimate or file
+    /// size), else 0.
+    pub bytes: u64,
+    /// Wall-clock milliseconds since the Unix epoch.
+    pub at_unix_ms: u64,
+}
+
+impl JournalEvent {
+    /// An event stamped with the current wall clock.
+    pub fn now(kind: EventKind, key: impl Into<String>, request_id: impl Into<String>, bytes: u64) -> Self {
+        let at_unix_ms = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_millis().min(u128::from(u64::MAX)) as u64)
+            .unwrap_or(0);
+        JournalEvent {
+            kind,
+            key: key.into(),
+            request_id: request_id.into(),
+            bytes,
+            at_unix_ms,
+        }
+    }
+}
+
+/// What a cursor read returned.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct JournalRead {
+    /// Pass this as the next read's cursor to continue where this one
+    /// stopped.
+    pub next_cursor: u64,
+    /// Events the ring overwrote before this reader got to them (0 for
+    /// a reader keeping up).
+    pub dropped: u64,
+    /// The contiguous events since the cursor, each with its sequence
+    /// number, in sequence order.
+    pub events: Vec<(u64, JournalEvent)>,
+}
+
+/// A bounded ring-buffer journal (see the module docs for the
+/// concurrency design).
+pub struct Journal {
+    head: AtomicU64,
+    slots: Vec<Mutex<Option<(u64, JournalEvent)>>>,
+}
+
+impl Journal {
+    /// An empty journal retaining the last `capacity` events
+    /// (`capacity` is clamped to at least 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Journal {
+            head: AtomicU64::new(0),
+            slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+        }
+    }
+
+    /// The ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The next sequence number to be assigned ( = total events ever
+    /// published once all in-flight writes land).
+    pub fn head(&self) -> u64 {
+        self.head.load(Ordering::Acquire)
+    }
+
+    /// Appends an event and returns its sequence number.
+    pub fn publish(&self, event: JournalEvent) -> u64 {
+        let seq = self.head.fetch_add(1, Ordering::AcqRel);
+        let slot = (seq % self.slots.len() as u64) as usize;
+        let mut guard =
+            self.slots[slot].lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+        *guard = Some((seq, event));
+        seq
+    }
+
+    /// Reads every retained event with sequence `>= cursor`, stopping at
+    /// the first gap (an overwritten or in-flight slot). A fresh tail
+    /// starts with `cursor = 0`; to only follow *new* events, start with
+    /// `cursor =` [`Journal::head`].
+    pub fn read_from(&self, cursor: u64) -> JournalRead {
+        let head = self.head();
+        let capacity = self.slots.len() as u64;
+        let oldest = head.saturating_sub(capacity);
+        let start = cursor.max(oldest);
+        let dropped = start - cursor.min(start);
+        let mut events = Vec::new();
+        let mut next = start;
+        while next < head {
+            let slot = (next % capacity) as usize;
+            let stored = self.slots[slot]
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+                .clone();
+            match stored {
+                // Only the exact expected sequence continues the run: a
+                // stale value means the writer that claimed `next` has
+                // not stored yet, a newer one means we lost the race
+                // with a wraparound — either way the reader stops and
+                // resumes here next time.
+                Some((seq, event)) if seq == next => {
+                    events.push((seq, event));
+                    next += 1;
+                }
+                _ => break,
+            }
+        }
+        JournalRead {
+            next_cursor: next,
+            dropped,
+            events,
+        }
+    }
+}
+
+impl std::fmt::Debug for Journal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Journal")
+            .field("capacity", &self.capacity())
+            .field("head", &self.head())
+            .finish()
+    }
+}
+
+/// The process-global journal the service publishes into and
+/// `GET /v1/events` reads from.
+pub fn global_journal() -> &'static Journal {
+    static GLOBAL: OnceLock<Journal> = OnceLock::new();
+    GLOBAL.get_or_init(|| Journal::with_capacity(JOURNAL_CAP))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(kind: EventKind, key: &str) -> JournalEvent {
+        JournalEvent {
+            kind,
+            key: key.to_owned(),
+            request_id: String::new(),
+            bytes: 0,
+            at_unix_ms: 0,
+        }
+    }
+
+    #[test]
+    fn kind_names_round_trip() {
+        for kind in EventKind::ALL {
+            assert_eq!(EventKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(EventKind::from_name("nope"), None);
+    }
+
+    #[test]
+    fn cursor_reads_are_monotone_and_duplicate_free() {
+        let journal = Journal::with_capacity(16);
+        for i in 0..5 {
+            journal.publish(event(EventKind::Build, &format!("k{i}")));
+        }
+        let first = journal.read_from(0);
+        assert_eq!(first.dropped, 0);
+        assert_eq!(first.events.len(), 5);
+        assert_eq!(first.next_cursor, 5);
+        let seqs: Vec<u64> = first.events.iter().map(|(s, _)| *s).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3, 4]);
+        // Tail-follow: nothing new yet, then exactly the new events.
+        assert!(journal.read_from(first.next_cursor).events.is_empty());
+        journal.publish(event(EventKind::Evict, "k5"));
+        let second = journal.read_from(first.next_cursor);
+        assert_eq!(second.events.len(), 1);
+        assert_eq!(second.events[0].0, 5);
+        assert_eq!(second.next_cursor, 6);
+        assert_eq!(second.dropped, 0);
+    }
+
+    #[test]
+    fn wraparound_retains_the_newest_capacity_events() {
+        let journal = Journal::with_capacity(4);
+        for i in 0..10 {
+            journal.publish(event(EventKind::Demote, &format!("k{i}")));
+        }
+        let read = journal.read_from(0);
+        // Sequences 0..6 were overwritten; 6..10 retained.
+        assert_eq!(read.dropped, 6);
+        let seqs: Vec<u64> = read.events.iter().map(|(s, _)| *s).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9]);
+        assert_eq!(read.events[0].1.key, "k6");
+        assert_eq!(read.next_cursor, 10);
+    }
+
+    #[test]
+    fn lagging_reader_reports_dropped_but_never_duplicates() {
+        let journal = Journal::with_capacity(4);
+        for i in 0..3 {
+            journal.publish(event(EventKind::Build, &format!("k{i}")));
+        }
+        let read = journal.read_from(0);
+        assert_eq!(read.next_cursor, 3);
+        // The reader stalls while 6 more events wrap the ring.
+        for i in 3..9 {
+            journal.publish(event(EventKind::Build, &format!("k{i}")));
+        }
+        let late = journal.read_from(read.next_cursor);
+        // Oldest retained is 9 - 4 = 5: sequences 3 and 4 were lost.
+        assert_eq!(late.dropped, 2);
+        let seqs: Vec<u64> = late.events.iter().map(|(s, _)| *s).collect();
+        assert_eq!(seqs, vec![5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn concurrent_writers_lose_no_events() {
+        let journal = std::sync::Arc::new(Journal::with_capacity(4096));
+        let writers = 8;
+        let per_writer = 200;
+        let handles: Vec<_> = (0..writers)
+            .map(|w| {
+                let journal = std::sync::Arc::clone(&journal);
+                std::thread::spawn(move || {
+                    for i in 0..per_writer {
+                        journal.publish(event(EventKind::Promote, &format!("w{w}-{i}")));
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        let read = journal.read_from(0);
+        assert_eq!(read.dropped, 0);
+        assert_eq!(read.events.len(), writers * per_writer);
+        // Every writer's events are present and each writer's own
+        // events appear in its publish order.
+        for w in 0..writers {
+            let mine: Vec<&str> = read
+                .events
+                .iter()
+                .map(|(_, e)| e.key.as_str())
+                .filter(|k| k.starts_with(&format!("w{w}-")))
+                .collect();
+            let expected: Vec<String> = (0..per_writer).map(|i| format!("w{w}-{i}")).collect();
+            assert_eq!(mine, expected.iter().map(String::as_str).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn incremental_tailing_under_concurrent_writers_sees_every_event_once() {
+        let journal = std::sync::Arc::new(Journal::with_capacity(4096));
+        let writer = {
+            let journal = std::sync::Arc::clone(&journal);
+            std::thread::spawn(move || {
+                for i in 0..500 {
+                    journal.publish(event(EventKind::Build, &format!("k{i}")));
+                }
+            })
+        };
+        let mut cursor = 0;
+        let mut seen = Vec::new();
+        loop {
+            let read = journal.read_from(cursor);
+            assert_eq!(read.dropped, 0, "a keeping-up reader never drops");
+            for (seq, _) in &read.events {
+                seen.push(*seq);
+            }
+            cursor = read.next_cursor;
+            if writer.is_finished() && journal.read_from(cursor).events.is_empty() {
+                break;
+            }
+        }
+        writer.join().unwrap();
+        // Drain anything published after the last loop read.
+        let tail = journal.read_from(cursor);
+        for (seq, _) in &tail.events {
+            seen.push(*seq);
+        }
+        assert_eq!(seen, (0..500).collect::<Vec<u64>>());
+    }
+}

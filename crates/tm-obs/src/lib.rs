@@ -17,7 +17,16 @@
 //!   output is well formed and the required series exist;
 //! * [`log`] — **structured JSON log lines** to stderr, gated by
 //!   `TM_LOG=json|off`, plus the `TM_SLOW_QUERY_MS` slow-query
-//!   threshold.
+//!   threshold;
+//! * [`profile`] — the **cooperative sampling profiler**: registered
+//!   threads publish their current phase stack into per-thread atomic
+//!   slots; an opt-in ~97 Hz sampler folds them into
+//!   flamegraph-compatible folded stacks, per-thread utilization, and
+//!   the `tm_parallelism` busy-worker histogram;
+//! * [`journal`] — the **lifecycle event journal**: a bounded
+//!   ring buffer of structured build/evict/demote/promote/abort/
+//!   admission-wait events with loss-free sequence cursors for
+//!   tail-following (`GET /v1/events`).
 //!
 //! ## Cost model
 //!
@@ -32,11 +41,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod journal;
 pub mod log;
+pub mod profile;
 pub mod registry;
 pub mod text;
 pub mod trace;
 
+pub use journal::{
+    global_journal, EventKind, Journal, JournalEvent, JournalRead, JOURNAL_CAP,
+};
 pub use log::{
     format_log_line, log_json, log_mode, set_log_mode, set_slow_query_threshold,
     slow_query_threshold, LogMode, LogValue,
@@ -45,6 +59,11 @@ pub use registry::{
     global, global_counter, global_gauge, global_gauge_f, global_histogram, Counter, Gauge,
     GaugeF, Histogram, HistogramSnapshot, LocalHistogram, Registry, RegistryError, Unit,
     DEFAULT_SERIES_CAP, HISTOGRAM_BUCKETS,
+};
+pub use profile::{
+    collect_profile, profile_snapshot, register_thread, sampler_running, start_sampler,
+    stop_sampler, task_frame, ProfileSnapshot, TaskFrame, ThreadKind, ThreadRegistration,
+    PROFILE_MAX_DEPTH, SAMPLE_PERIOD_MICROS,
 };
 pub use text::{parse_prometheus, Exposition, Sample};
 pub use trace::{

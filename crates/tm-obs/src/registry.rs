@@ -227,6 +227,40 @@ impl HistogramSnapshot {
         self.count += other.count;
         self.sum += other.sum;
     }
+
+    /// Estimates the `q`-quantile (`q` in `[0, 1]`) of the observed
+    /// values, in the histogram's raw unit (nanoseconds for
+    /// [`Unit::Nanos`] histograms — divide by 1e9 for seconds).
+    ///
+    /// The rank is located in the cumulative bucket counts and the
+    /// value interpolated linearly inside the covering bucket's span
+    /// (`(2^(i-1), 2^i]`, or `[0, 1]` for the first bucket), so the
+    /// estimate is exact at bucket bounds and off by at most one
+    /// bucket's width — a factor of 2 — within one, which is the
+    /// resolution a log2 histogram has. Returns 0 for an empty
+    /// histogram; the top bucket's saturation clamps the estimate to
+    /// the top finite bound.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut cumulative = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let before = cumulative;
+            cumulative += n;
+            if cumulative >= rank {
+                let lower = if i == 0 { 0.0 } else { (1u64 << (i - 1)) as f64 };
+                let upper = (1u64 << i) as f64;
+                let into = (rank - before) as f64 / n as f64;
+                return lower + (upper - lower) * into;
+            }
+        }
+        (1u64 << (self.buckets.len().saturating_sub(1))) as f64
+    }
 }
 
 /// A plain (non-atomic, single-owner) histogram shard: observe locally
@@ -351,6 +385,11 @@ pub const DEFAULT_SERIES_CAP: usize = 256;
 pub struct Registry {
     families: Mutex<Vec<Family>>,
     cap: usize,
+    /// Registrations refused by the cardinality cap (each refused call
+    /// fell back to a detached handle and its data is invisible) —
+    /// rendered unconditionally as `tm_obs_dropped_series_total` so the
+    /// loss itself is never silent.
+    dropped: AtomicU64,
 }
 
 impl Default for Registry {
@@ -370,6 +409,7 @@ impl Registry {
         Registry {
             families: Mutex::new(Vec::new()),
             cap,
+            dropped: AtomicU64::new(0),
         }
     }
 
@@ -414,6 +454,7 @@ impl Registry {
             return Ok(series.handle.clone());
         }
         if total >= self.cap {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
             return Err(RegistryError::CardinalityCapExceeded);
         }
         family.series.push(Series {
@@ -483,6 +524,12 @@ impl Registry {
         self.lock().iter().map(|f| f.series.len()).sum()
     }
 
+    /// Registrations the cardinality cap refused so far (each fell back
+    /// to an invisible detached handle).
+    pub fn dropped_series(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
     /// Renders every registered metric in the Prometheus text exposition
     /// format (`# HELP` / `# TYPE` comments, one sample line per series;
     /// histograms as cumulative `_bucket{le=…}` plus `_sum`/`_count`).
@@ -496,6 +543,16 @@ impl Registry {
                 render_series(&mut out, &family.name, series, family.unit);
             }
         }
+        // Rendered outside the family table so it cannot itself be a
+        // victim of the cap it reports on.
+        out.push_str(
+            "# HELP tm_obs_dropped_series_total Metric registrations refused by the cardinality cap (recording fell back to detached handles)\n",
+        );
+        out.push_str("# TYPE tm_obs_dropped_series_total counter\n");
+        out.push_str(&format!(
+            "tm_obs_dropped_series_total {}\n",
+            self.dropped_series()
+        ));
         out
     }
 }
@@ -706,6 +763,55 @@ mod tests {
         }
         assert_eq!(shared.snapshot(), reference.snapshot());
         assert_eq!(shards[0].snapshot(), HistogramSnapshot::default());
+    }
+
+    #[test]
+    fn dropped_series_are_counted_and_rendered() {
+        let registry = Registry::with_cap(1);
+        registry.counter("tm_a_total", "a", &[]).unwrap();
+        assert_eq!(registry.dropped_series(), 0);
+        assert!(registry.counter("tm_b_total", "b", &[]).is_err());
+        assert!(registry.gauge("tm_c", "c", &[]).is_err());
+        assert_eq!(registry.dropped_series(), 2);
+        // Re-resolving an existing series at the cap is not a drop.
+        registry.counter("tm_a_total", "a", &[]).unwrap();
+        assert_eq!(registry.dropped_series(), 2);
+        let text = registry.render_prometheus();
+        assert!(text.contains("# TYPE tm_obs_dropped_series_total counter"));
+        assert!(text.contains("tm_obs_dropped_series_total 2"));
+        // The exposition with the synthetic family still parses.
+        let exposition = crate::text::parse_prometheus(&text).expect("renders well formed");
+        assert!(exposition.has_series("tm_obs_dropped_series_total"));
+    }
+
+    #[test]
+    fn quantile_estimator_is_pinned_against_known_samples() {
+        // 8 observations of 1 (bucket 0: [0, 1]) and 2 of 3 (bucket 2:
+        // (2, 4]); count = 10.
+        let h = Histogram::detached();
+        for _ in 0..8 {
+            h.observe(1);
+        }
+        h.observe(3);
+        h.observe(3);
+        let s = h.snapshot();
+        // p50: rank 5 of 8 in bucket 0 → 0 + (5/8)·(1-0) = 0.625.
+        assert!((s.quantile(0.5) - 0.625).abs() < 1e-9);
+        // p80: rank 8 closes bucket 0 exactly → its upper bound, 1.
+        assert!((s.quantile(0.8) - 1.0).abs() < 1e-9);
+        // p90: rank 9 is the 1st of 2 in bucket 2 → 2 + (1/2)·(4-2) = 3.
+        assert!((s.quantile(0.9) - 3.0).abs() < 1e-9);
+        // p99 and p100: rank 10 closes bucket 2 → 4.
+        assert!((s.quantile(0.99) - 4.0).abs() < 1e-9);
+        assert!((s.quantile(1.0) - 4.0).abs() < 1e-9);
+        // Degenerate inputs.
+        assert_eq!(HistogramSnapshot::default().quantile(0.5), 0.0);
+        let one = Histogram::detached();
+        one.observe(0);
+        assert!(one.snapshot().quantile(0.5) <= 1.0);
+        // Out-of-range q clamps instead of panicking.
+        assert!((s.quantile(-1.0) - s.quantile(0.0)).abs() < 1e-9);
+        assert!((s.quantile(2.0) - s.quantile(1.0)).abs() < 1e-9);
     }
 
     #[test]

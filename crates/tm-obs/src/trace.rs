@@ -270,15 +270,23 @@ pub struct PhaseTimer {
     phase: Phase,
     value: u64,
     start: Option<Instant>,
+    /// Whether the span pushed a profiler frame (the thread was
+    /// registered with [`crate::profile`]) and owes a pop on drop.
+    frame: bool,
 }
 
 impl PhaseTimer {
-    /// Starts a span (no-op when instrumentation is disabled).
+    /// Starts a span (no-op when instrumentation is disabled). On a
+    /// thread registered with the sampling profiler
+    /// ([`crate::profile::register_thread`]) the phase is also published
+    /// as the thread's current frame for the span's duration.
     pub fn start(phase: Phase) -> Self {
+        let start = obs_enabled().then(Instant::now);
         PhaseTimer {
             phase,
             value: 0,
-            start: obs_enabled().then(Instant::now),
+            frame: start.is_some() && crate::profile::push_phase(phase),
+            start,
         }
     }
 
@@ -299,6 +307,9 @@ impl PhaseTimer {
 
 impl Drop for PhaseTimer {
     fn drop(&mut self) {
+        if self.frame {
+            crate::profile::pop_phase();
+        }
         if let Some(start) = self.start {
             record_phase(self.phase, start.elapsed(), self.value);
         }

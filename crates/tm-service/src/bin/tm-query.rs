@@ -5,6 +5,8 @@
 //! tm-query --addr HOST:PORT --trace QUERY...    # + per-query phase trace
 //! tm-query --addr HOST:PORT --stats             # print service counters
 //! tm-query --addr HOST:PORT --metrics           # fetch + summarize /metrics
+//! tm-query --addr HOST:PORT --profile [--seconds N]  # folded-stack profile
+//! tm-query --addr HOST:PORT --events [--cursor N]    # lifecycle event journal
 //! tm-query --addr HOST:PORT --shutdown          # stop the daemon
 //! ```
 //!
@@ -28,6 +30,14 @@
 //!   raw exposition instead);
 //! * `--require NAME` (repeatable, with `--metrics`) — exit non-zero
 //!   unless series `NAME` is present, for CI assertions;
+//! * `--profile` — fetch `GET /v1/profile?seconds=N` (`--seconds`,
+//!   default 1) and print the folded stacks the server's sampling
+//!   profiler collected over that window — flamegraph-ready, one
+//!   `thread;frame;... count` line per stack;
+//! * `--events` — fetch `GET /v1/events?cursor=N` (`--cursor`, default
+//!   0: the oldest retained event) and print the server's lifecycle
+//!   journal — build/evict/demote/promote/abort/admission-wait events
+//!   with request ids — plus the `next_cursor` to tail from;
 //! * `--request-id ID` — ship `X-Request-Id: ID` so the server's log
 //!   line and response echo it.
 //!
@@ -52,7 +62,8 @@ use tm_service::{http_request_with_id, QueryOutcome, QuerySpec};
 fn usage() -> &'static str {
     "usage: tm-query --addr HOST:PORT [--json | --verdicts] [--trace] [--retries N] \
      [--backoff-seed S] [--deadline-ms MS] [--request-id ID] QUERY...\n       \
-     tm-query --addr HOST:PORT --stats | --shutdown | --metrics [--require NAME]...\n       \
+     tm-query --addr HOST:PORT --stats | --shutdown | --metrics [--require NAME]... \
+     | --profile [--seconds N] | --events [--cursor N]\n       \
      QUERY = tm[+cm]:property:n:k (e.g. dstm+aggressive:of:2:1, TL2:ss:2:2)"
 }
 
@@ -104,6 +115,10 @@ fn run() -> Result<(), String> {
     let mut stats = false;
     let mut shutdown = false;
     let mut metrics = false;
+    let mut profile = false;
+    let mut seconds = 1u64;
+    let mut events = false;
+    let mut cursor = 0u64;
     let mut trace = false;
     let mut required_series: Vec<String> = Vec::new();
     let mut request_id: Option<String> = None;
@@ -123,6 +138,18 @@ fn run() -> Result<(), String> {
             "--stats" => stats = true,
             "--shutdown" => shutdown = true,
             "--metrics" => metrics = true,
+            "--profile" => profile = true,
+            "--seconds" => {
+                seconds = value_of(&mut args, "--seconds")?
+                    .parse()
+                    .map_err(|e| format!("bad --seconds: {e}"))?
+            }
+            "--events" => events = true,
+            "--cursor" => {
+                cursor = value_of(&mut args, "--cursor")?
+                    .parse()
+                    .map_err(|e| format!("bad --cursor: {e}"))?
+            }
             "--trace" => trace = true,
             "--require" => required_series.push(value_of(&mut args, "--require")?),
             "--request-id" => request_id = Some(value_of(&mut args, "--request-id")?),
@@ -166,6 +193,25 @@ fn run() -> Result<(), String> {
         let (status, body) = request(&mut retry, &addr, "GET", "/metrics", None)?;
         check(status)?;
         return print_metrics(&body, json, &required_series);
+    }
+    if profile {
+        let path = format!("/v1/profile?seconds={seconds}");
+        let (status, body) = request(&mut retry, &addr, "GET", &path, None)?;
+        check(status)?;
+        if body.trim().is_empty() {
+            eprintln!(
+                "tm-query: the profile window caught no samples \
+                 (is the server running TM_OBS=off, or simply idle?)"
+            );
+        }
+        print!("{body}");
+        return Ok(());
+    }
+    if events {
+        let path = format!("/v1/events?cursor={cursor}");
+        let (status, body) = request(&mut retry, &addr, "GET", &path, None)?;
+        println!("{body}");
+        return check(status);
     }
     if shutdown {
         let (status, body) = request(&mut retry, &addr, "POST", "/v1/shutdown", None)?;

@@ -6,7 +6,7 @@
 //! tm-serve [--addr 127.0.0.1:0] [--pool N] [--mem-budget BYTES[k|m|g]]
 //!          [--max-states N] [--port-file PATH] [--max-inflight N]
 //!          [--query-deadline-ms MS] [--batch-deadline-ms MS]
-//!          [--store-dir PATH] [--store-cap BYTES[k|m|g]]
+//!          [--store-dir PATH] [--store-cap BYTES[k|m|g]] [--profile]
 //! ```
 //!
 //! With port 0 the OS picks an ephemeral port; the bound address is
@@ -41,7 +41,13 @@
 //! * `TM_LOG=json` emits one structured JSON log line per HTTP request
 //!   (with its `X-Request-Id`) to stderr;
 //! * `TM_SLOW_QUERY_MS=N` logs any query slower than N ms to stderr,
-//!   even with `TM_LOG` unset.
+//!   even with `TM_LOG` unset;
+//! * `--profile` (or `TM_PROFILE=1`) starts the ~97 Hz sampling
+//!   profiler at boot, so the first `GET /v1/profile` scrape already
+//!   has history; without it the sampler starts lazily on the first
+//!   scrape. `GET /v1/sessions`, `/v1/store`, and `/v1/events` expose
+//!   per-session counters, the store's LRU listing, and the lifecycle
+//!   event journal.
 
 use std::io::Write;
 use std::net::TcpListener;
@@ -55,12 +61,13 @@ fn usage() -> &'static str {
     "usage: tm-serve [--addr HOST:PORT] [--pool N] [--mem-budget BYTES[k|m|g]] \
      [--max-states N] [--port-file PATH] [--max-inflight N] \
      [--query-deadline-ms MS] [--batch-deadline-ms MS] \
-     [--store-dir PATH] [--store-cap BYTES[k|m|g]]"
+     [--store-dir PATH] [--store-cap BYTES[k|m|g]] [--profile]"
 }
 
 fn run() -> Result<(), String> {
     let mut addr = "127.0.0.1:0".to_owned();
     let mut port_file: Option<String> = None;
+    let mut profile = matches!(std::env::var("TM_PROFILE").as_deref(), Ok("1") | Ok("on"));
     let mut config = ServiceConfig::from_env()?;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -106,6 +113,7 @@ fn run() -> Result<(), String> {
                 config.store_cap =
                     parse_mem_budget(&value("--store-cap")?)?.map(|bytes| bytes as u64);
             }
+            "--profile" => profile = true,
             "--help" | "-h" => {
                 println!("{}", usage());
                 return Ok(());
@@ -134,6 +142,9 @@ fn run() -> Result<(), String> {
             .map_err(|e| format!("cannot write {path}: {e}"))?;
     }
 
+    if profile {
+        tm_obs::start_sampler();
+    }
     let service = Arc::new(Service::try_new(config)?);
     let served = serve(listener, Arc::clone(&service)).map_err(|e| format!("serve: {e}"))?;
     let stats = service.stats();

@@ -8,9 +8,20 @@
 //! |--------|----------------|---------------------|--------------------------------|
 //! | GET    | `/healthz`     | —                   | `{"ok": true}`                 |
 //! | GET    | `/metrics`     | —                   | Prometheus text exposition     |
-//! | GET    | `/v1/stats`    | —                   | [`crate::wire::encode_stats`]  |
+//! | GET    | `/v1/stats`    | —                   | [`crate::wire::encode_stats_full`] |
+//! | GET    | `/v1/sessions` | —                   | [`crate::wire::encode_sessions`] |
+//! | GET    | `/v1/store`    | —                   | [`crate::wire::encode_store`]  |
+//! | GET    | `/v1/events`   | — (`?cursor=N`)     | [`crate::wire::encode_events`] |
+//! | GET    | `/v1/profile`  | — (`?seconds=N`)    | folded stacks, plain text      |
 //! | POST   | `/v1/batch`    | batch request JSON  | [`crate::wire::encode_results`]|
 //! | POST   | `/v1/shutdown` | —                   | `{"ok": true}` then clean exit |
+//!
+//! `GET /v1/profile` starts the ~97 Hz sampling profiler on first use
+//! (it stays running afterwards), sleeps for the requested window
+//! (default 1 s, capped at 30 s), and answers with the folded-stack
+//! delta over that window — pipe it straight into a flamegraph tool.
+//! `GET /v1/events` tails the lifecycle journal: pass the
+//! `next_cursor` a previous read returned to get only newer events.
 //!
 //! Requests may carry an `X-Request-Id` header; the id (or a generated
 //! `req-N` fallback) is echoed back on the response and stamped on the
@@ -158,14 +169,28 @@ fn request_id_fallback() -> String {
 /// everything else collapsed to `other` so arbitrary client paths
 /// cannot explode the metric's cardinality.
 fn route_label(path: &str) -> &'static str {
+    // A query string never creates a new label.
+    let path = path.split_once('?').map_or(path, |(path, _)| path);
     match path {
         "/healthz" => "/healthz",
         "/metrics" => "/metrics",
         "/v1/stats" => "/v1/stats",
+        "/v1/sessions" => "/v1/sessions",
+        "/v1/store" => "/v1/store",
+        "/v1/events" => "/v1/events",
+        "/v1/profile" => "/v1/profile",
         "/v1/batch" => "/v1/batch",
         "/v1/shutdown" => "/v1/shutdown",
         _ => "other",
     }
+}
+
+/// The value of `name` in a `k=v&k2=v2` query string, if present.
+fn query_param<'a>(query: &'a str, name: &str) -> Option<&'a str> {
+    query.split('&').find_map(|pair| {
+        let (key, value) = pair.split_once('=')?;
+        (key == name).then_some(value)
+    })
 }
 
 /// Emits the one structured log line this request gets (under
@@ -202,6 +227,9 @@ fn handle_connection(
     stream.set_nonblocking(false)?;
     stream.set_read_timeout(Some(IO_TIMEOUT))?;
     stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    // Publish this connection thread into the sampling profiler for
+    // the request's lifetime (inert under `TM_OBS=off`).
+    let _profile = tm_obs::register_thread(tm_obs::ThreadKind::Http);
     let started = Instant::now();
     let mut reader = BufReader::new(stream);
     let (method, path, body, request_id) = match read_request(&mut reader) {
@@ -220,6 +248,9 @@ fn handle_connection(
         }
     };
     let request_id = request_id.unwrap_or_else(request_id_fallback);
+    // Queries run on this thread, so journal events they emit carry the
+    // request id via the service's thread-local.
+    let _request = crate::service::set_request_id(&request_id);
     let (status, content_type, body, retry_after) =
         route(&method, &path, &body, service, shutdown, inflight, max_inflight);
     observe_request(&request_id, &method, &path, status, started);
@@ -334,6 +365,9 @@ fn route(
     inflight: &AtomicUsize,
     max_inflight: usize,
 ) -> (u16, &'static str, String, Option<u64>) {
+    // Split off the query string: `/v1/profile?seconds=2` routes as
+    // `/v1/profile`.
+    let (path, query) = path.split_once('?').unwrap_or((path, ""));
     match (method, path) {
         ("GET", "/healthz") => (200, JSON, "{\"ok\": true}".to_owned(), None),
         ("GET", "/metrics") => {
@@ -347,7 +381,37 @@ fn route(
                 None,
             )
         }
-        ("GET", "/v1/stats") => (200, JSON, wire::encode_stats(&service.stats()), None),
+        ("GET", "/v1/stats") => (
+            200,
+            JSON,
+            wire::encode_stats_full(&service.stats(), &service.latency_quantiles()),
+            None,
+        ),
+        ("GET", "/v1/sessions") => {
+            (200, JSON, wire::encode_sessions(&service.sessions_snapshot()), None)
+        }
+        ("GET", "/v1/store") => (200, JSON, wire::encode_store(&service.store_entries()), None),
+        ("GET", "/v1/events") => {
+            let cursor = query_param(query, "cursor")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0);
+            (
+                200,
+                JSON,
+                wire::encode_events(&tm_obs::global_journal().read_from(cursor)),
+                None,
+            )
+        }
+        ("GET", "/v1/profile") => {
+            // The handler sleeps for the window on this connection
+            // thread; other requests keep being served meanwhile.
+            let seconds: u64 = query_param(query, "seconds")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(1)
+                .clamp(1, 30);
+            let folded = tm_obs::collect_profile(Duration::from_secs(seconds));
+            (200, "text/plain; charset=utf-8", folded, None)
+        }
         ("POST", "/v1/batch") => {
             // Admission control: a draining daemon sheds everything with
             // 503, a saturated one sheds the excess with 429 — both with
@@ -573,6 +637,18 @@ mod tests {
         assert_eq!(parse_retry_after("HTTP/1.1 429 x\r\nRetry-After: -1"), None);
         // The name must match whole, not as a prefix.
         assert_eq!(parse_retry_after("HTTP/1.1 429 x\r\nX-Retry-After: 9"), None);
+    }
+
+    #[test]
+    fn query_params_parse_and_do_not_pollute_route_labels() {
+        assert_eq!(query_param("seconds=3", "seconds"), Some("3"));
+        assert_eq!(query_param("cursor=12&seconds=3", "seconds"), Some("3"));
+        assert_eq!(query_param("cursor=12", "seconds"), None);
+        assert_eq!(query_param("", "seconds"), None);
+        assert_eq!(query_param("seconds", "seconds"), None, "no '=' means no value");
+        assert_eq!(route_label("/v1/profile?seconds=2"), "/v1/profile");
+        assert_eq!(route_label("/v1/events?cursor=7"), "/v1/events");
+        assert_eq!(route_label("/v1/nope?x=1"), "other");
     }
 
     #[test]

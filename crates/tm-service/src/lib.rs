@@ -95,8 +95,9 @@ pub use roster::{
 pub use scheduler::execution_order;
 pub use tm_automata::{CancelToken, EngineError};
 pub use service::{
-    parse_mem_budget, QueryOutcome, QueryResult, Service, ServiceConfig, ServiceStats,
-    BATCH_DEADLINE_ENV, DEFAULT_MAX_INFLIGHT, DEFAULT_SERVICE_MAX_STATES, MAX_INFLIGHT_ENV,
-    MEM_BUDGET_ENV, QUERY_DEADLINE_ENV, STORE_CAP_ENV, STORE_DIR_ENV,
+    parse_mem_budget, LatencyQuantiles, QueryOutcome, QueryResult, Service, ServiceConfig,
+    ServiceStats, SessionInfo, BATCH_DEADLINE_ENV, DEFAULT_MAX_INFLIGHT,
+    DEFAULT_SERVICE_MAX_STATES, MAX_INFLIGHT_ENV, MEM_BUDGET_ENV, QUERY_DEADLINE_ENV,
+    STORE_CAP_ENV, STORE_DIR_ENV,
 };
 pub use wire::Json;

@@ -16,6 +16,8 @@
 //! mid-query. The statistics counters are atomics, so [`Service::stats`]
 //! never waits on a running query.
 
+use std::cell::RefCell;
+use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -23,9 +25,13 @@ use std::time::{Duration, Instant};
 
 use tm_automata::{fault, EngineError};
 use tm_checker::{Verdict, VerdictOutcome, Verifier};
-use tm_obs::{Counter, Gauge, GaugeF, Histogram, LogValue, Phase, PhaseTimer, TraceRecord, Unit};
+use tm_obs::{
+    Counter, EventKind, Gauge, GaugeF, Histogram, JournalEvent, LogValue, Phase, PhaseTimer,
+    TraceRecord, Unit,
+};
 use tm_store::{
-    Artifact, ArtifactStore, LazySpecArtifact, RunGraphArtifact, StoreConfig, StoreKey, StoreKind,
+    Artifact, ArtifactStore, LazySpecArtifact, RunGraphArtifact, StoreConfig, StoreEntry,
+    StoreKey, StoreKind,
 };
 
 use crate::budget::{ArtifactKey, ArtifactKind, SharedBudget};
@@ -192,6 +198,57 @@ pub fn parse_mem_budget(value: &str) -> Result<Option<usize>, String> {
         .map(Some)
         .ok_or_else(|| format!("memory budget {value:?} overflows"))
 }
+
+thread_local! {
+    /// The request id of the HTTP request this thread is serving, if
+    /// any — queries run on the connection thread that routed them, so
+    /// journal events they emit can carry the id without threading it
+    /// through every call.
+    static REQUEST_ID: RefCell<Option<String>> = const { RefCell::new(None) };
+}
+
+/// Installs `id` as the calling thread's request id until the guard
+/// drops. The HTTP layer wraps each routed request in one; in-process
+/// callers (tests, benches) publish events with an empty id.
+pub(crate) fn set_request_id(id: &str) -> RequestIdGuard {
+    REQUEST_ID.with(|cell| *cell.borrow_mut() = Some(id.to_owned()));
+    RequestIdGuard(())
+}
+
+/// Clears the thread's request id on drop (panic-safe, like the other
+/// RAII guards in this module).
+pub(crate) struct RequestIdGuard(());
+
+impl Drop for RequestIdGuard {
+    fn drop(&mut self) {
+        REQUEST_ID.with(|cell| cell.borrow_mut().take());
+    }
+}
+
+fn current_request_id() -> String {
+    REQUEST_ID.with(|cell| cell.borrow().clone().unwrap_or_default())
+}
+
+/// Publishes one lifecycle event into the global journal, stamped with
+/// the current thread's request id. A no-op with instrumentation
+/// disabled — `TM_OBS=off` servers keep an empty journal.
+fn journal(kind: EventKind, key: impl ToString, bytes: u64) {
+    if !tm_obs::obs_enabled() {
+        return;
+    }
+    tm_obs::global_journal().publish(JournalEvent::now(
+        kind,
+        key.to_string(),
+        current_request_id(),
+        bytes,
+    ));
+}
+
+/// Budget admissions that waited at least this long are journaled as
+/// [`EventKind::AdmissionWait`] — long enough that an uncontended
+/// mutex acquisition never qualifies, short enough that a query
+/// actually parked on the admission condvar always does.
+const ADMISSION_WAIT_JOURNAL_THRESHOLD: Duration = Duration::from_millis(1);
 
 /// The wire-friendly outcome of one query.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -664,6 +721,59 @@ impl Drop for PinGuard<'_> {
     }
 }
 
+/// Side counters the service keeps per `(n, k)` session for
+/// introspection — things the [`Verifier`] itself does not track
+/// because they belong to the serving layer (store promotions, time
+/// spent waiting on the session mutex).
+#[derive(Clone, Copy, Default)]
+struct SessionCounters {
+    promotes: u64,
+    lock_waits: u64,
+    lock_wait_ns: u64,
+}
+
+/// One row of [`Service::sessions_snapshot`] — the `GET /v1/sessions`
+/// schema: the per-instance-size view of artifact residency, build
+/// work, and contention.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SessionInfo {
+    /// Threads `n` of the session.
+    pub threads: usize,
+    /// Variables `k` of the session.
+    pub vars: usize,
+    /// Artifacts currently charged to the budget ledger for this
+    /// session.
+    pub resident_artifacts: usize,
+    /// Their summed ledger bytes.
+    pub heap_bytes: usize,
+    /// Artifact builds this session performed (spec + run graph).
+    pub builds: u64,
+    /// Builds that re-created an evicted artifact.
+    pub rebuilds: u64,
+    /// Artifacts promoted from the persistent store instead of rebuilt.
+    pub store_promotes: u64,
+    /// Queries that acquired this session's lock.
+    pub lock_waits: u64,
+    /// Total nanoseconds queries spent waiting for this session's lock.
+    pub lock_wait_ns: u64,
+}
+
+/// The latency summary `GET /v1/stats` attaches: quantiles estimated
+/// from the log2-bucket `tm_query_seconds` histogram (linear
+/// interpolation within a bucket — see
+/// [`tm_obs::HistogramSnapshot::quantile`]), in seconds.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct LatencyQuantiles {
+    /// Observations behind the estimate (0 ⇒ all quantiles are 0).
+    pub count: u64,
+    /// Median end-to-end query latency, seconds.
+    pub p50_s: f64,
+    /// 95th-percentile latency, seconds.
+    pub p95_s: f64,
+    /// 99th-percentile latency, seconds.
+    pub p99_s: f64,
+}
+
 /// The verification service: a [`SessionRegistry`] under a shared
 /// [`crate::MemoryBudget`] ledger, fed by the batch scheduler. The API
 /// is `&self` throughout — share it across threads with an `Arc` and
@@ -703,6 +813,7 @@ pub struct Service {
     batch_ns: AtomicU64,
     busy: BusyClock,
     metrics: ServiceMetrics,
+    session_counters: Mutex<HashMap<(usize, usize), SessionCounters>>,
 }
 
 impl Service {
@@ -751,6 +862,7 @@ impl Service {
             batch_ns: AtomicU64::new(0),
             busy: BusyClock::new(),
             metrics: ServiceMetrics::new(),
+            session_counters: Mutex::new(HashMap::new()),
         };
         service.warm_start();
         Ok(service)
@@ -816,11 +928,23 @@ impl Service {
         let Ok(Some(artifact)) = store.load(&store_key(key)) else {
             return false;
         };
-        if import(session, key, artifact).is_none() {
+        let Some(bytes) = import(session, key, artifact) else {
             return false;
-        }
+        };
         self.store_promotes.fetch_add(1, Ordering::Relaxed);
+        self.bump_session(key.threads, key.vars, |c| c.promotes += 1);
+        journal(EventKind::Promote, key, bytes as u64);
         true
+    }
+
+    /// Applies `update` to the side counters of session `(threads,
+    /// vars)` (creating the row on first touch).
+    fn bump_session(&self, threads: usize, vars: usize, update: impl FnOnce(&mut SessionCounters)) {
+        let mut counters = self
+            .session_counters
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        update(counters.entry((threads, vars)).or_default());
     }
 
     /// Write-through: persists a freshly built artifact, exporting it
@@ -976,6 +1100,7 @@ impl Service {
         self.queries.fetch_add(1, Ordering::Relaxed);
         if deadline.is_some_and(|d| Instant::now() >= d) {
             self.aborted_queries.fetch_add(1, Ordering::Relaxed);
+            journal(EventKind::Abort, spec, 0);
             return QueryResult::aborted(spec.clone(), EngineError::Deadline);
         }
         let key = spec.artifact_key();
@@ -983,7 +1108,11 @@ impl Service {
         // no concurrent batch can evict the artifact from under us;
         // on a miss this also pre-evicts at the last known size so
         // two generations of a large artifact never coexist.
+        let admit_started = Instant::now();
         let admission = self.budget.admit(&key);
+        if admit_started.elapsed() >= ADMISSION_WAIT_JOURNAL_THRESHOLD {
+            journal(EventKind::AdmissionWait, &key, 0);
+        }
         let pin = PinGuard::new(&self.budget, &key, admission.reserved);
         let mut demotes = self.perform_evictions(&admission.evicted);
         // Fault site: the artifact (re)build about to happen.
@@ -991,15 +1120,22 @@ impl Service {
             if let Err(error) = fault::fault_point("build") {
                 pin.abandon();
                 self.aborted_queries.fetch_add(1, Ordering::Relaxed);
+                journal(EventKind::Abort, &key, 0);
                 return QueryResult::aborted(spec.clone(), error);
             }
         }
         let session = self.registry.session(spec.threads, spec.vars);
         let mut promotes = 0;
         let (mut verdict, bytes) = {
+            let lock_started = Instant::now();
             let lock_span = PhaseTimer::start(Phase::SessionLockWait);
             let mut session = lock_session(&session);
             lock_span.stop();
+            let lock_wait = lock_started.elapsed();
+            self.bump_session(spec.threads, spec.vars, |c| {
+                c.lock_waits += 1;
+                c.lock_wait_ns += saturating_ns(lock_wait);
+            });
             // A budget miss first tries the persistent store: a
             // verified on-disk copy imports in place of a rebuild.
             if admission.reserved && self.promote(&mut session, &key) {
@@ -1025,10 +1161,12 @@ impl Service {
         let aborted = matches!(verdict.outcome, VerdictOutcome::Aborted(_));
         if aborted {
             self.aborted_queries.fetch_add(1, Ordering::Relaxed);
+            journal(EventKind::Abort, &key, 0);
         } else if verdict.stats.artifact_cached {
             self.cache_hits.fetch_add(1, Ordering::Relaxed);
         } else {
             self.artifact_builds.fetch_add(1, Ordering::Relaxed);
+            journal(EventKind::Build, &key, bytes as u64);
         }
         self.artifact_rebuilds
             .fetch_add(verdict.stats.rebuilds as u64, Ordering::Relaxed);
@@ -1036,6 +1174,7 @@ impl Service {
         if let Err(error) = fault::fault_point("evict") {
             pin.abandon();
             self.aborted_queries.fetch_add(1, Ordering::Relaxed);
+            journal(EventKind::Abort, &key, 0);
             return QueryResult::aborted(spec.clone(), error);
         }
         if bytes == 0 && aborted {
@@ -1074,8 +1213,16 @@ impl Service {
             if !self.budget.should_drop(key) {
                 continue;
             }
+            let bytes = match &key.kind {
+                ArtifactKind::RunGraph(name) => session.run_graph_heap_bytes(name),
+                ArtifactKind::Spec(property) => session.spec_heap_bytes(*property),
+            }
+            .unwrap_or(0) as u64;
             if self.demote(&session, key) {
                 demotes += 1;
+                journal(EventKind::Demote, key, bytes);
+            } else {
+                journal(EventKind::Evict, key, bytes);
             }
             match &key.kind {
                 ArtifactKind::RunGraph(name) => {
@@ -1163,6 +1310,74 @@ impl Service {
     /// accounting tests assert pins never leak).
     pub fn pinned_artifacts(&self) -> usize {
         self.budget.pinned_entries()
+    }
+
+    /// One [`SessionInfo`] row per `(n, k)` session, sorted by instance
+    /// size — the `GET /v1/sessions` payload. Takes each session's lock
+    /// briefly for the build counters, so a row for a session mid-query
+    /// waits for that query (unlike [`Service::stats`], which never
+    /// touches a session lock).
+    pub fn sessions_snapshot(&self) -> Vec<SessionInfo> {
+        let ledger = self.budget.ledger();
+        let counters = self
+            .session_counters
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .clone();
+        self.registry
+            .instance_sizes()
+            .into_iter()
+            .map(|(threads, vars)| {
+                let (resident_artifacts, heap_bytes) = ledger
+                    .iter()
+                    .filter(|(key, _)| key.threads == threads && key.vars == vars)
+                    .fold((0, 0), |(n, b), (_, bytes)| (n + 1, b + bytes));
+                let (builds, rebuilds) = {
+                    let session = self.registry.session(threads, vars);
+                    let session = lock_session(&session);
+                    (
+                        (session.spec_builds() + session.run_graph_builds()) as u64,
+                        (session.spec_rebuilds() + session.run_graph_rebuilds()) as u64,
+                    )
+                };
+                let side = counters.get(&(threads, vars)).copied().unwrap_or_default();
+                SessionInfo {
+                    threads,
+                    vars,
+                    resident_artifacts,
+                    heap_bytes,
+                    builds,
+                    rebuilds,
+                    store_promotes: side.promotes,
+                    lock_waits: side.lock_waits,
+                    lock_wait_ns: side.lock_wait_ns,
+                }
+            })
+            .collect()
+    }
+
+    /// The latency quantile summary estimated from the
+    /// `tm_query_seconds` histogram — what `GET /v1/stats` attaches as
+    /// its `"latency"` member. All zeros before the first query.
+    pub fn latency_quantiles(&self) -> LatencyQuantiles {
+        let snapshot = self.metrics.query_seconds.snapshot();
+        let quantile = |q: f64| snapshot.quantile(q) / 1e9;
+        LatencyQuantiles {
+            count: snapshot.count,
+            p50_s: quantile(0.50),
+            p95_s: quantile(0.95),
+            p99_s: quantile(0.99),
+        }
+    }
+
+    /// The persistent store's file listing in LRU order (least recently
+    /// used first) — the `GET /v1/store` payload; empty when no store is
+    /// configured.
+    pub fn store_entries(&self) -> Vec<StoreEntry> {
+        self.store
+            .as_ref()
+            .map(ArtifactStore::entries)
+            .unwrap_or_default()
     }
 }
 
@@ -1295,6 +1510,40 @@ mod tests {
         assert_eq!(stats.sessions, 2);
         assert_eq!(service.ledger().len(), 6);
         assert!(stats.tracked_bytes > 0);
+    }
+
+    #[test]
+    fn sessions_snapshot_reports_per_size_rows() {
+        let service = Service::new(sequential_config(None));
+        let mut batch = table3_batch();
+        batch.extend(table2_batch());
+        service.submit(&batch);
+        let rows = service.sessions_snapshot();
+        assert_eq!(rows.len(), 2, "two instance sizes in the roster");
+        assert!(rows.windows(2).all(|w| (w[0].threads, w[0].vars) < (w[1].threads, w[1].vars)));
+        for row in &rows {
+            assert!(row.resident_artifacts > 0);
+            assert!(row.heap_bytes > 0);
+            assert!(row.builds > 0);
+            assert_eq!(row.rebuilds, 0);
+            assert!(row.lock_waits > 0, "every query acquires the session lock");
+        }
+        // 4 run graphs + 2 specs across both sessions, matching the
+        // ledger.
+        let resident: usize = rows.iter().map(|r| r.resident_artifacts).sum();
+        assert_eq!(resident, service.ledger().len());
+    }
+
+    #[test]
+    fn latency_quantiles_are_ordered_and_populated_after_queries() {
+        let service = Service::new(sequential_config(None));
+        service.submit(&table3_batch());
+        let q = service.latency_quantiles();
+        // `tm_query_seconds` is a process-global series shared with any
+        // other test in this binary, so assert monotonic facts only.
+        assert!(q.count >= 12);
+        assert!(q.p50_s > 0.0);
+        assert!(q.p50_s <= q.p95_s && q.p95_s <= q.p99_s);
     }
 
     #[test]

@@ -50,10 +50,11 @@
 use std::fmt;
 
 use tm_automata::EngineError;
-use tm_obs::{Phase, TraceEvent, TraceRecord};
+use tm_obs::{JournalRead, Phase, TraceEvent, TraceRecord};
+use tm_store::StoreEntry;
 
 use crate::roster::{CmKind, PropertyKind, QuerySpec, TmKind};
-use crate::service::{QueryOutcome, QueryResult, ServiceStats};
+use crate::service::{LatencyQuantiles, QueryOutcome, QueryResult, ServiceStats, SessionInfo};
 
 /// Nesting-depth cap for parsed documents: arrays/objects deeper than
 /// this are rejected with a [`JsonError`] instead of recursing toward a
@@ -726,6 +727,98 @@ pub fn encode_stats(stats: &ServiceStats) -> String {
     stats_to_json(stats).to_string()
 }
 
+/// [`encode_stats`] plus the `"latency"` quantile summary — the body
+/// `GET /v1/stats` actually serves. Decoders that predate the member
+/// (`decode_stats`) ignore it.
+pub fn encode_stats_full(stats: &ServiceStats, latency: &LatencyQuantiles) -> String {
+    let Json::Obj(mut members) = stats_to_json(stats) else {
+        unreachable!("stats_to_json returns an object")
+    };
+    members.push((
+        "latency".to_owned(),
+        Json::Obj(vec![
+            ("count".to_owned(), num(latency.count as usize)),
+            ("p50_s".to_owned(), Json::Num(latency.p50_s)),
+            ("p95_s".to_owned(), Json::Num(latency.p95_s)),
+            ("p99_s".to_owned(), Json::Num(latency.p99_s)),
+        ]),
+    ));
+    Json::Obj(members).to_string()
+}
+
+/// Encodes the `GET /v1/sessions` body: one row per `(n, k)` session.
+pub fn encode_sessions(sessions: &[SessionInfo]) -> String {
+    let rows = sessions
+        .iter()
+        .map(|s| {
+            Json::Obj(vec![
+                ("threads".to_owned(), num(s.threads)),
+                ("vars".to_owned(), num(s.vars)),
+                ("resident_artifacts".to_owned(), num(s.resident_artifacts)),
+                ("heap_bytes".to_owned(), num(s.heap_bytes)),
+                ("builds".to_owned(), num(s.builds as usize)),
+                ("rebuilds".to_owned(), num(s.rebuilds as usize)),
+                ("store_promotes".to_owned(), num(s.store_promotes as usize)),
+                ("lock_waits".to_owned(), num(s.lock_waits as usize)),
+                ("lock_wait_ns".to_owned(), num(s.lock_wait_ns as usize)),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![("sessions".to_owned(), Json::Arr(rows))]).to_string()
+}
+
+/// Encodes the `GET /v1/store` body: the store's `.tmart` files in LRU
+/// order (least recently used first), with summed totals.
+pub fn encode_store(entries: &[StoreEntry]) -> String {
+    let files = entries
+        .iter()
+        .map(|e| {
+            Json::Obj(vec![
+                ("file".to_owned(), Json::Str(e.file.clone())),
+                ("bytes".to_owned(), num(e.bytes as usize)),
+                ("age_secs".to_owned(), num(e.age_secs as usize)),
+                ("last_used".to_owned(), num(e.last_used as usize)),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("count".to_owned(), num(entries.len())),
+        (
+            "bytes".to_owned(),
+            num(entries.iter().map(|e| e.bytes as usize).sum()),
+        ),
+        ("files".to_owned(), Json::Arr(files)),
+    ])
+    .to_string()
+}
+
+/// Encodes the `GET /v1/events` body: the journal events a cursor read
+/// returned, each with its sequence number, plus the cursor to pass to
+/// the next read and the count of events the ring overwrote before this
+/// reader got to them.
+pub fn encode_events(read: &JournalRead) -> String {
+    let events = read
+        .events
+        .iter()
+        .map(|(seq, e)| {
+            Json::Obj(vec![
+                ("seq".to_owned(), num(*seq as usize)),
+                ("kind".to_owned(), Json::Str(e.kind.name().to_owned())),
+                ("key".to_owned(), Json::Str(e.key.clone())),
+                ("request_id".to_owned(), Json::Str(e.request_id.clone())),
+                ("bytes".to_owned(), num(e.bytes as usize)),
+                ("at_unix_ms".to_owned(), num(e.at_unix_ms as usize)),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("next_cursor".to_owned(), num(read.next_cursor as usize)),
+        ("dropped".to_owned(), num(read.dropped as usize)),
+        ("events".to_owned(), Json::Arr(events)),
+    ])
+    .to_string()
+}
+
 fn decode_result(value: &Json) -> Result<QueryResult, WireError> {
     let spec = decode_spec(value)?;
     let bool_field = |key: &str| {
@@ -1005,6 +1098,83 @@ mod tests {
         let (_, _, trace) = decode_batch_request_traced(&plain).unwrap();
         assert!(!trace);
         assert!(decode_batch_request_traced(r#"{"queries": [], "trace": 1}"#).is_err());
+    }
+
+    #[test]
+    fn stats_with_latency_carry_quantiles_and_stay_decodable() {
+        let stats = ServiceStats {
+            queries: 4,
+            ..ServiceStats::default()
+        };
+        let latency = LatencyQuantiles {
+            count: 4,
+            p50_s: 0.125,
+            p95_s: 0.5,
+            p99_s: 2.0,
+        };
+        let body = encode_stats_full(&stats, &latency);
+        let json = Json::parse(&body).unwrap();
+        let member = json.get("latency").expect("latency member");
+        assert_eq!(member.get("count").unwrap().as_usize(), Some(4));
+        assert_eq!(member.get("p50_s").unwrap().as_f64(), Some(0.125));
+        assert_eq!(member.get("p95_s").unwrap().as_f64(), Some(0.5));
+        assert_eq!(member.get("p99_s").unwrap().as_f64(), Some(2.0));
+        // Pre-quantile decoders ignore the member.
+        let decoded = decode_stats(&json).unwrap();
+        assert_eq!(decoded.queries, 4);
+    }
+
+    #[test]
+    fn sessions_store_and_events_bodies_encode() {
+        let sessions = vec![SessionInfo {
+            threads: 3,
+            vars: 2,
+            resident_artifacts: 5,
+            heap_bytes: 4096,
+            builds: 7,
+            rebuilds: 1,
+            store_promotes: 2,
+            lock_waits: 9,
+            lock_wait_ns: 1234,
+        }];
+        let json = Json::parse(&encode_sessions(&sessions)).unwrap();
+        let row = &json.get("sessions").unwrap().as_arr().unwrap()[0];
+        assert_eq!(row.get("threads").unwrap().as_usize(), Some(3));
+        assert_eq!(row.get("lock_wait_ns").unwrap().as_usize(), Some(1234));
+
+        let entries = vec![StoreEntry {
+            file: "ab12.tmart".to_owned(),
+            bytes: 100,
+            age_secs: 60,
+            last_used: 17,
+        }];
+        let json = Json::parse(&encode_store(&entries)).unwrap();
+        assert_eq!(json.get("count").unwrap().as_usize(), Some(1));
+        assert_eq!(json.get("bytes").unwrap().as_usize(), Some(100));
+        let file = &json.get("files").unwrap().as_arr().unwrap()[0];
+        assert_eq!(file.get("file").unwrap().as_str(), Some("ab12.tmart"));
+
+        let read = tm_obs::JournalRead {
+            next_cursor: 12,
+            dropped: 2,
+            events: vec![(
+                11,
+                tm_obs::JournalEvent {
+                    kind: tm_obs::EventKind::Build,
+                    key: "(2,1)/run-graph/dstm".to_owned(),
+                    request_id: "req-9".to_owned(),
+                    bytes: 512,
+                    at_unix_ms: 1_000,
+                },
+            )],
+        };
+        let json = Json::parse(&encode_events(&read)).unwrap();
+        assert_eq!(json.get("next_cursor").unwrap().as_usize(), Some(12));
+        assert_eq!(json.get("dropped").unwrap().as_usize(), Some(2));
+        let event = &json.get("events").unwrap().as_arr().unwrap()[0];
+        assert_eq!(event.get("seq").unwrap().as_usize(), Some(11));
+        assert_eq!(event.get("kind").unwrap().as_str(), Some("build"));
+        assert_eq!(event.get("request_id").unwrap().as_str(), Some("req-9"));
     }
 
     #[test]

@@ -99,6 +99,22 @@ struct Entry {
     last_used: u64,
 }
 
+/// One row of the LRU-ordered store listing
+/// ([`ArtifactStore::entries`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StoreEntry {
+    /// The addressable file name (`<hex64>.tmart`).
+    pub file: String,
+    /// Size in bytes per the ledger.
+    pub bytes: u64,
+    /// Seconds since the file was last written (0 if the file vanished
+    /// under a concurrent eviction).
+    pub age_secs: u64,
+    /// The ledger's LRU clock value at the last access — larger = more
+    /// recently used; comparable only within one listing.
+    pub last_used: u64,
+}
+
 struct Ledger {
     entries: HashMap<String, Entry>,
     /// Monotonic access clock for LRU ordering.
@@ -295,6 +311,40 @@ impl ArtifactStore {
         names
             .into_iter()
             .map(|(name, _)| self.dir.join(name))
+            .collect()
+    }
+
+    /// An LRU-ordered listing of the addressable files (least recently
+    /// used first, like [`ArtifactStore::files`]) with their ledger
+    /// sizes and on-disk ages — what `GET /v1/store` serves. The age is
+    /// read from the file mtime at call time; a file deleted by a
+    /// concurrent eviction reports an age of 0 rather than failing the
+    /// listing.
+    pub fn entries(&self) -> Vec<StoreEntry> {
+        let listed: Vec<(String, u64, u64)> = {
+            let ledger = self.lock_ledger();
+            let mut rows: Vec<(&String, &Entry)> = ledger.entries.iter().collect();
+            rows.sort_by(|a, b| a.1.last_used.cmp(&b.1.last_used).then_with(|| a.0.cmp(b.0)));
+            rows.into_iter()
+                .map(|(name, entry)| (name.clone(), entry.bytes, entry.last_used))
+                .collect()
+        };
+        listed
+            .into_iter()
+            .map(|(name, bytes, last_used)| {
+                let age_secs = std::fs::metadata(self.dir.join(&name))
+                    .and_then(|meta| meta.modified())
+                    .ok()
+                    .and_then(|mtime| mtime.elapsed().ok())
+                    .map(|age| age.as_secs())
+                    .unwrap_or(0);
+                StoreEntry {
+                    file: name,
+                    bytes,
+                    age_secs,
+                    last_used,
+                }
+            })
             .collect()
     }
 
